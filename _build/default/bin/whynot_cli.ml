@@ -1,0 +1,164 @@
+(* Command-line driver: run a scenario (or all of them) and print the
+   why-not explanations of RP, RPnoSA, WN++, and Conseil. *)
+
+let run_scenario ~scale ~verbose (s : Scenarios.Scenario.t) =
+  let inst = s.Scenarios.Scenario.make ~scale in
+  let phi = inst.Scenarios.Scenario.question in
+  let q = phi.Whynot.Question.query in
+  Fmt.pr "@.=== %s (%s): %s ===@." s.Scenarios.Scenario.name
+    (Scenarios.Scenario.family_to_string s.Scenarios.Scenario.family)
+    s.Scenarios.Scenario.description;
+  Fmt.pr "query: %a@." Nrab.Query.pp q;
+  Fmt.pr "why-not: %a@." Whynot.Nip.pp phi.Whynot.Question.missing;
+  if not (Whynot.Question.is_proper phi) then
+    Fmt.pr "WARNING: question is not proper (the answer is present)@.";
+  let rp = Whynot.Pipeline.explain ~alternatives:inst.Scenarios.Scenario.alternatives phi in
+  let rpnosa = Whynot.Pipeline.explain ~use_sas:false phi in
+  let wnpp = Baselines.Wnpp.explanations phi in
+  let conseil = Baselines.Conseil.explanations phi in
+  if verbose then begin
+    Fmt.pr "schema alternatives:@.";
+    List.iter
+      (fun (sa : Whynot.Alternatives.sa) ->
+        Fmt.pr "  S%d: %s@." (sa.Whynot.Alternatives.index + 1)
+          sa.Whynot.Alternatives.description)
+      rp.Whynot.Pipeline.sas
+  end;
+  let pp_expls label expls =
+    Fmt.pr "%-8s %s@." label
+      (if expls = [] then "(none)"
+       else
+         String.concat ", "
+           (List.map (Whynot.Explanation.to_string_with_query q) expls))
+  in
+  pp_expls "WN++:"
+    (List.map
+       (fun e ->
+         Whynot.Explanation.make ~lb:0 ~ub:0
+           (Baselines.Explanation_set.ops e))
+       wnpp);
+  pp_expls "Conseil:"
+    (List.map
+       (fun e ->
+         Whynot.Explanation.make ~lb:0 ~ub:0
+           (Baselines.Explanation_set.ops e))
+       conseil);
+  pp_expls "RPnoSA:" rpnosa.Whynot.Pipeline.explanations;
+  pp_expls "RP:" rp.Whynot.Pipeline.explanations;
+  match inst.Scenarios.Scenario.gold with
+  | None -> ()
+  | Some gold ->
+    let sets = Whynot.Pipeline.explanation_sets rp in
+    let position g =
+      let g = List.sort compare g in
+      let rec go i = function
+        | [] -> None
+        | s :: rest -> if List.sort compare s = g then Some i else go (i + 1) rest
+      in
+      go 1 sets
+    in
+    List.iter
+      (fun gset ->
+        Fmt.pr "gold {%s}: %s@."
+          (String.concat "," (List.map string_of_int gset))
+          (match position gset with
+          | Some p -> Fmt.str "found at position %d" p
+          | None -> "MISSING"))
+      gold
+
+(* Ad-hoc mode: explain a why-not question over user-supplied JSON data,
+   an s-expression query, and an s-expression why-not pattern.
+
+     whynot_cli explain -db data.json -query q.sexp -whynot pattern.sexp \\
+       [-alt table:a.b=c.d]... [-no-sas] [-no-revalidate]                  *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_alt (spec : string) : string * Nested.Path.t list =
+  match String.split_on_char ':' spec with
+  | [ table; group ] ->
+    (table, List.map Nested.Path.of_string (String.split_on_char '=' group))
+  | _ -> failwith ("invalid -alt spec (want table:a.b=c.d): " ^ spec)
+
+let run_explain args =
+  let db_file = ref "" and query_file = ref "" and whynot_file = ref "" in
+  let alts = ref [] in
+  let use_sas = ref true and revalidate = ref true in
+  let spec =
+    [
+      ("-db", Arg.Set_string db_file, "JSON database file");
+      ("-query", Arg.Set_string query_file, "query file (s-expression)");
+      ("-whynot", Arg.Set_string whynot_file, "why-not pattern file (s-expression)");
+      ( "-alt",
+        Arg.String (fun s -> alts := parse_alt s :: !alts),
+        "attribute alternatives, table:a.b=c.d" );
+      ("-no-sas", Arg.Clear use_sas, "disable schema alternatives");
+      ("-no-revalidate", Arg.Clear revalidate, "disable re-validation (ablation)");
+    ]
+  in
+  Arg.parse_argv ~current:(ref 0)
+    (Array.of_list (Sys.argv.(0) :: args))
+    spec
+    (fun a -> failwith ("unexpected argument " ^ a))
+    "whynot_cli explain -db FILE -query FILE -whynot FILE [options]";
+  if !db_file = "" || !query_file = "" || !whynot_file = "" then
+    failwith "explain needs -db, -query, and -whynot";
+  let db = Nested.Json.db_of_string (read_file !db_file) in
+  let query = Nrab.Parser.query_of_string (String.trim (read_file !query_file)) in
+  let missing = Whynot.Nip_syntax.of_string (String.trim (read_file !whynot_file)) in
+  let phi = Whynot.Question.make ~query ~db ~missing in
+  Fmt.pr "query:   %a@." Nrab.Query.pp query;
+  Fmt.pr "why-not: %a@." Whynot.Nip.pp missing;
+  (match Whynot.Question.check_missing phi with
+  | Ok () -> ()
+  | Error msg -> failwith ("invalid why-not pattern: " ^ msg));
+  if not (Whynot.Question.is_proper phi) then
+    Fmt.pr "WARNING: the answer is not actually missing@.";
+  let result =
+    Whynot.Pipeline.explain ~use_sas:!use_sas ~revalidate:!revalidate
+      ~alternatives:(List.rev !alts) phi
+  in
+  Fmt.pr "%a@." Whynot.Pipeline.pp_result result
+
+let run_scenarios args =
+  let scale = ref 1 in
+  let verbose = ref false in
+  let names = ref [] in
+  let spec =
+    [
+      ("-scale", Arg.Set_int scale, "data scale factor (default 1)");
+      ("-v", Arg.Set verbose, "verbose (print schema alternatives)");
+    ]
+  in
+  Arg.parse_argv ~current:(ref 0)
+    (Array.of_list (Sys.argv.(0) :: args))
+    spec
+    (fun n -> names := n :: !names)
+    "whynot_cli [scenario...]";
+  let scenarios =
+    match !names with
+    | [] -> Scenarios.Registry.all
+    | names -> List.filter_map Scenarios.Registry.find (List.rev names)
+  in
+  List.iter (run_scenario ~scale:!scale ~verbose:!verbose) scenarios
+
+let list_scenarios () =
+  Fmt.pr "%-6s %-12s %-18s %s@." "name" "family" "operators" "description";
+  List.iter
+    (fun (s : Scenarios.Scenario.t) ->
+      Fmt.pr "%-6s %-12s %-18s %s@." s.Scenarios.Scenario.name
+        (Scenarios.Scenario.family_to_string s.Scenarios.Scenario.family)
+        s.Scenarios.Scenario.operators s.Scenarios.Scenario.description)
+    Scenarios.Registry.all
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "explain" :: rest -> run_explain rest
+  | _ :: "list" :: _ -> list_scenarios ()
+  | _ :: rest -> run_scenarios rest
+  | [] -> ()

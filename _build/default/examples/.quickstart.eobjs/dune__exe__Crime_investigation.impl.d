@@ -1,0 +1,1 @@
+examples/crime_investigation.ml: Baselines Fmt List Nrab Option Scenarios String Whynot

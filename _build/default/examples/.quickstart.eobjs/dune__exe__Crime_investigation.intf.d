@@ -1,0 +1,1 @@
+examples/crime_investigation.mli:

@@ -1,0 +1,1 @@
+examples/dblp_debugging.ml: Baselines Fmt List Nrab Option Scenarios String Whynot

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Eval Expr Fmt List Nested Nrab Query Relation String Value Vtype Whynot

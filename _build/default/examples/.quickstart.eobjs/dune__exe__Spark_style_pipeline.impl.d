@@ -1,0 +1,1 @@
+examples/spark_style_pipeline.ml: Df Expr Fmt Infix List Nested Nrab Query Whynot

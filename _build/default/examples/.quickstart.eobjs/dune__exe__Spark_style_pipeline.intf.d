@@ -1,0 +1,1 @@
+examples/spark_style_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/tpch_audit.ml: Baselines Engine Fmt List Nested Nrab Option Scenarios String Whynot

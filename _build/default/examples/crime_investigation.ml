@@ -1,0 +1,57 @@
+(* The crime-dataset comparison (Table 6): three small scenarios where the
+   lineage-based approaches (Why-Not, Conseil) and the
+   reparameterization-based approach disagree.  Because the data is tiny,
+   the exact MSR search (the brute-force algorithm from the proof of
+   Theorem 1) can validate the heuristic's explanations.
+
+     dune exec examples/crime_investigation.exe *)
+
+let show name =
+  let s = Option.get (Scenarios.Registry.find name) in
+  let inst = s.Scenarios.Scenario.make ~scale:1 in
+  let phi = inst.Scenarios.Scenario.question in
+  let q = phi.Whynot.Question.query in
+  Fmt.pr "@.--- %s ---@." name;
+  Fmt.pr "query:   %a@." Nrab.Query.pp q;
+  Fmt.pr "why-not: %a@." Whynot.Nip.pp phi.Whynot.Question.missing;
+  let fmt_base es =
+    if es = [] then "(none)"
+    else String.concat ", " (List.map Baselines.Explanation_set.to_string es)
+  in
+  Fmt.pr "Why-Not: %s@." (fmt_base (Baselines.Wnpp.explanations phi));
+  Fmt.pr "Conseil: %s@." (fmt_base (Baselines.Conseil.explanations phi));
+  let rp =
+    Whynot.Pipeline.explain ~alternatives:inst.Scenarios.Scenario.alternatives phi
+  in
+  Fmt.pr "RP:      %s@."
+    (String.concat ", "
+       (List.map (Whynot.Explanation.to_string_with_query q)
+          rp.Whynot.Pipeline.explanations));
+  (* ground truth: which operator sets admit a successful
+     reparameterization at all? *)
+  let srs = Whynot.Exact.successful ~max_ops:2 ~depth:1 phi in
+  let sets =
+    List.sort_uniq compare
+      (List.map
+         (fun (sr : Whynot.Exact.sr) ->
+           Whynot.Msr.Int_set.elements sr.Whynot.Exact.changed)
+         srs)
+  in
+  Fmt.pr "exact SR op-sets (≤2 ops, 1 change each): %s@."
+    (if sets = [] then "(none)"
+     else
+       String.concat ", "
+         (List.map
+            (fun set ->
+              "{" ^ String.concat "," (List.map string_of_int set) ^ "}")
+            sets))
+
+let () =
+  show "C1";
+  show "C2";
+  show "C3";
+  Fmt.pr
+    "@.C3 is the showcase: the lineage baselines blame the join, but the\n\
+     only way to \"fix\" that join is a cross product — not an admissible\n\
+     reparameterization.  RP instead pinpoints the projection: the\n\
+     description of \"snow\" is the clothing, not the hair.@."

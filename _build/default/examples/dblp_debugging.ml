@@ -1,0 +1,72 @@
+(* Debugging a bibliography pipeline (scenario D4): an analyst expects
+   author Frank Ott in the per-author paper collections of everyone who
+   published through ACM after 2010 — but he is missing.
+
+   The walk-through shows the four steps of Algorithm 1 explicitly:
+   schema backtracing, schema alternatives, data tracing (via the
+   pipeline), and the ranked explanations.
+
+     dune exec examples/dblp_debugging.exe *)
+
+let () =
+  let s = Option.get (Scenarios.Registry.find "D4") in
+  let inst = s.Scenarios.Scenario.make ~scale:1 in
+  let phi = inst.Scenarios.Scenario.question in
+  let q = phi.Whynot.Question.query in
+  let db = phi.Whynot.Question.db in
+  let env = Whynot.Pipeline.schema_env db in
+
+  Fmt.pr "pipeline under debugging:@.  %a@.@." Nrab.Query.pp q;
+  Fmt.pr "missing answer: %a@.@." Whynot.Nip.pp phi.Whynot.Question.missing;
+
+  (* Step 1 — schema backtracing: what would a contributing input tuple
+     look like?  (Example 11 of the paper, on this scenario.) *)
+  let bt = Whynot.Backtrace.run ~env q phi.Whynot.Question.missing in
+  List.iter
+    (fun (table, nip) ->
+      Fmt.pr "compatible tuples of %-10s must match %a@." table Whynot.Nip.pp nip)
+    bt.Whynot.Backtrace.table_nips;
+
+  (* Step 2 — schema alternatives: which attribute substitutions are
+     worth exploring?  Here: maybe the publisher label actually lives in
+     the series record. *)
+  let sas =
+    Whynot.Alternatives.enumerate ~env q inst.Scenarios.Scenario.alternatives
+  in
+  Fmt.pr "@.schema alternatives:@.";
+  List.iter
+    (fun (sa : Whynot.Alternatives.sa) ->
+      Fmt.pr "  S%d: %s@."
+        (sa.Whynot.Alternatives.index + 1)
+        sa.Whynot.Alternatives.description)
+    sas;
+
+  (* Steps 3+4 — data tracing and approximate MSRs. *)
+  let result =
+    Whynot.Pipeline.explain ~alternatives:inst.Scenarios.Scenario.alternatives phi
+  in
+  Fmt.pr "@.ranked explanations:@.";
+  List.iteri
+    (fun i e ->
+      Fmt.pr "  %d. %a@." (i + 1) (Whynot.Explanation.pp_with_query q) e)
+    result.Whynot.Pipeline.explanations;
+
+  (* Turn the best explanations into concrete repair suggestions. *)
+  Fmt.pr "@.suggested repairs:@.";
+  List.iteri
+    (fun i e ->
+      if i < 3 then
+        match Whynot.Repair.suggest ~max_suggestions:1 phi e with
+        | s :: _ -> Fmt.pr "  %a@." (Whynot.Repair.pp_suggestion q) s
+        | [] -> ())
+    result.Whynot.Pipeline.explanations;
+
+  (* Compare with what the lineage-based baseline would have said. *)
+  let wnpp = Baselines.Wnpp.explanations phi in
+  Fmt.pr "@.WN++ (lineage baseline) says: %s@."
+    (String.concat ", " (List.map Baselines.Explanation_set.to_string wnpp));
+  Fmt.pr
+    "@.The baseline only blames the ACM filter; the ranked list also\n\
+     surfaces the flatten/year-filter pair {Fᵀ, σ} — the actual bug: the\n\
+     pipeline flattens the publisher record although the ACM label lives\n\
+     in the series, and filters on year 2015 instead of 2010.@."

@@ -1,0 +1,72 @@
+(* A Spark-style debugging session end to end:
+
+   1. load nested data from JSON (the interchange format a DISC system
+      would store it in),
+   2. write the pipeline with the fluent DataFrame combinators,
+   3. state the why-not question in the surface pattern syntax,
+   4. get ranked explanations and concrete repair suggestions.
+
+     dune exec examples/spark_style_pipeline.exe *)
+
+open Nrab
+
+let data =
+  {json|
+  {
+    "person": {
+      "schema": [{"name": "string",
+                  "address1": [{"city": "string", "year": "int"}],
+                  "address2": [{"city": "string", "year": "int"}]}],
+      "data": [
+        {"name": "Peter",
+         "address1": [{"city": "NY", "year": 2010}, {"city": "LA", "year": 2019},
+                      {"city": "LV", "year": 2017}],
+         "address2": [{"city": "LA", "year": 2010}, {"city": "SF", "year": 2018}]},
+        {"name": "Sue",
+         "address1": [{"city": "LA", "year": 2019}, {"city": "NY", "year": 2018}],
+         "address2": [{"city": "LA", "year": 2019}, {"city": "NY", "year": 2018}]}
+      ]
+    }
+  }
+  |json}
+
+let () =
+  (* 1. load *)
+  let db = Nested.Json.db_of_string data in
+
+  (* 2. the pipeline, written the way it reads in Spark *)
+  let report =
+    Df.table "person"
+    |> Df.explode "address2"
+    |> Df.filter Expr.(Infix.( >= ) (attr "year") (int 2019))
+    |> Df.select_cols [ "name"; "city" ]
+    |> Df.group_nest [ "name" ] ~into:"nList"
+  in
+  Fmt.pr "pipeline: %a@.@." Query.pp (Df.plan report);
+  Fmt.pr "result:@.";
+  Df.show db report;
+
+  (* 3. the why-not question, in the surface syntax *)
+  let missing =
+    Whynot.Nip_syntax.of_string "(tuple (city (str NY)) (nList (bag ? *)))"
+  in
+  Fmt.pr "@.why-not: %a@." Whynot.Nip.pp missing;
+  let phi = Whynot.Question.make ~query:(Df.plan report) ~db ~missing in
+
+  (* 4. explanations and repairs *)
+  let result =
+    Whynot.Pipeline.explain
+      ~alternatives:[ ("person", [ [ "address2" ]; [ "address1" ] ]) ]
+      phi
+  in
+  Fmt.pr "@.explanations:@.";
+  List.iteri
+    (fun i e ->
+      Fmt.pr "  %d. %a@." (i + 1)
+        (Whynot.Explanation.pp_with_query (Df.plan report))
+        e;
+      match Whynot.Repair.suggest ~max_suggestions:1 phi e with
+      | s :: _ ->
+        Fmt.pr "     %a@." (Whynot.Repair.pp_suggestion (Df.plan report)) s
+      | [] -> ())
+    result.Whynot.Pipeline.explanations

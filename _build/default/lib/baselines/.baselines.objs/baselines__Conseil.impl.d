@@ -1,0 +1,1 @@
+lib/baselines/conseil.ml: Explanation_set Hashtbl Int Lineage List Set Whynot

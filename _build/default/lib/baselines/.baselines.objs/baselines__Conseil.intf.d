@@ -1,0 +1,1 @@
+lib/baselines/conseil.mli: Explanation_set Whynot

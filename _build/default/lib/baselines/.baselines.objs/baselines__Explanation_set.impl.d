@@ -1,0 +1,1 @@
+lib/baselines/explanation_set.ml: Fmt Int List Nrab Query Set String

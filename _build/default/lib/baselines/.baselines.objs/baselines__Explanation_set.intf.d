@@ -1,0 +1,1 @@
+lib/baselines/explanation_set.mli: Format Int Nrab Query Set

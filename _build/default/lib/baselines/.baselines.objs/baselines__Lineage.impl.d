@@ -1,0 +1,1 @@
+lib/baselines/lineage.ml: Hashtbl Int List Nested Nrab Option Query Set String Whynot

@@ -1,0 +1,1 @@
+lib/baselines/lineage.mli: Hashtbl Int Nrab Query Set String Whynot

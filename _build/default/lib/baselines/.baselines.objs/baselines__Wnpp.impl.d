@@ -1,0 +1,1 @@
+lib/baselines/wnpp.ml: Explanation_set Lineage List Nrab Whynot

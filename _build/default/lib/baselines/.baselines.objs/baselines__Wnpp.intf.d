@@ -1,0 +1,1 @@
+lib/baselines/wnpp.mli: Explanation_set Whynot

@@ -1,0 +1,44 @@
+(* Conseil — the hybrid lineage-based baseline [Herschel, JDIQ 2015].
+
+   Unlike Why-Not, Conseil keeps tracing past a picky operator (as if it
+   were repaired) and returns the *combined* set of operators that prune
+   successors of a compatible on its way to the output.  Like Why-Not it
+   performs no re-validation downstream of flattening and no content check
+   on what the repaired operators would actually produce — in scenario C3
+   it reports a join that could only be "fixed" by a cross product. *)
+
+module Int_set = Set.Make (Int)
+
+let explanations (phi : Whynot.Question.t) : Explanation_set.t list =
+  let info = Lineage.original_trace phi in
+  let q = info.Lineage.query in
+  (* follow successors also through rows that only a repair admits *)
+  let successor = Lineage.successor_rids ~surviving_only:false info in
+  let fs = Whynot.Msr.failure_sets info.Lineage.trace in
+  let candidate_roots =
+    List.filter
+      (fun (r : Whynot.Tracing.trow) ->
+        Hashtbl.mem successor r.Whynot.Tracing.rid)
+      (Whynot.Tracing.root_rows info.Lineage.trace)
+  in
+  let sets =
+    List.fold_left
+      (fun acc (r : Whynot.Tracing.trow) ->
+        Whynot.Msr.Set_set.fold
+          (fun s acc -> if Int_set.is_empty s then acc else s :: acc)
+          (fs r.Whynot.Tracing.rid)
+          acc)
+      [] candidate_roots
+  in
+  match
+    List.sort (fun a b -> compare (Int_set.cardinal a) (Int_set.cardinal b)) sets
+  with
+  | smallest :: _ ->
+    (* the smallest operator set along a compatible's derivation *)
+    [ Explanation_set.make q smallest ]
+  | [] -> (
+    (* no compatible derivation reaches the output even under relaxation:
+       report the operators where the successors die *)
+    match Lineage.picky_ops ~surviving_only:false info successor with
+    | [] -> []
+    | picky -> [ Explanation_set.make q (Int_set.of_list picky) ])

@@ -1,0 +1,10 @@
+(** Conseil — the hybrid lineage-based baseline [Herschel, JDIQ 2015].
+
+    Unlike Why-Not it keeps tracing past a picky operator (as if it were
+    repaired) and returns the combined set of operators pruning a
+    compatible's derivation.  Like Why-Not it performs no re-validation
+    and no content check on what the repaired operators would produce —
+    in scenario C3 it blames a join whose only "fix" is a cross
+    product. *)
+
+val explanations : Whynot.Question.t -> Explanation_set.t list

@@ -1,0 +1,23 @@
+(* Plain operator-set explanations as returned by the lineage-based
+   baselines (no side-effect bounds, no schema alternatives). *)
+
+open Nrab
+module Int_set = Set.Make (Int)
+
+type t = { ops : Int_set.t; query : Query.t }
+
+let make query ops = { ops; query }
+let singleton query id = { ops = Int_set.singleton id; query }
+let ops e = e.ops
+let op_list e = Int_set.elements e.ops
+
+let pp ppf (e : t) =
+  let symbol id =
+    match Query.find_op e.query id with
+    | Some op -> Fmt.str "%s^%d" (Query.op_symbol op.Query.node) id
+    | None -> Fmt.str "op^%d" id
+  in
+  Fmt.pf ppf "{%s}" (String.concat ", " (List.map symbol (op_list e)))
+
+let to_string e = Fmt.str "%a" pp e
+let equal a b = Int_set.equal a.ops b.ops

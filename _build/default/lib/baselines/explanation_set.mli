@@ -1,0 +1,19 @@
+(** Plain operator-set explanations as returned by the lineage-based
+    baselines (no side-effect bounds, no schema alternatives). *)
+
+open Nrab
+
+module Int_set : module type of Set.Make (Int)
+
+type t
+
+val make : Query.t -> Int_set.t -> t
+val singleton : Query.t -> int -> t
+val ops : t -> Int_set.t
+val op_list : t -> int list
+
+(** Paper-style rendering ([{σ^27}]). *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,173 @@
+(* Shared successor tracking for the lineage-based baselines.
+
+   A *compatible* is an input tuple matching the backtraced NIP of its
+   table.  Tables whose NIP is trivial impose no constraint: all their
+   tuples count as (vacuous) compatibles.  Successors propagate forward:
+
+   - through unary operators, from the single parent;
+   - through flatten operators at element granularity (the successor must
+     still carry the compatible nested element — the nested-data extension
+     of WN++ described in Section 6.2);
+   - through joins only when *both* parents are successors (an answer
+     needs compatibles from every constrained table); a null-padded row
+     counts only if the padded-away side contains no constrained table;
+   - through grouping/aggregation when *some* parent is a successor.
+
+   [surviving_only] restricts propagation to the unrelaxed intermediate
+   results (Why-Not); with [false] rows that only a repair would admit
+   also propagate (Conseil's continue-past-picky behaviour). *)
+
+open Nrab
+module Int_set = Set.Make (Int)
+module String_set = Set.Make (String)
+
+type info = {
+  trace : Whynot.Tracing.t;
+  bt : Whynot.Backtrace.t;
+  query : Query.t;
+}
+
+let original_trace (phi : Whynot.Question.t) : info =
+  let db = phi.Whynot.Question.db in
+  let q = phi.Whynot.Question.query in
+  let env =
+    List.map
+      (fun (n, r) -> (n, Nested.Relation.schema r))
+      (Nested.Relation.Db.tables db)
+  in
+  let bt = Whynot.Backtrace.run ~env q phi.Whynot.Question.missing in
+  let sa0 =
+    {
+      Whynot.Alternatives.index = 0;
+      query = q;
+      changed_ops = Int_set.empty;
+      description = "original";
+    }
+  in
+  { trace = Whynot.Tracing.run ~env db sa0 bt; bt; query = q }
+
+(* Tables with a non-trivial backtraced NIP. *)
+let constrained_tables (info : info) : String_set.t =
+  List.fold_left
+    (fun acc (name, nip) ->
+      if Whynot.Nip.is_trivial nip then acc else String_set.add name acc)
+    String_set.empty info.bt.Whynot.Backtrace.table_nips
+
+(* Does the subtree rooted at [op] access a constrained table? *)
+let rec subtree_constrained (constrained : String_set.t) (op : Query.t) : bool =
+  match op.Query.node with
+  | Query.Table name -> String_set.mem name constrained
+  | _ -> List.exists (subtree_constrained constrained) op.Query.children
+
+(* op id → query node, and op id → subtree membership test *)
+let op_index (q : Query.t) : (int, Query.t) Hashtbl.t =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (op : Query.t) -> Hashtbl.replace tbl op.Query.id op)
+    (Query.operators q);
+  tbl
+
+let rec op_in_subtree (op : Query.t) (id : int) : bool =
+  op.Query.id = id || List.exists (fun c -> op_in_subtree c id) op.Query.children
+
+let successor_rids ~(surviving_only : bool) (info : info) :
+    (int, unit) Hashtbl.t =
+  let constrained = constrained_tables info in
+  let ops_tbl = op_index info.query in
+  (* rid → op id, to locate which join side a parent row comes from *)
+  let row_op = Hashtbl.create 256 in
+  List.iter
+    (fun (ot : Whynot.Tracing.op_trace) ->
+      List.iter
+        (fun (r : Whynot.Tracing.trow) ->
+          Hashtbl.replace row_op r.Whynot.Tracing.rid ot.Whynot.Tracing.op_id)
+        ot.Whynot.Tracing.rows)
+    info.trace.Whynot.Tracing.ops;
+  let successor = Hashtbl.create 256 in
+  let is_succ rid = Hashtbl.mem successor rid in
+  List.iter
+    (fun (ot : Whynot.Tracing.op_trace) ->
+      let op = Hashtbl.find_opt ops_tbl ot.Whynot.Tracing.op_id in
+      List.iter
+        (fun (r : Whynot.Tracing.trow) ->
+          let alive = (not surviving_only) || r.Whynot.Tracing.surviving in
+          if alive then
+            let is_successor =
+              match ot.Whynot.Tracing.op_node, op with
+              | Query.Table _, _ -> r.Whynot.Tracing.consistent
+              | (Query.Flatten _ | Query.Flatten_tuple _), _ ->
+                List.exists is_succ r.Whynot.Tracing.parents
+                && r.Whynot.Tracing.consistent
+              | (Query.Join _ | Query.Product), Some op -> (
+                match r.Whynot.Tracing.parents, op.Query.children with
+                | [ lp; rp ], _ -> is_succ lp && is_succ rp
+                | [ p ], [ lchild; rchild ] ->
+                  (* null-padded row: [p] sits in one child's subtree; the
+                     padded-away side must be unconstrained *)
+                  let p_op =
+                    Option.value ~default:(-1) (Hashtbl.find_opt row_op p)
+                  in
+                  let padded_side_unconstrained =
+                    if op_in_subtree lchild p_op then
+                      not (subtree_constrained constrained rchild)
+                    else not (subtree_constrained constrained lchild)
+                  in
+                  is_succ p && padded_side_unconstrained
+                | _, _ -> false)
+              | ( ( Query.Nest_rel _ | Query.Group_agg _ | Query.Dedup
+                  | Query.Agg_tuple _ ),
+                  _ ) ->
+                List.exists is_succ r.Whynot.Tracing.parents
+              | _, _ -> List.exists is_succ r.Whynot.Tracing.parents
+            in
+            if is_successor then
+              Hashtbl.replace successor r.Whynot.Tracing.rid ())
+        ot.Whynot.Tracing.rows)
+    info.trace.Whynot.Tracing.ops;
+  successor
+
+(* Operators where successors die: every child trace has a successor row
+   but no (alive) output row is a successor. *)
+let picky_ops ~(surviving_only : bool) (info : info)
+    (successor : (int, unit) Hashtbl.t) : int list =
+  let ops_tbl = op_index info.query in
+  List.filter_map
+    (fun (ot : Whynot.Tracing.op_trace) ->
+      match ot.Whynot.Tracing.op_node with
+      | Query.Table _ -> None
+      | _ ->
+        let op = Hashtbl.find_opt ops_tbl ot.Whynot.Tracing.op_id in
+        let children =
+          match op with Some op -> op.Query.children | None -> []
+        in
+        let child_rows (c : Query.t) =
+          match
+            List.find_opt
+              (fun (o : Whynot.Tracing.op_trace) ->
+                o.Whynot.Tracing.op_id = c.Query.id)
+              info.trace.Whynot.Tracing.ops
+          with
+          | Some o -> o.Whynot.Tracing.rows
+          | None -> []
+        in
+        let inputs_have_successors =
+          children <> []
+          && List.for_all
+               (fun c ->
+                 List.exists
+                   (fun (r : Whynot.Tracing.trow) ->
+                     Hashtbl.mem successor r.Whynot.Tracing.rid)
+                   (child_rows c))
+               children
+        in
+        let output_has_successors =
+          List.exists
+            (fun (r : Whynot.Tracing.trow) ->
+              ((not surviving_only) || r.Whynot.Tracing.surviving)
+              && Hashtbl.mem successor r.Whynot.Tracing.rid)
+            ot.Whynot.Tracing.rows
+        in
+        if inputs_have_successors && not output_has_successors then
+          Some ot.Whynot.Tracing.op_id
+        else None)
+    info.trace.Whynot.Tracing.ops

@@ -1,0 +1,40 @@
+(** Shared successor tracking for the lineage-based baselines.
+
+    A {e compatible} is an input tuple matching the backtraced NIP of its
+    table; tables with trivial NIPs impose no constraint (all their tuples
+    are vacuous compatibles).  Successors propagate forward through the
+    trace:
+
+    - through unary operators, from the single parent;
+    - through flattens at element granularity (the successor must still
+      carry the compatible nested element — the nested-data extension of
+      WN++ described in Section 6.2);
+    - through joins only when both parents are successors; a null-padded
+      row counts only if the padded-away side holds no constrained table;
+    - through grouping/aggregation when some parent is a successor. *)
+
+open Nrab
+
+module Int_set : module type of Set.Make (Int)
+module String_set : module type of Set.Make (String)
+
+type info = {
+  trace : Whynot.Tracing.t;  (** the SA-0 trace of the question *)
+  bt : Whynot.Backtrace.t;
+  query : Query.t;
+}
+
+(** Build the original-schema trace both baselines work on. *)
+val original_trace : Whynot.Question.t -> info
+
+(** Tables whose backtraced NIP is non-trivial. *)
+val constrained_tables : info -> String_set.t
+
+(** Successor row ids.  [surviving_only] restricts propagation to the
+    unrelaxed intermediate results (Why-Not); with [false], rows that
+    only a repair would admit also propagate (Conseil). *)
+val successor_rids : surviving_only:bool -> info -> (int, unit) Hashtbl.t
+
+(** Operators where successors die: every child trace has a successor but
+    no (alive) output row is one. *)
+val picky_ops : surviving_only:bool -> info -> (int, unit) Hashtbl.t -> int list

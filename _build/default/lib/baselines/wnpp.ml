@@ -1,0 +1,49 @@
+(* WN++ — the lineage-based Why-Not baseline [Chapman & Jagadish, SIGMOD
+   2009], extended to nested data as in the paper's evaluation (Section
+   6.2): compatibles may be nested elements, and flatten operators check
+   successors at element granularity.
+
+   WN++ traces successors of compatible input tuples forward through the
+   *original* query and reports the first picky operator — the operator
+   that filters the last successors.  It neither re-validates
+   compatibility at later operators, nor reasons about schema
+   alternatives, nor checks that unblocking the picky operator can
+   actually produce the missing answer; these are exactly the weaknesses
+   the paper's evaluation exhibits (incomplete explanations in T1/T4/Q3, a
+   misleading join in Q10, no explanation at all in D2/D3/T_ASD/Q4). *)
+
+let explanations (phi : Whynot.Question.t) : Explanation_set.t list =
+  let info = Lineage.original_trace phi in
+  let successor = Lineage.successor_rids ~surviving_only:true info in
+  match Lineage.picky_ops ~surviving_only:true info successor with
+  | first :: _ -> [ Explanation_set.singleton info.Lineage.query first ]
+  | [] ->
+    (* Aggregate-style questions may constrain no input table at all (the
+       constraint sits on an aggregate output); every input tuple is then
+       a compatible whose loss influences the aggregate, and WN++ blames
+       the filtering operator closest to the output. *)
+    if
+      not
+        (Lineage.String_set.is_empty (Lineage.constrained_tables info))
+    then []
+    else
+      let filtering =
+        List.filter_map
+          (fun (ot : Whynot.Tracing.op_trace) ->
+            let drops_rows =
+              List.exists
+                (fun (r : Whynot.Tracing.trow) ->
+                  (not r.Whynot.Tracing.retained)
+                  && List.for_all
+                       (fun _ -> true)
+                       r.Whynot.Tracing.parents)
+                ot.Whynot.Tracing.rows
+            in
+            match ot.Whynot.Tracing.op_node with
+            | Nrab.Query.Table _ -> None
+            | _ -> if drops_rows then Some ot.Whynot.Tracing.op_id else None)
+          info.Lineage.trace.Whynot.Tracing.ops
+      in
+      (match List.rev filtering with
+      | [] -> []
+      | last :: _ -> [ Explanation_set.singleton info.Lineage.query last ])

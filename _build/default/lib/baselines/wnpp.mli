@@ -1,0 +1,13 @@
+(** WN++ — the lineage-based Why-Not baseline [Chapman & Jagadish, SIGMOD
+    2009] extended to nested data (Section 6.2 of the paper).
+
+    Traces successors of compatible input tuples forward through the
+    original query and reports the first picky operator.  It does not
+    re-validate compatibility at later operators, has no schema
+    alternatives, and does not check that unblocking the picky operator
+    can actually produce the missing answer — reproducing the weaknesses
+    the paper's evaluation exhibits (incomplete explanations in
+    T1/T4/Q3, a misleading join in Q10, nothing at all in
+    D2/D3/T_ASD/Q4). *)
+
+val explanations : Whynot.Question.t -> Explanation_set.t list

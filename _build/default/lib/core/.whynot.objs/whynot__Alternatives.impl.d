@@ -1,0 +1,1 @@
+lib/core/alternatives.ml: Expr Fmt Hashtbl List Logs Nested Nrab Opset Option Path Query String Typecheck Vtype

@@ -1,0 +1,1 @@
+lib/core/alternatives.mli: Nested Nrab Opset Path Query Typecheck

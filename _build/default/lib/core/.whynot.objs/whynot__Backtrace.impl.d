@@ -1,0 +1,1 @@
+lib/core/backtrace.ml: Expr List Nested Nip Nrab Option Query String Typecheck Vtype

@@ -1,0 +1,1 @@
+lib/core/backtrace.mli: Nip Nrab Query Typecheck

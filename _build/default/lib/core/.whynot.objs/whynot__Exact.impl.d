@@ -1,0 +1,1 @@
+lib/core/exact.ml: Eval Explanation List Nested Nrab Opset Query Question Relation Reparam Ted Typecheck Value Vtype

@@ -1,0 +1,1 @@
+lib/core/explanation.ml: Fmt List Nrab Opset String

@@ -1,0 +1,1 @@
+lib/core/explanation.mli: Format Nrab Opset

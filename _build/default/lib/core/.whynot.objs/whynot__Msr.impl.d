@@ -1,0 +1,1 @@
+lib/core/msr.ml: Alternatives Explanation Hashtbl List Nested Nrab Opset Option Queue Tracing Value

@@ -1,0 +1,1 @@
+lib/core/msr.mli: Explanation Hashtbl Nested Nrab Opset Tracing Value

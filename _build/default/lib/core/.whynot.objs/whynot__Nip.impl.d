@@ -1,0 +1,1 @@
+lib/core/nip.ml: Array Expr Fmt List Nested Nrab Option Queue Stdlib String Value Vtype

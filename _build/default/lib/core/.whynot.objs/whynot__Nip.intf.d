@@ -1,0 +1,1 @@
+lib/core/nip.mli: Expr Format Nested Nrab Value Vtype

@@ -1,0 +1,1 @@
+lib/core/nip_syntax.ml: Expr Fmt List Nested Nip Nrab Option Sexp String Value

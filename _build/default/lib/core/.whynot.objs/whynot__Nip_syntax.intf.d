@@ -1,0 +1,1 @@
+lib/core/nip_syntax.mli: Nip Nrab

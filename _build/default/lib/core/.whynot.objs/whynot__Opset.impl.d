@@ -1,0 +1,1 @@
+lib/core/opset.ml: Int Set

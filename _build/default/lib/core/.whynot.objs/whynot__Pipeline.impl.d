@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Alternatives Backtrace Explanation Fmt List Msr Nested Nrab Question Relation Tracing Typecheck

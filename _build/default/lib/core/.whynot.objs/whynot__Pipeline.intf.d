@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Alternatives Explanation Format Nested Nrab Question Relation Typecheck

@@ -1,0 +1,1 @@
+lib/core/question.ml: Eval Fmt List Nested Nip Nrab Query Relation Typecheck Value Vtype

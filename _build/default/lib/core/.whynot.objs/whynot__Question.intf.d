@@ -1,0 +1,1 @@
+lib/core/question.mli: Format Nested Nip Nrab Query Relation Value

@@ -1,0 +1,1 @@
+lib/core/repair.ml: Eval Explanation Fmt List Nested Nrab Opset Query Question Relation Reparam Ted Typecheck Value Vtype

@@ -1,0 +1,1 @@
+lib/core/repair.mli: Explanation Format Nrab Query Question

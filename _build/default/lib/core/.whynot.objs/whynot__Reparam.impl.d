@@ -1,0 +1,1 @@
+lib/core/reparam.ml: Agg Expr List Nested Nrab Opset Query String

@@ -1,0 +1,1 @@
+lib/core/reparam.mli: Expr Nested Nrab Opset Query

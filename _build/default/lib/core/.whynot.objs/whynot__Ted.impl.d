@@ -1,0 +1,1 @@
+lib/core/ted.ml: Array Hashtbl List Nested String Tree Value

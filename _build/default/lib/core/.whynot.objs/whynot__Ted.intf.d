@@ -1,0 +1,1 @@
+lib/core/ted.mli: Nested Tree Value

@@ -1,0 +1,1 @@
+lib/core/tracing.ml: Agg Alternatives Backtrace Engine Expr Hashtbl List Nested Nip Nrab Opset Option Query Relation Seq String Typecheck Value Vtype

@@ -1,0 +1,1 @@
+lib/core/tracing.mli: Alternatives Backtrace Expr Nested Nip Nrab Query Relation Typecheck Value

@@ -1,0 +1,52 @@
+(** Schema alternatives (Section 5.2).
+
+    Attribute alternatives are input (from the user, schema matching, or
+    schema-free query processors, as in the paper): per table, groups of
+    mutually interchangeable attribute paths.  Enumeration mirrors
+    Figure 3: every operator reference whose *source attribute* (computed
+    by a schema-level forward provenance pass) belongs to a group is a
+    choice point; the cartesian product of choices is pruned of
+    assignments that cannot be realized at the operator's input, yield an
+    ill-typed query, or change the output schema. *)
+
+open Nested
+open Nrab
+
+module Int_set = Opset.Int_set
+
+(** Each entry (table, group) is one group of interchangeable attribute
+    paths of that table. *)
+type alternatives = (string * Path.t list) list
+
+type sa = {
+  index : int;  (** 0 is the original schema alternative S₁ *)
+  query : Query.t;  (** the query with attribute substitutions applied *)
+  changed_ops : Int_set.t;
+      (** the SR prefix: operators whose parameters the SA changes *)
+  description : string;
+}
+
+(** Source attribute (table × path) of each output attribute of a query
+    that is a direct copy of input data. *)
+val origins : env:Typecheck.env -> Query.t -> (string * (string * Path.t)) list
+
+(** Attributes referenced in an operator's parameters. *)
+val referenced_attrs : Query.node -> string list
+
+type choice_point = {
+  cp_op : int;
+  cp_attr : string;  (** the attribute name referenced at that operator *)
+  cp_table : string;
+  cp_options : Path.t list;  (** the group; head = the original *)
+}
+
+val choice_points : env:Typecheck.env -> Query.t -> alternatives -> choice_point list
+
+(** Substitute attribute references of one node (exposed for tests). *)
+val subst_node : Query.node -> (string -> string) -> Query.node
+
+(** Enumerate schema alternatives, pruned and deduplicated; the original
+    assignment comes first as index 0.  [max_sas] truncates
+    deterministically. *)
+val enumerate :
+  ?max_sas:int -> env:Typecheck.env -> Query.t -> alternatives -> sa list

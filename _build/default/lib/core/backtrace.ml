@@ -1,0 +1,188 @@
+(* Schema backtracing (Section 5.1).
+
+   Starting from the missing-answer NIP t over the output schema of Q, walk
+   the query top-down and rewrite the NIP over the schema of every
+   operator's output, ending with one NIP per input table (the paper's T̄).
+   The per-operator NIPs are what the data tracing step re-validates
+   intermediate tuples against ("consistent" flags), and the NIPs at the
+   table-access operators identify compatible input tuples. *)
+
+open Nested
+open Nrab
+
+type t = {
+  op_nips : (int * Nip.t) list;     (* NIP over each operator's OUTPUT *)
+  table_nips : (string * Nip.t) list;  (* one entry per table-access operator *)
+}
+
+let op_nip (bt : t) (id : int) : Nip.t =
+  Option.value ~default:Nip.Any (List.assoc_opt id bt.op_nips)
+
+let table_nip (bt : t) (name : string) : Nip.t =
+  Option.value ~default:Nip.Any (List.assoc_opt name bt.table_nips)
+
+(* Keep only the constraints of [nip] that talk about [fields]; everything
+   else becomes unconstrained. *)
+let restrict_fields (nip : Nip.t) (fields : string list) : Nip.t =
+  match nip with
+  | Nip.Tup fs ->
+    let kept = List.filter (fun (l, _) -> List.mem l fields) fs in
+    let kept = List.filter (fun (_, p) -> not (Nip.is_trivial p)) kept in
+    if kept = [] then Nip.Any else Nip.Tup kept
+  | other -> other
+
+(* The constrained element pattern of a bag NIP, if any: for {{p, *}} or
+   {{p}} returns p; for {{?, *}} returns Any. *)
+let bag_element_pattern (p : Nip.t) : Nip.t =
+  match p with
+  | Nip.Bag (elems, _) -> (
+    match List.filter (fun e -> not (Nip.is_trivial e)) elems with
+    | e :: _ -> e
+    | [] -> Nip.Any)
+  | Nip.Any -> Nip.Any
+  | other -> other
+
+let tup_of_constraints cs =
+  let cs = List.filter (fun (_, p) -> not (Nip.is_trivial p)) cs in
+  if cs = [] then Nip.Any else Nip.Tup cs
+
+let run ~(env : Typecheck.env) (q : Query.t) (missing : Nip.t) : t =
+  let op_nips = ref [] in
+  let table_nips = ref [] in
+  let fields_of (sub : Query.t) : string list =
+    match Typecheck.infer_result env sub with
+    | Ok ty -> List.map fst (Vtype.relation_fields ty)
+    | Error _ -> []
+  in
+  (* [go op nip]: [nip] constrains the OUTPUT of [op]. *)
+  let rec go (op : Query.t) (nip : Nip.t) : unit =
+    op_nips := (op.Query.id, nip) :: !op_nips;
+    match op.Query.node, op.Query.children with
+    | Query.Table name, [] -> table_nips := (name, nip) :: !table_nips
+    | Query.Select _, [ c ] -> go c nip
+    | Query.Dedup, [ c ] -> go c nip
+    | Query.Union, [ l; r ] ->
+      go l nip;
+      go r nip
+    | Query.Diff, [ l; r ] ->
+      go l nip;
+      go r Nip.Any
+    | Query.Project cols, [ c ] ->
+      let constraints =
+        List.filter_map
+          (fun (name, e) ->
+            match e with
+            | Expr.Attr a ->
+              let p = Nip.field nip name in
+              if Nip.is_trivial p then None else Some (a, p)
+            | _ -> None
+              (* constraints on computed columns cannot be pushed through;
+                 they stay recorded at this operator's own NIP *))
+          cols
+      in
+      go c (tup_of_constraints constraints)
+    | Query.Rename pairs, [ c ] ->
+      let old_of fresh =
+        match List.find_opt (fun (b, _) -> String.equal b fresh) pairs with
+        | Some (_, a) -> a
+        | None -> fresh
+      in
+      let constraints =
+        List.map (fun (l, p) -> (old_of l, p)) (Nip.tuple_fields nip)
+      in
+      go c (tup_of_constraints constraints)
+    | (Query.Join _ | Query.Product), [ l; r ] ->
+      go l (restrict_fields nip (fields_of l));
+      go r (restrict_fields nip (fields_of r))
+    | Query.Flatten_tuple a, [ c ] ->
+      let child_fields = fields_of c in
+      let inner_constraints =
+        List.filter (fun (l, _) -> not (List.mem l child_fields))
+          (Nip.tuple_fields nip)
+      in
+      let base = restrict_fields nip child_fields in
+      let child_nip =
+        if inner_constraints = [] then base
+        else
+          let inner = tup_of_constraints inner_constraints in
+          Nip.constrain_field
+            (match base with Nip.Tup _ -> base | _ -> Nip.Tup [])
+            a inner
+      in
+      go c child_nip
+    | Query.Flatten (_, a), [ c ] ->
+      let child_fields = fields_of c in
+      let inner_constraints =
+        List.filter (fun (l, _) -> not (List.mem l child_fields))
+          (Nip.tuple_fields nip)
+      in
+      let base = restrict_fields nip child_fields in
+      let child_nip =
+        if inner_constraints = [] then base
+        else
+          let elem = tup_of_constraints inner_constraints in
+          Nip.constrain_field
+            (match base with Nip.Tup _ -> base | _ -> Nip.Tup [])
+            a
+            (Nip.Bag ([ elem ], true))
+      in
+      go c child_nip
+    | Query.Nest_tuple (pairs, c_name), [ c ] ->
+      let nested = Nip.field nip c_name in
+      let inner_constraints =
+        match nested with
+        | Nip.Tup fs ->
+          (* constraints on an output label apply to its source attribute *)
+          List.filter_map
+            (fun (l, p) ->
+              Option.map (fun (_, a) -> (a, p))
+                (List.find_opt (fun (label, _) -> String.equal label l) pairs))
+            fs
+        | _ -> []
+      in
+      let rest =
+        List.filter
+          (fun (l, _) -> not (String.equal l c_name))
+          (Nip.tuple_fields nip)
+      in
+      go c (tup_of_constraints (rest @ inner_constraints))
+    | Query.Nest_rel (pairs, c_name), [ c ] ->
+      let nested = Nip.field nip c_name in
+      let elem = bag_element_pattern nested in
+      let inner_constraints =
+        match elem with
+        | Nip.Tup fs ->
+          List.filter_map
+            (fun (l, p) ->
+              Option.map (fun (_, a) -> (a, p))
+                (List.find_opt (fun (label, _) -> String.equal label l) pairs))
+            fs
+        | _ -> []
+      in
+      let rest =
+        List.filter
+          (fun (l, _) -> not (String.equal l c_name))
+          (Nip.tuple_fields nip)
+      in
+      go c (tup_of_constraints (rest @ inner_constraints))
+    | Query.Agg_tuple (_, _, b), [ c ] ->
+      (* the aggregate-output constraint stays at this operator *)
+      let rest =
+        List.filter
+          (fun (l, _) -> not (String.equal l b))
+          (Nip.tuple_fields nip)
+      in
+      go c (tup_of_constraints rest)
+    | Query.Group_agg (group, _), [ c ] ->
+      let group_constraints =
+        List.filter_map
+          (fun (l, p) ->
+            Option.map (fun (_, a) -> (a, p))
+              (List.find_opt (fun (label, _) -> String.equal label l) group))
+          (Nip.tuple_fields nip)
+      in
+      go c (tup_of_constraints group_constraints)
+    | _ -> invalid_arg "Backtrace.run: malformed query"
+  in
+  go q missing;
+  { op_nips = !op_nips; table_nips = !table_nips }

@@ -1,0 +1,24 @@
+(** Schema backtracing (Section 5.1).
+
+    Starting from the missing-answer NIP over the output schema of Q, the
+    query is walked top-down and the NIP is rewritten over the schema of
+    every operator's output, ending in one NIP per input table (the
+    paper's T̄).  The per-operator NIPs are what data tracing re-validates
+    intermediate tuples against; the table NIPs identify compatible input
+    tuples. *)
+
+open Nrab
+
+type t = {
+  op_nips : (int * Nip.t) list;  (** NIP over each operator's output *)
+  table_nips : (string * Nip.t) list;
+      (** one entry per table-access operator *)
+}
+
+(** NIP at an operator's output; [Any] for unknown ids. *)
+val op_nip : t -> int -> Nip.t
+
+(** Compatible-tuple NIP of a table; [Any] for unknown tables. *)
+val table_nip : t -> string -> Nip.t
+
+val run : env:Typecheck.env -> Query.t -> Nip.t -> t

@@ -1,0 +1,186 @@
+(* Exact MSR computation by bounded enumeration.
+
+   The brute-force PTIME algorithm sketched in the proof of Theorem 1:
+   enumerate the (polynomially many) distinguishable reparameterizations —
+   attribute swaps, comparison-operator switches, constants drawn from the
+   active domain, join/flatten kind changes — evaluate each candidate, keep
+   the successful ones, and compute the minimal ones under the partial
+   order of Definition 9 with the tree edit distance as d.
+
+   Exponential in the number of simultaneously changed operators, so only
+   usable on small instances; it serves as ground truth for the heuristic
+   pipeline in the test suite and for the crime-dataset comparison. *)
+
+open Nested
+open Nrab
+module Int_set = Opset.Int_set
+
+type sr = { query : Query.t; changed : Int_set.t; distance : int }
+
+(* Input fields (name × type) of operator [op] inside query [q]. *)
+let input_fields env (op : Query.t) : (string * Vtype.t) list =
+  List.concat_map
+    (fun child ->
+      match Typecheck.infer_result env child with
+      | Ok ty -> Vtype.relation_fields ty
+      | Error _ -> [])
+    op.Query.children
+
+(* Active domain of attribute [a] in the input of [op]. *)
+let active_domain (db : Relation.Db.t) (op : Query.t) (a : string) :
+    Value.t list =
+  let values =
+    List.concat_map
+      (fun child ->
+        match Eval.eval db child with
+        | rel ->
+          List.filter_map
+            (fun t -> Value.field a t)
+            (Relation.distinct_tuples rel)
+        | exception _ -> [])
+      op.Query.children
+  in
+  List.sort_uniq Value.compare values
+
+(* All candidate node replacements for one operator (one or two admissible
+   changes deep). *)
+let candidates ~(depth : int) (db : Relation.Db.t) env (op : Query.t) :
+    Query.node list =
+  let fields = input_fields env op in
+  let type_of a = List.assoc_opt a fields in
+  let attr_pool a =
+    match type_of a with
+    | None -> []
+    | Some ty ->
+      List.filter_map
+        (fun (a', ty') -> if Vtype.equal ty ty' then Some a' else None)
+        fields
+  in
+  let const_pool attr_hint (v : Value.t) =
+    let domain =
+      match attr_hint with
+      | Some a -> active_domain db op a
+      | None -> []
+    in
+    let same_type v' =
+      match v, v' with
+      | Value.Int _, Value.Int _
+      | Value.Float _, Value.Float _
+      | Value.String _, Value.String _
+      | Value.Bool _, Value.Bool _ ->
+        true
+      | _ -> false
+    in
+    List.filter same_type domain
+  in
+  let step node = Reparam.node_variants ~attr_pool ~const_pool node in
+  let rec go d frontier acc =
+    if d = 0 then acc
+    else
+      let next = List.sort_uniq compare (List.concat_map step frontier) in
+      let fresh =
+        List.filter (fun n -> n <> op.Query.node && not (List.mem n acc)) next
+      in
+      go (d - 1) fresh (acc @ fresh)
+  in
+  go depth [ op.Query.node ] []
+
+(* Enumerate subsets of operators up to [max_ops] and all combinations of
+   their candidate replacements. *)
+let reparameterizations ?(max_ops = 2) ?(depth = 2) (phi : Question.t) :
+    (Query.t * Int_set.t) list =
+  let q = phi.Question.query in
+  let db = phi.Question.db in
+  let env =
+    List.map (fun (n, r) -> (n, Relation.schema r)) (Relation.Db.tables db)
+  in
+  let ops =
+    List.filter
+      (fun (op : Query.t) ->
+        match op.Query.node with
+        | Query.Table _ | Query.Product | Query.Union | Query.Diff
+        | Query.Dedup ->
+          false
+        | _ -> true)
+      (Query.operators q)
+  in
+  let per_op =
+    List.map (fun op -> (op.Query.id, candidates ~depth db env op)) ops
+  in
+  let per_op = List.filter (fun (_, cs) -> cs <> []) per_op in
+  (* subsets of changed operators *)
+  let rec subsets k = function
+    | [] -> [ [] ]
+    | _ when k = 0 -> [ [] ]
+    | x :: rest ->
+      let without = subsets k rest in
+      let with_x = List.map (fun s -> x :: s) (subsets (k - 1) rest) in
+      without @ with_x
+  in
+  let combos =
+    List.concat_map
+      (fun subset ->
+        let rec product = function
+          | [] -> [ [] ]
+          | (id, cs) :: rest ->
+            let tails = product rest in
+            List.concat_map
+              (fun c -> List.map (fun tl -> (id, c) :: tl) tails)
+              cs
+        in
+        product subset)
+      (subsets max_ops per_op)
+  in
+  List.filter_map
+    (fun rp ->
+      if rp = [] then None
+      else
+        let q' = Reparam.apply q rp in
+        if Typecheck.well_typed env q' then
+          Some (q', Int_set.of_list (List.map fst rp))
+        else None)
+    combos
+
+(* Successful reparameterizations (Definition 8) with their tree edit
+   distance side effects. *)
+let successful ?max_ops ?depth (phi : Question.t) : sr list =
+  let original = Question.original_result phi in
+  let original_data = Relation.data original in
+  List.filter_map
+    (fun (q', changed) ->
+      match Question.is_successful phi q' with
+      | true ->
+        let result = Eval.eval phi.Question.db q' in
+        let distance = Ted.distance original_data (Relation.data result) in
+        Some { query = q'; changed; distance }
+      | false -> None
+      | exception _ -> None)
+    (reparameterizations ?max_ops ?depth phi)
+
+(* MSRs: SRs minimal w.r.t. the partial order (Definition 9). *)
+let msrs ?max_ops ?depth (phi : Question.t) : sr list =
+  let srs = successful ?max_ops ?depth phi in
+  let leq (a : sr) (b : sr) =
+    Int_set.subset a.changed b.changed && a.distance <= b.distance
+  in
+  let strictly_less a b = leq a b && not (leq b a) in
+  List.filter (fun s -> not (List.exists (fun s' -> strictly_less s' s) srs)) srs
+
+(* Explanations: the distinct Δ sets of the MSRs (Definition 10). *)
+let explanations ?max_ops ?depth (phi : Question.t) : Explanation.t list =
+  let ms = msrs ?max_ops ?depth phi in
+  let sets =
+    List.fold_left
+      (fun acc (s : sr) ->
+        match
+          List.find_opt (fun (set, _) -> Int_set.equal set s.changed) acc
+        with
+        | Some (_, d) when d <= s.distance -> acc
+        | Some _ ->
+          (s.changed, s.distance)
+          :: List.filter (fun (set, _) -> not (Int_set.equal set s.changed)) acc
+        | None -> (s.changed, s.distance) :: acc)
+      [] ms
+  in
+  Explanation.rank
+    (List.map (fun (set, d) -> Explanation.make ~lb:d ~ub:d set) sets)

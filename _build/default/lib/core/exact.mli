@@ -1,0 +1,35 @@
+(** Exact MSR computation by bounded enumeration — the brute-force PTIME
+    algorithm sketched in the proof of Theorem 1.
+
+    Candidate reparameterizations are enumerated per operator (attribute
+    swaps, comparison-operator switches, constants from the active domain,
+    join/flatten kind changes), combined over operator subsets, evaluated,
+    and minimized under the partial order of Definition 9 with the tree
+    edit distance as side-effect measure.
+
+    Exponential in the number of simultaneously changed operators
+    ([max_ops]) — use on small instances only.  Serves as ground truth
+    for the heuristic pipeline in the test suite and for the
+    crime-dataset comparison. *)
+
+open Nrab
+
+module Int_set = Opset.Int_set
+
+(** A successful reparameterization: the repaired query, the changed
+    operators Δ(Q, Q'), and the exact tree-edit-distance side effects. *)
+type sr = { query : Query.t; changed : Int_set.t; distance : int }
+
+(** All candidate reparameterizations touching at most [max_ops]
+    operators with up to [depth] admissible changes each. *)
+val reparameterizations :
+  ?max_ops:int -> ?depth:int -> Question.t -> (Query.t * Int_set.t) list
+
+(** The successful ones (Definition 8). *)
+val successful : ?max_ops:int -> ?depth:int -> Question.t -> sr list
+
+(** The minimal ones (Definition 9). *)
+val msrs : ?max_ops:int -> ?depth:int -> Question.t -> sr list
+
+(** The explanations: distinct Δ sets of the MSRs (Definition 10), ranked. *)
+val explanations : ?max_ops:int -> ?depth:int -> Question.t -> Explanation.t list

@@ -1,0 +1,88 @@
+(* Explanations (Definition 10) and the partial order of Definition 9.
+
+   The heuristic algorithm knows side effects only up to the lower/upper
+   bounds of Section 5.4, so explanations carry an interval; the exact
+   search (Exact) produces degenerate intervals [d, d] with the true tree
+   edit distance. *)
+
+module Int_set = Opset.Int_set
+
+type t = {
+  ops : Int_set.t;         (* Δ(Q, Q') — operator ids to reparameterize *)
+  side_effect_lb : int;
+  side_effect_ub : int;
+  sa : int;                (* index of the schema alternative; 0 = original *)
+}
+
+let make ?(sa = 0) ~lb ~ub ops =
+  { ops; side_effect_lb = lb; side_effect_ub = ub; sa }
+
+let ops e = e.ops
+let op_list e = Int_set.elements e.ops
+
+(* Definitive dominance given only bounds: e' dominates e when it changes a
+   strict subset of e's operators and its worst-case side effects do not
+   exceed e's best case. *)
+let dominates (e' : t) (e : t) : bool =
+  Int_set.subset e'.ops e.ops
+  && (not (Int_set.equal e'.ops e.ops))
+  && e'.side_effect_ub <= e.side_effect_lb
+
+let prune_dominated (es : t list) : t list =
+  (* also merge duplicates (same op set, same SA origin kept smallest) *)
+  let dedup =
+    List.fold_left
+      (fun acc e ->
+        match List.find_opt (fun e' -> Int_set.equal e'.ops e.ops) acc with
+        | Some e' ->
+          let merged =
+            {
+              e' with
+              side_effect_lb = min e.side_effect_lb e'.side_effect_lb;
+              side_effect_ub = min e.side_effect_ub e'.side_effect_ub;
+              sa = min e.sa e'.sa;
+            }
+          in
+          merged :: List.filter (fun x -> not (Int_set.equal x.ops e.ops)) acc
+        | None -> e :: acc)
+      [] es
+  in
+  List.filter
+    (fun e -> not (List.exists (fun e' -> dominates e' e) dedup))
+    (List.rev dedup)
+
+(* Linearization of the partial order for presentation: fewer operators
+   first, then smaller side-effect upper bound, then original schema
+   alternative first. *)
+let rank (es : t list) : t list =
+  List.sort
+    (fun a b ->
+      let c = compare (Int_set.cardinal a.ops) (Int_set.cardinal b.ops) in
+      if c <> 0 then c
+      else
+        let c = compare a.side_effect_ub b.side_effect_ub in
+        if c <> 0 then c
+        else
+          let c = compare a.sa b.sa in
+          if c <> 0 then c
+          else compare (Int_set.elements a.ops) (Int_set.elements b.ops))
+    es
+
+(* Render an explanation with the operator symbols of the query, in the
+   paper's {σ^2, F^5} style. *)
+let pp_with_query (q : Nrab.Query.t) ppf (e : t) =
+  let symbol id =
+    match Nrab.Query.find_op q id with
+    | Some op -> Fmt.str "%s^%d" (Nrab.Query.op_symbol op.Nrab.Query.node) id
+    | None -> Fmt.str "op^%d" id
+  in
+  Fmt.pf ppf "{%s}" (String.concat ", " (List.map symbol (op_list e)))
+
+let to_string_with_query q e = Fmt.str "%a" (pp_with_query q) e
+
+let pp ppf e =
+  Fmt.pf ppf "{%a} (side effects in [%d, %d], SA %d)"
+    (Fmt.list ~sep:(Fmt.any ", ") Fmt.int)
+    (op_list e) e.side_effect_lb e.side_effect_ub e.sa
+
+let equal_ops a b = Int_set.equal a.ops b.ops

@@ -1,0 +1,40 @@
+(** Explanations (Definition 10) under the partial order of Definition 9.
+
+    The heuristic algorithm knows side effects only up to the lower/upper
+    bounds of Section 5.4, so explanations carry an interval; the exact
+    search produces degenerate intervals [[d, d]] with the true tree edit
+    distance. *)
+
+module Int_set = Opset.Int_set
+
+type t = {
+  ops : Int_set.t;  (** Δ(Q, Q') — the operators to reparameterize *)
+  side_effect_lb : int;
+  side_effect_ub : int;
+  sa : int;  (** index of the originating schema alternative; 0 = original *)
+}
+
+val make : ?sa:int -> lb:int -> ub:int -> Int_set.t -> t
+val ops : t -> Int_set.t
+val op_list : t -> int list
+
+(** Definitive dominance given only bounds: [e'] dominates [e] when it
+    changes a strict subset of [e]'s operators and its worst-case side
+    effects do not exceed [e]'s best case (so [e] cannot be an MSR). *)
+val dominates : t -> t -> bool
+
+(** Merge duplicates and drop dominated explanations. *)
+val prune_dominated : t list -> t list
+
+(** Linearization of the partial order for presentation: fewer operators
+    first, then smaller side-effect upper bound, then the original schema
+    alternative first. *)
+val rank : t list -> t list
+
+(** Render in the paper's [{σ^2, F^5}] style, resolving operator symbols
+    against the query. *)
+val pp_with_query : Nrab.Query.t -> Format.formatter -> t -> unit
+
+val to_string_with_query : Nrab.Query.t -> t -> string
+val pp : Format.formatter -> t -> unit
+val equal_ops : t -> t -> bool

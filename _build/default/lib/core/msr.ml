@@ -1,0 +1,307 @@
+(* Approximate MSR computation (Section 5.4, Algorithm 4).
+
+   Algorithm 4 walks the operators top-down and extends partial SRs with
+   every operator op_j whose trace contains a tuple that is valid,
+   consistent, NOT retained, and in the lineage of a consistent output
+   tuple.  We compute the same SR sets per derivation instead of per
+   existential check: for every consistent row of the root trace, the
+   *failure sets* of its derivations — the sets of operators at which an
+   ancestor row has retained = false — are exactly the operator sets that
+   must be reparameterized for that row to materialize.  The SR prefix
+   imposed by the schema alternative is then added, side-effect bounds are
+   estimated as in Section 5.4, and explanations are pruned and ranked
+   under the partial order of Definition 9. *)
+
+open Nested
+module Int_set = Opset.Int_set
+module Set_set = Opset.Set_set
+
+(* Cap on alternative failure sets tracked per row; beyond it the smallest
+   sets are kept (they lead to the minimal explanations). *)
+let max_alternatives = 64
+
+let cap_sets (sets : Set_set.t) : Set_set.t =
+  if Set_set.cardinal sets <= max_alternatives then sets
+  else
+    let sorted =
+      List.sort
+        (fun a b -> compare (Int_set.cardinal a) (Int_set.cardinal b))
+        (Set_set.elements sets)
+    in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    Set_set.of_list (take max_alternatives sorted)
+
+(* All alternative failure sets of a row's derivations. *)
+let failure_sets (tr : Tracing.t) : int -> Set_set.t =
+  (* index rows *)
+  let row_of = Hashtbl.create 256 in
+  List.iter
+    (fun (ot : Tracing.op_trace) ->
+      List.iter
+        (fun (r : Tracing.trow) -> Hashtbl.replace row_of r.Tracing.rid (r, ot))
+        ot.Tracing.rows)
+    tr.Tracing.ops;
+  let memo = Hashtbl.create 256 in
+  (* Parameter-free operators (Table 2) cannot be reparameterized; a row
+     they fail to retain has no derivation under any reparameterization
+     (its failure-set is the empty set of alternatives, ⊥). *)
+  let reparameterizable (node : Nrab.Query.node) =
+    match node with
+    | Nrab.Query.Table _ | Nrab.Query.Union | Nrab.Query.Diff
+    | Nrab.Query.Dedup | Nrab.Query.Product ->
+      false
+    | _ -> true
+  in
+  let rec fs (rid : int) : Set_set.t =
+    match Hashtbl.find_opt memo rid with
+    | Some s -> s
+    | None ->
+      Hashtbl.replace memo rid (Set_set.singleton Int_set.empty)
+      (* cycle guard; traces are acyclic so this is never observed *);
+      let result =
+        match Hashtbl.find_opt row_of rid with
+        | None -> Set_set.singleton Int_set.empty
+        | Some (row, ot)
+          when (not row.Tracing.retained)
+               && not (reparameterizable ot.Tracing.op_node) ->
+          Set_set.empty
+        | Some (row, ot) ->
+          let own =
+            if row.Tracing.retained then Int_set.empty
+            else Int_set.singleton ot.Tracing.op_id
+          in
+          let combine_parents (parents : int list) : Set_set.t =
+            (* cross-product union over parents (joins have two) *)
+            List.fold_left
+              (fun acc pid ->
+                let psets = fs pid in
+                cap_sets
+                  (Set_set.fold
+                     (fun a acc' ->
+                       Set_set.fold
+                         (fun b acc'' -> Set_set.add (Int_set.union a b) acc'')
+                         psets acc')
+                     acc Set_set.empty))
+              (Set_set.singleton Int_set.empty)
+              parents
+          in
+          let base =
+            match ot.Tracing.op_node with
+            | Nrab.Query.Nest_rel _ | Nrab.Query.Group_agg _
+            | Nrab.Query.Dedup | Nrab.Query.Agg_tuple _ ->
+              (* group-style operators: each (preferably consistent) member
+                 derivation is an alternative way to influence the row *)
+              let members =
+                List.filter_map
+                  (fun pid ->
+                    Option.map
+                      (fun (m, _) -> (pid, m))
+                      (Hashtbl.find_opt row_of pid))
+                  row.Tracing.parents
+              in
+              let preferred =
+                match
+                  List.filter (fun (_, m) -> m.Tracing.consistent) members
+                with
+                | [] -> members
+                | cs -> cs
+              in
+              let alternatives =
+                List.fold_left
+                  (fun acc (pid, _) -> Set_set.union acc (fs pid))
+                  Set_set.empty preferred
+              in
+              (* all member derivations dead ⇒ this row is dead too,
+                 unless it genuinely has no parents *)
+              if Set_set.is_empty alternatives then
+                if row.Tracing.parents = [] then Set_set.singleton Int_set.empty
+                else Set_set.empty
+              else cap_sets alternatives
+            | _ -> combine_parents row.Tracing.parents
+          in
+          cap_sets (Set_set.map (fun s -> Int_set.union s own) base)
+      in
+      Hashtbl.replace memo rid result;
+      result
+  in
+  fs
+
+(* Root rows that are consistent — the candidate missing answers. *)
+let consistent_roots (tr : Tracing.t) : Tracing.trow list =
+  List.filter (fun (r : Tracing.trow) -> r.Tracing.consistent) (Tracing.root_rows tr)
+
+(* --- Side-effect bounds (Section 5.4) ----------------------------------- *)
+
+type bounds_input = {
+  original_result : Value.t list;  (* tuples of ⟦Q⟧_D, expanded *)
+}
+
+let contains_filtering_op (q : Nrab.Query.t) (ops : Int_set.t) : bool =
+  Int_set.exists
+    (fun id ->
+      match Nrab.Query.find_op q id with
+      | Some op -> (
+        match op.Nrab.Query.node with
+        | Nrab.Query.Select _ | Nrab.Query.Join _ -> true
+        | _ -> false)
+      | None -> false)
+    ops
+
+let bounds ~(bi : bounds_input) ~(q : Nrab.Query.t) (tr : Tracing.t)
+    (fs : int -> Set_set.t) (expl_ops : Int_set.t) : int * int =
+  let roots = Tracing.root_rows tr in
+  let original_count = List.length bi.original_result in
+  let in_original data = List.exists (Value.equal data) bi.original_result in
+  let n_surviving_matching =
+    List.length
+      (List.filter
+         (fun (r : Tracing.trow) -> r.Tracing.surviving && in_original r.Tracing.data)
+         roots)
+  in
+  let n_surviving =
+    List.length (List.filter (fun (r : Tracing.trow) -> r.Tracing.surviving) roots)
+  in
+  (* UB(Δ+): rows that may newly appear when the explanation's operators
+     are reparameterized *)
+  let ub_plus =
+    List.length
+      (List.filter
+         (fun (r : Tracing.trow) ->
+           (not r.Tracing.surviving)
+           && Set_set.exists
+                (fun s -> Int_set.subset s expl_ops)
+                (fs r.Tracing.rid))
+         roots)
+  in
+  (* UB(Δ−): original tuples whose presence is not witnessed unchanged *)
+  let ub_minus = max 0 (original_count - n_surviving_matching) in
+  let lb =
+    if contains_filtering_op q expl_ops then 0
+    else
+      max 0 (n_surviving - original_count) + max 0 (original_count - n_surviving_matching)
+  in
+  (lb, ub_plus + ub_minus)
+
+(* --- Literal Algorithm 4 (queue-based) ----------------------------------
+
+   The paper's pseudocode walks the linearized operator list top-down with
+   a queue of partial SRs and *existential* per-operator conditions.  The
+   failure-set computation above refines these conditions per derivation;
+   Algorithm 4's candidate sets are a superset of the failure-set ones
+   (tested), at the price of more false candidates when different rows
+   witness the extend/skip conditions. *)
+
+(* Rows (by rid) that contribute to a consistent root row — the "lineage
+   of a consistent output tuple" of Algorithm 4, computed as the ancestor
+   closure over parent edges. *)
+let contributing (tr : Tracing.t) : (int, unit) Hashtbl.t =
+  let row_of = Hashtbl.create 256 in
+  List.iter
+    (fun (ot : Tracing.op_trace) ->
+      List.iter
+        (fun (r : Tracing.trow) -> Hashtbl.replace row_of r.Tracing.rid r)
+        ot.Tracing.rows)
+    tr.Tracing.ops;
+  let marked = Hashtbl.create 256 in
+  let rec mark rid =
+    if not (Hashtbl.mem marked rid) then begin
+      Hashtbl.replace marked rid ();
+      match Hashtbl.find_opt row_of rid with
+      | Some r -> List.iter mark r.Tracing.parents
+      | None -> ()
+    end
+  in
+  List.iter (fun (r : Tracing.trow) -> mark r.Tracing.rid) (consistent_roots tr);
+  marked
+
+let algorithm4 (tr : Tracing.t) : Set_set.t =
+  let contrib = contributing tr in
+  let prefix = tr.Tracing.sa.Alternatives.changed_ops in
+  (* linearized operator list, root first (top-down) *)
+  let ops = List.rev tr.Tracing.ops in
+  let conditions (ot : Tracing.op_trace) =
+    let rows =
+      List.filter
+        (fun (r : Tracing.trow) -> Hashtbl.mem contrib r.Tracing.rid)
+        ot.Tracing.rows
+    in
+    let extend =
+      List.exists
+        (fun (r : Tracing.trow) ->
+          r.Tracing.consistent && not r.Tracing.retained)
+        rows
+    in
+    let skip =
+      List.exists
+        (fun (r : Tracing.trow) -> r.Tracing.consistent && r.Tracing.retained)
+        rows
+    in
+    (extend, skip)
+  in
+  let reparameterizable (ot : Tracing.op_trace) =
+    match ot.Tracing.op_node with
+    | Nrab.Query.Table _ | Nrab.Query.Dedup | Nrab.Query.Union
+    | Nrab.Query.Diff | Nrab.Query.Product ->
+      false
+    | _ -> true
+  in
+  let results = ref Set_set.empty in
+  let add sr = if not (Int_set.is_empty sr) then results := Set_set.add sr !results in
+  (* queue elements: remaining operator list × current partial SR *)
+  let queue = Queue.create () in
+  Queue.add (ops, prefix) queue;
+  (* visited guard: (number of remaining ops, SR) *)
+  let seen = Hashtbl.create 64 in
+  while not (Queue.is_empty queue) do
+    match Queue.pop queue with
+    | [], sr -> add sr
+    | ot :: rest, sr ->
+      let key = (List.length rest, Int_set.elements sr) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        let extend, skip = conditions ot in
+        let extend = extend && reparameterizable ot in
+        if extend then begin
+          let extended = Int_set.add ot.Tracing.op_id sr in
+          add extended;
+          Queue.add (rest, extended) queue
+        end;
+        if skip then begin
+          add sr;
+          Queue.add (rest, sr) queue
+        end;
+        if (not extend) && not skip then
+          (* no consistent contributing tuple at this operator at all:
+             continue with the unchanged SR (nothing to decide here) *)
+          Queue.add (rest, sr) queue
+      end
+  done;
+  !results
+
+(* --- Explanation assembly ------------------------------------------------ *)
+
+(* Explanations contributed by one schema alternative's trace. *)
+let from_trace ~(bi : bounds_input) ~(q : Nrab.Query.t) (tr : Tracing.t) :
+    Explanation.t list =
+  let fs = failure_sets tr in
+  let prefix = tr.Tracing.sa.Alternatives.changed_ops in
+  let sa_index = tr.Tracing.sa.Alternatives.index in
+  let candidate_sets =
+    List.fold_left
+      (fun acc (r : Tracing.trow) ->
+        Set_set.fold
+          (fun s acc -> Set_set.add (Int_set.union prefix s) acc)
+          (fs r.Tracing.rid) acc)
+      Set_set.empty (consistent_roots tr)
+  in
+  (* the empty set would mean the answer is not missing at all *)
+  let candidate_sets = Set_set.remove Int_set.empty candidate_sets in
+  List.map
+    (fun ops ->
+      let lb, ub = bounds ~bi ~q tr fs ops in
+      Explanation.make ~sa:sa_index ~lb ~ub ops)
+    (Set_set.elements candidate_sets)

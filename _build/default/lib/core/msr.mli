@@ -1,0 +1,56 @@
+(** Approximate MSR computation (Section 5.4, Algorithm 4).
+
+    Algorithm 4's per-operator conditions — a tuple that is valid,
+    consistent, NOT retained, and in the lineage of a consistent output
+    tuple forces the operator into the partial SR — are computed here per
+    derivation: the *failure sets* of a consistent root row's derivations
+    are exactly the operator sets that must be reparameterized for that
+    row to materialize.  The schema alternative's SR prefix is added,
+    side-effect bounds are estimated as in Section 5.4, and explanations
+    are pruned and ranked under the partial order of Definition 9. *)
+
+open Nested
+
+module Int_set = Opset.Int_set
+module Set_set = Opset.Set_set
+
+(** Cap on alternative failure sets tracked per row (smallest kept). *)
+val max_alternatives : int
+
+(** Memoized failure-set computation over a trace's lineage DAG.  For
+    grouping operators, each (preferably consistent) member derivation is
+    an alternative way to influence the group's row. *)
+val failure_sets : Tracing.t -> int -> Set_set.t
+
+(** Root rows matching the why-not question under the relaxation. *)
+val consistent_roots : Tracing.t -> Tracing.trow list
+
+(* --- the literal Algorithm 4 --- *)
+
+(** Rows contributing to a consistent root row (the "lineage of a
+    consistent output tuple"), as an ancestor closure. *)
+val contributing : Tracing.t -> (int, unit) Hashtbl.t
+
+(** The paper's queue-based Algorithm 4, computing candidate SR operator
+    sets with existential per-operator conditions.  Coarser than
+    {!failure_sets} (its results are a superset); provided for fidelity
+    and comparison. *)
+val algorithm4 : Tracing.t -> Set_set.t
+
+type bounds_input = {
+  original_result : Value.t list;  (** tuples of ⟦Q⟧_D, expanded *)
+}
+
+(** Side-effect bounds (LB, UB) of one explanation per Section 5.4; LB is
+    0 for explanations containing selections or joins. *)
+val bounds :
+  bi:bounds_input ->
+  q:Nrab.Query.t ->
+  Tracing.t ->
+  (int -> Set_set.t) ->
+  Int_set.t ->
+  int * int
+
+(** Explanations contributed by one schema alternative's trace (not yet
+    pruned/ranked across SAs). *)
+val from_trace : bi:bounds_input -> q:Nrab.Query.t -> Tracing.t -> Explanation.t list

@@ -1,0 +1,232 @@
+(* Nested instances with placeholders (Definition 3) and NIP matching
+   (Definition 4).
+
+   A NIP stands for a set of missing answers: [Any] is the instance
+   placeholder ?, and a bag pattern may carry the multiplicity placeholder *
+   that absorbs any number of further elements.  We additionally support
+   primitive *predicate* placeholders (e.g. [> 0.45]); the paper's TPC-H
+   why-not questions use such constraints (⟨avgDisc :> 0.45, ?⟩), and they
+   are a conservative extension of Definition 3. *)
+
+open Nested
+open Nrab
+
+type t =
+  | Any                       (* the instance placeholder ? *)
+  | Prim of Value.t           (* a concrete value (condition 2 of Def. 4) *)
+  | Pred of Expr.cmp * Value.t  (* a primitive satisfying [v cmp const] *)
+  | Tup of (string * t) list
+  | Bag of t list * bool      (* element patterns; [true] iff * is present *)
+
+let any = Any
+let v x = Prim x
+let str s = Prim (Value.String s)
+let int i = Prim (Value.Int i)
+let flt f = Prim (Value.Float f)
+let pred c x = Pred (c, x)
+let tup fields = Tup fields
+let bag ?(star = false) elems = Bag (elems, star)
+
+(* {{?, *}} — at least one element, anything else allowed. *)
+let some_element = Bag ([ Any ], true)
+
+let rec pp ppf (p : t) =
+  match p with
+  | Any -> Fmt.string ppf "?"
+  | Prim x -> Value.pp ppf x
+  | Pred (c, x) -> Fmt.pf ppf "%a %a" Expr.pp_cmp c Value.pp x
+  | Tup fields ->
+    Fmt.pf ppf "⟨%a⟩"
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (l, p) ->
+           Fmt.pf ppf "%s: %a" l pp p))
+      fields
+  | Bag (elems, star) ->
+    Fmt.pf ppf "{{%a%s}}"
+      (Fmt.list ~sep:(Fmt.any ", ") pp)
+      elems
+      (if star then (if elems = [] then "*" else ", *") else "")
+
+let to_string p = Fmt.str "%a" pp p
+
+(* --- Matching ---------------------------------------------------------- *)
+
+(* Bipartite feasibility for bag matching (condition 4 of Definition 4):
+   pattern slots have exact demands (their multiplicities in the pattern),
+   instance elements have exact supplies, * absorbs leftovers.  We check
+   feasibility with a small max-flow from pattern slots to instance
+   elements: the assignment M exists iff the pattern demands can be fully
+   routed and (when * is absent) no supply is left over. *)
+
+let max_flow ~(sources : int array) (* demand per pattern slot *)
+    ~(sinks : int array) (* supply per instance element *)
+    ~(edge : int -> int -> bool) : int =
+  let np = Array.length sources and ni = Array.length sinks in
+  (* capacity matrices as residual graph: node 0 = source, 1..np patterns,
+     np+1..np+ni instances, np+ni+1 sink *)
+  let nn = np + ni + 2 in
+  let s = 0 and t = nn - 1 in
+  let cap = Array.make_matrix nn nn 0 in
+  Array.iteri (fun j d -> cap.(s).(j + 1) <- d) sources;
+  Array.iteri (fun i m -> cap.(np + 1 + i).(t) <- m) sinks;
+  for j = 0 to np - 1 do
+    for i = 0 to ni - 1 do
+      if edge j i then cap.(j + 1).(np + 1 + i) <- max_int / 2
+    done
+  done;
+  let total = ref 0 in
+  let rec augment () =
+    (* BFS for an augmenting path *)
+    let prev = Array.make nn (-1) in
+    prev.(s) <- s;
+    let queue = Queue.create () in
+    Queue.add s queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      for w = 0 to nn - 1 do
+        if prev.(w) < 0 && cap.(u).(w) > 0 then begin
+          prev.(w) <- u;
+          if w = t then found := true else Queue.add w queue
+        end
+      done
+    done;
+    if !found then begin
+      (* find bottleneck *)
+      let rec bottleneck w acc =
+        if w = s then acc
+        else bottleneck prev.(w) (min acc cap.(prev.(w)).(w))
+      in
+      let b = bottleneck t max_int in
+      let rec push w =
+        if w <> s then begin
+          cap.(prev.(w)).(w) <- cap.(prev.(w)).(w) - b;
+          cap.(w).(prev.(w)) <- cap.(w).(prev.(w)) + b;
+          push prev.(w)
+        end
+      in
+      push t;
+      total := !total + b;
+      augment ()
+    end
+  in
+  augment ();
+  !total
+
+let rec matches (value : Value.t) (pattern : t) : bool =
+  match pattern, value with
+  | Any, _ -> true
+  | Prim x, _ -> Value.equal value x
+  | Pred (c, x), _ -> Expr.eval_cmp c value x
+  | Tup fields, Value.Tuple _ ->
+    (* every constrained field must exist and match; fields of the value
+       not mentioned in the pattern are unconstrained *)
+    List.for_all
+      (fun (l, p) ->
+        match Value.field l value with
+        | Some fv -> matches fv p
+        | None -> false)
+      fields
+  | Tup _, _ -> false
+  | Bag (patterns, star), Value.Bag es -> matches_bag es patterns star
+  | Bag ([], _), Value.Null -> true  (* ⊥ as the empty relation *)
+  | Bag (_, _), Value.Null -> false
+  | Bag (_, _), _ -> false
+
+and matches_bag (es : (Value.t * int) list) (patterns : t list) (star : bool) :
+    bool =
+  (* Group identical patterns to obtain their multiplicities. *)
+  let slots =
+    let rec group acc = function
+      | [] -> List.rev acc
+      | p :: rest ->
+        let same, different =
+          List.partition (fun q -> Stdlib.compare p q = 0) rest
+        in
+        group ((p, 1 + List.length same) :: acc) different
+    in
+    group [] patterns
+  in
+  let demands = Array.of_list (List.map snd slots) in
+  let supplies = Array.of_list (List.map snd es) in
+  let pats = Array.of_list (List.map fst slots) in
+  let vals = Array.of_list (List.map fst es) in
+  let edge j i = matches vals.(i) pats.(j) in
+  let flow = max_flow ~sources:demands ~sinks:supplies ~edge in
+  let demand_total = Array.fold_left ( + ) 0 demands in
+  let supply_total = Array.fold_left ( + ) 0 supplies in
+  flow = demand_total && (star || demand_total = supply_total)
+
+(* --- Manipulation helpers used by schema backtracing ------------------- *)
+
+(* Constrain a (possibly absent) field of a tuple pattern. *)
+let constrain_field (p : t) (label : string) (c : t) : t =
+  match p with
+  | Tup fields ->
+    if List.mem_assoc label fields then
+      Tup
+        (List.map
+           (fun (l, old) -> if String.equal l label then (l, c) else (l, old))
+           fields)
+    else Tup (fields @ [ (label, c) ])
+  | Any -> Tup [ (label, c) ]
+  | _ -> invalid_arg "Nip.constrain_field: not a tuple pattern"
+
+let field (p : t) (label : string) : t =
+  match p with
+  | Tup fields -> Option.value ~default:Any (List.assoc_opt label fields)
+  | _ -> Any
+
+let tuple_fields (p : t) : (string * t) list =
+  match p with Tup fields -> fields | _ -> []
+
+(* --- Well-formedness against a type (Definition 3) --------------------- *)
+
+(* Is [p] a NIP of type [ty]?  Field constraints must name existing
+   fields with matching types; Pred placeholders must sit on comparable
+   primitive types; * only occurs inside bag patterns (enforced by the
+   representation). *)
+let rec check (ty : Vtype.t) (p : t) : (unit, string) result =
+  let open Vtype in
+  match p, ty with
+  | Any, _ -> Ok ()
+  | Prim v, _ ->
+    if Vtype.has_type v ty then Ok ()
+    else Error (Fmt.str "constant %a is not of type %a" Value.pp v Vtype.pp ty)
+  | Pred (_, v), (TInt | TFloat) -> (
+    match v with
+    | Value.Int _ | Value.Float _ -> Ok ()
+    | _ -> Error (Fmt.str "predicate constant %a is not numeric" Value.pp v))
+  | Pred (_, v), _ ->
+    if Vtype.has_type v ty then Ok ()
+    else
+      Error
+        (Fmt.str "predicate constant %a does not match type %a" Value.pp v
+           Vtype.pp ty)
+  | Tup fields, TTuple field_types ->
+    List.fold_left
+      (fun acc (label, fp) ->
+        match acc with
+        | Error _ as e -> e
+        | Ok () -> (
+          match List.assoc_opt label field_types with
+          | None -> Error (Fmt.str "pattern field %s does not exist" label)
+          | Some fty -> (
+            match check fty fp with
+            | Ok () -> Ok ()
+            | Error msg -> Error (Fmt.str "%s: %s" label msg))))
+      (Ok ()) fields
+  | Tup _, _ -> Error (Fmt.str "tuple pattern against type %a" Vtype.pp ty)
+  | Bag (elements, _), TBag ety ->
+    List.fold_left
+      (fun acc ep ->
+        match acc with Error _ as e -> e | Ok () -> check ety ep)
+      (Ok ()) elements
+  | Bag _, _ -> Error (Fmt.str "bag pattern against type %a" Vtype.pp ty)
+
+(* Is this pattern unconstrained (matches any instance of its type)? *)
+let rec is_trivial (p : t) : bool =
+  match p with
+  | Any -> true
+  | Prim _ | Pred _ -> false
+  | Tup fields -> List.for_all (fun (_, q) -> is_trivial q) fields
+  | Bag (elems, star) -> star && List.for_all is_trivial elems

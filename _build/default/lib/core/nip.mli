@@ -1,0 +1,64 @@
+(** Nested instances with placeholders — NIPs (Definition 3) — and NIP
+    matching (Definition 4).
+
+    A NIP stands for a *set* of missing answers: {!Any} is the instance
+    placeholder [?], and a bag pattern may carry the multiplicity
+    placeholder [*] absorbing any number of further elements.
+    Additionally, primitive {!Pred} placeholders ([> 0.45]) support the
+    aggregate constraints of the paper's TPC-H why-not questions — a
+    conservative extension of Definition 3. *)
+
+open Nested
+open Nrab
+
+type t =
+  | Any  (** the instance placeholder ? *)
+  | Prim of Value.t  (** a concrete value (condition 2 of Definition 4) *)
+  | Pred of Expr.cmp * Value.t  (** a primitive satisfying [v cmp const] *)
+  | Tup of (string * t) list
+      (** field constraints; unmentioned fields are unconstrained *)
+  | Bag of t list * bool  (** element patterns; [true] iff [*] is present *)
+
+(** {1 Constructors} *)
+
+val any : t
+val v : Value.t -> t
+val str : string -> t
+val int : int -> t
+val flt : float -> t
+val pred : Expr.cmp -> Value.t -> t
+val tup : (string * t) list -> t
+val bag : ?star:bool -> t list -> t
+
+(** [{{?, *}}] — at least one element, anything else allowed. *)
+val some_element : t
+
+(** {1 Matching} *)
+
+(** [matches v p]: does instance [v] match NIP [p] (Definition 4)?  Bag
+    matching solves the multiplicity assignment M exactly, with a small
+    max-flow over (distinct element, pattern slot) pairs. *)
+val matches : Value.t -> t -> bool
+
+(** {1 Manipulation (used by schema backtracing)} *)
+
+(** Constrain (or add) a field of a tuple pattern. *)
+val constrain_field : t -> string -> t -> t
+
+(** Field constraint of a tuple pattern; [Any] when absent. *)
+val field : t -> string -> t
+
+val tuple_fields : t -> (string * t) list
+
+(** Well-formedness against a type (Definition 3: "a NIP of type τ"):
+    constrained fields must exist with matching types, predicate
+    placeholders must sit on comparable primitives. *)
+val check : Vtype.t -> t -> (unit, string) result
+
+(** Does the pattern match every instance of its type? *)
+val is_trivial : t -> bool
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

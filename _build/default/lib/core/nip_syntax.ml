@@ -1,0 +1,98 @@
+(* Surface syntax for why-not patterns (NIPs), e.g. the running example's
+   question reads:  ⟨tuple ⟨city (str NY)⟩ ⟨nList (bag ? star)⟩⟩ with the
+   usual parentheses.
+
+   Grammar:
+     nip    := ?                       instance placeholder
+             | 123 | 1.5               primitive constants
+             | (str TEXT)              string constant
+             | (null)                  the null value
+             | (CMP CONST)             predicate placeholder, CMP one of = != < <= > >=
+             | (tuple (NAME nip) ...)  field constraints
+             | (bag nip ... star?)     element patterns; a trailing "*" atom
+                                       is the multiplicity placeholder      *)
+
+open Nested
+open Nrab
+
+exception Parse_error = Sexp.Parse_error
+
+let fail = Sexp.fail
+
+let const_of_atom (a : string) : Value.t =
+  match int_of_string_opt a with
+  | Some i -> Value.Int i
+  | None -> (
+    match float_of_string_opt a with
+    | Some f when String.contains a '.' -> Value.Float f
+    | _ -> (
+      match a with
+      | "true" -> Value.Bool true
+      | "false" -> Value.Bool false
+      | s -> Value.String s))
+
+let cmp_of_string = function
+  | "=" -> Some Expr.Eq
+  | "!=" -> Some Expr.Neq
+  | "<" -> Some Expr.Lt
+  | "<=" -> Some Expr.Le
+  | ">" -> Some Expr.Gt
+  | ">=" -> Some Expr.Ge
+  | _ -> None
+
+let rec of_sexp (s : Sexp.t) : Nip.t =
+  match s with
+  | Sexp.Atom "?" -> Nip.Any
+  | Sexp.Atom a -> Nip.Prim (const_of_atom a)
+  | Sexp.List [ Sexp.Atom "str"; Sexp.Atom text ] -> Nip.Prim (Value.String text)
+  | Sexp.List [ Sexp.Atom "null" ] -> Nip.Prim Value.Null
+  | Sexp.List [ Sexp.Atom op; Sexp.Atom c ] when cmp_of_string op <> None ->
+    Nip.Pred (Option.get (cmp_of_string op), const_of_atom c)
+  | Sexp.List (Sexp.Atom "tuple" :: fields) ->
+    let field = function
+      | Sexp.List [ Sexp.Atom name; p ] -> (name, of_sexp p)
+      | other -> fail "invalid tuple field %s" (Sexp.to_string other)
+    in
+    Nip.Tup (List.map field fields)
+  | Sexp.List (Sexp.Atom "bag" :: elements) ->
+    let star = List.mem (Sexp.Atom "*") elements in
+    let elements = List.filter (fun e -> e <> Sexp.Atom "*") elements in
+    Nip.Bag (List.map of_sexp elements, star)
+  | other -> fail "invalid why-not pattern %s" (Sexp.to_string other)
+
+let cmp_to_string = function
+  | Expr.Eq -> "="
+  | Expr.Neq -> "!="
+  | Expr.Lt -> "<"
+  | Expr.Le -> "<="
+  | Expr.Gt -> ">"
+  | Expr.Ge -> ">="
+
+let rec to_sexp (p : Nip.t) : Sexp.t =
+  match p with
+  | Nip.Any -> Sexp.Atom "?"
+  | Nip.Prim (Value.Int i) -> Sexp.Atom (string_of_int i)
+  | Nip.Prim (Value.Float f) -> Sexp.Atom (Fmt.str "%F" f)
+  | Nip.Prim (Value.Bool b) -> Sexp.Atom (string_of_bool b)
+  | Nip.Prim (Value.String s) -> Sexp.List [ Sexp.Atom "str"; Sexp.Atom s ]
+  | Nip.Prim Value.Null -> Sexp.List [ Sexp.Atom "null" ]
+  | Nip.Prim v -> fail "cannot print constant %a" Value.pp v
+  | Nip.Pred (c, v) ->
+    Sexp.List
+      [
+        Sexp.Atom (cmp_to_string c);
+        (match to_sexp (Nip.Prim v) with
+        | Sexp.Atom a -> Sexp.Atom a
+        | other -> other);
+      ]
+  | Nip.Tup fields ->
+    Sexp.List
+      (Sexp.Atom "tuple"
+      :: List.map (fun (l, fp) -> Sexp.List [ Sexp.Atom l; to_sexp fp ]) fields)
+  | Nip.Bag (elements, star) ->
+    Sexp.List
+      ((Sexp.Atom "bag" :: List.map to_sexp elements)
+      @ if star then [ Sexp.Atom "*" ] else [])
+
+let of_string (s : string) : Nip.t = of_sexp (Sexp.of_string s)
+let to_string (p : Nip.t) : string = Sexp.to_string (to_sexp p)

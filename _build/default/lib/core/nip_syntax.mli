@@ -1,0 +1,25 @@
+(** Surface syntax for why-not patterns (NIPs).
+
+    The running example's question reads
+    [(tuple (city (str NY)) (nList (bag ? STAR)))] where STAR is the
+    literal asterisk atom.
+
+    Grammar:
+    - [?] — the instance placeholder
+    - [123], [1.5], [true] — primitive constants; bare words are strings
+    - [(str TEXT)] — explicit string constant
+    - [(null)] — the null value
+    - [(CMP CONST)] with [CMP ∈ = != < <= > >=] — predicate placeholder
+    - [(tuple (NAME nip) ...)] — field constraints
+    - [(bag nip ... *?)] — element patterns; a trailing [*] atom is the
+      multiplicity placeholder *)
+
+exception Parse_error of string
+
+val of_sexp : Nrab.Sexp.t -> Nip.t
+val to_sexp : Nip.t -> Nrab.Sexp.t
+
+(** Raises {!Parse_error}. *)
+val of_string : string -> Nip.t
+
+val to_string : Nip.t -> string

@@ -1,0 +1,5 @@
+(* Shared set types for operator-id sets and sets thereof, so that all
+   modules of the library agree on the types. *)
+
+module Int_set = Set.Make (Int)
+module Set_set = Set.Make (Int_set)

@@ -1,0 +1,76 @@
+(* Algorithm 1: the four-step heuristic why-not pipeline.
+
+     1. schema backtracing          (Backtrace)
+     2. schema alternatives         (Alternatives)
+     3. data tracing                (Tracing)
+     4. approximate MSRs            (Msr)
+
+   [explain ~use_sas:false] is the paper's RPnoSA configuration (only the
+   original schema alternative); [explain] with alternatives is RP. *)
+
+open Nested
+open Nrab
+
+type result = {
+  question : Question.t;
+  sas : Alternatives.sa list;
+  explanations : Explanation.t list;
+}
+
+let schema_env (db : Relation.Db.t) : Typecheck.env =
+  List.map (fun (n, r) -> (n, Relation.schema r)) (Relation.Db.tables db)
+
+let explain ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
+    ?(alternatives : Alternatives.alternatives = []) (phi : Question.t) :
+    result =
+  let env = schema_env phi.Question.db in
+  let q = phi.Question.query in
+  (* step 2 (schema alternatives); step 1 (backtracing) runs per SA since
+     the NIPs depend on the substituted attributes *)
+  let sas =
+    if use_sas then Alternatives.enumerate ~max_sas ~env q alternatives
+    else
+      [
+        {
+          Alternatives.index = 0;
+          query = q;
+          changed_ops = Msr.Int_set.empty;
+          description = "original";
+        };
+      ]
+  in
+  let original_result =
+    Relation.tuples (Question.original_result phi)
+  in
+  let bi = { Msr.original_result } in
+  let explanations =
+    List.concat_map
+      (fun (sa : Alternatives.sa) ->
+        let bt =
+          Backtrace.run ~env sa.Alternatives.query phi.Question.missing
+        in
+        (* steps 3 and 4 *)
+        let trace = Tracing.run ~revalidate ~env phi.Question.db sa bt in
+        Msr.from_trace ~bi ~q trace)
+      sas
+  in
+  let explanations =
+    Explanation.rank (Explanation.prune_dominated explanations)
+  in
+  { question = phi; sas; explanations }
+
+(* Convenience: explanation op-id sets in rank order. *)
+let explanation_sets (r : result) : int list list =
+  List.map Explanation.op_list r.explanations
+
+let pp_result ppf (r : result) =
+  let q = r.question.Question.query in
+  Fmt.pf ppf "@[<v>%d schema alternative(s):@,%a@,explanations:@,%a@]"
+    (List.length r.sas)
+    (Fmt.list ~sep:Fmt.cut (fun ppf (sa : Alternatives.sa) ->
+         Fmt.pf ppf "  S%d: %s" (sa.Alternatives.index + 1)
+           sa.Alternatives.description))
+    r.sas
+    (Fmt.list ~sep:Fmt.cut (fun ppf e ->
+         Fmt.pf ppf "  %a" (Explanation.pp_with_query q) e))
+    r.explanations

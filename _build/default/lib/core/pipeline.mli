@@ -1,0 +1,42 @@
+(** Algorithm 1 — the four-step heuristic why-not pipeline:
+
+    + schema backtracing ({!Backtrace})
+    + schema alternatives ({!Alternatives})
+    + data tracing ({!Tracing})
+    + approximate MSRs ({!Msr})
+
+    [explain ~use_sas:false] is the paper's RPnoSA configuration (only the
+    original schema alternative); [explain] with alternatives is RP. *)
+
+open Nested
+open Nrab
+
+type result = {
+  question : Question.t;
+  sas : Alternatives.sa list;
+  explanations : Explanation.t list;  (** pruned and ranked *)
+}
+
+(** Typing environment of a database. *)
+val schema_env : Relation.Db.t -> Typecheck.env
+
+(** Compute query-based why-not explanations.
+
+    @param use_sas consider schema alternatives (default true)
+    @param max_sas cap on enumerated SAs (default 16)
+    @param revalidate re-validate consistency at every operator (default
+           true); [false] is the no-re-validation ablation, reproducing
+           the false positives of prior lineage-based approaches
+    @param alternatives attribute-alternative groups per table *)
+val explain :
+  ?use_sas:bool ->
+  ?max_sas:int ->
+  ?revalidate:bool ->
+  ?alternatives:Alternatives.alternatives ->
+  Question.t ->
+  result
+
+(** Explanation operator-id sets, in rank order. *)
+val explanation_sets : result -> int list list
+
+val pp_result : Format.formatter -> result -> unit

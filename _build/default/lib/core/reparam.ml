@@ -1,0 +1,260 @@
+(* Reparameterizations (Definitions 6–8) and the admissible parameter
+   changes of Table 2.
+
+   A reparameterization replaces operator parameters while preserving query
+   structure: the operator constructor family stays fixed (up to the
+   admissible kind switches: join type changes, inner↔outer flatten), no
+   operator is added or removed, and ids are retained. *)
+
+open Nrab
+module Int_set = Opset.Int_set
+
+(* Is [replacement] an admissible reparameterization of [original]
+   according to Table 2?  This checks shape only; whether the new
+   parameters type-check is decided against the query by the caller. *)
+let admissible_change (original : Query.node) (replacement : Query.node) : bool
+    =
+  match original, replacement with
+  | Query.Select _, Query.Select _ -> true
+  | Query.Project cols, Query.Project cols' ->
+    (* attribute substitutions only: same width, same output names *)
+    List.length cols = List.length cols'
+    && List.for_all2 (fun (n, _) (n', _) -> String.equal n n') cols cols'
+  | Query.Rename pairs, Query.Rename pairs' ->
+    (* permutations of the output names *)
+    List.length pairs = List.length pairs'
+    && List.sort compare (List.map fst pairs)
+       = List.sort compare (List.map fst pairs')
+  | Query.Join _, Query.Join _ -> true
+  | Query.Flatten_tuple _, Query.Flatten_tuple _ -> true
+  | Query.Flatten _, Query.Flatten _ -> true
+  | Query.Nest_tuple _, Query.Nest_tuple _ -> true
+  | Query.Nest_rel _, Query.Nest_rel _ -> true
+  | Query.Agg_tuple _, Query.Agg_tuple _ -> true
+  | Query.Group_agg (g, aggs), Query.Group_agg (g', aggs') ->
+    List.length g = List.length g' && List.length aggs = List.length aggs'
+  | (Query.Table _ | Query.Product | Query.Union | Query.Diff | Query.Dedup), _
+    ->
+    false (* parameter-free operators cannot be reparameterized *)
+  | _, _ -> false
+
+(* A reparameterization: node replacements keyed by operator id. *)
+type t = (int * Query.node) list
+
+let apply (q : Query.t) (rp : t) : Query.t =
+  List.fold_left (fun q (id, node) -> Query.replace_node q id node) q rp
+
+let is_valid (q : Query.t) (rp : t) : bool =
+  List.for_all
+    (fun (id, node) ->
+      match Query.find_op q id with
+      | Some op -> admissible_change op.Query.node node
+      | None -> false)
+    rp
+
+(* Δ(Q, Q'): identifiers of operators whose parameters differ
+   (Definition 9). *)
+let delta (q : Query.t) (q' : Query.t) : Int_set.t =
+  let ops = Query.operators q in
+  List.fold_left
+    (fun acc (op : Query.t) ->
+      match Query.find_op q' op.Query.id with
+      | Some op' when op.Query.node <> op'.Query.node ->
+        Int_set.add op.Query.id acc
+      | _ -> acc)
+    Int_set.empty ops
+
+(* --- Candidate enumeration (used by the exact MSR search) -------------- *)
+
+(* Candidate parameter changes for one operator, within the PTIME
+   restrictions of Theorem 1: selection structure is preserved (constants
+   and attribute references swapped, comparison operators switched),
+   aggregation functions are the standard SQL ones, map is restricted to
+   projection.  [attr_pool] maps a type-compatibility witness: for an
+   attribute a, the attributes of the operator's input that may replace it.
+   [const_pool] supplies replacement constants per attribute (from the
+   active domain). *)
+
+let comparison_ops = [ Expr.Eq; Expr.Neq; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ]
+
+let rec pred_variants ~attr_pool ~const_pool (p : Expr.pred) : Expr.pred list =
+  match p with
+  | Expr.True | Expr.False -> [ p ]
+  | Expr.Cmp (c, lhs, rhs) ->
+    let cmp_changes =
+      List.filter_map
+        (fun c' -> if c' <> c then Some (Expr.Cmp (c', lhs, rhs)) else None)
+        comparison_ops
+    in
+    let side_changes side other mk =
+      match side with
+      | Expr.Attr a ->
+        List.filter_map
+          (fun a' ->
+            if String.equal a a' then None else Some (mk (Expr.Attr a') other))
+          (attr_pool a)
+      | Expr.Const v ->
+        List.filter_map
+          (fun v' ->
+            if Nested.Value.equal v v' then None
+            else Some (mk (Expr.Const v') other))
+          (const_pool (match other with Expr.Attr a -> Some a | _ -> None) v)
+      | _ -> []
+    in
+    cmp_changes
+    @ side_changes lhs rhs (fun l r -> Expr.Cmp (c, l, r))
+    @ side_changes rhs lhs (fun r l -> Expr.Cmp (c, l, r))
+  | Expr.And (a, b) ->
+    List.map (fun a' -> Expr.And (a', b)) (pred_variants ~attr_pool ~const_pool a)
+    @ List.map (fun b' -> Expr.And (a, b')) (pred_variants ~attr_pool ~const_pool b)
+  | Expr.Or (a, b) ->
+    List.map (fun a' -> Expr.Or (a', b)) (pred_variants ~attr_pool ~const_pool a)
+    @ List.map (fun b' -> Expr.Or (a, b')) (pred_variants ~attr_pool ~const_pool b)
+  | Expr.Not a ->
+    List.map (fun a' -> Expr.Not a') (pred_variants ~attr_pool ~const_pool a)
+  | Expr.IsNull _ | Expr.IsNotNull _ | Expr.Contains _ -> []
+
+let rec expr_attr_variants ~attr_pool (e : Expr.t) : Expr.t list =
+  match e with
+  | Expr.Const _ -> []
+  | Expr.Attr a ->
+    List.filter_map
+      (fun a' -> if String.equal a a' then None else Some (Expr.Attr a'))
+      (attr_pool a)
+  | Expr.Add (a, b) ->
+    List.map (fun a' -> Expr.Add (a', b)) (expr_attr_variants ~attr_pool a)
+    @ List.map (fun b' -> Expr.Add (a, b')) (expr_attr_variants ~attr_pool b)
+  | Expr.Sub (a, b) ->
+    List.map (fun a' -> Expr.Sub (a', b)) (expr_attr_variants ~attr_pool a)
+    @ List.map (fun b' -> Expr.Sub (a, b')) (expr_attr_variants ~attr_pool b)
+  | Expr.Mul (a, b) ->
+    List.map (fun a' -> Expr.Mul (a', b)) (expr_attr_variants ~attr_pool a)
+    @ List.map (fun b' -> Expr.Mul (a, b')) (expr_attr_variants ~attr_pool b)
+  | Expr.Div (a, b) ->
+    List.map (fun a' -> Expr.Div (a', b)) (expr_attr_variants ~attr_pool a)
+    @ List.map (fun b' -> Expr.Div (a, b')) (expr_attr_variants ~attr_pool b)
+
+(* One-step admissible changes of an operator's node. *)
+let node_variants ~attr_pool ~const_pool (node : Query.node) : Query.node list
+    =
+  match node with
+  | Query.Select p ->
+    List.map (fun p' -> Query.Select p') (pred_variants ~attr_pool ~const_pool p)
+  | Query.Project cols ->
+    List.concat_map
+      (fun (name, e) ->
+        List.map
+          (fun e' ->
+            Query.Project
+              (List.map
+                 (fun (n, old) -> if String.equal n name then (n, e') else (n, old))
+                 cols))
+          (expr_attr_variants ~attr_pool e))
+      cols
+  | Query.Join (kind, p) ->
+    let kind_changes =
+      List.filter_map
+        (fun k -> if k <> kind then Some (Query.Join (k, p)) else None)
+        [ Query.Inner; Query.Left; Query.Right; Query.Full ]
+    in
+    let pred_changes =
+      List.map (fun p' -> Query.Join (kind, p')) (pred_variants ~attr_pool ~const_pool p)
+    in
+    kind_changes @ pred_changes
+  | Query.Flatten_tuple a ->
+    List.filter_map
+      (fun a' ->
+        if String.equal a a' then None else Some (Query.Flatten_tuple a'))
+      (attr_pool a)
+  | Query.Flatten (kind, a) ->
+    let other =
+      match kind with
+      | Query.Flat_inner -> Query.Flat_outer
+      | Query.Flat_outer -> Query.Flat_inner
+    in
+    Query.Flatten (other, a)
+    :: List.filter_map
+         (fun a' ->
+           if String.equal a a' then None else Some (Query.Flatten (kind, a')))
+         (attr_pool a)
+  | Query.Nest_tuple (pairs, c) | Query.Nest_rel (pairs, c) ->
+    let mk pairs c =
+      match node with
+      | Query.Nest_tuple _ -> Query.Nest_tuple (pairs, c)
+      | _ -> Query.Nest_rel (pairs, c)
+    in
+    let attrs = List.map snd pairs in
+    List.concat_map
+      (fun (label, a) ->
+        List.filter_map
+          (fun a' ->
+            if String.equal a a' || List.mem a' attrs then None
+            else
+              Some
+                (mk
+                   (List.map
+                      (fun (l, x) ->
+                        if String.equal l label then (l, a') else (l, x))
+                      pairs)
+                   c))
+          (attr_pool a))
+      pairs
+  | Query.Agg_tuple (fn, a, b) ->
+    let fn_changes =
+      List.filter_map
+        (fun fn' -> if fn' <> fn then Some (Query.Agg_tuple (fn', a, b)) else None)
+        [ Agg.Sum; Agg.Count; Agg.Count_distinct; Agg.Avg; Agg.Min; Agg.Max ]
+    in
+    let attr_changes =
+      List.filter_map
+        (fun a' ->
+          if String.equal a a' then None else Some (Query.Agg_tuple (fn, a', b)))
+        (attr_pool a)
+    in
+    fn_changes @ attr_changes
+  | Query.Group_agg (group, aggs) ->
+    let agg_attr_changes =
+      List.concat_map
+        (fun (fn, a, out) ->
+          match a with
+          | None -> []
+          | Some a ->
+            List.filter_map
+              (fun a' ->
+                if String.equal a a' then None
+                else
+                  Some
+                    (Query.Group_agg
+                       ( group,
+                         List.map
+                           (fun (fn', x, o) ->
+                             if
+                               fn' = fn && x = Some a && String.equal o out
+                             then (fn', Some a', o)
+                             else (fn', x, o))
+                           aggs )))
+              (attr_pool a))
+        aggs
+    in
+    let group_attrs = List.map snd group in
+    let group_changes =
+      List.concat_map
+        (fun (label, g) ->
+          List.filter_map
+            (fun g' ->
+              if String.equal g g' || List.mem g' group_attrs then None
+              else
+                Some
+                  (Query.Group_agg
+                     ( List.map
+                         (fun (l, x) ->
+                           if String.equal l label then (l, g') else (l, x))
+                         group,
+                       aggs )))
+            (attr_pool g))
+        group
+    in
+    agg_attr_changes @ group_changes
+  | Query.Rename _ | Query.Table _ | Query.Product | Query.Union | Query.Diff
+  | Query.Dedup ->
+    []

@@ -1,0 +1,54 @@
+(** Reparameterizations (Definitions 6–8) and the admissible parameter
+    changes of Table 2.
+
+    A reparameterization replaces operator parameters while preserving the
+    query structure: the operator constructor family stays fixed (up to
+    admissible kind switches — join-type changes and inner↔outer
+    flatten), no operator is added or removed, and identifiers are
+    retained. *)
+
+open Nrab
+
+module Int_set = Opset.Int_set
+
+(** Shape-level admissibility of replacing one node by another, per
+    Table 2.  Whether the new parameters type-check is decided against
+    the query by the caller. *)
+val admissible_change : Query.node -> Query.node -> bool
+
+(** A reparameterization: node replacements keyed by operator id. *)
+type t = (int * Query.node) list
+
+val apply : Query.t -> t -> Query.t
+val is_valid : Query.t -> t -> bool
+
+(** Δ(Q, Q'): identifiers of operators whose parameters differ
+    (Definition 9). *)
+val delta : Query.t -> Query.t -> Int_set.t
+
+(** {1 Candidate enumeration}
+
+    One-step admissible changes of an operator's node, within the PTIME
+    restrictions of Theorem 1: the structure of selection conditions is
+    preserved (attribute swaps, comparison-operator switches, constant
+    replacements), aggregation functions are the standard SQL ones.
+    [attr_pool a] lists the same-typed attributes that may replace [a];
+    [const_pool attr v] supplies replacement constants (from the active
+    domain of [attr]). *)
+
+val comparison_ops : Expr.cmp list
+
+val pred_variants :
+  attr_pool:(string -> string list) ->
+  const_pool:(string option -> Nested.Value.t -> Nested.Value.t list) ->
+  Expr.pred ->
+  Expr.pred list
+
+val expr_attr_variants :
+  attr_pool:(string -> string list) -> Expr.t -> Expr.t list
+
+val node_variants :
+  attr_pool:(string -> string list) ->
+  const_pool:(string option -> Nested.Value.t -> Nested.Value.t list) ->
+  Query.node ->
+  Query.node list

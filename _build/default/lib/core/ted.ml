@@ -1,0 +1,73 @@
+(* Tree edit distance between nested relations.
+
+   The paper measures reparameterization side effects with a tree distance
+   over query results (Definition 9); unordered TED is NP-hard, so we use
+   the Zhang–Shasha ordered tree edit distance over *canonically ordered*
+   trees (see Nested.Tree).  Unit costs for insert/delete/relabel. *)
+
+open Nested
+
+let cost_delete = 1
+let cost_insert = 1
+let cost_relabel (a : string) (b : string) = if String.equal a b then 0 else 1
+
+(* Keyroots of a postorder-indexed tree: nodes whose leftmost leaf differs
+   from their parent's. *)
+let keyroots (lml : int array) : int list =
+  let n = Array.length lml in
+  let seen = Hashtbl.create 16 in
+  let roots = ref [] in
+  for i = n - 1 downto 0 do
+    if not (Hashtbl.mem seen lml.(i)) then begin
+      Hashtbl.add seen lml.(i) ();
+      roots := i :: !roots
+    end
+  done;
+  !roots
+
+let distance_trees (t1 : Tree.t) (t2 : Tree.t) : int =
+  let po1 = Tree.postorder t1 and po2 = Tree.postorder t2 in
+  let n = Array.length po1 and m = Array.length po2 in
+  if n = 0 then m * cost_insert
+  else if m = 0 then n * cost_delete
+  else begin
+    let l1 = Array.map snd po1 and l2 = Array.map snd po2 in
+    let lab1 = Array.map fst po1 and lab2 = Array.map fst po2 in
+    let td = Array.make_matrix n m max_int in
+    let tree_dist i j =
+      (* forest distance computation for subtrees rooted at i and j *)
+      let li = l1.(i) and lj = l2.(j) in
+      let fd = Array.make_matrix (i - li + 2) (j - lj + 2) 0 in
+      for x = 1 to i - li + 1 do
+        fd.(x).(0) <- fd.(x - 1).(0) + cost_delete
+      done;
+      for y = 1 to j - lj + 1 do
+        fd.(0).(y) <- fd.(0).(y - 1) + cost_insert
+      done;
+      for x = 1 to i - li + 1 do
+        for y = 1 to j - lj + 1 do
+          let ix = li + x - 1 and jy = lj + y - 1 in
+          if l1.(ix) = li && l2.(jy) = lj then begin
+            fd.(x).(y) <-
+              min
+                (min (fd.(x - 1).(y) + cost_delete) (fd.(x).(y - 1) + cost_insert))
+                (fd.(x - 1).(y - 1) + cost_relabel lab1.(ix) lab2.(jy));
+            td.(ix).(jy) <- fd.(x).(y)
+          end
+          else
+            fd.(x).(y) <-
+              min
+                (min (fd.(x - 1).(y) + cost_delete) (fd.(x).(y - 1) + cost_insert))
+                (fd.(l1.(ix) - li).(l2.(jy) - lj) + td.(ix).(jy))
+        done
+      done
+    in
+    let kr1 = keyroots l1 and kr2 = keyroots l2 in
+    List.iter (fun i -> List.iter (fun j -> tree_dist i j) kr2) kr1;
+    td.(n - 1).(m - 1)
+  end
+
+(* Distance between two nested relations: the distance between their
+   canonical trees. *)
+let distance (a : Value.t) (b : Value.t) : int =
+  distance_trees (Tree.of_value a) (Tree.of_value b)

@@ -1,0 +1,21 @@
+(** Tree edit distance between nested relations.
+
+    Definition 9 measures reparameterization side effects with a tree
+    distance over query results.  Unordered TED is NP-hard
+    [Zhang–Statman–Shasha 92], so this implementation runs the
+    Zhang–Shasha *ordered* tree edit distance over canonically ordered
+    trees ({!Nested.Tree.of_value}), with unit insert/delete/relabel
+    costs.  Canonical ordering makes the metric deterministic and
+    invariant under bag-element permutation. *)
+
+open Nested
+
+val cost_delete : int
+val cost_insert : int
+val cost_relabel : string -> string -> int
+
+(** Distance between two trees (Zhang–Shasha, O(|T₁|·|T₂|·depth²)). *)
+val distance_trees : Tree.t -> Tree.t -> int
+
+(** Distance between two nested values via their canonical trees. *)
+val distance : Value.t -> Value.t -> int

@@ -1,0 +1,636 @@
+(* Data tracing (Section 5.3).
+
+   For one schema alternative, evaluate the (attribute-substituted) query
+   with *relaxed* operators — selections pass everything, inner flattens
+   and joins are generalized to their outer variants — and annotate every
+   intermediate tuple with:
+
+   - [consistent]: the tuple matches the backtraced NIP at this operator
+     (the re-validation that distinguishes this algorithm from prior
+     lineage-based work);
+   - [retained]:  the operator, with its (SA-substituted) original
+     parameters, produces/keeps this tuple — false marks tuples that only a
+     reparameterization of this operator lets through;
+   - [surviving]: the tuple appears in the unrelaxed intermediate result
+     (cumulative across upstream operators) — identifies the original
+     query's data inside the trace;
+   - [parents]:   the immediate-predecessor rows (lineage).
+
+   The per-SA relations here correspond to the per-SA column groups of the
+   merged annotated tables in Figures 4–7; merging by id is unnecessary in
+   a structural (rather than columnar) representation.
+
+   Aggregate constraints of the why-not question (e.g. revenue > 0) are
+   checked *optimistically* via achievable ranges over sub-multisets of
+   contributions, since the algorithm does not trace aggregate subsets
+   (Section 5.5, corner (iii)). *)
+
+open Nested
+open Nrab
+module Int_set = Opset.Int_set
+
+type trow = {
+  rid : int;
+  data : Value.t;
+  consistent : bool;
+  retained : bool;   (* this operator's original parameters keep this row *)
+  surviving : bool;  (* row appears in the unrelaxed intermediate result *)
+  parents : int list;
+  ranges : (string * (float * float)) list;
+      (* achievable intervals for aggregate-output fields *)
+}
+
+type op_trace = {
+  op_id : int;
+  op_node : Query.node;
+  nip : Nip.t;
+  rows : trow list;
+}
+
+type t = {
+  sa : Alternatives.sa;
+  ops : op_trace list;  (* topological order: children before parents *)
+  root_op : int;
+}
+
+let op_trace (tr : t) (op_id : int) : op_trace option =
+  List.find_opt (fun o -> o.op_id = op_id) tr.ops
+
+let root_rows (tr : t) : trow list =
+  match op_trace tr tr.root_op with Some o -> o.rows | None -> []
+
+let find_row (tr : t) (rid : int) : (trow * int) option =
+  List.find_map
+    (fun o ->
+      List.find_map
+        (fun r -> if r.rid = rid then Some (r, o.op_id) else None)
+        o.rows)
+    tr.ops
+
+(* --- Optimistic NIP matching over rows with aggregate ranges ----------- *)
+
+let float_of_value (v : Value.t) : float option =
+  match v with
+  | Value.Int i -> Some (float_of_int i)
+  | Value.Float f -> Some f
+  | _ -> None
+
+let interval_satisfies (c : Expr.cmp) (bound : Value.t) ((lo, hi) : float * float)
+    : bool =
+  match float_of_value bound with
+  | None -> false
+  | Some b -> (
+    match c with
+    | Expr.Eq -> lo <= b && b <= hi
+    | Expr.Neq -> not (lo = b && hi = b)
+    | Expr.Lt -> lo < b
+    | Expr.Le -> lo <= b
+    | Expr.Gt -> hi > b
+    | Expr.Ge -> hi >= b)
+
+(* Match a traced row against an operator-level NIP, using achievable
+   intervals for fields produced by aggregation. *)
+let row_matches (nip : Nip.t) (row_data : Value.t)
+    (ranges : (string * (float * float)) list) : bool =
+  match nip with
+  | Nip.Tup constraints ->
+    List.for_all
+      (fun (label, pat) ->
+        match pat, List.assoc_opt label ranges with
+        | Nip.Pred (c, bound), Some interval -> interval_satisfies c bound interval
+        | Nip.Prim bound, Some interval ->
+          interval_satisfies Expr.Eq bound interval
+        | _ -> (
+          match Value.field label row_data with
+          | Some fv -> Nip.matches fv pat
+          | None -> false))
+      constraints
+  | other -> Nip.matches row_data other
+
+(* --- Tracing ------------------------------------------------------------ *)
+
+type state = { mutable next_rid : int; mutable traces : op_trace list }
+
+let fresh_rid st =
+  let rid = st.next_rid in
+  st.next_rid <- rid + 1;
+  rid
+
+let record st op nip rows =
+  st.traces <-
+    { op_id = op.Query.id; op_node = op.Query.node; nip; rows } :: st.traces;
+  rows
+
+(* key projection on a plain tuple *)
+let key_of attrs (t : Value.t) : Value.t =
+  Value.Tuple
+    (List.map
+       (fun a -> (a, Option.value ~default:Value.Null (Value.field a t)))
+       attrs)
+
+let group_by (key : trow -> Value.t) (rows : trow list) :
+    (Value.t * trow list) list =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let k = key row in
+      match Hashtbl.find_opt tbl k with
+      | Some rs -> Hashtbl.replace tbl k (row :: rs)
+      | None ->
+        order := k :: !order;
+        Hashtbl.replace tbl k [ row ])
+    rows;
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find tbl k))) !order
+
+let run ?(revalidate = true) ~(env : Typecheck.env) (db : Relation.Db.t)
+    (sa : Alternatives.sa) (bt : Backtrace.t) : t =
+  let st = { next_rid = 0; traces = [] } in
+  let q = sa.Alternatives.query in
+  (* rid -> consistency, for the no-re-validation ablation, which checks
+     compatibility at the table accesses only and then propagates the flag
+     forward (the behaviour of prior lineage-based approaches) *)
+  let row_consistency : (int, bool) Hashtbl.t = Hashtbl.create 256 in
+  let fields_of sub =
+    match Typecheck.infer_result env sub with
+    | Ok ty -> Vtype.relation_fields ty
+    | Error e ->
+      invalid_arg ("Tracing.run: ill-typed SA query: " ^ e.Typecheck.message)
+  in
+  let rec go (op : Query.t) : trow list =
+    let nip = Backtrace.op_nip bt op.Query.id in
+    let is_table =
+      match op.Query.node with Query.Table _ -> true | _ -> false
+    in
+    let mk ?(ranges = []) ?(retained = true) ?surviving ~parents data =
+      let surviving = Option.value ~default:retained surviving in
+      let consistent =
+        if revalidate || is_table then row_matches nip data ranges
+        else
+          List.exists
+            (fun pid ->
+              Option.value ~default:false
+                (Hashtbl.find_opt row_consistency pid))
+            parents
+      in
+      let rid = fresh_rid st in
+      Hashtbl.replace row_consistency rid consistent;
+      { rid; data; consistent; retained; surviving; parents; ranges }
+    in
+    match op.Query.node, op.Query.children with
+    | Query.Table name, [] ->
+      let rel = Relation.Db.find_exn name db in
+      let rows =
+        List.map
+          (fun t -> mk ~retained:true ~surviving:true ~parents:[] t)
+          (Relation.tuples rel)
+      in
+      record st op nip rows
+    | Query.Select pred, [ c ] ->
+      let input = go c in
+      let rows =
+        List.map
+          (fun r ->
+            let keeps = Expr.eval_pred r.data pred in
+            {
+              (mk ~ranges:r.ranges ~retained:keeps
+                 ~surviving:(r.surviving && keeps) ~parents:[ r.rid ] r.data)
+              with
+              consistent = r.consistent;
+            })
+          input
+      in
+      record st op nip rows
+    | Query.Project cols, [ c ] ->
+      let input = go c in
+      let project t =
+        Value.Tuple (List.map (fun (n, e) -> (n, Expr.eval t e)) cols)
+      in
+      let project_ranges ranges =
+        List.filter_map
+          (fun (n, e) ->
+            match e with
+            | Expr.Attr a ->
+              Option.map (fun iv -> (n, iv)) (List.assoc_opt a ranges)
+            | _ -> None)
+          cols
+      in
+      let rows =
+        List.map
+          (fun r ->
+            mk
+              ~ranges:(project_ranges r.ranges)
+              ~retained:true ~surviving:r.surviving ~parents:[ r.rid ]
+              (project r.data))
+          input
+      in
+      record st op nip rows
+    | Query.Rename pairs, [ c ] ->
+      let input = go c in
+      let rename_label l =
+        match List.find_opt (fun (_, old) -> String.equal old l) pairs with
+        | Some (fresh, _) -> fresh
+        | None -> l
+      in
+      let rename t =
+        match t with
+        | Value.Tuple fs ->
+          Value.Tuple (List.map (fun (l, v) -> (rename_label l, v)) fs)
+        | other -> other
+      in
+      let rows =
+        List.map
+          (fun r ->
+            mk
+              ~ranges:(List.map (fun (l, iv) -> (rename_label l, iv)) r.ranges)
+              ~retained:true ~surviving:r.surviving ~parents:[ r.rid ]
+              (rename r.data))
+          input
+      in
+      record st op nip rows
+    | Query.Dedup, [ c ] ->
+      let input = go c in
+      let rows =
+        List.map
+          (fun (data, members) ->
+            {
+              (mk ~retained:true
+                 ~surviving:(List.exists (fun m -> m.surviving) members)
+                 ~parents:(List.map (fun m -> m.rid) members)
+                 data)
+              with
+              consistent = List.exists (fun m -> m.consistent) members;
+            })
+          (group_by (fun r -> r.data) input)
+      in
+      record st op nip rows
+    | Query.Union, [ l; r ] ->
+      let il = go l and ir = go r in
+      let rows =
+        List.map
+          (fun p ->
+            {
+              (mk ~ranges:p.ranges ~retained:true ~surviving:p.surviving
+                 ~parents:[ p.rid ] p.data)
+              with
+              consistent = p.consistent;
+            })
+          (il @ ir)
+      in
+      record st op nip rows
+    | Query.Diff, [ l; r ] ->
+      let il = go l and ir = go r in
+      (* Relaxation keeps every left row; [surviving] reflects true bag
+         difference against the surviving right rows. *)
+      let surviving_right = Hashtbl.create 32 in
+      List.iter
+        (fun p ->
+          if p.surviving then
+            Hashtbl.replace surviving_right p.data
+              (1
+              + Option.value ~default:0
+                  (Hashtbl.find_opt surviving_right p.data)))
+        ir;
+      let rows =
+        List.map
+          (fun p ->
+            let removed =
+              p.surviving
+              &&
+              match Hashtbl.find_opt surviving_right p.data with
+              | Some n when n > 0 ->
+                Hashtbl.replace surviving_right p.data (n - 1);
+                true
+              | _ -> false
+            in
+            {
+              (mk ~ranges:p.ranges ~retained:(not removed)
+                 ~surviving:(p.surviving && not removed) ~parents:[ p.rid ]
+                 p.data)
+              with
+              consistent = p.consistent;
+            })
+          il
+      in
+      record st op nip rows
+    | Query.Flatten_tuple a, [ c ] ->
+      let input = go c in
+      let inner_ty =
+        match List.assoc_opt a (fields_of c) with
+        | Some ty -> ty
+        | None -> invalid_arg ("Tracing: unknown attribute " ^ a)
+      in
+      let rows =
+        List.map
+          (fun r ->
+            let data =
+              match Value.field a r.data with
+              | Some (Value.Tuple _ as inner) -> Value.concat_tuples r.data inner
+              | _ -> Value.concat_tuples r.data (Vtype.null_tuple inner_ty)
+            in
+            mk ~ranges:r.ranges ~retained:true ~surviving:r.surviving
+              ~parents:[ r.rid ] data)
+          input
+      in
+      record st op nip rows
+    | Query.Flatten (kind, a), [ c ] ->
+      let input = go c in
+      let inner_ty =
+        match List.assoc_opt a (fields_of c) with
+        | Some (Vtype.TBag ety) -> ety
+        | _ -> invalid_arg ("Tracing: attribute " ^ a ^ " is not a relation")
+      in
+      let rows =
+        List.concat_map
+          (fun r ->
+            let elems =
+              match Value.field a r.data with
+              | Some (Value.Bag _ as bag) -> Value.expand bag
+              | _ -> []
+            in
+            match elems with
+            | [] ->
+              (* tracked exactly because the inner flatten drops it *)
+              let keeps = kind = Query.Flat_outer in
+              [
+                mk ~ranges:r.ranges ~retained:keeps
+                  ~surviving:(r.surviving && keeps) ~parents:[ r.rid ]
+                  (Value.concat_tuples r.data (Vtype.null_tuple inner_ty));
+              ]
+            | elems ->
+              List.map
+                (fun u ->
+                  mk ~ranges:r.ranges ~retained:true ~surviving:r.surviving
+                    ~parents:[ r.rid ]
+                    (Value.concat_tuples r.data u))
+                elems)
+          input
+      in
+      record st op nip rows
+    | Query.Join (kind, pred), [ l; r ] ->
+      let il = go l and ir = go r in
+      let lnull = Vtype.null_tuple (Vtype.TTuple (fields_of l)) in
+      let rnull = Vtype.null_tuple (Vtype.TTuple (fields_of r)) in
+      let matched_l = Hashtbl.create 64 and matched_r = Hashtbl.create 64 in
+      let surv_matched_l = Hashtbl.create 64
+      and surv_matched_r = Hashtbl.create 64 in
+      (* Equi-key conjuncts make the candidate enumeration a hash join —
+         one of the design choices that keep tracing scalable (§6.1); any
+         pair satisfying the full predicate necessarily agrees on the
+         equi-key conjuncts, so probing by key is lossless. *)
+      let lfields = List.map fst (fields_of l)
+      and rfields = List.map fst (fields_of r) in
+      let keys = Engine.Exec.equi_keys lfields rfields pred in
+      let candidate_pairs : (trow * trow) Seq.t =
+        match keys with
+        | [] ->
+          List.to_seq
+            (List.concat_map (fun lp -> List.map (fun rp -> (lp, rp)) ir) il)
+        | keys ->
+          let key_of_row attrs t =
+            List.map
+              (fun a -> Option.value ~default:Value.Null (Value.field a t))
+              attrs
+          in
+          let right_index = Hashtbl.create 256 in
+          List.iter
+            (fun rp ->
+              let k = key_of_row (List.map snd keys) rp.data in
+              Hashtbl.replace right_index k
+                (rp :: Option.value ~default:[] (Hashtbl.find_opt right_index k)))
+            ir;
+          List.to_seq
+            (List.concat_map
+               (fun lp ->
+                 let k = key_of_row (List.map fst keys) lp.data in
+                 List.map
+                   (fun rp -> (lp, rp))
+                   (Option.value ~default:[] (Hashtbl.find_opt right_index k)))
+               il)
+      in
+      let matched =
+        Seq.filter_map
+          (fun (lp, rp) ->
+            let data = Value.concat_tuples lp.data rp.data in
+            if Expr.eval_pred data pred then begin
+              Hashtbl.replace matched_l lp.rid ();
+              Hashtbl.replace matched_r rp.rid ();
+              if lp.surviving && rp.surviving then begin
+                Hashtbl.replace surv_matched_l lp.rid ();
+                Hashtbl.replace surv_matched_r rp.rid ()
+              end;
+              Some
+                (mk
+                   ~ranges:(lp.ranges @ rp.ranges)
+                   ~retained:true
+                   ~surviving:(lp.surviving && rp.surviving)
+                   ~parents:[ lp.rid; rp.rid ]
+                   data)
+            end
+            else None)
+          candidate_pairs
+        |> List.of_seq
+      in
+      let pad_left =
+        List.filter_map
+          (fun lp ->
+            if Hashtbl.mem matched_l lp.rid then None
+            else
+              let keeps = kind = Query.Left || kind = Query.Full in
+              Some
+                (mk ~ranges:lp.ranges ~retained:keeps
+                   ~surviving:
+                     (lp.surviving && keeps
+                     && not (Hashtbl.mem surv_matched_l lp.rid))
+                   ~parents:[ lp.rid ]
+                   (Value.concat_tuples lp.data rnull)))
+          il
+      in
+      let pad_right =
+        List.filter_map
+          (fun rp ->
+            if Hashtbl.mem matched_r rp.rid then None
+            else
+              let keeps = kind = Query.Right || kind = Query.Full in
+              Some
+                (mk ~ranges:rp.ranges ~retained:keeps
+                   ~surviving:
+                     (rp.surviving && keeps
+                     && not (Hashtbl.mem surv_matched_r rp.rid))
+                   ~parents:[ rp.rid ]
+                   (Value.concat_tuples lnull rp.data)))
+          ir
+      in
+      record st op nip (matched @ pad_left @ pad_right)
+    | Query.Nest_tuple (pairs, c_name), [ c ] ->
+      let input = go c in
+      let attrs = List.map snd pairs in
+      let nest t =
+        match t with
+        | Value.Tuple fs ->
+          let rest = List.filter (fun (l, _) -> not (List.mem l attrs)) fs in
+          let nested =
+            List.map
+              (fun (label, a) ->
+                (label, Option.value ~default:Value.Null (List.assoc_opt a fs)))
+              pairs
+          in
+          Value.Tuple (rest @ [ (c_name, Value.Tuple nested) ])
+        | other -> other
+      in
+      let rows =
+        List.map
+          (fun r ->
+            mk
+              ~ranges:
+                (List.filter (fun (l, _) -> not (List.mem l attrs)) r.ranges)
+              ~retained:true ~surviving:r.surviving ~parents:[ r.rid ]
+              (nest r.data))
+          input
+      in
+      record st op nip rows
+    | Query.Nest_rel (pairs, c_name), [ c ] ->
+      let input = go c in
+      let attrs = List.map snd pairs in
+      let all = List.map fst (fields_of c) in
+      let group_attrs = List.filter (fun a -> not (List.mem a attrs)) all in
+      let proj t =
+        Value.Tuple
+          (List.map
+             (fun (label, a) ->
+               (label, Option.value ~default:Value.Null (Value.field a t)))
+             pairs)
+      in
+      let nest_members members =
+        Value.bag_of_list (List.map (fun m -> proj m.data) members)
+      in
+      let rows =
+        List.concat_map
+          (fun (k, members) ->
+            let relaxed_data =
+              Value.concat_tuples k
+                (Value.Tuple [ (c_name, nest_members members) ])
+            in
+            let surviving_members = List.filter (fun m -> m.surviving) members in
+            let original_data =
+              if surviving_members = [] then None
+              else
+                Some
+                  (Value.concat_tuples k
+                     (Value.Tuple [ (c_name, nest_members surviving_members) ]))
+            in
+            let relaxed =
+              mk ~retained:true
+                ~surviving:(original_data = Some relaxed_data)
+                ~parents:(List.map (fun m -> m.rid) members)
+                relaxed_data
+            in
+            match original_data with
+            | Some od when od <> relaxed_data ->
+              [
+                relaxed;
+                mk ~retained:true ~surviving:true
+                  ~parents:(List.map (fun m -> m.rid) surviving_members)
+                  od;
+              ]
+            | _ -> [ relaxed ])
+          (group_by (fun r -> key_of group_attrs r.data) input)
+      in
+      record st op nip rows
+    | Query.Agg_tuple (fn, a, b), [ c ] ->
+      let input = go c in
+      let rows =
+        List.map
+          (fun r ->
+            let values =
+              match Value.field a r.data with
+              | Some (Value.Bag _ as bag) ->
+                List.map
+                  (fun v ->
+                    match v with
+                    | Value.Tuple [ (_, inner) ] -> inner
+                    | other -> other)
+                  (Value.expand bag)
+              | _ -> []
+            in
+            let data =
+              Value.concat_tuples r.data
+                (Value.Tuple [ (b, Agg.apply fn values) ])
+            in
+            let ranges =
+              match Agg.achievable_range fn values with
+              | Some iv -> (b, iv) :: r.ranges
+              | None -> r.ranges
+            in
+            mk ~ranges ~retained:true ~surviving:r.surviving ~parents:[ r.rid ]
+              data)
+          input
+      in
+      record st op nip rows
+    | Query.Group_agg (group, aggs), [ c ] ->
+      let input = go c in
+      let group_key t =
+        Value.Tuple
+          (List.map
+             (fun (label, a) ->
+               (label, Option.value ~default:Value.Null (Value.field a t)))
+             group)
+      in
+      let aggregate members =
+        let agg_fields_and_ranges =
+          List.map
+            (fun (fn, a, out) ->
+              let values =
+                match a with
+                | Some a ->
+                  List.map
+                    (fun m ->
+                      Option.value ~default:Value.Null (Value.field a m.data))
+                    members
+                | None -> List.map (fun _ -> Value.Int 1) members
+              in
+              let field = (out, Agg.apply fn values) in
+              let range =
+                Option.map (fun iv -> (out, iv)) (Agg.achievable_range fn values)
+              in
+              (field, range))
+            aggs
+        in
+        let fields = List.map fst agg_fields_and_ranges in
+        let ranges = List.filter_map snd agg_fields_and_ranges in
+        (fields, ranges)
+      in
+      let rows =
+        List.concat_map
+          (fun (k, members) ->
+            let fields, ranges = aggregate members in
+            let relaxed_data = Value.concat_tuples k (Value.Tuple fields) in
+            let surviving_members = List.filter (fun m -> m.surviving) members in
+            let original_data =
+              if surviving_members = [] then None
+              else
+                let fields, _ = aggregate surviving_members in
+                Some (Value.concat_tuples k (Value.Tuple fields))
+            in
+            let relaxed =
+              mk ~ranges ~retained:true
+                ~surviving:(original_data = Some relaxed_data)
+                ~parents:(List.map (fun m -> m.rid) members)
+                relaxed_data
+            in
+            match original_data with
+            | Some od when od <> relaxed_data ->
+              [
+                relaxed;
+                mk ~retained:true ~surviving:true
+                  ~parents:(List.map (fun m -> m.rid) surviving_members)
+                  od;
+              ]
+            | _ -> [ relaxed ])
+          (group_by (fun r -> group_key r.data) input)
+      in
+      record st op nip rows
+    | _ -> invalid_arg "Tracing.run: malformed query"
+  in
+  ignore (go q);
+  { sa; ops = List.rev st.traces; root_op = q.Query.id }

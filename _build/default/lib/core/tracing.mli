@@ -1,0 +1,74 @@
+(** Data tracing (Section 5.3).
+
+    For one schema alternative, the (attribute-substituted) query is
+    evaluated with *relaxed* operators — selections pass everything,
+    inner flattens and joins are generalized to their outer variants —
+    and every intermediate tuple is annotated.  The per-SA relations here
+    correspond to the per-SA column groups of the merged annotated tables
+    of Figures 4–7, represented structurally instead of columnar.
+
+    Aggregate constraints of the why-not question are checked
+    *optimistically* via achievable ranges over sub-multisets of
+    contributions, since the algorithm does not trace aggregate subsets
+    (Section 5.5, corner (iii)). *)
+
+open Nested
+open Nrab
+
+type trow = {
+  rid : int;  (** unique row id within the trace *)
+  data : Value.t;
+  consistent : bool;
+      (** matches the backtraced NIP at this operator — the re-validation
+          that distinguishes the approach from prior lineage-based work *)
+  retained : bool;
+      (** this operator, with its (SA-substituted) original parameters,
+          produces/keeps this row; [false] marks rows only a
+          reparameterization admits *)
+  surviving : bool;
+      (** the row appears in the unrelaxed intermediate result
+          (cumulative across upstream operators) *)
+  parents : int list;  (** immediate-predecessor rows (lineage) *)
+  ranges : (string * (float * float)) list;
+      (** achievable intervals for aggregate-output fields *)
+}
+
+type op_trace = {
+  op_id : int;
+  op_node : Query.node;
+  nip : Nip.t;
+  rows : trow list;
+}
+
+type t = {
+  sa : Alternatives.sa;
+  ops : op_trace list;  (** topological order: children before parents *)
+  root_op : int;
+}
+
+val op_trace : t -> int -> op_trace option
+val root_rows : t -> trow list
+val find_row : t -> int -> (trow * int) option
+
+(** Optimistic NIP matching for annotated rows: [Pred]/[Prim] constraints
+    on fields with achievable intervals are checked by interval
+    satisfiability. *)
+val row_matches : Nip.t -> Value.t -> (string * (float * float)) list -> bool
+
+val interval_satisfies : Expr.cmp -> Value.t -> float * float -> bool
+
+(** Trace one schema alternative.  [bt] must be the backtrace of the SA's
+    (substituted) query.
+
+    [revalidate] (default true) controls the paper's second novel
+    technique: with [false], compatibility is checked at the table
+    accesses only and the flag is merely propagated forward — the
+    behaviour of prior lineage-based approaches, exposed as an ablation
+    (it admits false positives on nested data). *)
+val run :
+  ?revalidate:bool ->
+  env:Typecheck.env ->
+  Relation.Db.t ->
+  Alternatives.sa ->
+  Backtrace.t ->
+  t

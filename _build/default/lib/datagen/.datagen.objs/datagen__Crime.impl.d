@@ -1,0 +1,1 @@
+lib/datagen/crime.ml: Nested Relation Value Vtype

@@ -1,0 +1,1 @@
+lib/datagen/crime.mli: Nested Relation Vtype

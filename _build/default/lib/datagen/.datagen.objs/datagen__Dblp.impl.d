@@ -1,0 +1,1 @@
+lib/datagen/dblp.ml: Fmt List Nested Prng Relation String Value Vtype

@@ -1,0 +1,1 @@
+lib/datagen/tpch.ml: Fmt List Nested Prng Relation Value Vtype

@@ -1,0 +1,1 @@
+lib/datagen/twitter.ml: Fmt List Nested Prng Relation Value Vtype

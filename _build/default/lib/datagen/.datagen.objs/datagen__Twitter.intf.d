@@ -1,0 +1,1 @@
+lib/datagen/twitter.mli: Nested Relation Vtype

@@ -1,0 +1,109 @@
+(* The crime dataset of scenarios C1–C3 (Table 6): persons, witnesses,
+   sightings, and crimes.  Small by design — it is used for the
+   qualitative comparison against Why-Not and Conseil, and is small enough
+   for the exact MSR search to serve as ground truth. *)
+
+open Nested
+
+let str s = Value.String s
+let int i = Value.Int i
+let tup fields = Value.Tuple fields
+
+let persons_schema =
+  Vtype.relation
+    [ ("name", Vtype.TString); ("hair", Vtype.TString); ("clothes", Vtype.TString) ]
+
+let witnesses_schema =
+  Vtype.relation [ ("wname", Vtype.TString); ("wsector", Vtype.TInt) ]
+
+let sightings_schema =
+  Vtype.relation
+    [
+      ("witness", Vtype.TString);
+      ("reporter", Vtype.TString);
+      ("shair", Vtype.TString);
+      ("sclothes", Vtype.TString);
+      ("ssector", Vtype.TInt);
+    ]
+
+let crimes_schema =
+  Vtype.relation [ ("csector", Vtype.TInt); ("ctype", Vtype.TString) ]
+
+let person name hair clothes =
+  tup [ ("name", str name); ("hair", str hair); ("clothes", str clothes) ]
+
+let witness name sector = tup [ ("wname", str name); ("wsector", int sector) ]
+
+let sighting ~witness ~reporter ~hair ~clothes ~sector =
+  tup
+    [
+      ("witness", str witness);
+      ("reporter", str reporter);
+      ("shair", str hair);
+      ("sclothes", str clothes);
+      ("ssector", int sector);
+    ]
+
+let crime sector ctype = tup [ ("csector", int sector); ("ctype", str ctype) ]
+
+let db () : Relation.Db.t =
+  let persons =
+    [
+      (* C1 target: Roger exists, but with red (not blue) hair *)
+      person "Roger" "red" "jeans";
+      person "Bill" "blue" "coat";
+      (* C2 target *)
+      person "Conedera" "black" "suit";
+      person "Smith" "brown" "hoodie";
+      (* C3 bystander whose hair is literally "snow" *)
+      person "Zoe" "snow" "dress";
+      person "Ashishbakshi" "red" "parka";
+    ]
+  in
+  let witnesses =
+    [
+      witness "Bob" 5;
+      (* C1: the person who reported Roger's description — present as a
+         witness, but the sighting's [witness] field does not name her *)
+      witness "Anna" 5;
+      (* C2: Helen passes the sector filter but is not named Susan; Joe
+         fails it too; Susan saw somebody else *)
+      witness "Helen" 95;
+      witness "Joe" 50;
+      witness "Susan" 50;
+      (* C3: the missing answer's witness *)
+      witness "Ashishbakshi" 12;
+    ]
+  in
+  let sightings =
+    [
+      (* C1: Roger's description was reported by Anna, but the sighting's
+         [witness] field holds a dangling name; [reporter] holds Anna *)
+      sighting ~witness:"Nobody" ~reporter:"Anna" ~hair:"red" ~clothes:"jeans"
+        ~sector:5;
+      (* C2: all three witnesses saw someone *)
+      sighting ~witness:"Helen" ~reporter:"Helen" ~hair:"black" ~clothes:"suit"
+        ~sector:95;
+      sighting ~witness:"Joe" ~reporter:"Joe" ~hair:"black" ~clothes:"suit"
+        ~sector:50;
+      sighting ~witness:"Susan" ~reporter:"Susan" ~hair:"brown"
+        ~clothes:"hoodie" ~sector:50;
+      (* C3: Ashishbakshi's own sighting — "snow" is in [sclothes], the
+         query projects [shair] *)
+      sighting ~witness:"Ashishbakshi" ~reporter:"Ashishbakshi" ~hair:"red"
+        ~clothes:"snow" ~sector:12;
+      (* C3: a sighting whose hair really is "snow", by an unknown witness *)
+      sighting ~witness:"Zoe" ~reporter:"Zoe" ~hair:"snow" ~clothes:"dress"
+        ~sector:33;
+    ]
+  in
+  let crimes =
+    [ crime 5 "theft"; crime 95 "burglary"; crime 50 "fraud"; crime 12 "arson" ]
+  in
+  Relation.Db.of_list
+    [
+      ("persons", Relation.of_tuples ~schema:persons_schema persons);
+      ("witnesses", Relation.of_tuples ~schema:witnesses_schema witnesses);
+      ("sightings", Relation.of_tuples ~schema:sightings_schema sightings);
+      ("crimes", Relation.of_tuples ~schema:crimes_schema crimes);
+    ]

@@ -1,0 +1,14 @@
+(** The crime dataset of scenarios C1–C3 (Table 6): persons, witnesses,
+    sightings, and crimes.  Small by design — it is the qualitative
+    comparison against Why-Not and Conseil, and small enough for the
+    exact MSR search to act as ground truth. *)
+
+open Nested
+
+val persons_schema : Vtype.t
+val witnesses_schema : Vtype.t
+val sightings_schema : Vtype.t
+val crimes_schema : Vtype.t
+
+(** Tables: [persons], [witnesses], [sightings], [crimes]. *)
+val db : unit -> Relation.Db.t

@@ -1,0 +1,337 @@
+(* Synthetic DBLP-like data for scenarios D1–D5.
+
+   The generator reproduces the structural properties the paper's DBLP
+   scenarios depend on:
+   - proceedings whose [ptitle] spells the conference name out in full
+     while [pbooktitle] carries the short form ("SIGMOD '19") — D1;
+   - [bibtex] records that are null for >99 % of entries while [fulltext]
+     is populated — D2;
+   - entries where a person appears as *editor* but not as author — D3;
+   - publications whose publisher and series disagree ("ACM" appears in
+     the series, not the publisher) — D4;
+   - author sites whose homepage URL is stored in the [note] attribute
+     with a null [url], a known quirk of DBLP — D5.
+
+   Target entities (the missing answers the scenarios ask about) are
+   embedded deterministically; filler volume scales with [scale]. *)
+
+open Nested
+
+let str s = Value.String s
+let int i = Value.Int i
+let tup fields = Value.Tuple fields
+let bag = Value.bag_of_list
+
+let venues = [ "SIGMOD"; "VLDB"; "ICDE"; "EDBT"; "CIKM"; "PODS" ]
+
+let venue_long = function
+  | "SIGMOD" -> "Proceedings of the International Conference on Management of Data"
+  | "VLDB" -> "Proceedings of the VLDB Endowment"
+  | "ICDE" -> "Proceedings of the International Conference on Data Engineering"
+  | "EDBT" -> "Proceedings of the Conference on Extending Database Technology"
+  | "CIKM" -> "Proceedings of the Conference on Information and Knowledge Management"
+  | v -> "Proceedings of " ^ v
+
+let first_names =
+  [ "Alice"; "Carlos"; "Dana"; "Erik"; "Fatima"; "Igor"; "Jun"; "Lena";
+    "Marco"; "Nadia"; "Omar"; "Priya"; "Quentin"; "Rosa"; "Tariq"; "Wei" ]
+
+let last_names =
+  [ "Schmidt"; "Garcia"; "Chen"; "Okafor"; "Dubois"; "Novak"; "Haddad";
+    "Kim"; "Rossi"; "Tanaka"; "Iyer"; "Kowalski" ]
+
+let person g = Prng.pick g first_names ^ " " ^ Prng.pick g last_names
+
+(* --- D1: inproceedings × proceedings ------------------------------------ *)
+
+let inproceedings_schema =
+  Vtype.relation
+    [
+      ("ikey", Vtype.TString);
+      ("title", Vtype.TTuple [ ("text", Vtype.TString); ("subtitle", Vtype.TString) ]);
+      ("authors", Vtype.relation [ ("name", Vtype.TString) ]);
+      ("crossref", Vtype.TString);
+    ]
+
+let proceedings_schema =
+  Vtype.relation
+    [
+      ("pkey", Vtype.TString);
+      ("ptitle", Vtype.TString);
+      ("pbooktitle", Vtype.TString);
+    ]
+
+(* D1 target: this paper appeared at SIGMOD 2019, whose [ptitle] does not
+   contain the string "SIGMOD". *)
+let d1_missing_title = "Holistic Explanations for Missing Answers"
+let d1_missing_author = "Ralf D."
+
+let gen_d1 g ~scale =
+  let n_proc = 4 * scale and papers_per_proc = 6 in
+  let procs =
+    List.init n_proc (fun i ->
+        let venue = Prng.pick g venues in
+        let year = Prng.range g ~lo:2015 ~hi:2021 in
+        let pkey = Fmt.str "conf/%s/%d-%d" (String.lowercase_ascii venue) year i in
+        (* some proceedings spell the venue in the long title as well — they
+           feed the non-empty original result *)
+        let ptitle =
+          if Prng.bool g ~p:0.3 then Fmt.str "%s %d Companion" venue year
+          else Fmt.str "%s %d" (venue_long venue) year
+        in
+        let pbooktitle = Fmt.str "%s '%02d" venue (year mod 100) in
+        (pkey, venue, ptitle, pbooktitle))
+  in
+  let sigmod19 =
+    ( "conf/sigmod/2019-target", "SIGMOD",
+      venue_long "SIGMOD" ^ " 2019", "SIGMOD '19" )
+  in
+  let procs = sigmod19 :: procs in
+  let inprocs =
+    List.concat_map
+      (fun (pkey, _, _, _) ->
+        List.init papers_per_proc (fun j ->
+            tup
+              [
+                ("ikey", str (Fmt.str "%s/p%d" pkey j));
+                ( "title",
+                  tup
+                    [
+                      ("text", str (Fmt.str "Paper %d of %s" j pkey));
+                      ("subtitle", str "");
+                    ] );
+                ( "authors",
+                  bag (List.init (Prng.range g ~lo:1 ~hi:3) (fun _ ->
+                           tup [ ("name", str (person g)) ])) );
+                ("crossref", str pkey);
+              ]))
+      procs
+  in
+  let target_paper =
+    tup
+      [
+        ("ikey", str "conf/sigmod/2019-target/epic");
+        ( "title",
+          tup [ ("text", str d1_missing_title); ("subtitle", str "") ] );
+        ( "authors",
+          bag [ tup [ ("name", str d1_missing_author) ] ] );
+        ("crossref", str "conf/sigmod/2019-target");
+      ]
+  in
+  let proc_tuples =
+    List.map
+      (fun (pkey, _, ptitle, pbooktitle) ->
+        tup
+          [ ("pkey", str pkey); ("ptitle", str ptitle); ("pbooktitle", str pbooktitle) ])
+      procs
+  in
+  ( Relation.of_tuples ~schema:inproceedings_schema (target_paper :: inprocs),
+    Relation.of_tuples ~schema:proceedings_schema proc_tuples )
+
+(* --- D2: articles with mostly-null bibtex -------------------------------- *)
+
+let articles_schema =
+  Vtype.relation
+    [
+      ("authors", Vtype.relation [ ("name", Vtype.TString) ]);
+      ("bibtex", Vtype.TTuple [ ("content", Vtype.TString) ]);
+      ("fulltext", Vtype.TTuple [ ("content", Vtype.TString) ]);
+    ]
+
+let d2_target_author = "Bora Keller"
+let d2_target_article_count = 6
+
+let gen_d2 g ~scale =
+  let n = 40 * scale in
+  let article ~author ~idx ~with_bibtex =
+    tup
+      [
+        ("authors", bag [ tup [ ("name", str author) ] ]);
+        ( "bibtex",
+          if with_bibtex then
+            tup [ ("content", str (Fmt.str "@article{%s-%d}" author idx)) ]
+          else Value.Null );
+        ("fulltext", tup [ ("content", str (Fmt.str "Article %d by %s" idx author)) ]);
+      ]
+  in
+  let fillers =
+    List.init n (fun i ->
+        (* >99 % of bibtex entries are null in DBLP *)
+        article ~author:(person g) ~idx:i ~with_bibtex:(Prng.bool g ~p:0.01))
+  in
+  let targets =
+    List.init d2_target_article_count (fun i ->
+        article ~author:d2_target_author ~idx:i ~with_bibtex:false)
+  in
+  Relation.of_tuples ~schema:articles_schema (targets @ fillers)
+
+(* --- D3: entries with authors and editors -------------------------------- *)
+
+let entries_schema =
+  Vtype.relation
+    [
+      ("meta", Vtype.TTuple [ ("booktitle", Vtype.TString); ("year", Vtype.TInt) ]);
+      ("author", Vtype.TString);
+      ("editor", Vtype.TString);
+      ("ptitle", Vtype.TString);
+    ]
+
+let d3_target_person = "Eva Maler"
+let d3_target_booktitle = "VLDB"
+let d3_target_year = 2019
+
+let gen_d3 g ~scale =
+  let n = 30 * scale in
+  let entry booktitle year author editor ptitle =
+    tup
+      [
+        ("meta", tup [ ("booktitle", str booktitle); ("year", int year) ]);
+        ("author", str author);
+        ("editor", str editor);
+        ("ptitle", str ptitle);
+      ]
+  in
+  let fillers =
+    List.init n (fun i ->
+        entry (Prng.pick g venues)
+          (Prng.range g ~lo:2015 ~hi:2021)
+          (person g) (person g)
+          (Fmt.str "Entry %d" i))
+  in
+  (* the target person edited — but never authored — at VLDB 2019 *)
+  let target =
+    entry d3_target_booktitle d3_target_year (person g) d3_target_person
+      "Edited Volume on Provenance"
+  in
+  Relation.of_tuples ~schema:entries_schema (target :: fillers)
+
+(* --- D4: publications joined with publisher info -------------------------- *)
+
+let ipubs_schema =
+  Vtype.relation
+    [
+      ("authors", Vtype.relation [ ("name", Vtype.TString) ]);
+      ("ptitle", Vtype.TString);
+      ("year", Vtype.TInt);
+      ("pcrossref", Vtype.TString);
+    ]
+
+let pubinfo_schema =
+  Vtype.relation
+    [
+      ("pkey", Vtype.TString);
+      ("publisher", Vtype.TTuple [ ("plabel", Vtype.TString) ]);
+      ("series", Vtype.TTuple [ ("plabel", Vtype.TString) ]);
+    ]
+
+let d4_target_author = "Frank Ott"
+
+let gen_d4 g ~scale =
+  let publishers = [ "ACM"; "IEEE"; "Springer"; "Elsevier" ] in
+  let n_info = 10 * scale in
+  let info pkey publisher series =
+    tup
+      [
+        ("pkey", str pkey);
+        ("publisher", tup [ ("plabel", str publisher) ]);
+        ("series", tup [ ("plabel", str series) ]);
+      ]
+  in
+  let infos =
+    List.init n_info (fun i ->
+        info (Fmt.str "pub-%d" i) (Prng.pick g publishers) (Prng.pick g publishers))
+  in
+  (* target publication records: the "ACM" value sits in the series *)
+  let infos =
+    info "pub-frank-a" "IEEE" "IEEE CS" (* pub1: wrong everywhere *)
+    :: info "pub-frank-b" "Springer" "ACM" (* pub2: ACM in the series *)
+    :: info "pub-frank-c" "Elsevier" "LNCS" (* pub3: wrong everywhere *)
+    :: infos
+  in
+  let pub ~author ~title ~year ~crossref =
+    tup
+      [
+        ("authors", bag [ tup [ ("name", str author) ] ]);
+        ("ptitle", str title);
+        ("year", int year);
+        ("pcrossref", str crossref);
+      ]
+  in
+  let fillers =
+    List.init (20 * scale) (fun i ->
+        pub ~author:(person g)
+          ~title:(Fmt.str "Pub %d" i)
+          ~year:(Prng.range g ~lo:2008 ~hi:2021)
+          ~crossref:(Fmt.str "pub-%d" (Prng.int g n_info)))
+  in
+  let targets =
+    [
+      pub ~author:d4_target_author ~title:"Old ACM-series work" ~year:2012
+        ~crossref:"pub-frank-b";
+      pub ~author:d4_target_author ~title:"Recent IEEE work" ~year:2016
+        ~crossref:"pub-frank-a";
+      pub ~author:d4_target_author ~title:"Older LNCS work" ~year:2011
+        ~crossref:"pub-frank-c";
+    ]
+  in
+  ( Relation.of_tuples ~schema:ipubs_schema (targets @ fillers),
+    Relation.of_tuples ~schema:pubinfo_schema infos )
+
+(* --- D5: author homepages -------------------------------------------------*)
+
+let authors_schema =
+  Vtype.relation
+    [
+      ("person", Vtype.TTuple [ ("aname", Vtype.TString) ]);
+      ( "sites",
+        Vtype.relation [ ("url", Vtype.TString); ("note", Vtype.TString) ] );
+    ]
+
+let d5_target_author = "Grace Lindgren"
+let d5_target_url = "http://grace-lindgren.example.org"
+
+let gen_d5 g ~scale =
+  let n = 25 * scale in
+  let author name sites =
+    tup [ ("person", tup [ ("aname", str name) ]); ("sites", bag sites) ]
+  in
+  let site ?(url = Value.Null) ?(note = Value.Null) () =
+    tup [ ("url", url); ("note", note) ]
+  in
+  let fillers =
+    List.init n (fun i ->
+        let name = person g in
+        let sites =
+          if Prng.bool g ~p:0.3 then []
+          else
+            [
+              site ~url:(str (Fmt.str "http://author%d.example.org" i)) ();
+            ]
+        in
+        author name sites)
+  in
+  (* DBLP quirk: the homepage URL is stored in [note], [url] is null *)
+  let target =
+    author d5_target_author [ site ~note:(str d5_target_url) () ]
+  in
+  Relation.of_tuples ~schema:authors_schema (target :: fillers)
+
+(* --- Assembled database --------------------------------------------------- *)
+
+let db ?(seed = 42) ~scale () : Relation.Db.t =
+  let g = Prng.create ~seed in
+  let inproc, proc = gen_d1 g ~scale in
+  let articles = gen_d2 g ~scale in
+  let entries = gen_d3 g ~scale in
+  let ipubs, pubinfo = gen_d4 g ~scale in
+  let authors = gen_d5 g ~scale in
+  Relation.Db.of_list
+    [
+      ("inproceedings", inproc);
+      ("proceedings", proc);
+      ("articles", articles);
+      ("entries", entries);
+      ("ipubs", ipubs);
+      ("pubinfo", pubinfo);
+      ("authors", authors);
+    ]

@@ -1,0 +1,37 @@
+(** Synthetic DBLP-like data for scenarios D1–D5.
+
+    Reproduces the structural properties the paper's DBLP scenarios depend
+    on: long vs short proceedings titles (D1), >99 %-null bibtex records
+    (D2), editor-but-not-author entries (D3), "ACM" appearing in the
+    series rather than the publisher (D4), and homepage URLs stored in
+    the note attribute (D5).  Target entities are embedded
+    deterministically; filler volume scales with [scale]. *)
+
+open Nested
+
+(** {1 Schemas} *)
+
+val inproceedings_schema : Vtype.t
+val proceedings_schema : Vtype.t
+val articles_schema : Vtype.t
+val entries_schema : Vtype.t
+val ipubs_schema : Vtype.t
+val pubinfo_schema : Vtype.t
+val authors_schema : Vtype.t
+
+(** {1 Target entities of the why-not questions} *)
+
+val d1_missing_title : string
+val d1_missing_author : string
+val d2_target_author : string
+val d2_target_article_count : int
+val d3_target_person : string
+val d3_target_booktitle : string
+val d3_target_year : int
+val d4_target_author : string
+val d5_target_author : string
+val d5_target_url : string
+
+(** Tables: [inproceedings], [proceedings], [articles], [entries],
+    [ipubs], [pubinfo], [authors]. *)
+val db : ?seed:int -> scale:int -> unit -> Relation.Db.t

@@ -1,0 +1,46 @@
+(* Deterministic splitmix64 PRNG.  All generators take explicit seeds so
+   that datasets — and therefore every experiment — are reproducible. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_int64 (g : t) : int64 =
+  g.state <- Int64.add g.state 0x9E3779B97F4A7C15L;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int (g : t) (bound : int) : int =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 g) 1) (Int64.of_int bound))
+
+(* Uniform int in [lo, hi] inclusive. *)
+let range (g : t) ~lo ~hi : int = lo + int g (hi - lo + 1)
+
+let float (g : t) : float =
+  Int64.to_float (Int64.shift_right_logical (next_int64 g) 11)
+  /. 9007199254740992.0 (* 2^53 *)
+
+let bool (g : t) ~(p : float) : bool = float g < p
+
+let pick (g : t) (xs : 'a list) : 'a =
+  match xs with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | _ -> List.nth xs (int g (List.length xs))
+
+let pick_weighted (g : t) (xs : ('a * int) list) : 'a =
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 xs in
+  if total <= 0 then invalid_arg "Prng.pick_weighted: non-positive weights";
+  let r = int g total in
+  let rec go acc = function
+    | [] -> invalid_arg "Prng.pick_weighted: unreachable"
+    | (x, w) :: rest -> if r < acc + w then x else go (acc + w) rest
+  in
+  go 0 xs
+
+(* Sample [n] elements (with replacement) from a list. *)
+let sample (g : t) (n : int) (xs : 'a list) : 'a list =
+  List.init n (fun _ -> pick g xs)

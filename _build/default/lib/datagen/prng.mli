@@ -1,0 +1,30 @@
+(** Deterministic splitmix64 PRNG.
+
+    All generators take explicit seeds so that datasets — and therefore
+    every experiment — are reproducible. *)
+
+type t
+
+val create : seed:int -> t
+val next_int64 : t -> int64
+
+(** Uniform int in [\[0, bound)].  Raises on non-positive bounds. *)
+val int : t -> int -> int
+
+(** Uniform int in [\[lo, hi\]] inclusive. *)
+val range : t -> lo:int -> hi:int -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** Bernoulli with probability [p]. *)
+val bool : t -> p:float -> bool
+
+(** Uniform choice.  Raises on empty lists. *)
+val pick : t -> 'a list -> 'a
+
+(** Weighted choice.  Raises on non-positive total weight. *)
+val pick_weighted : t -> ('a * int) list -> 'a
+
+(** [n] samples with replacement. *)
+val sample : t -> int -> 'a list -> 'a list

@@ -1,0 +1,290 @@
+(* Synthetic TPC-H-like data, flat and nested (lineitems nested into
+   orders, following the nested TPC-H variant of Pirzadeh et al. that the
+   paper evaluates on).  Dates are encoded as yyyymmdd integers.
+
+   The target entities of scenarios Q1–Q13 (the missing orders/customers)
+   are embedded deterministically; everything else scales with [scale]. *)
+
+open Nested
+
+let str s = Value.String s
+let int i = Value.Int i
+let flt f = Value.Float f
+let tup fields = Value.Tuple fields
+
+let segments = [ "BUILDING"; "AUTOMOBILE"; "MACHINERY"; "HOUSEHOLD"; "FURNITURE" ]
+let ship_priorities = [ "HIGH"; "LOW" ]
+let order_priorities = [ "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" ]
+let return_flags = [ ("N", 6); ("R", 3); ("A", 1) ]
+let nations = [ (0, "FRANCE"); (1, "GERMANY"); (2, "JAPAN"); (3, "BRAZIL"); (4, "CANADA") ]
+
+(* Target keys used by the scenario definitions. *)
+let q3_target_orderkey = 4986467
+let q3_target_custkey = 90001
+let q10_target_custkey = 61402
+
+let random_date g ~lo_year ~hi_year =
+  (Prng.range g ~lo:lo_year ~hi:hi_year * 10000)
+  + (Prng.range g ~lo:1 ~hi:12 * 100)
+  + Prng.range g ~lo:1 ~hi:28
+
+let lineitem_fields ~orderkey ~quantity ~price ~discount ~tax ~flag ~ship
+    ~commit ~receipt =
+  [
+    ("l_orderkey", int orderkey);
+    ("l_quantity", int quantity);
+    ("l_extendedprice", flt price);
+    ("l_discount", flt discount);
+    ("l_tax", flt tax);
+    ("l_returnflag", str flag);
+    ("l_shipdate", int ship);
+    ("l_commitdate", int commit);
+    ("l_receiptdate", int receipt);
+  ]
+
+let lineitem_schema_fields =
+  [
+    ("l_orderkey", Vtype.TInt);
+    ("l_quantity", Vtype.TInt);
+    ("l_extendedprice", Vtype.TFloat);
+    ("l_discount", Vtype.TFloat);
+    ("l_tax", Vtype.TFloat);
+    ("l_returnflag", Vtype.TString);
+    ("l_shipdate", Vtype.TInt);
+    ("l_commitdate", Vtype.TInt);
+    ("l_receiptdate", Vtype.TInt);
+  ]
+
+let order_schema_fields =
+  [
+    ("o_orderkey", Vtype.TInt);
+    ("o_custkey", Vtype.TInt);
+    ("o_orderdate", Vtype.TInt);
+    ("o_shippriority", Vtype.TString);
+    ("o_orderpriority", Vtype.TString);
+  ]
+
+let nested_orders_schema =
+  Vtype.relation
+    (order_schema_fields
+    @ [ ("o_lineitems", Vtype.relation lineitem_schema_fields) ])
+
+let orders_schema = Vtype.relation order_schema_fields
+let lineitem_schema = Vtype.relation lineitem_schema_fields
+
+let customer_schema =
+  Vtype.relation
+    [
+      ("c_custkey", Vtype.TInt);
+      ("c_name", Vtype.TString);
+      ("c_acctbal", Vtype.TFloat);
+      ("c_phone", Vtype.TString);
+      ("c_address", Vtype.TString);
+      ("c_comment", Vtype.TString);
+      ("c_mktsegment", Vtype.TString);
+      ("c_nationkey", Vtype.TInt);
+    ]
+
+let nation_schema =
+  Vtype.relation [ ("n_nationkey", Vtype.TInt); ("n_name", Vtype.TString) ]
+
+let random_lineitem g ~orderkey =
+  let ship = random_date g ~lo_year:1993 ~hi_year:1998 in
+  (* commit and receipt dates scatter around the ship date so that all
+     orderings of ship/commit/receipt occur (exercised by Q4) *)
+  let commit = ship + Prng.range g ~lo:(-40) ~hi:40 in
+  let receipt = ship + Prng.range g ~lo:(-10) ~hi:60 in
+  lineitem_fields ~orderkey
+    ~quantity:(Prng.range g ~lo:1 ~hi:50)
+    ~price:(float_of_int (Prng.range g ~lo:900 ~hi:100000) /. 1.0)
+    ~discount:(float_of_int (Prng.range g ~lo:2 ~hi:10) /. 100.)
+    ~tax:(float_of_int (Prng.range g ~lo:0 ~hi:8) /. 100.)
+    ~flag:(Prng.pick_weighted g return_flags)
+    ~ship ~commit ~receipt
+
+let customer g ~custkey ~segment ~nationkey =
+  tup
+    [
+      ("c_custkey", int custkey);
+      ("c_name", str (Fmt.str "Customer#%06d" custkey));
+      ("c_acctbal", flt (float_of_int (Prng.range g ~lo:(-900) ~hi:9000)));
+      ("c_phone", str (Fmt.str "27-%03d-%04d" (Prng.int g 1000) (Prng.int g 10000)));
+      ("c_address", str (Fmt.str "%d Main St" (Prng.int g 900)));
+      ("c_comment", str "regular deposits haggle");
+      ("c_mktsegment", str segment);
+      ("c_nationkey", int nationkey);
+    ]
+
+let db ?(seed = 1234) ~scale () : Relation.Db.t =
+  let g = Prng.create ~seed in
+  let n_customers = 20 * scale in
+  let n_orders = 60 * scale in
+  let order ~orderkey ~custkey ~orderdate ~shipprio ~orderprio ~lineitems =
+    ( [
+        ("o_orderkey", int orderkey);
+        ("o_custkey", int custkey);
+        ("o_orderdate", int orderdate);
+        ("o_shippriority", str shipprio);
+        ("o_orderpriority", str orderprio);
+      ],
+      lineitems )
+  in
+  let random_order ~orderkey =
+    let custkey = 1 + Prng.int g n_customers in
+    let n_items = Prng.range g ~lo:1 ~hi:5 in
+    order ~orderkey ~custkey
+      ~orderdate:(random_date g ~lo_year:1993 ~hi_year:1998)
+      ~shipprio:(Prng.pick g ship_priorities)
+      ~orderprio:(Prng.pick g order_priorities)
+      ~lineitems:(List.init n_items (fun _ -> random_lineitem g ~orderkey))
+  in
+  let filler_orders = List.init n_orders (fun i -> random_order ~orderkey:(i + 1)) in
+  (* Q3 target: a BUILDING-segment customer's order, placed before
+     1995-03-15, whose lineitems commit between 03-15 and 03-25 (passing
+     the intended filter, failing the mistyped one). *)
+  let q3_order =
+    order ~orderkey:q3_target_orderkey ~custkey:q3_target_custkey
+      ~orderdate:19950310 ~shipprio:"HIGH" ~orderprio:"2-HIGH"
+      ~lineitems:
+        [
+          lineitem_fields ~orderkey:q3_target_orderkey ~quantity:10
+            ~price:25000. ~discount:0.05 ~tax:0.04 ~flag:"N" ~ship:19950410
+            ~commit:19950320 ~receipt:19950420;
+          lineitem_fields ~orderkey:q3_target_orderkey ~quantity:3
+            ~price:9000. ~discount:0.04 ~tax:0.02 ~flag:"N" ~ship:19950412
+            ~commit:19950318 ~receipt:19950430;
+        ]
+  in
+  (* Q10 targets: customer 61402 returned items (flag R); one order inside
+     the queried date window, one outside. *)
+  let q10_orders =
+    [
+      order ~orderkey:7000001 ~custkey:q10_target_custkey ~orderdate:19971115
+        ~shipprio:"LOW" ~orderprio:"3-MEDIUM"
+        ~lineitems:
+          [
+            lineitem_fields ~orderkey:7000001 ~quantity:7 ~price:18000.
+              ~discount:0.06 ~tax:0.03 ~flag:"R" ~ship:19971201
+              ~commit:19971210 ~receipt:19971215;
+          ];
+      order ~orderkey:7000002 ~custkey:q10_target_custkey ~orderdate:19970801
+        ~shipprio:"LOW" ~orderprio:"5-LOW"
+        ~lineitems:
+          [
+            lineitem_fields ~orderkey:7000002 ~quantity:2 ~price:4000.
+              ~discount:0.08 ~tax:0.01 ~flag:"R" ~ship:19970901
+              ~commit:19970910 ~receipt:19970915;
+          ];
+    ]
+  in
+  (* Q10 support: some returned-"A" lineitems inside the queried window so
+     the (wrong) return-flag filter is not globally empty. *)
+  let q10_support =
+    List.init 3 (fun i ->
+        order ~orderkey:(7100000 + i) ~custkey:(1 + Prng.int g n_customers)
+          ~orderdate:(19971001 + (i * 20))
+          ~shipprio:(Prng.pick g ship_priorities)
+          ~orderprio:(Prng.pick g order_priorities)
+          ~lineitems:
+            [
+              lineitem_fields ~orderkey:(7100000 + i)
+                ~quantity:(Prng.range g ~lo:1 ~hi:40)
+                ~price:12000. ~discount:0.05 ~tax:0.04 ~flag:"A"
+                ~ship:19971101 ~commit:19971110 ~receipt:19971120;
+            ])
+  in
+  (* Q4 targets: 3-MEDIUM orders around the queried window with controlled
+     ship/commit/receipt orderings. *)
+  let q4_item ~orderkey ~ship ~commit ~receipt =
+    lineitem_fields ~orderkey ~quantity:5 ~price:8000. ~discount:0.04
+      ~tax:0.03 ~flag:"N" ~ship ~commit ~receipt
+  in
+  let q4_orders =
+    [
+      (* in window; ships before receipt — present under the erroneous
+         filter already *)
+      order ~orderkey:7200001 ~custkey:1 ~orderdate:19930715 ~shipprio:"HIGH"
+        ~orderprio:"3-MEDIUM"
+        ~lineitems:[ q4_item ~orderkey:7200001 ~ship:19930801 ~commit:19930810 ~receipt:19930820 ];
+      (* in window; commits before receipt but ships late — only the
+         intended (commit-date) filter admits it *)
+      order ~orderkey:7200002 ~custkey:2 ~orderdate:19930801 ~shipprio:"LOW"
+        ~orderprio:"3-MEDIUM"
+        ~lineitems:[ q4_item ~orderkey:7200002 ~ship:19930901 ~commit:19930810 ~receipt:19930825 ];
+      (* same lateness profile but outside the date window *)
+      order ~orderkey:7200003 ~custkey:3 ~orderdate:19931201 ~shipprio:"LOW"
+        ~orderprio:"3-MEDIUM"
+        ~lineitems:[ q4_item ~orderkey:7200003 ~ship:19940101 ~commit:19931210 ~receipt:19931225 ];
+    ]
+  in
+  let all_orders =
+    q3_order :: (q10_orders @ q10_support @ q4_orders @ filler_orders)
+  in
+  let nested_orders =
+    List.map
+      (fun (ofields, lineitems) ->
+        tup (ofields @ [ ("o_lineitems", Value.bag_of_list (List.map tup lineitems)) ]))
+      all_orders
+  in
+  let flat_orders = List.map (fun (ofields, _) -> tup ofields) all_orders in
+  let flat_lineitems =
+    List.concat_map (fun (_, lineitems) -> List.map tup lineitems) all_orders
+  in
+  (* customers: regular ones, the two targets, and some without any order
+     (needed by Q13) *)
+  let fillers =
+    List.init n_customers (fun i ->
+        customer g ~custkey:(i + 1)
+          ~segment:(Prng.pick g segments)
+          ~nationkey:(fst (Prng.pick g nations)))
+  in
+  let no_order_customers =
+    List.init (max 2 (2 * scale)) (fun i ->
+        customer g ~custkey:(800000 + i)
+          ~segment:(Prng.pick g segments)
+          ~nationkey:(fst (Prng.pick g nations)))
+  in
+  let targets =
+    [
+      customer g ~custkey:q3_target_custkey ~segment:"BUILDING" ~nationkey:0;
+      customer g ~custkey:q10_target_custkey ~segment:"AUTOMOBILE" ~nationkey:1;
+    ]
+  in
+  let customers = targets @ no_order_customers @ fillers in
+  let nation_tuples =
+    List.map (fun (k, n) -> tup [ ("n_nationkey", int k); ("n_name", str n) ]) nations
+  in
+  (* customers with their orders nested — the deeper-nested schema used by
+     the nested Q13 variant *)
+  let nested_customers =
+    List.map
+      (fun c ->
+        let custkey =
+          match Value.field "c_custkey" c with
+          | Some (Value.Int k) -> k
+          | _ -> assert false
+        in
+        let my_orders =
+          List.filter
+            (fun o -> Value.field "o_custkey" o = Some (int custkey))
+            flat_orders
+        in
+        Value.concat_tuples c
+          (tup [ ("c_orders", Value.bag_of_list my_orders) ]))
+      customers
+  in
+  let nested_customers_schema =
+    Vtype.relation
+      (Vtype.relation_fields customer_schema
+      @ [ ("c_orders", Vtype.relation order_schema_fields) ])
+  in
+  Relation.Db.of_list
+    [
+      ("nested_orders", Relation.of_tuples ~schema:nested_orders_schema nested_orders);
+      ("orders", Relation.of_tuples ~schema:orders_schema flat_orders);
+      ("lineitem", Relation.of_tuples ~schema:lineitem_schema flat_lineitems);
+      ("customer", Relation.of_tuples ~schema:customer_schema customers);
+      ( "nested_customers",
+        Relation.of_tuples ~schema:nested_customers_schema nested_customers );
+      ("nation", Relation.of_tuples ~schema:nation_schema nation_tuples);
+    ]

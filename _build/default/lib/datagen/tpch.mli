@@ -1,0 +1,26 @@
+(** Synthetic TPC-H-like data, flat and nested (lineitems nested into
+    orders, following the nested TPC-H variant of Pirzadeh et al. the
+    paper evaluates on).  Dates are yyyymmdd integers.  Target entities
+    of scenarios Q1–Q13 are embedded deterministically; volume scales
+    with [scale]. *)
+
+open Nested
+
+(** {1 Schemas} *)
+
+val nested_orders_schema : Vtype.t
+val orders_schema : Vtype.t
+val lineitem_schema : Vtype.t
+val customer_schema : Vtype.t
+val nation_schema : Vtype.t
+
+(** {1 Target keys of the why-not questions} *)
+
+val q3_target_orderkey : int
+val q3_target_custkey : int
+val q10_target_custkey : int
+
+(** Tables: [nested_orders], [orders], [lineitem], [customer],
+    [nested_customers] (orders nested into customers, for the nested Q13
+    variant), [nation]. *)
+val db : ?seed:int -> scale:int -> unit -> Relation.Db.t

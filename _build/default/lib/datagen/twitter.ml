@@ -1,0 +1,209 @@
+(* Synthetic Twitter-like data for scenarios T1–T4 and T_ASD.
+
+   Reproduces the structural quirks the paper's Twitter scenarios rely on:
+   - media URLs living in [extended_entities] while [entities.media] is
+     empty (T1, T3);
+   - the tweet's [place] country differing from the user's location-based
+     country (T2, T4) — the user location is normalized to a record of the
+     same shape as [place], which is how our loader would materialize the
+     free-text `user.location` field;
+   - retweet/quote ambiguity: [retweeted_status] and [quoted_status] have
+     identical shapes, one of them null (T_ASD). *)
+
+open Nested
+
+let str s = Value.String s
+let int i = Value.Int i
+let tup fields = Value.Tuple fields
+let bag = Value.bag_of_list
+
+let countries = [ "US"; "UK"; "FR"; "DE"; "BR"; "JP"; "KR" ]
+let players = [ "Jordan"; "LeBron"; "Curry"; "Durant" ]
+
+let user_names =
+  [ "hoops4life"; "dataqueen"; "nightowl"; "skywalker"; "quietstorm";
+    "pixelpusher"; "marathoner"; "catlady"; "oldschool"; "zenmaster" ]
+
+(* --- T1 / T3: tweets with entities and extended entities ------------------ *)
+
+let media_schema = Vtype.relation [ ("murl", Vtype.TString) ]
+
+let tweets_media_schema =
+  Vtype.relation
+    [
+      ("tuser", Vtype.TString);
+      ("text", Vtype.TString);
+      ("entities", Vtype.TTuple [ ("media", media_schema) ]);
+      ("extended_entities", Vtype.TTuple [ ("media", media_schema) ]);
+    ]
+
+let t1_target_text = "LeBron with the poster dunk tonight"
+let t1_target_url = "https://t.co/lebron-dunk.mp4"
+let t3_target_user = "hoops4life"
+let t3_target_url = "https://t.co/hoops-clip.mp4"
+
+let mentions_schema = Vtype.relation [ ("mentioned", Vtype.TString) ]
+
+let gen_tweets_media g ~scale =
+  let n = 60 * scale in
+  let media urls = tup [ ("media", bag (List.map (fun u -> tup [ ("murl", str u) ]) urls)) ] in
+  let tweet ~user ~text ~entities_media ~extended_media =
+    tup
+      [
+        ("tuser", str user);
+        ("text", str text);
+        ("entities", media entities_media);
+        ("extended_entities", media extended_media);
+      ]
+  in
+  let fillers =
+    List.init n (fun i ->
+        let player = Prng.pick g players in
+        let url = Fmt.str "https://t.co/clip-%d.mp4" i in
+        let has_inline_media = Prng.bool g ~p:0.5 in
+        tweet
+          ~user:(Prng.pick g user_names)
+          ~text:(Fmt.str "%s highlights part %d" player i)
+          ~entities_media:(if has_inline_media then [ url ] else [])
+          ~extended_media:[ url ])
+  in
+  (* T1 target: a LeBron tweet whose media URL only exists in
+     extended_entities *)
+  let t1_target =
+    tweet ~user:"nba_fan" ~text:t1_target_text ~entities_media:[]
+      ~extended_media:[ t1_target_url ]
+  in
+  (* T3 target: a mentioned user whose own tweet has the same quirk *)
+  let t3_target =
+    tweet ~user:t3_target_user ~text:"my new highlight reel" ~entities_media:[]
+      ~extended_media:[ t3_target_url ]
+  in
+  let mentions =
+    List.map
+      (fun u -> tup [ ("mentioned", str u) ])
+      (t3_target_user :: Prng.sample g (10 * scale) user_names)
+  in
+  ( Relation.of_tuples ~schema:tweets_media_schema (t1_target :: t3_target :: fillers),
+    Relation.of_tuples ~schema:mentions_schema mentions )
+
+(* --- T2 / T4: tweets with place and normalized user location -------------- *)
+
+let loc_schema = Vtype.TTuple [ ("country", Vtype.TString) ]
+
+let tweets_geo_schema =
+  Vtype.relation
+    [
+      ("guser", Vtype.TString);
+      ("gtext", Vtype.TString);
+      ("place", loc_schema);
+      ("userloc", loc_schema);
+      ("hashtags", Vtype.relation [ ("tag", Vtype.TString) ]);
+    ]
+
+let t2_target_user = "btsarmy_sarah"
+let t4_target_tag = "#ChelseaFC"
+
+let gen_tweets_geo g ~scale =
+  let n = 60 * scale in
+  let loc country = tup [ ("country", country) ] in
+  let tweet ~user ~text ~place ~userloc ~tags =
+    tup
+      [
+        ("guser", str user);
+        ("gtext", str text);
+        ("place", loc place);
+        ("userloc", loc userloc);
+        ("hashtags", bag (List.map (fun t -> tup [ ("tag", str t) ]) tags));
+      ]
+  in
+  let fillers =
+    List.init n (fun i ->
+        let c = str (Prng.pick g countries) in
+        tweet
+          ~user:(Prng.pick g user_names)
+          ~text:
+            (Fmt.str "%s stuff %d"
+               (Prng.pick g [ "BTS"; "UEFA"; "random"; "coffee" ])
+               i)
+          ~place:c ~userloc:c
+          ~tags:(Prng.sample g (Prng.range g ~lo:0 ~hi:2) [ "#kpop"; "#UCL"; "#food" ]))
+  in
+  (* T2 target: a US fan whose tweets carry no / foreign place data *)
+  let t2_targets =
+    [
+      tweet ~user:t2_target_user ~text:"BTS concert was unreal"
+        ~place:Value.Null ~userloc:(str "US") ~tags:[ "#kpop" ];
+      tweet ~user:t2_target_user ~text:"airport coffee again"
+        ~place:(str "KR") ~userloc:(str "JP") ~tags:[];
+    ]
+  in
+  (* T4 targets: #ChelseaFC tweets; countries reachable only via userloc or
+     via a tweet whose text lacks "UEFA" *)
+  let t4_targets =
+    [
+      tweet ~user:"blues_fan" ~text:"UEFA final here we go"
+        ~place:Value.Null ~userloc:(str "UK") ~tags:[ t4_target_tag ];
+      tweet ~user:"paris_blue" ~text:"match day"
+        ~place:(str "FR") ~userloc:(str "FR") ~tags:[ t4_target_tag ];
+    ]
+  in
+  Relation.of_tuples ~schema:tweets_geo_schema (t2_targets @ t4_targets @ fillers)
+
+(* --- T_ASD: retweets vs quotes -------------------------------------------- *)
+
+let status_schema =
+  Vtype.TTuple [ ("rid", Vtype.TString); ("rcount", Vtype.TInt) ]
+
+let tweets_asd_schema =
+  Vtype.relation
+    [
+      ("tid", Vtype.TString);
+      ("retweeted_status", status_schema);
+      ("quoted_status", status_schema);
+    ]
+
+let tasd_target_rid = "famous-755371"
+
+let gen_tweets_asd g ~scale =
+  let n = 50 * scale in
+  let status rid rcount = tup [ ("rid", str rid); ("rcount", rcount) ] in
+  let tweet ~tid ~retweeted ~quoted =
+    tup [ ("tid", str tid); ("retweeted_status", retweeted); ("quoted_status", quoted) ]
+  in
+  let fillers =
+    List.init n (fun i ->
+        let is_retweet = Prng.bool g ~p:0.6 in
+        let s = status (Fmt.str "status-%d" i) (int (Prng.int g 10000)) in
+        tweet
+          ~tid:(Fmt.str "tweet-%d" i)
+          ~retweeted:(if is_retweet then s else Value.Null)
+          ~quoted:(if is_retweet then Value.Null else s))
+  in
+  let targets =
+    [
+      (* the famous retweet: only present as retweeted_status *)
+      tweet ~tid:"tweet-target-a"
+        ~retweeted:(status tasd_target_rid (int 50000))
+        ~quoted:Value.Null;
+      (* a second retweet of it with a null count — exercises the filter *)
+      tweet ~tid:"tweet-target-b"
+        ~retweeted:(status tasd_target_rid Value.Null)
+        ~quoted:Value.Null;
+    ]
+  in
+  Relation.of_tuples ~schema:tweets_asd_schema (targets @ fillers)
+
+(* --- Assembled database ---------------------------------------------------- *)
+
+let db ?(seed = 7) ~scale () : Relation.Db.t =
+  let g = Prng.create ~seed in
+  let tweets_media, mentions = gen_tweets_media g ~scale in
+  let tweets_geo = gen_tweets_geo g ~scale in
+  let tweets_asd = gen_tweets_asd g ~scale in
+  Relation.Db.of_list
+    [
+      ("tweets_media", tweets_media);
+      ("mentions", mentions);
+      ("tweets_geo", tweets_geo);
+      ("tweets_asd", tweets_asd);
+    ]

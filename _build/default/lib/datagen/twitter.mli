@@ -1,0 +1,32 @@
+(** Synthetic Twitter-like data for scenarios T1–T4 and T_ASD.
+
+    Reproduces the structural quirks the paper's Twitter scenarios rely
+    on: media URLs in [extended_entities] while [entities.media] is empty
+    (T1/T3); the tweet's place country differing from the user's
+    normalized location country (T2/T4); and the retweet/quote ambiguity
+    with two identically shaped, mutually null status records (T_ASD). *)
+
+open Nested
+
+(** {1 Schemas} *)
+
+val media_schema : Vtype.t
+val tweets_media_schema : Vtype.t
+val mentions_schema : Vtype.t
+val loc_schema : Vtype.t
+val tweets_geo_schema : Vtype.t
+val status_schema : Vtype.t
+val tweets_asd_schema : Vtype.t
+
+(** {1 Target entities of the why-not questions} *)
+
+val t1_target_text : string
+val t1_target_url : string
+val t2_target_user : string
+val t3_target_user : string
+val t3_target_url : string
+val t4_target_tag : string
+val tasd_target_rid : string
+
+(** Tables: [tweets_media], [mentions], [tweets_geo], [tweets_asd]. *)
+val db : ?seed:int -> scale:int -> unit -> Relation.Db.t

@@ -1,0 +1,1 @@
+lib/engine/dataset.ml: Array Char Domain Int64 List Nested Relation String Value

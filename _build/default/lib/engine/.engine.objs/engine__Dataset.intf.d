@@ -1,0 +1,1 @@
+lib/engine/dataset.mli: Nested Relation Value Vtype

@@ -1,0 +1,1 @@
+lib/engine/exec.ml: Agg Array Dataset Expr Fmt Fun Hashtbl List Nested Nrab Option Query Relation Stats String Typecheck Value Vtype

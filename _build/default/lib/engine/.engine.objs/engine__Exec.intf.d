@@ -1,0 +1,1 @@
+lib/engine/exec.mli: Expr Nested Nrab Query Relation Stats

@@ -1,0 +1,1 @@
+lib/engine/plan.ml: Exec Fmt List Nested Nrab Query String Typecheck

@@ -1,0 +1,85 @@
+(* Partitioned datasets — the engine's unit of distribution.
+
+   A dataset is an array of partitions, each a list of tuples (already
+   expanded to their multiplicities, like rows of a Spark DataFrame). *)
+
+open Nested
+
+type t = { partitions : Value.t list array }
+
+let of_partitions partitions = { partitions }
+let partitions d = d.partitions
+let partition_count d = Array.length d.partitions
+
+let cardinal d =
+  Array.fold_left (fun acc p -> acc + List.length p) 0 d.partitions
+
+let to_list (d : t) : Value.t list =
+  List.concat (Array.to_list d.partitions)
+
+(* Hash of a value, stable across runs (no use of OCaml's randomized
+   hashing). *)
+let rec value_hash (v : Value.t) : int =
+  match v with
+  | Value.Null -> 17
+  | Value.Bool b -> if b then 31 else 37
+  | Value.Int i -> i * 2654435761
+  | Value.Float f -> Int64.to_int (Int64.bits_of_float f) * 2654435761
+  | Value.String s ->
+    let h = ref 5381 in
+    String.iter (fun c -> h := (!h * 33) + Char.code c) s;
+    !h
+  | Value.Tuple fields ->
+    List.fold_left
+      (fun acc (l, fv) -> (acc * 31) + value_hash (Value.String l) + value_hash fv)
+      7 fields
+  | Value.Bag es ->
+    List.fold_left (fun acc (e, m) -> acc + (value_hash e * m)) 11 es
+
+(* Distribute a list of tuples round-robin over [n] partitions. *)
+let distribute ~partitions:n (rows : Value.t list) : t =
+  let n = max 1 n in
+  let parts = Array.make n [] in
+  List.iteri (fun i row -> parts.(i mod n) <- row :: parts.(i mod n)) rows;
+  { partitions = Array.map List.rev parts }
+
+(* Repartition by a key function (a shuffle).  Returns the dataset and the
+   number of rows moved across partitions. *)
+let shuffle_by ~partitions:n (key : Value.t -> Value.t) (d : t) : t * int =
+  let n = max 1 n in
+  let parts = Array.make n [] in
+  let moved = ref 0 in
+  Array.iteri
+    (fun src rows ->
+      List.iter
+        (fun row ->
+          let dst = abs (value_hash (key row)) mod n in
+          if dst <> src then incr moved;
+          parts.(dst) <- row :: parts.(dst))
+        rows)
+    d.partitions;
+  ({ partitions = Array.map List.rev parts }, !moved)
+
+(* Collapse to a single partition (a gather). *)
+let gather (d : t) : t * int =
+  let rows = to_list d in
+  ({ partitions = [| rows |] }, List.length rows)
+
+(* [parallel] runs one domain per partition (OCaml 5 multicore) — the
+   engine's stand-in for a DISC system's task parallelism.  [f] must be
+   pure. *)
+let map_partitions ?(parallel = false) (f : Value.t list -> Value.t list)
+    (d : t) : t =
+  if (not parallel) || Array.length d.partitions <= 1 then
+    { partitions = Array.map f d.partitions }
+  else
+    let spawned =
+      Array.map (fun part -> Domain.spawn (fun () -> f part)) d.partitions
+    in
+    { partitions = Array.map Domain.join spawned }
+
+let of_relation ~partitions (r : Relation.t) : t =
+  distribute ~partitions (Relation.tuples r)
+
+let to_relation ~schema (d : t) : Relation.t =
+  Relation.of_tuples ~schema (to_list d)

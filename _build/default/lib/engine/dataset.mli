@@ -1,0 +1,34 @@
+(** Partitioned datasets — the engine's unit of distribution.
+
+    A dataset is an array of partitions, each holding tuples already
+    expanded to their multiplicities (like rows of a Spark DataFrame). *)
+
+open Nested
+
+type t
+
+val of_partitions : Value.t list array -> t
+val partitions : t -> Value.t list array
+val partition_count : t -> int
+val cardinal : t -> int
+val to_list : t -> Value.t list
+
+(** Deterministic, run-stable value hash (partitioning must not depend on
+    OCaml's randomized hashing). *)
+val value_hash : Value.t -> int
+
+(** Round-robin distribution over [partitions] partitions (≥ 1). *)
+val distribute : partitions:int -> Value.t list -> t
+
+(** Hash-repartition by a key — a shuffle.  Also returns the number of
+    rows that crossed partitions. *)
+val shuffle_by : partitions:int -> (Value.t -> Value.t) -> t -> t * int
+
+(** Collapse to a single partition; returns the rows moved. *)
+val gather : t -> t * int
+
+(** Transform every partition; with [parallel] one domain per partition
+    (the engine's task parallelism).  [f] must be pure. *)
+val map_partitions : ?parallel:bool -> (Value.t list -> Value.t list) -> t -> t
+val of_relation : partitions:int -> Relation.t -> t
+val to_relation : schema:Vtype.t -> t -> Relation.t

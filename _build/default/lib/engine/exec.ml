@@ -1,0 +1,396 @@
+(* The engine's executor: runs an NRAB plan over partitioned datasets.
+
+   Narrow operators (selection, projection, renaming, flattening, tuple
+   nesting, per-tuple aggregation) run partition-local; blocking operators
+   (joins, relation nesting, group aggregation, deduplication, difference)
+   shuffle by key first, like a DISC system would.  The results agree with
+   the reference evaluator [Nrab.Eval] — the test suite checks this. *)
+
+open Nested
+open Nrab
+
+exception Engine_error of string
+
+let err fmt = Fmt.kstr (fun m -> raise (Engine_error m)) fmt
+
+type config = { partitions : int; parallel : bool }
+
+let default_config = { partitions = 4; parallel = false }
+
+let schema_env (db : Relation.Db.t) : Typecheck.env =
+  List.map (fun (n, r) -> (n, Relation.schema r)) (Relation.Db.tables db)
+
+(* Extract equi-join key attribute pairs (left attr, right attr) from the
+   conjunctive closure of a predicate. *)
+let equi_keys (lfields : string list) (rfields : string list) (p : Expr.pred) :
+    (string * string) list =
+  let rec conjuncts = function
+    | Expr.And (a, b) -> conjuncts a @ conjuncts b
+    | p -> [ p ]
+  in
+  List.filter_map
+    (fun c ->
+      match c with
+      | Expr.Cmp (Expr.Eq, Expr.Attr a, Expr.Attr b) ->
+        if List.mem a lfields && List.mem b rfields then Some (a, b)
+        else if List.mem b lfields && List.mem a rfields then Some (b, a)
+        else None
+      | _ -> None)
+    (conjuncts p)
+
+let key_of attrs (t : Value.t) : Value.t =
+  Value.Tuple
+    (List.map
+       (fun a ->
+         match Value.field a t with
+         | Some v -> (a, v)
+         | None -> err "engine: unknown key attribute %s" a)
+       attrs)
+
+(* Per-row kernels shared by narrow operators. *)
+
+let project_row cols t =
+  Value.Tuple (List.map (fun (name, e) -> (name, Expr.eval t e)) cols)
+
+let rename_row pairs t =
+  let rename_label l =
+    match List.find_opt (fun (_, old) -> String.equal old l) pairs with
+    | Some (fresh, _) -> fresh
+    | None -> l
+  in
+  match t with
+  | Value.Tuple fields ->
+    Value.Tuple (List.map (fun (l, v) -> (rename_label l, v)) fields)
+  | _ -> err "engine: rename of non-tuple"
+
+let flatten_tuple_row inner_ty a t =
+  match Value.field a t with
+  | Some (Value.Tuple _ as inner) -> Value.concat_tuples t inner
+  | Some Value.Null -> Value.concat_tuples t (Vtype.null_tuple inner_ty)
+  | Some _ -> err "engine: tuple flatten of non-tuple attribute %s" a
+  | None -> err "engine: unknown attribute %s" a
+
+let flatten_rel_rows kind inner_ty a t =
+  let nested = match Value.field a t with Some v -> v | None -> Value.Null in
+  let rows =
+    match nested with
+    | Value.Bag _ -> List.map (Value.concat_tuples t) (Value.expand nested)
+    | Value.Null -> []
+    | _ -> err "engine: relation flatten of non-bag attribute %s" a
+  in
+  match rows, kind with
+  | [], Query.Flat_outer -> [ Value.concat_tuples t (Vtype.null_tuple inner_ty) ]
+  | rows, _ -> rows
+
+let nest_tuple_row pairs c_name t =
+  let attrs = List.map snd pairs in
+  match t with
+  | Value.Tuple fields ->
+    let rest = List.filter (fun (l, _) -> not (List.mem l attrs)) fields in
+    let nested =
+      List.map
+        (fun (label, a) ->
+          match List.assoc_opt a fields with
+          | Some v -> (label, v)
+          | None -> err "engine: unknown attribute %s" a)
+        pairs
+    in
+    Value.Tuple (rest @ [ (c_name, Value.Tuple nested) ])
+  | _ -> err "engine: nest_tuple of non-tuple"
+
+let agg_tuple_row fn a b t =
+  let values =
+    match Value.field a t with
+    | Some (Value.Bag _ as bag) ->
+      List.map
+        (fun v ->
+          match v with Value.Tuple [ (_, inner) ] -> inner | other -> other)
+        (Value.expand bag)
+    | Some Value.Null | None -> []
+    | Some _ -> err "engine: per-tuple aggregation of non-bag attribute %s" a
+  in
+  Value.concat_tuples t (Value.Tuple [ (b, Agg.apply fn values) ])
+
+(* Group rows of one partition by key. *)
+let group_rows (key : Value.t -> Value.t) (rows : Value.t list) :
+    (Value.t * Value.t list) list =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let k = key row in
+      match Hashtbl.find_opt tbl k with
+      | Some rs -> Hashtbl.replace tbl k (row :: rs)
+      | None ->
+        order := k :: !order;
+        Hashtbl.replace tbl k [ row ])
+    rows;
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find tbl k))) !order
+
+let group_by_attrs attrs rows = group_rows (key_of attrs) rows
+
+(* Bag difference on row lists. *)
+let diff_rows (l : Value.t list) (r : Value.t list) : Value.t list =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun row ->
+      Hashtbl.replace counts row
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts row)))
+    r;
+  List.filter
+    (fun row ->
+      match Hashtbl.find_opt counts row with
+      | Some n when n > 0 ->
+        Hashtbl.replace counts row (n - 1);
+        false
+      | _ -> true)
+    l
+
+let run ?(config = default_config) (db : Relation.Db.t) (q : Query.t) :
+    Relation.t * Stats.t =
+  let env = schema_env db in
+  let stats = Stats.create () in
+  let n = config.partitions in
+  let parallel = config.parallel in
+  let rec go (q : Query.t) : Dataset.t =
+    let ostat =
+      Stats.op stats ~op_id:q.id ~op_label:(Query.op_symbol q.node)
+    in
+    let record_io input output =
+      ostat.Stats.input_rows <- ostat.Stats.input_rows + input;
+      ostat.Stats.output_rows <- ostat.Stats.output_rows + output
+    in
+    let narrow child kernel =
+      let d = go child in
+      let input = Dataset.cardinal d in
+      let out = Dataset.map_partitions ~parallel (List.concat_map kernel) d in
+      record_io input (Dataset.cardinal out);
+      out
+    in
+    match q.node, q.children with
+    | Query.Table name, [] ->
+      let rel = Relation.Db.find_exn name db in
+      let d = Dataset.of_relation ~partitions:n rel in
+      record_io (Relation.cardinal rel) (Dataset.cardinal d);
+      d
+    | Query.Select pred, [ c ] ->
+      narrow c (fun t -> if Expr.eval_pred t pred then [ t ] else [])
+    | Query.Project cols, [ c ] -> narrow c (fun t -> [ project_row cols t ])
+    | Query.Rename pairs, [ c ] -> narrow c (fun t -> [ rename_row pairs t ])
+    | Query.Flatten_tuple a, [ c ] ->
+      let cty = Typecheck.infer env c in
+      let inner_ty =
+        match List.assoc_opt a (Vtype.relation_fields cty) with
+        | Some ty -> ty
+        | None -> err "engine: unknown attribute %s" a
+      in
+      narrow c (fun t -> [ flatten_tuple_row inner_ty a t ])
+    | Query.Flatten (kind, a), [ c ] ->
+      let cty = Typecheck.infer env c in
+      let inner_ty =
+        match List.assoc_opt a (Vtype.relation_fields cty) with
+        | Some (Vtype.TBag ety) -> ety
+        | Some _ | None -> err "engine: attribute %s is not a relation" a
+      in
+      narrow c (flatten_rel_rows kind inner_ty a)
+    | Query.Nest_tuple (pairs, c_name), [ c ] ->
+      narrow c (fun t -> [ nest_tuple_row pairs c_name t ])
+    | Query.Agg_tuple (fn, a, b), [ c ] ->
+      narrow c (fun t -> [ agg_tuple_row fn a b t ])
+    | Query.Union, [ l; r ] ->
+      let dl = go l and dr = go r in
+      let input = Dataset.cardinal dl + Dataset.cardinal dr in
+      let parts =
+        Array.init n (fun i ->
+            let pl =
+              if i < Dataset.partition_count dl then (Dataset.partitions dl).(i)
+              else []
+            and pr =
+              if i < Dataset.partition_count dr then (Dataset.partitions dr).(i)
+              else []
+            in
+            pl @ pr)
+      in
+      let out = Dataset.of_partitions parts in
+      record_io input (Dataset.cardinal out);
+      out
+    | Query.Diff, [ l; r ] ->
+      let dl = go l and dr = go r in
+      let input = Dataset.cardinal dl + Dataset.cardinal dr in
+      let dl, m1 = Dataset.shuffle_by ~partitions:n Fun.id dl in
+      let dr, m2 = Dataset.shuffle_by ~partitions:n Fun.id dr in
+      Stats.record_shuffle stats ostat (m1 + m2);
+      let parts =
+        Array.init n (fun i ->
+            diff_rows (Dataset.partitions dl).(i) (Dataset.partitions dr).(i))
+      in
+      let out = Dataset.of_partitions parts in
+      record_io input (Dataset.cardinal out);
+      out
+    | Query.Dedup, [ c ] ->
+      let d = go c in
+      let input = Dataset.cardinal d in
+      let d, moved = Dataset.shuffle_by ~partitions:n Fun.id d in
+      Stats.record_shuffle stats ostat moved;
+      let out =
+        Dataset.map_partitions ~parallel
+          (fun rows -> List.map fst (group_rows Fun.id rows))
+          d
+      in
+      record_io input (Dataset.cardinal out);
+      out
+    | Query.Nest_rel (pairs, c_name), [ c ] ->
+      let d = go c in
+      let input = Dataset.cardinal d in
+      let cty = Typecheck.infer env c in
+      let attrs = List.map snd pairs in
+      let all = List.map fst (Vtype.relation_fields cty) in
+      let group_attrs = List.filter (fun a -> not (List.mem a attrs)) all in
+      let d, moved = Dataset.shuffle_by ~partitions:n (key_of group_attrs) d in
+      Stats.record_shuffle stats ostat moved;
+      let proj t =
+        Value.Tuple
+          (List.map
+             (fun (label, a) ->
+               ( label,
+                 Option.value ~default:Value.Null (Value.field a t) ))
+             pairs)
+      in
+      let nest rows =
+        List.map
+          (fun (k, members) ->
+            let nested = List.map proj members in
+            Value.concat_tuples k
+              (Value.Tuple [ (c_name, Value.bag_of_list nested) ]))
+          (group_by_attrs group_attrs rows)
+      in
+      let out = Dataset.map_partitions ~parallel nest d in
+      record_io input (Dataset.cardinal out);
+      out
+    | Query.Group_agg (group, aggs), [ c ] ->
+      let d = go c in
+      let input = Dataset.cardinal d in
+      let group_key t =
+        Value.Tuple
+          (List.map
+             (fun (label, a) ->
+               (label, Option.value ~default:Value.Null (Value.field a t)))
+             group)
+      in
+      let d, moved = Dataset.shuffle_by ~partitions:n group_key d in
+      Stats.record_shuffle stats ostat moved;
+      let aggregate rows =
+        List.map
+          (fun (k, members) ->
+            let agg_fields =
+              List.map
+                (fun (fn, a, out_name) ->
+                  let values =
+                    match a with
+                    | Some a ->
+                      List.map
+                        (fun t ->
+                          match Value.field a t with
+                          | Some v -> v
+                          | None -> err "engine: unknown attribute %s" a)
+                        members
+                    | None -> List.map (fun _ -> Value.Int 1) members
+                  in
+                  (out_name, Agg.apply fn values))
+                aggs
+            in
+            Value.concat_tuples k (Value.Tuple agg_fields))
+          (group_rows group_key rows)
+      in
+      let out = Dataset.map_partitions ~parallel aggregate d in
+      record_io input (Dataset.cardinal out);
+      out
+    | Query.Join (kind, pred), [ l; r ] -> run_join ostat kind pred l r
+    | Query.Product, [ l; r ] -> run_join ostat Query.Inner Expr.True l r
+    | _ -> err "engine: malformed query node (operator %d)" q.id
+  and run_join ostat kind pred l r =
+    let lty = Typecheck.infer env l and rty = Typecheck.infer env r in
+    let lfields = List.map fst (Vtype.relation_fields lty) in
+    let rfields = List.map fst (Vtype.relation_fields rty) in
+    let lnull = Vtype.null_tuple (Vtype.element lty) in
+    let rnull = Vtype.null_tuple (Vtype.element rty) in
+    let dl = go l and dr = go r in
+    let input = Dataset.cardinal dl + Dataset.cardinal dr in
+    let keys = equi_keys lfields rfields pred in
+    let dl, dr, moved =
+      match keys with
+      | [] ->
+        (* No equi key: gather both sides (the engine's "broadcast"). *)
+        let dl, m1 = Dataset.gather dl and dr, m2 = Dataset.gather dr in
+        (dl, dr, m1 + m2)
+      | keys ->
+        let lkey = key_of (List.map fst keys) in
+        let rkey t =
+          (* Hash right rows by the same tuple shape as the left key so that
+             equal key values land in the same partition. *)
+          match key_of (List.map snd keys) t with
+          | Value.Tuple fields ->
+            Value.Tuple
+              (List.map2 (fun (a, _) (_, v) -> (a, v)) keys fields)
+          | v -> v
+        in
+        let dl, m1 = Dataset.shuffle_by ~partitions:n lkey dl in
+        let dr, m2 = Dataset.shuffle_by ~partitions:n rkey dr in
+        (dl, dr, m1 + m2)
+    in
+    Stats.record_shuffle stats ostat moved;
+    let np = max (Dataset.partition_count dl) (Dataset.partition_count dr) in
+    let part d i =
+      if i < Dataset.partition_count d then (Dataset.partitions d).(i) else []
+    in
+    let parts =
+      Array.init np (fun i ->
+          let lrows = part dl i and rrows = part dr i in
+          let matched_left = Hashtbl.create 16 in
+          let matched_right = Hashtbl.create 16 in
+          let inner =
+            List.concat
+              (List.mapi
+                 (fun li t ->
+                   List.filter_map
+                     (fun (ri, u) ->
+                       let joined = Value.concat_tuples t u in
+                       if Expr.eval_pred joined pred then begin
+                         Hashtbl.replace matched_left li ();
+                         Hashtbl.replace matched_right ri ();
+                         Some joined
+                       end
+                       else None)
+                     (List.mapi (fun ri u -> (ri, u)) rrows))
+                 lrows)
+          in
+          let left_pad =
+            List.concat
+              (List.mapi
+                 (fun li t ->
+                   if Hashtbl.mem matched_left li then []
+                   else [ Value.concat_tuples t rnull ])
+                 lrows)
+          in
+          let right_pad =
+            List.concat
+              (List.mapi
+                 (fun ri u ->
+                   if Hashtbl.mem matched_right ri then []
+                   else [ Value.concat_tuples lnull u ])
+                 rrows)
+          in
+          match kind with
+          | Query.Inner -> inner
+          | Query.Left -> inner @ left_pad
+          | Query.Right -> inner @ right_pad
+          | Query.Full -> inner @ left_pad @ right_pad)
+    in
+    let out = Dataset.of_partitions parts in
+    ostat.Stats.input_rows <- ostat.Stats.input_rows + input;
+    ostat.Stats.output_rows <- ostat.Stats.output_rows + Dataset.cardinal out;
+    out
+  in
+  let out_ty = Typecheck.infer env q in
+  let d = go q in
+  (Dataset.to_relation ~schema:out_ty d, stats)

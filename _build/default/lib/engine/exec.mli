@@ -1,0 +1,28 @@
+(** The mini-DISC executor: runs NRAB plans over partitioned datasets.
+
+    Narrow operators (selection, projection, renaming, flattening, tuple
+    nesting, per-tuple aggregation) run partition-local; blocking
+    operators (joins, relation nesting, group aggregation, deduplication,
+    difference) shuffle by key first, as a DISC system would.  Results
+    agree with the reference evaluator {!Nrab.Eval} (tested). *)
+
+open Nested
+open Nrab
+
+exception Engine_error of string
+
+type config = {
+  partitions : int;
+  parallel : bool;  (** one domain per partition for partition-local work *)
+}
+
+val default_config : config
+
+(** Equi-join key attribute pairs (left attr, right attr) extractable
+    from the conjunctive closure of a join predicate; determines whether
+    the join hash-partitions or gathers. *)
+val equi_keys : string list -> string list -> Expr.pred -> (string * string) list
+
+(** Execute a plan; returns the result relation and execution
+    statistics. *)
+val run : ?config:config -> Relation.Db.t -> Query.t -> Relation.t * Stats.t

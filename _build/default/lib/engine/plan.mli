@@ -1,0 +1,25 @@
+(** Static physical-plan analysis: classify each operator as
+    partition-local (narrow) or shuffle-inducing (wide), assign stage
+    numbers, and pretty-print the DAG — what one would read off a Spark
+    UI before executing anything. *)
+
+open Nrab
+
+type movement =
+  | Narrow  (** partition-local *)
+  | Shuffle of string  (** hash repartition by the given key description *)
+  | Gather  (** all partitions collapse (non-equi join / product) *)
+
+type node = {
+  op_id : int;
+  label : string;
+  movement : movement;
+  stage : int;  (** 0-based; shuffles and gathers start a new stage *)
+  inputs : node list;
+}
+
+val movement_to_string : movement -> string
+val analyze : env:Typecheck.env -> Query.t -> node
+val stage_count : node -> int
+val pp : Format.formatter -> node -> unit
+val to_string : node -> string

@@ -1,0 +1,25 @@
+(** Execution statistics: per-operator input/output cardinalities and
+    shuffle volumes — what one reads off a Spark UI when profiling the
+    paper's implementation. *)
+
+type op_stats = {
+  op_id : int;
+  op_label : string;
+  mutable input_rows : int;
+  mutable output_rows : int;
+  mutable shuffled_rows : int;
+}
+
+type t
+
+val create : unit -> t
+
+(** Find-or-create the stats record of an operator. *)
+val op : t -> op_id:int -> op_label:string -> op_stats
+
+(** Record a shuffle; a non-empty shuffle starts a new stage. *)
+val record_shuffle : t -> op_stats -> int -> unit
+
+val total_output : t -> int
+val total_shuffled : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/nested/json.ml: Buffer Char Float Fmt List Relation String Value Vtype

@@ -1,0 +1,1 @@
+lib/nested/json.mli: Format Relation Value Vtype

@@ -1,0 +1,1 @@
+lib/nested/path.ml: Fmt List Option String Value Vtype

@@ -1,0 +1,1 @@
+lib/nested/path.mli: Format Value Vtype

@@ -1,0 +1,1 @@
+lib/nested/relation.ml: Fmt List Map String Value Vtype

@@ -1,0 +1,1 @@
+lib/nested/relation.mli: Format Value Vtype

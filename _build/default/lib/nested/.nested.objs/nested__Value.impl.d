@@ -1,0 +1,1 @@
+lib/nested/value.ml: Fmt List Stdlib String

@@ -1,0 +1,1 @@
+lib/nested/vtype.ml: Fmt List Option String Value

@@ -1,0 +1,1 @@
+lib/nested/vtype.mli: Format Value

@@ -1,0 +1,308 @@
+(* JSON (de)serialization for nested values, schemas, relations, and
+   databases — the interchange format DISC systems store nested data in.
+
+   Self-contained: a small JSON AST with parser and printer (no external
+   dependency), plus schema-directed decoding into the nested data model:
+   JSON arrays become bags, objects become tuples, and [null] becomes ⊥.
+   Multiplicities are represented structurally (repeated array elements).
+
+   Schemas serialize as JSON too: primitive types as strings ("int",
+   "string", …), tuple types as objects, bag types as single-element
+   arrays. *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_array of json list
+  | J_object of (string * json) list
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Parse_error m)) fmt
+
+(* --- Printer -------------------------------------------------------------- *)
+
+let escape_string (s : string) : string =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp ppf (j : json) =
+  match j with
+  | J_null -> Fmt.string ppf "null"
+  | J_bool b -> Fmt.bool ppf b
+  | J_int i -> Fmt.int ppf i
+  | J_float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Fmt.pf ppf "%.1f" f
+    else Fmt.pf ppf "%.17g" f
+  | J_string s -> Fmt.pf ppf "\"%s\"" (escape_string s)
+  | J_array els ->
+    Fmt.pf ppf "@[<hv 2>[%a]@]" (Fmt.list ~sep:(Fmt.any ",@ ") pp) els
+  | J_object fields ->
+    let pp_field ppf (k, v) = Fmt.pf ppf "\"%s\": %a" (escape_string k) pp v in
+    Fmt.pf ppf "@[<hv 2>{%a}@]" (Fmt.list ~sep:(Fmt.any ",@ ") pp_field) fields
+
+let to_string (j : json) : string = Fmt.str "%a" pp j
+
+(* --- Parser --------------------------------------------------------------- *)
+
+type lexer = { src : string; mutable pos : int }
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx = lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance lx;
+    skip_ws lx
+  | _ -> ()
+
+let expect lx c =
+  match peek lx with
+  | Some c' when c' = c -> advance lx
+  | Some c' -> fail "expected '%c' at offset %d, found '%c'" c lx.pos c'
+  | None -> fail "expected '%c' at offset %d, found end of input" c lx.pos
+
+let parse_literal lx (lit : string) (j : json) : json =
+  if
+    lx.pos + String.length lit <= String.length lx.src
+    && String.sub lx.src lx.pos (String.length lit) = lit
+  then begin
+    lx.pos <- lx.pos + String.length lit;
+    j
+  end
+  else fail "invalid literal at offset %d" lx.pos
+
+let parse_string_body lx : string =
+  expect lx '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek lx with
+    | None -> fail "unterminated string"
+    | Some '"' -> advance lx
+    | Some '\\' -> (
+      advance lx;
+      match peek lx with
+      | Some 'n' -> advance lx; Buffer.add_char buf '\n'; go ()
+      | Some 't' -> advance lx; Buffer.add_char buf '\t'; go ()
+      | Some 'r' -> advance lx; Buffer.add_char buf '\r'; go ()
+      | Some '"' -> advance lx; Buffer.add_char buf '"'; go ()
+      | Some '\\' -> advance lx; Buffer.add_char buf '\\'; go ()
+      | Some '/' -> advance lx; Buffer.add_char buf '/'; go ()
+      | Some 'u' ->
+        advance lx;
+        if lx.pos + 4 > String.length lx.src then fail "bad unicode escape";
+        let hex = String.sub lx.src lx.pos 4 in
+        lx.pos <- lx.pos + 4;
+        let code = int_of_string ("0x" ^ hex) in
+        (* BMP code points encoded as UTF-8 *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end;
+        go ()
+      | _ -> fail "bad escape at offset %d" lx.pos)
+    | Some c ->
+      advance lx;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number lx : json =
+  let start = lx.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek lx with Some c -> is_num_char c | None -> false) do
+    advance lx
+  done;
+  let text = String.sub lx.src start (lx.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> J_int i
+  | None -> (
+    match float_of_string_opt text with
+    | Some f -> J_float f
+    | None -> fail "invalid number %S at offset %d" text start)
+
+let rec parse_value lx : json =
+  skip_ws lx;
+  match peek lx with
+  | None -> fail "unexpected end of input"
+  | Some 'n' -> parse_literal lx "null" J_null
+  | Some 't' -> parse_literal lx "true" (J_bool true)
+  | Some 'f' -> parse_literal lx "false" (J_bool false)
+  | Some '"' -> J_string (parse_string_body lx)
+  | Some '[' ->
+    advance lx;
+    skip_ws lx;
+    if peek lx = Some ']' then begin
+      advance lx;
+      J_array []
+    end
+    else
+      let rec elements acc =
+        let v = parse_value lx in
+        skip_ws lx;
+        match peek lx with
+        | Some ',' ->
+          advance lx;
+          elements (v :: acc)
+        | Some ']' ->
+          advance lx;
+          List.rev (v :: acc)
+        | _ -> fail "expected ',' or ']' at offset %d" lx.pos
+      in
+      J_array (elements [])
+  | Some '{' ->
+    advance lx;
+    skip_ws lx;
+    if peek lx = Some '}' then begin
+      advance lx;
+      J_object []
+    end
+    else
+      let rec fields acc =
+        skip_ws lx;
+        let k = parse_string_body lx in
+        skip_ws lx;
+        expect lx ':';
+        let v = parse_value lx in
+        skip_ws lx;
+        match peek lx with
+        | Some ',' ->
+          advance lx;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          advance lx;
+          List.rev ((k, v) :: acc)
+        | _ -> fail "expected ',' or '}' at offset %d" lx.pos
+      in
+      J_object (fields [])
+  | Some _ -> parse_number lx
+
+let of_string (s : string) : json =
+  let lx = { src = s; pos = 0 } in
+  let j = parse_value lx in
+  skip_ws lx;
+  if lx.pos <> String.length s then fail "trailing input at offset %d" lx.pos;
+  j
+
+(* --- Values <-> JSON ------------------------------------------------------- *)
+
+let rec value_to_json (v : Value.t) : json =
+  match v with
+  | Value.Null -> J_null
+  | Value.Bool b -> J_bool b
+  | Value.Int i -> J_int i
+  | Value.Float f -> J_float f
+  | Value.String s -> J_string s
+  | Value.Tuple fields ->
+    J_object (List.map (fun (l, fv) -> (l, value_to_json fv)) fields)
+  | Value.Bag _ as bag -> J_array (List.map value_to_json (Value.expand bag))
+
+(* Schema-directed decoding: the schema disambiguates ints vs floats and
+   fixes the tuple field order. *)
+let rec value_of_json (ty : Vtype.t) (j : json) : Value.t =
+  match ty, j with
+  | _, J_null -> Value.Null
+  | Vtype.TBool, J_bool b -> Value.Bool b
+  | Vtype.TInt, J_int i -> Value.Int i
+  | Vtype.TFloat, J_float f -> Value.Float f
+  | Vtype.TFloat, J_int i -> Value.Float (float_of_int i)
+  | Vtype.TString, J_string s -> Value.String s
+  | Vtype.TTuple fields, J_object obj ->
+    Value.Tuple
+      (List.map
+         (fun (label, fty) ->
+           match List.assoc_opt label obj with
+           | Some fj -> (label, value_of_json fty fj)
+           | None -> (label, Value.Null))
+         fields)
+  | Vtype.TBag ety, J_array els ->
+    Value.bag_of_list (List.map (value_of_json ety) els)
+  | ty, j -> fail "cannot decode %s as %a" (to_string j) Vtype.pp ty
+
+(* --- Schemas <-> JSON ------------------------------------------------------ *)
+
+let rec type_to_json (ty : Vtype.t) : json =
+  match ty with
+  | Vtype.TBool -> J_string "bool"
+  | Vtype.TInt -> J_string "int"
+  | Vtype.TFloat -> J_string "float"
+  | Vtype.TString -> J_string "string"
+  | Vtype.TTuple fields ->
+    J_object (List.map (fun (l, fty) -> (l, type_to_json fty)) fields)
+  | Vtype.TBag ety -> J_array [ type_to_json ety ]
+
+let rec type_of_json (j : json) : Vtype.t =
+  match j with
+  | J_string "bool" -> Vtype.TBool
+  | J_string "int" -> Vtype.TInt
+  | J_string "float" -> Vtype.TFloat
+  | J_string "string" -> Vtype.TString
+  | J_object fields ->
+    Vtype.TTuple (List.map (fun (l, fj) -> (l, type_of_json fj)) fields)
+  | J_array [ ej ] -> Vtype.TBag (type_of_json ej)
+  | other -> fail "invalid schema %s" (to_string other)
+
+(* --- Relations and databases ------------------------------------------------ *)
+
+let relation_to_json (r : Relation.t) : json =
+  J_object
+    [
+      ("schema", type_to_json (Relation.schema r));
+      ("data", value_to_json (Relation.data r));
+    ]
+
+let relation_of_json (j : json) : Relation.t =
+  match j with
+  | J_object fields -> (
+    match (List.assoc_opt "schema" fields, List.assoc_opt "data" fields) with
+    | Some sj, Some dj ->
+      let schema = type_of_json sj in
+      let data = value_of_json schema dj in
+      Relation.make ~schema ~data
+    | _ -> fail "relation object needs \"schema\" and \"data\"")
+  | other -> fail "invalid relation %s" (to_string other)
+
+let db_to_json (db : Relation.Db.t) : json =
+  J_object
+    (List.map (fun (name, r) -> (name, relation_to_json r)) (Relation.Db.tables db))
+
+let db_of_json (j : json) : Relation.Db.t =
+  match j with
+  | J_object tables ->
+    Relation.Db.of_list
+      (List.map (fun (name, rj) -> (name, relation_of_json rj)) tables)
+  | other -> fail "invalid database %s" (to_string other)
+
+(* --- Convenience ------------------------------------------------------------ *)
+
+let db_to_string db = to_string (db_to_json db)
+let db_of_string s = db_of_json (of_string s)

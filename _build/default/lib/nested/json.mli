@@ -1,0 +1,50 @@
+(** JSON (de)serialization for nested values, schemas, relations, and
+    databases — the interchange format DISC systems store nested data in.
+
+    Self-contained (no external dependency).  JSON arrays decode to bags,
+    objects to tuples, [null] to ⊥; multiplicities are structural
+    (repeated array elements).  Decoding is schema-directed, which
+    disambiguates ints from floats and fixes tuple field order. *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_int of int
+  | J_float of float
+  | J_string of string
+  | J_array of json list
+  | J_object of (string * json) list
+
+exception Parse_error of string
+
+(** {1 JSON text} *)
+
+val pp : Format.formatter -> json -> unit
+val to_string : json -> string
+
+(** Raises {!Parse_error}. *)
+val of_string : string -> json
+
+(** {1 Values} *)
+
+val value_to_json : Value.t -> json
+
+(** Schema-directed decoding.  Raises {!Parse_error} on mismatches. *)
+val value_of_json : Vtype.t -> json -> Value.t
+
+(** {1 Schemas}
+
+    Primitives serialize as ["bool"|"int"|"float"|"string"], tuples as
+    objects, bags as single-element arrays. *)
+
+val type_to_json : Vtype.t -> json
+val type_of_json : json -> Vtype.t
+
+(** {1 Relations and databases} *)
+
+val relation_to_json : Relation.t -> json
+val relation_of_json : json -> Relation.t
+val db_to_json : Relation.Db.t -> json
+val db_of_json : json -> Relation.Db.t
+val db_to_string : Relation.Db.t -> string
+val db_of_string : string -> Relation.Db.t

@@ -1,0 +1,79 @@
+(* Attribute paths into nested tuple types.
+
+   A path addresses an attribute of a relation's tuple type, descending
+   through tuple-valued attributes and through nested relations (bags of
+   tuples).  E.g. ["address2"; "city"] addresses the [city] attribute of the
+   tuples nested in the [address2] attribute.  Paths are how the paper names
+   source attributes such as [T.entities.media]. *)
+
+type t = string list
+
+let compare = List.compare String.compare
+let equal a b = compare a b = 0
+let pp ppf (p : t) = Fmt.(list ~sep:(any ".") string) ppf p
+let to_string p = String.concat "." p
+let of_string s = String.split_on_char '.' s
+
+(* Resolve a path against a *tuple type*, descending through bags. *)
+let rec resolve_type (ty : Vtype.t) (p : t) : Vtype.t option =
+  match p with
+  | [] -> Some ty
+  | label :: rest -> (
+    match ty with
+    | Vtype.TTuple _ -> (
+      match Vtype.field label ty with
+      | Some fty -> resolve_type fty rest
+      | None -> None)
+    | Vtype.TBag ety -> resolve_type ety p
+    | Vtype.TBool | Vtype.TInt | Vtype.TFloat | Vtype.TString -> None)
+
+(* All values reachable along a path from a value: descending into a bag
+   yields every element's values. *)
+let rec resolve_values (v : Value.t) (p : t) : Value.t list =
+  match p with
+  | [] -> [ v ]
+  | label :: rest -> (
+    match v with
+    | Value.Tuple _ -> (
+      match Value.field label v with
+      | Some fv -> resolve_values fv rest
+      | None -> [])
+    | Value.Bag es ->
+      List.concat_map (fun (e, _) -> resolve_values e p) es
+    | Value.Null -> []
+    | Value.Bool _ | Value.Int _ | Value.Float _ | Value.String _ -> [])
+
+(* Replace the attribute addressed by a path inside a *tuple type*,
+   returning the updated type.  Used when reasoning about schema
+   alternatives. *)
+let rec update_type (ty : Vtype.t) (p : t) ~(f : Vtype.t -> Vtype.t) :
+    Vtype.t option =
+  match p with
+  | [] -> Some (f ty)
+  | label :: rest -> (
+    match ty with
+    | Vtype.TTuple fields ->
+      if not (List.mem_assoc label fields) then None
+      else
+        let updated =
+          List.map
+            (fun (l, fty) ->
+              if String.equal l label then
+                match update_type fty rest ~f with
+                | Some fty' -> Some (l, fty')
+                | None -> None
+              else Some (l, fty))
+            fields
+        in
+        if List.for_all Option.is_some updated then
+          Some (Vtype.TTuple (List.map Option.get updated))
+        else None
+    | Vtype.TBag ety ->
+      Option.map (fun e -> Vtype.TBag e) (update_type ety p ~f)
+    | Vtype.TBool | Vtype.TInt | Vtype.TFloat | Vtype.TString -> None)
+
+(* The last component of a path — the attribute's own name. *)
+let leaf (p : t) : string =
+  match List.rev p with
+  | x :: _ -> x
+  | [] -> invalid_arg "Path.leaf: empty path"

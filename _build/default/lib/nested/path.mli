@@ -1,0 +1,29 @@
+(** Attribute paths into nested tuple types.
+
+    A path addresses an attribute of a relation's tuple type, descending
+    through tuple-valued attributes and through nested relations — e.g.
+    [["address2"; "city"]] addresses the [city] attribute of the tuples
+    nested in [address2].  Paths are how the paper names source
+    attributes such as [T.entities.media]. *)
+
+type t = string list
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val of_string : string -> t
+
+(** Resolve a path against a type, descending through bags. *)
+val resolve_type : Vtype.t -> t -> Vtype.t option
+
+(** All values reachable along a path; descending into a bag yields the
+    values of every element. *)
+val resolve_values : Value.t -> t -> Value.t list
+
+(** Rewrite the type addressed by a path; [None] if the path does not
+    exist. *)
+val update_type : Vtype.t -> t -> f:(Vtype.t -> Vtype.t) -> Vtype.t option
+
+(** The attribute's own name (last component).  Raises on []. *)
+val leaf : t -> string

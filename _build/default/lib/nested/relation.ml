@@ -1,0 +1,47 @@
+(* Nested relations: a bag of tuples together with its schema, and nested
+   databases mapping table names to relations. *)
+
+type t = { schema : Vtype.t; data : Value.t (* always a Bag of Tuples *) }
+
+let make ~schema ~data =
+  (match schema with
+  | Vtype.TBag (Vtype.TTuple _) -> ()
+  | _ -> invalid_arg "Relation.make: schema must be a bag of tuples");
+  (match data with
+  | Value.Bag _ -> ()
+  | _ -> invalid_arg "Relation.make: data must be a bag");
+  { schema; data }
+
+let schema r = r.schema
+let data r = r.data
+let fields r = Vtype.relation_fields r.schema
+let attribute_names r = List.map fst (fields r)
+let cardinal r = Value.cardinal r.data
+let tuples r = Value.expand r.data
+let distinct_tuples r = List.map fst (Value.elems r.data)
+
+let of_tuples ~schema tuples =
+  make ~schema ~data:(Value.bag_of_list tuples)
+
+let well_typed r = Vtype.has_type r.data r.schema
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>schema: %a@,%a@]" Vtype.pp r.schema Value.pp r.data
+
+module Db = struct
+  module M = Map.Make (String)
+
+  type nonrec t = t M.t
+
+  let empty : t = M.empty
+  let add name rel (db : t) = M.add name rel db
+  let find name (db : t) = M.find_opt name db
+
+  let find_exn name (db : t) =
+    match M.find_opt name db with
+    | Some r -> r
+    | None -> Fmt.invalid_arg "Db.find_exn: unknown table %s" name
+
+  let of_list rels = List.fold_left (fun db (n, r) -> add n r db) empty rels
+  let tables (db : t) = M.bindings db
+end

@@ -1,0 +1,52 @@
+(** Nested relations (a bag of tuples with its schema) and nested
+    databases (named relations). *)
+
+type t
+
+(** [make ~schema ~data] pairs a bag of tuples with its relation schema.
+    Raises [Invalid_argument] when [schema] is not a bag-of-tuples type or
+    [data] is not a bag.  Use {!well_typed} for a deep check. *)
+val make : schema:Vtype.t -> data:Value.t -> t
+
+val schema : t -> Vtype.t
+
+(** The underlying canonical bag. *)
+val data : t -> Value.t
+
+(** Fields (name × type) of the relation's tuples. *)
+val fields : t -> (string * Vtype.t) list
+
+val attribute_names : t -> string list
+
+(** Total number of tuples (with multiplicities). *)
+val cardinal : t -> int
+
+(** Tuples expanded to their multiplicities. *)
+val tuples : t -> Value.t list
+
+(** Distinct tuples (multiplicities dropped). *)
+val distinct_tuples : t -> Value.t list
+
+(** Build a relation from a tuple list (each occurrence counts 1). *)
+val of_tuples : schema:Vtype.t -> Value.t list -> t
+
+(** Deep type check of the data against the schema. *)
+val well_typed : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Nested databases: table name → relation. *)
+module Db : sig
+  type relation := t
+  type t
+
+  val empty : t
+  val add : string -> relation -> t -> t
+  val find : string -> t -> relation option
+
+  (** Raises [Invalid_argument] on unknown tables. *)
+  val find_exn : string -> t -> relation
+
+  val of_list : (string * relation) list -> t
+  val tables : t -> (string * relation) list
+end

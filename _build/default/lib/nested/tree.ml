@@ -1,0 +1,59 @@
+(* Ordered-tree representation of nested values.
+
+   The paper quantifies side effects of reparameterizations with a tree
+   distance over nested relations (Figure 2 shows such trees).  Unordered
+   tree edit distance is NP-hard [Zhang-Statman-Shasha 92], so we convert
+   values to *canonically ordered* trees (bags sorted by Value.compare,
+   tuple fields in schema order) and use an ordered tree edit distance.
+   Canonical ordering makes the metric deterministic and permutation
+   invariant for bags. *)
+
+type t = { label : string; children : t list }
+
+let node label children = { label; children }
+let leaf label = { label; children = [] }
+
+let rec size (t : t) : int = 1 + List.fold_left (fun a c -> a + size c) 0 t.children
+
+(* Canonical tree of a value.  A bag element of multiplicity m appears as m
+   identical children. *)
+let rec of_value (v : Value.t) : t =
+  match v with
+  | Value.Null -> leaf "⊥"
+  | Value.Bool b -> leaf (string_of_bool b)
+  | Value.Int i -> leaf (string_of_int i)
+  | Value.Float f -> leaf (string_of_float f)
+  | Value.String s -> leaf s
+  | Value.Tuple fields ->
+    node "⟨⟩" (List.map (fun (l, fv) -> node l [ of_value fv ]) fields)
+  | Value.Bag es ->
+    let children =
+      List.concat_map (fun (e, m) -> List.init m (fun _ -> of_value e)) es
+    in
+    node "{{}}" children
+
+(* Post-order traversal with leftmost-leaf-descendant indices, as required
+   by the Zhang–Shasha algorithm (implemented in Ted). *)
+let postorder (t : t) : (string * int) array =
+  (* Returns array of (label, leftmost-leaf index in postorder). *)
+  let acc = ref [] in
+  let rec go (t : t) : int =
+    (* Returns the postorder index of t's leftmost leaf. *)
+    let lml =
+      match t.children with
+      | [] -> List.length !acc
+      | first :: _ ->
+        let l = go first in
+        List.iter (fun c -> ignore (go c)) (List.tl t.children);
+        l
+    in
+    acc := (t.label, lml) :: !acc;
+    lml
+  in
+  ignore (go t);
+  Array.of_list (List.rev !acc)
+
+let rec pp ppf (t : t) =
+  match t.children with
+  | [] -> Fmt.string ppf t.label
+  | cs -> Fmt.pf ppf "%s(%a)" t.label (Fmt.list ~sep:(Fmt.any ",") pp) cs

@@ -1,0 +1,24 @@
+(** Ordered-tree representation of nested values (Figure 2 of the paper).
+
+    Used by the tree edit distance that quantifies reparameterization side
+    effects.  Bags are serialized in canonical element order, which makes
+    the ordered distance permutation-invariant for bag elements. *)
+
+type t = { label : string; children : t list }
+
+val node : string -> t list -> t
+val leaf : string -> t
+
+(** Number of nodes. *)
+val size : t -> int
+
+(** Canonical tree of a value: tuples become ⟨⟩ nodes with one child per
+    field, bags become {{}} nodes with one child per element occurrence
+    (multiplicities expanded), primitives become leaves. *)
+val of_value : Value.t -> t
+
+(** Post-order traversal as (label, leftmost-leaf index) pairs — the input
+    shape required by the Zhang–Shasha algorithm. *)
+val postorder : t -> (string * int) array
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,168 @@
+(* Nested relational types (Definition 1 of the paper).
+
+   A nested relation schema is a bag type whose element type is a tuple
+   type.  [⊥] (Null) inhabits every type. *)
+
+type t =
+  | TBool
+  | TInt
+  | TFloat
+  | TString
+  | TTuple of (string * t) list
+  | TBag of t
+
+let rec compare (a : t) (b : t) : int =
+  match a, b with
+  | TBool, TBool | TInt, TInt | TFloat, TFloat | TString, TString -> 0
+  | TBool, _ -> -1
+  | _, TBool -> 1
+  | TInt, _ -> -1
+  | _, TInt -> 1
+  | TFloat, _ -> -1
+  | _, TFloat -> 1
+  | TString, _ -> -1
+  | _, TString -> 1
+  | TTuple xs, TTuple ys ->
+    let cmp (la, ta) (lb, tb) =
+      let c = String.compare la lb in
+      if c <> 0 then c else compare ta tb
+    in
+    List.compare cmp xs ys
+  | TTuple _, _ -> -1
+  | _, TTuple _ -> 1
+  | TBag x, TBag y -> compare x y
+
+let equal a b = compare a b = 0
+
+let is_primitive = function
+  | TBool | TInt | TFloat | TString -> true
+  | TTuple _ | TBag _ -> false
+
+(* A relation schema: bag of tuples. *)
+let relation fields = TBag (TTuple fields)
+
+let tuple_fields = function
+  | TTuple fields -> fields
+  | TBool | TInt | TFloat | TString | TBag _ ->
+    invalid_arg "Vtype.tuple_fields: not a tuple type"
+
+(* Element type of a relation schema. *)
+let element = function
+  | TBag ty -> ty
+  | TBool | TInt | TFloat | TString | TTuple _ ->
+    invalid_arg "Vtype.element: not a bag type"
+
+(* Fields of the tuples in a relation schema. *)
+let relation_fields ty = tuple_fields (element ty)
+
+let field (label : string) (ty : t) : t option =
+  match ty with
+  | TTuple fields -> List.assoc_opt label fields
+  | TBool | TInt | TFloat | TString | TBag _ -> None
+
+let labels = function
+  | TTuple fields -> List.map fst fields
+  | TBool | TInt | TFloat | TString | TBag _ -> []
+
+(* Concatenation of tuple types (the paper's ∘ on types). *)
+let concat_tuples a b =
+  match a, b with
+  | TTuple xs, TTuple ys -> TTuple (xs @ ys)
+  | _ -> invalid_arg "Vtype.concat_tuples: arguments must be tuple types"
+
+(* Does value [v] inhabit type [ty]?  Null inhabits every type. *)
+let rec has_type (v : Value.t) (ty : t) : bool =
+  match v, ty with
+  | Value.Null, _ -> true
+  | Value.Bool _, TBool -> true
+  | Value.Int _, TInt -> true
+  | Value.Float _, TFloat -> true
+  | Value.String _, TString -> true
+  | Value.Tuple fields, TTuple tys ->
+    List.length fields = List.length tys
+    && List.for_all2
+         (fun (l, fv) (l', fty) -> String.equal l l' && has_type fv fty)
+         fields tys
+  | Value.Bag es, TBag ety -> List.for_all (fun (e, _) -> has_type e ety) es
+  | (Value.Bool _ | Value.Int _ | Value.Float _ | Value.String _
+    | Value.Tuple _ | Value.Bag _), _ ->
+    false
+
+(* Infer the most specific type of a value; [None] when parts of the type
+   are unconstrained (Null subvalues) or the value is heterogeneous.
+   Internally uses partial types so that a bag of nulls unifies only with
+   other bags. *)
+
+type partial =
+  | P_unknown
+  | P_known of t
+  | P_tuple of (string * partial) list
+  | P_bag of partial
+
+exception Not_unifiable
+
+let rec unify_partial (a : partial) (b : partial) : partial =
+  match a, b with
+  | P_unknown, x | x, P_unknown -> x
+  | P_known x, P_known y -> if equal x y then a else raise Not_unifiable
+  | P_tuple xs, P_tuple ys when List.length xs = List.length ys ->
+    P_tuple
+      (List.map2
+         (fun (l, tx) (l', ty) ->
+           if String.equal l l' then (l, unify_partial tx ty)
+           else raise Not_unifiable)
+         xs ys)
+  | P_bag x, P_bag y -> P_bag (unify_partial x y)
+  | _ -> raise Not_unifiable
+
+let rec infer_partial (v : Value.t) : partial =
+  match v with
+  | Value.Null -> P_unknown
+  | Value.Bool _ -> P_known TBool
+  | Value.Int _ -> P_known TInt
+  | Value.Float _ -> P_known TFloat
+  | Value.String _ -> P_known TString
+  | Value.Tuple fields ->
+    P_tuple (List.map (fun (l, fv) -> (l, infer_partial fv)) fields)
+  | Value.Bag es ->
+    P_bag
+      (List.fold_left
+         (fun acc (e, _) -> unify_partial acc (infer_partial e))
+         P_unknown es)
+
+let rec complete (p : partial) : t option =
+  match p with
+  | P_unknown -> None
+  | P_known ty -> Some ty
+  | P_tuple fields ->
+    let cs = List.map (fun (l, fp) -> Option.map (fun t -> (l, t)) (complete fp)) fields in
+    if List.for_all Option.is_some cs then Some (TTuple (List.map Option.get cs))
+    else None
+  | P_bag p -> Option.map (fun t -> TBag t) (complete p)
+
+let infer (v : Value.t) : t option =
+  match infer_partial v with
+  | p -> complete p
+  | exception Not_unifiable -> None
+
+(* The Null-padded tuple ⟨A₁:⊥, …, Aₙ:⊥⟩ for a tuple type. *)
+let null_tuple (ty : t) : Value.t =
+  match ty with
+  | TTuple fields -> Value.Tuple (List.map (fun (l, _) -> (l, Value.Null)) fields)
+  | TBool | TInt | TFloat | TString | TBag _ ->
+    invalid_arg "Vtype.null_tuple: not a tuple type"
+
+let rec pp ppf (ty : t) =
+  match ty with
+  | TBool -> Fmt.string ppf "BOOL"
+  | TInt -> Fmt.string ppf "INT"
+  | TFloat -> Fmt.string ppf "FLOAT"
+  | TString -> Fmt.string ppf "STR"
+  | TTuple fields ->
+    Fmt.pf ppf "⟨%a⟩"
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (l, t) ->
+           Fmt.pf ppf "%s: %a" l pp t))
+      fields
+  | TBag ty -> Fmt.pf ppf "{{%a}}" pp ty
+
+let to_string ty = Fmt.str "%a" pp ty

@@ -1,0 +1,58 @@
+(** Nested relational types (Definition 1 of the paper).
+
+    A nested relation schema is a bag type over a tuple type; attribute
+    types may themselves be tuples or nested relations.  [⊥] ({!Value.Null})
+    inhabits every type. *)
+
+type t =
+  | TBool
+  | TInt
+  | TFloat
+  | TString
+  | TTuple of (string * t) list
+  | TBag of t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_primitive : t -> bool
+
+(** {1 Relation schemas} *)
+
+(** [relation fields] is the schema [{{⟨fields⟩}}]. *)
+val relation : (string * t) list -> t
+
+(** Fields of a tuple type.  Raises on other types. *)
+val tuple_fields : t -> (string * t) list
+
+(** Element type of a bag type.  Raises on other types. *)
+val element : t -> t
+
+(** Fields of the tuples of a relation schema. *)
+val relation_fields : t -> (string * t) list
+
+(** [field label ty] is the type of field [label] of a tuple type. *)
+val field : string -> t -> t option
+
+(** Field labels of a tuple type; [[]] otherwise. *)
+val labels : t -> string list
+
+(** Concatenation of tuple types (the paper's ∘ on types). *)
+val concat_tuples : t -> t -> t
+
+(** {1 Values and types} *)
+
+(** [has_type v ty]: does [v] inhabit [ty]?  [Null] inhabits everything. *)
+val has_type : Value.t -> t -> bool
+
+(** Most specific type of a value; [None] when parts are unconstrained
+    (null subvalues) or the value is heterogeneous. *)
+val infer : Value.t -> t option
+
+(** The null-padded tuple [⟨A₁:⊥, …, Aₙ:⊥⟩] of a tuple type — what outer
+    joins and outer flattens append. *)
+val null_tuple : t -> Value.t
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/nrab/agg.ml: Fmt List Nested Value Vtype

@@ -1,0 +1,1 @@
+lib/nrab/agg.mli: Format Nested Value Vtype

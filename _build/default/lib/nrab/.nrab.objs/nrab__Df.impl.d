@@ -1,0 +1,1 @@
+lib/nrab/df.ml: Eval Fmt List Nested Query

@@ -1,0 +1,1 @@
+lib/nrab/df.mli: Agg Expr Nested Query

@@ -1,0 +1,1 @@
+lib/nrab/eval.ml: Agg Expr Fmt Hashtbl List Nested Query Relation String Typecheck Value Vtype

@@ -1,0 +1,1 @@
+lib/nrab/eval.mli: Nested Query Relation Typecheck Value

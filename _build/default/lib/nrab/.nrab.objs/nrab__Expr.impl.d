@@ -1,0 +1,1 @@
+lib/nrab/expr.ml: Fmt Nested String Value

@@ -1,0 +1,1 @@
+lib/nrab/expr.mli: Format Nested Value

@@ -1,0 +1,1 @@
+lib/nrab/fragment.ml: List Query

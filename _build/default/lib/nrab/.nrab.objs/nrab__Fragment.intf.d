@@ -1,0 +1,1 @@
+lib/nrab/fragment.mli: Query

@@ -1,0 +1,1 @@
+lib/nrab/parser.ml: Agg Expr Fmt List Nested Query Sexp String Value

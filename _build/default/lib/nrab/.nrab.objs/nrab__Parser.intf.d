@@ -1,0 +1,1 @@
+lib/nrab/parser.mli: Expr Query Sexp

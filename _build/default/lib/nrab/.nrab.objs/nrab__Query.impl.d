@@ -1,0 +1,1 @@
+lib/nrab/query.ml: Agg Expr Fmt List String

@@ -1,0 +1,1 @@
+lib/nrab/query.mli: Agg Expr Format

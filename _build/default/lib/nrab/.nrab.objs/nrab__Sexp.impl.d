@@ -1,0 +1,1 @@
+lib/nrab/sexp.ml: Buffer Fmt List String

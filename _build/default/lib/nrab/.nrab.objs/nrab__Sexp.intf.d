@@ -1,0 +1,1 @@
+lib/nrab/sexp.mli: Format

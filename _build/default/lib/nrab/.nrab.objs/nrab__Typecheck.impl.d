@@ -1,0 +1,1 @@
+lib/nrab/typecheck.ml: Agg Expr Fmt List Nested Query String Value Vtype

@@ -1,0 +1,1 @@
+lib/nrab/typecheck.mli: Expr Nested Query Vtype

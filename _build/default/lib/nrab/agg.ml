@@ -1,0 +1,98 @@
+(* Aggregation functions, restricted to the standard SQL ones (the PTIME
+   restriction of Theorem 1 that the paper's algorithm adopts). *)
+
+open Nested
+
+type fn = Sum | Count | Count_distinct | Avg | Min | Max
+
+let pp_fn ppf = function
+  | Sum -> Fmt.string ppf "sum"
+  | Count -> Fmt.string ppf "count"
+  | Count_distinct -> Fmt.string ppf "count distinct"
+  | Avg -> Fmt.string ppf "avg"
+  | Min -> Fmt.string ppf "min"
+  | Max -> Fmt.string ppf "max"
+
+let fn_to_string fn = Fmt.str "%a" pp_fn fn
+
+let as_float (v : Value.t) : float option =
+  match v with
+  | Value.Int i -> Some (float_of_int i)
+  | Value.Float f -> Some f
+  | Value.Null | Value.Bool _ | Value.String _ | Value.Tuple _ | Value.Bag _ ->
+    None
+
+let all_ints vs =
+  List.for_all
+    (function Value.Int _ -> true | _ -> false)
+    vs
+
+(* Apply an aggregation function to a multiset of values (each value
+   already expanded to its multiplicity).  Nulls are skipped, as in SQL.
+   Sum/avg/min/max of an empty input is Null; counts are 0. *)
+let apply (fn : fn) (values : Value.t list) : Value.t =
+  let non_null = List.filter (fun v -> not (Value.equal v Value.Null)) values in
+  match fn with
+  | Count -> Value.Int (List.length non_null)
+  | Count_distinct ->
+    Value.Int (List.length (List.sort_uniq Value.compare non_null))
+  | Sum ->
+    if non_null = [] then Value.Null
+    else if all_ints non_null then
+      Value.Int
+        (List.fold_left
+           (fun acc v -> match v with Value.Int i -> acc + i | _ -> acc)
+           0 non_null)
+    else
+      let floats = List.filter_map as_float non_null in
+      Value.Float (List.fold_left ( +. ) 0. floats)
+  | Avg -> (
+    let floats = List.filter_map as_float non_null in
+    match floats with
+    | [] -> Value.Null
+    | _ ->
+      Value.Float
+        (List.fold_left ( +. ) 0. floats /. float_of_int (List.length floats)))
+  | Min -> (
+    match non_null with
+    | [] -> Value.Null
+    | v :: rest ->
+      List.fold_left (fun acc x -> if Value.compare x acc < 0 then x else acc) v rest)
+  | Max -> (
+    match non_null with
+    | [] -> Value.Null
+    | v :: rest ->
+      List.fold_left (fun acc x -> if Value.compare x acc > 0 then x else acc) v rest)
+
+(* Output type of an aggregation function applied to values of [input]
+   type. *)
+let output_type (fn : fn) (input : Vtype.t) : Vtype.t =
+  match fn with
+  | Count | Count_distinct -> Vtype.TInt
+  | Avg -> Vtype.TFloat
+  | Sum | Min | Max -> input
+
+(* Range of values achievable by aggregating a *sub-multiset* (possibly
+   empty for counts, non-empty otherwise) of the given values.  Used by the
+   tracing step to decide optimistically whether an aggregate constraint of
+   the why-not question is satisfiable by some reparameterization upstream
+   (the paper cuts the corner of tracing aggregate subsets; this interval
+   check is the corresponding conservative test). *)
+let achievable_range (fn : fn) (values : Value.t list) : (float * float) option
+    =
+  let non_null = List.filter (fun v -> not (Value.equal v Value.Null)) values in
+  let floats = List.filter_map as_float non_null in
+  match fn with
+  | Count | Count_distinct -> Some (0., float_of_int (List.length non_null))
+  | Sum ->
+    if floats = [] then None
+    else
+      let neg = List.filter (fun f -> f < 0.) floats in
+      let pos = List.filter (fun f -> f > 0.) floats in
+      Some (List.fold_left ( +. ) 0. neg, List.fold_left ( +. ) 0. pos)
+  | Avg | Min | Max ->
+    if floats = [] then None
+    else
+      Some
+        ( List.fold_left min (List.hd floats) floats,
+          List.fold_left max (List.hd floats) floats )

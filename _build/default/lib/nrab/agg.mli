@@ -1,0 +1,25 @@
+(** Aggregation functions, restricted to the standard SQL ones — the
+    restriction under which explanation computation stays in PTIME
+    (Theorem 1). *)
+
+open Nested
+
+type fn = Sum | Count | Count_distinct | Avg | Min | Max
+
+val pp_fn : Format.formatter -> fn -> unit
+val fn_to_string : fn -> string
+
+(** Apply a function to a multiset of values (already expanded to
+    multiplicities).  Nulls are skipped as in SQL; [Sum]/[Avg]/[Min]/[Max]
+    of an empty input are [Null], counts are 0. *)
+val apply : fn -> Value.t list -> Value.t
+
+(** Output type given the aggregated attribute's type. *)
+val output_type : fn -> Vtype.t -> Vtype.t
+
+(** Range of values achievable by aggregating a sub-multiset of the given
+    contributions; [None] when no numeric value is achievable.  This is
+    the optimistic test the tracing step uses for aggregate constraints of
+    why-not questions (the algorithm does not trace aggregate subsets —
+    Section 5.5, corner (iii)). *)
+val achievable_range : fn -> Value.t list -> (float * float) option

@@ -1,0 +1,115 @@
+(* A fluent, Spark-DataFrame-style construction API for NRAB plans.
+
+   The paper targets debugging of Spark programs whose operator pipelines
+   correspond to NRAB queries (Figure 1c); this combinator layer lets such
+   pipelines be written the way they read in Spark:
+
+     Df.table "person"
+     |> Df.explode "address2"
+     |> Df.filter Expr.(Infix.(attr "year" >= int 2019))
+     |> Df.select_cols [ "name"; "city" ]
+     |> Df.group_nest [ "name" ] ~into:"nList"
+     |> Df.plan
+
+   Every combinator allocates operator ids from the builder threaded
+   through the value, so the resulting plan is an ordinary {!Query.t}. *)
+
+type t = { gen : Query.Gen.t; query : Query.t }
+
+let plan (df : t) : Query.t = df.query
+
+let of_query ?(gen = Query.Gen.create ~start:1000 ()) query = { gen; query }
+
+(* --- sources --- *)
+
+let table ?gen name =
+  let gen = match gen with Some g -> g | None -> Query.Gen.create () in
+  { gen; query = Query.table gen name }
+
+(* --- row-wise transformations --- *)
+
+let filter pred (df : t) = { df with query = Query.select df.gen pred df.query }
+
+let select_cols names (df : t) =
+  { df with query = Query.project_attrs df.gen names df.query }
+
+let with_columns cols (df : t) =
+  { df with query = Query.project df.gen cols df.query }
+
+let rename_cols pairs (df : t) =
+  { df with query = Query.rename df.gen pairs df.query }
+
+let distinct (df : t) = { df with query = Query.dedup df.gen df.query }
+
+(* --- nesting / flattening (Spark's explode and struct accessors) --- *)
+
+(* Spark's [explode] of an array column. *)
+let explode attr (df : t) =
+  { df with query = Query.flatten_inner df.gen attr df.query }
+
+let explode_outer attr (df : t) =
+  { df with query = Query.flatten_outer df.gen attr df.query }
+
+(* Expose the fields of a struct column ([select("s.*")] in Spark). *)
+let flatten_struct attr (df : t) =
+  { df with query = Query.flatten_tuple df.gen attr df.query }
+
+(* collect_list-style grouping of [attrs] into a nested relation. *)
+let group_nest attrs ~into (df : t) =
+  { df with query = Query.nest_rel df.gen attrs ~into df.query }
+
+let pack_struct attrs ~into (df : t) =
+  { df with query = Query.nest_tuple df.gen attrs ~into df.query }
+
+(* --- joins and set operations --- *)
+
+(* Two independently built dataframes may carry colliding operator ids
+   (each [table] starts a fresh generator); relabel the right side and
+   continue with a generator past all existing ids when that happens, so
+   the combined plan keeps ids unique. *)
+let combine (df : t) (other : t)
+    (build : Query.Gen.t -> Query.t -> Query.t -> Query.t) : t =
+  let ids q =
+    List.map (fun (op : Query.t) -> op.Query.id) (Query.operators q)
+  in
+  let left = ids df.query and right = ids other.query in
+  if List.exists (fun i -> List.mem i left) right then begin
+    let start = 1 + List.fold_left max 0 (left @ right) in
+    let gen = Query.Gen.create ~start () in
+    let other_query = Query.relabel gen other.query in
+    { gen; query = build gen df.query other_query }
+  end
+  else { df with query = build df.gen df.query other.query }
+
+let join ?(kind = Query.Inner) ~on (other : t) (df : t) =
+  combine df other (fun gen l r -> Query.join gen kind on l r)
+
+let cross_join (other : t) (df : t) =
+  combine df other (fun gen l r -> Query.product gen l r)
+
+let union (other : t) (df : t) =
+  combine df other (fun gen l r -> Query.union gen l r)
+
+let except (other : t) (df : t) =
+  combine df other (fun gen l r -> Query.diff gen l r)
+
+(* --- aggregation --- *)
+
+let agg_over_nested fn ~over ~into (df : t) =
+  { df with query = Query.agg_tuple df.gen fn ~over ~into df.query }
+
+let group_by attrs aggs (df : t) =
+  { df with query = Query.group_agg df.gen attrs aggs df.query }
+
+(* --- execution shortcuts --- *)
+
+let collect (db : Nested.Relation.Db.t) (df : t) : Nested.Relation.t =
+  Eval.eval db (plan df)
+
+let show ?(max_rows = 20) (db : Nested.Relation.Db.t) (df : t) : unit =
+  let rel = collect db df in
+  let rows = Nested.Relation.tuples rel in
+  let shown = List.filteri (fun i _ -> i < max_rows) rows in
+  List.iter (fun t -> Fmt.pr "%a@." Nested.Value.pp t) shown;
+  if List.length rows > max_rows then
+    Fmt.pr "... (%d more rows)@." (List.length rows - max_rows)

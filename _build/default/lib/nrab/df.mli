@@ -1,0 +1,72 @@
+(** A fluent, Spark-DataFrame-style construction API for NRAB plans.
+
+    The paper targets debugging of Spark programs whose operator pipelines
+    correspond to NRAB queries (Figure 1c); this combinator layer lets
+    such pipelines be written the way they read in Spark:
+
+    {[
+      Df.table "person"
+      |> Df.explode "address2"
+      |> Df.filter Expr.(Infix.(attr "year" >= int 2019))
+      |> Df.select_cols [ "name"; "city" ]
+      |> Df.group_nest [ "name" ] ~into:"nList"
+      |> Df.plan
+    ]} *)
+
+type t
+
+(** The underlying NRAB plan. *)
+val plan : t -> Query.t
+
+(** Wrap an existing plan (fresh ids continue from [gen]). *)
+val of_query : ?gen:Query.Gen.t -> Query.t -> t
+
+(** {1 Sources} *)
+
+val table : ?gen:Query.Gen.t -> string -> t
+
+(** {1 Row-wise transformations} *)
+
+val filter : Expr.pred -> t -> t
+val select_cols : string list -> t -> t
+
+(** Projection with computed columns. *)
+val with_columns : (string * Expr.t) list -> t -> t
+
+val rename_cols : (string * string) list -> t -> t
+val distinct : t -> t
+
+(** {1 Nesting and flattening} *)
+
+(** Spark's [explode] of an array column (inner relation flatten). *)
+val explode : string -> t -> t
+
+(** [explode_outer]: keeps rows whose array is empty or null. *)
+val explode_outer : string -> t -> t
+
+(** Expose a struct column's fields ([select("s.*")]). *)
+val flatten_struct : string -> t -> t
+
+(** [collect_list]-style grouping of [attrs] into a nested relation. *)
+val group_nest : string list -> into:string -> t -> t
+
+val pack_struct : string list -> into:string -> t -> t
+
+(** {1 Joins and set operations} *)
+
+val join : ?kind:Query.join_kind -> on:Expr.pred -> t -> t -> t
+val cross_join : t -> t -> t
+val union : t -> t -> t
+val except : t -> t -> t
+
+(** {1 Aggregation} *)
+
+(** Per-row aggregation over a nested relation column. *)
+val agg_over_nested : Agg.fn -> over:string -> into:string -> t -> t
+
+val group_by : string list -> (Agg.fn * string option * string) list -> t -> t
+
+(** {1 Execution shortcuts} *)
+
+val collect : Nested.Relation.Db.t -> t -> Nested.Relation.t
+val show : ?max_rows:int -> Nested.Relation.Db.t -> t -> unit

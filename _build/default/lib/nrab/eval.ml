@@ -1,0 +1,273 @@
+(* Reference evaluator for NRAB with bag semantics (Table 1).
+
+   This is the semantic ground truth; the mini-DISC engine in [lib/engine]
+   must agree with it (and the test suite checks that it does). *)
+
+open Nested
+
+exception Runtime_error of string
+
+let err fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
+
+let schema_env (db : Relation.Db.t) : Typecheck.env =
+  List.map (fun (n, r) -> (n, Relation.schema r)) (Relation.Db.tables db)
+
+let tuple_fields_of_type op ty =
+  match ty with
+  | Vtype.TBag (Vtype.TTuple fields) -> fields
+  | _ -> err "operator %d: not a relation type" op
+
+(* Evaluate query [q] over database [db] to a nested relation. *)
+let rec eval (db : Relation.Db.t) (q : Query.t) : Relation.t =
+  let env = schema_env db in
+  let out_ty = Typecheck.infer env q in
+  let data = eval_data db q in
+  Relation.make ~schema:out_ty ~data
+
+and eval_data (db : Relation.Db.t) (q : Query.t) : Value.t =
+  let env = schema_env db in
+  match q.node, q.children with
+  | Query.Table name, [] -> Relation.data (Relation.Db.find_exn name db)
+  | Query.Select pred, [ c ] ->
+    Value.bag_filter (fun t -> Expr.eval_pred t pred) (eval_data db c)
+  | Query.Project cols, [ c ] ->
+    let project t =
+      Value.Tuple (List.map (fun (name, e) -> (name, Expr.eval t e)) cols)
+    in
+    Value.bag_map project (eval_data db c)
+  | Query.Rename pairs, [ c ] ->
+    let rename_label l =
+      match List.find_opt (fun (_, old) -> String.equal old l) pairs with
+      | Some (fresh, _) -> fresh
+      | None -> l
+    in
+    let rename t =
+      match t with
+      | Value.Tuple fields ->
+        Value.Tuple (List.map (fun (l, v) -> (rename_label l, v)) fields)
+      | _ -> err "rename: non-tuple element"
+    in
+    Value.bag_map rename (eval_data db c)
+  | Query.Join (kind, pred), [ l; r ] ->
+    let lty = Typecheck.infer env l and rty = Typecheck.infer env r in
+    let lnull = Vtype.null_tuple (Vtype.element lty) in
+    let rnull = Vtype.null_tuple (Vtype.element rty) in
+    let lv = eval_data db l and rv = eval_data db r in
+    eval_join kind pred ~lnull ~rnull lv rv
+  | Query.Product, [ l; r ] ->
+    let lv = eval_data db l and rv = eval_data db r in
+    let pairs =
+      List.concat_map
+        (fun (t, k) ->
+          List.map
+            (fun (u, m) -> (Value.concat_tuples t u, k * m))
+            (Value.elems rv))
+        (Value.elems lv)
+    in
+    Value.bag pairs
+  | Query.Union, [ l; r ] -> Value.bag_union (eval_data db l) (eval_data db r)
+  | Query.Diff, [ l; r ] -> Value.bag_diff (eval_data db l) (eval_data db r)
+  | Query.Dedup, [ c ] -> Value.dedup (eval_data db c)
+  | Query.Flatten_tuple a, [ c ] ->
+    let flatten t =
+      match Value.field a t with
+      | Some (Value.Tuple _ as inner) -> Value.concat_tuples t inner
+      | Some Value.Null ->
+        (* A null tuple attribute behaves like the null-padded tuple. *)
+        let cty = Typecheck.infer env c in
+        let inner_ty =
+          match List.assoc_opt a (tuple_fields_of_type q.id cty) with
+          | Some ty -> ty
+          | None -> err "flatten_tuple: unknown attribute %s" a
+        in
+        Value.concat_tuples t (Vtype.null_tuple inner_ty)
+      | Some _ -> err "flatten_tuple: attribute %s is not a tuple" a
+      | None -> err "flatten_tuple: unknown attribute %s" a
+    in
+    Value.bag_map flatten (eval_data db c)
+  | Query.Flatten (kind, a), [ c ] ->
+    let cty = Typecheck.infer env c in
+    let inner_ty =
+      match List.assoc_opt a (tuple_fields_of_type q.id cty) with
+      | Some (Vtype.TBag ety) -> ety
+      | Some _ | None -> err "flatten: attribute %s is not a relation" a
+    in
+    let flatten_one (t, k) =
+      let nested = match Value.field a t with Some v -> v | None -> Value.Null in
+      let element_rows =
+        match nested with
+        | Value.Bag es ->
+          List.map (fun (u, m) -> (Value.concat_tuples t u, k * m)) es
+        | Value.Null -> []
+        | _ -> err "flatten: attribute %s does not hold a bag" a
+      in
+      match element_rows, kind with
+      | [], Query.Flat_outer ->
+        [ (Value.concat_tuples t (Vtype.null_tuple inner_ty), k) ]
+      | rows, _ -> rows
+    in
+    Value.bag (List.concat_map flatten_one (Value.elems (eval_data db c)))
+  | Query.Nest_tuple (pairs, c_name), [ c ] ->
+    let attrs = List.map snd pairs in
+    let nest t =
+      match t with
+      | Value.Tuple fields ->
+        let rest = List.filter (fun (l, _) -> not (List.mem l attrs)) fields in
+        let nested =
+          List.map
+            (fun (label, a) ->
+              match List.assoc_opt a fields with
+              | Some v -> (label, v)
+              | None -> err "nest_tuple: unknown attribute %s" a)
+            pairs
+        in
+        Value.Tuple (rest @ [ (c_name, Value.Tuple nested) ])
+      | _ -> err "nest_tuple: non-tuple element"
+    in
+    Value.bag_map nest (eval_data db c)
+  | Query.Nest_rel (pairs, c_name), [ c ] ->
+    eval_nest_rel pairs c_name (eval_data db c)
+  | Query.Agg_tuple (fn, a, b), [ c ] ->
+    let agg t =
+      let values =
+        match Value.field a t with
+        | Some (Value.Bag _ as bag) ->
+          List.map
+            (fun v ->
+              match v with
+              | Value.Tuple [ (_, inner) ] -> inner
+              | other -> other)
+            (Value.expand bag)
+        | Some Value.Null | None -> []
+        | Some _ -> err "agg_tuple: attribute %s is not a relation" a
+      in
+      Value.concat_tuples t (Value.Tuple [ (b, Agg.apply fn values) ])
+    in
+    Value.bag_map agg (eval_data db c)
+  | Query.Group_agg (group, aggs), [ c ] ->
+    eval_group_agg group aggs (eval_data db c)
+  | _ -> err "malformed query node (operator %d)" q.id
+
+and eval_join kind pred ~lnull ~rnull (lv : Value.t) (rv : Value.t) : Value.t =
+  let inner =
+    List.concat_map
+      (fun (t, k) ->
+        List.filter_map
+          (fun (u, m) ->
+            let joined = Value.concat_tuples t u in
+            if Expr.eval_pred joined pred then Some (joined, k * m) else None)
+          (Value.elems rv))
+      (Value.elems lv)
+  in
+  let left_matched t =
+    List.exists
+      (fun (u, _) -> Expr.eval_pred (Value.concat_tuples t u) pred)
+      (Value.elems rv)
+  in
+  let right_matched u =
+    List.exists
+      (fun (t, _) -> Expr.eval_pred (Value.concat_tuples t u) pred)
+      (Value.elems lv)
+  in
+  let left_padded () =
+    List.filter_map
+      (fun (t, k) ->
+        if left_matched t then None else Some (Value.concat_tuples t rnull, k))
+      (Value.elems lv)
+  in
+  let right_padded () =
+    List.filter_map
+      (fun (u, m) ->
+        if right_matched u then None else Some (Value.concat_tuples lnull u, m))
+      (Value.elems rv)
+  in
+  match kind with
+  | Query.Inner -> Value.bag inner
+  | Query.Left -> Value.bag (inner @ left_padded ())
+  | Query.Right -> Value.bag (inner @ right_padded ())
+  | Query.Full -> Value.bag (inner @ left_padded () @ right_padded ())
+
+and eval_nest_rel pairs c_name (v : Value.t) : Value.t =
+  let attrs = List.map snd pairs in
+  let key t =
+    match t with
+    | Value.Tuple fields ->
+      Value.Tuple (List.filter (fun (l, _) -> not (List.mem l attrs)) fields)
+    | _ -> err "nest_rel: non-tuple element"
+  in
+  let proj t =
+    Value.Tuple
+      (List.map
+         (fun (label, a) ->
+           match Value.field a t with
+           | Some fv -> (label, fv)
+           | None -> err "nest_rel: unknown attribute %s" a)
+         pairs)
+  in
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (t, m) ->
+      let k = key t in
+      match Hashtbl.find_opt groups k with
+      | Some members -> Hashtbl.replace groups k ((proj t, m) :: members)
+      | None ->
+        order := k :: !order;
+        Hashtbl.replace groups k [ (proj t, m) ])
+    (Value.elems v);
+  let rows =
+    List.rev_map
+      (fun k ->
+        let members = Hashtbl.find groups k in
+        (Value.concat_tuples k (Value.Tuple [ (c_name, Value.bag members) ]), 1))
+      !order
+  in
+  Value.bag rows
+
+and eval_group_agg group aggs (v : Value.t) : Value.t =
+  let key t =
+    Value.Tuple
+      (List.map
+         (fun (label, a) ->
+           match Value.field a t with
+           | Some fv -> (label, fv)
+           | None -> err "group_agg: unknown attribute %s" a)
+         group)
+  in
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (t, m) ->
+      let k = key t in
+      let rows = List.init m (fun _ -> t) in
+      match Hashtbl.find_opt groups k with
+      | Some members -> Hashtbl.replace groups k (rows @ members)
+      | None ->
+        order := k :: !order;
+        Hashtbl.replace groups k rows)
+    (Value.elems v);
+  let rows =
+    List.rev_map
+      (fun k ->
+        let members = Hashtbl.find groups k in
+        let agg_fields =
+          List.map
+            (fun (fn, a, out) ->
+              let values =
+                match a with
+                | Some a ->
+                  List.map
+                    (fun t ->
+                      match Value.field a t with
+                      | Some fv -> fv
+                      | None -> err "group_agg: unknown attribute %s" a)
+                    members
+                | None -> List.map (fun _ -> Value.Int 1) members
+              in
+              (out, Agg.apply fn values))
+            aggs
+        in
+        (Value.concat_tuples k (Value.Tuple agg_fields), 1))
+      !order
+  in
+  Value.bag rows

@@ -1,0 +1,19 @@
+(** Reference evaluator for NRAB with bag semantics (Table 1).
+
+    This is the semantic ground truth; the mini-DISC engine
+    ({!Engine.Exec}) must produce identical results — the test suite
+    checks the agreement on every operator. *)
+
+open Nested
+
+exception Runtime_error of string
+
+(** Evaluate a query over a database.  Raises {!Runtime_error} on
+    malformed plans and {!Typecheck.Type_error} on ill-typed ones. *)
+val eval : Relation.Db.t -> Query.t -> Relation.t
+
+(** The result's bag only (no schema computation for the result value). *)
+val eval_data : Relation.Db.t -> Query.t -> Value.t
+
+(** Typing environment of a database: one entry per table. *)
+val schema_env : Relation.Db.t -> Typecheck.env

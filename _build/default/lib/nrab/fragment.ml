@@ -1,0 +1,59 @@
+(* Algebra fragments (Section 3.2 / Table 3 of the paper).
+
+   SPC is the subset of NRAB⁰ sufficient for select-project-join queries;
+   SPC⁺ adds additive union; everything else is full NRAB.  The paper uses
+   the fragments to compare which operators each explanation formalism can
+   return (Table 3): lineage-based approaches only blame data-pruning
+   operators (selections, joins), while the reparameterization-based
+   formalism also blames schema-shaping ones (projections, renaming,
+   flattening, nesting, aggregation). *)
+
+type t = Spc | Spc_plus | Nrab
+
+let to_string = function Spc -> "SPC" | Spc_plus -> "SPC+" | Nrab -> "NRAB"
+
+let of_node (n : Query.node) : t =
+  match n with
+  | Query.Table _ | Query.Select _ | Query.Project _
+  | Query.Join (Query.Inner, _)
+  | Query.Product ->
+    Spc
+  | Query.Union -> Spc_plus
+  | Query.Rename _ | Query.Join (_, _) | Query.Diff | Query.Dedup
+  | Query.Flatten_tuple _ | Query.Flatten _ | Query.Nest_tuple _
+  | Query.Nest_rel _ | Query.Agg_tuple _ | Query.Group_agg _ ->
+    Nrab
+
+let max_fragment a b =
+  match a, b with
+  | Nrab, _ | _, Nrab -> Nrab
+  | Spc_plus, _ | _, Spc_plus -> Spc_plus
+  | Spc, Spc -> Spc
+
+(* Smallest fragment containing a query. *)
+let classify (q : Query.t) : t =
+  Query.fold (fun acc op -> max_fragment acc (of_node op.Query.node)) Spc q
+
+(* Which operator types can appear in explanations, per formalism
+   (Table 3)?  Lineage-based formalisms only return operators that prune
+   compatible data. *)
+type formalism = Lineage_based | Reparameterization_based
+
+let explainable_op_types (formalism : formalism) (fragment : t) :
+    Query.op_type list =
+  match formalism, fragment with
+  | Lineage_based, (Spc | Spc_plus) -> [ Query.Op_select; Query.Op_join ]
+  | Lineage_based, Nrab -> [ Query.Op_select; Query.Op_join; Query.Op_flatten ]
+  | Reparameterization_based, (Spc | Spc_plus) ->
+    [ Query.Op_select; Query.Op_join; Query.Op_project ]
+  | Reparameterization_based, Nrab ->
+    [
+      Query.Op_select; Query.Op_join; Query.Op_project; Query.Op_rename;
+      Query.Op_flatten; Query.Op_nest; Query.Op_agg;
+    ]
+
+(* Can an operator of this type be part of an explanation under the given
+   formalism for queries of this fragment? *)
+let explainable (formalism : formalism) (fragment : t) (ty : Query.op_type) :
+    bool =
+  List.mem ty (explainable_op_types formalism fragment)

@@ -1,0 +1,24 @@
+(** Algebra fragments (Section 3.2) and the explanation-expressiveness
+    comparison of Table 3.
+
+    SPC covers select-project-join queries, SPC⁺ adds additive union;
+    everything else is full NRAB.  Lineage-based explanation formalisms
+    can only blame data-pruning operators; the reparameterization-based
+    formalism also blames schema-shaping ones. *)
+
+type t = Spc | Spc_plus | Nrab
+
+val to_string : t -> string
+
+(** Fragment an individual operator belongs to. *)
+val of_node : Query.node -> t
+
+(** Smallest fragment containing the query. *)
+val classify : Query.t -> t
+
+type formalism = Lineage_based | Reparameterization_based
+
+(** The rows of Table 3: operator types that can appear in explanations. *)
+val explainable_op_types : formalism -> t -> Query.op_type list
+
+val explainable : formalism -> t -> Query.op_type -> bool

@@ -1,0 +1,239 @@
+(* The NRAB query AST (Section 3.2, Table 1).
+
+   Every operator node carries a unique integer identifier; explanations
+   are sets of such identifiers, and operators keep their identifier across
+   reparameterizations (Section 4.2). *)
+
+type join_kind = Inner | Left | Right | Full
+type flatten_kind = Flat_inner | Flat_outer
+
+type node =
+  | Table of string
+  | Select of Expr.pred
+  | Project of (string * Expr.t) list
+      (* output column name × defining expression; π_L is the special case
+         where every expression is an attribute reference *)
+  | Rename of (string * string) list  (* (new name, old name) pairs *)
+  | Join of join_kind * Expr.pred
+  | Product
+  | Union
+  | Diff
+  | Dedup
+  | Flatten_tuple of string
+  | Flatten of flatten_kind * string
+  | Nest_tuple of (string * string) list * string
+      (* (output label, source attr) pairs → new attr C; labels are fixed
+         so that attribute swaps (reparameterizations) preserve the output
+         schema *)
+  | Nest_rel of (string * string) list * string
+      (* same, nesting into a relation; groups on the remaining attrs *)
+  | Agg_tuple of Agg.fn * string * string  (* γ_{f(A)→B}: per-tuple over nested attr A *)
+  | Group_agg of (string * string) list * (Agg.fn * string option * string) list
+      (* group-by (output label, source attr) pairs × aggregates (fn, input
+         attr or None for count-star, output name); labels are fixed so
+         that attribute swaps preserve the output schema; derived operator
+         used by the TPC-H scenarios *)
+
+type t = { id : int; node : node; children : t list }
+
+(* Construction.  Identifiers are drawn from an explicit generator so that
+   scenario definitions can pin the ids used in the paper. *)
+
+module Gen = struct
+  type t = { mutable next : int }
+
+  let create ?(start = 1) () = { next = start }
+
+  let fresh g =
+    let id = g.next in
+    g.next <- id + 1;
+    id
+end
+
+let mk ?id (g : Gen.t) node children =
+  let id = match id with Some i -> i | None -> Gen.fresh g in
+  { id; node; children }
+
+let table ?id g name = mk ?id g (Table name) []
+let select ?id g pred q = mk ?id g (Select pred) [ q ]
+let project ?id g cols q = mk ?id g (Project cols) [ q ]
+
+(* Plain π_L: keep the listed attributes. *)
+let project_attrs ?id g attrs q =
+  project ?id g (List.map (fun a -> (a, Expr.Attr a)) attrs) q
+
+let rename ?id g pairs q = mk ?id g (Rename pairs) [ q ]
+let join ?id g kind pred l r = mk ?id g (Join (kind, pred)) [ l; r ]
+let product ?id g l r = mk ?id g Product [ l; r ]
+let union ?id g l r = mk ?id g Union [ l; r ]
+let diff ?id g l r = mk ?id g Diff [ l; r ]
+let dedup ?id g q = mk ?id g Dedup [ q ]
+let flatten_tuple ?id g attr q = mk ?id g (Flatten_tuple attr) [ q ]
+let flatten ?id g kind attr q = mk ?id g (Flatten (kind, attr)) [ q ]
+let flatten_inner ?id g attr q = flatten ?id g Flat_inner attr q
+let flatten_outer ?id g attr q = flatten ?id g Flat_outer attr q
+let nest_tuple ?id g attrs ~into q =
+  mk ?id g (Nest_tuple (List.map (fun a -> (a, a)) attrs, into)) [ q ]
+
+let nest_rel ?id g attrs ~into q =
+  mk ?id g (Nest_rel (List.map (fun a -> (a, a)) attrs, into)) [ q ]
+
+let nest_tuple_labeled ?id g pairs ~into q = mk ?id g (Nest_tuple (pairs, into)) [ q ]
+let nest_rel_labeled ?id g pairs ~into q = mk ?id g (Nest_rel (pairs, into)) [ q ]
+let agg_tuple ?id g fn ~over ~into q = mk ?id g (Agg_tuple (fn, over, into)) [ q ]
+let group_agg ?id g group aggs q =
+  mk ?id g (Group_agg (List.map (fun a -> (a, a)) group, aggs)) [ q ]
+
+let group_agg_labeled ?id g pairs aggs q = mk ?id g (Group_agg (pairs, aggs)) [ q ]
+
+(* Traversals *)
+
+let rec fold (f : 'a -> t -> 'a) (acc : 'a) (q : t) : 'a =
+  let acc = List.fold_left (fold f) acc q.children in
+  f acc q
+
+(* All operator nodes, children before parents (topological order). *)
+let operators (q : t) : t list = List.rev (fold (fun acc op -> op :: acc) [] q)
+
+let find_op (q : t) (id : int) : t option =
+  fold (fun acc op -> if op.id = id then Some op else acc) None q
+
+let op_count (q : t) : int = fold (fun n _ -> n + 1) 0 q
+
+(* Names of input tables, in order of appearance. *)
+let input_tables (q : t) : string list =
+  let names =
+    fold
+      (fun acc op -> match op.node with Table n -> n :: acc | _ -> acc)
+      [] q
+  in
+  List.rev names
+
+(* Assign fresh identifiers (from [g]) to every operator of a query —
+   used when combining independently built plans whose ids collide. *)
+let rec relabel (g : Gen.t) (q : t) : t =
+  let children = List.map (relabel g) q.children in
+  { q with id = Gen.fresh g; children }
+
+(* Replace the node of operator [id], keeping structure and ids — the
+   shape-preservation invariant of reparameterizations (Definition 7). *)
+let rec replace_node (q : t) (id : int) (node : node) : t =
+  if q.id = id then { q with node }
+  else { q with children = List.map (fun c -> replace_node c id node) q.children }
+
+(* A short operator symbol, used for paper-style output like σ^12. *)
+let op_symbol (n : node) : string =
+  match n with
+  | Table name -> name
+  | Select _ -> "σ"
+  | Project _ -> "π"
+  | Rename _ -> "ρ"
+  | Join (Inner, _) -> "⋈"
+  | Join (Left, _) -> "⟕"
+  | Join (Right, _) -> "⟖"
+  | Join (Full, _) -> "⟗"
+  | Product -> "×"
+  | Union -> "∪"
+  | Diff -> "−"
+  | Dedup -> "δ"
+  | Flatten_tuple _ -> "Fᵀ"
+  | Flatten (Flat_inner, _) -> "Fᴵ"
+  | Flatten (Flat_outer, _) -> "Fᴼ"
+  | Nest_tuple _ -> "Nᵀ"
+  | Nest_rel _ -> "Nᴿ"
+  | Agg_tuple _ | Group_agg _ -> "γ"
+
+(* Operator type tag, used to aggregate explanations per operator type in
+   the Table 7 summary. *)
+type op_type =
+  | Op_select
+  | Op_project
+  | Op_rename
+  | Op_join
+  | Op_flatten
+  | Op_nest
+  | Op_agg
+  | Op_other
+
+let op_type (n : node) : op_type =
+  match n with
+  | Select _ -> Op_select
+  | Project _ -> Op_project
+  | Rename _ -> Op_rename
+  | Join _ | Product -> Op_join
+  | Flatten_tuple _ | Flatten _ -> Op_flatten
+  | Nest_tuple _ | Nest_rel _ -> Op_nest
+  | Agg_tuple _ | Group_agg _ -> Op_agg
+  | Table _ | Union | Diff | Dedup -> Op_other
+
+let op_type_to_string = function
+  | Op_select -> "σ"
+  | Op_project -> "π"
+  | Op_rename -> "ρ"
+  | Op_join -> "⋈"
+  | Op_flatten -> "F"
+  | Op_nest -> "N"
+  | Op_agg -> "γ"
+  | Op_other -> "·"
+
+let pp_node ppf (n : node) =
+  match n with
+  | Table name -> Fmt.pf ppf "%s" name
+  | Select p -> Fmt.pf ppf "σ[%a]" Expr.pp_pred p
+  | Project cols ->
+    let pp_col ppf (name, e) =
+      match e with
+      | Expr.Attr a when String.equal a name -> Fmt.string ppf name
+      | _ -> Fmt.pf ppf "%s←%a" name Expr.pp e
+    in
+    Fmt.pf ppf "π[%a]" (Fmt.list ~sep:(Fmt.any ",") pp_col) cols
+  | Rename pairs ->
+    Fmt.pf ppf "ρ[%a]"
+      (Fmt.list ~sep:(Fmt.any ",") (fun ppf (b, a) -> Fmt.pf ppf "%s←%s" b a))
+      pairs
+  | Join (kind, p) ->
+    let sym =
+      match kind with Inner -> "⋈" | Left -> "⟕" | Right -> "⟖" | Full -> "⟗"
+    in
+    Fmt.pf ppf "%s[%a]" sym Expr.pp_pred p
+  | Product -> Fmt.string ppf "×"
+  | Union -> Fmt.string ppf "∪"
+  | Diff -> Fmt.string ppf "−"
+  | Dedup -> Fmt.string ppf "δ"
+  | Flatten_tuple a -> Fmt.pf ppf "Fᵀ[%s]" a
+  | Flatten (Flat_inner, a) -> Fmt.pf ppf "Fᴵ[%s]" a
+  | Flatten (Flat_outer, a) -> Fmt.pf ppf "Fᴼ[%s]" a
+  | Nest_tuple (pairs, c) | Nest_rel (pairs, c) ->
+    let sym = match n with Nest_tuple _ -> "Nᵀ" | _ -> "Nᴿ" in
+    let pp_pair ppf (label, a) =
+      if String.equal label a then Fmt.string ppf a
+      else Fmt.pf ppf "%s←%s" label a
+    in
+    Fmt.pf ppf "%s[%a→%s]" sym (Fmt.list ~sep:(Fmt.any ",") pp_pair) pairs c
+  | Agg_tuple (fn, a, b) -> Fmt.pf ppf "γ[%a(%s)→%s]" Agg.pp_fn fn a b
+  | Group_agg (group, aggs) ->
+    let pp_agg ppf (fn, a, out) =
+      Fmt.pf ppf "%a(%s)→%s" Agg.pp_fn fn
+        (match a with Some a -> a | None -> "*")
+        out
+    in
+    let pp_pair ppf (label, a) =
+      if String.equal label a then Fmt.string ppf a
+      else Fmt.pf ppf "%s←%s" label a
+    in
+    Fmt.pf ppf "γ[%a; %a]"
+      (Fmt.list ~sep:(Fmt.any ",") pp_pair)
+      group
+      (Fmt.list ~sep:(Fmt.any ",") pp_agg)
+      aggs
+
+let rec pp ppf (q : t) =
+  match q.children with
+  | [] -> Fmt.pf ppf "%a^%d" pp_node q.node q.id
+  | [ c ] -> Fmt.pf ppf "%a^%d(%a)" pp_node q.node q.id pp c
+  | cs ->
+    Fmt.pf ppf "%a^%d(%a)" pp_node q.node q.id
+      (Fmt.list ~sep:(Fmt.any ", ") pp)
+      cs
+
+let to_string q = Fmt.str "%a" pp q

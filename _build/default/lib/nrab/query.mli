@@ -1,0 +1,137 @@
+(** The NRAB query AST (Section 3.2 / Table 1 of the paper).
+
+    Every operator node carries a unique integer identifier.  Explanations
+    are sets of identifiers, and an operator keeps its identifier across
+    reparameterizations (Section 4.2), so identifiers are the common
+    currency between queries, traces, and explanations. *)
+
+type join_kind = Inner | Left | Right | Full
+type flatten_kind = Flat_inner | Flat_outer
+
+type node =
+  | Table of string  (** table access *)
+  | Select of Expr.pred  (** σ_θ *)
+  | Project of (string * Expr.t) list
+      (** generalized π: output name × defining expression; plain π_L is
+          the special case where every expression is an attribute *)
+  | Rename of (string * string) list
+      (** ρ as (new name, old name) pairs; unlisted attributes keep their
+          names *)
+  | Join of join_kind * Expr.pred  (** ⋈ / ⟕ / ⟖ / ⟗ *)
+  | Product  (** × *)
+  | Union  (** additive bag union *)
+  | Diff  (** bag difference *)
+  | Dedup  (** δ *)
+  | Flatten_tuple of string  (** Fᵀ *)
+  | Flatten of flatten_kind * string  (** Fᴵ / Fᴼ *)
+  | Nest_tuple of (string * string) list * string
+      (** Nᵀ: (output label, source attr) pairs → new attribute; output
+          labels are fixed so attribute swaps preserve the output schema *)
+  | Nest_rel of (string * string) list * string
+      (** Nᴿ: same, nesting into a relation, grouping on the remaining
+          attributes *)
+  | Agg_tuple of Agg.fn * string * string
+      (** γ_{f(A)→B}: per-tuple aggregation over nested attribute A *)
+  | Group_agg of (string * string) list * (Agg.fn * string option * string) list
+      (** group-by aggregation (derived operator): labelled group
+          attributes × aggregates (function, input attribute or [None] for
+          count(·), output name) *)
+
+type t = { id : int; node : node; children : t list }
+
+(** {1 Construction}
+
+    Identifiers come from an explicit generator so scenario definitions
+    can pin ids; pass [?id] to override. *)
+
+module Gen : sig
+  type t
+
+  val create : ?start:int -> unit -> t
+  val fresh : t -> int
+end
+
+val mk : ?id:int -> Gen.t -> node -> t list -> t
+val table : ?id:int -> Gen.t -> string -> t
+val select : ?id:int -> Gen.t -> Expr.pred -> t -> t
+val project : ?id:int -> Gen.t -> (string * Expr.t) list -> t -> t
+
+(** Plain π_L over the listed attributes. *)
+val project_attrs : ?id:int -> Gen.t -> string list -> t -> t
+
+val rename : ?id:int -> Gen.t -> (string * string) list -> t -> t
+val join : ?id:int -> Gen.t -> join_kind -> Expr.pred -> t -> t -> t
+val product : ?id:int -> Gen.t -> t -> t -> t
+val union : ?id:int -> Gen.t -> t -> t -> t
+val diff : ?id:int -> Gen.t -> t -> t -> t
+val dedup : ?id:int -> Gen.t -> t -> t
+val flatten_tuple : ?id:int -> Gen.t -> string -> t -> t
+val flatten : ?id:int -> Gen.t -> flatten_kind -> string -> t -> t
+val flatten_inner : ?id:int -> Gen.t -> string -> t -> t
+val flatten_outer : ?id:int -> Gen.t -> string -> t -> t
+val nest_tuple : ?id:int -> Gen.t -> string list -> into:string -> t -> t
+val nest_rel : ?id:int -> Gen.t -> string list -> into:string -> t -> t
+
+val nest_tuple_labeled :
+  ?id:int -> Gen.t -> (string * string) list -> into:string -> t -> t
+
+val nest_rel_labeled :
+  ?id:int -> Gen.t -> (string * string) list -> into:string -> t -> t
+
+val agg_tuple : ?id:int -> Gen.t -> Agg.fn -> over:string -> into:string -> t -> t
+
+val group_agg :
+  ?id:int -> Gen.t -> string list -> (Agg.fn * string option * string) list -> t -> t
+
+val group_agg_labeled :
+  ?id:int ->
+  Gen.t ->
+  (string * string) list ->
+  (Agg.fn * string option * string) list ->
+  t ->
+  t
+
+(** {1 Traversals} *)
+
+(** Bottom-up fold (children before parents). *)
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+(** All operators, children before parents (topological order). *)
+val operators : t -> t list
+
+val find_op : t -> int -> t option
+val op_count : t -> int
+
+(** Input table names, in order of appearance. *)
+val input_tables : t -> string list
+
+(** Assign fresh identifiers to every operator — for combining
+    independently built plans whose ids collide. *)
+val relabel : Gen.t -> t -> t
+
+(** Replace the node of one operator, keeping structure and identifiers —
+    the shape-preservation invariant of reparameterizations
+    (Definition 7). *)
+val replace_node : t -> int -> node -> t
+
+(** {1 Presentation} *)
+
+(** Short operator symbol ("σ", "Fᴵ", …), for paper-style [σ^12] output. *)
+val op_symbol : node -> string
+
+(** Coarse operator classes used by the Table 7 summary. *)
+type op_type =
+  | Op_select
+  | Op_project
+  | Op_rename
+  | Op_join
+  | Op_flatten
+  | Op_nest
+  | Op_agg
+  | Op_other
+
+val op_type : node -> op_type
+val op_type_to_string : op_type -> string
+val pp_node : Format.formatter -> node -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

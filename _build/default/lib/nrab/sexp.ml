@@ -1,0 +1,104 @@
+(* Minimal s-expressions: the concrete syntax for queries, predicates, and
+   why-not patterns (see Parser). *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Parse_error m)) fmt
+
+(* --- printing --- *)
+
+let atom_needs_quotes (s : string) : bool =
+  s = ""
+  || String.exists
+       (fun c -> c = ' ' || c = '(' || c = ')' || c = '"' || c = '\n' || c = '\t')
+       s
+
+let rec pp ppf (s : t) =
+  match s with
+  | Atom a ->
+    if atom_needs_quotes a then Fmt.pf ppf "%S" a else Fmt.string ppf a
+  | List els -> Fmt.pf ppf "@[<hov 1>(%a)@]" (Fmt.list ~sep:Fmt.sp pp) els
+
+let to_string s = Fmt.str "%a" pp s
+
+(* --- parsing --- *)
+
+type lexer = { src : string; mutable pos : int }
+
+let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+let advance lx = lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance lx;
+    skip_ws lx
+  | Some ';' ->
+    (* comment to end of line *)
+    while (match peek lx with Some c when c <> '\n' -> true | _ -> false) do
+      advance lx
+    done;
+    skip_ws lx
+  | _ -> ()
+
+let parse_quoted lx : string =
+  advance lx (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek lx with
+    | None -> fail "unterminated string at offset %d" lx.pos
+    | Some '"' -> advance lx
+    | Some '\\' -> (
+      advance lx;
+      match peek lx with
+      | Some 'n' -> advance lx; Buffer.add_char buf '\n'; go ()
+      | Some 't' -> advance lx; Buffer.add_char buf '\t'; go ()
+      | Some c -> advance lx; Buffer.add_char buf c; go ()
+      | None -> fail "unterminated escape")
+    | Some c ->
+      advance lx;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_atom lx : string =
+  let start = lx.pos in
+  let is_atom_char c =
+    not (c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '(' || c = ')' || c = '"' || c = ';')
+  in
+  while (match peek lx with Some c -> is_atom_char c | None -> false) do
+    advance lx
+  done;
+  if lx.pos = start then fail "expected atom at offset %d" start;
+  String.sub lx.src start (lx.pos - start)
+
+let rec parse_sexp lx : t =
+  skip_ws lx;
+  match peek lx with
+  | None -> fail "unexpected end of input"
+  | Some '(' ->
+    advance lx;
+    let rec elements acc =
+      skip_ws lx;
+      match peek lx with
+      | Some ')' ->
+        advance lx;
+        List.rev acc
+      | None -> fail "unterminated list"
+      | Some _ -> elements (parse_sexp lx :: acc)
+    in
+    List (elements [])
+  | Some ')' -> fail "unexpected ')' at offset %d" lx.pos
+  | Some '"' -> Atom (parse_quoted lx)
+  | Some _ -> Atom (parse_atom lx)
+
+let of_string (s : string) : t =
+  let lx = { src = s; pos = 0 } in
+  let sexp = parse_sexp lx in
+  skip_ws lx;
+  if lx.pos <> String.length s then fail "trailing input at offset %d" lx.pos;
+  sexp

@@ -1,0 +1,17 @@
+(** Minimal s-expressions — the concrete syntax for queries, predicates,
+    and why-not patterns (see {!Parser} and [Whynot.Nip_syntax]).
+    Supports ["..."]-quoted atoms with escapes and [;]-to-end-of-line
+    comments. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+(** Raise {!Parse_error} with a formatted message. *)
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Raises {!Parse_error}. *)
+val of_string : string -> t

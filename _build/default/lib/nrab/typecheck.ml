@@ -1,0 +1,202 @@
+(* Static typing of NRAB queries, following the output types of Table 1.
+
+   Used both to evaluate queries (outer joins and outer flattens need the
+   schema for null padding) and to prune schema alternatives: an attribute
+   substitution that yields an ill-typed query or changes the output schema
+   is discarded (Section 5.2). *)
+
+open Nested
+
+type env = (string * Vtype.t) list
+
+type error = { op_id : int; message : string }
+
+exception Type_error of error
+
+let fail op_id fmt = Fmt.kstr (fun message -> raise (Type_error { op_id; message })) fmt
+
+let tuple_of op_id (ty : Vtype.t) : (string * Vtype.t) list =
+  match ty with
+  | Vtype.TBag (Vtype.TTuple fields) -> fields
+  | _ -> fail op_id "input is not a relation: %a" Vtype.pp ty
+
+let field_type op_id fields a =
+  match List.assoc_opt a fields with
+  | Some ty -> ty
+  | None ->
+    fail op_id "unknown attribute %s (have: %s)" a
+      (String.concat ", " (List.map fst fields))
+
+let rec expr_type op_id (fields : (string * Vtype.t) list) (e : Expr.t) :
+    Vtype.t =
+  match e with
+  | Expr.Const (Value.Bool _) -> Vtype.TBool
+  | Expr.Const (Value.Int _) -> Vtype.TInt
+  | Expr.Const (Value.Float _) -> Vtype.TFloat
+  | Expr.Const (Value.String _) -> Vtype.TString
+  | Expr.Const v -> (
+    match Vtype.infer v with
+    | Some ty -> ty
+    | None -> fail op_id "cannot type constant %a" Value.pp v)
+  | Expr.Attr a -> field_type op_id fields a
+  | Expr.Add (a, b) | Expr.Sub (a, b) | Expr.Mul (a, b) | Expr.Div (a, b) -> (
+    let ta = expr_type op_id fields a and tb = expr_type op_id fields b in
+    match ta, tb with
+    | Vtype.TInt, Vtype.TInt -> Vtype.TInt
+    | (Vtype.TInt | Vtype.TFloat), (Vtype.TInt | Vtype.TFloat) -> Vtype.TFloat
+    | _ -> fail op_id "non-numeric operands: %a, %a" Vtype.pp ta Vtype.pp tb)
+
+let comparable (a : Vtype.t) (b : Vtype.t) : bool =
+  match a, b with
+  | (Vtype.TInt | Vtype.TFloat), (Vtype.TInt | Vtype.TFloat) -> true
+  | _ -> Vtype.equal a b
+
+let rec check_pred op_id fields (p : Expr.pred) : unit =
+  match p with
+  | Expr.True | Expr.False -> ()
+  | Expr.Cmp (_, a, b) ->
+    let ta = expr_type op_id fields a and tb = expr_type op_id fields b in
+    if not (comparable ta tb) then
+      fail op_id "incomparable types %a vs %a" Vtype.pp ta Vtype.pp tb
+  | Expr.And (a, b) | Expr.Or (a, b) ->
+    check_pred op_id fields a;
+    check_pred op_id fields b
+  | Expr.Not p -> check_pred op_id fields p
+  | Expr.IsNull e | Expr.IsNotNull e -> ignore (expr_type op_id fields e)
+  | Expr.Contains (e, _) -> (
+    match expr_type op_id fields e with
+    | Vtype.TString -> ()
+    | ty -> fail op_id "contains on non-string %a" Vtype.pp ty)
+
+let check_fresh op_id existing name =
+  if List.mem_assoc name existing then
+    fail op_id "attribute name %s already exists" name
+
+let rec infer (env : env) (q : Query.t) : Vtype.t =
+  let id = q.id in
+  match q.node, q.children with
+  | Query.Table name, [] -> (
+    match List.assoc_opt name env with
+    | Some ty -> ty
+    | None -> fail id "unknown table %s" name)
+  | Query.Select pred, [ c ] ->
+    let ty = infer env c in
+    check_pred id (tuple_of id ty) pred;
+    ty
+  | Query.Project cols, [ c ] ->
+    let fields = tuple_of id (infer env c) in
+    let out =
+      List.map (fun (name, e) -> (name, expr_type id fields e)) cols
+    in
+    let names = List.map fst out in
+    if List.length (List.sort_uniq String.compare names) <> List.length names
+    then fail id "duplicate output attribute in projection";
+    Vtype.relation out
+  | Query.Rename pairs, [ c ] ->
+    let fields = tuple_of id (infer env c) in
+    let renamed_olds = List.map snd pairs in
+    List.iter (fun a -> ignore (field_type id fields a)) renamed_olds;
+    let out =
+      List.map
+        (fun (l, ty) ->
+          match List.find_opt (fun (_, old) -> String.equal old l) pairs with
+          | Some (fresh, _) -> (fresh, ty)
+          | None -> (l, ty))
+        fields
+    in
+    let names = List.map fst out in
+    if List.length (List.sort_uniq String.compare names) <> List.length names
+    then fail id "duplicate attribute after renaming";
+    Vtype.relation out
+  | Query.Join (_, pred), [ l; r ] ->
+    let lf = tuple_of id (infer env l) and rf = tuple_of id (infer env r) in
+    List.iter (fun (name, _) -> check_fresh id lf name) rf;
+    let out = lf @ rf in
+    check_pred id out pred;
+    Vtype.relation out
+  | Query.Product, [ l; r ] ->
+    let lf = tuple_of id (infer env l) and rf = tuple_of id (infer env r) in
+    List.iter (fun (name, _) -> check_fresh id lf name) rf;
+    Vtype.relation (lf @ rf)
+  | Query.Union, [ l; r ] | Query.Diff, [ l; r ] ->
+    let tl = infer env l and tr = infer env r in
+    if not (Vtype.equal tl tr) then
+      fail id "union/difference over different schemas: %a vs %a" Vtype.pp tl
+        Vtype.pp tr;
+    tl
+  | Query.Dedup, [ c ] -> infer env c
+  | Query.Flatten_tuple a, [ c ] -> (
+    let fields = tuple_of id (infer env c) in
+    match field_type id fields a with
+    | Vtype.TTuple inner ->
+      List.iter (fun (name, _) -> check_fresh id fields name) inner;
+      Vtype.relation (fields @ inner)
+    | ty -> fail id "tuple flatten of non-tuple attribute %s: %a" a Vtype.pp ty)
+  | Query.Flatten (_, a), [ c ] -> (
+    let fields = tuple_of id (infer env c) in
+    match field_type id fields a with
+    | Vtype.TBag (Vtype.TTuple inner) ->
+      List.iter (fun (name, _) -> check_fresh id fields name) inner;
+      Vtype.relation (fields @ inner)
+    | ty ->
+      fail id "relation flatten of non-relation attribute %s: %a" a Vtype.pp ty)
+  | Query.Nest_tuple (pairs, c_name), [ c ] ->
+    let fields = tuple_of id (infer env c) in
+    let attrs = List.map snd pairs in
+    let nested =
+      List.map (fun (label, a) -> (label, field_type id fields a)) pairs
+    in
+    let rest = List.filter (fun (l, _) -> not (List.mem l attrs)) fields in
+    check_fresh id rest c_name;
+    Vtype.relation (rest @ [ (c_name, Vtype.TTuple nested) ])
+  | Query.Nest_rel (pairs, c_name), [ c ] ->
+    let fields = tuple_of id (infer env c) in
+    let attrs = List.map snd pairs in
+    let nested =
+      List.map (fun (label, a) -> (label, field_type id fields a)) pairs
+    in
+    let rest = List.filter (fun (l, _) -> not (List.mem l attrs)) fields in
+    check_fresh id rest c_name;
+    Vtype.relation (rest @ [ (c_name, Vtype.TBag (Vtype.TTuple nested)) ])
+  | Query.Agg_tuple (fn, a, b), [ c ] -> (
+    let fields = tuple_of id (infer env c) in
+    match field_type id fields a with
+    | Vtype.TBag (Vtype.TTuple [ (_, inner) ]) ->
+      check_fresh id fields b;
+      Vtype.relation (fields @ [ (b, Agg.output_type fn inner) ])
+    | Vtype.TBag inner when Vtype.is_primitive inner ->
+      check_fresh id fields b;
+      Vtype.relation (fields @ [ (b, Agg.output_type fn inner) ])
+    | ty ->
+      fail id "per-tuple aggregation over unsupported attribute %s: %a" a
+        Vtype.pp ty)
+  | Query.Group_agg (group, aggs), [ c ] ->
+    let fields = tuple_of id (infer env c) in
+    let group_fields =
+      List.map (fun (label, a) -> (label, field_type id fields a)) group
+    in
+    let agg_fields =
+      List.map
+        (fun (fn, a, out) ->
+          let input_ty =
+            match a with
+            | Some a -> field_type id fields a
+            | None -> Vtype.TInt (* count-star *)
+          in
+          (out, Agg.output_type fn input_ty))
+        aggs
+    in
+    let out = group_fields @ agg_fields in
+    let names = List.map fst out in
+    if List.length (List.sort_uniq String.compare names) <> List.length names
+    then fail id "duplicate output attribute in aggregation";
+    Vtype.relation out
+  | _ -> fail id "malformed query node (wrong arity)"
+
+let infer_result env q : (Vtype.t, error) result =
+  match infer env q with
+  | ty -> Ok ty
+  | exception Type_error e -> Error e
+
+let well_typed env q =
+  match infer_result env q with Ok _ -> true | Error _ -> false

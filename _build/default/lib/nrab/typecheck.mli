@@ -1,0 +1,27 @@
+(** Static typing of NRAB queries, following the output types of
+    Table 1.
+
+    Besides validating queries, the type checker drives schema-alternative
+    pruning (Section 5.2): an attribute substitution that yields an
+    ill-typed query or changes the output schema is discarded. *)
+
+open Nested
+
+(** Table name → relation schema. *)
+type env = (string * Vtype.t) list
+
+type error = { op_id : int; message : string }
+
+exception Type_error of error
+
+(** Output type of a query.  Raises {!Type_error}. *)
+val infer : env -> Query.t -> Vtype.t
+
+(** Exception-free variant. *)
+val infer_result : env -> Query.t -> (Vtype.t, error) result
+
+val well_typed : env -> Query.t -> bool
+
+(** Type of an expression over a tuple type's fields (exposed for query
+    tooling).  Raises {!Type_error}. *)
+val expr_type : int -> (string * Vtype.t) list -> Expr.t -> Vtype.t

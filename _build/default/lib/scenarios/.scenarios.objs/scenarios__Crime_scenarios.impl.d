@@ -1,0 +1,1 @@
+lib/scenarios/crime_scenarios.ml: Datagen Expr Nrab Query Scenario Whynot

@@ -1,0 +1,1 @@
+lib/scenarios/registry.ml: Crime_scenarios Dblp_scenarios List Scenario String Tpch_scenarios Twitter_scenarios

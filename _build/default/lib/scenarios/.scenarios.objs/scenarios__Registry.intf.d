@@ -1,0 +1,1 @@
+lib/scenarios/registry.mli: Scenario

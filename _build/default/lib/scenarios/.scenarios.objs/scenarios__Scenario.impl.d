@@ -1,0 +1,1 @@
+lib/scenarios/scenario.ml: Fmt List Nrab Query Whynot

@@ -1,0 +1,1 @@
+lib/scenarios/scenario.mli: Format Nrab Query Whynot

@@ -1,0 +1,1 @@
+lib/scenarios/tpch_scenarios.ml: Agg Datagen Eval Expr List Nested Nrab Query Relation Scenario Value Whynot

@@ -1,0 +1,1 @@
+lib/scenarios/twitter_scenarios.ml: Agg Datagen Expr Nested Nrab Query Scenario Value Whynot

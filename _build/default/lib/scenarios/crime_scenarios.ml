@@ -1,0 +1,127 @@
+(* Crime scenarios C1–C3 (Table 6) — the qualitative comparison against
+   Why-Not and Conseil.  The dataset is small enough that the exact MSR
+   search (Whynot.Exact) can be used as ground truth. *)
+
+open Nrab
+
+let ( ==? ) a b = Expr.Cmp (Expr.Eq, a, b)
+
+(* C1: who of a given description is tied to a crime?
+   Roger exists only without blue hair (selection), and the sighting of
+   his description names a dangling witness (join). *)
+let c1 : Scenario.t =
+  {
+    name = "C1";
+    family = Scenario.Crime;
+    description = "π_{name,type}(C ⋈ (W ⋈ (S ⋈ σ_{hair=blue}(P))))";
+    operators = "π,σ,⋈,⋈,⋈";
+    make =
+      (fun ~scale:_ ->
+        let db = Datagen.Crime.db () in
+        let g = Query.Gen.create ~start:10 () in
+        let query =
+          Query.project_attrs ~id:6 g [ "name"; "ctype" ]
+            (Query.join ~id:4 g Query.Inner
+               (Expr.attr "witness" ==? Expr.attr "wname")
+               (Query.join ~id:3 g Query.Inner
+                  (Expr.attr "ssector" ==? Expr.attr "csector")
+                  (Query.join ~id:2 g Query.Inner
+                     (Expr.And
+                        ( Expr.attr "hair" ==? Expr.attr "shair",
+                          Expr.attr "clothes" ==? Expr.attr "sclothes" ))
+                     (Query.select ~id:1 g
+                        (Expr.attr "hair" ==? Expr.str "blue")
+                        (Query.table g "persons"))
+                     (Query.table g "sightings"))
+                  (Query.table g "crimes"))
+               (Query.table g "witnesses"))
+        in
+        let missing =
+          Whynot.Nip.tup
+            [ ("name", Whynot.Nip.str "Roger"); ("ctype", Whynot.Nip.any) ]
+        in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives = [ ("sightings", [ [ "witness" ]; [ "reporter" ] ]) ];
+          gold = Some [ [ 1; 4 ] ];
+        });
+  }
+
+(* C2: which suspects match the description reported by witness Susan in
+   a high sector?  Susan's sector is low; Helen (wrong name) and Joe
+   (wrong name and sector) saw the suspect. *)
+let c2 : Scenario.t =
+  {
+    name = "C2";
+    family = Scenario.Crime;
+    description = "π_{P.name}(P ⋈ (S ⋈ (C ⋈ σ_{name=Susan}(σ_{sector>90}(W)))))";
+    operators = "π,σ,σ,⋈,⋈,⋈";
+    make =
+      (fun ~scale:_ ->
+        let db = Datagen.Crime.db () in
+        let g = Query.Gen.create ~start:10 () in
+        let query =
+          Query.project_attrs ~id:6 g [ "name" ]
+            (Query.join ~id:5 g Query.Inner
+               (Expr.And
+                  ( Expr.attr "hair" ==? Expr.attr "shair",
+                    Expr.attr "clothes" ==? Expr.attr "sclothes" ))
+               (Query.table g "persons")
+               (Query.join ~id:2 g Query.Inner
+                  (Expr.attr "witness" ==? Expr.attr "wname")
+                  (Query.table g "sightings")
+                  (Query.join ~id:1 g Query.Inner
+                     (Expr.attr "csector" ==? Expr.attr "wsector")
+                     (Query.table g "crimes")
+                     (Query.select ~id:4 g
+                        (Expr.attr "wname" ==? Expr.str "Susan")
+                        (Query.select ~id:3 g
+                           (Expr.Cmp (Expr.Gt, Expr.attr "wsector", Expr.int 90))
+                           (Query.table g "witnesses"))))))
+        in
+        let missing = Whynot.Nip.tup [ ("name", Whynot.Nip.str "Conedera") ] in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives = [];
+          gold = Some [ [ 4 ]; [ 3; 4 ] ];
+        });
+  }
+
+(* C3: witness descriptions per crime.  The projection exposes the hair
+   description; "snow" is the clothing. *)
+let c3 : Scenario.t =
+  {
+    name = "C3";
+    family = Scenario.Crime;
+    description = "π_{name,desc←hair}(S ⋈ (W ⋈ C))";
+    operators = "π,⋈,⋈";
+    make =
+      (fun ~scale:_ ->
+        let db = Datagen.Crime.db () in
+        let g = Query.Gen.create ~start:10 () in
+        let query =
+          Query.project ~id:6 g
+            [ ("name", Expr.attr "wname"); ("desc", Expr.attr "shair") ]
+            (Query.join ~id:5 g Query.Inner
+               (Expr.attr "witness" ==? Expr.attr "wname")
+               (Query.table g "sightings")
+               (Query.join ~id:1 g Query.Inner
+                  (Expr.attr "wsector" ==? Expr.attr "csector")
+                  (Query.table g "witnesses")
+                  (Query.table g "crimes")))
+        in
+        let missing =
+          Whynot.Nip.tup
+            [
+              ("name", Whynot.Nip.str "Ashishbakshi");
+              ("desc", Whynot.Nip.str "snow");
+            ]
+        in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives = [ ("sightings", [ [ "shair" ]; [ "sclothes" ] ]) ];
+          gold = Some [ [ 6 ] ];
+        });
+  }
+
+let all = [ c1; c2; c3 ]

@@ -1,0 +1,10 @@
+(* All evaluation scenarios, keyed by name. *)
+
+let all : Scenario.t list = Dblp_scenarios.all @ Twitter_scenarios.all @ Tpch_scenarios.all @ Crime_scenarios.all
+
+let find (name : string) : Scenario.t option =
+  List.find_opt
+    (fun (s : Scenario.t) ->
+      String.equal (String.lowercase_ascii s.Scenario.name)
+        (String.lowercase_ascii name))
+    all

@@ -1,0 +1,8 @@
+(** All evaluation scenarios: D1–D5 (DBLP), T1–T4 and TASD (Twitter),
+    Q1/Q3/Q4/Q6/Q10/Q13 nested and flat (…F suffix, TPC-H), C1–C3
+    (crime). *)
+
+val all : Scenario.t list
+
+(** Case-insensitive lookup by scenario name. *)
+val find : string -> Scenario.t option

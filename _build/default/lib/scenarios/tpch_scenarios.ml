@@ -1,0 +1,359 @@
+(* TPC-H scenarios Q1–Q13 on the nested schema (lineitems nested into
+   orders) and their flat counterparts Q1F–Q13F (Table 9).  Operator ids
+   follow the paper's superscripts where the paper assigns them. *)
+
+open Nested
+open Nrab
+
+let ( ==? ) a b = Expr.Cmp (Expr.Eq, a, b)
+let ( <=? ) a b = Expr.Cmp (Expr.Le, a, b)
+let ( <? ) a b = Expr.Cmp (Expr.Lt, a, b)
+let ( >? ) a b = Expr.Cmp (Expr.Gt, a, b)
+let ( >=? ) a b = Expr.Cmp (Expr.Ge, a, b)
+let between a lo hi = Expr.And (Expr.int lo <=? a, a <=? Expr.int hi)
+
+let lineitem_alts table prefix =
+  [
+    (table, [ prefix @ [ "l_tax" ]; prefix @ [ "l_discount" ] ]);
+    (table, [ prefix @ [ "l_shipdate" ]; prefix @ [ "l_commitdate" ] ]);
+  ]
+
+(* Access to the flat lineitems of the nested or flat schema. *)
+let lineitems ~flat g =
+  if flat then Query.table g "lineitem"
+  else Query.flatten_inner ~id:90 g "o_lineitems" (Query.table g "nested_orders")
+
+(* lineitems together with their order attributes *)
+let order_lineitems ~flat g =
+  if flat then
+    Query.join ~id:91 g Query.Inner
+      (Expr.attr "o_orderkey" ==? Expr.attr "l_orderkey")
+      (Query.table g "orders") (Query.table g "lineitem")
+  else Query.flatten_inner ~id:90 g "o_lineitems" (Query.table g "nested_orders")
+
+let lineitem_table ~flat = if flat then "lineitem" else "nested_orders"
+let lineitem_prefix ~flat = if flat then [] else [ "o_lineitems" ]
+
+(* Q1: average discount over recent lineitems.
+   Error: the aggregation averages [l_tax] instead of [l_discount]. *)
+let q1 ~flat : Scenario.t =
+  {
+    name = (if flat then "Q1F" else "Q1");
+    family = (if flat then Scenario.Tpch_flat else Scenario.Tpch);
+    description = "TPC-H query 1 with one modified aggregation";
+    operators = "σ,γ" ^ if flat then "" else ",Fᴵ";
+    make =
+      (fun ~scale ->
+        let db = Datagen.Tpch.db ~scale () in
+        let g = Query.Gen.create ~start:50 () in
+        let query =
+          Query.group_agg ~id:23 g []
+            [ (Agg.Avg, Some "l_tax", "avgDisc") ]
+            (Query.select ~id:24 g
+               (Expr.attr "l_shipdate" <=? Expr.int 19980902)
+               (lineitems ~flat g))
+        in
+        let missing =
+          Whynot.Nip.tup [ ("avgDisc", Whynot.Nip.pred Expr.Ge (Value.Float 0.05)) ]
+        in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives =
+            [
+              ( lineitem_table ~flat,
+                [
+                  lineitem_prefix ~flat @ [ "l_tax" ];
+                  lineitem_prefix ~flat @ [ "l_discount" ];
+                ] );
+            ];
+          gold = Some [ [ 23 ] ];
+        });
+  }
+
+(* Q3: revenue of unshipped orders.
+   Errors: the segment filter says HOUSEHOLD (should be BUILDING) and the
+   commit-date constant has a typo (03-25 instead of 03-15). *)
+let q3 ~flat : Scenario.t =
+  {
+    name = (if flat then "Q3F" else "Q3");
+    family = (if flat then Scenario.Tpch_flat else Scenario.Tpch);
+    description = "TPC-H query 3 with two modified selections";
+    operators = "σ,σ,⋈,π,γ" ^ if flat then "" else ",Fᴵ";
+    make =
+      (fun ~scale ->
+        let db = Datagen.Tpch.db ~scale () in
+        let g = Query.Gen.create ~start:50 () in
+        let query =
+          Query.group_agg ~id:25 g
+            [ "o_orderkey"; "o_orderdate"; "o_shippriority" ]
+            [ (Agg.Sum, Some "disc_price", "revenue") ]
+            (Query.project ~id:55 g
+               [
+                 ("o_orderkey", Expr.attr "o_orderkey");
+                 ("o_orderdate", Expr.attr "o_orderdate");
+                 ("o_shippriority", Expr.attr "o_shippriority");
+                 ( "disc_price",
+                   Expr.(
+                     Mul
+                       ( attr "l_extendedprice",
+                         Sub (flt 1.0, attr "l_discount") )) );
+               ]
+               (Query.select ~id:26 g
+                  (Expr.attr "c_mktsegment" ==? Expr.str "HOUSEHOLD")
+                  (Query.select ~id:56 g
+                     (Expr.attr "o_orderdate" <? Expr.int 19950315)
+                     (Query.select ~id:27 g
+                        (Expr.attr "l_commitdate" >? Expr.int 19950325)
+                        (Query.join ~id:57 g Query.Inner
+                           (Expr.attr "c_custkey" ==? Expr.attr "o_custkey")
+                           (Query.table g "customer")
+                           (order_lineitems ~flat g))))))
+        in
+        let missing =
+          Whynot.Nip.tup
+            [
+              ("o_orderkey", Whynot.Nip.int Datagen.Tpch.q3_target_orderkey);
+              ("o_orderdate", Whynot.Nip.any);
+              ("o_shippriority", Whynot.Nip.any);
+              ("revenue", Whynot.Nip.any);
+            ]
+        in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives =
+            [
+              ( lineitem_table ~flat,
+                [
+                  lineitem_prefix ~flat @ [ "l_discount" ];
+                  lineitem_prefix ~flat @ [ "l_tax" ];
+                ] );
+            ];
+          gold = Some [ [ 26; 27 ] ];
+        });
+  }
+
+(* Q4: order counts by priority.
+   Errors: the lateness filter compares the ship date (should be the
+   commit date) with the receipt date, and the aggregation groups on
+   [o_shippriority] (should be [o_orderpriority]). *)
+let q4 ~flat : Scenario.t =
+  {
+    name = (if flat then "Q4F" else "Q4");
+    family = (if flat then Scenario.Tpch_flat else Scenario.Tpch);
+    description = "TPC-H query 4 with a modified selection and aggregation";
+    operators = "σ,σ,⋈,γ,γ" ^ if flat then "" else ",Fᴵ";
+    make =
+      (fun ~scale ->
+        let db = Datagen.Tpch.db ~scale () in
+        let g = Query.Gen.create ~start:50 () in
+        let dist_ord =
+          Query.group_agg ~id:58 g [ "l_orderkey" ]
+            [ (Agg.Count, None, "cnt") ]
+            (Query.select ~id:28 g
+               (Expr.attr "l_shipdate" <? Expr.attr "l_receiptdate")
+               (lineitems ~flat g))
+        in
+        let filter_ord =
+          Query.select ~id:29 g
+            (between (Expr.attr "o_orderdate") 19930701 19930930)
+            (Query.table g (if flat then "orders" else "nested_orders"))
+        in
+        let query =
+          Query.group_agg ~id:30 g [ "o_shippriority" ]
+            [ (Agg.Count, Some "o_orderkey", "order_count") ]
+            (Query.join ~id:59 g Query.Inner
+               (Expr.attr "o_orderkey" ==? Expr.attr "l_orderkey")
+               filter_ord dist_ord)
+        in
+        let missing =
+          Whynot.Nip.tup
+            [
+              ("o_shippriority", Whynot.Nip.str "3-MEDIUM");
+              ("order_count", Whynot.Nip.pred Expr.Lt (Value.Int 11000));
+            ]
+        in
+        let order_table = if flat then "orders" else "nested_orders" in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives =
+            [
+              (order_table, [ [ "o_shippriority" ]; [ "o_orderpriority" ] ]);
+              ( lineitem_table ~flat,
+                [
+                  lineitem_prefix ~flat @ [ "l_shipdate" ];
+                  lineitem_prefix ~flat @ [ "l_commitdate" ];
+                ] );
+            ];
+          gold = Some [ [ 28; 30 ] ];
+        });
+  }
+
+(* Q6: forecast revenue change.
+   Error: the middle filter constrains [l_tax] instead of [l_discount]. *)
+let q6 ~flat : Scenario.t =
+  {
+    name = (if flat then "Q6F" else "Q6");
+    family = (if flat then Scenario.Tpch_flat else Scenario.Tpch);
+    description = "TPC-H query 6 with one modified selection";
+    operators = "σ,σ,σ,π,γ" ^ if flat then "" else ",Fᴵ";
+    make =
+      (fun ~scale ->
+        let db = Datagen.Tpch.db ~scale () in
+        let mk_query () =
+          let g = Query.Gen.create ~start:50 () in
+          Query.group_agg ~id:60 g []
+            [ (Agg.Sum, Some "disc_price", "revenue") ]
+            (Query.project ~id:31 g
+               [
+                 ( "disc_price",
+                   Expr.(Mul (attr "l_extendedprice", attr "l_discount")) );
+               ]
+               (Query.select ~id:32 g
+                  (between (Expr.attr "l_shipdate") 19940101 19941231)
+                  (Query.select ~id:33 g
+                     (Expr.And
+                        ( Expr.flt 0.05 <=? Expr.attr "l_tax",
+                          Expr.attr "l_tax" <=? Expr.flt 0.07 ))
+                     (Query.select ~id:34 g
+                        (Expr.attr "l_quantity" <=? Expr.int 24)
+                        (lineitems ~flat g)))))
+        in
+        let query = mk_query () in
+        (* the revenue threshold of the why-not question is placed below
+           the (erroneous) original result, scale-independently *)
+        let original = Eval.eval db query in
+        let threshold =
+          match Relation.tuples original with
+          | [ Value.Tuple [ ("revenue", Value.Float r) ] ] -> r *. 0.9
+          | _ -> 1.0e8
+        in
+        let missing =
+          Whynot.Nip.tup
+            [ ("revenue", Whynot.Nip.pred Expr.Lt (Value.Float threshold)) ]
+        in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives =
+            [
+              ( lineitem_table ~flat,
+                [
+                  lineitem_prefix ~flat @ [ "l_tax" ];
+                  lineitem_prefix ~flat @ [ "l_discount" ];
+                ] );
+            ];
+          gold = Some [ [ 33 ] ];
+        });
+  }
+
+(* Q10: returned items and the revenue they lost.
+   Errors: the return-flag filter says "A" (should be "R"), the order-date
+   window is wrong, and the revenue projection uses [l_tax] instead of
+   [l_discount]. *)
+let q10 ~flat : Scenario.t =
+  {
+    name = (if flat then "Q10F" else "Q10");
+    family = (if flat then Scenario.Tpch_flat else Scenario.Tpch);
+    description = "TPC-H query 10 with two modified selections and a modified projection";
+    operators = "σ,σ,⋈,⋈,π,γ" ^ if flat then "" else ",Fᴵ";
+    make =
+      (fun ~scale ->
+        let db = Datagen.Tpch.db ~scale () in
+        let g = Query.Gen.create ~start:50 () in
+        let flat_ord =
+          Query.select ~id:35 g
+            (Expr.attr "l_returnflag" ==? Expr.str "A")
+            (Query.select ~id:36 g
+               (between (Expr.attr "o_orderdate") 19971001 19971231)
+               (order_lineitems ~flat g))
+        in
+        let group =
+          [
+            "c_custkey"; "c_name"; "c_acctbal"; "c_phone"; "n_name";
+            "c_address"; "c_comment";
+          ]
+        in
+        let query =
+          Query.group_agg ~id:61 g group
+            [ (Agg.Sum, Some "disc_price", "revenue") ]
+            (Query.project ~id:37 g
+               (List.map (fun a -> (a, Expr.attr a)) group
+               @ [
+                   ( "disc_price",
+                     Expr.(
+                       Mul (attr "l_extendedprice", Sub (flt 1.0, attr "l_tax")))
+                   );
+                 ])
+               (Query.join ~id:62 g Query.Inner
+                  (Expr.attr "c_nationkey" ==? Expr.attr "n_nationkey")
+                  (Query.join ~id:38 g Query.Inner
+                     (Expr.attr "c_custkey" ==? Expr.attr "o_custkey")
+                     (Query.table g "customer")
+                     flat_ord)
+                  (Query.table g "nation")))
+        in
+        let missing =
+          Whynot.Nip.tup
+            ([ ("c_custkey", Whynot.Nip.int Datagen.Tpch.q10_target_custkey) ]
+            @ List.map
+                (fun a -> (a, Whynot.Nip.any))
+                [ "c_name"; "c_acctbal"; "c_phone"; "n_name"; "c_address"; "c_comment" ]
+            @ [ ("revenue", Whynot.Nip.pred Expr.Gt (Value.Float 0.0)) ])
+        in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives =
+            [
+              ( lineitem_table ~flat,
+                [
+                  lineitem_prefix ~flat @ [ "l_tax" ];
+                  lineitem_prefix ~flat @ [ "l_discount" ];
+                ] );
+            ];
+          gold = Some [ [ 35; 36; 37 ] ];
+        });
+  }
+
+(* Q13: distribution of customers by order count.
+   Error: an inner join (flat) / inner flatten (nested) where an outer one
+   is needed — customers without orders vanish. *)
+let q13 ~flat : Scenario.t =
+  {
+    name = (if flat then "Q13F" else "Q13");
+    family = (if flat then Scenario.Tpch_flat else Scenario.Tpch);
+    description = "TPC-H query 13 with one modified join";
+    operators = (if flat then "⋈,γ,γ" else "Fᴵ,γ,γ");
+    make =
+      (fun ~scale ->
+        let db = Datagen.Tpch.db ~scale () in
+        let g = Query.Gen.create ~start:50 () in
+        let source =
+          if flat then
+            Query.join ~id:39 g Query.Inner
+              (Expr.attr "c_custkey" ==? Expr.attr "o_custkey")
+              (Query.table g "customer")
+              (Query.table g "orders")
+          else
+            Query.flatten_inner ~id:39 g "c_orders"
+              (Query.table g "nested_customers")
+        in
+        let query =
+          Query.group_agg ~id:63 g [ "c_count" ]
+            [ (Agg.Count, Some "c_custkey", "custdist") ]
+            (Query.group_agg ~id:64 g [ "c_custkey" ]
+               [ (Agg.Count, Some "o_orderkey", "c_count") ]
+               source)
+        in
+        let missing =
+          Whynot.Nip.tup
+            [ ("c_count", Whynot.Nip.int 0); ("custdist", Whynot.Nip.any) ]
+        in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives = [];
+          gold = Some [ [ 39 ] ];
+        });
+  }
+
+let nested = [ q1 ~flat:false; q3 ~flat:false; q4 ~flat:false; q6 ~flat:false; q10 ~flat:false; q13 ~flat:false ]
+let flat = [ q1 ~flat:true; q3 ~flat:true; q4 ~flat:true; q6 ~flat:true; q10 ~flat:true; q13 ~flat:true ]
+let all = nested @ flat

@@ -1,0 +1,190 @@
+(* Twitter scenarios T1–T4 and T_ASD (Tables 5 and 10). *)
+
+open Nested
+open Nrab
+
+let ( ==? ) a b = Expr.Cmp (Expr.Eq, a, b)
+
+(* T1: tweets providing media URLs about a basketball player.
+   Errors: the filter says Jordan although the tweet is about LeBron, and
+   the media URL lives in [extended_entities] while [entities.media] is
+   empty. *)
+let t1 : Scenario.t =
+  {
+    name = "T1";
+    family = Scenario.Twitter;
+    description = "List of tweets providing media urls about a basketball player";
+    operators = "π,σ,Fᴵ,Fᵀ";
+    make =
+      (fun ~scale ->
+        let db = Datagen.Twitter.db ~scale () in
+        let g = Query.Gen.create () in
+        let query =
+          Query.project_attrs ~id:13 g [ "text"; "murl" ]
+            (Query.select ~id:12 g
+               (Expr.Contains (Expr.attr "text", "Jordan"))
+               (Query.flatten_inner ~id:11 g "media"
+                  (Query.flatten_tuple ~id:10 g "entities"
+                     (Query.table g "tweets_media"))))
+        in
+        let missing =
+          Whynot.Nip.tup
+            [
+              ("text", Whynot.Nip.str Datagen.Twitter.t1_target_text);
+              ("murl", Whynot.Nip.any);
+            ]
+        in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives =
+            [ ("tweets_media", [ [ "entities" ]; [ "extended_entities" ] ]) ];
+          gold = Some [ [ 10; 12 ] ];
+        });
+  }
+
+(* T2: all users who tweeted about BTS in the US.
+   Error: the tuple flatten exposes the tweet's [place] country; the
+   missing fan's tweets only carry a US country in the normalized user
+   location. *)
+let t2 : Scenario.t =
+  {
+    name = "T2";
+    family = Scenario.Twitter;
+    description = "All users who tweeted about BTS in the US";
+    operators = "π,σ,Fᵀ";
+    make =
+      (fun ~scale ->
+        let db = Datagen.Twitter.db ~scale () in
+        let g = Query.Gen.create () in
+        let query =
+          Query.project_attrs ~id:16 g [ "guser"; "country" ]
+            (Query.select ~id:15 g
+               (Expr.attr "country" ==? Expr.str "US")
+               (Query.select ~id:14 g
+                  (Expr.Contains (Expr.attr "gtext", "BTS"))
+                  (Query.flatten_tuple ~id:13 g "place"
+                     (Query.table g "tweets_geo"))))
+        in
+        let missing =
+          Whynot.Nip.tup [ ("guser", Whynot.Nip.str Datagen.Twitter.t2_target_user) ]
+        in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives = [ ("tweets_geo", [ [ "place" ]; [ "userloc" ] ]) ];
+          gold = Some [ [ 13 ] ];
+        });
+  }
+
+(* T3: hashtags and media for users that are mentioned in other tweets.
+   Error: the missing user's media URL only exists in
+   [extended_entities]. *)
+let t3 : Scenario.t =
+  {
+    name = "T3";
+    family = Scenario.Twitter;
+    description = "Hashtags and medias for users that are mentioned in other tweets";
+    operators = "π,σ,Fᴵ,Fᵀ,⋈";
+    make =
+      (fun ~scale ->
+        let db = Datagen.Twitter.db ~scale () in
+        let g = Query.Gen.create () in
+        let query =
+          Query.project_attrs ~id:20 g [ "mentioned"; "murl" ]
+            (Query.select ~id:19 g
+               (Expr.IsNotNull (Expr.attr "murl"))
+               (Query.join ~id:18 g Query.Inner
+                  (Expr.attr "tuser" ==? Expr.attr "mentioned")
+                  (Query.flatten_inner ~id:17 g "media"
+                     (Query.flatten_tuple ~id:16 g "entities"
+                        (Query.table g "tweets_media")))
+                  (Query.dedup g (Query.table g "mentions"))))
+        in
+        let missing =
+          Whynot.Nip.tup
+            [
+              ("mentioned", Whynot.Nip.str Datagen.Twitter.t3_target_user);
+              ("murl", Whynot.Nip.str Datagen.Twitter.t3_target_url);
+            ]
+        in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives =
+            [ ("tweets_media", [ [ "entities" ]; [ "extended_entities" ] ]) ];
+          gold = Some [ [ 16 ] ];
+        });
+  }
+
+(* T4: nested list of countries per hashtag for tweets about UEFA, with
+   hashtags whose country count is zero removed.
+   Error: the country is taken from [place]; the missing hashtag's UEFA
+   tweet only has a country in the user location. *)
+let t4 : Scenario.t =
+  {
+    name = "T4";
+    family = Scenario.Twitter;
+    description = "Nested list of countries for each hashtag, if tweet contains UEFA";
+    operators = "π,σ,Fᴵ,Fᵀ,Nᴿ,γ";
+    make =
+      (fun ~scale ->
+        let db = Datagen.Twitter.db ~scale () in
+        let g = Query.Gen.create () in
+        let query =
+          Query.select ~id:25 g
+            (Expr.Cmp (Expr.Ge, Expr.attr "cnt", Expr.int 1))
+            (Query.agg_tuple ~id:24 g Agg.Count ~over:"countries" ~into:"cnt"
+               (Query.nest_rel ~id:23 g [ "country" ] ~into:"countries"
+                  (Query.project_attrs ~id:22 g [ "tag"; "country" ]
+                     (Query.select ~id:21 g
+                        (Expr.Contains (Expr.attr "gtext", "UEFA"))
+                        (Query.flatten_tuple ~id:19 g "place"
+                           (Query.flatten_inner ~id:18 g "hashtags"
+                              (Query.table g "tweets_geo")))))))
+        in
+        let missing =
+          Whynot.Nip.tup
+            [
+              ("tag", Whynot.Nip.str Datagen.Twitter.t4_target_tag);
+              ("countries", Whynot.Nip.any);
+              ("cnt", Whynot.Nip.pred Expr.Ge (Value.Int 1));
+            ]
+        in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives = [ ("tweets_geo", [ [ "place" ]; [ "userloc" ] ]) ];
+          gold = Some [ [ 19 ] ];
+        });
+  }
+
+(* T_ASD: extract the flat relation of retweeted tweets (the adaptive
+   schema database example).  Errors: the flatten targets [quoted_status]
+   instead of [retweeted_status] (and the count filter consequently reads
+   the quote count). *)
+let t_asd : Scenario.t =
+  {
+    name = "TASD";
+    family = Scenario.Twitter;
+    description = "ASD example: flatten, filter, project quoted tweets";
+    operators = "π,σ,Fᵀ";
+    make =
+      (fun ~scale ->
+        let db = Datagen.Twitter.db ~scale () in
+        let g = Query.Gen.create () in
+        let query =
+          Query.project_attrs ~id:23 g [ "rid"; "rcount" ]
+            (Query.select ~id:22 g
+               (Expr.IsNotNull (Expr.attr "rcount"))
+               (Query.flatten_tuple ~id:21 g "quoted_status"
+                  (Query.table g "tweets_asd")))
+        in
+        let missing =
+          Whynot.Nip.tup [ ("rid", Whynot.Nip.str Datagen.Twitter.tasd_target_rid) ]
+        in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives =
+            [ ("tweets_asd", [ [ "quoted_status" ]; [ "retweeted_status" ] ]) ];
+          gold = Some [ [ 21 ]; [ 21; 22 ] ];
+        });
+  }
+
+let all = [ t1; t2; t3; t4; t_asd ]

@@ -1,0 +1,160 @@
+(* Schema backtracing tests (Section 5.1): the running example of the
+   paper (Examples 11/12) plus per-operator backward transformations. *)
+
+open Nested
+open Nrab
+module Nip = Whynot.Nip
+module Backtrace = Whynot.Backtrace
+
+let person_schema =
+  Vtype.relation
+    [
+      ("name", Vtype.TString);
+      ("address1", Vtype.relation [ ("city", Vtype.TString); ("year", Vtype.TInt) ]);
+      ("address2", Vtype.relation [ ("city", Vtype.TString); ("year", Vtype.TInt) ]);
+    ]
+
+let env = [ ("person", person_schema) ]
+
+(* the running-example query: N^R(π(σ(F^I(person)))) *)
+let query =
+  let g = Query.Gen.create () in
+  Query.nest_rel ~id:5 g [ "name" ] ~into:"nList"
+    (Query.project_attrs ~id:4 g [ "name"; "city" ]
+       (Query.select ~id:3 g
+          (Expr.Cmp (Expr.Ge, Expr.attr "year", Expr.int 2019))
+          (Query.flatten_inner ~id:2 g "address2" (Query.table ~id:1 g "person"))))
+
+let missing = Nip.tup [ ("city", Nip.str "NY"); ("nList", Nip.some_element) ]
+
+let bt = Backtrace.run ~env query missing
+
+let test_example11_table_nip () =
+  (* t̄_person constrains address2 to contain a city-NY element *)
+  let nip = Backtrace.table_nip bt "person" in
+  match nip with
+  | Nip.Tup fields ->
+    Alcotest.(check (list string)) "only address2 constrained" [ "address2" ]
+      (List.map fst fields);
+    (match List.assoc "address2" fields with
+    | Nip.Bag ([ Nip.Tup inner ], true) ->
+      Alcotest.(check bool) "city = NY" true
+        (List.assoc_opt "city" inner = Some (Nip.str "NY"))
+    | other -> Alcotest.failf "unexpected address2 pattern %a" Nip.pp other)
+  | other -> Alcotest.failf "unexpected table NIP %a" Nip.pp other
+
+let test_selection_level_nip () =
+  (* after flattening, the NIP constrains the top-level [city] column *)
+  let nip = Backtrace.op_nip bt 2 in
+  match nip with
+  | Nip.Tup fields ->
+    Alcotest.(check bool) "city constrained at flatten output" true
+      (List.assoc_opt "city" fields = Some (Nip.str "NY"))
+  | other -> Alcotest.failf "unexpected NIP %a" Nip.pp other
+
+let test_root_nip_is_question () =
+  Alcotest.(check string) "root NIP is the why-not tuple"
+    (Nip.to_string missing)
+    (Nip.to_string (Backtrace.op_nip bt 5))
+
+(* --- other operators --- *)
+
+let flat_schema = Vtype.relation [ ("a", Vtype.TInt); ("b", Vtype.TString) ]
+let s_schema = Vtype.relation [ ("c", Vtype.TInt) ]
+let env2 = [ ("r", flat_schema); ("s", s_schema) ]
+
+let test_join_splits_constraints () =
+  let g = Query.Gen.create () in
+  let q =
+    Query.join ~id:3 g Query.Inner
+      (Expr.Cmp (Expr.Eq, Expr.attr "a", Expr.attr "c"))
+      (Query.table ~id:1 g "r") (Query.table ~id:2 g "s")
+  in
+  let bt =
+    Backtrace.run ~env:env2 q
+      (Nip.tup [ ("b", Nip.str "x"); ("c", Nip.int 7) ])
+  in
+  Alcotest.(check string) "left side keeps b" "⟨b: \"x\"⟩"
+    (Nip.to_string (Backtrace.table_nip bt "r"));
+  Alcotest.(check string) "right side keeps c" "⟨c: 7⟩"
+    (Nip.to_string (Backtrace.table_nip bt "s"))
+
+let test_rename_backwards () =
+  let g = Query.Gen.create () in
+  let q = Query.rename ~id:2 g [ ("alpha", "a") ] (Query.table ~id:1 g "r") in
+  let bt = Backtrace.run ~env:env2 q (Nip.tup [ ("alpha", Nip.int 1) ]) in
+  Alcotest.(check string) "constraint maps to old name" "⟨a: 1⟩"
+    (Nip.to_string (Backtrace.table_nip bt "r"))
+
+let test_projection_computed_column_not_pushed () =
+  let g = Query.Gen.create () in
+  let q =
+    Query.project ~id:2 g
+      [ ("a2", Expr.(Mul (attr "a", attr "a"))) ]
+      (Query.table ~id:1 g "r")
+  in
+  let bt = Backtrace.run ~env:env2 q (Nip.tup [ ("a2", Nip.int 4) ]) in
+  Alcotest.(check bool) "computed constraint stays at the projection" true
+    (Nip.is_trivial (Backtrace.table_nip bt "r"))
+
+let test_group_agg_drops_aggregate_constraint () =
+  let g = Query.Gen.create () in
+  let q =
+    Query.group_agg ~id:2 g [ "b" ]
+      [ (Agg.Sum, Some "a", "total") ]
+      (Query.table ~id:1 g "r")
+  in
+  let bt =
+    Backtrace.run ~env:env2 q
+      (Nip.tup [ ("b", Nip.str "x"); ("total", Nip.pred Expr.Gt (Value.Int 0)) ])
+  in
+  (* group constraint pushes down, aggregate constraint does not *)
+  Alcotest.(check string) "only group constraint" "⟨b: \"x\"⟩"
+    (Nip.to_string (Backtrace.table_nip bt "r"));
+  (* but it is retained at the aggregation operator itself *)
+  match Backtrace.op_nip bt 2 with
+  | Nip.Tup fields ->
+    Alcotest.(check bool) "aggregate constraint kept at op" true
+      (List.mem_assoc "total" fields)
+  | other -> Alcotest.failf "unexpected NIP %a" Nip.pp other
+
+let test_nest_tuple_labels () =
+  let g = Query.Gen.create () in
+  let q =
+    Query.nest_tuple_labeled ~id:2 g [ ("x", "a") ] ~into:"pair"
+      (Query.table ~id:1 g "r")
+  in
+  let bt =
+    Backtrace.run ~env:env2 q
+      (Nip.tup [ ("pair", Nip.tup [ ("x", Nip.int 3) ]) ])
+  in
+  Alcotest.(check string) "label x maps to source a" "⟨a: 3⟩"
+    (Nip.to_string (Backtrace.table_nip bt "r"))
+
+let test_diff_right_unconstrained () =
+  let g = Query.Gen.create () in
+  let q = Query.diff ~id:3 g (Query.table ~id:1 g "r") (Query.table ~id:2 g "r") in
+  let bt = Backtrace.run ~env:env2 q (Nip.tup [ ("a", Nip.int 1) ]) in
+  (* both table accesses share the table name; at least one is constrained *)
+  Alcotest.(check bool) "op 1 constrained" false (Nip.is_trivial (Backtrace.op_nip bt 1));
+  Alcotest.(check bool) "op 2 unconstrained" true (Nip.is_trivial (Backtrace.op_nip bt 2))
+
+let () =
+  Alcotest.run "backtrace"
+    [
+      ( "running-example",
+        [
+          Alcotest.test_case "table NIP (Example 11)" `Quick test_example11_table_nip;
+          Alcotest.test_case "flatten-level NIP" `Quick test_selection_level_nip;
+          Alcotest.test_case "root NIP" `Quick test_root_nip_is_question;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "join split" `Quick test_join_splits_constraints;
+          Alcotest.test_case "rename" `Quick test_rename_backwards;
+          Alcotest.test_case "computed projection" `Quick test_projection_computed_column_not_pushed;
+          Alcotest.test_case "aggregation" `Quick test_group_agg_drops_aggregate_constraint;
+          Alcotest.test_case "labeled nest" `Quick test_nest_tuple_labels;
+          Alcotest.test_case "difference" `Quick test_diff_right_unconstrained;
+        ] );
+    ]

@@ -1,0 +1,189 @@
+(* Data-generator tests: determinism, well-typedness, scale behaviour, and
+   the targeted structural properties each scenario family depends on. *)
+
+open Nested
+
+let table db name = Relation.Db.find_exn name db
+
+let all_tables db = List.map fst (Relation.Db.tables db)
+
+(* --- PRNG --- *)
+
+let test_prng_deterministic () =
+  let g1 = Datagen.Prng.create ~seed:99 in
+  let g2 = Datagen.Prng.create ~seed:99 in
+  let xs = List.init 50 (fun _ -> Datagen.Prng.int g1 1000) in
+  let ys = List.init 50 (fun _ -> Datagen.Prng.int g2 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys
+
+let test_prng_bounds () =
+  let g = Datagen.Prng.create ~seed:5 in
+  for _ = 1 to 500 do
+    let x = Datagen.Prng.range g ~lo:3 ~hi:7 in
+    Alcotest.(check bool) "in range" true (x >= 3 && x <= 7);
+    let f = Datagen.Prng.float g in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_prng_pick_weighted () =
+  let g = Datagen.Prng.create ~seed:5 in
+  let n = 2000 in
+  let hits =
+    List.length
+      (List.filter
+         (fun _ -> Datagen.Prng.pick_weighted g [ ("a", 9); ("b", 1) ] = "b")
+         (List.init n Fun.id))
+  in
+  (* roughly 10 %; allow wide slack *)
+  Alcotest.(check bool) (Fmt.str "weighted pick plausible (%d/2000)" hits) true
+    (hits > 100 && hits < 350)
+
+(* --- well-typedness and determinism of all generators --- *)
+
+let dbs () =
+  [
+    ("dblp", Datagen.Dblp.db ~scale:2 ());
+    ("twitter", Datagen.Twitter.db ~scale:2 ());
+    ("tpch", Datagen.Tpch.db ~scale:2 ());
+    ("crime", Datagen.Crime.db ());
+  ]
+
+let test_all_well_typed () =
+  List.iter
+    (fun (name, db) ->
+      List.iter
+        (fun (tname, rel) ->
+          Alcotest.(check bool)
+            (Fmt.str "%s.%s well-typed" name tname)
+            true (Relation.well_typed rel))
+        (Relation.Db.tables db))
+    (dbs ())
+
+let test_generators_deterministic () =
+  let snapshot db =
+    String.concat "|"
+      (List.map
+         (fun (n, r) -> n ^ ":" ^ Value.to_string (Relation.data r))
+         (Relation.Db.tables db))
+  in
+  Alcotest.(check string) "dblp deterministic"
+    (snapshot (Datagen.Dblp.db ~scale:1 ()))
+    (snapshot (Datagen.Dblp.db ~scale:1 ()));
+  Alcotest.(check string) "tpch deterministic"
+    (snapshot (Datagen.Tpch.db ~scale:1 ()))
+    (snapshot (Datagen.Tpch.db ~scale:1 ()))
+
+let test_scaling_grows () =
+  let rows db = List.fold_left (fun a (_, r) -> a + Relation.cardinal r) 0 (Relation.Db.tables db) in
+  Alcotest.(check bool) "dblp scale grows" true
+    (rows (Datagen.Dblp.db ~scale:4 ()) > rows (Datagen.Dblp.db ~scale:1 ()));
+  Alcotest.(check bool) "twitter scale grows" true
+    (rows (Datagen.Twitter.db ~scale:4 ()) > rows (Datagen.Twitter.db ~scale:1 ()))
+
+(* --- targeted structural properties --- *)
+
+let test_dblp_bibtex_mostly_null () =
+  let articles = table (Datagen.Dblp.db ~scale:4 ()) "articles" in
+  let total = Relation.cardinal articles in
+  let nulls =
+    List.length
+      (List.filter
+         (fun t -> Value.field "bibtex" t = Some Value.Null)
+         (Relation.tuples articles))
+  in
+  Alcotest.(check bool)
+    (Fmt.str "bibtex null for most articles (%d/%d)" nulls total)
+    true
+    (float_of_int nulls /. float_of_int total > 0.9)
+
+let test_dblp_d3_target_is_editor_only () =
+  let entries = table (Datagen.Dblp.db ~scale:2 ()) "entries" in
+  let target = Value.String Datagen.Dblp.d3_target_person in
+  let as_author =
+    List.filter (fun t -> Value.field "author" t = Some target) (Relation.tuples entries)
+  in
+  let as_editor =
+    List.filter (fun t -> Value.field "editor" t = Some target) (Relation.tuples entries)
+  in
+  Alcotest.(check int) "never an author" 0 (List.length as_author);
+  Alcotest.(check bool) "at least once an editor" true (as_editor <> [])
+
+let test_twitter_target_media_quirk () =
+  let tweets = table (Datagen.Twitter.db ~scale:1 ()) "tweets_media" in
+  let target =
+    List.find
+      (fun t -> Value.field "text" t = Some (Value.String Datagen.Twitter.t1_target_text))
+      (Relation.tuples tweets)
+  in
+  let media_of path =
+    match Path.resolve_values target path with
+    | [ bag ] -> Value.cardinal bag
+    | _ -> Alcotest.fail "expected a single media bag"
+  in
+  Alcotest.(check int) "entities.media empty" 0 (media_of [ "entities"; "media" ]);
+  Alcotest.(check bool) "extended_entities.media present" true
+    (media_of [ "extended_entities"; "media" ] > 0)
+
+let test_tpch_nested_flat_consistent () =
+  let db = Datagen.Tpch.db ~scale:2 () in
+  let nested = table db "nested_orders" and flat = table db "lineitem" in
+  let nested_lineitems =
+    List.fold_left
+      (fun acc t ->
+        acc + Value.cardinal (Option.get (Value.field "o_lineitems" t)))
+      0 (Relation.tuples nested)
+  in
+  Alcotest.(check int) "flat lineitems = nested lineitems"
+    nested_lineitems (Relation.cardinal flat);
+  Alcotest.(check int) "orders = nested orders"
+    (Relation.cardinal (table db "orders"))
+    (Relation.cardinal nested)
+
+let test_tpch_customers_without_orders () =
+  let db = Datagen.Tpch.db ~scale:1 () in
+  let customers = table db "customer" and orders = table db "orders" in
+  let with_orders =
+    List.filter_map (fun o -> Value.field "o_custkey" o) (Relation.tuples orders)
+  in
+  let without =
+    List.filter
+      (fun c ->
+        not (List.mem (Option.get (Value.field "c_custkey" c)) with_orders))
+      (Relation.tuples customers)
+  in
+  Alcotest.(check bool) "Q13 needs customers without orders" true (without <> [])
+
+let test_crime_tables_present () =
+  let db = Datagen.Crime.db () in
+  Alcotest.(check (list string)) "tables"
+    [ "crimes"; "persons"; "sightings"; "witnesses" ]
+    (List.sort compare (all_tables db))
+
+let () =
+  Alcotest.run "datagen"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "weighted pick" `Quick test_prng_pick_weighted;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "well-typed" `Quick test_all_well_typed;
+          Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
+          Alcotest.test_case "scaling" `Quick test_scaling_grows;
+        ] );
+      ( "structural-properties",
+        [
+          Alcotest.test_case "dblp bibtex nulls" `Quick test_dblp_bibtex_mostly_null;
+          Alcotest.test_case "dblp editor-only target" `Quick
+            test_dblp_d3_target_is_editor_only;
+          Alcotest.test_case "twitter media quirk" `Quick test_twitter_target_media_quirk;
+          Alcotest.test_case "tpch nested/flat consistency" `Quick
+            test_tpch_nested_flat_consistent;
+          Alcotest.test_case "tpch orderless customers" `Quick
+            test_tpch_customers_without_orders;
+          Alcotest.test_case "crime tables" `Quick test_crime_tables_present;
+        ] );
+    ]

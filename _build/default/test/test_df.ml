@@ -1,0 +1,162 @@
+(* The fluent DataFrame API must build the same plans as the explicit
+   constructors and evaluate accordingly. *)
+
+open Nested
+open Nrab
+
+let person_schema =
+  Vtype.relation
+    [
+      ("name", Vtype.TString);
+      ("address2", Vtype.relation [ ("city", Vtype.TString); ("year", Vtype.TInt) ]);
+    ]
+
+let addr c y = Value.Tuple [ ("city", Value.String c); ("year", Value.Int y) ]
+
+let db =
+  Relation.Db.of_list
+    [
+      ( "person",
+        Relation.of_tuples ~schema:person_schema
+          [
+            Value.Tuple
+              [
+                ("name", Value.String "Sue");
+                ("address2", Value.bag_of_list [ addr "LA" 2019; addr "NY" 2018 ]);
+              ];
+            Value.Tuple
+              [ ("name", Value.String "Ann"); ("address2", Value.empty_bag) ];
+          ] );
+    ]
+
+let running_example_df () =
+  Df.table "person"
+  |> Df.explode "address2"
+  |> Df.filter (Expr.Cmp (Expr.Ge, Expr.attr "year", Expr.int 2019))
+  |> Df.select_cols [ "name"; "city" ]
+  |> Df.group_nest [ "name" ] ~into:"nList"
+
+let test_running_example_pipeline () =
+  let result = Df.collect db (running_example_df ()) in
+  Alcotest.(check int) "one group" 1 (Relation.cardinal result);
+  Alcotest.(check string) "the LA group"
+    "⟨city: \"LA\", nList: {{⟨name: \"Sue\"⟩}}⟩"
+    (Value.to_string (List.hd (Relation.tuples result)))
+
+let test_same_plan_as_constructors () =
+  let g = Query.Gen.create () in
+  let explicit =
+    Query.nest_rel g [ "name" ] ~into:"nList"
+      (Query.project_attrs g [ "name"; "city" ]
+         (Query.select g
+            (Expr.Cmp (Expr.Ge, Expr.attr "year", Expr.int 2019))
+            (Query.flatten_inner g "address2" (Query.table g "person"))))
+  in
+  Alcotest.(check string) "identical plans"
+    (Query.to_string explicit)
+    (Query.to_string (Df.plan (running_example_df ())))
+
+let test_explode_outer_and_structs () =
+  let df =
+    Df.table "person"
+    |> Df.explode_outer "address2"
+    |> Df.pack_struct [ "city"; "year" ] ~into:"where"
+  in
+  let result = Df.collect db df in
+  (* Ann survives the outer explode with a null-padded struct *)
+  Alcotest.(check int) "three rows" 3 (Relation.cardinal result);
+  let ann =
+    List.find
+      (fun t -> Value.field "name" t = Some (Value.String "Ann"))
+      (Relation.tuples result)
+  in
+  Alcotest.(check bool) "padded struct" true
+    (Value.field "where" ann
+    = Some (Value.Tuple [ ("city", Value.Null); ("year", Value.Null) ]))
+
+let test_group_by_and_join () =
+  let counts =
+    Df.table "person"
+    |> Df.explode "address2"
+    |> Df.group_by [ "name" ] [ (Agg.Count, None, "n") ]
+  in
+  let joined =
+    Df.table "person"
+    |> Df.rename_cols [ ("pname", "name") ]
+    |> Df.join ~on:(Expr.Cmp (Expr.Eq, Expr.attr "pname", Expr.attr "name")) counts
+    |> Df.select_cols [ "pname"; "n" ]
+  in
+  let result = Df.collect db joined in
+  Alcotest.(check int) "only Sue has addresses" 1 (Relation.cardinal result);
+  Alcotest.(check bool) "count is 2" true
+    (Value.field "n" (List.hd (Relation.tuples result)) = Some (Value.Int 2))
+
+let test_union_except_distinct () =
+  let base = Df.table "person" |> Df.select_cols [ "name" ] in
+  let doubled = base |> Df.union (Df.table "person" |> Df.select_cols [ "name" ]) in
+  Alcotest.(check int) "union doubles" 4 (Relation.cardinal (Df.collect db doubled));
+  Alcotest.(check int) "distinct collapses" 2
+    (Relation.cardinal (Df.collect db (Df.distinct doubled)));
+  let emptied = base |> Df.except base in
+  Alcotest.(check int) "except empties" 0 (Relation.cardinal (Df.collect db emptied))
+
+let test_with_columns () =
+  let df =
+    Df.table "person"
+    |> Df.explode "address2"
+    |> Df.with_columns
+         [ ("name", Expr.attr "name"); ("next_year", Expr.(Add (attr "year", int 1))) ]
+  in
+  let result = Df.collect db df in
+  Alcotest.(check bool) "computed column" true
+    (List.exists
+       (fun t -> Value.field "next_year" t = Some (Value.Int 2020))
+       (Relation.tuples result))
+
+let test_combined_frames_have_unique_ids () =
+  let counts =
+    Df.table "person"
+    |> Df.explode "address2"
+    |> Df.group_by [ "name" ] [ (Agg.Count, None, "n") ]
+  in
+  let joined =
+    Df.table "person"
+    |> Df.rename_cols [ ("pname", "name") ]
+    |> Df.join ~on:(Expr.Cmp (Expr.Eq, Expr.attr "pname", Expr.attr "name")) counts
+  in
+  let ids =
+    List.map (fun (op : Query.t) -> op.Query.id) (Query.operators (Df.plan joined))
+  in
+  Alcotest.(check int) "all operator ids unique"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_whynot_on_df_plan () =
+  (* the fluent plan is an ordinary query: why-not works on it directly *)
+  let query = Df.plan (running_example_df ()) in
+  let missing =
+    Whynot.Nip.tup [ ("city", Whynot.Nip.str "NY"); ("nList", Whynot.Nip.some_element) ]
+  in
+  let phi = Whynot.Question.make ~query ~db ~missing in
+  let result = Whynot.Pipeline.explain ~use_sas:false phi in
+  Alcotest.(check int) "one explanation (the filter)" 1
+    (List.length result.Whynot.Pipeline.explanations)
+
+let () =
+  Alcotest.run "df"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "running example" `Quick test_running_example_pipeline;
+          Alcotest.test_case "same plan as constructors" `Quick
+            test_same_plan_as_constructors;
+          Alcotest.test_case "explode_outer + structs" `Quick
+            test_explode_outer_and_structs;
+          Alcotest.test_case "group_by + join" `Quick test_group_by_and_join;
+          Alcotest.test_case "union/except/distinct" `Quick test_union_except_distinct;
+          Alcotest.test_case "with_columns" `Quick test_with_columns;
+          Alcotest.test_case "unique ids after combine" `Quick
+            test_combined_frames_have_unique_ids;
+          Alcotest.test_case "why-not on a df plan" `Quick test_whynot_on_df_plan;
+        ] );
+    ]

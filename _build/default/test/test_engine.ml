@@ -1,0 +1,238 @@
+(* The mini-DISC engine must agree with the reference evaluator on every
+   operator, for several partition counts, including randomized data. *)
+
+open Nested
+open Nrab
+
+let v_int i = Value.Int i
+let v_str s = Value.String s
+let tup = Value.tuple
+
+let mk_db ~seed ~rows =
+  let g = Datagen.Prng.create ~seed in
+  let r_schema =
+    Vtype.relation
+      [
+        ("a", Vtype.TInt);
+        ("b", Vtype.TString);
+        ("kids", Vtype.relation [ ("k", Vtype.TInt) ]);
+      ]
+  in
+  let s_schema = Vtype.relation [ ("c", Vtype.TInt); ("d", Vtype.TString) ] in
+  let r_rows =
+    List.init rows (fun _ ->
+        tup
+          [
+            ("a", v_int (Datagen.Prng.int g 5));
+            ("b", v_str (Datagen.Prng.pick g [ "x"; "y"; "z" ]));
+            ( "kids",
+              Value.bag_of_list
+                (List.init (Datagen.Prng.int g 3) (fun _ ->
+                     tup [ ("k", v_int (Datagen.Prng.int g 4)) ])) );
+          ])
+  in
+  let s_rows =
+    List.init rows (fun _ ->
+        tup
+          [
+            ("c", v_int (Datagen.Prng.int g 5));
+            ("d", v_str (Datagen.Prng.pick g [ "u"; "v" ]));
+          ])
+  in
+  Relation.Db.of_list
+    [
+      ("r", Relation.of_tuples ~schema:r_schema r_rows);
+      ("s", Relation.of_tuples ~schema:s_schema s_rows);
+    ]
+
+(* A zoo of queries covering every operator kind. *)
+let queries () =
+  let q name build = (name, build (Query.Gen.create ())) in
+  let a_eq_c = Expr.Cmp (Expr.Eq, Expr.attr "a", Expr.attr "c") in
+  [
+    q "select" (fun g ->
+        Query.select g (Expr.Cmp (Expr.Gt, Expr.attr "a", Expr.int 2)) (Query.table g "r"));
+    q "project" (fun g -> Query.project_attrs g [ "a" ] (Query.table g "r"));
+    q "computed projection" (fun g ->
+        Query.project g [ ("a2", Expr.(Mul (attr "a", attr "a"))) ] (Query.table g "r"));
+    q "rename" (fun g -> Query.rename g [ ("alpha", "a") ] (Query.table g "r"));
+    q "inner join" (fun g ->
+        Query.join g Query.Inner a_eq_c (Query.table g "r") (Query.table g "s"));
+    q "left join" (fun g ->
+        Query.join g Query.Left a_eq_c (Query.table g "r") (Query.table g "s"));
+    q "right join" (fun g ->
+        Query.join g Query.Right a_eq_c (Query.table g "r") (Query.table g "s"));
+    q "full join" (fun g ->
+        Query.join g Query.Full a_eq_c (Query.table g "r") (Query.table g "s"));
+    q "theta join" (fun g ->
+        Query.join g Query.Inner
+          (Expr.Cmp (Expr.Lt, Expr.attr "a", Expr.attr "c"))
+          (Query.table g "r") (Query.table g "s"));
+    q "union" (fun g -> Query.union g (Query.table g "r") (Query.table g "r"));
+    q "diff" (fun g ->
+        Query.diff g (Query.table g "r")
+          (Query.select g (Expr.Cmp (Expr.Eq, Expr.attr "a", Expr.int 0)) (Query.table g "r")));
+    q "dedup" (fun g -> Query.dedup g (Query.project_attrs g [ "b" ] (Query.table g "r")));
+    q "inner flatten" (fun g -> Query.flatten_inner g "kids" (Query.table g "r"));
+    q "outer flatten" (fun g -> Query.flatten_outer g "kids" (Query.table g "r"));
+    q "nest" (fun g ->
+        Query.nest_rel g [ "a" ] ~into:"as_"
+          (Query.project_attrs g [ "a"; "b" ] (Query.table g "r")));
+    q "nest tuple" (fun g ->
+        Query.nest_tuple g [ "a"; "b" ] ~into:"ab"
+          (Query.project_attrs g [ "a"; "b" ] (Query.table g "r")));
+    q "agg tuple" (fun g ->
+        Query.agg_tuple g Agg.Count ~over:"kids" ~into:"cnt" (Query.table g "r"));
+    q "group agg" (fun g ->
+        Query.group_agg g [ "b" ]
+          [ (Agg.Sum, Some "a", "total"); (Agg.Count, None, "n") ]
+          (Query.table g "r"));
+    q "pipeline" (fun g ->
+        Query.group_agg g [ "b" ]
+          [ (Agg.Count, None, "n") ]
+          (Query.select g
+             (Expr.Cmp (Expr.Ge, Expr.attr "k", Expr.int 1))
+             (Query.flatten_inner g "kids" (Query.table g "r"))));
+    q "join then nest" (fun g ->
+        Query.nest_rel g [ "d" ] ~into:"ds"
+          (Query.project_attrs g [ "a"; "d" ]
+             (Query.join g Query.Left a_eq_c (Query.table g "r") (Query.table g "s"))));
+  ]
+
+let check_equivalence ?(parallel = false) ~partitions ~seed () =
+  let db = mk_db ~seed ~rows:25 in
+  List.iter
+    (fun (name, query) ->
+      let expected = Eval.eval db query in
+      let actual, _stats =
+        Engine.Exec.run ~config:{ Engine.Exec.partitions; parallel } db query
+      in
+      Alcotest.(check string)
+        (Fmt.str "%s (partitions=%d)" name partitions)
+        (Value.to_string (Relation.data expected))
+        (Value.to_string (Relation.data actual)))
+    (queries ())
+
+let test_stats_recorded () =
+  let db = mk_db ~seed:3 ~rows:30 in
+  let g = Query.Gen.create () in
+  let query =
+    Query.group_agg g [ "b" ] [ (Agg.Count, None, "n") ] (Query.table g "r")
+  in
+  let _, stats = Engine.Exec.run db query in
+  Alcotest.(check bool) "aggregation shuffles" true (Engine.Stats.total_shuffled stats >= 0);
+  Alcotest.(check bool) "rows recorded" true (Engine.Stats.total_output stats > 0)
+
+let test_distribute_gather () =
+  let rows = List.init 17 (fun i -> v_int i) in
+  let d = Engine.Dataset.distribute ~partitions:4 rows in
+  Alcotest.(check int) "partitions" 4 (Engine.Dataset.partition_count d);
+  Alcotest.(check int) "cardinality preserved" 17 (Engine.Dataset.cardinal d);
+  let gathered, moved = Engine.Dataset.gather d in
+  Alcotest.(check int) "gather to one" 1 (Engine.Dataset.partition_count gathered);
+  Alcotest.(check int) "gather moves everything" 17 moved
+
+let test_shuffle_colocates () =
+  let rows = List.init 40 (fun i -> tup [ ("k", v_int (i mod 4)) ]) in
+  let d = Engine.Dataset.distribute ~partitions:4 rows in
+  let shuffled, _ =
+    Engine.Dataset.shuffle_by ~partitions:4
+      (fun t -> Option.get (Value.field "k" t))
+      d
+  in
+  (* all rows with the same key must be in the same partition *)
+  Array.iter
+    (fun part ->
+      let keys =
+        List.sort_uniq Value.compare
+          (List.map (fun t -> Option.get (Value.field "k" t)) part)
+      in
+      ignore keys)
+    (Engine.Dataset.partitions shuffled);
+  let key_partition = Hashtbl.create 8 in
+  Array.iteri
+    (fun pi part ->
+      List.iter
+        (fun t ->
+          let k = Option.get (Value.field "k" t) in
+          match Hashtbl.find_opt key_partition k with
+          | Some pj -> Alcotest.(check int) "key colocated" pj pi
+          | None -> Hashtbl.replace key_partition k pi)
+        part)
+    (Engine.Dataset.partitions shuffled)
+
+(* --- physical-plan analysis --- *)
+
+let test_plan_stages () =
+  let db = mk_db ~seed:1 ~rows:5 in
+  let env = Eval.schema_env db in
+  let g = Query.Gen.create () in
+  (* σ and flatten are narrow; groupby shuffles; equi-join shuffles *)
+  let q =
+    Query.group_agg g [ "b" ]
+      [ (Agg.Count, None, "n") ]
+      (Query.join g Query.Inner
+         (Expr.Cmp (Expr.Eq, Expr.attr "a", Expr.attr "c"))
+         (Query.select g Expr.True (Query.table g "r"))
+         (Query.table g "s"))
+  in
+  let plan = Engine.Plan.analyze ~env q in
+  Alcotest.(check int) "three stages (scan, join, aggregate)" 3
+    (Engine.Plan.stage_count plan);
+  (match plan.Engine.Plan.movement with
+  | Engine.Plan.Shuffle key -> Alcotest.(check string) "group key" "b" key
+  | _ -> Alcotest.fail "group-agg must shuffle");
+  let join_node = List.hd plan.Engine.Plan.inputs in
+  match join_node.Engine.Plan.movement with
+  | Engine.Plan.Shuffle key -> Alcotest.(check string) "join key" "a" key
+  | _ -> Alcotest.fail "equi-join must shuffle"
+
+let test_plan_gather_on_theta_join () =
+  let db = mk_db ~seed:1 ~rows:5 in
+  let env = Eval.schema_env db in
+  let g = Query.Gen.create () in
+  let q =
+    Query.join g Query.Inner
+      (Expr.Cmp (Expr.Lt, Expr.attr "a", Expr.attr "c"))
+      (Query.table g "r") (Query.table g "s")
+  in
+  let plan = Engine.Plan.analyze ~env q in
+  Alcotest.(check string) "theta join gathers" "gather"
+    (Engine.Plan.movement_to_string plan.Engine.Plan.movement)
+
+let test_plan_narrow_pipeline () =
+  let db = mk_db ~seed:1 ~rows:5 in
+  let env = Eval.schema_env db in
+  let g = Query.Gen.create () in
+  let q =
+    Query.project_attrs g [ "a" ]
+      (Query.select g Expr.True
+         (Query.flatten_inner g "kids" (Query.table g "r")))
+  in
+  let plan = Engine.Plan.analyze ~env q in
+  Alcotest.(check int) "single stage" 1 (Engine.Plan.stage_count plan)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "1 partition" `Quick (check_equivalence ~partitions:1 ~seed:11);
+          Alcotest.test_case "4 partitions" `Quick (check_equivalence ~partitions:4 ~seed:12);
+          Alcotest.test_case "7 partitions" `Quick (check_equivalence ~partitions:7 ~seed:13);
+          Alcotest.test_case "4 partitions, parallel domains" `Quick
+            (check_equivalence ~parallel:true ~partitions:4 ~seed:14);
+        ] );
+      ( "infrastructure",
+        [
+          Alcotest.test_case "stats" `Quick test_stats_recorded;
+          Alcotest.test_case "distribute/gather" `Quick test_distribute_gather;
+          Alcotest.test_case "shuffle colocates keys" `Quick test_shuffle_colocates;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "stage assignment" `Quick test_plan_stages;
+          Alcotest.test_case "theta join gathers" `Quick test_plan_gather_on_theta_join;
+          Alcotest.test_case "narrow pipeline" `Quick test_plan_narrow_pipeline;
+        ] );
+    ]

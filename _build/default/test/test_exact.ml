@@ -1,0 +1,201 @@
+(* The exact (brute-force) MSR search of Theorem 1's PTIME fragment, used
+   as ground truth for the heuristic pipeline on small instances. *)
+
+open Nested
+open Nrab
+module Nip = Whynot.Nip
+module Int_set = Whynot.Msr.Int_set
+
+(* Tiny database: employees and departments. *)
+let emp_schema =
+  Vtype.relation
+    [ ("ename", Vtype.TString); ("dept", Vtype.TString); ("salary", Vtype.TInt) ]
+
+let v_str s = Value.String s
+let v_int i = Value.Int i
+let tup = Value.tuple
+
+let emp name dept salary =
+  tup [ ("ename", v_str name); ("dept", v_str dept); ("salary", v_int salary) ]
+
+let db =
+  Relation.Db.of_list
+    [
+      ( "emp",
+        Relation.of_tuples ~schema:emp_schema
+          [ emp "ann" "sales" 100; emp "bob" "eng" 80; emp "cyd" "eng" 120 ] );
+    ]
+
+let test_selection_constant_repair () =
+  (* why is bob missing from σ_{salary ≥ 100}? — fix the constant *)
+  let g = Query.Gen.create () in
+  let query =
+    Query.select ~id:2 g
+      (Expr.Cmp (Expr.Ge, Expr.attr "salary", Expr.int 100))
+      (Query.table ~id:1 g "emp")
+  in
+  let missing = Nip.tup [ ("ename", Nip.str "bob") ] in
+  let phi = Whynot.Question.make ~query ~db ~missing in
+  let expls = Whynot.Exact.explanations ~max_ops:1 phi in
+  Alcotest.(check bool) "at least one explanation" true (expls <> []);
+  Alcotest.(check (list (list int))) "the selection"
+    [ [ 2 ] ]
+    (List.map Whynot.Explanation.op_list expls)
+
+let test_projection_attribute_repair () =
+  (* why is ⟨out: eng⟩ missing from π_{out←ename}? — project dept instead *)
+  let g = Query.Gen.create () in
+  let query =
+    Query.project ~id:2 g [ ("out", Expr.attr "ename") ] (Query.table ~id:1 g "emp")
+  in
+  let missing = Nip.tup [ ("out", Nip.str "eng") ] in
+  let phi = Whynot.Question.make ~query ~db ~missing in
+  let expls = Whynot.Exact.explanations ~max_ops:1 phi in
+  Alcotest.(check (list (list int))) "the projection" [ [ 2 ] ]
+    (List.map Whynot.Explanation.op_list expls)
+
+let test_join_kind_repair () =
+  let dept_schema = Vtype.relation [ ("dname", Vtype.TString) ] in
+  let db =
+    Relation.Db.add "dept"
+      (Relation.of_tuples ~schema:dept_schema [ tup [ ("dname", v_str "sales") ] ])
+      db
+  in
+  (* inner join loses eng employees; left join keeps them *)
+  let g = Query.Gen.create () in
+  let query =
+    Query.join ~id:3 g Query.Inner
+      (Expr.Cmp (Expr.Eq, Expr.attr "dept", Expr.attr "dname"))
+      (Query.table ~id:1 g "emp") (Query.table ~id:2 g "dept")
+  in
+  let missing = Nip.tup [ ("ename", Nip.str "bob"); ("dname", Nip.any) ] in
+  let phi = Whynot.Question.make ~query ~db ~missing in
+  let expls = Whynot.Exact.explanations ~max_ops:1 phi in
+  Alcotest.(check (list (list int))) "the join" [ [ 3 ] ]
+    (List.map Whynot.Explanation.op_list expls)
+
+let test_two_operator_repair () =
+  (* both selections must change *)
+  let g = Query.Gen.create () in
+  let query =
+    Query.select ~id:3 g
+      (Expr.Cmp (Expr.Ge, Expr.attr "salary", Expr.int 100))
+      (Query.select ~id:2 g
+         (Expr.Cmp (Expr.Eq, Expr.attr "dept", Expr.str "sales"))
+         (Query.table ~id:1 g "emp"))
+  in
+  let missing = Nip.tup [ ("ename", Nip.str "bob") ] in
+  let phi = Whynot.Question.make ~query ~db ~missing in
+  let expls = Whynot.Exact.explanations ~max_ops:2 phi in
+  Alcotest.(check (list (list int))) "both selections" [ [ 2; 3 ] ]
+    (List.map Whynot.Explanation.op_list expls)
+
+let test_minimality () =
+  (* a repairable selection below an irrelevant one: the MSR changes only
+     the broken operator *)
+  let g = Query.Gen.create () in
+  let query =
+    Query.select ~id:3 g
+      (Expr.Cmp (Expr.Ge, Expr.attr "salary", Expr.int 0))
+      (Query.select ~id:2 g
+         (Expr.Cmp (Expr.Eq, Expr.attr "dept", Expr.str "sales"))
+         (Query.table ~id:1 g "emp"))
+  in
+  let missing = Nip.tup [ ("ename", Nip.str "cyd") ] in
+  let phi = Whynot.Question.make ~query ~db ~missing in
+  let expls = Whynot.Exact.explanations ~max_ops:2 phi in
+  Alcotest.(check (list (list int))) "only σ²" [ [ 2 ] ]
+    (List.map Whynot.Explanation.op_list expls)
+
+(* --- heuristic vs exact on the paper's running example --- *)
+
+let person_schema =
+  Vtype.relation
+    [
+      ("name", Vtype.TString);
+      ("address1", Vtype.relation [ ("city", Vtype.TString); ("year", Vtype.TInt) ]);
+      ("address2", Vtype.relation [ ("city", Vtype.TString); ("year", Vtype.TInt) ]);
+    ]
+
+let addr c y = tup [ ("city", v_str c); ("year", v_int y) ]
+
+let person name a1 a2 =
+  tup
+    [
+      ("name", v_str name);
+      ("address1", Value.bag_of_list a1);
+      ("address2", Value.bag_of_list a2);
+    ]
+
+let running_example_phi () =
+  let db =
+    Relation.Db.of_list
+      [
+        ( "person",
+          Relation.of_tuples ~schema:person_schema
+            [
+              person "Peter"
+                [ addr "NY" 2010; addr "LA" 2019; addr "LV" 2017 ]
+                [ addr "LA" 2010; addr "SF" 2018 ];
+              person "Sue" [ addr "LA" 2019; addr "NY" 2018 ] [ addr "LA" 2019; addr "NY" 2018 ];
+            ] );
+      ]
+  in
+  let g = Query.Gen.create () in
+  let query =
+    Query.nest_rel ~id:5 g [ "name" ] ~into:"nList"
+      (Query.project_attrs ~id:4 g [ "name"; "city" ]
+         (Query.select ~id:3 g
+            (Expr.Cmp (Expr.Ge, Expr.attr "year", Expr.int 2019))
+            (Query.flatten_inner ~id:2 g "address2" (Query.table ~id:1 g "person"))))
+  in
+  let missing = Nip.tup [ ("city", Nip.str "NY"); ("nList", Nip.some_element) ] in
+  Whynot.Question.make ~query ~db ~missing
+
+let test_exact_on_running_example () =
+  let phi = running_example_phi () in
+  let expls = Whynot.Exact.explanations ~max_ops:2 phi in
+  let sets = List.map (fun e -> Int_set.elements (Whynot.Explanation.ops e)) expls in
+  (* the paper's explanations {σ} and {F, σ} are both found by the exact
+     search (the flatten swap is an admissible attribute change) *)
+  Alcotest.(check bool) "{σ} is exact-minimal" true (List.mem [ 3 ] sets);
+  Alcotest.(check bool) "{F, σ} is exact-minimal" true (List.mem [ 2; 3 ] sets)
+
+let test_heuristic_sound_wrt_exact () =
+  (* every explanation returned by the heuristic is a successful
+     reparameterization according to the exact evaluator *)
+  let phi = running_example_phi () in
+  let result =
+    Whynot.Pipeline.explain
+      ~alternatives:[ ("person", [ [ "address2" ]; [ "address1" ] ]) ]
+      phi
+  in
+  let srs = Whynot.Exact.successful ~max_ops:2 phi in
+  let sr_sets = List.map (fun (s : Whynot.Exact.sr) -> s.Whynot.Exact.changed) srs in
+  List.iter
+    (fun e ->
+      let ops = Whynot.Explanation.ops e in
+      Alcotest.(check bool)
+        (Fmt.str "heuristic explanation %s is a real SR"
+           (Whynot.Explanation.to_string_with_query phi.Whynot.Question.query e))
+        true
+        (List.exists (fun s -> Int_set.equal s ops) sr_sets))
+    result.Whynot.Pipeline.explanations
+
+let () =
+  Alcotest.run "exact"
+    [
+      ( "repairs",
+        [
+          Alcotest.test_case "selection constant" `Quick test_selection_constant_repair;
+          Alcotest.test_case "projection attribute" `Quick test_projection_attribute_repair;
+          Alcotest.test_case "join kind" `Quick test_join_kind_repair;
+          Alcotest.test_case "two operators" `Quick test_two_operator_repair;
+          Alcotest.test_case "minimality" `Quick test_minimality;
+        ] );
+      ( "vs-heuristic",
+        [
+          Alcotest.test_case "running example (exact)" `Quick test_exact_on_running_example;
+          Alcotest.test_case "heuristic soundness" `Quick test_heuristic_sound_wrt_exact;
+        ] );
+    ]

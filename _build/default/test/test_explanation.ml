@@ -1,0 +1,81 @@
+(* Explanation ordering and pruning tests (Definitions 9–10). *)
+
+module E = Whynot.Explanation
+module Int_set = Whynot.Msr.Int_set
+
+let mk ?(sa = 0) ~lb ~ub ids = E.make ~sa ~lb ~ub (Int_set.of_list ids)
+
+let sets es = List.map E.op_list es
+
+let test_rank_by_cardinality () =
+  let es = [ mk ~lb:0 ~ub:5 [ 1; 2 ]; mk ~lb:0 ~ub:9 [ 3 ] ] in
+  Alcotest.(check (list (list int))) "singleton first" [ [ 3 ]; [ 1; 2 ] ]
+    (sets (E.rank es))
+
+let test_rank_by_side_effects () =
+  let es = [ mk ~lb:0 ~ub:9 [ 1 ]; mk ~lb:0 ~ub:2 [ 2 ] ] in
+  Alcotest.(check (list (list int))) "smaller UB first" [ [ 2 ]; [ 1 ] ]
+    (sets (E.rank es))
+
+let test_rank_by_sa () =
+  let es = [ mk ~sa:1 ~lb:0 ~ub:3 [ 1 ]; mk ~sa:0 ~lb:0 ~ub:3 [ 2 ] ] in
+  Alcotest.(check (list (list int))) "original SA first" [ [ 2 ]; [ 1 ] ]
+    (sets (E.rank es))
+
+let test_dominates () =
+  let small = mk ~lb:0 ~ub:0 [ 1 ] in
+  let big = mk ~lb:0 ~ub:7 [ 1; 2 ] in
+  Alcotest.(check bool) "subset with certain lower side effects dominates" true
+    (E.dominates small big);
+  Alcotest.(check bool) "no self domination" false (E.dominates small small);
+  let big_cheap = mk ~lb:3 ~ub:7 [ 1; 2 ] in
+  let small_pricey = mk ~lb:0 ~ub:5 [ 1 ] in
+  (* ub 5 > lb 3, so domination must NOT hold *)
+  Alcotest.(check bool) "uncertain bounds do not dominate" false
+    (E.dominates small_pricey big_cheap)
+
+let test_prune_dominated () =
+  let es =
+    [ mk ~lb:0 ~ub:0 [ 1 ]; mk ~lb:0 ~ub:4 [ 1; 2 ]; mk ~lb:0 ~ub:1 [ 3 ] ]
+  in
+  let pruned = E.prune_dominated es in
+  Alcotest.(check int) "dominated pair removed" 2 (List.length pruned);
+  Alcotest.(check bool) "{1} kept" true
+    (List.exists (fun e -> E.op_list e = [ 1 ]) pruned);
+  Alcotest.(check bool) "{3} kept (different ops)" true
+    (List.exists (fun e -> E.op_list e = [ 3 ]) pruned)
+
+let test_prune_merges_duplicates () =
+  let es = [ mk ~lb:2 ~ub:9 [ 1 ]; mk ~sa:1 ~lb:1 ~ub:5 [ 1 ] ] in
+  let pruned = E.prune_dominated es in
+  Alcotest.(check int) "merged" 1 (List.length pruned);
+  let e = List.hd pruned in
+  Alcotest.(check int) "min lb" 1 e.E.side_effect_lb;
+  Alcotest.(check int) "min ub" 5 e.E.side_effect_ub;
+  Alcotest.(check int) "min sa" 0 e.E.sa
+
+let test_pp_with_query () =
+  let g = Nrab.Query.Gen.create () in
+  let q =
+    Nrab.Query.select ~id:7 g Nrab.Expr.True (Nrab.Query.table ~id:1 g "r")
+  in
+  Alcotest.(check string) "paper-style rendering" "{σ^7}"
+    (E.to_string_with_query q (mk ~lb:0 ~ub:0 [ 7 ]))
+
+let () =
+  Alcotest.run "explanation"
+    [
+      ( "ranking",
+        [
+          Alcotest.test_case "by cardinality" `Quick test_rank_by_cardinality;
+          Alcotest.test_case "by side effects" `Quick test_rank_by_side_effects;
+          Alcotest.test_case "by schema alternative" `Quick test_rank_by_sa;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "dominance" `Quick test_dominates;
+          Alcotest.test_case "prune dominated" `Quick test_prune_dominated;
+          Alcotest.test_case "merge duplicates" `Quick test_prune_merges_duplicates;
+        ] );
+      ("rendering", [ Alcotest.test_case "pp" `Quick test_pp_with_query ]);
+    ]

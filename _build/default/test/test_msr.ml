@@ -1,0 +1,162 @@
+(* MSR-computation tests: failure sets, the literal queue-based
+   Algorithm 4, the contributing-rows closure, and side-effect bounds —
+   all on the paper's running example. *)
+
+open Nested
+open Nrab
+module Nip = Whynot.Nip
+module Int_set = Whynot.Msr.Int_set
+module Set_set = Whynot.Msr.Set_set
+
+let person_schema =
+  Vtype.relation
+    [
+      ("name", Vtype.TString);
+      ("address1", Vtype.relation [ ("city", Vtype.TString); ("year", Vtype.TInt) ]);
+      ("address2", Vtype.relation [ ("city", Vtype.TString); ("year", Vtype.TInt) ]);
+    ]
+
+let addr c y = Value.Tuple [ ("city", Value.String c); ("year", Value.Int y) ]
+
+let person name a1 a2 =
+  Value.Tuple
+    [
+      ("name", Value.String name);
+      ("address1", Value.bag_of_list a1);
+      ("address2", Value.bag_of_list a2);
+    ]
+
+let db =
+  Relation.Db.of_list
+    [
+      ( "person",
+        Relation.of_tuples ~schema:person_schema
+          [
+            person "Peter"
+              [ addr "NY" 2010; addr "LA" 2019; addr "LV" 2017 ]
+              [ addr "LA" 2010; addr "SF" 2018 ];
+            person "Sue" [ addr "LA" 2019; addr "NY" 2018 ] [ addr "LA" 2019; addr "NY" 2018 ];
+          ] );
+    ]
+
+let env = [ ("person", person_schema) ]
+
+let query =
+  let g = Query.Gen.create () in
+  Query.nest_rel ~id:5 g [ "name" ] ~into:"nList"
+    (Query.project_attrs ~id:4 g [ "name"; "city" ]
+       (Query.select ~id:3 g
+          (Expr.Cmp (Expr.Ge, Expr.attr "year", Expr.int 2019))
+          (Query.flatten_inner ~id:2 g "address2" (Query.table ~id:1 g "person"))))
+
+let missing = Nip.tup [ ("city", Nip.str "NY"); ("nList", Nip.some_element) ]
+
+let mk_trace sa_query changed description index =
+  let sa =
+    { Whynot.Alternatives.index; query = sa_query; changed_ops = changed; description }
+  in
+  let bt = Whynot.Backtrace.run ~env sa_query missing in
+  Whynot.Tracing.run ~env db sa bt
+
+let trace0 () = mk_trace query Int_set.empty "original" 0
+
+let sets_to_lists s =
+  List.sort compare (List.map Int_set.elements (Set_set.elements s))
+
+let test_failure_sets_running_example () =
+  let tr = trace0 () in
+  let fs = Whynot.Msr.failure_sets tr in
+  let consistent = Whynot.Msr.consistent_roots tr in
+  Alcotest.(check int) "one consistent root (the NY group)" 1
+    (List.length consistent);
+  let root = List.hd consistent in
+  Alcotest.(check (list (list int))) "its failure set is {σ}" [ [ 3 ] ]
+    (sets_to_lists (fs root.Whynot.Tracing.rid))
+
+let test_contributing_closure () =
+  let tr = trace0 () in
+  let contrib = Whynot.Msr.contributing tr in
+  (* the closure reaches down to Sue's input tuple *)
+  let table_rows =
+    match Whynot.Tracing.op_trace tr 1 with
+    | Some ot -> ot.Whynot.Tracing.rows
+    | None -> []
+  in
+  let contributing_names =
+    List.filter_map
+      (fun (r : Whynot.Tracing.trow) ->
+        if Hashtbl.mem contrib r.Whynot.Tracing.rid then
+          Value.field "name" r.Whynot.Tracing.data
+        else None)
+      table_rows
+  in
+  Alcotest.(check bool) "Sue's tuple contributes" true
+    (List.mem (Value.String "Sue") contributing_names)
+
+let test_algorithm4_superset_of_failure_sets () =
+  let tr = trace0 () in
+  let alg4 = Whynot.Msr.algorithm4 tr in
+  Alcotest.(check bool) "{σ} among Algorithm 4 candidates" true
+    (Set_set.mem (Int_set.singleton 3) alg4);
+  (* every failure-set explanation is an Algorithm 4 candidate *)
+  let fs = Whynot.Msr.failure_sets tr in
+  List.iter
+    (fun (r : Whynot.Tracing.trow) ->
+      Set_set.iter
+        (fun set ->
+          if not (Int_set.is_empty set) then
+            Alcotest.(check bool)
+              (Fmt.str "failure set {%s} covered"
+                 (String.concat "," (List.map string_of_int (Int_set.elements set))))
+              true (Set_set.mem set alg4))
+        (fs r.Whynot.Tracing.rid))
+    (Whynot.Msr.consistent_roots tr)
+
+let test_algorithm4_never_blames_tables () =
+  let tr = trace0 () in
+  Set_set.iter
+    (fun set ->
+      Alcotest.(check bool) "no table access in candidates" false
+        (Int_set.mem 1 set))
+    (Whynot.Msr.algorithm4 tr)
+
+let test_bounds () =
+  let tr = trace0 () in
+  let fs = Whynot.Msr.failure_sets tr in
+  let original_result =
+    Relation.tuples (Eval.eval db query)
+  in
+  let bi = { Whynot.Msr.original_result } in
+  let lb, ub = Whynot.Msr.bounds ~bi ~q:query tr fs (Int_set.singleton 3) in
+  (* the explanation contains a selection, so LB must be 0 (§5.4) *)
+  Alcotest.(check int) "LB = 0 for selections" 0 lb;
+  Alcotest.(check bool) "UB counts potential additions" true (ub >= 1)
+
+let test_from_trace_explanations () =
+  let tr = trace0 () in
+  let bi = { Whynot.Msr.original_result = Relation.tuples (Eval.eval db query) } in
+  let expls = Whynot.Msr.from_trace ~bi ~q:query tr in
+  Alcotest.(check (list (list int))) "SA0 contributes {σ}" [ [ 3 ] ]
+    (List.sort compare (List.map Whynot.Explanation.op_list expls))
+
+let () =
+  Alcotest.run "msr"
+    [
+      ( "failure-sets",
+        [
+          Alcotest.test_case "running example" `Quick test_failure_sets_running_example;
+          Alcotest.test_case "contributing closure" `Quick test_contributing_closure;
+        ] );
+      ( "algorithm-4",
+        [
+          Alcotest.test_case "superset of failure sets" `Quick
+            test_algorithm4_superset_of_failure_sets;
+          Alcotest.test_case "never blames tables" `Quick
+            test_algorithm4_never_blames_tables;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "side-effect bounds" `Quick test_bounds;
+          Alcotest.test_case "from_trace" `Quick test_from_trace_explanations;
+        ] );
+    ]

@@ -1,0 +1,245 @@
+(* Unit and property tests for the nested data model (lib/nested):
+   values, canonical bags, types, paths, and tree conversion. *)
+
+open Nested
+
+let v_int i = Value.Int i
+let v_str s = Value.String s
+
+let tuple_ab a b = Value.Tuple [ ("a", v_int a); ("b", v_str b) ]
+
+(* --- Value --- *)
+
+let test_bag_normalization () =
+  let b1 = Value.bag [ (v_int 2, 1); (v_int 1, 2); (v_int 2, 3) ] in
+  let b2 = Value.bag [ (v_int 1, 2); (v_int 2, 4) ] in
+  Alcotest.(check bool) "merged and sorted" true (Value.equal b1 b2);
+  Alcotest.(check int) "multiplicity" 4 (Value.multiplicity b1 (v_int 2));
+  Alcotest.(check int) "cardinal" 6 (Value.cardinal b1)
+
+let test_bag_drops_nonpositive () =
+  let b = Value.bag [ (v_int 1, 0); (v_int 2, -3); (v_int 3, 1) ] in
+  Alcotest.(check int) "only positive survive" 1 (Value.cardinal b)
+
+let test_bag_union_diff () =
+  let a = Value.bag [ (v_int 1, 2); (v_int 2, 1) ] in
+  let b = Value.bag [ (v_int 1, 1); (v_int 3, 1) ] in
+  let u = Value.bag_union a b in
+  Alcotest.(check int) "union multiplicity" 3 (Value.multiplicity u (v_int 1));
+  let d = Value.bag_diff a b in
+  Alcotest.(check int) "diff multiplicity" 1 (Value.multiplicity d (v_int 1));
+  Alcotest.(check int) "diff removes absent" 1 (Value.multiplicity d (v_int 2));
+  Alcotest.(check int) "no negative" 0 (Value.multiplicity d (v_int 3))
+
+let test_tuple_concat () =
+  let t = Value.concat_tuples (tuple_ab 1 "x") (Value.Tuple [ ("c", v_int 2) ]) in
+  Alcotest.(check (list string)) "labels" [ "a"; "b"; "c" ] (Value.labels t)
+
+let test_field_access () =
+  let t = tuple_ab 7 "hello" in
+  Alcotest.(check bool) "field a" true (Value.field "a" t = Some (v_int 7));
+  Alcotest.(check bool) "missing field" true (Value.field "z" t = None)
+
+let test_dedup_expand () =
+  let b = Value.bag [ (v_int 1, 3); (v_int 2, 1) ] in
+  Alcotest.(check int) "dedup" 2 (Value.cardinal (Value.dedup b));
+  Alcotest.(check int) "expand" 4 (List.length (Value.expand b))
+
+let test_compare_total_order () =
+  (* Null < Bool < Int < Float < String < Tuple < Bag *)
+  let vs =
+    [
+      Value.Null; Value.Bool true; v_int 0; Value.Float 1.0; v_str "a";
+      Value.Tuple []; Value.Bag [];
+    ]
+  in
+  let rec adjacent = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool)
+        (Fmt.str "%a < %a" Value.pp a Value.pp b)
+        true
+        (Value.compare a b < 0);
+      adjacent rest
+    | _ -> ()
+  in
+  adjacent vs
+
+(* --- Vtype --- *)
+
+let addr_ty = Vtype.relation [ ("city", Vtype.TString); ("year", Vtype.TInt) ]
+
+let test_has_type () =
+  let addr = Value.bag_of_list [ Value.Tuple [ ("city", v_str "NY"); ("year", v_int 2018) ] ] in
+  Alcotest.(check bool) "well-typed bag" true (Vtype.has_type addr addr_ty);
+  Alcotest.(check bool) "null inhabits any type" true (Vtype.has_type Value.Null addr_ty);
+  let bad = Value.bag_of_list [ Value.Tuple [ ("city", v_int 1); ("year", v_int 2018) ] ] in
+  Alcotest.(check bool) "ill-typed bag" false (Vtype.has_type bad addr_ty)
+
+let test_infer () =
+  let t = tuple_ab 1 "x" in
+  Alcotest.(check bool) "inferred tuple type" true
+    (Vtype.infer t = Some (Vtype.TTuple [ ("a", Vtype.TInt); ("b", Vtype.TString) ]))
+
+let test_null_tuple () =
+  let ty = Vtype.TTuple [ ("a", Vtype.TInt); ("b", Vtype.TString) ] in
+  Alcotest.(check bool) "null tuple" true
+    (Value.equal (Vtype.null_tuple ty)
+       (Value.Tuple [ ("a", Value.Null); ("b", Value.Null) ]))
+
+(* --- Path --- *)
+
+let person_ty =
+  Vtype.relation [ ("name", Vtype.TString); ("address2", addr_ty) ]
+
+let test_path_resolve_type () =
+  Alcotest.(check bool) "nested path type" true
+    (Path.resolve_type person_ty [ "address2"; "city" ] = Some Vtype.TString);
+  Alcotest.(check bool) "missing path" true
+    (Path.resolve_type person_ty [ "address2"; "zip" ] = None)
+
+let test_path_resolve_values () =
+  let t =
+    Value.Tuple
+      [
+        ("name", v_str "Sue");
+        ( "address2",
+          Value.bag_of_list
+            [
+              Value.Tuple [ ("city", v_str "LA"); ("year", v_int 2019) ];
+              Value.Tuple [ ("city", v_str "NY"); ("year", v_int 2018) ];
+            ] );
+      ]
+  in
+  let cities = Path.resolve_values t [ "address2"; "city" ] in
+  Alcotest.(check int) "two cities through the bag" 2 (List.length cities)
+
+(* --- Tree --- *)
+
+let test_tree_size () =
+  let t = Tree.of_value (tuple_ab 1 "x") in
+  (* ⟨⟩ → a → 1, b → x : 5 nodes *)
+  Alcotest.(check int) "size" 5 (Tree.size t)
+
+let test_tree_canonical_bag_order () =
+  let b1 = Value.bag [ (v_int 2, 1); (v_int 1, 1) ] in
+  let b2 = Value.bag [ (v_int 1, 1); (v_int 2, 1) ] in
+  Alcotest.(check bool) "same canonical tree" true
+    (Tree.of_value b1 = Tree.of_value b2)
+
+let test_postorder () =
+  let t = Tree.node "r" [ Tree.leaf "a"; Tree.node "b" [ Tree.leaf "c" ] ] in
+  let po = Tree.postorder t in
+  Alcotest.(check (list string)) "postorder labels" [ "a"; "c"; "b"; "r" ]
+    (Array.to_list (Array.map fst po))
+
+(* --- Property tests (qcheck) --- *)
+
+let value_gen : Value.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then
+           oneof
+             [
+               return Value.Null;
+               map (fun b -> Value.Bool b) bool;
+               map (fun i -> Value.Int i) small_signed_int;
+               map (fun s -> Value.String s) (string_size (return 3));
+             ]
+         else
+           frequency
+             [
+               (2, map (fun i -> Value.Int i) small_signed_int);
+               ( 1,
+                 map
+                   (fun vs ->
+                     Value.Tuple (List.mapi (fun i v -> (Fmt.str "f%d" i, v)) vs))
+                   (list_size (int_range 1 3) (self (n / 2))) );
+               ( 1,
+                 map
+                   (fun vs -> Value.bag_of_list vs)
+                   (list_size (int_range 0 4) (self (n / 2))) );
+             ])
+
+let arb_value = QCheck.make ~print:Value.to_string value_gen
+
+let small_list arb = QCheck.list_of_size (QCheck.Gen.int_range 0 5) arb
+
+let prop_compare_reflexive =
+  QCheck.Test.make ~name:"compare is reflexive" ~count:200 arb_value (fun v ->
+      Value.compare v v = 0)
+
+let prop_compare_antisymmetric =
+  QCheck.Test.make ~name:"compare is antisymmetric" ~count:200
+    (QCheck.pair arb_value arb_value) (fun (a, b) ->
+      let c1 = Value.compare a b and c2 = Value.compare b a in
+      (c1 = 0 && c2 = 0) || c1 * c2 < 0)
+
+let prop_bag_union_cardinal =
+  QCheck.Test.make ~name:"union cardinality is additive" ~count:200
+    (QCheck.pair (small_list arb_value) (small_list arb_value))
+    (fun (xs, ys) ->
+      let a = Value.bag_of_list xs and b = Value.bag_of_list ys in
+      Value.cardinal (Value.bag_union a b) = Value.cardinal a + Value.cardinal b)
+
+let prop_bag_diff_then_union =
+  QCheck.Test.make ~name:"(a union b) minus b = a" ~count:200
+    (QCheck.pair (small_list arb_value) (small_list arb_value))
+    (fun (xs, ys) ->
+      let a = Value.bag_of_list xs and b = Value.bag_of_list ys in
+      Value.equal (Value.bag_diff (Value.bag_union a b) b) a)
+
+let prop_expand_roundtrip =
+  QCheck.Test.make ~name:"bag_of_list (expand b) = b" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 6) arb_value) (fun xs ->
+      let b = Value.bag_of_list xs in
+      Value.equal (Value.bag_of_list (Value.expand b)) b)
+
+let prop_infer_has_type =
+  QCheck.Test.make ~name:"inferred type is inhabited" ~count:200 arb_value
+    (fun v ->
+      match Vtype.infer v with
+      | Some ty -> Vtype.has_type v ty
+      | None -> true)
+
+let () =
+  Alcotest.run "nested"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "bag normalization" `Quick test_bag_normalization;
+          Alcotest.test_case "non-positive multiplicities" `Quick test_bag_drops_nonpositive;
+          Alcotest.test_case "bag union/diff" `Quick test_bag_union_diff;
+          Alcotest.test_case "tuple concat" `Quick test_tuple_concat;
+          Alcotest.test_case "field access" `Quick test_field_access;
+          Alcotest.test_case "dedup and expand" `Quick test_dedup_expand;
+          Alcotest.test_case "total order" `Quick test_compare_total_order;
+        ] );
+      ( "vtype",
+        [
+          Alcotest.test_case "has_type" `Quick test_has_type;
+          Alcotest.test_case "infer" `Quick test_infer;
+          Alcotest.test_case "null tuple" `Quick test_null_tuple;
+        ] );
+      ( "path",
+        [
+          Alcotest.test_case "resolve type" `Quick test_path_resolve_type;
+          Alcotest.test_case "resolve values" `Quick test_path_resolve_values;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "size" `Quick test_tree_size;
+          Alcotest.test_case "canonical bag order" `Quick test_tree_canonical_bag_order;
+          Alcotest.test_case "postorder" `Quick test_postorder;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_compare_reflexive;
+            prop_compare_antisymmetric;
+            prop_bag_union_cardinal;
+            prop_bag_diff_then_union;
+            prop_expand_roundtrip;
+            prop_infer_has_type;
+          ] );
+    ]

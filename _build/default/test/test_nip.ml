@@ -1,0 +1,241 @@
+(* NIP matching tests: Definitions 3–4 of the paper, including the
+   worked Examples 6 and 7, and multiplicity-assignment edge cases. *)
+
+open Nested
+module Nip = Whynot.Nip
+
+let v_int i = Value.Int i
+let v_str s = Value.String s
+let tup = Value.tuple
+
+let name n = tup [ ("name", v_str n) ]
+
+(* Example 6: t = ⟨city: NY, nList: {{⟨name:Sue⟩², ⟨name:Peter⟩}}⟩ *)
+let t_ex6 =
+  tup
+    [
+      ("city", v_str "NY");
+      ("nList", Value.bag [ (name "Sue", 2); (name "Peter", 1) ]);
+    ]
+
+let test_example6 () =
+  (* t_ex = ⟨city: NY, nList: {{?, *}}⟩ matches *)
+  let t_ex = Nip.tup [ ("city", Nip.str "NY"); ("nList", Nip.bag ~star:true [ Nip.any ]) ] in
+  Alcotest.(check bool) "{{?, *}} matches" true (Nip.matches t_ex6 t_ex);
+  (* t'_ex = ⟨city: NY, nList: {{?, ?}}⟩ does NOT match (3 elements vs 2) *)
+  let t_ex' =
+    Nip.tup [ ("city", Nip.str "NY"); ("nList", Nip.bag [ Nip.any; Nip.any ]) ]
+  in
+  Alcotest.(check bool) "{{?, ?}} does not match" false (Nip.matches t_ex6 t_ex')
+
+let test_example6_exact_multiplicity () =
+  let three_anys =
+    Nip.tup [ ("city", Nip.str "NY"); ("nList", Nip.bag [ Nip.any; Nip.any; Nip.any ]) ]
+  in
+  Alcotest.(check bool) "{{?, ?, ?}} matches exactly" true
+    (Nip.matches t_ex6 three_anys)
+
+(* Example 7: the NIP matches Sue's tuple from Figure 1a. *)
+let sue =
+  tup
+    [
+      ("name", v_str "Sue");
+      ( "address1",
+        Value.bag_of_list
+          [
+            tup [ ("city", v_str "LA"); ("year", v_int 2019) ];
+            tup [ ("city", v_str "NY"); ("year", v_int 2018) ];
+          ] );
+      ( "address2",
+        Value.bag_of_list
+          [
+            tup [ ("city", v_str "LA"); ("year", v_int 2019) ];
+            tup [ ("city", v_str "NY"); ("year", v_int 2018) ];
+          ] );
+    ]
+
+let test_example7 () =
+  let nip =
+    Nip.tup
+      [
+        ("name", Nip.str "Sue");
+        ("address1", Nip.any);
+        ( "address2",
+          Nip.bag ~star:true
+            [ Nip.tup [ ("city", Nip.any); ("year", Nip.int 2019) ] ] );
+      ]
+  in
+  Alcotest.(check bool) "Example 7 matches" true (Nip.matches sue nip)
+
+let test_example7_no_match () =
+  let nip =
+    Nip.tup
+      [
+        ("name", Nip.str "Sue");
+        ( "address2",
+          Nip.bag ~star:true
+            [ Nip.tup [ ("city", Nip.str "SF"); ("year", Nip.any) ] ] );
+      ]
+  in
+  Alcotest.(check bool) "SF not in address2" false (Nip.matches sue nip)
+
+(* --- placeholders --- *)
+
+let test_any_matches_everything () =
+  List.iter
+    (fun v -> Alcotest.(check bool) "? matches" true (Nip.matches v Nip.any))
+    [ Value.Null; v_int 1; v_str "x"; sue; Value.empty_bag ]
+
+let test_prim_equality () =
+  Alcotest.(check bool) "equal" true (Nip.matches (v_int 5) (Nip.int 5));
+  Alcotest.(check bool) "not equal" false (Nip.matches (v_int 5) (Nip.int 6));
+  Alcotest.(check bool) "null vs const" false (Nip.matches Value.Null (Nip.int 5))
+
+let test_pred_placeholder () =
+  Alcotest.(check bool) "5 > 3" true
+    (Nip.matches (v_int 5) (Nip.pred Nrab.Expr.Gt (v_int 3)));
+  Alcotest.(check bool) "5 > 7 fails" false
+    (Nip.matches (v_int 5) (Nip.pred Nrab.Expr.Gt (v_int 7)));
+  Alcotest.(check bool) "null fails predicates" false
+    (Nip.matches Value.Null (Nip.pred Nrab.Expr.Gt (v_int 0)));
+  Alcotest.(check bool) "float coercion" true
+    (Nip.matches (Value.Float 0.5) (Nip.pred Nrab.Expr.Ge (v_int 0)))
+
+let test_tuple_partial_constraints () =
+  (* a tuple pattern only constrains the fields it mentions *)
+  let p = Nip.tup [ ("name", Nip.str "Sue") ] in
+  Alcotest.(check bool) "partial tuple pattern" true (Nip.matches sue p);
+  let p_missing = Nip.tup [ ("nonexistent", Nip.any) ] in
+  Alcotest.(check bool) "pattern field must exist" false (Nip.matches sue p_missing)
+
+(* --- bag assignment (condition 4) --- *)
+
+let test_bag_exact_counts () =
+  let b = Value.bag [ (v_int 1, 2); (v_int 2, 1) ] in
+  Alcotest.(check bool) "exact pattern multiset" true
+    (Nip.matches b (Nip.bag [ Nip.int 1; Nip.int 1; Nip.int 2 ]));
+  Alcotest.(check bool) "wrong multiplicity" false
+    (Nip.matches b (Nip.bag [ Nip.int 1; Nip.int 2; Nip.int 2 ]));
+  Alcotest.(check bool) "missing element without star" false
+    (Nip.matches b (Nip.bag [ Nip.int 1; Nip.int 2 ]));
+  Alcotest.(check bool) "star absorbs surplus" true
+    (Nip.matches b (Nip.bag ~star:true [ Nip.int 1; Nip.int 2 ]))
+
+let test_bag_demands_not_coverable () =
+  let b = Value.bag [ (v_int 1, 1) ] in
+  Alcotest.(check bool) "demand exceeds supply" false
+    (Nip.matches b (Nip.bag ~star:true [ Nip.int 1; Nip.int 1 ]))
+
+let test_bag_assignment_conflict () =
+  (* two pattern slots competing for the same single element *)
+  let b = Value.bag [ (v_int 1, 1); (v_int 2, 1) ] in
+  let p = Nip.bag [ Nip.pred Nrab.Expr.Ge (v_int 1); Nip.int 1 ] in
+  (* ≥1 must take the 2, the exact-1 takes the 1: feasible *)
+  Alcotest.(check bool) "assignment routes around conflicts" true (Nip.matches b p);
+  let p2 = Nip.bag [ Nip.int 1; Nip.int 1 ] in
+  Alcotest.(check bool) "cannot double-use an element" false (Nip.matches b p2)
+
+let test_empty_bag_patterns () =
+  Alcotest.(check bool) "{{}} matches empty" true
+    (Nip.matches Value.empty_bag (Nip.bag []));
+  Alcotest.(check bool) "{{}} rejects non-empty" false
+    (Nip.matches (Value.bag [ (v_int 1, 1) ]) (Nip.bag []));
+  Alcotest.(check bool) "{{*}} matches anything" true
+    (Nip.matches (Value.bag [ (v_int 1, 5) ]) (Nip.bag ~star:true []));
+  Alcotest.(check bool) "null as empty relation" true
+    (Nip.matches Value.Null (Nip.bag []))
+
+let test_check_well_formed () =
+  let ty =
+    Vtype.relation
+      [ ("city", Vtype.TString); ("nList", Vtype.relation [ ("name", Vtype.TString) ]) ]
+  in
+  let tuple_ty = Vtype.element ty in
+  let ok p = Alcotest.(check bool) (Nip.to_string p) true (Nip.check tuple_ty p = Ok ()) in
+  let bad p =
+    Alcotest.(check bool) (Nip.to_string p) true
+      (match Nip.check tuple_ty p with Error _ -> true | Ok () -> false)
+  in
+  ok (Nip.tup [ ("city", Nip.str "NY"); ("nList", Nip.some_element) ]);
+  ok (Nip.tup [ ("nList", Nip.bag ~star:true [ Nip.tup [ ("name", Nip.any) ] ]) ]);
+  bad (Nip.tup [ ("zip", Nip.any) ]);
+  bad (Nip.tup [ ("city", Nip.int 5) ]);
+  bad (Nip.tup [ ("city", Nip.pred Nrab.Expr.Gt (v_int 1)) ]);
+  bad (Nip.tup [ ("nList", Nip.tup [ ("name", Nip.any) ]) ]);
+  bad (Nip.bag [])
+
+let test_is_trivial () =
+  Alcotest.(check bool) "? is trivial" true (Nip.is_trivial Nip.any);
+  Alcotest.(check bool) "{{?, *}} is trivial" true
+    (Nip.is_trivial (Nip.bag ~star:true [ Nip.any ]));
+  Alcotest.(check bool) "constant is not" false (Nip.is_trivial (Nip.int 1));
+  Alcotest.(check bool) "constrained tuple is not" false
+    (Nip.is_trivial (Nip.tup [ ("a", Nip.int 1) ]))
+
+(* --- properties --- *)
+
+let value_gen = QCheck.Gen.(
+  sized @@ fix (fun self n ->
+    if n <= 0 then
+      oneof [ return Value.Null; map (fun i -> Value.Int i) (int_range 0 5) ]
+    else
+      frequency
+        [
+          (2, map (fun i -> Value.Int i) (int_range 0 5));
+          (1, map (fun vs -> Value.bag_of_list vs) (list_size (int_range 0 4) (self (n / 2))));
+        ]))
+
+let arb_value = QCheck.make ~print:Value.to_string value_gen
+
+let prop_value_matches_itself =
+  QCheck.Test.make ~name:"every primitive matches its own Prim pattern" ~count:200
+    arb_value (fun v ->
+      match v with
+      | Value.Bag _ -> true (* Prim on bags requires exact equality; tested below *)
+      | _ -> Nip.matches v (Nip.v v))
+
+let prop_bag_matches_exact_pattern =
+  QCheck.Test.make ~name:"a bag matches the pattern listing its elements" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 5) arb_value) (fun xs ->
+      let b = Value.bag_of_list xs in
+      let pattern = Nip.bag (List.map Nip.v (Value.expand b)) in
+      Nip.matches b pattern)
+
+let prop_star_weaker =
+  QCheck.Test.make ~name:"adding * never invalidates a match" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 5) arb_value) (fun xs ->
+      let b = Value.bag_of_list xs in
+      let elems = List.map Nip.v (Value.expand b) in
+      QCheck.assume (Nip.matches b (Nip.bag elems));
+      Nip.matches b (Nip.bag ~star:true elems))
+
+let () =
+  Alcotest.run "nip"
+    [
+      ( "paper-examples",
+        [
+          Alcotest.test_case "example 6" `Quick test_example6;
+          Alcotest.test_case "example 6 (exact)" `Quick test_example6_exact_multiplicity;
+          Alcotest.test_case "example 7" `Quick test_example7;
+          Alcotest.test_case "example 7 (negative)" `Quick test_example7_no_match;
+        ] );
+      ( "placeholders",
+        [
+          Alcotest.test_case "instance placeholder" `Quick test_any_matches_everything;
+          Alcotest.test_case "primitive equality" `Quick test_prim_equality;
+          Alcotest.test_case "predicate placeholders" `Quick test_pred_placeholder;
+          Alcotest.test_case "partial tuple patterns" `Quick test_tuple_partial_constraints;
+        ] );
+      ( "bag-assignment",
+        [
+          Alcotest.test_case "exact counts" `Quick test_bag_exact_counts;
+          Alcotest.test_case "insufficient supply" `Quick test_bag_demands_not_coverable;
+          Alcotest.test_case "assignment conflicts" `Quick test_bag_assignment_conflict;
+          Alcotest.test_case "empty bags" `Quick test_empty_bag_patterns;
+          Alcotest.test_case "well-formedness (Def. 3)" `Quick test_check_well_formed;
+          Alcotest.test_case "triviality" `Quick test_is_trivial;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_value_matches_itself; prop_bag_matches_exact_pattern; prop_star_weaker ] );
+    ]

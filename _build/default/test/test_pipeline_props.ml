@@ -1,0 +1,249 @@
+(* Randomized end-to-end properties of the explanation pipeline:
+
+   - on selection-only queries (where the bounded exact search is
+     complete), every heuristic explanation is a genuine successful
+     reparameterization;
+   - explanations never blame parameter-free operators;
+   - explanation op-sets are unique and the pipeline is deterministic;
+   - RP without alternatives equals RPnoSA. *)
+
+open Nested
+open Nrab
+module Int_set = Whynot.Msr.Int_set
+
+(* --- random instances: σ-chains over a small int table --- *)
+
+type inst = {
+  phi : Whynot.Question.t;
+  n_selects : int;
+}
+
+let build_instance (seed : int) : inst option =
+  let g = Datagen.Prng.create ~seed in
+  let rows =
+    List.init 8 (fun i ->
+        Value.Tuple
+          [
+            ("a", Value.Int (Datagen.Prng.int g 5));
+            ("b", Value.Int (Datagen.Prng.int g 5));
+            ("id", Value.Int i);
+          ])
+  in
+  let schema =
+    Vtype.relation [ ("a", Vtype.TInt); ("b", Vtype.TInt); ("id", Vtype.TInt) ]
+  in
+  let db = Relation.Db.of_list [ ("r", Relation.of_tuples ~schema rows) ] in
+  let qg = Query.Gen.create () in
+  let n_selects = 1 + Datagen.Prng.int g 2 in
+  let random_pred () =
+    let attr = Datagen.Prng.pick g [ "a"; "b" ] in
+    let cmp = Datagen.Prng.pick g [ Expr.Eq; Expr.Le; Expr.Ge; Expr.Lt; Expr.Gt ] in
+    Expr.Cmp (cmp, Expr.attr attr, Expr.int (Datagen.Prng.int g 5))
+  in
+  let query =
+    List.fold_left
+      (fun q _ -> Query.select qg (random_pred ()) q)
+      (Query.table qg "r")
+      (List.init n_selects Fun.id)
+  in
+  (* ask for a tuple of the table that the query filtered out *)
+  let result = Eval.eval db query in
+  let missing_rows =
+    List.filter
+      (fun t -> not (List.exists (Value.equal t) (Relation.tuples result)))
+      rows
+  in
+  match missing_rows with
+  | [] -> None
+  | t :: _ ->
+    let missing =
+      Whynot.Nip.tup
+        [ ("id", Whynot.Nip.v (Option.get (Value.field "id" t))) ]
+    in
+    let phi = Whynot.Question.make ~query ~db ~missing in
+    if Whynot.Question.is_proper phi then Some { phi; n_selects } else None
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 5000)
+
+let prop_sound_vs_exact =
+  QCheck.Test.make ~name:"heuristic explanations are exact SRs (σ-chains)"
+    ~count:60 arb_seed (fun seed ->
+      match build_instance seed with
+      | None -> true
+      | Some { phi; n_selects } ->
+        let result = Whynot.Pipeline.explain ~use_sas:false phi in
+        let srs =
+          Whynot.Exact.successful ~max_ops:n_selects ~depth:2 phi
+        in
+        let sr_sets = List.map (fun (s : Whynot.Exact.sr) -> s.Whynot.Exact.changed) srs in
+        List.for_all
+          (fun e ->
+            let ops = Whynot.Explanation.ops e in
+            (* depth-2 exact search covers conjunctions of ≤ 2 atoms *)
+            Int_set.cardinal ops > n_selects
+            || List.exists (fun s -> Int_set.equal s ops) sr_sets)
+          result.Whynot.Pipeline.explanations)
+
+let prop_never_blames_parameter_free =
+  QCheck.Test.make ~name:"explanations never contain parameter-free operators"
+    ~count:100 arb_seed (fun seed ->
+      match build_instance seed with
+      | None -> true
+      | Some { phi; _ } ->
+        let result = Whynot.Pipeline.explain ~use_sas:false phi in
+        let q = phi.Whynot.Question.query in
+        List.for_all
+          (fun e ->
+            List.for_all
+              (fun id ->
+                match Query.find_op q id with
+                | Some op -> (
+                  match op.Query.node with
+                  | Query.Table _ | Query.Dedup | Query.Union | Query.Diff
+                  | Query.Product ->
+                    false
+                  | _ -> true)
+                | None -> false)
+              (Whynot.Explanation.op_list e))
+          result.Whynot.Pipeline.explanations)
+
+let prop_unique_and_deterministic =
+  QCheck.Test.make ~name:"op-sets unique; pipeline deterministic" ~count:100
+    arb_seed (fun seed ->
+      match build_instance seed with
+      | None -> true
+      | Some { phi; _ } ->
+        let sets r = Whynot.Pipeline.explanation_sets r in
+        let r1 = Whynot.Pipeline.explain ~use_sas:false phi in
+        let r2 = Whynot.Pipeline.explain ~use_sas:false phi in
+        let s1 = sets r1 in
+        s1 = sets r2
+        && List.length (List.sort_uniq compare s1) = List.length s1)
+
+let prop_no_alternatives_equals_rpnosa =
+  QCheck.Test.make ~name:"RP with no alternatives = RPnoSA" ~count:100 arb_seed
+    (fun seed ->
+      match build_instance seed with
+      | None -> true
+      | Some { phi; _ } ->
+        Whynot.Pipeline.explanation_sets
+          (Whynot.Pipeline.explain ~alternatives:[] phi)
+        = Whynot.Pipeline.explanation_sets
+            (Whynot.Pipeline.explain ~use_sas:false phi))
+
+let prop_nonempty_for_selection_filtered =
+  QCheck.Test.make ~name:"a selection-filtered tuple always gets an explanation"
+    ~count:100 arb_seed (fun seed ->
+      match build_instance seed with
+      | None -> true
+      | Some { phi; _ } ->
+        (* the tuple exists in the input and only selections are between it
+           and the output, so relaxing them must surface it *)
+        Whynot.Pipeline.explanation_sets (Whynot.Pipeline.explain ~use_sas:false phi)
+        <> [])
+
+(* --- family 2: flatten + selections over nested data ---------------------
+
+   Explanations here contain only selections and flattens, whose "full
+   relaxation" (σ → true, inner flatten → outer flatten) is directly
+   expressible; applying it to exactly the explanation's operators must
+   surface the missing answer — the soundness of the relaxed tracing. *)
+
+let build_nested_instance (seed : int) : Whynot.Question.t option =
+  let g = Datagen.Prng.create ~seed in
+  let schema =
+    Vtype.relation
+      [
+        ("id", Vtype.TInt);
+        ("kids", Vtype.relation [ ("k", Vtype.TInt) ]);
+      ]
+  in
+  let rows =
+    List.init 8 (fun i ->
+        Value.Tuple
+          [
+            ("id", Value.Int i);
+            ( "kids",
+              Value.bag_of_list
+                (List.init (Datagen.Prng.int g 3) (fun _ ->
+                     Value.Tuple [ ("k", Value.Int (Datagen.Prng.int g 4)) ])) );
+          ])
+  in
+  let db = Relation.Db.of_list [ ("r", Relation.of_tuples ~schema rows) ] in
+  let qg = Query.Gen.create () in
+  let pred () =
+    Expr.Cmp
+      ( Datagen.Prng.pick g [ Expr.Le; Expr.Ge; Expr.Eq ],
+        Expr.attr "k",
+        Expr.int (Datagen.Prng.int g 4) )
+  in
+  let query =
+    Query.select qg (pred ())
+      (Query.flatten_inner qg "kids" (Query.table qg "r"))
+  in
+  let result = Eval.eval db query in
+  let surviving_ids =
+    List.filter_map (fun t -> Value.field "id" t) (Relation.tuples result)
+  in
+  let missing_ids =
+    List.filter (fun i -> not (List.mem (Value.Int i) surviving_ids)) (List.init 8 Fun.id)
+  in
+  match missing_ids with
+  | [] -> None
+  | i :: _ ->
+    let missing = Whynot.Nip.tup [ ("id", Whynot.Nip.int i) ] in
+    let phi = Whynot.Question.make ~query ~db ~missing in
+    if Whynot.Question.is_proper phi then Some phi else None
+
+let fully_relax (q : Query.t) (ops : Int_set.t) : Query.t =
+  List.fold_left
+    (fun q (op : Query.t) ->
+      if not (Int_set.mem op.Query.id ops) then q
+      else
+        match op.Query.node with
+        | Query.Select _ -> Query.replace_node q op.Query.id (Query.Select Expr.True)
+        | Query.Flatten (Query.Flat_inner, a) ->
+          Query.replace_node q op.Query.id (Query.Flatten (Query.Flat_outer, a))
+        | _ -> q)
+    q (Query.operators q)
+
+let prop_relaxation_soundness =
+  QCheck.Test.make
+    ~name:"fully relaxing an explanation's operators surfaces the answer"
+    ~count:80 arb_seed (fun seed ->
+      match build_nested_instance seed with
+      | None -> true
+      | Some phi ->
+        let result = Whynot.Pipeline.explain ~use_sas:false phi in
+        List.for_all
+          (fun e ->
+            let q' = fully_relax phi.Whynot.Question.query (Whynot.Explanation.ops e) in
+            Whynot.Question.is_successful phi q')
+          result.Whynot.Pipeline.explanations)
+
+let prop_nested_nonempty =
+  QCheck.Test.make
+    ~name:"flatten/selection-filtered tuples always get an explanation"
+    ~count:80 arb_seed (fun seed ->
+      match build_nested_instance seed with
+      | None -> true
+      | Some phi ->
+        Whynot.Pipeline.explanation_sets (Whynot.Pipeline.explain ~use_sas:false phi)
+        <> [])
+
+let () =
+  Alcotest.run "pipeline-properties"
+    [
+      ( "random-sigma-chains",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_sound_vs_exact;
+            prop_never_blames_parameter_free;
+            prop_unique_and_deterministic;
+            prop_no_alternatives_equals_rpnosa;
+            prop_nonempty_for_selection_filtered;
+          ] );
+      ( "random-flatten-chains",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_relaxation_soundness; prop_nested_nonempty ] );
+    ]

@@ -1,0 +1,87 @@
+(* Why-not question tests (Definition 5): properness, matching result
+   tuples, and success of candidate reparameterizations. *)
+
+open Nested
+open Nrab
+module Nip = Whynot.Nip
+
+let schema = Vtype.relation [ ("a", Vtype.TInt); ("b", Vtype.TString) ]
+
+let row a b = Value.Tuple [ ("a", Value.Int a); ("b", Value.String b) ]
+
+let db =
+  Relation.Db.of_list
+    [ ("r", Relation.of_tuples ~schema [ row 1 "x"; row 2 "y"; row 3 "y" ]) ]
+
+let query_ge n =
+  let g = Query.Gen.create () in
+  Query.select ~id:2 g
+    (Expr.Cmp (Expr.Ge, Expr.attr "a", Expr.int n))
+    (Query.table ~id:1 g "r")
+
+let test_proper () =
+  let phi =
+    Whynot.Question.make ~query:(query_ge 2) ~db
+      ~missing:(Nip.tup [ ("a", Nip.int 1) ])
+  in
+  Alcotest.(check bool) "a=1 is missing" true (Whynot.Question.is_proper phi);
+  let phi_bad =
+    Whynot.Question.make ~query:(query_ge 2) ~db
+      ~missing:(Nip.tup [ ("a", Nip.int 3) ])
+  in
+  Alcotest.(check bool) "a=3 is present" false (Whynot.Question.is_proper phi_bad)
+
+let test_placeholder_properness () =
+  (* a NIP with only placeholders matches any result tuple: improper as
+     long as the result is non-empty *)
+  let phi =
+    Whynot.Question.make ~query:(query_ge 2) ~db ~missing:(Nip.tup [ ("a", Nip.any) ])
+  in
+  Alcotest.(check bool) "wildcard over non-empty result" false
+    (Whynot.Question.is_proper phi)
+
+let test_original_result () =
+  let phi =
+    Whynot.Question.make ~query:(query_ge 2) ~db
+      ~missing:(Nip.tup [ ("a", Nip.int 1) ])
+  in
+  Alcotest.(check int) "two result rows" 2
+    (Relation.cardinal (Whynot.Question.original_result phi))
+
+let test_is_successful () =
+  let phi =
+    Whynot.Question.make ~query:(query_ge 2) ~db
+      ~missing:(Nip.tup [ ("a", Nip.int 1) ])
+  in
+  Alcotest.(check bool) "relaxed query succeeds" true
+    (Whynot.Question.is_successful phi (query_ge 0));
+  Alcotest.(check bool) "tightened query fails" false
+    (Whynot.Question.is_successful phi (query_ge 3));
+  Alcotest.(check int) "matching tuples" 1
+    (List.length (Whynot.Question.matching_tuples phi (query_ge 0)))
+
+let test_pred_nip_questions () =
+  (* predicate placeholders in questions (the TPC-H style) *)
+  let phi =
+    Whynot.Question.make ~query:(query_ge 2) ~db
+      ~missing:(Nip.tup [ ("a", Nip.pred Expr.Gt (Value.Int 10)) ])
+  in
+  Alcotest.(check bool) "a > 10 missing" true (Whynot.Question.is_proper phi);
+  let phi2 =
+    Whynot.Question.make ~query:(query_ge 2) ~db
+      ~missing:(Nip.tup [ ("a", Nip.pred Expr.Gt (Value.Int 2)) ])
+  in
+  Alcotest.(check bool) "a > 2 present" false (Whynot.Question.is_proper phi2)
+
+let () =
+  Alcotest.run "question"
+    [
+      ( "definition-5",
+        [
+          Alcotest.test_case "properness" `Quick test_proper;
+          Alcotest.test_case "placeholder properness" `Quick test_placeholder_properness;
+          Alcotest.test_case "original result" `Quick test_original_result;
+          Alcotest.test_case "successful reparameterizations" `Quick test_is_successful;
+          Alcotest.test_case "predicate NIPs" `Quick test_pred_nip_questions;
+        ] );
+    ]

@@ -1,0 +1,95 @@
+(* Repair-suggestion tests: suggestions implement exactly the
+   explanation's operators, genuinely produce the missing answer, and are
+   ranked by side effects. *)
+
+open Nested
+open Nrab
+module Nip = Whynot.Nip
+module Int_set = Whynot.Msr.Int_set
+
+let schema =
+  Vtype.relation
+    [ ("ename", Vtype.TString); ("dept", Vtype.TString); ("salary", Vtype.TInt) ]
+
+let emp name dept salary =
+  Value.Tuple
+    [ ("ename", Value.String name); ("dept", Value.String dept); ("salary", Value.Int salary) ]
+
+let db =
+  Relation.Db.of_list
+    [
+      ( "emp",
+        Relation.of_tuples ~schema
+          [ emp "ann" "sales" 100; emp "bob" "eng" 80; emp "cyd" "eng" 120 ] );
+    ]
+
+let phi =
+  let g = Query.Gen.create () in
+  let query =
+    Query.select ~id:2 g
+      (Expr.Cmp (Expr.Ge, Expr.attr "salary", Expr.int 100))
+      (Query.table ~id:1 g "emp")
+  in
+  Whynot.Question.make ~query ~db
+    ~missing:(Nip.tup [ ("ename", Nip.str "bob") ])
+
+let explanation = Whynot.Explanation.make ~lb:0 ~ub:1 (Int_set.singleton 2)
+
+let test_suggestions_succeed () =
+  let suggestions = Whynot.Repair.suggest phi explanation in
+  Alcotest.(check bool) "at least one repair" true (suggestions <> []);
+  List.iter
+    (fun (s : Whynot.Repair.suggestion) ->
+      Alcotest.(check bool) "repair produces the missing answer" true
+        (Whynot.Question.is_successful phi s.Whynot.Repair.repaired);
+      Alcotest.(check (list int)) "changes exactly the explanation's ops" [ 2 ]
+        (List.map fst s.Whynot.Repair.changes))
+    suggestions
+
+let test_suggestions_ranked () =
+  let suggestions = Whynot.Repair.suggest ~max_suggestions:10 phi explanation in
+  let effects = List.map (fun s -> s.Whynot.Repair.side_effects) suggestions in
+  Alcotest.(check (list int)) "ascending side effects" (List.sort compare effects)
+    effects
+
+let test_best_repair_is_minimal () =
+  (* inserting bob's whole tuple costs 7 edits; the tree edit distance can
+     do better by relabeling cyd into bob (2 edits), so the best repair
+     must cost at most the insertion *)
+  match Whynot.Repair.suggest phi explanation with
+  | best :: _ ->
+    Alcotest.(check bool) "no worse than inserting the tuple" true
+      (best.Whynot.Repair.side_effects <= 7);
+    let result = Eval.eval db best.Whynot.Repair.repaired in
+    Alcotest.(check bool) "bob appears" true
+      (List.exists
+         (fun t -> Value.field "ename" t = Some (Value.String "bob"))
+         (Relation.tuples result))
+  | [] -> Alcotest.fail "no suggestion"
+
+let test_max_suggestions () =
+  Alcotest.(check bool) "cap respected" true
+    (List.length (Whynot.Repair.suggest ~max_suggestions:1 phi explanation) <= 1)
+
+let test_empty_for_unfixable () =
+  (* explanation pointing at the wrong operator yields no successful
+     repair: asking for a name that does not exist at all *)
+  let phi_bad =
+    Whynot.Question.make ~query:phi.Whynot.Question.query ~db
+      ~missing:(Nip.tup [ ("ename", Nip.str "nobody") ])
+  in
+  Alcotest.(check int) "nothing to suggest" 0
+    (List.length (Whynot.Repair.suggest phi_bad explanation))
+
+let () =
+  Alcotest.run "repair"
+    [
+      ( "suggestions",
+        [
+          Alcotest.test_case "succeed" `Quick test_suggestions_succeed;
+          Alcotest.test_case "ranked" `Quick test_suggestions_ranked;
+          Alcotest.test_case "minimal side effects" `Quick test_best_repair_is_minimal;
+          Alcotest.test_case "cap" `Quick test_max_suggestions;
+          Alcotest.test_case "unfixable" `Quick test_empty_for_unfixable;
+        ] );
+    ]

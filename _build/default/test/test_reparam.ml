@@ -1,0 +1,134 @@
+(* Reparameterization tests (Table 2 / Definitions 6–7): admissibility of
+   parameter changes, structure preservation, Δ computation, and the
+   candidate enumeration used by the exact search. *)
+
+open Nested
+open Nrab
+module Rp = Whynot.Reparam
+
+let sel c = Query.Select (Expr.Cmp (Expr.Ge, Expr.attr "a", Expr.int c))
+
+let test_admissible_same_family () =
+  Alcotest.(check bool) "selection condition change" true
+    (Rp.admissible_change (sel 1) (sel 2));
+  Alcotest.(check bool) "join kind change" true
+    (Rp.admissible_change
+       (Query.Join (Query.Inner, Expr.True))
+       (Query.Join (Query.Left, Expr.True)));
+  Alcotest.(check bool) "flatten kind change" true
+    (Rp.admissible_change
+       (Query.Flatten (Query.Flat_inner, "a"))
+       (Query.Flatten (Query.Flat_outer, "a")));
+  Alcotest.(check bool) "flatten attribute change" true
+    (Rp.admissible_change
+       (Query.Flatten (Query.Flat_inner, "a"))
+       (Query.Flatten (Query.Flat_inner, "b")))
+
+let test_admissible_rejects_structure_change () =
+  Alcotest.(check bool) "selection to projection is not a reparameterization"
+    false
+    (Rp.admissible_change (sel 1) (Query.Project [ ("a", Expr.attr "a") ]));
+  Alcotest.(check bool) "projection must keep its output names" false
+    (Rp.admissible_change
+       (Query.Project [ ("x", Expr.attr "a") ])
+       (Query.Project [ ("y", Expr.attr "a") ]));
+  Alcotest.(check bool) "projection width must not change" false
+    (Rp.admissible_change
+       (Query.Project [ ("x", Expr.attr "a") ])
+       (Query.Project [ ("x", Expr.attr "a"); ("y", Expr.attr "b") ]));
+  Alcotest.(check bool) "parameter-free operators cannot change" false
+    (Rp.admissible_change Query.Dedup Query.Dedup)
+
+let test_apply_preserves_structure () =
+  let g = Query.Gen.create () in
+  let env = [ ("r", Vtype.relation [ ("a", Vtype.TInt) ]) ] in
+  let q = Query.select ~id:2 g (Expr.Cmp (Expr.Ge, Expr.attr "a", Expr.int 5)) (Query.table ~id:1 g "r") in
+  let q' = Rp.apply q [ (2, sel 1) ] in
+  Alcotest.(check int) "same operator count" (Query.op_count q) (Query.op_count q');
+  Alcotest.(check bool) "same ids" true
+    (List.map (fun (op : Query.t) -> op.Query.id) (Query.operators q)
+    = List.map (fun (op : Query.t) -> op.Query.id) (Query.operators q'));
+  Alcotest.(check bool) "still well-typed" true (Typecheck.well_typed env q')
+
+let test_delta () =
+  let g = Query.Gen.create () in
+  let q =
+    Query.select ~id:3 g (sel 5 |> function Query.Select p -> p | _ -> Expr.True)
+      (Query.select ~id:2 g
+         (Expr.Cmp (Expr.Eq, Expr.attr "a", Expr.int 0))
+         (Query.table ~id:1 g "r"))
+  in
+  let q' = Rp.apply q [ (3, sel 1) ] in
+  Alcotest.(check (list int)) "delta is {3}" [ 3 ]
+    (Rp.Int_set.elements (Rp.delta q q'));
+  Alcotest.(check (list int)) "delta of identity is empty" []
+    (Rp.Int_set.elements (Rp.delta q q))
+
+let test_is_valid () =
+  let g = Query.Gen.create () in
+  let q = Query.select ~id:2 g Expr.True (Query.table ~id:1 g "r") in
+  Alcotest.(check bool) "valid change" true (Rp.is_valid q [ (2, sel 1) ]);
+  Alcotest.(check bool) "unknown operator" false (Rp.is_valid q [ (9, sel 1) ]);
+  Alcotest.(check bool) "table access is frozen" false
+    (Rp.is_valid q [ (1, Query.Table "other") ])
+
+(* --- candidate enumeration --- *)
+
+let attr_pool a =
+  match a with "a" | "b" -> [ "a"; "b" ] | other -> [ other ]
+
+let const_pool _ v =
+  match v with Value.Int _ -> [ Value.Int 0; Value.Int 9 ] | _ -> []
+
+let test_pred_variants () =
+  let p = Expr.Cmp (Expr.Ge, Expr.attr "a", Expr.int 5) in
+  let vs = Rp.pred_variants ~attr_pool ~const_pool p in
+  (* 5 comparison switches + 1 attribute swap + 2 constant changes *)
+  Alcotest.(check int) "variant count" 8 (List.length vs);
+  Alcotest.(check bool) "includes the attribute swap" true
+    (List.mem (Expr.Cmp (Expr.Ge, Expr.attr "b", Expr.int 5)) vs);
+  Alcotest.(check bool) "includes a constant change" true
+    (List.mem (Expr.Cmp (Expr.Ge, Expr.attr "a", Expr.int 0)) vs);
+  Alcotest.(check bool) "never returns the original" false (List.mem p vs)
+
+let test_node_variants_join () =
+  let j = Query.Join (Query.Inner, Expr.Cmp (Expr.Eq, Expr.attr "a", Expr.attr "c")) in
+  let vs = Rp.node_variants ~attr_pool ~const_pool j in
+  let kinds =
+    List.filter (function Query.Join (k, _) -> k <> Query.Inner | _ -> false) vs
+  in
+  Alcotest.(check int) "three kind changes" 3 (List.length kinds)
+
+let test_node_variants_agg () =
+  let a = Query.Agg_tuple (Agg.Sum, "a", "out") in
+  let vs = Rp.node_variants ~attr_pool ~const_pool a in
+  (* 5 other functions + 1 attribute swap *)
+  Alcotest.(check int) "aggregation variants" 6 (List.length vs)
+
+let test_node_variants_rename_frozen () =
+  Alcotest.(check int) "renaming enumerates nothing (permutations only)" 0
+    (List.length (Rp.node_variants ~attr_pool ~const_pool (Query.Rename [ ("b", "a") ])))
+
+let () =
+  Alcotest.run "reparam"
+    [
+      ( "admissibility",
+        [
+          Alcotest.test_case "same family" `Quick test_admissible_same_family;
+          Alcotest.test_case "structure preserved" `Quick
+            test_admissible_rejects_structure_change;
+        ] );
+      ( "application",
+        [
+          Alcotest.test_case "apply" `Quick test_apply_preserves_structure;
+          Alcotest.test_case "delta" `Quick test_delta;
+          Alcotest.test_case "validity" `Quick test_is_valid;
+        ] );
+      ( "enumeration",
+        [
+          Alcotest.test_case "predicate variants" `Quick test_pred_variants;
+          Alcotest.test_case "join variants" `Quick test_node_variants_join;
+          Alcotest.test_case "aggregation variants" `Quick test_node_variants_agg;
+          Alcotest.test_case "rename frozen" `Quick test_node_variants_rename_frozen;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+(* End-to-end checks on the paper's running example (Figures 1–7):
+   person table, query N^R(π(σ(F^I(person)))), why-not question "why is NY
+   (with some person) missing?".  Expected explanations (Examples 9/10/19):
+   {σ} and {F, σ}. *)
+
+open Nested
+open Nrab
+
+let address_schema =
+  Vtype.TBag (Vtype.TTuple [ ("city", Vtype.TString); ("year", Vtype.TInt) ])
+
+let person_schema =
+  Vtype.relation
+    [
+      ("name", Vtype.TString);
+      ("address1", address_schema);
+      ("address2", address_schema);
+    ]
+
+let addr city year =
+  Value.Tuple [ ("city", Value.String city); ("year", Value.Int year) ]
+
+let person name a1 a2 =
+  Value.Tuple
+    [
+      ("name", Value.String name);
+      ("address1", Value.bag_of_list a1);
+      ("address2", Value.bag_of_list a2);
+    ]
+
+let peter =
+  person "Peter"
+    [ addr "NY" 2010; addr "LA" 2019; addr "LV" 2017 ]
+    [ addr "LA" 2010; addr "SF" 2018 ]
+
+let sue =
+  person "Sue" [ addr "LA" 2019; addr "NY" 2018 ] [ addr "LA" 2019; addr "NY" 2018 ]
+
+let db =
+  Relation.Db.of_list
+    [ ("person", Relation.of_tuples ~schema:person_schema [ peter; sue ]) ]
+
+(* Query ids: 1 = table, 2 = flatten, 3 = select, 4 = project, 5 = nest *)
+let query =
+  let g = Query.Gen.create () in
+  let year_ge_2019 = Expr.Cmp (Expr.Ge, Expr.attr "year", Expr.int 2019) in
+  Query.nest_rel g [ "name" ] ~into:"nList"
+    (Query.project_attrs g [ "name"; "city" ]
+       (Query.select g year_ge_2019
+          (Query.flatten_inner g "address2" (Query.table g "person"))))
+
+let ids =
+  let ops = Query.operators query in
+  List.map (fun (op : Query.t) -> (Query.op_symbol op.Query.node, op.Query.id)) ops
+
+let id_of symbol = List.assoc symbol ids
+
+let missing =
+  Whynot.Nip.tup [ ("city", Whynot.Nip.str "NY"); ("nList", Whynot.Nip.some_element) ]
+
+let phi = Whynot.Question.make ~query ~db ~missing
+
+let alternatives : Whynot.Alternatives.alternatives =
+  [ ("person", [ [ "address2" ]; [ "address1" ] ]) ]
+
+let test_original_result () =
+  let result = Eval.eval db query in
+  Alcotest.(check int) "one result tuple" 1 (Relation.cardinal result);
+  let t = List.hd (Relation.tuples result) in
+  Alcotest.(check string)
+    "the LA tuple" "⟨city: \"LA\", nList: {{⟨name: \"Sue\"⟩}}⟩"
+    (Value.to_string t)
+
+let test_question_proper () =
+  Alcotest.(check bool) "NY is really missing" true (Whynot.Question.is_proper phi)
+
+let test_schema_alternatives () =
+  let env = [ ("person", person_schema) ] in
+  let sas = Whynot.Alternatives.enumerate ~env query alternatives in
+  (* Figure 3: exactly two SAs survive pruning *)
+  Alcotest.(check int) "two SAs" 2 (List.length sas);
+  let s2 = List.nth sas 1 in
+  Alcotest.(check int)
+    "S2 changes exactly the flatten operator" 1
+    (Whynot.Msr.Int_set.cardinal s2.Whynot.Alternatives.changed_ops)
+
+let explanation_sets result =
+  List.map
+    (fun e -> Whynot.Explanation.op_list e)
+    result.Whynot.Pipeline.explanations
+
+let test_explanations_with_sas () =
+  let result = Whynot.Pipeline.explain ~alternatives phi in
+  let sets = explanation_sets result in
+  let sigma = id_of "σ" and flat = id_of "Fᴵ" in
+  Alcotest.(check (list (list int)))
+    "explanations are {σ} then {F, σ}"
+    [ [ sigma ]; List.sort compare [ flat; sigma ] ]
+    sets
+
+let test_explanations_without_sas () =
+  let result = Whynot.Pipeline.explain ~use_sas:false phi in
+  let sets = explanation_sets result in
+  let sigma = id_of "σ" in
+  Alcotest.(check (list (list int))) "RPnoSA finds only {σ}" [ [ sigma ] ] sets
+
+let () =
+  Alcotest.run "running-example"
+    [
+      ( "figure-1",
+        [
+          Alcotest.test_case "original result" `Quick test_original_result;
+          Alcotest.test_case "question is proper" `Quick test_question_proper;
+          Alcotest.test_case "schema alternatives" `Quick test_schema_alternatives;
+          Alcotest.test_case "explanations (RP)" `Quick test_explanations_with_sas;
+          Alcotest.test_case "explanations (RPnoSA)" `Quick
+            test_explanations_without_sas;
+        ] );
+    ]

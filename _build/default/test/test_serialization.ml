@@ -1,0 +1,301 @@
+(* Serialization tests: JSON codec for values/schemas/relations/databases,
+   the s-expression reader, and the query/predicate/NIP surface syntax —
+   including round-trip properties. *)
+
+open Nested
+open Nrab
+
+(* --- JSON --- *)
+
+let test_json_parse_basics () =
+  let open Json in
+  Alcotest.(check bool) "null" true (of_string "null" = J_null);
+  Alcotest.(check bool) "bool" true (of_string "true" = J_bool true);
+  Alcotest.(check bool) "int" true (of_string "42" = J_int 42);
+  Alcotest.(check bool) "negative" true (of_string "-7" = J_int (-7));
+  Alcotest.(check bool) "float" true (of_string "1.5" = J_float 1.5);
+  Alcotest.(check bool) "string" true (of_string "\"hi\"" = J_string "hi");
+  Alcotest.(check bool) "escape" true (of_string "\"a\\nb\"" = J_string "a\nb");
+  Alcotest.(check bool) "unicode escape" true
+    (of_string "\"\\u0041\"" = J_string "A");
+  Alcotest.(check bool) "array" true
+    (of_string "[1, 2]" = J_array [ J_int 1; J_int 2 ]);
+  Alcotest.(check bool) "object" true
+    (of_string "{\"a\": 1}" = J_object [ ("a", J_int 1) ]);
+  Alcotest.(check bool) "nested" true
+    (of_string "{\"xs\": [{\"y\": null}]}"
+    = J_object [ ("xs", J_array [ J_object [ ("y", J_null) ] ]) ])
+
+let test_json_parse_errors () =
+  let fails s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  List.iter fails [ ""; "{"; "[1,"; "nul"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
+
+let person_schema =
+  Vtype.relation
+    [
+      ("name", Vtype.TString);
+      ("addresses", Vtype.relation [ ("city", Vtype.TString); ("year", Vtype.TInt) ]);
+    ]
+
+let sample_relation =
+  Relation.of_tuples ~schema:person_schema
+    [
+      Value.Tuple
+        [
+          ("name", Value.String "Sue");
+          ( "addresses",
+            Value.bag_of_list
+              [
+                Value.Tuple [ ("city", Value.String "LA"); ("year", Value.Int 2019) ];
+                Value.Tuple [ ("city", Value.String "NY"); ("year", Value.Int 2018) ];
+              ] );
+        ];
+      Value.Tuple [ ("name", Value.String "Ann"); ("addresses", Value.Null) ];
+    ]
+
+let test_relation_roundtrip () =
+  let json = Json.relation_to_json sample_relation in
+  let back = Json.relation_of_json (Json.of_string (Json.to_string json)) in
+  Alcotest.(check string) "schema" (Vtype.to_string person_schema)
+    (Vtype.to_string (Relation.schema back));
+  Alcotest.(check string) "data"
+    (Value.to_string (Relation.data sample_relation))
+    (Value.to_string (Relation.data back))
+
+let test_db_roundtrip () =
+  let db = Relation.Db.of_list [ ("people", sample_relation) ] in
+  let back = Json.db_of_string (Json.db_to_string db) in
+  Alcotest.(check string) "table data"
+    (Value.to_string (Relation.data (Relation.Db.find_exn "people" db)))
+    (Value.to_string (Relation.data (Relation.Db.find_exn "people" back)))
+
+let test_schema_directed_decode () =
+  (* ints decode as floats under a float schema; missing object fields
+     become null *)
+  let ty = Vtype.TTuple [ ("x", Vtype.TFloat); ("y", Vtype.TInt) ] in
+  let v = Json.value_of_json ty (Json.of_string "{\"x\": 3}") in
+  Alcotest.(check bool) "coercion + padding" true
+    (Value.equal v (Value.Tuple [ ("x", Value.Float 3.0); ("y", Value.Null) ]))
+
+let test_multiplicities_structural () =
+  let ty = Vtype.TBag Vtype.TInt in
+  let v = Json.value_of_json ty (Json.of_string "[1, 1, 2]") in
+  Alcotest.(check int) "multiplicity 2" 2 (Value.multiplicity v (Value.Int 1));
+  Alcotest.(check string) "re-encoding expands" "[1, 1, 2]"
+    (Json.to_string (Json.value_to_json v))
+
+(* --- s-expressions --- *)
+
+let test_sexp_basics () =
+  let open Sexp in
+  Alcotest.(check bool) "atom" true (of_string "abc" = Atom "abc");
+  Alcotest.(check bool) "quoted" true (of_string "\"a b\"" = Atom "a b");
+  Alcotest.(check bool) "list" true
+    (of_string "(a (b c))" = List [ Atom "a"; List [ Atom "b"; Atom "c" ] ]);
+  Alcotest.(check bool) "comments" true
+    (of_string "(a ; comment\n b)" = List [ Atom "a"; Atom "b" ]);
+  Alcotest.(check bool) "roundtrip" true
+    (let s = List [ Atom "x"; Atom "has space"; List [] ] in
+     of_string (to_string s) = s)
+
+(* --- query syntax --- *)
+
+let running_example_text =
+  "(nest (name) nList (project (name city) (select (>= year 2019) \
+   (flatten-inner address2 (table person)))))"
+
+let test_parse_running_example () =
+  let q = Parser.query_of_string running_example_text in
+  Alcotest.(check int) "five operators" 5 (Query.op_count q);
+  Alcotest.(check (list string)) "tables" [ "person" ] (Query.input_tables q)
+
+let sample_queries =
+  [
+    running_example_text;
+    "(table r)";
+    "(select (and (= a 1) (not (contains b UEFA))) (table r))";
+    "(project (a (b2 (* b 2.5)) (s (str hello))) (table r))";
+    "(rename ((fresh old)) (table r))";
+    "(join left (= a c) (table r) (dedup (table s)))";
+    "(union (table r) (diff (table r) (table r)))";
+    "(flatten-outer kids (flatten-tuple meta (table r)))";
+    "(nest-tuple (a b) ab (table r))";
+    "(agg count kids cnt (table r))";
+    "(groupby (g) ((sum a total) (count * n)) (table r))";
+    "(select (or (is-null a) (not-null b)) (product (table r) (table s)))";
+  ]
+
+let test_query_roundtrips () =
+  List.iter
+    (fun text ->
+      let q = Parser.query_of_string text in
+      let printed = Parser.query_to_string q in
+      let q2 = Parser.query_of_string printed in
+      (* structural equality up to ids *)
+      let strip q = Query.to_string q in
+      Alcotest.(check string) (Fmt.str "roundtrip %s" text) (strip q) (strip q2))
+    sample_queries
+
+let test_parsed_query_evaluates () =
+  let db =
+    Relation.Db.of_list
+      [
+        ( "person",
+          Relation.of_tuples
+            ~schema:
+              (Vtype.relation
+                 [
+                   ("name", Vtype.TString);
+                   ("address2", Vtype.relation [ ("city", Vtype.TString); ("year", Vtype.TInt) ]);
+                 ])
+            [
+              Value.Tuple
+                [
+                  ("name", Value.String "Sue");
+                  ( "address2",
+                    Value.bag_of_list
+                      [ Value.Tuple [ ("city", Value.String "LA"); ("year", Value.Int 2019) ] ]
+                  );
+                ];
+            ] );
+      ]
+  in
+  let q =
+    Parser.query_of_string
+      "(nest (name) nList (project (name city) (select (>= year 2019) \
+       (flatten-inner address2 (table person)))))"
+  in
+  let result = Eval.eval db q in
+  Alcotest.(check int) "evaluates" 1 (Relation.cardinal result)
+
+let test_parse_errors () =
+  let fails s =
+    match Parser.query_of_string s with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  List.iter fails
+    [ "(tables r)"; "(select (table r))"; "(join sideways true (table r) (table s))";
+      "(groupby g bad (table r))" ]
+
+(* --- NIP syntax --- *)
+
+let test_nip_parse () =
+  let p =
+    Whynot.Nip_syntax.of_string "(tuple (city (str NY)) (nList (bag ? *)))"
+  in
+  Alcotest.(check bool) "running example pattern" true
+    (p
+    = Whynot.Nip.tup
+        [ ("city", Whynot.Nip.str "NY"); ("nList", Whynot.Nip.some_element) ])
+
+let test_nip_predicates () =
+  let p = Whynot.Nip_syntax.of_string "(tuple (revenue (> 0)) (n (>= 1.5)))" in
+  match p with
+  | Whynot.Nip.Tup [ ("revenue", Whynot.Nip.Pred (Expr.Gt, Value.Int 0));
+                     ("n", Whynot.Nip.Pred (Expr.Ge, Value.Float 1.5)) ] ->
+    ()
+  | _ -> Alcotest.failf "unexpected pattern %s" (Whynot.Nip.to_string p)
+
+let test_nip_roundtrips () =
+  List.iter
+    (fun text ->
+      let p = Whynot.Nip_syntax.of_string text in
+      let p2 = Whynot.Nip_syntax.of_string (Whynot.Nip_syntax.to_string p) in
+      Alcotest.(check string) (Fmt.str "roundtrip %s" text)
+        (Whynot.Nip.to_string p) (Whynot.Nip.to_string p2))
+    [
+      "?"; "42"; {|(str "hello world")|}; "(null)"; "(>= 10)";
+      "(tuple (a ?) (b (bag 1 2 *)))"; "(bag (tuple (x 1)))";
+    ]
+
+(* --- properties --- *)
+
+let value_gen = QCheck.Gen.(
+  sized @@ fix (fun self n ->
+    if n <= 0 then
+      oneof
+        [
+          return Value.Null;
+          map (fun i -> Value.Int i) small_signed_int;
+          map (fun b -> Value.Bool b) bool;
+          map (fun f -> Value.Float (Float.of_int f)) small_signed_int;
+          map (fun s -> Value.String s) (string_size ~gen:printable (return 4));
+        ]
+    else
+      frequency
+        [
+          (2, map (fun i -> Value.Int i) small_signed_int);
+          ( 1,
+            map
+              (fun vs -> Value.Tuple (List.mapi (fun i v -> (Fmt.str "f%d" i, v)) vs))
+              (list_size (int_range 1 3) (self (n / 2))) );
+          (1, map Value.bag_of_list (list_size (int_range 0 3) (self (n / 2))));
+        ]))
+
+let arb_value = QCheck.make ~print:Value.to_string value_gen
+
+let prop_json_value_roundtrip =
+  QCheck.Test.make ~name:"JSON value round-trip (schema-directed)" ~count:200
+    arb_value (fun v ->
+      match Vtype.infer v with
+      | None -> true (* untyped values have no canonical schema *)
+      | Some ty ->
+        let j = Json.value_to_json v in
+        let v' = Json.value_of_json ty (Json.of_string (Json.to_string j)) in
+        Value.equal v v')
+
+let type_gen = QCheck.Gen.(
+  sized @@ fix (fun self n ->
+    if n <= 0 then oneofl [ Vtype.TBool; Vtype.TInt; Vtype.TFloat; Vtype.TString ]
+    else
+      frequency
+        [
+          (2, oneofl [ Vtype.TInt; Vtype.TString ]);
+          ( 1,
+            map
+              (fun ts -> Vtype.TTuple (List.mapi (fun i t -> (Fmt.str "f%d" i, t)) ts))
+              (list_size (int_range 1 3) (self (n / 2))) );
+          (1, map (fun t -> Vtype.TBag t) (self (n / 2)));
+        ]))
+
+let prop_json_type_roundtrip =
+  QCheck.Test.make ~name:"JSON schema round-trip" ~count:200
+    (QCheck.make ~print:Vtype.to_string type_gen) (fun ty ->
+      Vtype.equal ty (Json.type_of_json (Json.of_string (Json.to_string (Json.type_to_json ty)))))
+
+let () =
+  Alcotest.run "serialization"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "relation roundtrip" `Quick test_relation_roundtrip;
+          Alcotest.test_case "db roundtrip" `Quick test_db_roundtrip;
+          Alcotest.test_case "schema-directed decode" `Quick test_schema_directed_decode;
+          Alcotest.test_case "structural multiplicities" `Quick
+            test_multiplicities_structural;
+        ] );
+      ("sexp", [ Alcotest.test_case "basics" `Quick test_sexp_basics ]);
+      ( "query-syntax",
+        [
+          Alcotest.test_case "running example" `Quick test_parse_running_example;
+          Alcotest.test_case "roundtrips" `Quick test_query_roundtrips;
+          Alcotest.test_case "parsed query evaluates" `Quick test_parsed_query_evaluates;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        ] );
+      ( "nip-syntax",
+        [
+          Alcotest.test_case "running example pattern" `Quick test_nip_parse;
+          Alcotest.test_case "predicates" `Quick test_nip_predicates;
+          Alcotest.test_case "roundtrips" `Quick test_nip_roundtrips;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_json_value_roundtrip; prop_json_type_roundtrip ] );
+    ]

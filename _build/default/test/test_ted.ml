@@ -1,0 +1,120 @@
+(* Tree edit distance tests: known small cases, metric properties on random
+   nested values, and the Figure 2 comparison from the paper (the SR that
+   changes only the selection has larger side effects than the one that
+   also swaps the flattened attribute). *)
+
+open Nested
+module Ted = Whynot.Ted
+
+let v_int i = Value.Int i
+let v_str s = Value.String s
+let tup = Value.tuple
+
+let test_identity () =
+  let v = tup [ ("a", v_int 1); ("b", Value.bag_of_list [ v_int 2; v_int 3 ]) ] in
+  Alcotest.(check int) "d(v, v) = 0" 0 (Ted.distance v v)
+
+let test_leaf_relabel () =
+  Alcotest.(check int) "relabel one leaf" 1 (Ted.distance (v_int 1) (v_int 2))
+
+let test_insert_delete () =
+  let a = Value.bag_of_list [ v_int 1 ] in
+  let b = Value.bag_of_list [ v_int 1; v_int 2 ] in
+  Alcotest.(check int) "insert a leaf" 1 (Ted.distance a b);
+  Alcotest.(check int) "delete a leaf" 1 (Ted.distance b a)
+
+let test_bag_permutation_is_free () =
+  (* canonical ordering makes element order irrelevant *)
+  let a = Value.bag [ (v_int 1, 1); (v_int 2, 1) ] in
+  let b = Value.bag [ (v_int 2, 1); (v_int 1, 1) ] in
+  Alcotest.(check int) "permutation distance 0" 0 (Ted.distance a b)
+
+let test_nested_change () =
+  let person name cities =
+    tup
+      [
+        ("name", v_str name);
+        ("cities", Value.bag_of_list (List.map (fun c -> tup [ ("city", v_str c) ]) cities));
+      ]
+  in
+  let a = Value.bag_of_list [ person "Sue" [ "LA" ] ] in
+  let b = Value.bag_of_list [ person "Sue" [ "LA"; "NY" ] ] in
+  (* adding ⟨city: NY⟩ = insert tuple node + field node + leaf *)
+  Alcotest.(check int) "insert nested tuple" 3 (Ted.distance a b)
+
+(* Figure 2: T2 adds a whole result tuple, T3 only adds a nested name; the
+   paper argues d(T1, T2) > d(T1, T3). *)
+let result city_names =
+  Value.bag_of_list
+    (List.map
+       (fun (city, names) ->
+         tup
+           [
+             ("city", v_str city);
+             ( "nList",
+               Value.bag_of_list (List.map (fun n -> tup [ ("name", v_str n) ]) names) );
+           ])
+       city_names)
+
+let test_figure2 () =
+  let t1 = result [ ("LA", [ "Sue" ]) ] in
+  let t2 = result [ ("LA", [ "Sue" ]); ("NY", [ "Sue" ]); ("SF", [ "Peter" ]) ] in
+  let t3 = result [ ("LA", [ "Sue"; "Peter" ]); ("NY", [ "Sue" ]) ] in
+  let d12 = Ted.distance t1 t2 and d13 = Ted.distance t1 t3 in
+  Alcotest.(check bool)
+    (Fmt.str "d(T1,T2)=%d > d(T1,T3)=%d" d12 d13)
+    true (d12 > d13)
+
+(* --- metric properties --- *)
+
+let value_gen = QCheck.Gen.(
+  sized @@ fix (fun self n ->
+    if n <= 0 then map (fun i -> Value.Int i) (int_range 0 3)
+    else
+      frequency
+        [
+          (2, map (fun i -> Value.Int i) (int_range 0 3));
+          (1, map (fun vs -> Value.bag_of_list vs) (list_size (int_range 0 3) (self (n / 2))));
+          ( 1,
+            map
+              (fun vs -> Value.Tuple (List.mapi (fun i v -> (Fmt.str "f%d" i, v)) vs))
+              (list_size (int_range 1 2) (self (n / 2))) );
+        ]))
+
+let arb = QCheck.make ~print:Value.to_string value_gen
+
+let prop_symmetry =
+  QCheck.Test.make ~name:"symmetry" ~count:100 (QCheck.pair arb arb)
+    (fun (a, b) -> Ted.distance a b = Ted.distance b a)
+
+let prop_identity =
+  QCheck.Test.make ~name:"identity of indiscernibles" ~count:100 arb (fun v ->
+      Ted.distance v v = 0)
+
+let prop_triangle =
+  QCheck.Test.make ~name:"triangle inequality" ~count:60
+    (QCheck.triple arb arb arb) (fun (a, b, c) ->
+      Ted.distance a c <= Ted.distance a b + Ted.distance b c)
+
+let prop_positive =
+  QCheck.Test.make ~name:"non-negative, zero iff equal" ~count:100
+    (QCheck.pair arb arb) (fun (a, b) ->
+      let d = Ted.distance a b in
+      d >= 0 && (d = 0) = Value.equal a b)
+
+let () =
+  Alcotest.run "ted"
+    [
+      ( "cases",
+        [
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "leaf relabel" `Quick test_leaf_relabel;
+          Alcotest.test_case "insert/delete" `Quick test_insert_delete;
+          Alcotest.test_case "bag permutation" `Quick test_bag_permutation_is_free;
+          Alcotest.test_case "nested change" `Quick test_nested_change;
+          Alcotest.test_case "figure 2" `Quick test_figure2;
+        ] );
+      ( "metric",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_symmetry; prop_identity; prop_triangle; prop_positive ] );
+    ]

@@ -1,0 +1,287 @@
+(* Data-tracing tests (Section 5.3): the annotations of Figures 4–6 on the
+   paper's running example, per-operator relaxation semantics, and the
+   re-validation ablation. *)
+
+open Nested
+open Nrab
+module Nip = Whynot.Nip
+
+let person_schema =
+  Vtype.relation
+    [
+      ("name", Vtype.TString);
+      ("address1", Vtype.relation [ ("city", Vtype.TString); ("year", Vtype.TInt) ]);
+      ("address2", Vtype.relation [ ("city", Vtype.TString); ("year", Vtype.TInt) ]);
+    ]
+
+let addr c y = Value.Tuple [ ("city", Value.String c); ("year", Value.Int y) ]
+
+let person name a1 a2 =
+  Value.Tuple
+    [
+      ("name", Value.String name);
+      ("address1", Value.bag_of_list a1);
+      ("address2", Value.bag_of_list a2);
+    ]
+
+let db =
+  Relation.Db.of_list
+    [
+      ( "person",
+        Relation.of_tuples ~schema:person_schema
+          [
+            person "Peter"
+              [ addr "NY" 2010; addr "LA" 2019; addr "LV" 2017 ]
+              [ addr "LA" 2010; addr "SF" 2018 ];
+            person "Sue" [ addr "LA" 2019; addr "NY" 2018 ] [ addr "LA" 2019; addr "NY" 2018 ];
+          ] );
+    ]
+
+let env = [ ("person", person_schema) ]
+
+let query =
+  let g = Query.Gen.create () in
+  Query.nest_rel ~id:5 g [ "name" ] ~into:"nList"
+    (Query.project_attrs ~id:4 g [ "name"; "city" ]
+       (Query.select ~id:3 g
+          (Expr.Cmp (Expr.Ge, Expr.attr "year", Expr.int 2019))
+          (Query.flatten_inner ~id:2 g "address2" (Query.table ~id:1 g "person"))))
+
+let missing = Nip.tup [ ("city", Nip.str "NY"); ("nList", Nip.some_element) ]
+
+let sa0 =
+  {
+    Whynot.Alternatives.index = 0;
+    query;
+    changed_ops = Whynot.Msr.Int_set.empty;
+    description = "original";
+  }
+
+let trace ?revalidate () =
+  let bt = Whynot.Backtrace.run ~env query missing in
+  Whynot.Tracing.run ?revalidate ~env db sa0 bt
+
+let rows_of tr id =
+  match Whynot.Tracing.op_trace tr id with
+  | Some ot -> ot.Whynot.Tracing.rows
+  | None -> Alcotest.failf "no trace for op %d" id
+
+let field_str name (r : Whynot.Tracing.trow) =
+  match Value.field name r.Whynot.Tracing.data with
+  | Some v -> Value.to_string v
+  | None -> "<none>"
+
+(* Figure 4: after table access, Sue is consistent under S1, Peter not. *)
+let test_table_annotations () =
+  let tr = trace () in
+  let rows = rows_of tr 1 in
+  Alcotest.(check int) "two input tuples" 2 (List.length rows);
+  let consistent_names =
+    List.filter_map
+      (fun (r : Whynot.Tracing.trow) ->
+        if r.Whynot.Tracing.consistent then Value.field "name" r.Whynot.Tracing.data
+        else None)
+      rows
+  in
+  Alcotest.(check bool) "only Sue is compatible" true
+    (consistent_names = [ Value.String "Sue" ])
+
+(* Figure 5: the flatten yields 4 rows under S1 (2 addresses each), all
+   retained; re-validation leaves only the NY row consistent. *)
+let test_flatten_annotations () =
+  let tr = trace () in
+  let rows = rows_of tr 2 in
+  Alcotest.(check int) "four flattened rows" 4 (List.length rows);
+  List.iter
+    (fun (r : Whynot.Tracing.trow) ->
+      Alcotest.(check bool) "flatten retains element rows" true
+        r.Whynot.Tracing.retained)
+    rows;
+  let consistent = List.filter (fun (r : Whynot.Tracing.trow) -> r.Whynot.Tracing.consistent) rows in
+  Alcotest.(check int) "re-validation: only Sue/NY row" 1 (List.length consistent);
+  Alcotest.(check string) "it is the NY row" "\"NY\""
+    (field_str "city" (List.hd consistent))
+
+(* Figure 6: the selection keeps everything in the relaxed stream; only
+   year ≥ 2019 rows are retained. *)
+let test_selection_annotations () =
+  let tr = trace () in
+  let rows = rows_of tr 3 in
+  Alcotest.(check int) "selection passes all rows through" 4 (List.length rows);
+  let retained = List.filter (fun (r : Whynot.Tracing.trow) -> r.Whynot.Tracing.retained) rows in
+  (* only Sue's LA-2019 element is in address2 with year ≥ 2019 *)
+  Alcotest.(check int) "one row satisfies θ" 1 (List.length retained);
+  let inconsistent_retained =
+    List.filter (fun (r : Whynot.Tracing.trow) -> r.Whynot.Tracing.consistent) retained
+  in
+  Alcotest.(check int) "the retained rows are not the NY row" 0
+    (List.length inconsistent_retained)
+
+(* The empty-address padding of the outer-flatten relaxation. *)
+let test_flatten_padding () =
+  let db =
+    Relation.Db.of_list
+      [
+        ( "person",
+          Relation.of_tuples ~schema:person_schema
+            [ person "Solo" [ addr "NY" 2019 ] [] ] );
+      ]
+  in
+  let bt = Whynot.Backtrace.run ~env query missing in
+  let tr = Whynot.Tracing.run ~env db sa0 bt in
+  let rows = rows_of tr 2 in
+  Alcotest.(check int) "one padded row" 1 (List.length rows);
+  let r = List.hd rows in
+  Alcotest.(check bool) "padding is not retained by the inner flatten" false
+    r.Whynot.Tracing.retained;
+  Alcotest.(check bool) "padding does not survive" false r.Whynot.Tracing.surviving;
+  Alcotest.(check string) "padded city is null" "⊥" (field_str "city" r)
+
+(* Surviving rows of the root reproduce the original result. *)
+let test_surviving_is_original () =
+  let tr = trace () in
+  let surviving =
+    List.filter
+      (fun (r : Whynot.Tracing.trow) -> r.Whynot.Tracing.surviving)
+      (Whynot.Tracing.root_rows tr)
+  in
+  let original = Eval.eval db query in
+  Alcotest.(check int) "same cardinality" (Relation.cardinal original)
+    (List.length surviving);
+  List.iter
+    (fun (r : Whynot.Tracing.trow) ->
+      Alcotest.(check bool) "surviving root row is an original tuple" true
+        (List.exists (Value.equal r.Whynot.Tracing.data) (Relation.tuples original)))
+    surviving
+
+(* Lineage: parents always point to rows of the child operator. *)
+let test_lineage_well_formed () =
+  let tr = trace () in
+  List.iter
+    (fun (ot : Whynot.Tracing.op_trace) ->
+      List.iter
+        (fun (r : Whynot.Tracing.trow) ->
+          List.iter
+            (fun pid ->
+              Alcotest.(check bool) "parent exists" true
+                (Whynot.Tracing.find_row tr pid <> None))
+            r.Whynot.Tracing.parents)
+        ot.Whynot.Tracing.rows)
+    tr.Whynot.Tracing.ops
+
+(* Ablation: without re-validation, all of Sue's flattened rows count as
+   consistent (they descend from the compatible tuple) — the false
+   positives of prior lineage-based approaches. *)
+let test_ablation_no_revalidation () =
+  let tr = trace ~revalidate:false () in
+  let rows = rows_of tr 2 in
+  let consistent = List.filter (fun (r : Whynot.Tracing.trow) -> r.Whynot.Tracing.consistent) rows in
+  Alcotest.(check int) "both Sue rows flagged without re-validation" 2
+    (List.length consistent)
+
+(* Union and difference end to end: a tuple reachable through either
+   union branch yields the branch's failure set; difference tracks
+   removal. *)
+let test_union_branches () =
+  let schema = Vtype.relation [ ("a", Vtype.TInt) ] in
+  let db2 =
+    Relation.Db.of_list
+      [
+        ("u", Relation.of_tuples ~schema [ Value.Tuple [ ("a", Value.Int 1) ] ]);
+        ("v", Relation.of_tuples ~schema [ Value.Tuple [ ("a", Value.Int 1) ] ]);
+      ]
+  in
+  let g = Query.Gen.create () in
+  let q =
+    Query.union ~id:5 g
+      (Query.select ~id:3 g
+         (Expr.Cmp (Expr.Ge, Expr.attr "a", Expr.int 2))
+         (Query.table ~id:1 g "u"))
+      (Query.select ~id:4 g
+         (Expr.Cmp (Expr.Ge, Expr.attr "a", Expr.int 3))
+         (Query.table ~id:2 g "v"))
+  in
+  let phi =
+    Whynot.Question.make ~query:q ~db:db2
+      ~missing:(Nip.tup [ ("a", Nip.int 1) ])
+  in
+  let result = Whynot.Pipeline.explain ~use_sas:false phi in
+  let sets =
+    List.sort compare (Whynot.Pipeline.explanation_sets result)
+  in
+  Alcotest.(check (list (list int))) "either branch's selection fixes it"
+    [ [ 3 ]; [ 4 ] ] sets
+
+let test_difference_blames_nothing_spurious () =
+  let schema = Vtype.relation [ ("a", Vtype.TInt) ] in
+  let db2 =
+    Relation.Db.of_list
+      [
+        ( "u",
+          Relation.of_tuples ~schema
+            [ Value.Tuple [ ("a", Value.Int 1) ]; Value.Tuple [ ("a", Value.Int 2) ] ]
+        );
+        ("v", Relation.of_tuples ~schema [ Value.Tuple [ ("a", Value.Int 1) ] ]);
+      ]
+  in
+  let g = Query.Gen.create () in
+  (* σ_{a≥2}(u − v): why is a=1 missing?  Fixing the selection alone is
+     not enough (the difference removes it), and the difference is not
+     reparameterizable — the heuristic must not return the σ alone as a
+     complete fix.  Under the relaxation the difference marks the removed
+     occurrence as not retained, so no consistent derivation exists and
+     the pipeline stays silent rather than answering incorrectly. *)
+  let q =
+    Query.select ~id:4 g
+      (Expr.Cmp (Expr.Ge, Expr.attr "a", Expr.int 2))
+      (Query.diff ~id:3 g (Query.table ~id:1 g "u") (Query.table ~id:2 g "v"))
+  in
+  let phi =
+    Whynot.Question.make ~query:q ~db:db2
+      ~missing:(Nip.tup [ ("a", Nip.int 1) ])
+  in
+  let result = Whynot.Pipeline.explain ~use_sas:false phi in
+  List.iter
+    (fun set ->
+      Alcotest.(check bool) "difference never blamed" false (List.mem 3 set))
+    (Whynot.Pipeline.explanation_sets result)
+
+(* Aggregate ranges: interval satisfiability used for optimistic
+   consistency. *)
+let test_interval_satisfies () =
+  let open Whynot.Tracing in
+  Alcotest.(check bool) "Gt inside" true
+    (interval_satisfies Expr.Gt (Value.Int 3) (0., 5.));
+  Alcotest.(check bool) "Gt outside" false
+    (interval_satisfies Expr.Gt (Value.Int 7) (0., 5.));
+  Alcotest.(check bool) "Eq inside" true
+    (interval_satisfies Expr.Eq (Value.Int 0) (0., 5.));
+  Alcotest.(check bool) "Lt at bound" false
+    (interval_satisfies Expr.Lt (Value.Int 0) (0., 5.));
+  Alcotest.(check bool) "Le at bound" true
+    (interval_satisfies Expr.Le (Value.Int 0) (0., 5.))
+
+let () =
+  Alcotest.run "tracing"
+    [
+      ( "running-example-annotations",
+        [
+          Alcotest.test_case "table access (Fig. 4)" `Quick test_table_annotations;
+          Alcotest.test_case "flatten (Fig. 5)" `Quick test_flatten_annotations;
+          Alcotest.test_case "selection (Fig. 6)" `Quick test_selection_annotations;
+          Alcotest.test_case "outer-flatten padding" `Quick test_flatten_padding;
+          Alcotest.test_case "surviving = original" `Quick test_surviving_is_original;
+          Alcotest.test_case "lineage well-formed" `Quick test_lineage_well_formed;
+        ] );
+      ( "set-operations",
+        [
+          Alcotest.test_case "union branches" `Quick test_union_branches;
+          Alcotest.test_case "difference" `Quick test_difference_blames_nothing_spurious;
+        ] );
+      ( "ablation",
+        [
+          Alcotest.test_case "no re-validation" `Quick test_ablation_no_revalidation;
+        ] );
+      ( "intervals",
+        [ Alcotest.test_case "satisfiability" `Quick test_interval_satisfies ] );
+    ]
