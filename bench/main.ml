@@ -16,13 +16,22 @@
    bounded overhead factors over the original query, per-SA cost growth,
    and the explanation counts/contents. *)
 
-let now_ns () = Monotonic_clock.now ()
+(* Wall-clock timing goes through Obs spans (monotone-clamped clock).
+   [time_span] is the drop-in for the old [time_ms]; phase-level numbers
+   come straight off the pipeline result's span tree. *)
+let time_span name (f : Obs.Span.t -> 'a) : 'a * float =
+  let sp = Obs.Span.start name in
+  let x = Fun.protect ~finally:(fun () -> Obs.Span.finish sp) (fun () -> f sp) in
+  (x, Obs.Span.duration_ms sp)
 
-let time_ms (f : unit -> 'a) : 'a * float =
-  let t0 = now_ns () in
-  let x = f () in
-  let t1 = now_ns () in
-  (x, Int64.to_float (Int64.sub t1 t0) /. 1e6)
+let phase_header =
+  String.concat "," (List.map (fun p -> p ^ "_ms") Whynot.Pipeline.phases)
+
+let phase_cols (r : Whynot.Pipeline.result) =
+  String.concat ","
+    (List.map
+       (fun (_, ms) -> Fmt.str "%.3f" ms)
+       (Whynot.Pipeline.phase_durations_ms r))
 
 (* Optional CSV sink: each measurement row is also appended to
    results/<target>.csv when -csv is passed, for external plotting. *)
@@ -30,13 +39,21 @@ let csv_enabled = ref false
 
 let csv_channel : (string, out_channel) Hashtbl.t = Hashtbl.create 8
 
+let ensure_results_dir =
+  let made = ref false in
+  fun () ->
+    if not !made then begin
+      (if not (Sys.file_exists "results") then Unix.mkdir "results" 0o755);
+      made := true
+    end
+
 let csv target header row =
   if !csv_enabled then begin
     let oc =
       match Hashtbl.find_opt csv_channel target with
       | Some oc -> oc
       | None ->
-        (try Unix.mkdir "results" 0o755 with _ -> ());
+        ensure_results_dir ();
         let oc = open_out (Filename.concat "results" (target ^ ".csv")) in
         output_string oc (header ^ "\n");
         Hashtbl.replace csv_channel target oc;
@@ -45,7 +62,18 @@ let csv target header row =
     output_string oc (row ^ "\n")
   end
 
-let close_csv () = Hashtbl.iter (fun _ oc -> close_out oc) csv_channel
+let close_csv () =
+  Hashtbl.iter
+    (fun _ oc ->
+      flush oc;
+      close_out oc)
+    csv_channel;
+  Hashtbl.reset csv_channel
+
+(* Flush even when a benchmark raises or the process is cut short;
+   [close_csv] is idempotent (the table is reset), so the explicit call
+   at the end of [main] and this handler cannot double-close. *)
+let () = at_exit close_csv
 
 let scenario name = Option.get (Scenarios.Registry.find name)
 
@@ -59,9 +87,9 @@ let run_rp inst =
 let run_rpnosa inst =
   Whynot.Pipeline.explain ~use_sas:false inst.Scenarios.Scenario.question
 
-let run_query inst =
+let run_query ?parent inst =
   let phi = inst.Scenarios.Scenario.question in
-  Engine.Exec.run phi.Whynot.Question.db phi.Whynot.Question.query
+  Engine.Exec.run ?parent phi.Whynot.Question.db phi.Whynot.Question.query
 
 let db_rows (inst : Scenarios.Scenario.instance) =
   let phi = inst.Scenarios.Scenario.question in
@@ -82,13 +110,16 @@ let fig_scaling ~title ~csv_target ~scenarios ~scales () =
       List.iter
         (fun scale ->
           let inst = instance ~scale s in
-          let _, q_ms = time_ms (fun () -> run_query inst) in
-          let _, rp_ms = time_ms (fun () -> run_rp inst) in
+          let _, q_ms = time_span "bench.query" (fun sp -> run_query ~parent:sp inst) in
+          let rp = run_rp inst in
+          let rp_ms = Obs.Span.duration_ms rp.Whynot.Pipeline.span in
           Fmt.pr "%-6s %-6d %-8d %-10.2f %-10.2f %-8.1f@." name scale
             (db_rows inst) q_ms rp_ms
             (rp_ms /. Float.max q_ms 0.001);
-          csv csv_target "scenario,scale,rows,query_ms,rp_ms"
-            (Fmt.str "%s,%d,%d,%.3f,%.3f" name scale (db_rows inst) q_ms rp_ms))
+          csv csv_target
+            ("scenario,scale,rows,query_ms,rp_ms," ^ phase_header)
+            (Fmt.str "%s,%d,%d,%.3f,%.3f,%s" name scale (db_rows inst) q_ms
+               rp_ms (phase_cols rp)))
         scales)
     scenarios
 
@@ -111,15 +142,18 @@ let fig10 ?(scale = 2) () =
   List.iter
     (fun name ->
       let inst = instance ~scale (scenario name) in
-      let _, q_ms = time_ms (fun () -> run_query inst) in
-      let _, nosa_ms = time_ms (fun () -> run_rpnosa inst) in
-      let _, rp_ms = time_ms (fun () -> run_rp inst) in
+      let _, q_ms = time_span "bench.query" (fun sp -> run_query ~parent:sp inst) in
+      let rpnosa = run_rpnosa inst in
+      let nosa_ms = Obs.Span.duration_ms rpnosa.Whynot.Pipeline.span in
+      let rp = run_rp inst in
+      let rp_ms = Obs.Span.duration_ms rp.Whynot.Pipeline.span in
       Fmt.pr "%-6s %-10.2f %-11.2f %-9.2f %-10.1f %-8.1f@." name q_ms nosa_ms
         rp_ms
         (nosa_ms /. Float.max q_ms 0.001)
         (rp_ms /. Float.max q_ms 0.001);
-      csv "fig10" "scenario,query_ms,rpnosa_ms,rp_ms"
-        (Fmt.str "%s,%.3f,%.3f,%.3f" name q_ms nosa_ms rp_ms))
+      csv "fig10"
+        ("scenario,query_ms,rpnosa_ms,rp_ms," ^ phase_header)
+        (Fmt.str "%s,%.3f,%.3f,%.3f,%s" name q_ms nosa_ms rp_ms (phase_cols rp)))
     [ "Q1"; "Q3"; "Q4"; "Q6"; "Q10"; "Q13" ]
 
 (* --- Figure 11: runtime vs number of schema alternatives ----------------- *)
@@ -154,17 +188,18 @@ let fig11 ?(scale = 2) () =
       let alternatives = widened_alternatives name inst in
       List.iter
         (fun max_sas ->
-          let result, ms =
-            time_ms (fun () ->
-                Whynot.Pipeline.explain ~max_sas ~alternatives
-                  inst.Scenarios.Scenario.question)
+          let result =
+            Whynot.Pipeline.explain ~max_sas ~alternatives
+              inst.Scenarios.Scenario.question
           in
+          let ms = Obs.Span.duration_ms result.Whynot.Pipeline.span in
           Fmt.pr "%-6s %-6d %-8d %-10.2f@." name max_sas
             (List.length result.Whynot.Pipeline.sas)
             ms;
-          csv "fig11" "scenario,max_sas,used_sas,rp_ms"
-            (Fmt.str "%s,%d,%d,%.3f" name max_sas
-               (List.length result.Whynot.Pipeline.sas) ms))
+          csv "fig11"
+            ("scenario,max_sas,used_sas,rp_ms," ^ phase_header)
+            (Fmt.str "%s,%d,%d,%.3f,%s" name max_sas
+               (List.length result.Whynot.Pipeline.sas) ms (phase_cols result)))
         (if name = "Q3" then [ 1; 2; 4; 8; 12 ] else [ 1; 2; 3; 4 ]))
     [ "TASD"; "D1"; "T3"; "D4"; "Q3" ]
 

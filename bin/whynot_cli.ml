@@ -1,7 +1,24 @@
 (* Command-line driver: run a scenario (or all of them) and print the
-   why-not explanations of RP, RPnoSA, WN++, and Conseil. *)
+   why-not explanations of RP, RPnoSA, WN++, and Conseil.
 
-let run_scenario ~scale ~verbose (s : Scenarios.Scenario.t) =
+   Observability: [--metrics] prints the four-phase breakdown
+   (backtrace / alternatives / tracing / msr) after each scenario plus
+   the metrics registry at the end; [--trace FILE] additionally records
+   one span tree per scenario (engine operators included) and writes a
+   Chrome trace_event JSON file for chrome://tracing / Perfetto. *)
+
+let pp_phase_breakdown ppf (rp : Whynot.Pipeline.result) =
+  let total = Obs.Span.duration_ms rp.Whynot.Pipeline.span in
+  let phases = Whynot.Pipeline.phase_durations_ms rp in
+  let sum = List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0 phases in
+  let pct ms = 100. *. ms /. Float.max total 1e-9 in
+  Fmt.pf ppf "@[<v>phase breakdown (RP): total %.3f ms@," total;
+  List.iter
+    (fun (p, ms) -> Fmt.pf ppf "  %-14s %10.3f ms  %5.1f%%@," p ms (pct ms))
+    phases;
+  Fmt.pf ppf "  %-14s %10.3f ms  %5.1f%% of total@]" "sum" sum (pct sum)
+
+let run_scenario ~scale ~verbose ~metrics ~root (s : Scenarios.Scenario.t) =
   let inst = s.Scenarios.Scenario.make ~scale in
   let phi = inst.Scenarios.Scenario.question in
   let q = phi.Whynot.Question.query in
@@ -12,10 +29,24 @@ let run_scenario ~scale ~verbose (s : Scenarios.Scenario.t) =
   Fmt.pr "why-not: %a@." Whynot.Nip.pp phi.Whynot.Question.missing;
   if not (Whynot.Question.is_proper phi) then
     Fmt.pr "WARNING: question is not proper (the answer is present)@.";
-  let rp = Whynot.Pipeline.explain ~alternatives:inst.Scenarios.Scenario.alternatives phi in
-  let rpnosa = Whynot.Pipeline.explain ~use_sas:false phi in
-  let wnpp = Baselines.Wnpp.explanations phi in
-  let conseil = Baselines.Conseil.explanations phi in
+  (* Under --trace/--metrics, also execute the original query on the
+     mini-DISC engine: its per-operator spans carry the
+     input/output/shuffled cardinalities one reads off a Spark UI. *)
+  (if metrics || Option.is_some root then begin
+     let _, stats = Engine.Exec.run ?parent:root phi.Whynot.Question.db q in
+     if metrics then Fmt.pr "engine stats (original query):@.%a@." Engine.Stats.pp stats
+   end);
+  let rp =
+    Whynot.Pipeline.explain ?parent:root
+      ~alternatives:inst.Scenarios.Scenario.alternatives phi
+  in
+  let rpnosa = Whynot.Pipeline.explain ?parent:root ~use_sas:false phi in
+  let wnpp = Baselines.Wnpp.explanations ?parent:root phi in
+  let conseil = Baselines.Conseil.explanations ?parent:root phi in
+  if metrics then begin
+    Fmt.pr "%a@." pp_phase_breakdown rp;
+    if verbose then Fmt.pr "span tree (RP):@.%a@." Obs.Span.pp_tree rp.Whynot.Pipeline.span
+  end;
   if verbose then begin
     Fmt.pr "schema alternatives:@.";
     List.iter
@@ -89,6 +120,7 @@ let run_explain args =
   let db_file = ref "" and query_file = ref "" and whynot_file = ref "" in
   let alts = ref [] in
   let use_sas = ref true and revalidate = ref true in
+  let metrics = ref false and trace_file = ref "" in
   let spec =
     [
       ("-db", Arg.Set_string db_file, "JSON database file");
@@ -99,6 +131,12 @@ let run_explain args =
         "attribute alternatives, table:a.b=c.d" );
       ("-no-sas", Arg.Clear use_sas, "disable schema alternatives");
       ("-no-revalidate", Arg.Clear revalidate, "disable re-validation (ablation)");
+      ("-metrics", Arg.Set metrics, "print the per-phase timing breakdown");
+      ("--metrics", Arg.Set metrics, " same as -metrics");
+      ( "-trace",
+        Arg.Set_string trace_file,
+        "FILE  write a Chrome trace_event JSON file" );
+      ("--trace", Arg.Set_string trace_file, "FILE  same as -trace");
     ]
   in
   Arg.parse_argv ~current:(ref 0)
@@ -123,29 +161,79 @@ let run_explain args =
     Whynot.Pipeline.explain ~use_sas:!use_sas ~revalidate:!revalidate
       ~alternatives:(List.rev !alts) phi
   in
-  Fmt.pr "%a@." Whynot.Pipeline.pp_result result
+  Fmt.pr "%a@." Whynot.Pipeline.pp_result result;
+  if !metrics then Fmt.pr "%a@." pp_phase_breakdown result;
+  if !trace_file <> "" then begin
+    Obs.Trace_event.write_file !trace_file [ result.Whynot.Pipeline.span ];
+    Fmt.pr "trace written to %s@." !trace_file
+  end
 
 let run_scenarios args =
   let scale = ref 1 in
   let verbose = ref false in
+  let metrics = ref false in
+  let trace_file = ref "" in
   let names = ref [] in
   let spec =
     [
       ("-scale", Arg.Set_int scale, "data scale factor (default 1)");
       ("-v", Arg.Set verbose, "verbose (print schema alternatives)");
+      ( "-metrics",
+        Arg.Set metrics,
+        "print the per-phase timing breakdown after each scenario and the \
+         metrics registry at the end" );
+      ("--metrics", Arg.Set metrics, " same as -metrics");
+      ( "-trace",
+        Arg.Set_string trace_file,
+        "FILE  write a Chrome trace_event JSON file (open in \
+         chrome://tracing or https://ui.perfetto.dev)" );
+      ("--trace", Arg.Set_string trace_file, "FILE  same as -trace");
     ]
   in
   Arg.parse_argv ~current:(ref 0)
     (Array.of_list (Sys.argv.(0) :: args))
     spec
     (fun n -> names := n :: !names)
-    "whynot_cli [scenario...]";
+    "whynot_cli [scenario...] [--metrics] [--trace out.json]";
   let scenarios =
     match !names with
     | [] -> Scenarios.Registry.all
-    | names -> List.filter_map Scenarios.Registry.find (List.rev names)
+    | names ->
+      List.filter_map
+        (fun n ->
+          match Scenarios.Registry.find n with
+          | Some s -> Some s
+          | None ->
+            Fmt.epr "unknown scenario %S (try `whynot_cli list`)@." n;
+            None)
+        (List.rev names)
   in
-  List.iter (run_scenario ~scale:!scale ~verbose:!verbose) scenarios
+  let tracing = !trace_file <> "" in
+  let roots = ref [] in
+  List.iter
+    (fun (s : Scenarios.Scenario.t) ->
+      let root =
+        if tracing || !metrics then begin
+          let sp =
+            Obs.Span.start (Fmt.str "scenario:%s" s.Scenarios.Scenario.name)
+          in
+          roots := sp :: !roots;
+          Some sp
+        end
+        else None
+      in
+      run_scenario ~scale:!scale ~verbose:!verbose ~metrics:!metrics ~root s;
+      Option.iter Obs.Span.finish root)
+    scenarios;
+  if !metrics then
+    Fmt.pr "@.== metrics registry ==@.%a@." Obs.Metrics.pp Obs.Metrics.default;
+  if tracing then
+    match Obs.Trace_event.write_file !trace_file (List.rev !roots) with
+    | () ->
+      Fmt.pr "@.trace written to %s (load in chrome://tracing or \
+              https://ui.perfetto.dev)@."
+        !trace_file
+    | exception Sys_error msg -> Fmt.epr "@.cannot write trace: %s@." msg
 
 let list_scenarios () =
   Fmt.pr "%-6s %-12s %-18s %s@." "name" "family" "operators" "description";

@@ -9,8 +9,13 @@
 
 module Int_set = Set.Make (Int)
 
-let explanations (phi : Whynot.Question.t) : Explanation_set.t list =
-  let info = Lineage.original_trace phi in
+let explanations ?parent (phi : Whynot.Question.t) : Explanation_set.t list =
+  Obs.Span.with_ ?parent "conseil.explain" @@ fun root ->
+  let info =
+    Obs.Span.with_ ~parent:root "tracing" (fun _ ->
+        Lineage.original_trace phi)
+  in
+  Obs.Span.with_ ~parent:root "failure-sets" @@ fun _ ->
   let q = info.Lineage.query in
   (* follow successors also through rows that only a repair admits *)
   let successor = Lineage.successor_rids ~surviving_only:false info in

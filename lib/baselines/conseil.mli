@@ -7,4 +7,6 @@
     in scenario C3 it blames a join whose only "fix" is a cross
     product. *)
 
-val explanations : Whynot.Question.t -> Explanation_set.t list
+(** With [?parent], a [conseil.explain] span (children
+    [tracing]/[failure-sets]) is recorded under it. *)
+val explanations : ?parent:Obs.Span.t -> Whynot.Question.t -> Explanation_set.t list

@@ -12,8 +12,15 @@
    the paper's evaluation exhibits (incomplete explanations in T1/T4/Q3, a
    misleading join in Q10, no explanation at all in D2/D3/T_ASD/Q4). *)
 
-let explanations (phi : Whynot.Question.t) : Explanation_set.t list =
-  let info = Lineage.original_trace phi in
+let explanations ?parent (phi : Whynot.Question.t) : Explanation_set.t list =
+  (* Same span shape as the pipeline's per-SA children, so overhead
+     comparisons between RP and the baselines read off one trace. *)
+  Obs.Span.with_ ?parent "wnpp.explain" @@ fun root ->
+  let info =
+    Obs.Span.with_ ~parent:root "tracing" (fun _ ->
+        Lineage.original_trace phi)
+  in
+  Obs.Span.with_ ~parent:root "picky" @@ fun _ ->
   let successor = Lineage.successor_rids ~surviving_only:true info in
   match Lineage.picky_ops ~surviving_only:true info successor with
   | first :: _ -> [ Explanation_set.singleton info.Lineage.query first ]

@@ -10,4 +10,7 @@
     T1/T4/Q3, a misleading join in Q10, nothing at all in
     D2/D3/T_ASD/Q4). *)
 
-val explanations : Whynot.Question.t -> Explanation_set.t list
+(** With [?parent], a [wnpp.explain] span (children [tracing]/[picky])
+    is recorded under it — the same shape as the pipeline's per-SA
+    spans, for apples-to-apples overhead comparisons. *)
+val explanations : ?parent:Obs.Span.t -> Whynot.Question.t -> Explanation_set.t list

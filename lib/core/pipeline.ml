@@ -15,49 +15,108 @@ type result = {
   question : Question.t;
   sas : Alternatives.sa list;
   explanations : Explanation.t list;
+  span : Obs.Span.t;
 }
 
 let schema_env (db : Relation.Db.t) : Typecheck.env =
   List.map (fun (n, r) -> (n, Relation.schema r)) (Relation.Db.tables db)
 
+let phases = [ "backtrace"; "alternatives"; "tracing"; "msr" ]
+
+let phase_durations_ms_of_span span =
+  List.map (fun p -> (p, Obs.Span.sum_duration_ms_named p span)) phases
+
 let explain ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
-    ?(alternatives : Alternatives.alternatives = []) (phi : Question.t) :
-    result =
-  let env = schema_env phi.Question.db in
+    ?(alternatives : Alternatives.alternatives = []) ?parent
+    (phi : Question.t) : result =
+  let root = Obs.Span.start ?parent "pipeline.explain" in
+  (* Phase spans are tiled wall-to-wall: each starts at the previous
+     one's end, so span bookkeeping (and GC pauses hitting it) is
+     charged to a phase rather than falling into gaps — the four phase
+     totals account for ≈ all of the root span. *)
+  let cursor = ref (Obs.Span.start_ns root) in
+  let phase parent name f =
+    let sp = Obs.Span.start ~parent ~at:!cursor name in
+    Fun.protect
+      ~finally:(fun () ->
+        cursor := Obs.Clock.now_ns ();
+        Obs.Span.finish ~at:!cursor sp)
+      (fun () -> f sp)
+  in
   let q = phi.Question.query in
   (* step 2 (schema alternatives); step 1 (backtracing) runs per SA since
      the NIPs depend on the substituted attributes *)
-  let sas =
-    if use_sas then Alternatives.enumerate ~max_sas ~env q alternatives
-    else
-      [
-        {
-          Alternatives.index = 0;
-          query = q;
-          changed_ops = Msr.Int_set.empty;
-          description = "original";
-        };
-      ]
+  let env, sas =
+    phase root "alternatives" (fun sp ->
+        let env = schema_env phi.Question.db in
+        let sas =
+          if use_sas then Alternatives.enumerate ~max_sas ~env q alternatives
+          else
+            [
+              {
+                Alternatives.index = 0;
+                query = q;
+                changed_ops = Msr.Int_set.empty;
+                description = "original";
+              };
+            ]
+        in
+        Obs.Span.set_int sp "sas" (List.length sas);
+        (env, sas))
   in
-  let original_result =
-    Relation.tuples (Question.original_result phi)
+  (* ⟦Q⟧_D, the basis of the side-effect bounds, is charged to the MSR
+     phase. *)
+  let bi =
+    phase root "msr" (fun sp ->
+        let original_result = Relation.tuples (Question.original_result phi) in
+        Obs.Span.set_int sp "original_result_rows"
+          (List.length original_result);
+        { Msr.original_result })
   in
-  let bi = { Msr.original_result } in
   let explanations =
     List.concat_map
       (fun (sa : Alternatives.sa) ->
-        let bt =
-          Backtrace.run ~env sa.Alternatives.query phi.Question.missing
-        in
-        (* steps 3 and 4 *)
-        let trace = Tracing.run ~revalidate ~env phi.Question.db sa bt in
-        Msr.from_trace ~bi ~q trace)
+        phase root
+          (Fmt.str "sa:S%d" (sa.Alternatives.index + 1))
+          (fun sasp ->
+            let bt =
+              phase sasp "backtrace" (fun _ ->
+                  Backtrace.run ~env sa.Alternatives.query phi.Question.missing)
+            in
+            (* steps 3 and 4 *)
+            let trace =
+              phase sasp "tracing" (fun _ ->
+                  Tracing.run ~revalidate ~env phi.Question.db sa bt)
+            in
+            phase sasp "msr" (fun msp ->
+                let es = Msr.from_trace ~bi ~q trace in
+                Obs.Span.set_int msp "candidates" (List.length es);
+                es)))
       sas
   in
   let explanations =
-    Explanation.rank (Explanation.prune_dominated explanations)
+    phase root "msr" (fun _ ->
+        Explanation.rank (Explanation.prune_dominated explanations))
   in
-  { question = phi; sas; explanations }
+  Obs.Span.set_int root "sas" (List.length sas);
+  Obs.Span.set_int root "explanations" (List.length explanations);
+  Obs.Span.finish root;
+  List.iter
+    (fun (p, ms) ->
+      Obs.Metrics.Histogram.observe
+        (Obs.Metrics.histogram ("pipeline.phase." ^ p ^ "_ms"))
+        ms)
+    (phase_durations_ms_of_span root);
+  Obs.Metrics.Counter.incr (Obs.Metrics.counter "pipeline.explains");
+  Obs.Metrics.Counter.incr ~by:(List.length sas)
+    (Obs.Metrics.counter "pipeline.sas");
+  Obs.Metrics.Counter.incr
+    ~by:(List.length explanations)
+    (Obs.Metrics.counter "pipeline.explanations");
+  { question = phi; sas; explanations; span = root }
+
+(* Total time per algorithm phase (summed across schema alternatives). *)
+let phase_durations_ms (r : result) = phase_durations_ms_of_span r.span
 
 (* Convenience: explanation op-id sets in rank order. *)
 let explanation_sets (r : result) : int list list =

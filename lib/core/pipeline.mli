@@ -15,6 +15,11 @@ type result = {
   question : Question.t;
   sas : Alternatives.sa list;
   explanations : Explanation.t list;  (** pruned and ranked *)
+  span : Obs.Span.t;
+      (** finished root span of the run: one [sa:S<i>] child per schema
+          alternative, each with [backtrace]/[tracing]/[msr] children,
+          plus the [alternatives] enumeration and the final [msr]
+          rank/prune *)
 }
 
 (** Typing environment of a database. *)
@@ -27,14 +32,25 @@ val schema_env : Relation.Db.t -> Typecheck.env
     @param revalidate re-validate consistency at every operator (default
            true); [false] is the no-re-validation ablation, reproducing
            the false positives of prior lineage-based approaches
-    @param alternatives attribute-alternative groups per table *)
+    @param alternatives attribute-alternative groups per table
+    @param parent optional parent span; the run's root span is attached
+           under it (and always returned in [result.span]) *)
 val explain :
   ?use_sas:bool ->
   ?max_sas:int ->
   ?revalidate:bool ->
   ?alternatives:Alternatives.alternatives ->
+  ?parent:Obs.Span.t ->
   Question.t ->
   result
+
+(** The four algorithm phases, in pipeline order:
+    ["backtrace"; "alternatives"; "tracing"; "msr"]. *)
+val phases : string list
+
+(** Wall time per phase in ms, summed across schema alternatives (the
+    per-phase breakdown of Figures 8–11); pairs are in {!phases} order. *)
+val phase_durations_ms : result -> (string * float) list
 
 (** Explanation operator-id sets, in rank order. *)
 val explanation_sets : result -> int list list

@@ -146,27 +146,49 @@ let diff_rows (l : Value.t list) (r : Value.t list) : Value.t list =
       | _ -> true)
     l
 
-let run ?(config = default_config) (db : Relation.Db.t) (q : Query.t) :
-    Relation.t * Stats.t =
+let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
+    (q : Query.t) : Relation.t * Stats.t =
   let env = schema_env db in
   let stats = Stats.create () in
   let n = config.partitions in
   let parallel = config.parallel in
-  let rec go (q : Query.t) : Dataset.t =
+  (* Spans are only materialized when a parent is given: untraced runs
+     pay nothing beyond the [Stats] counters they always paid. *)
+  let sub sp name = Option.map (fun p -> Obs.Span.start ~parent:p name) sp in
+  let finish_shuffle ssp moved =
+    Option.iter
+      (fun s ->
+        Obs.Span.set_int s "rows_moved" moved;
+        Obs.Span.finish s)
+      ssp
+  in
+  let rec go osp (q : Query.t) : Dataset.t =
     let ostat =
       Stats.op stats ~op_id:q.id ~op_label:(Query.op_symbol q.node)
     in
+    let sp = sub osp (Fmt.str "op:%s#%d" (Query.op_symbol q.node) q.id) in
     let record_io input output =
       ostat.Stats.input_rows <- ostat.Stats.input_rows + input;
       ostat.Stats.output_rows <- ostat.Stats.output_rows + output
     in
     let narrow child kernel =
-      let d = go child in
+      let d = go sp child in
       let input = Dataset.cardinal d in
       let out = Dataset.map_partitions ~parallel (List.concat_map kernel) d in
       record_io input (Dataset.cardinal out);
       out
     in
+    let out = eval_node sp ostat record_io narrow q in
+    Option.iter
+      (fun s ->
+        Obs.Span.set_int s "op_id" q.id;
+        Obs.Span.set_int s "input_rows" ostat.Stats.input_rows;
+        Obs.Span.set_int s "output_rows" ostat.Stats.output_rows;
+        Obs.Span.set_int s "shuffled_rows" ostat.Stats.shuffled_rows;
+        Obs.Span.finish s)
+      sp;
+    out
+  and eval_node sp ostat record_io narrow (q : Query.t) : Dataset.t =
     match q.node, q.children with
     | Query.Table name, [] ->
       let rel = Relation.Db.find_exn name db in
@@ -198,7 +220,7 @@ let run ?(config = default_config) (db : Relation.Db.t) (q : Query.t) :
     | Query.Agg_tuple (fn, a, b), [ c ] ->
       narrow c (fun t -> [ agg_tuple_row fn a b t ])
     | Query.Union, [ l; r ] ->
-      let dl = go l and dr = go r in
+      let dl = go sp l and dr = go sp r in
       let input = Dataset.cardinal dl + Dataset.cardinal dr in
       let parts =
         Array.init n (fun i ->
@@ -215,11 +237,13 @@ let run ?(config = default_config) (db : Relation.Db.t) (q : Query.t) :
       record_io input (Dataset.cardinal out);
       out
     | Query.Diff, [ l; r ] ->
-      let dl = go l and dr = go r in
+      let dl = go sp l and dr = go sp r in
       let input = Dataset.cardinal dl + Dataset.cardinal dr in
+      let ssp = sub sp "shuffle" in
       let dl, m1 = Dataset.shuffle_by ~partitions:n Fun.id dl in
       let dr, m2 = Dataset.shuffle_by ~partitions:n Fun.id dr in
       Stats.record_shuffle stats ostat (m1 + m2);
+      finish_shuffle ssp (m1 + m2);
       let parts =
         Array.init n (fun i ->
             diff_rows (Dataset.partitions dl).(i) (Dataset.partitions dr).(i))
@@ -228,10 +252,12 @@ let run ?(config = default_config) (db : Relation.Db.t) (q : Query.t) :
       record_io input (Dataset.cardinal out);
       out
     | Query.Dedup, [ c ] ->
-      let d = go c in
+      let d = go sp c in
       let input = Dataset.cardinal d in
+      let ssp = sub sp "shuffle" in
       let d, moved = Dataset.shuffle_by ~partitions:n Fun.id d in
       Stats.record_shuffle stats ostat moved;
+      finish_shuffle ssp moved;
       let out =
         Dataset.map_partitions ~parallel
           (fun rows -> List.map fst (group_rows Fun.id rows))
@@ -240,14 +266,16 @@ let run ?(config = default_config) (db : Relation.Db.t) (q : Query.t) :
       record_io input (Dataset.cardinal out);
       out
     | Query.Nest_rel (pairs, c_name), [ c ] ->
-      let d = go c in
+      let d = go sp c in
       let input = Dataset.cardinal d in
       let cty = Typecheck.infer env c in
       let attrs = List.map snd pairs in
       let all = List.map fst (Vtype.relation_fields cty) in
       let group_attrs = List.filter (fun a -> not (List.mem a attrs)) all in
+      let ssp = sub sp "shuffle" in
       let d, moved = Dataset.shuffle_by ~partitions:n (key_of group_attrs) d in
       Stats.record_shuffle stats ostat moved;
+      finish_shuffle ssp moved;
       let proj t =
         Value.Tuple
           (List.map
@@ -268,7 +296,7 @@ let run ?(config = default_config) (db : Relation.Db.t) (q : Query.t) :
       record_io input (Dataset.cardinal out);
       out
     | Query.Group_agg (group, aggs), [ c ] ->
-      let d = go c in
+      let d = go sp c in
       let input = Dataset.cardinal d in
       let group_key t =
         Value.Tuple
@@ -277,8 +305,10 @@ let run ?(config = default_config) (db : Relation.Db.t) (q : Query.t) :
                (label, Option.value ~default:Value.Null (Value.field a t)))
              group)
       in
+      let ssp = sub sp "shuffle" in
       let d, moved = Dataset.shuffle_by ~partitions:n group_key d in
       Stats.record_shuffle stats ostat moved;
+      finish_shuffle ssp moved;
       let aggregate rows =
         List.map
           (fun (k, members) ->
@@ -305,18 +335,19 @@ let run ?(config = default_config) (db : Relation.Db.t) (q : Query.t) :
       let out = Dataset.map_partitions ~parallel aggregate d in
       record_io input (Dataset.cardinal out);
       out
-    | Query.Join (kind, pred), [ l; r ] -> run_join ostat kind pred l r
-    | Query.Product, [ l; r ] -> run_join ostat Query.Inner Expr.True l r
+    | Query.Join (kind, pred), [ l; r ] -> run_join sp ostat kind pred l r
+    | Query.Product, [ l; r ] -> run_join sp ostat Query.Inner Expr.True l r
     | _ -> err "engine: malformed query node (operator %d)" q.id
-  and run_join ostat kind pred l r =
+  and run_join sp ostat kind pred l r =
     let lty = Typecheck.infer env l and rty = Typecheck.infer env r in
     let lfields = List.map fst (Vtype.relation_fields lty) in
     let rfields = List.map fst (Vtype.relation_fields rty) in
     let lnull = Vtype.null_tuple (Vtype.element lty) in
     let rnull = Vtype.null_tuple (Vtype.element rty) in
-    let dl = go l and dr = go r in
+    let dl = go sp l and dr = go sp r in
     let input = Dataset.cardinal dl + Dataset.cardinal dr in
     let keys = equi_keys lfields rfields pred in
+    let ssp = sub sp "shuffle" in
     let dl, dr, moved =
       match keys with
       | [] ->
@@ -339,6 +370,7 @@ let run ?(config = default_config) (db : Relation.Db.t) (q : Query.t) :
         (dl, dr, m1 + m2)
     in
     Stats.record_shuffle stats ostat moved;
+    finish_shuffle ssp moved;
     let np = max (Dataset.partition_count dl) (Dataset.partition_count dr) in
     let part d i =
       if i < Dataset.partition_count d then (Dataset.partitions d).(i) else []
@@ -392,5 +424,15 @@ let run ?(config = default_config) (db : Relation.Db.t) (q : Query.t) :
     out
   in
   let out_ty = Typecheck.infer env q in
-  let d = go q in
-  (Dataset.to_relation ~schema:out_ty d, stats)
+  let root_sp = sub parent "engine.run" in
+  let d = go root_sp q in
+  let rel = Dataset.to_relation ~schema:out_ty d in
+  Option.iter
+    (fun s ->
+      Obs.Span.set_int s "output_rows" (Relation.cardinal rel);
+      Obs.Span.set_int s "shuffled_rows" (Stats.total_shuffled stats);
+      Obs.Span.set_int s "stages" (Stats.stages stats);
+      Obs.Span.finish s)
+    root_sp;
+  Stats.fold_into ?registry stats;
+  (rel, stats)

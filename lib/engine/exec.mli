@@ -24,5 +24,19 @@ val default_config : config
 val equi_keys : string list -> string list -> Expr.pred -> (string * string) list
 
 (** Execute a plan; returns the result relation and execution
-    statistics. *)
-val run : ?config:config -> Relation.Db.t -> Query.t -> Relation.t * Stats.t
+    statistics.
+
+    With [?parent], the run is traced: an [engine.run] span is opened
+    under the parent, one [op:<symbol>#<id>] child span per operator
+    (carrying [input_rows]/[output_rows]/[shuffled_rows] attributes) and
+    one [shuffle] child span per shuffle stage (carrying [rows_moved]).
+    Without a parent no spans are allocated.  The {!Stats} counters are
+    always folded into the {!Obs.Metrics} registry ([?registry],
+    defaulting to {!Obs.Metrics.default}). *)
+val run :
+  ?config:config ->
+  ?parent:Obs.Span.t ->
+  ?registry:Obs.Metrics.t ->
+  Relation.Db.t ->
+  Query.t ->
+  Relation.t * Stats.t

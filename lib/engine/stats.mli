@@ -20,6 +20,21 @@ val op : t -> op_id:int -> op_label:string -> op_stats
 (** Record a shuffle; a non-empty shuffle starts a new stage. *)
 val record_shuffle : t -> op_stats -> int -> unit
 
+(** Drop all recorded operators and reset the stage count. *)
+val reset : t -> unit
+
+(** All operator records, in [op_id] order (deterministic, independent
+    of find-or-create insertion order). *)
+val ops : t -> op_stats list
+
+val stages : t -> int
 val total_output : t -> int
 val total_shuffled : t -> int
+
+(** Fold the counters into an {!Obs.Metrics} registry (the default one
+    if none is given): totals as counters, per-operator cardinalities as
+    histograms. *)
+val fold_into : ?registry:Obs.Metrics.t -> t -> unit
+
+(** Prints operators in [op_id] order. *)
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(* Monotonic nanosecond clock.
+
+   The wall clock ([Unix.gettimeofday]) can step backwards (NTP slew,
+   VM migration); spans need timestamps that never do, or durations go
+   negative and trace viewers reject the file.  We clamp: [now_ns] never
+   returns less than any value it has returned before, across domains
+   (the high-water mark is an [Atomic]).
+
+   The source is swappable so tests can install a deterministic clock. *)
+
+let default_source () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let source = Atomic.make default_source
+
+let set_source f = Atomic.set source f
+let reset_source () = Atomic.set source default_source
+
+let high_water = Atomic.make 0
+
+let now_ns () =
+  let t = (Atomic.get source) () in
+  let rec clamp () =
+    let prev = Atomic.get high_water in
+    if t <= prev then prev
+    else if Atomic.compare_and_set high_water prev t then t
+    else clamp ()
+  in
+  clamp ()
+
+let ns_to_ms ns = float_of_int ns /. 1e6
+let ns_to_us ns = float_of_int ns /. 1e3

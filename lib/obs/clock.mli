@@ -1,0 +1,19 @@
+(** Monotonic nanosecond clock for spans and metrics.
+
+    Backed by the wall clock but clamped to be non-decreasing across the
+    whole process (domains included), so span durations are never
+    negative and exported timestamps are monotone. *)
+
+(** Nanoseconds since the Unix epoch, never less than any previously
+    returned value. *)
+val now_ns : unit -> int
+
+(** Install a replacement time source (tests use this for deterministic
+    timestamps).  The monotone clamp still applies on top of it. *)
+val set_source : (unit -> int) -> unit
+
+(** Restore the default wall-clock source. *)
+val reset_source : unit -> unit
+
+val ns_to_ms : int -> float
+val ns_to_us : int -> float

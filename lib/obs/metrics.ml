@@ -1,0 +1,230 @@
+(* Metrics registry: named counters, gauges, and log-scale histograms.
+
+   Counters are [Atomic]s so the engine's per-partition domains can
+   increment them concurrently without locks.  Histograms bucket values
+   on a log scale (ratio 2^(1/16), ~4.4% per bucket) and report
+   p50/p95/max summaries — the same shape of numbers one reads off a
+   Spark UI's task-time and shuffle-size distributions. *)
+
+module Counter = struct
+  type t = { name : string; cell : int Atomic.t }
+
+  let make name = { name; cell = Atomic.make 0 }
+  let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.cell by)
+  let value c = Atomic.get c.cell
+  let reset c = Atomic.set c.cell 0
+  let name c = c.name
+end
+
+module Gauge = struct
+  type t = { name : string; mutable v : float; lock : Mutex.t }
+
+  let make name = { name; v = 0.0; lock = Mutex.create () }
+
+  let protect g f =
+    Mutex.lock g.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock g.lock) f
+
+  let set g x = protect g (fun () -> g.v <- x)
+  let add g x = protect g (fun () -> g.v <- g.v +. x)
+  let value g = protect g (fun () -> g.v)
+  let reset g = set g 0.0
+  let name g = g.name
+end
+
+module Histogram = struct
+  (* Bucket [i >= 1] holds values in [ratio^(i-1), ratio^i); bucket 0
+     holds values < 1 (including 0 and negatives, which durations and
+     cardinalities never produce but which must not crash). *)
+  let ratio = Float.pow 2.0 (1.0 /. 16.0)
+  let log_ratio = Float.log ratio
+  let n_buckets = 1024
+
+  type t = {
+    name : string;
+    buckets : int array;
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+    lock : Mutex.t;
+  }
+
+  let make name =
+    {
+      name;
+      buckets = Array.make n_buckets 0;
+      count = 0;
+      sum = 0.0;
+      min = Float.infinity;
+      max = Float.neg_infinity;
+      lock = Mutex.create ();
+    }
+
+  let protect h f =
+    Mutex.lock h.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock h.lock) f
+
+  let bucket_of v =
+    if v < 1.0 then 0
+    else min (n_buckets - 1) (1 + int_of_float (Float.log v /. log_ratio))
+
+  (* Geometric midpoint of a bucket, the value reported for percentiles
+     that land in it. *)
+  let representative i =
+    if i = 0 then 0.0 else Float.pow ratio (float_of_int i -. 0.5)
+
+  let observe h v =
+    protect h (fun () ->
+        let i = bucket_of v in
+        h.buckets.(i) <- h.buckets.(i) + 1;
+        h.count <- h.count + 1;
+        h.sum <- h.sum +. v;
+        if v < h.min then h.min <- v;
+        if v > h.max then h.max <- v)
+
+  type summary = {
+    count : int;
+    sum : float;
+    min : float;
+    max : float;
+    p50 : float;
+    p95 : float;
+  }
+
+  let percentile_unlocked (h : t) q =
+    if h.count = 0 then 0.0
+    else begin
+      let rank = Float.to_int (Float.ceil (q *. float_of_int h.count)) in
+      let rank = Stdlib.max 1 (Stdlib.min h.count rank) in
+      let acc = ref 0 and result = ref h.max in
+      (try
+         Array.iteri
+           (fun i n ->
+             acc := !acc + n;
+             if !acc >= rank then begin
+               result := representative i;
+               raise Exit
+             end)
+           h.buckets
+       with Exit -> ());
+      (* clamp the bucket estimate into the observed range *)
+      Float.min h.max (Float.max h.min !result)
+    end
+
+  let summary h =
+    protect h (fun () ->
+        if h.count = 0 then
+          { count = 0; sum = 0.0; min = 0.0; max = 0.0; p50 = 0.0; p95 = 0.0 }
+        else
+          {
+            count = h.count;
+            sum = h.sum;
+            min = h.min;
+            max = h.max;
+            p50 = percentile_unlocked h 0.50;
+            p95 = percentile_unlocked h 0.95;
+          })
+
+  let percentile h q = protect h (fun () -> percentile_unlocked h q)
+
+  let reset h =
+    protect h (fun () ->
+        Array.fill h.buckets 0 n_buckets 0;
+        h.count <- 0;
+        h.sum <- 0.0;
+        h.min <- Float.infinity;
+        h.max <- Float.neg_infinity)
+
+  let name h = h.name
+end
+
+type metric =
+  | M_counter of Counter.t
+  | M_gauge of Gauge.t
+  | M_histogram of Histogram.t
+
+type t = { tbl : (string, metric) Hashtbl.t; lock : Mutex.t }
+
+let create () = { tbl = Hashtbl.create 32; lock = Mutex.create () }
+
+let default = create ()
+
+let protect r f =
+  Mutex.lock r.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.lock) f
+
+let kind_error name wanted =
+  invalid_arg
+    (Printf.sprintf
+       "Obs.Metrics: %s already registered with another kind (wanted %s)" name
+       wanted)
+
+let counter ?(registry = default) name =
+  protect registry (fun () ->
+      match Hashtbl.find_opt registry.tbl name with
+      | Some (M_counter c) -> c
+      | Some _ -> kind_error name "counter"
+      | None ->
+        let c = Counter.make name in
+        Hashtbl.replace registry.tbl name (M_counter c);
+        c)
+
+let gauge ?(registry = default) name =
+  protect registry (fun () ->
+      match Hashtbl.find_opt registry.tbl name with
+      | Some (M_gauge g) -> g
+      | Some _ -> kind_error name "gauge"
+      | None ->
+        let g = Gauge.make name in
+        Hashtbl.replace registry.tbl name (M_gauge g);
+        g)
+
+let histogram ?(registry = default) name =
+  protect registry (fun () ->
+      match Hashtbl.find_opt registry.tbl name with
+      | Some (M_histogram h) -> h
+      | Some _ -> kind_error name "histogram"
+      | None ->
+        let h = Histogram.make name in
+        Hashtbl.replace registry.tbl name (M_histogram h);
+        h)
+
+let reset r =
+  protect r (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | M_counter c -> Counter.reset c
+          | M_gauge g -> Gauge.reset g
+          | M_histogram h -> Histogram.reset h)
+        r.tbl)
+
+let clear r = protect r (fun () -> Hashtbl.reset r.tbl)
+
+let metrics r =
+  protect r (fun () ->
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        (Hashtbl.fold
+           (fun k v acc ->
+             let v =
+               match v with
+               | M_counter c -> `Counter c
+               | M_gauge g -> `Gauge g
+               | M_histogram h -> `Histogram h
+             in
+             (k, v) :: acc)
+           r.tbl []))
+
+let pp ppf r =
+  let pp_metric ppf (name, m) =
+    match m with
+    | `Counter c -> Fmt.pf ppf "%-36s %d" name (Counter.value c)
+    | `Gauge g -> Fmt.pf ppf "%-36s %g" name (Gauge.value g)
+    | `Histogram h ->
+      let s = Histogram.summary h in
+      Fmt.pf ppf "%-36s count=%d p50=%.3g p95=%.3g max=%.3g" name
+        s.Histogram.count s.Histogram.p50 s.Histogram.p95 s.Histogram.max
+  in
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_metric) (metrics r)

@@ -1,0 +1,160 @@
+(* Hierarchical spans: a named, timed region of execution with a parent
+   link, key/value attributes, and children.  The mini-DISC engine opens
+   one per operator and per shuffle stage; the why-not pipeline opens one
+   per algorithm phase and per schema alternative.
+
+   Mutation (child registration, attributes, finishing) is guarded by a
+   single global mutex so spans may be touched from the engine's
+   per-partition domains; the hot path is one lock per span event, which
+   is far below the per-tuple work the spans measure. *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | String of string
+
+type t = {
+  id : int;
+  name : string;
+  parent_id : int option;
+  start_ns : int;
+  mutable end_ns : int option;
+  mutable attrs : (string * value) list;  (* insertion order, oldest first *)
+  mutable rev_children : t list;
+}
+
+let lock = Mutex.create ()
+
+let protect f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let next_id = ref 0
+
+let start ?parent ?at name =
+  protect (fun () ->
+      let id = !next_id in
+      incr next_id;
+      (* An explicit [at] lets callers tile sibling spans wall-to-wall
+         (OpenTelemetry-style explicit timestamps); clamped to the
+         parent's start so trees stay well-formed. *)
+      let start_ns =
+        match at with
+        | None -> Clock.now_ns ()
+        | Some at -> (
+          match parent with
+          | Some p -> max at p.start_ns
+          | None -> at)
+      in
+      let sp =
+        {
+          id;
+          name;
+          parent_id = Option.map (fun p -> p.id) parent;
+          start_ns;
+          end_ns = None;
+          attrs = [];
+          rev_children = [];
+        }
+      in
+      (match parent with
+      | Some p -> p.rev_children <- sp :: p.rev_children
+      | None -> ());
+      sp)
+
+let finish ?at sp =
+  protect (fun () ->
+      match sp.end_ns with
+      | Some _ -> ()  (* idempotent *)
+      | None ->
+        let e = match at with None -> Clock.now_ns () | Some at -> at in
+        sp.end_ns <- Some (max e sp.start_ns))
+
+let set sp key v =
+  protect (fun () ->
+      sp.attrs <- List.filter (fun (k, _) -> k <> key) sp.attrs @ [ (key, v) ])
+
+let set_int sp key i = set sp key (Int i)
+let set_float sp key f = set sp key (Float f)
+let set_bool sp key b = set sp key (Bool b)
+let set_string sp key s = set sp key (String s)
+
+let attr sp key = List.assoc_opt key sp.attrs
+let attrs sp = sp.attrs
+
+let with_ ?parent name f =
+  let sp = start ?parent name in
+  Fun.protect ~finally:(fun () -> finish sp) (fun () -> f sp)
+
+let name sp = sp.name
+let id sp = sp.id
+let parent_id sp = sp.parent_id
+let finished sp = Option.is_some sp.end_ns
+let start_ns sp = sp.start_ns
+let end_ns sp = sp.end_ns
+
+let duration_ns sp =
+  match sp.end_ns with
+  | Some e -> e - sp.start_ns
+  | None -> Clock.now_ns () - sp.start_ns
+
+let duration_ms sp = Clock.ns_to_ms (duration_ns sp)
+
+let children sp = List.rev sp.rev_children
+
+let rec iter f sp =
+  f sp;
+  List.iter (iter f) (children sp)
+
+let fold f acc sp =
+  let acc = ref acc in
+  iter (fun sp -> acc := f !acc sp) sp;
+  !acc
+
+let find_all pred sp = List.rev (fold (fun acc sp -> if pred sp then sp :: acc else acc) [] sp)
+
+let count_named n sp =
+  fold (fun acc sp -> if String.equal sp.name n then acc + 1 else acc) 0 sp
+
+(* Total time spent in descendant spans called [n] — used for phase
+   breakdowns, where one logical phase runs once per schema
+   alternative. *)
+let sum_duration_ms_named n sp =
+  fold
+    (fun acc sp -> if String.equal sp.name n then acc +. duration_ms sp else acc)
+    0.0 sp
+
+let pp_value ppf = function
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.pf ppf "%g" f
+  | Bool b -> Fmt.bool ppf b
+  | String s -> Fmt.string ppf s
+
+let pp_attrs ppf = function
+  | [] -> ()
+  | attrs ->
+    Fmt.pf ppf "  {%a}"
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (k, v) ->
+           Fmt.pf ppf "%s=%a" k pp_value v))
+      attrs
+
+let pp_tree ppf sp =
+  let rec go prefix child_prefix sp =
+    Fmt.pf ppf "%s%-*s %8.3f ms%a@," prefix
+      (max 1 (32 - String.length prefix))
+      sp.name (duration_ms sp) pp_attrs sp.attrs;
+    let cs = children sp in
+    let n = List.length cs in
+    List.iteri
+      (fun i c ->
+        let last = i = n - 1 in
+        go
+          (child_prefix ^ if last then "└─ " else "├─ ")
+          (child_prefix ^ if last then "   " else "│  ")
+          c)
+      cs
+  in
+  Fmt.pf ppf "@[<v>";
+  go "" "" sp;
+  Fmt.pf ppf "@]"

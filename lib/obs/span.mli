@@ -1,0 +1,78 @@
+(** Hierarchical spans — named, timed regions with parent links and
+    key/value attributes.  Start/stop uses the monotonic {!Clock};
+    mutation is thread-safe (the engine finishes spans around
+    per-partition domain work).
+
+    Spans started with a [?parent] are registered as that parent's
+    children; a span without a parent is a root (one trace tree). *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | String of string
+
+type t
+
+(** Start a span now.  With [?parent], the new span is appended to the
+    parent's children (order of [start] calls is preserved).  [?at]
+    overrides the start timestamp (ns) — callers use it to tile sibling
+    spans wall-to-wall, so clock reads and span bookkeeping between
+    phases are charged to a phase instead of falling into gaps; it is
+    clamped to the parent's start. *)
+val start : ?parent:t -> ?at:int -> string -> t
+
+(** Stop the span now (or at the explicit [?at] nanosecond timestamp,
+    clamped to the span's start).  Idempotent: the first call wins. *)
+val finish : ?at:int -> t -> unit
+
+(** [with_ ?parent name f] runs [f span] and finishes the span even if
+    [f] raises. *)
+val with_ : ?parent:t -> string -> (t -> 'a) -> 'a
+
+(** {1 Attributes} *)
+
+val set : t -> string -> value -> unit
+val set_int : t -> string -> int -> unit
+val set_float : t -> string -> float -> unit
+val set_bool : t -> string -> bool -> unit
+val set_string : t -> string -> string -> unit
+val attr : t -> string -> value option
+val attrs : t -> (string * value) list
+
+(** {1 Inspection} *)
+
+val name : t -> string
+val id : t -> int
+val parent_id : t -> int option
+val finished : t -> bool
+val start_ns : t -> int
+
+(** [None] while the span is running. *)
+val end_ns : t -> int option
+
+(** Elapsed so far for a running span, final once finished; never
+    negative (monotonic clock). *)
+val duration_ns : t -> int
+
+val duration_ms : t -> float
+
+(** Children in start order. *)
+val children : t -> t list
+
+(** Pre-order traversal (parent before children). *)
+val iter : (t -> unit) -> t -> unit
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+val find_all : (t -> bool) -> t -> t list
+
+(** Number of descendant spans (the root included) with that exact name. *)
+val count_named : string -> t -> int
+
+(** Total duration of descendant spans with that exact name — a phase
+    that runs once per schema alternative sums across its instances. *)
+val sum_duration_ms_named : string -> t -> float
+
+(** Box-drawing pretty-printer for a span tree with durations and
+    attributes. *)
+val pp_tree : Format.formatter -> t -> unit

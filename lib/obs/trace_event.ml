@@ -1,0 +1,75 @@
+(* Chrome trace_event exporter.
+
+   Serializes span trees into the JSON Array Format understood by
+   chrome://tracing and Perfetto: one complete ("ph":"X") event per
+   finished span, with microsecond timestamps relative to the earliest
+   root and the span's attributes as "args".  Events are emitted in
+   pre-order, so timestamps are non-decreasing (monotonic clock +
+   children start after their parents).
+
+   The JSON values are built with [Nested.Json] — the same codec the
+   engine's databases round-trip through — so traces are parseable by
+   the repo's own tooling. *)
+
+open Nested
+
+let attr_to_json : Span.value -> Json.json = function
+  | Span.Int i -> Json.J_int i
+  | Span.Float f -> Json.J_float f
+  | Span.Bool b -> Json.J_bool b
+  | Span.String s -> Json.J_string s
+
+let event ~origin_ns ~pid (sp : Span.t) : Json.json =
+  let dur_us = Clock.ns_to_us (Span.duration_ns sp) in
+  let ts_us = Clock.ns_to_us (Span.start_ns sp - origin_ns) in
+  let base =
+    [
+      ("name", Json.J_string (Span.name sp));
+      ("cat", Json.J_string "span");
+      ("ph", Json.J_string "X");
+      ("ts", Json.J_float ts_us);
+      ("dur", Json.J_float dur_us);
+      ("pid", Json.J_int pid);
+      ("tid", Json.J_int 1);
+    ]
+  in
+  let args =
+    List.map (fun (k, v) -> (k, attr_to_json v)) (Span.attrs sp)
+  in
+  let args = ("span_id", Json.J_int (Span.id sp)) :: args in
+  let args =
+    match Span.parent_id sp with
+    | Some p -> args @ [ ("parent_id", Json.J_int p) ]
+    | None -> args
+  in
+  Json.J_object (base @ [ ("args", Json.J_object args) ])
+
+let to_json ?(pid = 1) (roots : Span.t list) : Json.json =
+  let origin_ns =
+    List.fold_left
+      (fun acc sp -> min acc (Span.start_ns sp))
+      max_int roots
+  in
+  let origin_ns = if roots = [] then 0 else origin_ns in
+  let events =
+    List.concat_map
+      (fun root ->
+        List.rev
+          (Span.fold (fun acc sp -> event ~origin_ns ~pid sp :: acc) [] root))
+      roots
+  in
+  Json.J_object
+    [
+      ("traceEvents", Json.J_array events);
+      ("displayTimeUnit", Json.J_string "ms");
+    ]
+
+let to_string ?pid roots = Json.to_string (to_json ?pid roots)
+
+let write_file path (roots : Span.t list) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string roots);
+      output_char oc '\n')

@@ -1,0 +1,18 @@
+(** Chrome [trace_event] exporter: span trees → the JSON Array Format of
+    chrome://tracing / Perfetto (one complete ["ph":"X"] event per span,
+    microsecond timestamps, attributes as ["args"]).
+
+    Events are emitted in pre-order per root, so timestamps are
+    non-decreasing within a tree. *)
+
+open Nested
+
+(** [{"traceEvents": [...]}] for a forest of root spans.  Timestamps are
+    relative to the earliest root start. *)
+val to_json : ?pid:int -> Span.t list -> Json.json
+
+val to_string : ?pid:int -> Span.t list -> string
+
+(** Write the trace to a file, loadable in chrome://tracing or
+    https://ui.perfetto.dev. *)
+val write_file : string -> Span.t list -> unit

@@ -1,0 +1,79 @@
+(* The paper's running example (Figure 1, Examples 9/10/19) as a
+   scenario, so the CLI and the observability tooling can exercise it by
+   name: a person table with two nested address relations, the query
+   N^R(π_{name,city}(σ_{year≥2019}(F^I_{address2}(person)))), and the
+   question "why is NY missing?".  Expected explanations: {σ} and
+   {Fᴵ, σ} (via the address1 schema alternative). *)
+
+open Nested
+open Nrab
+
+let address_schema =
+  Vtype.TBag (Vtype.TTuple [ ("city", Vtype.TString); ("year", Vtype.TInt) ])
+
+let person_schema =
+  Vtype.relation
+    [
+      ("name", Vtype.TString);
+      ("address1", address_schema);
+      ("address2", address_schema);
+    ]
+
+let addr city year =
+  Value.Tuple [ ("city", Value.String city); ("year", Value.Int year) ]
+
+let person name a1 a2 =
+  Value.Tuple
+    [
+      ("name", Value.String name);
+      ("address1", Value.bag_of_list a1);
+      ("address2", Value.bag_of_list a2);
+    ]
+
+let db =
+  let peter =
+    person "Peter"
+      [ addr "NY" 2010; addr "LA" 2019; addr "LV" 2017 ]
+      [ addr "LA" 2010; addr "SF" 2018 ]
+  in
+  let sue =
+    person "Sue"
+      [ addr "LA" 2019; addr "NY" 2018 ]
+      [ addr "LA" 2019; addr "NY" 2018 ]
+  in
+  Relation.Db.of_list
+    [ ("person", Relation.of_tuples ~schema:person_schema [ peter; sue ]) ]
+
+(* The data is the paper's figure verbatim — scale has nothing to vary. *)
+let make ~scale:_ : Scenario.instance =
+  let g = Query.Gen.create () in
+  let year_ge_2019 = Expr.Cmp (Expr.Ge, Expr.attr "year", Expr.int 2019) in
+  let query =
+    Query.nest_rel g [ "name" ] ~into:"nList"
+      (Query.project_attrs g [ "name"; "city" ]
+         (Query.select g year_ge_2019
+            (Query.flatten_inner g "address2" (Query.table g "person"))))
+  in
+  let missing =
+    Whynot.Nip.tup
+      [ ("city", Whynot.Nip.str "NY"); ("nList", Whynot.Nip.some_element) ]
+  in
+  let question = Whynot.Question.make ~query ~db ~missing in
+  let ids = Scenario.ids_by_symbol query in
+  let sigma = List.assoc "σ" ids and flat = List.assoc "Fᴵ" ids in
+  {
+    Scenario.question;
+    alternatives = [ ("person", [ [ "address2" ]; [ "address1" ] ]) ];
+    gold = Some [ [ sigma ]; [ flat; sigma ] ];
+  }
+
+let all : Scenario.t list =
+  [
+    {
+      Scenario.name = "RE";
+      family = Scenario.Paper;
+      description = "running example (Figure 1): why is NY missing?";
+      operators = "Fᴵ,σ,π,Nᴿ";
+      make;
+    };
+  ]

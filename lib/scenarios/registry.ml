@@ -1,6 +1,8 @@
 (* All evaluation scenarios, keyed by name. *)
 
-let all : Scenario.t list = Dblp_scenarios.all @ Twitter_scenarios.all @ Tpch_scenarios.all @ Crime_scenarios.all
+let all : Scenario.t list =
+  Paper_scenarios.all @ Dblp_scenarios.all @ Twitter_scenarios.all
+  @ Tpch_scenarios.all @ Crime_scenarios.all
 
 let find (name : string) : Scenario.t option =
   List.find_opt

@@ -7,7 +7,7 @@
 
 open Nrab
 
-type family = Dblp | Twitter | Tpch | Tpch_flat | Crime
+type family = Paper | Dblp | Twitter | Tpch | Tpch_flat | Crime
 
 type instance = {
   question : Whynot.Question.t;
@@ -25,6 +25,7 @@ type t = {
 }
 
 let family_to_string = function
+  | Paper -> "Paper"
   | Dblp -> "DBLP"
   | Twitter -> "Twitter"
   | Tpch -> "TPC-H"

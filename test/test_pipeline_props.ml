@@ -231,6 +231,41 @@ let prop_nested_nonempty =
         Whynot.Pipeline.explanation_sets (Whynot.Pipeline.explain ~use_sas:false phi)
         <> [])
 
+(* --- observability: every explain call leaves a coherent span tree ------- *)
+
+let prop_phase_spans =
+  QCheck.Test.make
+    ~name:"phase breakdown has the four phases, non-negative, ≤ total"
+    ~count:60 arb_seed (fun seed ->
+      match build_instance seed with
+      | None -> true
+      | Some { phi; _ } ->
+        let r = Whynot.Pipeline.explain ~use_sas:false phi in
+        let phases = Whynot.Pipeline.phase_durations_ms r in
+        let total = Obs.Span.duration_ms r.Whynot.Pipeline.span in
+        let sum = List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0 phases in
+        List.map fst phases = Whynot.Pipeline.phases
+        && List.for_all (fun (_, ms) -> ms >= 0.0) phases
+        (* children cannot outlast the root (small epsilon for float µs) *)
+        && sum <= total +. 0.001)
+
+let prop_sa_span_count =
+  QCheck.Test.make ~name:"one sa:* span per schema alternative" ~count:60
+    arb_seed (fun seed ->
+      match build_instance seed with
+      | None -> true
+      | Some { phi; _ } ->
+        let r = Whynot.Pipeline.explain ~alternatives:[] phi in
+        let sa_spans =
+          Obs.Span.find_all
+            (fun sp ->
+              let n = Obs.Span.name sp in
+              String.length n >= 3 && String.sub n 0 3 = "sa:")
+            r.Whynot.Pipeline.span
+        in
+        List.length sa_spans = List.length r.Whynot.Pipeline.sas
+        && Obs.Span.finished r.Whynot.Pipeline.span)
+
 let () =
   Alcotest.run "pipeline-properties"
     [
@@ -246,4 +281,7 @@ let () =
       ( "random-flatten-chains",
         List.map QCheck_alcotest.to_alcotest
           [ prop_relaxation_soundness; prop_nested_nonempty ] );
+      ( "observability",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_phase_spans; prop_sa_span_count ] );
     ]
