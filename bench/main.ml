@@ -33,6 +33,15 @@ let phase_cols (r : Whynot.Pipeline.result) =
        (fun (_, ms) -> Fmt.str "%.3f" ms)
        (Whynot.Pipeline.phase_durations_ms r))
 
+(* Engine configuration, settable from the command line: --partitions N
+   sizes the datasets, --parallel turns on the domain pool (for both
+   engine partition work and pipeline SA-level concurrency). *)
+let partitions = ref Engine.Exec.default_config.Engine.Exec.partitions
+let parallel = ref false
+
+let engine_config () =
+  { Engine.Exec.partitions = !partitions; parallel = !parallel }
+
 (* Optional CSV sink: each measurement row is also appended to
    results/<target>.csv when -csv is passed, for external plotting. *)
 let csv_enabled = ref false
@@ -75,21 +84,81 @@ let close_csv () =
    at the end of [main] and this handler cannot double-close. *)
 let () = at_exit close_csv
 
+(* Optional JSON summary (--json FILE): one machine-readable record per
+   measurement — scenario, scale, query/RP wall-clock, and the per-phase
+   breakdown — so perf PRs can diff against a committed baseline. *)
+let json_file = ref ""
+
+type json_record = {
+  jbench : string;
+  jscenario : string;
+  jscale : int;
+  jrows : int;
+  jquery_ms : float option;
+  jrpnosa_ms : float option;
+  jrp_ms : float;
+  jphases : (string * float) list;
+}
+
+let json_records : json_record list ref = ref []
+
+let add_json r = if !json_file <> "" then json_records := r :: !json_records
+
+let write_json () =
+  if !json_file <> "" then begin
+    let oc = open_out !json_file in
+    let field name v = Fmt.str "%S: %s" name v in
+    let opt_ms name = function
+      | None -> []
+      | Some ms -> [ field name (Fmt.str "%.3f" ms) ]
+    in
+    let record r =
+      let phases =
+        Fmt.str "{%s}"
+          (String.concat ", "
+             (List.map (fun (p, ms) -> Fmt.str "%S: %.3f" p ms) r.jphases))
+      in
+      Fmt.str "    {%s}"
+        (String.concat ", "
+           ([
+              field "bench" (Fmt.str "%S" r.jbench);
+              field "scenario" (Fmt.str "%S" r.jscenario);
+              field "scale" (string_of_int r.jscale);
+              field "rows" (string_of_int r.jrows);
+            ]
+           @ opt_ms "query_ms" r.jquery_ms
+           @ opt_ms "rpnosa_ms" r.jrpnosa_ms
+           @ [ field "rp_ms" (Fmt.str "%.3f" r.jrp_ms); field "phases" phases ]))
+    in
+    output_string oc
+      (Fmt.str "{\n  \"config\": {\"partitions\": %d, \"parallel\": %b},\n"
+         !partitions !parallel);
+    output_string oc "  \"records\": [\n";
+    output_string oc
+      (String.concat ",\n" (List.rev_map record !json_records));
+    output_string oc "\n  ]\n}\n";
+    close_out oc;
+    Fmt.pr "@.json summary written to %s (%d records)@." !json_file
+      (List.length !json_records)
+  end
+
 let scenario name = Option.get (Scenarios.Registry.find name)
 
 let instance ?(scale = 1) s = s.Scenarios.Scenario.make ~scale
 
 let run_rp inst =
-  Whynot.Pipeline.explain
+  Whynot.Pipeline.explain ~parallel:!parallel
     ~alternatives:inst.Scenarios.Scenario.alternatives
     inst.Scenarios.Scenario.question
 
 let run_rpnosa inst =
-  Whynot.Pipeline.explain ~use_sas:false inst.Scenarios.Scenario.question
+  Whynot.Pipeline.explain ~parallel:!parallel ~use_sas:false
+    inst.Scenarios.Scenario.question
 
 let run_query ?parent inst =
   let phi = inst.Scenarios.Scenario.question in
-  Engine.Exec.run ?parent phi.Whynot.Question.db phi.Whynot.Question.query
+  Engine.Exec.run ~config:(engine_config ()) ?parent phi.Whynot.Question.db
+    phi.Whynot.Question.query
 
 let db_rows (inst : Scenarios.Scenario.instance) =
   let phi = inst.Scenarios.Scenario.question in
@@ -119,7 +188,18 @@ let fig_scaling ~title ~csv_target ~scenarios ~scales () =
           csv csv_target
             ("scenario,scale,rows,query_ms,rp_ms," ^ phase_header)
             (Fmt.str "%s,%d,%d,%.3f,%.3f,%s" name scale (db_rows inst) q_ms
-               rp_ms (phase_cols rp)))
+               rp_ms (phase_cols rp));
+          add_json
+            {
+              jbench = csv_target;
+              jscenario = name;
+              jscale = scale;
+              jrows = db_rows inst;
+              jquery_ms = Some q_ms;
+              jrpnosa_ms = None;
+              jrp_ms = rp_ms;
+              jphases = Whynot.Pipeline.phase_durations_ms rp;
+            })
         scales)
     scenarios
 
@@ -153,7 +233,18 @@ let fig10 ?(scale = 2) () =
         (rp_ms /. Float.max q_ms 0.001);
       csv "fig10"
         ("scenario,query_ms,rpnosa_ms,rp_ms," ^ phase_header)
-        (Fmt.str "%s,%.3f,%.3f,%.3f,%s" name q_ms nosa_ms rp_ms (phase_cols rp)))
+        (Fmt.str "%s,%.3f,%.3f,%.3f,%s" name q_ms nosa_ms rp_ms (phase_cols rp));
+      add_json
+        {
+          jbench = "fig10";
+          jscenario = name;
+          jscale = scale;
+          jrows = db_rows inst;
+          jquery_ms = Some q_ms;
+          jrpnosa_ms = Some nosa_ms;
+          jrp_ms = rp_ms;
+          jphases = Whynot.Pipeline.phase_durations_ms rp;
+        })
     [ "Q1"; "Q3"; "Q4"; "Q6"; "Q10"; "Q13" ]
 
 (* --- Figure 11: runtime vs number of schema alternatives ----------------- *)
@@ -189,7 +280,7 @@ let fig11 ?(scale = 2) () =
       List.iter
         (fun max_sas ->
           let result =
-            Whynot.Pipeline.explain ~max_sas ~alternatives
+            Whynot.Pipeline.explain ~parallel:!parallel ~max_sas ~alternatives
               inst.Scenarios.Scenario.question
           in
           let ms = Obs.Span.duration_ms result.Whynot.Pipeline.span in
@@ -199,7 +290,18 @@ let fig11 ?(scale = 2) () =
           csv "fig11"
             ("scenario,max_sas,used_sas,rp_ms," ^ phase_header)
             (Fmt.str "%s,%d,%d,%.3f,%s" name max_sas
-               (List.length result.Whynot.Pipeline.sas) ms (phase_cols result)))
+               (List.length result.Whynot.Pipeline.sas) ms (phase_cols result));
+          add_json
+            {
+              jbench = "fig11";
+              jscenario = Fmt.str "%s/%dsa" name max_sas;
+              jscale = scale;
+              jrows = db_rows inst;
+              jquery_ms = None;
+              jrpnosa_ms = None;
+              jrp_ms = ms;
+              jphases = Whynot.Pipeline.phase_durations_ms result;
+            })
         (if name = "Q3" then [ 1; 2; 4; 8; 12 ] else [ 1; 2; 3; 4 ]))
     [ "TASD"; "D1"; "T3"; "D4"; "Q3" ]
 
@@ -477,9 +579,23 @@ let run_bechamel () =
 (* --- Driver ---------------------------------------------------------------- *)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  csv_enabled := List.mem "-csv" args;
-  let args = List.filter (fun a -> a <> "-csv") args in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "-csv" :: rest ->
+      csv_enabled := true;
+      parse acc rest
+    | ("-json" | "--json") :: file :: rest ->
+      json_file := file;
+      parse acc rest
+    | ("-partitions" | "--partitions") :: n :: rest ->
+      partitions := max 1 (int_of_string n);
+      parse acc rest
+    | ("-parallel" | "--parallel") :: rest ->
+      parallel := true;
+      parse acc rest
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let wants x = args = [] || List.mem x args || List.mem "all" args in
   if wants "table7" then table7 ();
   if wants "table8" then table8 ();
@@ -491,4 +607,5 @@ let () =
   if wants "fig11" then fig11 ();
   if wants "ablation" then ablation ();
   if wants "bechamel" then run_bechamel ();
+  write_json ();
   close_csv ()

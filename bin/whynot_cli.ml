@@ -18,7 +18,8 @@ let pp_phase_breakdown ppf (rp : Whynot.Pipeline.result) =
     phases;
   Fmt.pf ppf "  %-14s %10.3f ms  %5.1f%% of total@]" "sum" sum (pct sum)
 
-let run_scenario ~scale ~verbose ~metrics ~root (s : Scenarios.Scenario.t) =
+let run_scenario ~scale ~verbose ~metrics ~config ~parallel ~root
+    (s : Scenarios.Scenario.t) =
   let inst = s.Scenarios.Scenario.make ~scale in
   let phi = inst.Scenarios.Scenario.question in
   let q = phi.Whynot.Question.query in
@@ -33,14 +34,18 @@ let run_scenario ~scale ~verbose ~metrics ~root (s : Scenarios.Scenario.t) =
      mini-DISC engine: its per-operator spans carry the
      input/output/shuffled cardinalities one reads off a Spark UI. *)
   (if metrics || Option.is_some root then begin
-     let _, stats = Engine.Exec.run ?parent:root phi.Whynot.Question.db q in
+     let _, stats =
+       Engine.Exec.run ~config ?parent:root phi.Whynot.Question.db q
+     in
      if metrics then Fmt.pr "engine stats (original query):@.%a@." Engine.Stats.pp stats
    end);
   let rp =
-    Whynot.Pipeline.explain ?parent:root
+    Whynot.Pipeline.explain ~parallel ?parent:root
       ~alternatives:inst.Scenarios.Scenario.alternatives phi
   in
-  let rpnosa = Whynot.Pipeline.explain ?parent:root ~use_sas:false phi in
+  let rpnosa =
+    Whynot.Pipeline.explain ~parallel ?parent:root ~use_sas:false phi
+  in
   let wnpp = Baselines.Wnpp.explanations ?parent:root phi in
   let conseil = Baselines.Conseil.explanations ?parent:root phi in
   if metrics then begin
@@ -121,6 +126,7 @@ let run_explain args =
   let alts = ref [] in
   let use_sas = ref true and revalidate = ref true in
   let metrics = ref false and trace_file = ref "" in
+  let parallel = ref false in
   let spec =
     [
       ("-db", Arg.Set_string db_file, "JSON database file");
@@ -131,6 +137,10 @@ let run_explain args =
         "attribute alternatives, table:a.b=c.d" );
       ("-no-sas", Arg.Clear use_sas, "disable schema alternatives");
       ("-no-revalidate", Arg.Clear revalidate, "disable re-validation (ablation)");
+      ( "-parallel",
+        Arg.Set parallel,
+        "process schema alternatives concurrently on the domain pool" );
+      ("--parallel", Arg.Set parallel, " same as -parallel");
       ("-metrics", Arg.Set metrics, "print the per-phase timing breakdown");
       ("--metrics", Arg.Set metrics, " same as -metrics");
       ( "-trace",
@@ -159,7 +169,7 @@ let run_explain args =
     Fmt.pr "WARNING: the answer is not actually missing@.";
   let result =
     Whynot.Pipeline.explain ~use_sas:!use_sas ~revalidate:!revalidate
-      ~alternatives:(List.rev !alts) phi
+      ~parallel:!parallel ~alternatives:(List.rev !alts) phi
   in
   Fmt.pr "%a@." Whynot.Pipeline.pp_result result;
   if !metrics then Fmt.pr "%a@." pp_phase_breakdown result;
@@ -174,10 +184,20 @@ let run_scenarios args =
   let metrics = ref false in
   let trace_file = ref "" in
   let names = ref [] in
+  let partitions = ref Engine.Exec.default_config.Engine.Exec.partitions in
+  let parallel = ref false in
   let spec =
     [
       ("-scale", Arg.Set_int scale, "data scale factor (default 1)");
       ("-v", Arg.Set verbose, "verbose (print schema alternatives)");
+      ( "-partitions",
+        Arg.Set_int partitions,
+        "N  engine partition count (default 4)" );
+      ("--partitions", Arg.Set_int partitions, "N  same as -partitions");
+      ( "-parallel",
+        Arg.Set parallel,
+        "run engine partitions and schema alternatives on the domain pool" );
+      ("--parallel", Arg.Set parallel, " same as -parallel");
       ( "-metrics",
         Arg.Set metrics,
         "print the per-phase timing breakdown after each scenario and the \
@@ -222,7 +242,10 @@ let run_scenarios args =
         end
         else None
       in
-      run_scenario ~scale:!scale ~verbose:!verbose ~metrics:!metrics ~root s;
+      run_scenario ~scale:!scale ~verbose:!verbose ~metrics:!metrics
+        ~config:
+          { Engine.Exec.partitions = max 1 !partitions; parallel = !parallel }
+        ~parallel:!parallel ~root s;
       Option.iter Obs.Span.finish root)
     scenarios;
   if !metrics then

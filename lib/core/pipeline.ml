@@ -26,23 +26,28 @@ let phases = [ "backtrace"; "alternatives"; "tracing"; "msr" ]
 let phase_durations_ms_of_span span =
   List.map (fun p -> (p, Obs.Span.sum_duration_ms_named p span)) phases
 
+(* A tiled phase runner over an explicit cursor: each phase span starts
+   at the previous one's end, so span bookkeeping (and GC pauses hitting
+   it) is charged to a phase rather than falling into gaps.  The
+   sequential pipeline threads one cursor through everything; the
+   parallel pipeline gives each schema alternative its own. *)
+let phase_at cursor parent name f =
+  let sp = Obs.Span.start ~parent ~at:!cursor name in
+  Fun.protect
+    ~finally:(fun () ->
+      cursor := Obs.Clock.now_ns ();
+      Obs.Span.finish ~at:!cursor sp)
+    (fun () -> f sp)
+
 let explain ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
-    ?(alternatives : Alternatives.alternatives = []) ?parent
-    (phi : Question.t) : result =
+    ?(alternatives : Alternatives.alternatives = []) ?(parallel = false)
+    ?parent (phi : Question.t) : result =
   let root = Obs.Span.start ?parent "pipeline.explain" in
-  (* Phase spans are tiled wall-to-wall: each starts at the previous
-     one's end, so span bookkeeping (and GC pauses hitting it) is
-     charged to a phase rather than falling into gaps — the four phase
-     totals account for ≈ all of the root span. *)
+  (* Phase spans are tiled wall-to-wall — the four phase totals account
+     for ≈ all of the root span (in the sequential pipeline; concurrent
+     SA phases overlap, so there the sums can exceed the total). *)
   let cursor = ref (Obs.Span.start_ns root) in
-  let phase parent name f =
-    let sp = Obs.Span.start ~parent ~at:!cursor name in
-    Fun.protect
-      ~finally:(fun () ->
-        cursor := Obs.Clock.now_ns ();
-        Obs.Span.finish ~at:!cursor sp)
-      (fun () -> f sp)
-  in
+  let phase parent name f = phase_at cursor parent name f in
   let q = phi.Question.query in
   (* step 2 (schema alternatives); step 1 (backtracing) runs per SA since
      the NIPs depend on the substituted attributes *)
@@ -73,26 +78,54 @@ let explain ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
           (List.length original_result);
         { Msr.original_result })
   in
+  (* One SA's backtrace→tracing→MSR chain; independent across SAs. *)
+  let process_sa cursor (sa : Alternatives.sa) sasp =
+    let bt =
+      phase_at cursor sasp "backtrace" (fun _ ->
+          Backtrace.run ~env sa.Alternatives.query phi.Question.missing)
+    in
+    (* steps 3 and 4 *)
+    let trace =
+      phase_at cursor sasp "tracing" (fun _ ->
+          Tracing.run ~revalidate ~env phi.Question.db sa bt)
+    in
+    phase_at cursor sasp "msr" (fun msp ->
+        let es = Msr.from_trace ~bi ~q trace in
+        Obs.Span.set_int msp "candidates" (List.length es);
+        es)
+  in
+  let sa_name (sa : Alternatives.sa) =
+    Fmt.str "sa:S%d" (sa.Alternatives.index + 1)
+  in
   let explanations =
-    List.concat_map
-      (fun (sa : Alternatives.sa) ->
-        phase root
-          (Fmt.str "sa:S%d" (sa.Alternatives.index + 1))
-          (fun sasp ->
-            let bt =
-              phase sasp "backtrace" (fun _ ->
-                  Backtrace.run ~env sa.Alternatives.query phi.Question.missing)
-            in
-            (* steps 3 and 4 *)
-            let trace =
-              phase sasp "tracing" (fun _ ->
-                  Tracing.run ~revalidate ~env phi.Question.db sa bt)
-            in
-            phase sasp "msr" (fun msp ->
-                let es = Msr.from_trace ~bi ~q trace in
-                Obs.Span.set_int msp "candidates" (List.length es);
-                es)))
-      sas
+    if parallel && List.length sas > 1 then begin
+      (* Fan the SAs out over the shared domain pool.  The sa:S<i> spans
+         are started here on the calling domain (so their order under the
+         root is deterministic); each job tiles its three child phases
+         with a cursor of its own.  Results are awaited in SA order, so
+         the concatenated candidate list — and hence the final ranking —
+         is identical to the sequential pipeline's. *)
+      Obs.Span.set_bool root "parallel_sas" true;
+      let pool = Engine.Pool.default () in
+      let futures =
+        List.map
+          (fun (sa : Alternatives.sa) ->
+            let sasp = Obs.Span.start ~parent:root (sa_name sa) in
+            Engine.Pool.submit pool (fun () ->
+                Fun.protect
+                  ~finally:(fun () -> Obs.Span.finish sasp)
+                  (fun () ->
+                    let sa_cursor = ref (Obs.Clock.now_ns ()) in
+                    process_sa sa_cursor sa sasp)))
+          sas
+      in
+      List.concat_map Engine.Pool.await futures
+    end
+    else
+      List.concat_map
+        (fun (sa : Alternatives.sa) ->
+          phase root (sa_name sa) (fun sasp -> process_sa cursor sa sasp))
+        sas
   in
   let explanations =
     phase root "msr" (fun _ ->

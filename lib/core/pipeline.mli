@@ -33,6 +33,12 @@ val schema_env : Relation.Db.t -> Typecheck.env
            true); [false] is the no-re-validation ablation, reproducing
            the false positives of prior lineage-based approaches
     @param alternatives attribute-alternative groups per table
+    @param parallel process schema alternatives concurrently on the
+           shared {!Engine.Pool} (default false).  The explanation list
+           is byte-identical to the sequential pipeline's (per-SA results
+           are recombined in SA order before pruning and ranking); only
+           the span tree differs — concurrent sa:S<i> phases overlap, so
+           per-phase sums can exceed the root span's duration
     @param parent optional parent span; the run's root span is attached
            under it (and always returned in [result.span]) *)
 val explain :
@@ -40,6 +46,7 @@ val explain :
   ?max_sas:int ->
   ?revalidate:bool ->
   ?alternatives:Alternatives.alternatives ->
+  ?parallel:bool ->
   ?parent:Obs.Span.t ->
   Question.t ->
   result

@@ -377,42 +377,52 @@ let run ?(revalidate = true) ~(env : Typecheck.env) (db : Relation.Db.t)
       (* Equi-key conjuncts make the candidate enumeration a hash join —
          one of the design choices that keep tracing scalable (§6.1); any
          pair satisfying the full predicate necessarily agrees on the
-         equi-key conjuncts, so probing by key is lossless. *)
+         equi-key conjuncts, so probing by key is lossless and only the
+         residual predicate needs evaluating per candidate.  Candidates
+         are enumerated lazily, so even the keyless (cross-product) trace
+         never materializes the |L|·|R| pair list. *)
       let lfields = List.map fst (fields_of l)
       and rfields = List.map fst (fields_of r) in
-      let keys = Engine.Exec.equi_keys lfields rfields pred in
+      let keys, residual = Engine.Exec.equi_split lfields rfields pred in
       let candidate_pairs : (trow * trow) Seq.t =
         match keys with
         | [] ->
-          List.to_seq
-            (List.concat_map (fun lp -> List.map (fun rp -> (lp, rp)) ir) il)
+          Seq.concat_map
+            (fun lp -> Seq.map (fun rp -> (lp, rp)) (List.to_seq ir))
+            (List.to_seq il)
         | keys ->
+          let lkey_attrs = List.map fst keys
+          and rkey_attrs = List.map snd keys in
           let key_of_row attrs t =
             List.map
               (fun a -> Option.value ~default:Value.Null (Value.field a t))
               attrs
           in
+          (* Rows whose key contains Null are not indexed: [Null = Null]
+             is false under [eval_pred], so they cannot match (and a Null
+             in a probe key then finds no bucket either). *)
           let right_index = Hashtbl.create 256 in
           List.iter
             (fun rp ->
-              let k = key_of_row (List.map snd keys) rp.data in
-              Hashtbl.replace right_index k
-                (rp :: Option.value ~default:[] (Hashtbl.find_opt right_index k)))
+              let k = key_of_row rkey_attrs rp.data in
+              if not (List.exists (fun v -> v = Value.Null) k) then
+                Hashtbl.replace right_index k
+                  (rp :: Option.value ~default:[] (Hashtbl.find_opt right_index k)))
             ir;
-          List.to_seq
-            (List.concat_map
-               (fun lp ->
-                 let k = key_of_row (List.map fst keys) lp.data in
-                 List.map
-                   (fun rp -> (lp, rp))
-                   (Option.value ~default:[] (Hashtbl.find_opt right_index k)))
-               il)
+          Seq.concat_map
+            (fun lp ->
+              let k = key_of_row lkey_attrs lp.data in
+              Seq.map
+                (fun rp -> (lp, rp))
+                (List.to_seq
+                   (Option.value ~default:[] (Hashtbl.find_opt right_index k))))
+            (List.to_seq il)
       in
       let matched =
         Seq.filter_map
           (fun (lp, rp) ->
             let data = Value.concat_tuples lp.data rp.data in
-            if Expr.eval_pred data pred then begin
+            if Expr.eval_pred data residual then begin
               Hashtbl.replace matched_l lp.rid ();
               Hashtbl.replace matched_r rp.rid ();
               if lp.surviving && rp.surviving then begin

@@ -53,7 +53,9 @@ let shuffle_by ~partitions:n (key : Value.t -> Value.t) (d : t) : t * int =
     (fun src rows ->
       List.iter
         (fun row ->
-          let dst = abs (value_hash (key row)) mod n in
+          (* [land max_int] rather than [abs]: [abs min_int] is negative
+             (it overflows), which would make [dst] out of bounds. *)
+          let dst = value_hash (key row) land max_int mod n in
           if dst <> src then incr moved;
           parts.(dst) <- row :: parts.(dst))
         rows)
@@ -65,18 +67,19 @@ let gather (d : t) : t * int =
   let rows = to_list d in
   ({ partitions = [| rows |] }, List.length rows)
 
-(* [parallel] runs one domain per partition (OCaml 5 multicore) — the
-   engine's stand-in for a DISC system's task parallelism.  [f] must be
-   pure. *)
-let map_partitions ?(parallel = false) (f : Value.t list -> Value.t list)
-    (d : t) : t =
+(* [parallel] fans the partitions out over the shared domain {!Pool}
+   (the engine's stand-in for a DISC system's task parallelism) instead
+   of spawning a fresh domain per partition per operator, which cost
+   more than it bought.  [f] must be pure. *)
+let map_partitions ?(parallel = false) ?pool
+    (f : Value.t list -> Value.t list) (d : t) : t =
   if (not parallel) || Array.length d.partitions <= 1 then
     { partitions = Array.map f d.partitions }
   else
-    let spawned =
-      Array.map (fun part -> Domain.spawn (fun () -> f part)) d.partitions
+    let pool =
+      match pool with Some p -> p | None -> Pool.default ()
     in
-    { partitions = Array.map Domain.join spawned }
+    { partitions = Pool.map_array pool f d.partitions }
 
 let of_relation ~partitions (r : Relation.t) : t =
   distribute ~partitions (Relation.tuples r)

@@ -27,8 +27,14 @@ val shuffle_by : partitions:int -> (Value.t -> Value.t) -> t -> t * int
 (** Collapse to a single partition; returns the rows moved. *)
 val gather : t -> t * int
 
-(** Transform every partition; with [parallel] one domain per partition
-    (the engine's task parallelism).  [f] must be pure. *)
-val map_partitions : ?parallel:bool -> (Value.t list -> Value.t list) -> t -> t
+(** Transform every partition; with [parallel] the partitions are
+    processed concurrently on [pool] (default {!Pool.default} — the
+    engine's task parallelism).  [f] must be pure. *)
+val map_partitions :
+  ?parallel:bool ->
+  ?pool:Pool.t ->
+  (Value.t list -> Value.t list) ->
+  t ->
+  t
 val of_relation : partitions:int -> Relation.t -> t
 val to_relation : schema:Vtype.t -> t -> Relation.t

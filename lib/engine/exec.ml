@@ -20,48 +20,94 @@ let default_config = { partitions = 4; parallel = false }
 let schema_env (db : Relation.Db.t) : Typecheck.env =
   List.map (fun (n, r) -> (n, Relation.schema r)) (Relation.Db.tables db)
 
-(* Extract equi-join key attribute pairs (left attr, right attr) from the
-   conjunctive closure of a predicate. *)
-let equi_keys (lfields : string list) (rfields : string list) (p : Expr.pred) :
-    (string * string) list =
+(* Split a join predicate's conjunctive closure into equi-join key
+   attribute pairs (left attr, right attr) and the residual predicate
+   (the conjuncts that are not equi-key comparisons, [True] if none).
+   The hash-join kernel probes by key and evaluates only the residual. *)
+let equi_split (lfields : string list) (rfields : string list) (p : Expr.pred)
+    : (string * string) list * Expr.pred =
   let rec conjuncts = function
     | Expr.And (a, b) -> conjuncts a @ conjuncts b
     | p -> [ p ]
   in
-  List.filter_map
-    (fun c ->
-      match c with
-      | Expr.Cmp (Expr.Eq, Expr.Attr a, Expr.Attr b) ->
-        if List.mem a lfields && List.mem b rfields then Some (a, b)
-        else if List.mem b lfields && List.mem a rfields then Some (b, a)
-        else None
-      | _ -> None)
-    (conjuncts p)
+  let keys, residual =
+    List.fold_left
+      (fun (keys, residual) c ->
+        match c with
+        | Expr.Cmp (Expr.Eq, Expr.Attr a, Expr.Attr b)
+          when List.mem a lfields && List.mem b rfields ->
+          ((a, b) :: keys, residual)
+        | Expr.Cmp (Expr.Eq, Expr.Attr a, Expr.Attr b)
+          when List.mem b lfields && List.mem a rfields ->
+          ((b, a) :: keys, residual)
+        | c -> (keys, c :: residual))
+      ([], []) (conjuncts p)
+  in
+  let residual =
+    match List.rev residual with
+    | [] -> Expr.True
+    | c :: rest -> List.fold_left (fun acc c -> Expr.And (acc, c)) c rest
+  in
+  (List.rev keys, residual)
 
-let key_of attrs (t : Value.t) : Value.t =
-  Value.Tuple
-    (List.map
-       (fun a ->
-         match Value.field a t with
-         | Some v -> (a, v)
-         | None -> err "engine: unknown key attribute %s" a)
-       attrs)
+let equi_keys lfields rfields p = fst (equi_split lfields rfields p)
 
-(* Per-row kernels shared by narrow operators. *)
+(* Per-row kernels shared by narrow operators.  All of these are staged:
+   applying the first argument(s) precomputes the lookup structures once,
+   so the per-row closure does no list scans over the parameters. *)
+
+(* Key projection staged over the attribute list: one pass over the
+   row's fields instead of one [Value.field] scan per key attribute. *)
+let key_of attrs : Value.t -> Value.t =
+  let n = List.length attrs in
+  let slot = Hashtbl.create (2 * n) in
+  List.iteri
+    (fun i a -> if not (Hashtbl.mem slot a) then Hashtbl.replace slot a i)
+    attrs;
+  let attr_arr = Array.of_list attrs in
+  fun t ->
+    match t with
+    | Value.Tuple fields ->
+      let found = Array.make (max n 1) None in
+      List.iter
+        (fun (l, v) ->
+          match Hashtbl.find_opt slot l with
+          | Some i -> if found.(i) = None then found.(i) <- Some v
+          | None -> ())
+        fields;
+      Value.Tuple
+        (List.map
+           (fun a ->
+             match found.(Hashtbl.find slot a) with
+             | Some v -> (a, v)
+             | None -> err "engine: unknown key attribute %s" a)
+           (Array.to_list attr_arr))
+    | _ ->
+      Value.Tuple
+        (List.map
+           (fun a ->
+             match Value.field a t with
+             | Some v -> (a, v)
+             | None -> err "engine: unknown key attribute %s" a)
+           attrs)
 
 let project_row cols t =
   Value.Tuple (List.map (fun (name, e) -> (name, Expr.eval t e)) cols)
 
-let rename_row pairs t =
+let rename_row pairs : Value.t -> Value.t =
+  let fresh_of = Hashtbl.create (2 * List.length pairs) in
+  List.iter
+    (fun (fresh, old) ->
+      if not (Hashtbl.mem fresh_of old) then Hashtbl.replace fresh_of old fresh)
+    pairs;
   let rename_label l =
-    match List.find_opt (fun (_, old) -> String.equal old l) pairs with
-    | Some (fresh, _) -> fresh
-    | None -> l
+    match Hashtbl.find_opt fresh_of l with Some fresh -> fresh | None -> l
   in
-  match t with
-  | Value.Tuple fields ->
-    Value.Tuple (List.map (fun (l, v) -> (rename_label l, v)) fields)
-  | _ -> err "engine: rename of non-tuple"
+  fun t ->
+    match t with
+    | Value.Tuple fields ->
+      Value.Tuple (List.map (fun (l, v) -> (rename_label l, v)) fields)
+    | _ -> err "engine: rename of non-tuple"
 
 let flatten_tuple_row inner_ty a t =
   match Value.field a t with
@@ -82,21 +128,25 @@ let flatten_rel_rows kind inner_ty a t =
   | [], Query.Flat_outer -> [ Value.concat_tuples t (Vtype.null_tuple inner_ty) ]
   | rows, _ -> rows
 
-let nest_tuple_row pairs c_name t =
-  let attrs = List.map snd pairs in
-  match t with
-  | Value.Tuple fields ->
-    let rest = List.filter (fun (l, _) -> not (List.mem l attrs)) fields in
-    let nested =
-      List.map
-        (fun (label, a) ->
-          match List.assoc_opt a fields with
-          | Some v -> (label, v)
-          | None -> err "engine: unknown attribute %s" a)
-        pairs
-    in
-    Value.Tuple (rest @ [ (c_name, Value.Tuple nested) ])
-  | _ -> err "engine: nest_tuple of non-tuple"
+let nest_tuple_row pairs c_name : Value.t -> Value.t =
+  let nested_attr = Hashtbl.create (2 * List.length pairs) in
+  List.iter (fun (_, a) -> Hashtbl.replace nested_attr a ()) pairs;
+  fun t ->
+    match t with
+    | Value.Tuple fields ->
+      let rest =
+        List.filter (fun (l, _) -> not (Hashtbl.mem nested_attr l)) fields
+      in
+      let nested =
+        List.map
+          (fun (label, a) ->
+            match List.assoc_opt a fields with
+            | Some v -> (label, v)
+            | None -> err "engine: unknown attribute %s" a)
+          pairs
+      in
+      Value.Tuple (rest @ [ (c_name, Value.Tuple nested) ])
+    | _ -> err "engine: nest_tuple of non-tuple"
 
 let agg_tuple_row fn a b t =
   let values =
@@ -110,6 +160,106 @@ let agg_tuple_row fn a b t =
     | Some _ -> err "engine: per-tuple aggregation of non-bag attribute %s" a
   in
   Value.concat_tuples t (Value.Tuple [ (b, Agg.apply fn values) ])
+
+(* Partition-local join kernel.  With equi-keys this is a hash join: the
+   smaller side is indexed by its key tuple and the other side probes,
+   evaluating only the residual predicate on each candidate — candidate
+   enumeration is lossless because any pair satisfying the full predicate
+   agrees on the equi-key conjuncts.  Without keys it degrades to the
+   nested loop (the full predicate is then the residual).  Row order
+   within a partition is irrelevant: bags are normalized downstream. *)
+let join_partition ~keys ~(residual : Expr.pred) ~kind ~lnull ~rnull
+    (lrows : Value.t list) (rrows : Value.t list) : Value.t list =
+  let matched_left = Hashtbl.create 16 in
+  let matched_right = Hashtbl.create 16 in
+  let inner =
+    match keys with
+    | [] ->
+      List.concat
+        (List.mapi
+           (fun li t ->
+             List.filter_map
+               (fun (ri, u) ->
+                 let joined = Value.concat_tuples t u in
+                 if Expr.eval_pred joined residual then begin
+                   Hashtbl.replace matched_left li ();
+                   Hashtbl.replace matched_right ri ();
+                   Some joined
+                 end
+                 else None)
+               (List.mapi (fun ri u -> (ri, u)) rrows))
+           lrows)
+    | keys ->
+      let lkey = key_of (List.map fst keys)
+      and rkey = key_of (List.map snd keys) in
+      (* Key tuples are compared positionally (labels stripped) so that
+         the two sides' attribute names do not have to agree.  A key
+         containing Null can never satisfy an equality conjunct
+         ([Null = Null] is false, as in SQL), so such rows are excluded
+         from both build and probe — they surface only as outer pads. *)
+      let key_values k t =
+        match k t with
+        | Value.Tuple fields -> List.map snd fields
+        | v -> [ v ]
+      in
+      let has_null = List.exists (fun v -> v = Value.Null) in
+      let build_is_left = List.length lrows <= List.length rrows in
+      let build_rows, build_key, probe_rows, probe_key =
+        if build_is_left then (lrows, key_values lkey, rrows, key_values rkey)
+        else (rrows, key_values rkey, lrows, key_values lkey)
+      in
+      let index = Hashtbl.create (2 * List.length build_rows) in
+      List.iteri
+        (fun bi b ->
+          let k = build_key b in
+          if not (has_null k) then
+            Hashtbl.replace index k
+              ((bi, b) :: Option.value ~default:[] (Hashtbl.find_opt index k)))
+        build_rows;
+      let matched_build, matched_probe =
+        if build_is_left then (matched_left, matched_right)
+        else (matched_right, matched_left)
+      in
+      List.concat
+        (List.mapi
+           (fun pi p ->
+             List.filter_map
+               (fun (bi, b) ->
+                 let joined =
+                   if build_is_left then Value.concat_tuples b p
+                   else Value.concat_tuples p b
+                 in
+                 if Expr.eval_pred joined residual then begin
+                   Hashtbl.replace matched_build bi ();
+                   Hashtbl.replace matched_probe pi ();
+                   Some joined
+                 end
+                 else None)
+               (Option.value ~default:[]
+                  (Hashtbl.find_opt index (probe_key p))))
+           probe_rows)
+  in
+  let left_pad () =
+    List.concat
+      (List.mapi
+         (fun li t ->
+           if Hashtbl.mem matched_left li then []
+           else [ Value.concat_tuples t rnull ])
+         lrows)
+  in
+  let right_pad () =
+    List.concat
+      (List.mapi
+         (fun ri u ->
+           if Hashtbl.mem matched_right ri then []
+           else [ Value.concat_tuples lnull u ])
+         rrows)
+  in
+  match kind with
+  | Query.Inner -> inner
+  | Query.Left -> inner @ left_pad ()
+  | Query.Right -> inner @ right_pad ()
+  | Query.Full -> inner @ left_pad () @ right_pad ()
 
 (* Group rows of one partition by key. *)
 let group_rows (key : Value.t -> Value.t) (rows : Value.t list) :
@@ -198,7 +348,9 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
     | Query.Select pred, [ c ] ->
       narrow c (fun t -> if Expr.eval_pred t pred then [ t ] else [])
     | Query.Project cols, [ c ] -> narrow c (fun t -> [ project_row cols t ])
-    | Query.Rename pairs, [ c ] -> narrow c (fun t -> [ rename_row pairs t ])
+    | Query.Rename pairs, [ c ] ->
+      let rename = rename_row pairs in
+      narrow c (fun t -> [ rename t ])
     | Query.Flatten_tuple a, [ c ] ->
       let cty = Typecheck.infer env c in
       let inner_ty =
@@ -216,7 +368,8 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
       in
       narrow c (flatten_rel_rows kind inner_ty a)
     | Query.Nest_tuple (pairs, c_name), [ c ] ->
-      narrow c (fun t -> [ nest_tuple_row pairs c_name t ])
+      let nest = nest_tuple_row pairs c_name in
+      narrow c (fun t -> [ nest t ])
     | Query.Agg_tuple (fn, a, b), [ c ] ->
       narrow c (fun t -> [ agg_tuple_row fn a b t ])
     | Query.Union, [ l; r ] ->
@@ -346,7 +499,7 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
     let rnull = Vtype.null_tuple (Vtype.element rty) in
     let dl = go sp l and dr = go sp r in
     let input = Dataset.cardinal dl + Dataset.cardinal dr in
-    let keys = equi_keys lfields rfields pred in
+    let keys, residual = equi_split lfields rfields pred in
     let ssp = sub sp "shuffle" in
     let dl, dr, moved =
       match keys with
@@ -375,48 +528,14 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
     let part d i =
       if i < Dataset.partition_count d then (Dataset.partitions d).(i) else []
     in
+    let join_part i =
+      join_partition ~keys ~residual ~kind ~lnull ~rnull (part dl i)
+        (part dr i)
+    in
     let parts =
-      Array.init np (fun i ->
-          let lrows = part dl i and rrows = part dr i in
-          let matched_left = Hashtbl.create 16 in
-          let matched_right = Hashtbl.create 16 in
-          let inner =
-            List.concat
-              (List.mapi
-                 (fun li t ->
-                   List.filter_map
-                     (fun (ri, u) ->
-                       let joined = Value.concat_tuples t u in
-                       if Expr.eval_pred joined pred then begin
-                         Hashtbl.replace matched_left li ();
-                         Hashtbl.replace matched_right ri ();
-                         Some joined
-                       end
-                       else None)
-                     (List.mapi (fun ri u -> (ri, u)) rrows))
-                 lrows)
-          in
-          let left_pad =
-            List.concat
-              (List.mapi
-                 (fun li t ->
-                   if Hashtbl.mem matched_left li then []
-                   else [ Value.concat_tuples t rnull ])
-                 lrows)
-          in
-          let right_pad =
-            List.concat
-              (List.mapi
-                 (fun ri u ->
-                   if Hashtbl.mem matched_right ri then []
-                   else [ Value.concat_tuples lnull u ])
-                 rrows)
-          in
-          match kind with
-          | Query.Inner -> inner
-          | Query.Left -> inner @ left_pad
-          | Query.Right -> inner @ right_pad
-          | Query.Full -> inner @ left_pad @ right_pad)
+      if parallel && np > 1 then
+        Pool.map_array (Pool.default ()) join_part (Array.init np Fun.id)
+      else Array.init np join_part
     in
     let out = Dataset.of_partitions parts in
     ostat.Stats.input_rows <- ostat.Stats.input_rows + input;

@@ -18,9 +18,16 @@ type config = {
 
 val default_config : config
 
-(** Equi-join key attribute pairs (left attr, right attr) extractable
-    from the conjunctive closure of a join predicate; determines whether
-    the join hash-partitions or gathers. *)
+(** Split a join predicate's conjunctive closure into equi-join key
+    attribute pairs (left attr, right attr) and the residual predicate
+    ([True] when every conjunct is an equi-key comparison).  The
+    hash-join kernel indexes the smaller side by key and evaluates only
+    the residual on probe candidates. *)
+val equi_split :
+  string list -> string list -> Expr.pred -> (string * string) list * Expr.pred
+
+(** The key pairs of {!equi_split}; determines whether the join
+    hash-partitions or gathers. *)
 val equi_keys : string list -> string list -> Expr.pred -> (string * string) list
 
 (** Execute a plan; returns the result relation and execution

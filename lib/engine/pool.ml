@@ -1,0 +1,152 @@
+(* Fixed-size domain pool — the engine's task-parallel substrate.
+
+   OCaml 5 domains are heavyweight (each owns a minor heap and a slice
+   of the GC), so spawning one per partition per operator — what
+   [Dataset.map_partitions] did before this module existed — costs more
+   than the partition work it parallelizes.  Instead we spawn
+   [Domain.recommended_domain_count () - 1] workers once, feed them
+   through a mutex/condvar work queue, and hand callers futures.
+
+   [await] *helps*: while its future is pending it pops and runs queued
+   jobs on the calling domain.  This keeps nested submissions safe (a
+   pooled job may itself submit to the same pool and await without
+   deadlocking even when every worker is blocked the same way) and means
+   a pool of size 1 still makes progress on a single-core machine. *)
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type t = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  size : int;
+}
+
+and 'a future = {
+  pool : t;
+  fmutex : Mutex.t;
+  fdone : Condition.t;
+  mutable state : 'a state;
+}
+
+let size pool = pool.size
+
+let worker_loop pool () =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    let rec next () =
+      match Queue.take_opt pool.queue with
+      | Some job -> Some job
+      | None ->
+        if pool.closed then None
+        else begin
+          Condition.wait pool.not_empty pool.mutex;
+          next ()
+        end
+    in
+    let job = next () in
+    Mutex.unlock pool.mutex;
+    match job with
+    | None -> ()
+    | Some job ->
+      job ();
+      loop ()
+  in
+  loop ()
+
+let create ?size () =
+  let size =
+    match size with
+    | Some s -> max 1 s
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let pool =
+    {
+      mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+      size;
+    }
+  in
+  pool.workers <- List.init size (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let submit (pool : t) (f : unit -> 'a) : 'a future =
+  let fut =
+    { pool; fmutex = Mutex.create (); fdone = Condition.create (); state = Pending }
+  in
+  let job () =
+    let outcome = match f () with v -> Done v | exception e -> Failed e in
+    Mutex.lock fut.fmutex;
+    fut.state <- outcome;
+    Condition.broadcast fut.fdone;
+    Mutex.unlock fut.fmutex
+  in
+  Mutex.lock pool.mutex;
+  if pool.closed then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.add job pool.queue;
+  Condition.signal pool.not_empty;
+  Mutex.unlock pool.mutex;
+  fut
+
+let try_steal (pool : t) : (unit -> unit) option =
+  Mutex.lock pool.mutex;
+  let job = Queue.take_opt pool.queue in
+  Mutex.unlock pool.mutex;
+  job
+
+let rec await (fut : 'a future) : 'a =
+  Mutex.lock fut.fmutex;
+  let state = fut.state in
+  Mutex.unlock fut.fmutex;
+  match state with
+  | Done v -> v
+  | Failed e -> raise e
+  | Pending -> (
+    (* Run queued work on this domain while we wait — see module header. *)
+    match try_steal fut.pool with
+    | Some job ->
+      job ();
+      await fut
+    | None ->
+      Mutex.lock fut.fmutex;
+      while fut.state = Pending do
+        Condition.wait fut.fdone fut.fmutex
+      done;
+      Mutex.unlock fut.fmutex;
+      await fut)
+
+let map_array (pool : t) (f : 'a -> 'b) (xs : 'a array) : 'b array =
+  (* Await in submission order: results are deterministic and the first
+     exception to propagate is the leftmost one. *)
+  match Array.length xs with
+  | 0 -> [||]
+  | 1 -> [| f xs.(0) |]
+  | _ ->
+    let futures = Array.map (fun x -> submit pool (fun () -> f x)) xs in
+    Array.map await futures
+
+let map_list (pool : t) (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  Array.to_list (map_array pool f (Array.of_list xs))
+
+let shutdown (pool : t) : unit =
+  Mutex.lock pool.mutex;
+  let workers = pool.workers in
+  pool.closed <- true;
+  pool.workers <- [];
+  Condition.broadcast pool.not_empty;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers
+
+(* The shared pool: created on first use, lives for the process (worker
+   domains idle on a condvar when the queue is empty, so an unused pool
+   costs nothing but memory). *)
+let default_pool = lazy (create ())
+let default () = Lazy.force default_pool

@@ -1,0 +1,40 @@
+(** Fixed-size domain pool with a work queue and futures.
+
+    Domains are expensive to spawn (each owns a minor heap), so the pool
+    spawns its workers once and reuses them across submissions — the
+    engine's stand-in for a DISC system's long-lived executors.
+
+    {!await} {e helps}: a domain blocked on a pending future pops and
+    runs queued jobs itself, so nested submissions (a pooled job
+    submitting to its own pool) cannot deadlock, and a size-1 pool on a
+    single-core machine still makes progress. *)
+
+type t
+
+type 'a future
+
+(** Spawn a pool of [size] worker domains (default
+    [Domain.recommended_domain_count () - 1], at least 1). *)
+val create : ?size:int -> unit -> t
+
+val size : t -> int
+
+(** Enqueue a job; raises [Invalid_argument] after {!shutdown}. *)
+val submit : t -> (unit -> 'a) -> 'a future
+
+(** Block until the future resolves, helping with queued work in the
+    meantime.  Re-raises the job's exception if it failed. *)
+val await : 'a future -> 'a
+
+(** Apply [f] to every element concurrently; results come back in input
+    order (deterministic), and the leftmost exception propagates. *)
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Drain-free graceful teardown: workers finish the jobs already
+    queued, then exit; [shutdown] joins them all.  Idempotent. *)
+val shutdown : t -> unit
+
+(** The process-wide shared pool, created on first use. *)
+val default : unit -> t

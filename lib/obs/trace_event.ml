@@ -3,9 +3,10 @@
    Serializes span trees into the JSON Array Format understood by
    chrome://tracing and Perfetto: one complete ("ph":"X") event per
    finished span, with microsecond timestamps relative to the earliest
-   root and the span's attributes as "args".  Events are emitted in
-   pre-order, so timestamps are non-decreasing (monotonic clock +
-   children start after their parents).
+   root and the span's attributes as "args".  Events are sorted by start
+   timestamp (stable, so pre-order is kept among equal stamps): with
+   concurrent spans — parallel schema alternatives overlap — pre-order
+   alone is not chronological.
 
    The JSON values are built with [Nested.Json] — the same codec the
    engine's databases round-trip through — so traces are parseable by
@@ -51,13 +52,17 @@ let to_json ?(pid = 1) (roots : Span.t list) : Json.json =
       max_int roots
   in
   let origin_ns = if roots = [] then 0 else origin_ns in
-  let events =
+  let spans =
     List.concat_map
-      (fun root ->
-        List.rev
-          (Span.fold (fun acc sp -> event ~origin_ns ~pid sp :: acc) [] root))
+      (fun root -> List.rev (Span.fold (fun acc sp -> sp :: acc) [] root))
       roots
   in
+  let spans =
+    List.stable_sort
+      (fun a b -> compare (Span.start_ns a) (Span.start_ns b))
+      spans
+  in
+  let events = List.map (event ~origin_ns ~pid) spans in
   Json.J_object
     [
       ("traceEvents", Json.J_array events);

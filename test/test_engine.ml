@@ -68,6 +68,44 @@ let queries () =
         Query.join g Query.Inner
           (Expr.Cmp (Expr.Lt, Expr.attr "a", Expr.attr "c"))
           (Query.table g "r") (Query.table g "s"));
+    (* equi-key plus residual conjunct: exercises the hash-join kernel's
+       residual predicate on every join kind *)
+    q "residual inner join" (fun g ->
+        Query.join g Query.Inner
+          (Expr.And (a_eq_c, Expr.Cmp (Expr.Neq, Expr.attr "b", Expr.str "x")))
+          (Query.table g "r") (Query.table g "s"));
+    q "residual left join" (fun g ->
+        Query.join g Query.Left
+          (Expr.And (a_eq_c, Expr.Cmp (Expr.Eq, Expr.attr "d", Expr.str "u")))
+          (Query.table g "r") (Query.table g "s"));
+    q "residual right join" (fun g ->
+        Query.join g Query.Right
+          (Expr.And (a_eq_c, Expr.Cmp (Expr.Gt, Expr.attr "a", Expr.int 1)))
+          (Query.table g "r") (Query.table g "s"));
+    q "residual full join" (fun g ->
+        Query.join g Query.Full
+          (Expr.And
+             ( a_eq_c,
+               Expr.Or
+                 ( Expr.Cmp (Expr.Eq, Expr.attr "b", Expr.str "y"),
+                   Expr.Cmp (Expr.Eq, Expr.attr "d", Expr.str "v") ) ))
+          (Query.table g "r") (Query.table g "s"));
+    (* two equi-key pairs; b and d have disjoint domains, so no pair
+       matches and every row of both sides must come back padded *)
+    q "multi-key full join" (fun g ->
+        Query.join g Query.Full
+          (Expr.And
+             (a_eq_c, Expr.Cmp (Expr.Eq, Expr.attr "b", Expr.attr "d")))
+          (Query.table g "r") (Query.table g "s"));
+    (* the left join pads unmatched rows with Null c; those rows must
+       not hash-match anything downstream (Null = Null is not true) *)
+    q "null-key join" (fun g ->
+        Query.join g Query.Inner
+          (Expr.Cmp (Expr.Eq, Expr.attr "c", Expr.attr "k2"))
+          (Query.join g Query.Left a_eq_c (Query.table g "r") (Query.table g "s"))
+          (Query.rename g
+             [ ("k2", "c") ]
+             (Query.project_attrs g [ "c" ] (Query.table g "s"))));
     q "union" (fun g -> Query.union g (Query.table g "r") (Query.table g "r"));
     q "diff" (fun g ->
         Query.diff g (Query.table g "r")

@@ -1,0 +1,109 @@
+(* The parallel execution layer must be invisible in the results: the
+   engine with [parallel = true] agrees with [Nrab.Eval] and with the
+   sequential engine on every registered scenario, and the pipeline's
+   explanation ranking is byte-identical with schema alternatives fanned
+   out over the domain pool. *)
+
+open Nested
+
+let relation_string r = Value.to_string (Relation.data r)
+
+let scenario_instances () =
+  List.map
+    (fun (s : Scenarios.Scenario.t) ->
+      (s.Scenarios.Scenario.name, s.Scenarios.Scenario.make ~scale:1))
+    Scenarios.Registry.all
+
+(* Eval = sequential engine = parallel engine, for every scenario. *)
+let test_engine_agreement () =
+  List.iter
+    (fun (name, (inst : Scenarios.Scenario.instance)) ->
+      let phi = inst.Scenarios.Scenario.question in
+      let db = phi.Whynot.Question.db in
+      let q = phi.Whynot.Question.query in
+      let expected = relation_string (Nrab.Eval.eval db q) in
+      let run parallel =
+        let r, _ =
+          Engine.Exec.run ~config:{ Engine.Exec.partitions = 4; parallel } db q
+        in
+        relation_string r
+      in
+      Alcotest.(check string)
+        (Fmt.str "%s: sequential engine = Eval" name)
+        expected (run false);
+      Alcotest.(check string)
+        (Fmt.str "%s: parallel engine = Eval" name)
+        expected (run true))
+    (scenario_instances ())
+
+(* RP with parallel SAs ranks identically to the sequential pipeline. *)
+let test_pipeline_ranking_identical () =
+  List.iter
+    (fun (name, (inst : Scenarios.Scenario.instance)) ->
+      let phi = inst.Scenarios.Scenario.question in
+      let alternatives = inst.Scenarios.Scenario.alternatives in
+      let seq = Whynot.Pipeline.explain ~alternatives phi in
+      let par = Whynot.Pipeline.explain ~parallel:true ~alternatives phi in
+      Alcotest.(check (list (list int)))
+        (Fmt.str "%s: explanation sets" name)
+        (Whynot.Pipeline.explanation_sets seq)
+        (Whynot.Pipeline.explanation_sets par))
+    (scenario_instances ())
+
+(* The span tree keeps one sa:S<i> child per schema alternative even
+   when the SAs run concurrently, and each still has its three phases. *)
+let test_parallel_span_tree () =
+  (* pick the first scenario that enumerates more than one SA — only
+     then does the pipeline actually fan out over the pool *)
+  let par =
+    List.find_map
+      (fun (_, (inst : Scenarios.Scenario.instance)) ->
+        let r =
+          Whynot.Pipeline.explain ~parallel:true
+            ~alternatives:inst.Scenarios.Scenario.alternatives
+            inst.Scenarios.Scenario.question
+        in
+        if List.length r.Whynot.Pipeline.sas > 1 then Some r else None)
+      (scenario_instances ())
+    |> Option.get
+  in
+  let n_sas = List.length par.Whynot.Pipeline.sas in
+  let span = par.Whynot.Pipeline.span in
+  let sa_spans =
+    Obs.Span.find_all
+      (fun sp ->
+        String.length (Obs.Span.name sp) > 3
+        && String.sub (Obs.Span.name sp) 0 3 = "sa:")
+      span
+  in
+  Alcotest.(check int) "one sa span per SA" n_sas (List.length sa_spans);
+  List.iter
+    (fun sp ->
+      Alcotest.(check bool)
+        (Fmt.str "%s finished" (Obs.Span.name sp))
+        true (Obs.Span.finished sp);
+      List.iter
+        (fun phase ->
+          Alcotest.(check int)
+            (Fmt.str "%s has %s" (Obs.Span.name sp) phase)
+            1
+            (Obs.Span.count_named phase sp))
+        [ "backtrace"; "tracing"; "msr" ])
+    sa_spans;
+  match Obs.Span.attr span "parallel_sas" with
+  | Some (Obs.Span.Bool true) -> ()
+  | _ -> Alcotest.fail "root span must record parallel_sas"
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "engine parallel = sequential = Eval" `Quick
+            test_engine_agreement;
+          Alcotest.test_case "pipeline ranking parallel = sequential" `Quick
+            test_pipeline_ranking_identical;
+        ] );
+      ( "spans",
+        [ Alcotest.test_case "parallel span tree" `Quick test_parallel_span_tree ] );
+    ]

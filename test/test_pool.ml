@@ -1,0 +1,123 @@
+(* Unit tests for the shared domain pool: result ordering, exception
+   propagation, reuse across submissions, nested submission (helping),
+   and teardown. *)
+
+let test_map_array_ordering () =
+  let pool = Engine.Pool.create ~size:2 () in
+  let results =
+    Engine.Pool.map_array pool (fun i -> i * i) (Array.init 100 Fun.id)
+  in
+  Alcotest.(check (array int))
+    "results in input order"
+    (Array.init 100 (fun i -> i * i))
+    results;
+  Engine.Pool.shutdown pool
+
+let test_map_list_ordering () =
+  let pool = Engine.Pool.create ~size:2 () in
+  let results =
+    Engine.Pool.map_list pool String.uppercase_ascii [ "a"; "b"; "c" ]
+  in
+  Alcotest.(check (list string)) "list order" [ "A"; "B"; "C" ] results;
+  Engine.Pool.shutdown pool
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let pool = Engine.Pool.create ~size:2 () in
+  let fut = Engine.Pool.submit pool (fun () -> raise (Boom 7)) in
+  Alcotest.check_raises "await re-raises" (Boom 7) (fun () ->
+      ignore (Engine.Pool.await fut));
+  (* the pool must survive a failed job *)
+  let fut2 = Engine.Pool.submit pool (fun () -> 42) in
+  Alcotest.(check int) "pool alive after failure" 42 (Engine.Pool.await fut2);
+  Engine.Pool.shutdown pool
+
+let test_map_array_leftmost_exception () =
+  let pool = Engine.Pool.create ~size:2 () in
+  (try
+     ignore
+       (Engine.Pool.map_array pool
+          (fun i -> if i mod 3 = 0 then raise (Boom i) else i)
+          (Array.init 10 (fun i -> i + 3)));
+     Alcotest.fail "expected Boom"
+   with Boom i ->
+     (* inputs 3..12; 3 is the leftmost failing element *)
+     Alcotest.(check int) "leftmost failure wins" 3 i);
+  Engine.Pool.shutdown pool
+
+let test_reuse_across_submissions () =
+  let pool = Engine.Pool.create ~size:1 () in
+  let total = ref 0 in
+  for round = 1 to 5 do
+    let results =
+      Engine.Pool.map_array pool (fun i -> i + round) (Array.init 8 Fun.id)
+    in
+    total := !total + Array.fold_left ( + ) 0 results
+  done;
+  (* sum over rounds of (0+..+7) + 8*round = 28*5 + 8*15 *)
+  Alcotest.(check int) "five rounds on one pool" 260 !total;
+  Engine.Pool.shutdown pool
+
+let test_nested_submission () =
+  (* a pooled job fanning out on its own pool: await must help with
+     queued work, or a size-1 pool would deadlock here *)
+  let pool = Engine.Pool.create ~size:1 () in
+  let fut =
+    Engine.Pool.submit pool (fun () ->
+        let inner =
+          Engine.Pool.map_array pool (fun i -> i * 2) (Array.init 5 Fun.id)
+        in
+        Array.fold_left ( + ) 0 inner)
+  in
+  Alcotest.(check int) "nested fan-out completes" 20 (Engine.Pool.await fut);
+  Engine.Pool.shutdown pool
+
+let test_shutdown_rejects_submit () =
+  let pool = Engine.Pool.create ~size:1 () in
+  Engine.Pool.shutdown pool;
+  Engine.Pool.shutdown pool (* idempotent *);
+  match Engine.Pool.submit pool (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "submit after shutdown must raise"
+
+let test_await_after_shutdown_job_done () =
+  let pool = Engine.Pool.create ~size:1 () in
+  let fut = Engine.Pool.submit pool (fun () -> "done") in
+  Alcotest.(check string) "resolves" "done" (Engine.Pool.await fut);
+  Engine.Pool.shutdown pool;
+  (* a resolved future stays readable after teardown *)
+  Alcotest.(check string) "still resolved" "done" (Engine.Pool.await fut)
+
+let test_default_pool_is_shared () =
+  let p1 = Engine.Pool.default () in
+  let p2 = Engine.Pool.default () in
+  Alcotest.(check bool) "same instance" true (p1 == p2);
+  Alcotest.(check bool) "at least one worker" true (Engine.Pool.size p1 >= 1)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "futures",
+        [
+          Alcotest.test_case "map_array ordering" `Quick test_map_array_ordering;
+          Alcotest.test_case "map_list ordering" `Quick test_map_list_ordering;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "leftmost exception wins" `Quick
+            test_map_array_leftmost_exception;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "reuse across submissions" `Quick
+            test_reuse_across_submissions;
+          Alcotest.test_case "nested submission (helping)" `Quick
+            test_nested_submission;
+          Alcotest.test_case "submit after shutdown" `Quick
+            test_shutdown_rejects_submit;
+          Alcotest.test_case "future outlives pool" `Quick
+            test_await_after_shutdown_job_done;
+          Alcotest.test_case "default pool shared" `Quick
+            test_default_pool_is_shared;
+        ] );
+    ]
