@@ -104,6 +104,25 @@ let json_records : json_record list ref = ref []
 
 let add_json r = if !json_file <> "" then json_records := r :: !json_records
 
+(* Records of the [serve] target — service-level numbers (cold vs warm
+   latency, throughput, hit ratio) rather than pipeline phases. *)
+type serve_record = {
+  vscenario : string;
+  vscale : int;
+  vcold_ms : float;
+  vwarm_ms : float;
+  vspeedup : float;
+  vrequests : int;
+  vrps : float;
+  vhits : int;
+  vmisses : int;
+  vhit_ratio : float;
+}
+
+let serve_records : serve_record list ref = ref []
+
+let add_serve r = if !json_file <> "" then serve_records := r :: !serve_records
+
 let write_json () =
   if !json_file <> "" then begin
     let oc = open_out !json_file in
@@ -136,15 +155,31 @@ let write_json () =
     output_string oc "  \"records\": [\n";
     output_string oc
       (String.concat ",\n" (List.rev_map record !json_records));
-    output_string oc "\n  ]\n}\n";
+    output_string oc "\n  ]";
+    if !serve_records <> [] then begin
+      let serve_rec r =
+        Fmt.str
+          "    {\"scenario\": %S, \"scale\": %d, \"cold_ms\": %.3f, \
+           \"warm_ms\": %.4f, \"speedup\": %.1f, \"requests\": %d, \
+           \"requests_per_sec\": %.1f, \"hits\": %d, \"misses\": %d, \
+           \"hit_ratio\": %.3f}"
+          r.vscenario r.vscale r.vcold_ms r.vwarm_ms r.vspeedup r.vrequests
+          r.vrps r.vhits r.vmisses r.vhit_ratio
+      in
+      output_string oc ",\n  \"serve\": [\n";
+      output_string oc
+        (String.concat ",\n" (List.rev_map serve_rec !serve_records));
+      output_string oc "\n  ]"
+    end;
+    output_string oc "\n}\n";
     close_out oc;
     Fmt.pr "@.json summary written to %s (%d records)@." !json_file
-      (List.length !json_records)
+      (List.length !json_records + List.length !serve_records)
   end
 
 let scenario name = Option.get (Scenarios.Registry.find name)
 
-let instance ?(scale = 1) s = s.Scenarios.Scenario.make ~scale
+let instance ?(scale = 1) s = s.Scenarios.Scenario.make ~scale ()
 
 let run_rp inst =
   Whynot.Pipeline.explain ~parallel:!parallel
@@ -533,6 +568,119 @@ let ablation () =
         (List.length spurious))
     Scenarios.Registry.all
 
+(* --- Serve: service-level latency, cache effectiveness, throughput ------- *)
+
+let now_ms () = float_of_int (Obs.Clock.now_ns ()) /. 1e6
+
+(* Cold = the first explain of a freshly created server (full pipeline:
+   alternatives, backtrace, tracing, MSR).  Warm = the same request again
+   (an explanation-cache lookup; the payload is reused, not recomputed).
+   Throughput pushes warm requests through the full wire path —
+   [handle_line] parses the request and serializes the response, so the
+   req/s number includes the JSON codec, not just the lookup. *)
+let bench_serve ?(scale = 1) () =
+  Fmt.pr "@.== Serve: explanation service (scale %d) ==@." scale;
+  Fmt.pr "%-6s %-10s %-10s %-9s %-10s %-9s@." "scen" "cold ms" "warm ms"
+    "speedup" "req/s" "hit%";
+  List.iter
+    (fun name ->
+      let srv =
+        Serve.Server.create
+          ~config:{ Serve.Server.default_config with timings = false }
+          ()
+      in
+      (match
+         Serve.Server.handle_request srv
+           (Serve.Protocol.Register
+              { dataset = name; scale; seed = 0; refresh = false })
+       with
+      | Serve.Protocol.Registered _ -> ()
+      | r ->
+        failwith
+          (Fmt.str "serve bench: cannot register %s: %s" name
+             (Serve.Protocol.response_to_string r)));
+      let explain () =
+        match
+          Serve.Server.handle_request srv
+            (Serve.Protocol.Explain
+               {
+                 dataset = name;
+                 scale;
+                 seed = 0;
+                 query = None;
+                 pattern = None;
+                 options = Serve.Protocol.default_options;
+                 deadline_ms = None;
+               })
+        with
+        | Serve.Protocol.Explained { cache; _ } -> cache
+        | r ->
+          failwith
+            (Fmt.str "serve bench: explain %s failed: %s" name
+               (Serve.Protocol.response_to_string r))
+      in
+      let timed f =
+        let t0 = now_ms () in
+        let r = f () in
+        (r, now_ms () -. t0)
+      in
+      let first, cold_ms = timed explain in
+      assert (first = `Miss);
+      let reps = 50 in
+      let warm = Array.init reps (fun _ -> snd (timed explain)) in
+      Array.sort compare warm;
+      let warm_ms = warm.(reps / 2) in
+      (* throughput through the wire path (parse + dispatch + serialize) *)
+      let n = 200 in
+      let line =
+        Fmt.str "{\"op\": \"explain\", \"dataset\": %S, \"scale\": %d}" name
+          scale
+      in
+      let t0 = now_ms () in
+      for _ = 1 to n do
+        ignore (Serve.Server.handle_line srv line : string * bool)
+      done;
+      let elapsed_ms = now_ms () -. t0 in
+      let rps = float_of_int n /. Float.max (elapsed_ms /. 1000.) 1e-9 in
+      let hits, misses =
+        match Serve.Server.handle_request srv Serve.Protocol.Stats with
+        | Serve.Protocol.Stats_reply sections -> (
+          match List.assoc_opt "cache" sections with
+          | Some (Nested.Json.J_object fields) ->
+            let int k =
+              match List.assoc_opt k fields with
+              | Some (Nested.Json.J_int v) -> v
+              | _ -> 0
+            in
+            (int "hits", int "misses")
+          | _ -> (0, 0))
+        | _ -> (0, 0)
+      in
+      let hit_ratio =
+        float_of_int hits /. Float.max (float_of_int (hits + misses)) 1.
+      in
+      let speedup = cold_ms /. Float.max warm_ms 1e-6 in
+      Fmt.pr "%-6s %-10.2f %-10.4f %-9.1f %-10.0f %-9.1f@." name cold_ms
+        warm_ms speedup rps (100. *. hit_ratio);
+      csv "serve"
+        "scenario,scale,cold_ms,warm_ms,speedup,requests,requests_per_sec,hits,misses,hit_ratio"
+        (Fmt.str "%s,%d,%.3f,%.4f,%.1f,%d,%.1f,%d,%d,%.3f" name scale cold_ms
+           warm_ms speedup n rps hits misses hit_ratio);
+      add_serve
+        {
+          vscenario = name;
+          vscale = scale;
+          vcold_ms = cold_ms;
+          vwarm_ms = warm_ms;
+          vspeedup = speedup;
+          vrequests = n;
+          vrps = rps;
+          vhits = hits;
+          vmisses = misses;
+          vhit_ratio = hit_ratio;
+        })
+    [ "RE"; "D1"; "T2"; "Q3" ]
+
 (* --- Bechamel micro-benchmarks: one Test.make per table/figure ------------ *)
 
 let bechamel_tests () =
@@ -606,6 +754,7 @@ let () =
   if wants "fig10" then fig10 ();
   if wants "fig11" then fig11 ();
   if wants "ablation" then ablation ();
+  if wants "serve" then bench_serve ();
   if wants "bechamel" then run_bechamel ();
   write_json ();
   close_csv ()

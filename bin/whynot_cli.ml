@@ -20,7 +20,7 @@ let pp_phase_breakdown ppf (rp : Whynot.Pipeline.result) =
 
 let run_scenario ~scale ~verbose ~metrics ~config ~parallel ~root
     (s : Scenarios.Scenario.t) =
-  let inst = s.Scenarios.Scenario.make ~scale in
+  let inst = s.Scenarios.Scenario.make ~scale () in
   let phi = inst.Scenarios.Scenario.question in
   let q = phi.Whynot.Question.query in
   Fmt.pr "@.=== %s (%s): %s ===@." s.Scenarios.Scenario.name
@@ -268,6 +268,7 @@ let list_scenarios () =
     Scenarios.Registry.all
 
 let () =
+  at_exit Engine.Pool.shutdown_default;
   match Array.to_list Sys.argv with
   | _ :: "explain" :: rest -> run_explain rest
   | _ :: "list" :: _ -> list_scenarios ()

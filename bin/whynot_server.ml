@@ -1,0 +1,76 @@
+(* whynot_server: the why-not explanation service.
+
+   Speaks the line-delimited JSON protocol of Serve.Protocol over stdio
+   (--stdio; pipe-friendly, one response line per request line), a
+   Unix-domain socket (--unix PATH), or TCP (--tcp PORT [--host H]).
+
+     printf '%s\n%s\n' \
+       '{"op": "register", "dataset": "Q1"}' \
+       '{"op": "explain", "dataset": "Q1"}' \
+     | whynot_server --stdio --no-timings                              *)
+
+let () =
+  let stdio = ref false in
+  let unix_path = ref "" in
+  let port = ref 0 in
+  let host = ref "127.0.0.1" in
+  let d = Serve.Server.default_config in
+  let cache = ref d.Serve.Server.cache_capacity in
+  let handles = ref d.Serve.Server.handle_capacity in
+  let queue = ref d.Serve.Server.queue_capacity in
+  let deadline = ref 0.0 in
+  let parallel = ref false in
+  let timings = ref true in
+  let spec =
+    [
+      ("-stdio", Arg.Set stdio, "serve requests from stdin, responses to stdout");
+      ("--stdio", Arg.Set stdio, " same as -stdio");
+      ("-unix", Arg.Set_string unix_path, "PATH  listen on a Unix-domain socket");
+      ("--unix", Arg.Set_string unix_path, "PATH  same as -unix");
+      ("-tcp", Arg.Set_int port, "PORT  listen on TCP");
+      ("--tcp", Arg.Set_int port, "PORT  same as -tcp");
+      ("-host", Arg.Set_string host, "HOST  TCP bind address (default 127.0.0.1)");
+      ("--host", Arg.Set_string host, "HOST  same as -host");
+      ("-cache", Arg.Set_int cache, "N  explanation cache capacity (0 disables)");
+      ("--cache", Arg.Set_int cache, "N  same as -cache");
+      ("-handles", Arg.Set_int handles, "N  traced-run handle cache capacity");
+      ("--handles", Arg.Set_int handles, "N  same as -handles");
+      ("-queue", Arg.Set_int queue, "N  scheduler admission bound");
+      ("--queue", Arg.Set_int queue, "N  same as -queue");
+      ( "-deadline",
+        Arg.Set_float deadline,
+        "MS  default per-request deadline (0 = none)" );
+      ("--deadline", Arg.Set_float deadline, "MS  same as -deadline");
+      ( "-parallel",
+        Arg.Set parallel,
+        "process schema alternatives on the domain pool" );
+      ("--parallel", Arg.Set parallel, " same as -parallel");
+      ( "-no-timings",
+        Arg.Clear timings,
+        "omit wall-clock timings from responses (deterministic output)" );
+      ("--no-timings", Arg.Clear timings, " same as -no-timings");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "whynot_server (--stdio | --unix PATH | --tcp PORT) [options]";
+  at_exit Engine.Pool.shutdown_default;
+  let config =
+    {
+      Serve.Server.cache_capacity = !cache;
+      handle_capacity = !handles;
+      queue_capacity = !queue;
+      default_deadline_ms = (if !deadline > 0.0 then Some !deadline else None);
+      parallel = !parallel;
+      timings = !timings;
+    }
+  in
+  let server = Serve.Server.create ~config () in
+  if !stdio then Serve.Server.serve_channels server stdin stdout
+  else if !unix_path <> "" then Serve.Server.serve_unix server ~path:!unix_path
+  else if !port > 0 then Serve.Server.serve_tcp ~host:!host server ~port:!port
+  else begin
+    prerr_endline
+      "whynot_server: pick a transport: --stdio, --unix PATH, or --tcp PORT";
+    exit 2
+  end

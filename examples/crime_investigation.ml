@@ -8,7 +8,7 @@
 
 let show name =
   let s = Option.get (Scenarios.Registry.find name) in
-  let inst = s.Scenarios.Scenario.make ~scale:1 in
+  let inst = s.Scenarios.Scenario.make ~scale:1 () in
   let phi = inst.Scenarios.Scenario.question in
   let q = phi.Whynot.Question.query in
   Fmt.pr "@.--- %s ---@." name;

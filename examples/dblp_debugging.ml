@@ -10,7 +10,7 @@
 
 let () =
   let s = Option.get (Scenarios.Registry.find "D4") in
-  let inst = s.Scenarios.Scenario.make ~scale:1 in
+  let inst = s.Scenarios.Scenario.make ~scale:1 () in
   let phi = inst.Scenarios.Scenario.question in
   let q = phi.Whynot.Question.query in
   let db = phi.Whynot.Question.db in

@@ -8,7 +8,7 @@
 
 let () =
   let s = Option.get (Scenarios.Registry.find "Q10") in
-  let inst = s.Scenarios.Scenario.make ~scale:2 in
+  let inst = s.Scenarios.Scenario.make ~scale:2 () in
   let phi = inst.Scenarios.Scenario.question in
   let q = phi.Whynot.Question.query in
 

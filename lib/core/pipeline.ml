@@ -39,21 +39,31 @@ let phase_at cursor parent name f =
       Obs.Span.finish ~at:!cursor sp)
     (fun () -> f sp)
 
-let explain ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
-    ?(alternatives : Alternatives.alternatives = []) ?(parallel = false)
-    ?parent (phi : Question.t) : result =
-  let root = Obs.Span.start ?parent "pipeline.explain" in
-  (* Phase spans are tiled wall-to-wall — the four phase totals account
-     for ≈ all of the root span (in the sequential pipeline; concurrent
-     SA phases overlap, so there the sums can exceed the total). *)
-  let cursor = ref (Obs.Span.start_ns root) in
+(* A prepared traced run: the pattern-independent artifacts of a why-not
+   run over ⟨Q, D⟩.  Schema-alternative enumeration and the original
+   result ⟦Q⟧_D (the anchor of the side-effect bounds) depend only on the
+   query, the database, and the alternative groups — not on the missing-
+   answer pattern — so a long-lived service can compute them once and
+   re-answer every new pattern on the same ⟨Q, D⟩ from the handle. *)
+type handle = {
+  h_query : Query.t;
+  h_db : Relation.Db.t;
+  h_env : Typecheck.env;
+  h_sas : Alternatives.sa list;
+  h_bi : Msr.bounds_input;
+}
+
+let handle_query h = h.h_query
+let handle_sas h = h.h_sas
+
+(* Steps 2 (schema alternatives) and the ⟦Q⟧_D execution, charged to the
+   alternatives and MSR phases under [root]; step 1 (backtracing) runs
+   per SA since the NIPs depend on the substituted attributes. *)
+let prepare_phases ~use_sas ~max_sas ~alternatives root cursor ~db q : handle =
   let phase parent name f = phase_at cursor parent name f in
-  let q = phi.Question.query in
-  (* step 2 (schema alternatives); step 1 (backtracing) runs per SA since
-     the NIPs depend on the substituted attributes *)
   let env, sas =
     phase root "alternatives" (fun sp ->
-        let env = schema_env phi.Question.db in
+        let env = schema_env db in
         let sas =
           if use_sas then Alternatives.enumerate ~max_sas ~env q alternatives
           else
@@ -73,21 +83,29 @@ let explain ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
      phase. *)
   let bi =
     phase root "msr" (fun sp ->
-        let original_result = Relation.tuples (Question.original_result phi) in
+        let original_result = Relation.tuples (Eval.eval db q) in
         Obs.Span.set_int sp "original_result_rows"
           (List.length original_result);
         { Msr.original_result })
   in
+  { h_query = q; h_db = db; h_env = env; h_sas = sas; h_bi = bi }
+
+(* Steps 1, 3, and 4 — the pattern-dependent per-SA chains plus the final
+   prune/rank — under [root], reading everything else from the handle. *)
+let run_phases ~revalidate ~parallel root cursor (h : handle)
+    (missing : Nip.t) : Explanation.t list =
+  let phase parent name f = phase_at cursor parent name f in
+  let { h_query = q; h_db = db; h_env = env; h_sas = sas; h_bi = bi } = h in
   (* One SA's backtrace→tracing→MSR chain; independent across SAs. *)
   let process_sa cursor (sa : Alternatives.sa) sasp =
     let bt =
       phase_at cursor sasp "backtrace" (fun _ ->
-          Backtrace.run ~env sa.Alternatives.query phi.Question.missing)
+          Backtrace.run ~env sa.Alternatives.query missing)
     in
     (* steps 3 and 4 *)
     let trace =
       phase_at cursor sasp "tracing" (fun _ ->
-          Tracing.run ~revalidate ~env phi.Question.db sa bt)
+          Tracing.run ~revalidate ~env db sa bt)
     in
     phase_at cursor sasp "msr" (fun msp ->
         let es = Msr.from_trace ~bi ~q trace in
@@ -127,13 +145,10 @@ let explain ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
           phase root (sa_name sa) (fun sasp -> process_sa cursor sa sasp))
         sas
   in
-  let explanations =
-    phase root "msr" (fun _ ->
-        Explanation.rank (Explanation.prune_dominated explanations))
-  in
-  Obs.Span.set_int root "sas" (List.length sas);
-  Obs.Span.set_int root "explanations" (List.length explanations);
-  Obs.Span.finish root;
+  phase root "msr" (fun _ ->
+      Explanation.rank (Explanation.prune_dominated explanations))
+
+let record_run_metrics root ~sas ~explanations =
   List.iter
     (fun (p, ms) ->
       Obs.Metrics.Histogram.observe
@@ -141,12 +156,55 @@ let explain ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
         ms)
     (phase_durations_ms_of_span root);
   Obs.Metrics.Counter.incr (Obs.Metrics.counter "pipeline.explains");
-  Obs.Metrics.Counter.incr ~by:(List.length sas)
-    (Obs.Metrics.counter "pipeline.sas");
-  Obs.Metrics.Counter.incr
-    ~by:(List.length explanations)
-    (Obs.Metrics.counter "pipeline.explanations");
-  { question = phi; sas; explanations; span = root }
+  Obs.Metrics.Counter.incr ~by:sas (Obs.Metrics.counter "pipeline.sas");
+  Obs.Metrics.Counter.incr ~by:explanations
+    (Obs.Metrics.counter "pipeline.explanations")
+
+let prepare ?(use_sas = true) ?(max_sas = 16)
+    ?(alternatives : Alternatives.alternatives = []) ?parent ~db
+    (q : Query.t) : handle =
+  let root = Obs.Span.start ?parent "pipeline.prepare" in
+  let cursor = ref (Obs.Span.start_ns root) in
+  let h = prepare_phases ~use_sas ~max_sas ~alternatives root cursor ~db q in
+  Obs.Span.set_int root "sas" (List.length h.h_sas);
+  Obs.Span.finish root;
+  Obs.Metrics.Counter.incr (Obs.Metrics.counter "pipeline.prepares");
+  h
+
+let explain_with ?(revalidate = true) ?(parallel = false) ?parent
+    (h : handle) (missing : Nip.t) : result =
+  let root = Obs.Span.start ?parent "pipeline.explain" in
+  let cursor = ref (Obs.Span.start_ns root) in
+  let explanations = run_phases ~revalidate ~parallel root cursor h missing in
+  Obs.Span.set_int root "sas" (List.length h.h_sas);
+  Obs.Span.set_int root "explanations" (List.length explanations);
+  Obs.Span.finish root;
+  record_run_metrics root ~sas:(List.length h.h_sas)
+    ~explanations:(List.length explanations);
+  let question = Question.make ~query:h.h_query ~db:h.h_db ~missing in
+  { question; sas = h.h_sas; explanations; span = root }
+
+let explain ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
+    ?(alternatives : Alternatives.alternatives = []) ?(parallel = false)
+    ?parent (phi : Question.t) : result =
+  let root = Obs.Span.start ?parent "pipeline.explain" in
+  (* Phase spans are tiled wall-to-wall — the four phase totals account
+     for ≈ all of the root span (in the sequential pipeline; concurrent
+     SA phases overlap, so there the sums can exceed the total). *)
+  let cursor = ref (Obs.Span.start_ns root) in
+  let h =
+    prepare_phases ~use_sas ~max_sas ~alternatives root cursor
+      ~db:phi.Question.db phi.Question.query
+  in
+  let explanations =
+    run_phases ~revalidate ~parallel root cursor h phi.Question.missing
+  in
+  Obs.Span.set_int root "sas" (List.length h.h_sas);
+  Obs.Span.set_int root "explanations" (List.length explanations);
+  Obs.Span.finish root;
+  record_run_metrics root ~sas:(List.length h.h_sas)
+    ~explanations:(List.length explanations);
+  { question = phi; sas = h.h_sas; explanations; span = root }
 
 (* Total time per algorithm phase (summed across schema alternatives). *)
 let phase_durations_ms (r : result) = phase_durations_ms_of_span r.span

@@ -51,6 +51,46 @@ val explain :
   Question.t ->
   result
 
+(** {1 Prepared traced runs}
+
+    The first half of the pipeline — schema-alternative enumeration and
+    the execution of ⟦Q⟧_D anchoring the side-effect bounds — depends
+    only on ⟨query, database, alternatives⟩, not on the missing-answer
+    pattern.  A {!handle} captures those artifacts so a long-lived
+    service can pay for them once and answer every subsequent why-not
+    pattern over the same ⟨Q, D⟩ with {!explain_with}, which runs only
+    the pattern-dependent per-SA backtrace→tracing→MSR chains. *)
+
+type handle
+
+(** Run the pattern-independent phases.  The work is recorded under a
+    [pipeline.prepare] span (with [alternatives]/[msr] children, exactly
+    like the first half of {!explain}'s span tree). *)
+val prepare :
+  ?use_sas:bool ->
+  ?max_sas:int ->
+  ?alternatives:Alternatives.alternatives ->
+  ?parent:Obs.Span.t ->
+  db:Nested.Relation.Db.t ->
+  Query.t ->
+  handle
+
+val handle_query : handle -> Query.t
+val handle_sas : handle -> Alternatives.sa list
+
+(** Answer one why-not pattern from a prepared handle.  The result is
+    identical to {!explain} on the same inputs (same explanations, same
+    ranking); the [pipeline.explain] span just lacks the
+    [alternatives]/initial-[msr] children, which were charged to
+    {!prepare}. *)
+val explain_with :
+  ?revalidate:bool ->
+  ?parallel:bool ->
+  ?parent:Obs.Span.t ->
+  handle ->
+  Nip.t ->
+  result
+
 (** The four algorithm phases, in pipeline order:
     ["backtrace"; "alternatives"; "tracing"; "msr"]. *)
 val phases : string list

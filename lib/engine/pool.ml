@@ -150,3 +150,10 @@ let shutdown (pool : t) : unit =
    costs nothing but memory). *)
 let default_pool = lazy (create ())
 let default () = Lazy.force default_pool
+
+(* Joining the workers at process exit keeps teardown orderly under
+   tools (e.g. valgrind, coverage) that dislike domains alive at exit;
+   forcing the lazy here would spawn domains only to kill them, hence
+   the is_val guard. *)
+let shutdown_default () =
+  if Lazy.is_val default_pool then shutdown (Lazy.force default_pool)

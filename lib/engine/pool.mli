@@ -38,3 +38,7 @@ val shutdown : t -> unit
 
 (** The process-wide shared pool, created on first use. *)
 val default : unit -> t
+
+(** {!shutdown} the default pool iff it was ever created (never spawns
+    one just to kill it).  Safe to register with [at_exit]. *)
+val shutdown_default : unit -> unit

@@ -58,6 +58,45 @@ let rec pp ppf (j : json) =
 
 let to_string (j : json) : string = Fmt.str "%a" pp j
 
+(* Single-line rendering — [pp]'s hv boxes break at the formatter margin,
+   which a line-delimited wire protocol cannot tolerate. *)
+let to_line (j : json) : string =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | J_null -> Buffer.add_string buf "null"
+    | J_bool b -> Buffer.add_string buf (string_of_bool b)
+    | J_int i -> Buffer.add_string buf (string_of_int i)
+    | J_float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Fmt.str "%.1f" f)
+      else Buffer.add_string buf (Fmt.str "%.17g" f)
+    | J_string s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_string s);
+      Buffer.add_char buf '"'
+    | J_array els ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i el ->
+          if i > 0 then Buffer.add_string buf ", ";
+          go el)
+        els;
+      Buffer.add_char buf ']'
+    | J_object fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape_string k);
+          Buffer.add_string buf "\": ";
+          go v)
+        fields;
+      Buffer.add_char buf '}'
+  in
+  go j;
+  Buffer.contents buf
+
 (* --- Parser --------------------------------------------------------------- *)
 
 type lexer = { src : string; mutable pos : int }

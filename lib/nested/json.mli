@@ -22,6 +22,10 @@ exception Parse_error of string
 val pp : Format.formatter -> json -> unit
 val to_string : json -> string
 
+(** Single-line rendering (no layout-dependent newlines) — for
+    line-delimited protocols. *)
+val to_line : json -> string
+
 (** Raises {!Parse_error}. *)
 val of_string : string -> json
 

@@ -16,7 +16,7 @@ let c1 : Scenario.t =
     description = "π_{name,type}(C ⋈ (W ⋈ (S ⋈ σ_{hair=blue}(P))))";
     operators = "π,σ,⋈,⋈,⋈";
     make =
-      (fun ~scale:_ ->
+      (fun ~scale:_ ?seed:_ () ->
         let db = Datagen.Crime.db () in
         let g = Query.Gen.create ~start:10 () in
         let query =
@@ -57,7 +57,7 @@ let c2 : Scenario.t =
     description = "π_{P.name}(P ⋈ (S ⋈ (C ⋈ σ_{name=Susan}(σ_{sector>90}(W)))))";
     operators = "π,σ,σ,⋈,⋈,⋈";
     make =
-      (fun ~scale:_ ->
+      (fun ~scale:_ ?seed:_ () ->
         let db = Datagen.Crime.db () in
         let g = Query.Gen.create ~start:10 () in
         let query =
@@ -96,7 +96,7 @@ let c3 : Scenario.t =
     description = "π_{name,desc←hair}(S ⋈ (W ⋈ C))";
     operators = "π,⋈,⋈";
     make =
-      (fun ~scale:_ ->
+      (fun ~scale:_ ?seed:_ () ->
         let db = Datagen.Crime.db () in
         let g = Query.Gen.create ~start:10 () in
         let query =

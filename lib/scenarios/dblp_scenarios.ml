@@ -16,8 +16,8 @@ let d1 : Scenario.t =
     description = "All authors and titles of papers that are published at SIGMOD";
     operators = "π,σ,⋈,Fᴵ,Fᵀ";
     make =
-      (fun ~scale ->
-        let db = Datagen.Dblp.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Dblp.db ?seed ~scale () in
         let g = Query.Gen.create () in
         let proc =
           Query.project ~id:1 g
@@ -60,8 +60,8 @@ let d2 : Scenario.t =
     description = "Number of articles for authors who do not have \"Dey\" in their name";
     operators = "π,σ,Fᴵ,Fᵀ,Nᴿ,γ";
     make =
-      (fun ~scale ->
-        let db = Datagen.Dblp.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Dblp.db ?seed ~scale () in
         let g = Query.Gen.create () in
         let query =
           Query.agg_tuple ~id:6 g Agg.Count ~over:"titles" ~into:"cnt"
@@ -97,8 +97,8 @@ let d3 : Scenario.t =
     description = "Lists all author-paper-pairs per booktitle and year";
     operators = "π,Fᵀ,Nᵀ,Nᴿ";
     make =
-      (fun ~scale ->
-        let db = Datagen.Dblp.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Dblp.db ?seed ~scale () in
         let g = Query.Gen.create () in
         let query =
           Query.nest_rel ~id:5 g [ "pair" ] ~into:"pairs"
@@ -149,8 +149,8 @@ let d4 : Scenario.t =
     description = "Collection of papers per author having published through ACM after 2010";
     operators = "π,σ,Fᴵ,Fᵀ,⋈,Nᴿ,γ";
     make =
-      (fun ~scale ->
-        let db = Datagen.Dblp.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Dblp.db ?seed ~scale () in
         let g = Query.Gen.create () in
         let query =
           Query.agg_tuple ~id:8 g Agg.Count ~over:"papers" ~into:"cnt"
@@ -192,8 +192,8 @@ let d5 : Scenario.t =
     description = "List of (homepage) urls for each author";
     operators = "π,Fᴵ,Fᵀ,Nᴿ";
     make =
-      (fun ~scale ->
-        let db = Datagen.Dblp.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Dblp.db ?seed ~scale () in
         let g = Query.Gen.create () in
         let query =
           Query.nest_rel ~id:4 g [ "homepage" ] ~into:"pages"

@@ -45,7 +45,7 @@ let db =
     [ ("person", Relation.of_tuples ~schema:person_schema [ peter; sue ]) ]
 
 (* The data is the paper's figure verbatim — scale has nothing to vary. *)
-let make ~scale:_ : Scenario.instance =
+let make ~scale:_ ?seed:_ () : Scenario.instance =
   let g = Query.Gen.create () in
   let year_ge_2019 = Expr.Cmp (Expr.Ge, Expr.attr "year", Expr.int 2019) in
   let query =

@@ -21,7 +21,7 @@ type t = {
   family : family;
   description : string;
   operators : string;  (* operator summary, e.g. "π,σ,⋈,F,N,γ" *)
-  make : scale:int -> instance;
+  make : scale:int -> ?seed:int -> unit -> instance;
 }
 
 let family_to_string = function

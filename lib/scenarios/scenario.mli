@@ -21,7 +21,10 @@ type t = {
   family : family;
   description : string;
   operators : string;  (** operator summary, e.g. "π,σ,⋈,Fᴵ" *)
-  make : scale:int -> instance;  (** build the instance at a data scale *)
+  make : scale:int -> ?seed:int -> unit -> instance;
+      (** build the instance at a data scale; [?seed] re-seeds the data
+          generator (scenario default when omitted — gold standards are
+          validated at the default seed) *)
 }
 
 val family_to_string : family -> string

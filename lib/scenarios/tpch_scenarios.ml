@@ -43,8 +43,8 @@ let q1 ~flat : Scenario.t =
     description = "TPC-H query 1 with one modified aggregation";
     operators = "σ,γ" ^ if flat then "" else ",Fᴵ";
     make =
-      (fun ~scale ->
-        let db = Datagen.Tpch.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Tpch.db ?seed ~scale () in
         let g = Query.Gen.create ~start:50 () in
         let query =
           Query.group_agg ~id:23 g []
@@ -80,8 +80,8 @@ let q3 ~flat : Scenario.t =
     description = "TPC-H query 3 with two modified selections";
     operators = "σ,σ,⋈,π,γ" ^ if flat then "" else ",Fᴵ";
     make =
-      (fun ~scale ->
-        let db = Datagen.Tpch.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Tpch.db ?seed ~scale () in
         let g = Query.Gen.create ~start:50 () in
         let query =
           Query.group_agg ~id:25 g
@@ -143,8 +143,8 @@ let q4 ~flat : Scenario.t =
     description = "TPC-H query 4 with a modified selection and aggregation";
     operators = "σ,σ,⋈,γ,γ" ^ if flat then "" else ",Fᴵ";
     make =
-      (fun ~scale ->
-        let db = Datagen.Tpch.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Tpch.db ?seed ~scale () in
         let g = Query.Gen.create ~start:50 () in
         let dist_ord =
           Query.group_agg ~id:58 g [ "l_orderkey" ]
@@ -197,8 +197,8 @@ let q6 ~flat : Scenario.t =
     description = "TPC-H query 6 with one modified selection";
     operators = "σ,σ,σ,π,γ" ^ if flat then "" else ",Fᴵ";
     make =
-      (fun ~scale ->
-        let db = Datagen.Tpch.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Tpch.db ?seed ~scale () in
         let mk_query () =
           let g = Query.Gen.create ~start:50 () in
           Query.group_agg ~id:60 g []
@@ -256,8 +256,8 @@ let q10 ~flat : Scenario.t =
     description = "TPC-H query 10 with two modified selections and a modified projection";
     operators = "σ,σ,⋈,⋈,π,γ" ^ if flat then "" else ",Fᴵ";
     make =
-      (fun ~scale ->
-        let db = Datagen.Tpch.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Tpch.db ?seed ~scale () in
         let g = Query.Gen.create ~start:50 () in
         let flat_ord =
           Query.select ~id:35 g
@@ -323,8 +323,8 @@ let q13 ~flat : Scenario.t =
     description = "TPC-H query 13 with one modified join";
     operators = (if flat then "⋈,γ,γ" else "Fᴵ,γ,γ");
     make =
-      (fun ~scale ->
-        let db = Datagen.Tpch.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Tpch.db ?seed ~scale () in
         let g = Query.Gen.create ~start:50 () in
         let source =
           if flat then

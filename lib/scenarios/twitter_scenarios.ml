@@ -16,8 +16,8 @@ let t1 : Scenario.t =
     description = "List of tweets providing media urls about a basketball player";
     operators = "π,σ,Fᴵ,Fᵀ";
     make =
-      (fun ~scale ->
-        let db = Datagen.Twitter.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Twitter.db ?seed ~scale () in
         let g = Query.Gen.create () in
         let query =
           Query.project_attrs ~id:13 g [ "text"; "murl" ]
@@ -53,8 +53,8 @@ let t2 : Scenario.t =
     description = "All users who tweeted about BTS in the US";
     operators = "π,σ,Fᵀ";
     make =
-      (fun ~scale ->
-        let db = Datagen.Twitter.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Twitter.db ?seed ~scale () in
         let g = Query.Gen.create () in
         let query =
           Query.project_attrs ~id:16 g [ "guser"; "country" ]
@@ -85,8 +85,8 @@ let t3 : Scenario.t =
     description = "Hashtags and medias for users that are mentioned in other tweets";
     operators = "π,σ,Fᴵ,Fᵀ,⋈";
     make =
-      (fun ~scale ->
-        let db = Datagen.Twitter.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Twitter.db ?seed ~scale () in
         let g = Query.Gen.create () in
         let query =
           Query.project_attrs ~id:20 g [ "mentioned"; "murl" ]
@@ -125,8 +125,8 @@ let t4 : Scenario.t =
     description = "Nested list of countries for each hashtag, if tweet contains UEFA";
     operators = "π,σ,Fᴵ,Fᵀ,Nᴿ,γ";
     make =
-      (fun ~scale ->
-        let db = Datagen.Twitter.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Twitter.db ?seed ~scale () in
         let g = Query.Gen.create () in
         let query =
           Query.select ~id:25 g
@@ -166,8 +166,8 @@ let t_asd : Scenario.t =
     description = "ASD example: flatten, filter, project quoted tweets";
     operators = "π,σ,Fᵀ";
     make =
-      (fun ~scale ->
-        let db = Datagen.Twitter.db ~scale () in
+      (fun ~scale ?seed () ->
+        let db = Datagen.Twitter.db ?seed ~scale () in
         let g = Query.Gen.create () in
         let query =
           Query.project_attrs ~id:23 g [ "rid"; "rcount" ]

@@ -1,0 +1,41 @@
+(** LRU cache with string keys — the explanation cache and the
+    traced-run-handle cache of the server.
+
+    Thread-safe; hit/miss/eviction counts are mirrored into
+    {!Obs.Metrics} as [serve.cache.<name>.{hits,misses,evictions}] plus a
+    [serve.cache.<name>.size] gauge, so they show up in the [stats]
+    response and the metrics registry alongside the pipeline's own
+    counters. *)
+
+type 'v t
+
+(** [capacity <= 0] disables caching ({!find} always misses, {!add} is a
+    no-op) — the cold-path configuration the bench uses as its
+    baseline. *)
+val create : name:string -> capacity:int -> 'v t
+
+val capacity : 'v t -> int
+val length : 'v t -> int
+
+(** Recency-refreshing lookup; counts a hit or a miss. *)
+val find : 'v t -> string -> 'v option
+
+(** Insert (or overwrite) and mark most-recent; evicts the
+    least-recently-used entry when over capacity. *)
+val add : 'v t -> string -> 'v -> unit
+
+(** Drop every key for which [pred] holds; returns how many were
+    dropped.  Used to invalidate by key prefix on catalog bumps. *)
+val invalidate : 'v t -> (string -> bool) -> int
+
+val clear : 'v t -> int
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+val stats : 'v t -> stats

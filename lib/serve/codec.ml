@@ -1,0 +1,100 @@
+(* JSON codec for explanations and pipeline results.
+
+   The encoding keeps every field of Explanation.t so that
+   decode (encode e) = e exactly — the round-trip property the response
+   codec is tested against.  Presentation extras (rank, pretty form, SA
+   descriptions, timings) ride along in the result payload and are
+   ignored on decode. *)
+
+open Nested
+
+exception Decode_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Decode_error m)) fmt
+
+let member name = function
+  | Json.J_object fields -> List.assoc_opt name fields
+  | _ -> None
+
+let member_exn name j =
+  match member name j with
+  | Some v -> v
+  | None -> fail "missing field %S" name
+
+let to_int = function
+  | Json.J_int n -> n
+  | j -> fail "expected an integer, got %s" (Json.to_string j)
+
+let to_list = function
+  | Json.J_array xs -> xs
+  | j -> fail "expected an array, got %s" (Json.to_string j)
+
+let explanation_to_json (e : Whynot.Explanation.t) : Json.json =
+  Json.J_object
+    [
+      ("ops", Json.J_array (List.map (fun i -> Json.J_int i) (Whynot.Explanation.op_list e)));
+      ("side_effect_lb", Json.J_int e.Whynot.Explanation.side_effect_lb);
+      ("side_effect_ub", Json.J_int e.Whynot.Explanation.side_effect_ub);
+      ("sa", Json.J_int e.Whynot.Explanation.sa);
+    ]
+
+let explanation_of_json (j : Json.json) : Whynot.Explanation.t =
+  let ops =
+    List.fold_left
+      (fun acc id -> Whynot.Explanation.Int_set.add (to_int id) acc)
+      Whynot.Explanation.Int_set.empty
+      (to_list (member_exn "ops" j))
+  in
+  Whynot.Explanation.make
+    ~sa:(to_int (member_exn "sa" j))
+    ~lb:(to_int (member_exn "side_effect_lb" j))
+    ~ub:(to_int (member_exn "side_effect_ub" j))
+    ops
+
+let explanations_to_json es = Json.J_array (List.map explanation_to_json es)
+
+let explanations_of_json j = List.map explanation_of_json (to_list j)
+
+let result_to_json ?(timings = true) (r : Whynot.Pipeline.result) : Json.json =
+  let q = r.Whynot.Pipeline.question.Whynot.Question.query in
+  let ranked =
+    List.mapi
+      (fun i e ->
+        match explanation_to_json e with
+        | Json.J_object fields ->
+          Json.J_object
+            (("rank", Json.J_int (i + 1))
+            :: fields
+            @ [ ("pretty", Json.J_string (Whynot.Explanation.to_string_with_query q e)) ])
+        | j -> j)
+      r.Whynot.Pipeline.explanations
+  in
+  let sas =
+    List.map
+      (fun (sa : Whynot.Alternatives.sa) ->
+        Json.J_object
+          [
+            ("index", Json.J_int (sa.Whynot.Alternatives.index + 1));
+            ("description", Json.J_string sa.Whynot.Alternatives.description);
+          ])
+      r.Whynot.Pipeline.sas
+  in
+  let base =
+    [ ("explanations", Json.J_array ranked); ("sas", Json.J_array sas) ]
+  in
+  let timing_fields =
+    if not timings then []
+    else
+      [
+        ( "phases_ms",
+          Json.J_object
+            (List.map
+               (fun (p, ms) -> (p, Json.J_float ms))
+               (Whynot.Pipeline.phase_durations_ms r)) );
+        ("total_ms", Json.J_float (Obs.Span.duration_ms r.Whynot.Pipeline.span));
+      ]
+  in
+  Json.J_object (base @ timing_fields)
+
+let result_explanations_of_json j =
+  explanations_of_json (member_exn "explanations" j)

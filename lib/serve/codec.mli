@@ -1,0 +1,33 @@
+(** JSON codec for explanations and pipeline results — the response body
+    of the wire protocol.  Until now explanations only pretty-printed;
+    this is the machine-readable round-trippable form. *)
+
+open Nested
+
+exception Decode_error of string
+
+(** [{"ops": [ids...], "side_effect_lb": n, "side_effect_ub": n,
+    "sa": n}] — every field of {!Whynot.Explanation.t}, so decoding
+    re-creates an equal value. *)
+val explanation_to_json : Whynot.Explanation.t -> Json.json
+
+(** Raises {!Decode_error} on shape mismatches. *)
+val explanation_of_json : Json.json -> Whynot.Explanation.t
+
+(** Rank-ordered array; ranks are implicit in the order (and re-derived
+    on decode). *)
+val explanations_to_json : Whynot.Explanation.t list -> Json.json
+
+val explanations_of_json : Json.json -> Whynot.Explanation.t list
+
+(** Full result payload: ranked explanations (each with an explicit
+    1-based ["rank"] and a paper-style ["pretty"] rendering resolved
+    against the query), schema-alternative descriptions, and — unless
+    [timings] is [false] — per-phase wall-clock milliseconds off the
+    span tree plus the total. *)
+val result_to_json : ?timings:bool -> Whynot.Pipeline.result -> Json.json
+
+(** Decode the explanation list back out of a {!result_to_json} payload
+    (the extra presentation fields are ignored).  Raises
+    {!Decode_error}. *)
+val result_explanations_of_json : Json.json -> Whynot.Explanation.t list

@@ -1,0 +1,232 @@
+(* Line-delimited JSON wire protocol: request parsing and response
+   serialization.  Queries and why-not patterns are embedded in their
+   existing s-expression surface syntaxes; the JSON layer reuses
+   Nested.Json (no external dependency). *)
+
+open Nested
+open Nrab
+
+type explain_options = {
+  use_sas : bool;
+  max_sas : int;
+  revalidate : bool;
+  parallel : bool;
+}
+
+let default_options =
+  { use_sas = true; max_sas = 16; revalidate = true; parallel = false }
+
+type request =
+  | Register of { dataset : string; scale : int; seed : int; refresh : bool }
+  | Explain of {
+      dataset : string;
+      scale : int;
+      seed : int;
+      query : Query.t option;
+      pattern : Whynot.Nip.t option;
+      options : explain_options;
+      deadline_ms : float option;
+    }
+  | Stats
+  | Evict of { dataset : string option; scale : int; seed : int; cache : bool }
+  | Shutdown
+
+(* -- request parsing ----------------------------------------------------- *)
+
+exception Bad of string
+
+let bad fmt = Fmt.kstr (fun m -> raise (Bad m)) fmt
+
+let member name = function
+  | Json.J_object fields -> List.assoc_opt name fields
+  | _ -> None
+
+let get_string name j =
+  match member name j with
+  | Some (Json.J_string s) -> Some s
+  | Some _ -> bad "field %S must be a string" name
+  | None -> None
+
+let get_int ?default name j =
+  match member name j with
+  | Some (Json.J_int n) -> n
+  | Some _ -> bad "field %S must be an integer" name
+  | None -> ( match default with Some d -> d | None -> bad "missing field %S" name)
+
+let get_bool ~default name j =
+  match member name j with
+  | Some (Json.J_bool b) -> b
+  | Some _ -> bad "field %S must be a boolean" name
+  | None -> default
+
+let get_float_opt name j =
+  match member name j with
+  | Some (Json.J_float f) -> Some f
+  | Some (Json.J_int n) -> Some (float_of_int n)
+  | Some _ -> bad "field %S must be a number" name
+  | None -> None
+
+let required_string name j =
+  match get_string name j with
+  | Some s -> s
+  | None -> bad "missing field %S" name
+
+let parse_query j =
+  match get_string "query" j with
+  | None -> None
+  | Some text -> (
+    try Some (Parser.query_of_string text)
+    with Parser.Parse_error m | Sexp.Parse_error m ->
+      bad "cannot parse \"query\": %s" m)
+
+let parse_pattern j =
+  match get_string "whynot" j with
+  | None -> None
+  | Some text -> (
+    try Some (Whynot.Nip_syntax.of_string text)
+    with Whynot.Nip_syntax.Parse_error m | Sexp.Parse_error m ->
+      bad "cannot parse \"whynot\": %s" m)
+
+let parse_options j =
+  {
+    use_sas = get_bool ~default:default_options.use_sas "use_sas" j;
+    max_sas = get_int ~default:default_options.max_sas "max_sas" j;
+    revalidate = get_bool ~default:default_options.revalidate "revalidate" j;
+    parallel = get_bool ~default:default_options.parallel "parallel" j;
+  }
+
+let request_of_json (j : Json.json) : (request, string) result =
+  try
+    match get_string "op" j with
+    | None -> Error "missing field \"op\""
+    | Some "register" ->
+      Ok
+        (Register
+           {
+             dataset = required_string "dataset" j;
+             scale = get_int ~default:1 "scale" j;
+             seed = get_int ~default:0 "seed" j;
+             refresh = get_bool ~default:false "refresh" j;
+           })
+    | Some "explain" ->
+      Ok
+        (Explain
+           {
+             dataset = required_string "dataset" j;
+             scale = get_int ~default:1 "scale" j;
+             seed = get_int ~default:0 "seed" j;
+             query = parse_query j;
+             pattern = parse_pattern j;
+             options = parse_options j;
+             deadline_ms = get_float_opt "deadline_ms" j;
+           })
+    | Some "stats" -> Ok Stats
+    | Some "evict" ->
+      Ok
+        (Evict
+           {
+             dataset = get_string "dataset" j;
+             scale = get_int ~default:1 "scale" j;
+             seed = get_int ~default:0 "seed" j;
+             cache = get_bool ~default:false "cache" j;
+           })
+    | Some "shutdown" -> Ok Shutdown
+    | Some op -> Error (Fmt.str "unknown op %S" op)
+  with Bad m -> Error m
+
+let request_of_string line =
+  match Json.of_string line with
+  | exception Json.Parse_error m -> Error ("invalid JSON: " ^ m)
+  | j -> request_of_json j
+
+(* -- responses ----------------------------------------------------------- *)
+
+type error_code =
+  | Bad_request
+  | Not_found
+  | Overloaded
+  | Deadline_exceeded
+  | Internal
+
+let error_code_to_string = function
+  | Bad_request -> "bad_request"
+  | Not_found -> "not_found"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Internal -> "internal"
+
+type response =
+  | Registered of {
+      dataset : string;
+      scale : int;
+      seed : int;
+      version : int;
+      fresh : bool;
+      rows : int;
+      tables : (string * int) list;
+    }
+  | Explained of {
+      dataset : string;
+      version : int;
+      cache : [ `Hit | `Miss | `Handle ];
+      result : Json.json;
+    }
+  | Stats_reply of (string * Json.json) list
+  | Evicted of { datasets : int; cache_entries : int }
+  | Error of { code : error_code; message : string }
+  | Goodbye
+
+let response_to_json = function
+  | Registered { dataset; scale; seed; version; fresh; rows; tables } ->
+    Json.J_object
+      [
+        ("ok", Json.J_bool true);
+        ("type", Json.J_string "registered");
+        ("dataset", Json.J_string dataset);
+        ("scale", Json.J_int scale);
+        ("seed", Json.J_int seed);
+        ("version", Json.J_int version);
+        ("fresh", Json.J_bool fresh);
+        ("rows", Json.J_int rows);
+        ( "tables",
+          Json.J_object (List.map (fun (n, c) -> (n, Json.J_int c)) tables) );
+      ]
+  | Explained { dataset; version; cache; result } ->
+    Json.J_object
+      [
+        ("ok", Json.J_bool true);
+        ("type", Json.J_string "explained");
+        ("dataset", Json.J_string dataset);
+        ("version", Json.J_int version);
+        ( "cache",
+          Json.J_string
+            (match cache with `Hit -> "hit" | `Miss -> "miss" | `Handle -> "handle")
+        );
+        ("result", result);
+      ]
+  | Stats_reply sections ->
+    Json.J_object
+      (("ok", Json.J_bool true) :: ("type", Json.J_string "stats") :: sections)
+  | Evicted { datasets; cache_entries } ->
+    Json.J_object
+      [
+        ("ok", Json.J_bool true);
+        ("type", Json.J_string "evicted");
+        ("datasets", Json.J_int datasets);
+        ("cache_entries", Json.J_int cache_entries);
+      ]
+  | Error { code; message } ->
+    Json.J_object
+      [
+        ("ok", Json.J_bool false);
+        ("type", Json.J_string "error");
+        ("code", Json.J_string (error_code_to_string code));
+        ("message", Json.J_string message);
+      ]
+  | Goodbye ->
+    Json.J_object [ ("ok", Json.J_bool true); ("type", Json.J_string "goodbye") ]
+
+let response_to_string r = Json.to_line (response_to_json r)
+
+let bad_request message = Error { code = Bad_request; message }
+let not_found message = Error { code = Not_found; message }

@@ -1,0 +1,102 @@
+(** Line-delimited JSON wire protocol of the why-not service.
+
+    One request object per line in, one response object per line out.
+    Queries and why-not patterns travel in their existing surface
+    syntaxes (s-expressions, see {!Nrab.Parser} and
+    {!Whynot.Nip_syntax}) embedded as JSON strings; everything else is
+    plain JSON via {!Nested.Json}.
+
+    Requests ([op] field selects the operation):
+    - [{"op":"register","dataset":"D1","scale":2,"seed":7,"refresh":false}]
+    - [{"op":"explain","dataset":"D1","scale":2,"query":"(...)",
+       "whynot":"(...)","use_sas":true,"max_sas":16,"revalidate":true,
+       "deadline_ms":500}] — [query]/[whynot] default to the scenario's
+      own question
+    - [{"op":"stats"}]
+    - [{"op":"evict","dataset":"D1","scale":2}] /
+      [{"op":"evict","cache":true}]
+    - [{"op":"shutdown"}]
+
+    Every response carries ["ok"] and ["type"]; failures are
+    [{"ok":false,"type":"error","code":...,"message":...}] with code one
+    of [bad_request], [not_found], [overloaded], [deadline_exceeded],
+    [internal]. *)
+
+open Nested
+open Nrab
+
+type explain_options = {
+  use_sas : bool;
+  max_sas : int;
+  revalidate : bool;
+  parallel : bool;  (** affects scheduling only, never the result *)
+}
+
+val default_options : explain_options
+
+type request =
+  | Register of { dataset : string; scale : int; seed : int; refresh : bool }
+  | Explain of {
+      dataset : string;
+      scale : int;
+      seed : int;
+      query : Query.t option;
+      pattern : Whynot.Nip.t option;
+      options : explain_options;
+      deadline_ms : float option;
+    }
+  | Stats
+  | Evict of {
+      dataset : string option;  (** [None] with [cache] clears caches only *)
+      scale : int;
+      seed : int;
+      cache : bool;  (** also clear the explanation + handle caches *)
+    }
+  | Shutdown
+
+(** Parse one request line.  [Error] is a bad-request message. *)
+val request_of_string : string -> (request, string) result
+
+val request_of_json : Json.json -> (request, string) result
+
+type error_code =
+  | Bad_request
+  | Not_found
+  | Overloaded
+  | Deadline_exceeded
+  | Internal
+
+val error_code_to_string : error_code -> string
+
+type response =
+  | Registered of {
+      dataset : string;
+      scale : int;
+      seed : int;
+      version : int;
+      fresh : bool;  (** whether this call (re)generated the data *)
+      rows : int;
+      tables : (string * int) list;
+    }
+  | Explained of {
+      dataset : string;
+      version : int;
+      cache : [ `Hit | `Miss | `Handle ];
+          (** [`Handle]: explanations were recomputed but the traced-run
+              handle was reused, skipping re-tracing *)
+      result : Json.json;  (** {!Codec.result_to_json} payload *)
+    }
+  | Stats_reply of (string * Json.json) list  (** named stat sections *)
+  | Evicted of { datasets : int; cache_entries : int }
+  | Error of { code : error_code; message : string }
+  | Goodbye
+
+(** One line, no embedded newlines. *)
+val response_to_string : response -> string
+
+val response_to_json : response -> Json.json
+
+(** Convenience constructors for error responses. *)
+val bad_request : string -> response
+
+val not_found : string -> response

@@ -1,0 +1,147 @@
+(* Bounded admission + deadlines in front of the shared domain pool.
+
+   The pool's own queue is unbounded; the scheduler adds the service
+   discipline: a depth counter capped at [queue_capacity] (reject beyond
+   it — backpressure), and a deadline check on the queued→running edge
+   (a request whose deadline lapsed while waiting is dropped without
+   being run). *)
+
+type error =
+  | Overloaded of { depth : int; capacity : int }
+  | Deadline_exceeded of { waited_ms : float; deadline_ms : float }
+
+let error_to_string = function
+  | Overloaded { depth; capacity } ->
+    Fmt.str "overloaded: %d requests queued or running (capacity %d)" depth
+      capacity
+  | Deadline_exceeded { waited_ms; deadline_ms } ->
+    Fmt.str "deadline exceeded: queued %.1f ms past the %.1f ms deadline"
+      waited_ms deadline_ms
+
+type t = {
+  pool : Engine.Pool.t;
+  capacity : int;
+  default_deadline_ms : float option;
+  mutex : Mutex.t;
+  mutable depth : int;
+  (* per-instance mirrors of the global counters, for per-server stats *)
+  mutable submitted_n : int;
+  mutable rejected_n : int;
+  mutable completed_n : int;
+  mutable expired_n : int;
+}
+
+type stats = {
+  submitted : int;
+  rejected : int;
+  completed : int;
+  expired : int;
+  depth : int;
+  capacity : int;
+}
+
+type 'a ticket = ('a, error) result Engine.Pool.future
+
+let submitted = lazy (Obs.Metrics.counter "serve.sched.submitted")
+let rejected = lazy (Obs.Metrics.counter "serve.sched.rejected")
+let completed = lazy (Obs.Metrics.counter "serve.sched.completed")
+let expired = lazy (Obs.Metrics.counter "serve.sched.expired")
+let depth_gauge = lazy (Obs.Metrics.gauge "serve.sched.depth")
+let wait_hist = lazy (Obs.Metrics.histogram "serve.sched.wait_ms")
+
+let create ?pool ~queue_capacity ?default_deadline_ms () =
+  {
+    pool = (match pool with Some p -> p | None -> Engine.Pool.default ());
+    capacity = max 1 queue_capacity;
+    default_deadline_ms;
+    mutex = Mutex.create ();
+    depth = 0;
+    submitted_n = 0;
+    rejected_n = 0;
+    completed_n = 0;
+    expired_n = 0;
+  }
+
+let depth (t : t) =
+  Mutex.lock t.mutex;
+  let d = t.depth in
+  Mutex.unlock t.mutex;
+  d
+
+let queue_capacity (t : t) = t.capacity
+
+let set_depth_gauge (t : t) =
+  Obs.Metrics.Gauge.set (Lazy.force depth_gauge) (float_of_int t.depth)
+
+let submit t ?deadline_ms (f : unit -> 'a) : ('a ticket, error) result =
+  let deadline_ms =
+    match deadline_ms with Some _ as d -> d | None -> t.default_deadline_ms
+  in
+  Mutex.lock t.mutex;
+  if t.depth >= t.capacity then begin
+    let d = t.depth in
+    Mutex.unlock t.mutex;
+    Obs.Metrics.Counter.incr (Lazy.force rejected);
+    Mutex.lock t.mutex;
+    t.rejected_n <- t.rejected_n + 1;
+    Mutex.unlock t.mutex;
+    Error (Overloaded { depth = d; capacity = t.capacity })
+  end
+  else begin
+    t.depth <- t.depth + 1;
+    t.submitted_n <- t.submitted_n + 1;
+    set_depth_gauge t;
+    Mutex.unlock t.mutex;
+    Obs.Metrics.Counter.incr (Lazy.force submitted);
+    let admitted_ns = Obs.Clock.now_ns () in
+    let job () =
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock t.mutex;
+          t.depth <- t.depth - 1;
+          set_depth_gauge t;
+          Mutex.unlock t.mutex)
+        (fun () ->
+          let waited_ms =
+            float_of_int (Obs.Clock.now_ns () - admitted_ns) /. 1e6
+          in
+          Obs.Metrics.Histogram.observe (Lazy.force wait_hist) waited_ms;
+          match deadline_ms with
+          | Some budget when waited_ms > budget ->
+            Obs.Metrics.Counter.incr (Lazy.force expired);
+            Mutex.lock t.mutex;
+            t.expired_n <- t.expired_n + 1;
+            Mutex.unlock t.mutex;
+            Error (Deadline_exceeded { waited_ms; deadline_ms = budget })
+          | _ ->
+            let v = f () in
+            Obs.Metrics.Counter.incr (Lazy.force completed);
+            Mutex.lock t.mutex;
+            t.completed_n <- t.completed_n + 1;
+            Mutex.unlock t.mutex;
+            Ok v)
+    in
+    Ok (Engine.Pool.submit t.pool job)
+  end
+
+let await (ticket : 'a ticket) : ('a, error) result = Engine.Pool.await ticket
+
+let run t ?deadline_ms f =
+  match submit t ?deadline_ms f with
+  | Error e -> Error e
+  | Ok ticket -> await ticket
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      submitted = t.submitted_n;
+      rejected = t.rejected_n;
+      completed = t.completed_n;
+      expired = t.expired_n;
+      depth = t.depth;
+      capacity = t.capacity;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s

@@ -1,0 +1,64 @@
+(** Request scheduler — bounded admission in front of the shared
+    {!Engine.Pool}.
+
+    Admission is a counted slot: at most [queue_capacity] requests may be
+    queued-or-running at once; a submission past that is rejected
+    immediately with {!Overloaded} (backpressure — the caller gets a
+    typed error to serialize, not a blocked connection).  Deadlines are
+    cooperative: a request still queued when its deadline passes is not
+    started and resolves to {!Deadline_exceeded}; a request that already
+    started runs to completion (the pipeline has no preemption points).
+
+    Counters [serve.sched.{submitted,rejected,completed,expired}], the
+    [serve.sched.depth] gauge, and the [serve.sched.wait_ms] histogram
+    land in {!Obs.Metrics}. *)
+
+type error =
+  | Overloaded of { depth : int; capacity : int }
+  | Deadline_exceeded of { waited_ms : float; deadline_ms : float }
+
+val error_to_string : error -> string
+
+type t
+
+(** [create ?pool ~queue_capacity ?default_deadline_ms ()] — capacity is
+    clamped to ≥ 1; [default_deadline_ms] applies to submissions without
+    an explicit deadline ([None] = no deadline).  [pool] defaults to the
+    process-wide {!Engine.Pool.default}. *)
+val create :
+  ?pool:Engine.Pool.t ->
+  queue_capacity:int ->
+  ?default_deadline_ms:float ->
+  unit ->
+  t
+
+type 'a ticket
+
+(** Admit a job or reject it with {!Overloaded}. *)
+val submit : t -> ?deadline_ms:float -> (unit -> 'a) -> ('a ticket, error) result
+
+(** Wait for the outcome (helping with pool work — see
+    {!Engine.Pool.await}).  Re-raises the job's own exception if it
+    raised. *)
+val await : 'a ticket -> ('a, error) result
+
+(** [submit] + [await]. *)
+val run : t -> ?deadline_ms:float -> (unit -> 'a) -> ('a, error) result
+
+(** Requests currently queued or running. *)
+val depth : t -> int
+
+val queue_capacity : t -> int
+
+(** Per-scheduler counts (the global {!Obs.Metrics} counters aggregate
+    across schedulers; these don't). *)
+type stats = {
+  submitted : int;
+  rejected : int;
+  completed : int;
+  expired : int;
+  depth : int;
+  capacity : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,352 @@
+(* The why-not explanation service.
+
+   One server value owns a catalog, two LRU caches, and a scheduler:
+
+   - explanation cache: key ⟨dataset key, version, options, alternatives,
+     query, pattern⟩ → serialized result payload.  A hit costs a hash
+     lookup; cached and freshly computed payloads are byte-identical
+     (the payload is stored serialized).
+   - handle cache: the pattern-free prefix of the same key → prepared
+     Pipeline.handle (enumerated SAs + executed ⟦Q⟧_D).  A new pattern
+     on a cached handle skips straight to the per-SA phases.
+
+   Cache keys are prefixed with the dataset key + version, so evicting a
+   dataset invalidates its entries by prefix, and a version bump
+   (refresh) makes old entries unreachable without scanning. *)
+
+open Nested
+
+type config = {
+  cache_capacity : int;
+  handle_capacity : int;
+  queue_capacity : int;
+  default_deadline_ms : float option;
+  parallel : bool;
+  timings : bool;
+}
+
+let default_config =
+  {
+    cache_capacity = 128;
+    handle_capacity = 32;
+    queue_capacity = 64;
+    default_deadline_ms = None;
+    parallel = false;
+    timings = true;
+  }
+
+type t = {
+  cfg : config;
+  catalog : Catalog.t;
+  explain_cache : Json.json Cache.t;
+  handle_cache : Whynot.Pipeline.handle Cache.t;
+  scheduler : Scheduler.t;
+  mutex : Mutex.t;  (* guards the per-server request counters *)
+  mutable requests : int;
+  mutable explains : int;
+  mutable prepares : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    catalog = Catalog.create ();
+    explain_cache = Cache.create ~name:"explain" ~capacity:config.cache_capacity;
+    handle_cache = Cache.create ~name:"handles" ~capacity:config.handle_capacity;
+    scheduler =
+      Scheduler.create ~queue_capacity:config.queue_capacity
+        ?default_deadline_ms:config.default_deadline_ms ();
+    mutex = Mutex.create ();
+    requests = 0;
+    explains = 0;
+    prepares = 0;
+  }
+
+let config t = t.cfg
+
+let bump t f =
+  Mutex.lock t.mutex;
+  f t;
+  Mutex.unlock t.mutex
+
+(* -- keys ---------------------------------------------------------------- *)
+
+let dataset_key (key : Catalog.key) =
+  Fmt.str "%s@%d#%d" key.Catalog.name key.Catalog.scale key.Catalog.seed
+
+let dataset_prefix key = dataset_key key ^ "/"
+
+let fp_options (o : Protocol.explain_options) : Fingerprint.options =
+  {
+    Fingerprint.use_sas = o.Protocol.use_sas;
+    max_sas = o.Protocol.max_sas;
+    revalidate = o.Protocol.revalidate;
+  }
+
+(* -- request handlers ---------------------------------------------------- *)
+
+let handle_register t ~dataset ~scale ~seed ~refresh : Protocol.response =
+  if refresh then begin
+    (* version bump: entries for the old version are unreachable; drop
+       them eagerly so they don't occupy LRU slots *)
+    match Catalog.find t.catalog ~seed ~name:dataset ~scale () with
+    | Some old ->
+      let prefix = dataset_prefix old.Catalog.key in
+      let matches k = String.starts_with ~prefix k in
+      ignore (Cache.invalidate t.explain_cache matches);
+      ignore (Cache.invalidate t.handle_cache matches)
+    | None -> ()
+  end;
+  match Catalog.register t.catalog ~seed ~refresh ~name:dataset ~scale () with
+  | Error msg -> Protocol.not_found msg
+  | Ok (entry, fresh) ->
+    Protocol.Registered
+      {
+        dataset = entry.Catalog.key.Catalog.name;
+        scale = entry.Catalog.key.Catalog.scale;
+        seed = entry.Catalog.key.Catalog.seed;
+        version = entry.Catalog.version;
+        fresh;
+        rows = entry.Catalog.rows;
+        tables = entry.Catalog.tables;
+      }
+
+let handle_explain t ~dataset ~scale ~seed ~query ~pattern
+    ~(options : Protocol.explain_options) ~deadline_ms : Protocol.response =
+  match Catalog.find t.catalog ~seed ~name:dataset ~scale () with
+  | None ->
+    Protocol.not_found
+      (Fmt.str "dataset %S (scale %d, seed %d) is not registered — send a \
+                register request first" dataset scale seed)
+  | Some entry ->
+    let inst = entry.Catalog.instance in
+    let phi0 = inst.Scenarios.Scenario.question in
+    let q =
+      match query with Some q -> q | None -> phi0.Whynot.Question.query
+    in
+    let missing =
+      match pattern with Some p -> p | None -> phi0.Whynot.Question.missing
+    in
+    let db = phi0.Whynot.Question.db in
+    let alternatives = inst.Scenarios.Scenario.alternatives in
+    let phi = Whynot.Question.make ~query:q ~db ~missing in
+    (match Whynot.Question.check_missing phi with
+    | Error msg -> Protocol.bad_request ("invalid why-not question: " ^ msg)
+    | Ok () ->
+      let dskey = dataset_key entry.Catalog.key in
+      let version = entry.Catalog.version in
+      let fpo = fp_options options in
+      let prefix = dataset_prefix entry.Catalog.key in
+      let ekey =
+        prefix
+        ^ Fingerprint.explain_key ~dataset:dskey ~version ~options:fpo
+            ~alternatives q missing
+      in
+      bump t (fun t -> t.explains <- t.explains + 1);
+      (match Cache.find t.explain_cache ekey with
+      | Some payload ->
+        Protocol.Explained
+          { dataset = entry.Catalog.key.Catalog.name; version; cache = `Hit;
+            result = payload }
+      | None ->
+        let job () =
+          let hkey =
+            prefix
+            ^ Fingerprint.prepare_key ~dataset:dskey ~version ~options:fpo
+                ~alternatives q
+          in
+          let handle, reused_handle =
+            match Cache.find t.handle_cache hkey with
+            | Some h -> (h, true)
+            | None ->
+              let h =
+                Whynot.Pipeline.prepare ~use_sas:options.Protocol.use_sas
+                  ~max_sas:options.Protocol.max_sas ~alternatives ~db q
+              in
+              bump t (fun t -> t.prepares <- t.prepares + 1);
+              Cache.add t.handle_cache hkey h;
+              (h, false)
+          in
+          let result =
+            Whynot.Pipeline.explain_with
+              ~revalidate:options.Protocol.revalidate
+              ~parallel:(options.Protocol.parallel || t.cfg.parallel)
+              handle missing
+          in
+          let payload = Codec.result_to_json ~timings:t.cfg.timings result in
+          Cache.add t.explain_cache ekey payload;
+          (payload, reused_handle)
+        in
+        (match Scheduler.run t.scheduler ?deadline_ms job with
+        | Ok (payload, reused_handle) ->
+          Protocol.Explained
+            {
+              dataset = entry.Catalog.key.Catalog.name;
+              version;
+              cache = (if reused_handle then `Handle else `Miss);
+              result = payload;
+            }
+        | Error (Scheduler.Overloaded _ as e) ->
+          Protocol.Error
+            { code = Protocol.Overloaded; message = Scheduler.error_to_string e }
+        | Error (Scheduler.Deadline_exceeded _ as e) ->
+          Protocol.Error
+            {
+              code = Protocol.Deadline_exceeded;
+              message = Scheduler.error_to_string e;
+            })))
+
+let cache_stats_json (s : Cache.stats) =
+  Json.J_object
+    [
+      ("hits", Json.J_int s.Cache.hits);
+      ("misses", Json.J_int s.Cache.misses);
+      ("evictions", Json.J_int s.Cache.evictions);
+      ("size", Json.J_int s.Cache.size);
+      ("capacity", Json.J_int s.Cache.capacity);
+    ]
+
+let handle_stats t : Protocol.response =
+  let sched = Scheduler.stats t.scheduler in
+  let requests, explains, prepares =
+    Mutex.lock t.mutex;
+    let r = (t.requests, t.explains, t.prepares) in
+    Mutex.unlock t.mutex;
+    r
+  in
+  Protocol.Stats_reply
+    [
+      ( "server",
+        Json.J_object
+          [
+            ("requests", Json.J_int requests);
+            ("explains", Json.J_int explains);
+            ("prepares", Json.J_int prepares);
+          ] );
+      ( "catalog",
+        Json.J_object
+          [
+            ("datasets", Json.J_int (Catalog.size t.catalog));
+            ( "entries",
+              Json.J_array
+                (List.map
+                   (fun (e : Catalog.entry) ->
+                     Json.J_object
+                       [
+                         ("dataset", Json.J_string e.Catalog.key.Catalog.name);
+                         ("scale", Json.J_int e.Catalog.key.Catalog.scale);
+                         ("seed", Json.J_int e.Catalog.key.Catalog.seed);
+                         ("version", Json.J_int e.Catalog.version);
+                         ("rows", Json.J_int e.Catalog.rows);
+                       ])
+                   (Catalog.entries t.catalog)) );
+          ] );
+      ("cache", cache_stats_json (Cache.stats t.explain_cache));
+      ("handles", cache_stats_json (Cache.stats t.handle_cache));
+      ( "scheduler",
+        Json.J_object
+          [
+            ("submitted", Json.J_int sched.Scheduler.submitted);
+            ("rejected", Json.J_int sched.Scheduler.rejected);
+            ("completed", Json.J_int sched.Scheduler.completed);
+            ("expired", Json.J_int sched.Scheduler.expired);
+            ("depth", Json.J_int sched.Scheduler.depth);
+            ("capacity", Json.J_int sched.Scheduler.capacity);
+          ] );
+    ]
+
+let handle_evict t ~dataset ~scale ~seed ~cache : Protocol.response =
+  let datasets, dropped_for_dataset =
+    match dataset with
+    | None -> (0, 0)
+    | Some name -> (
+      match Catalog.find t.catalog ~seed ~name ~scale () with
+      | None -> (0, 0)
+      | Some entry ->
+        let prefix = dataset_prefix entry.Catalog.key in
+        let matches k = String.starts_with ~prefix k in
+        let dropped =
+          Cache.invalidate t.explain_cache matches
+          + Cache.invalidate t.handle_cache matches
+        in
+        let removed = Catalog.evict t.catalog ~seed ~name ~scale () in
+        ((if removed then 1 else 0), dropped))
+  in
+  let dropped_for_cache =
+    if cache then Cache.clear t.explain_cache + Cache.clear t.handle_cache
+    else 0
+  in
+  Protocol.Evicted
+    { datasets; cache_entries = dropped_for_dataset + dropped_for_cache }
+
+let handle_request t (req : Protocol.request) : Protocol.response =
+  bump t (fun t -> t.requests <- t.requests + 1);
+  try
+    match req with
+    | Protocol.Register { dataset; scale; seed; refresh } ->
+      handle_register t ~dataset ~scale ~seed ~refresh
+    | Protocol.Explain { dataset; scale; seed; query; pattern; options; deadline_ms }
+      ->
+      handle_explain t ~dataset ~scale ~seed ~query ~pattern ~options
+        ~deadline_ms
+    | Protocol.Stats -> handle_stats t
+    | Protocol.Evict { dataset; scale; seed; cache } ->
+      handle_evict t ~dataset ~scale ~seed ~cache
+    | Protocol.Shutdown -> Protocol.Goodbye
+  with e ->
+    Protocol.Error
+      { code = Protocol.Internal; message = Printexc.to_string e }
+
+let handle_line t line : string * bool =
+  match Protocol.request_of_string line with
+  | Error msg -> (Protocol.response_to_string (Protocol.bad_request msg), false)
+  | Ok req ->
+    let resp = handle_request t req in
+    (Protocol.response_to_string resp, req = Protocol.Shutdown)
+
+(* -- serving loops ------------------------------------------------------- *)
+
+let serve_channels t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+      if String.trim line = "" then loop ()
+      else begin
+        let resp, stop = handle_line t line in
+        output_string oc resp;
+        output_char oc '\n';
+        flush oc;
+        if not stop then loop ()
+      end
+  in
+  loop ()
+
+let serve_connection t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () ->
+      (try flush oc with Sys_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> try serve_channels t ic oc with Sys_error _ -> ())
+
+let accept_loop t sock =
+  while true do
+    let fd, _addr = Unix.accept sock in
+    ignore (Thread.create (fun () -> serve_connection t fd) ())
+  done
+
+let serve_unix t ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 64;
+  accept_loop t sock
+
+let serve_tcp ?(host = "127.0.0.1") t ~port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen sock 64;
+  accept_loop t sock

@@ -1,0 +1,54 @@
+(** The why-not explanation service: a dataset {!Catalog}, an LRU
+    explanation {!Cache} plus a traced-run handle cache, and a
+    {!Scheduler} fanning execution over the shared {!Engine.Pool},
+    speaking the line-delimited JSON {!Protocol} over stdin/stdout or a
+    Unix/TCP socket.
+
+    Request flow for [explain]: resolve the dataset in the catalog (a
+    typed [not_found] if it was never registered), look the full
+    ⟨query, dataset version, pattern, options⟩ key up in the explanation
+    cache, and on a miss schedule the pipeline run — reusing the
+    pattern-independent {!Whynot.Pipeline.handle} for the same
+    ⟨query, dataset version, options⟩ when one is cached, so repeated
+    questions over the same query pay only the per-pattern phases. *)
+
+type config = {
+  cache_capacity : int;  (** explanation cache entries (≤ 0 disables) *)
+  handle_capacity : int;  (** traced-run handles kept (≤ 0 disables) *)
+  queue_capacity : int;  (** scheduler admission bound *)
+  default_deadline_ms : float option;
+  parallel : bool;  (** run schema alternatives on the pool *)
+  timings : bool;
+      (** include wall-clock timings in responses; [false] makes
+          responses fully deterministic (the smoke test diffs them) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val config : t -> config
+
+(** Handle one already-parsed request.  Never raises: pipeline and
+    catalog failures come back as typed error responses. *)
+val handle_request : t -> Protocol.request -> Protocol.response
+
+(** Parse one request line, dispatch, serialize the response line (no
+    trailing newline).  The second component is [true] when the request
+    was [shutdown] and the session loop should end. *)
+val handle_line : t -> string -> string * bool
+
+(** Serve line-delimited requests until EOF or [shutdown].  Responses
+    are flushed after every line (the transcript is pipe-friendly:
+    [printf '...' | whynot_server --stdio]). *)
+val serve_channels : t -> in_channel -> out_channel -> unit
+
+(** Listen on a Unix-domain socket (the path is unlinked first), one
+    thread per connection; never returns. *)
+val serve_unix : t -> path:string -> unit
+
+(** Listen on TCP [host:port] (default host 127.0.0.1), one thread per
+    connection; never returns. *)
+val serve_tcp : ?host:string -> t -> port:int -> unit

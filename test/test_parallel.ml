@@ -11,7 +11,7 @@ let relation_string r = Value.to_string (Relation.data r)
 let scenario_instances () =
   List.map
     (fun (s : Scenarios.Scenario.t) ->
-      (s.Scenarios.Scenario.name, s.Scenarios.Scenario.make ~scale:1))
+      (s.Scenarios.Scenario.name, s.Scenarios.Scenario.make ~scale:1 ()))
     Scenarios.Registry.all
 
 (* Eval = sequential engine = parallel engine, for every scenario. *)

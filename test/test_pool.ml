@@ -89,6 +89,35 @@ let test_await_after_shutdown_job_done () =
   (* a resolved future stays readable after teardown *)
   Alcotest.(check string) "still resolved" "done" (Engine.Pool.await fut)
 
+let test_create_shutdown_cycles () =
+  (* the server creates and tears down pools across sessions; repeated
+     cycles must neither leak domains nor wedge (each cycle joins its
+     workers before the next spawns) *)
+  for round = 1 to 10 do
+    let pool = Engine.Pool.create ~size:2 () in
+    let results =
+      Engine.Pool.map_array pool (fun i -> i + round) (Array.init 4 Fun.id)
+    in
+    Alcotest.(check (array int))
+      (Fmt.str "round %d" round)
+      (Array.init 4 (fun i -> i + round))
+      results;
+    Engine.Pool.shutdown pool;
+    Engine.Pool.shutdown pool
+  done
+
+let test_shutdown_default () =
+  (* the at_exit hook of the binaries; idempotent.  Runs last in this
+     suite — it kills the shared pool for the rest of the process. *)
+  let p = Engine.Pool.default () in
+  let fut = Engine.Pool.submit p (fun () -> 7) in
+  Alcotest.(check int) "default pool works" 7 (Engine.Pool.await fut);
+  Engine.Pool.shutdown_default ();
+  Engine.Pool.shutdown_default ();
+  match Engine.Pool.submit p (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "default pool must reject submissions after shutdown"
+
 let test_default_pool_is_shared () =
   let p1 = Engine.Pool.default () in
   let p2 = Engine.Pool.default () in
@@ -117,7 +146,10 @@ let () =
             test_shutdown_rejects_submit;
           Alcotest.test_case "future outlives pool" `Quick
             test_await_after_shutdown_job_done;
+          Alcotest.test_case "create/shutdown cycles" `Quick
+            test_create_shutdown_cycles;
           Alcotest.test_case "default pool shared" `Quick
             test_default_pool_is_shared;
+          Alcotest.test_case "shutdown_default" `Quick test_shutdown_default;
         ] );
     ]

@@ -5,7 +5,7 @@
 
 let scale = 1
 
-let instance_of (s : Scenarios.Scenario.t) = s.Scenarios.Scenario.make ~scale
+let instance_of (s : Scenarios.Scenario.t) = s.Scenarios.Scenario.make ~scale ()
 
 let sorted xs = List.sort compare (List.map (List.sort compare) xs)
 
@@ -144,7 +144,7 @@ let table7_counts () =
 let test_scale_invariance name () =
   let s = Option.get (Scenarios.Registry.find name) in
   let sets scale =
-    let inst = s.Scenarios.Scenario.make ~scale in
+    let inst = s.Scenarios.Scenario.make ~scale () in
     sorted
       (Whynot.Pipeline.explanation_sets
          (Whynot.Pipeline.explain

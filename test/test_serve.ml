@@ -1,0 +1,613 @@
+(* Tests for the serving layer: fingerprint stability and
+   alpha-equivalence, the explanation JSON codec (round-trip
+   properties), the dataset catalog, the LRU cache, the bounded
+   scheduler, the wire protocol, and an in-process request session
+   against the full server (cache-hit byte-identity). *)
+
+open Nrab
+
+let q str = Parser.query_of_string str
+
+let running_example =
+  "(nest (name) nList (project (name city) (select (>= year 2019) \
+   (flatten-inner address2 (table person)))))"
+
+(* --- fingerprints ------------------------------------------------------ *)
+
+let test_fp_deterministic () =
+  let h1 = Serve.Fingerprint.query (q running_example) in
+  let h2 = Serve.Fingerprint.query (q running_example) in
+  Alcotest.(check bool) "same text, same hash" true (Int64.equal h1 h2)
+
+let test_fp_alpha_equivalent () =
+  (* relabeling operator ids must not change the fingerprint *)
+  let q1 = q running_example in
+  let q2 = Query.relabel (Query.Gen.create ~start:1000 ()) q1 in
+  let ids query = List.map (fun (op : Query.t) -> op.Query.id) (Query.operators query) in
+  Alcotest.(check bool) "ids differ" true (ids q1 <> ids q2);
+  Alcotest.(check string) "alpha-equivalent queries hash equal"
+    (Serve.Fingerprint.to_hex (Serve.Fingerprint.query q1))
+    (Serve.Fingerprint.to_hex (Serve.Fingerprint.query q2))
+
+let test_fp_param_sensitive () =
+  let h t = Serve.Fingerprint.query (q t) in
+  let base = h "(select (>= year 2019) (table person))" in
+  List.iter
+    (fun (label, text) ->
+      Alcotest.(check bool) label false (Int64.equal base (h text)))
+    [
+      ("constant", "(select (>= year 2020) (table person))");
+      ("comparison", "(select (> year 2019) (table person))");
+      ("attribute", "(select (>= month 2019) (table person))");
+      ("table", "(select (>= year 2019) (table persons))");
+      ("structure", "(dedup (select (>= year 2019) (table person)))");
+    ]
+
+let test_fp_nip_and_options () =
+  let p1 = Whynot.Nip_syntax.of_string "(tuple (city (str NY)) (nList (bag ? *)))" in
+  let p2 = Whynot.Nip_syntax.of_string "(tuple (city (str LA)) (nList (bag ? *)))" in
+  Alcotest.(check bool) "patterns distinguish" false
+    (Int64.equal (Serve.Fingerprint.nip p1) (Serve.Fingerprint.nip p2));
+  let o = Serve.Fingerprint.default_options in
+  Alcotest.(check bool) "options distinguish" false
+    (Int64.equal
+       (Serve.Fingerprint.options o)
+       (Serve.Fingerprint.options { o with max_sas = o.max_sas + 1 }))
+
+let test_fp_keys () =
+  let query = q running_example in
+  let pat = Whynot.Nip_syntax.of_string "(tuple (city (str NY)) (nList (bag ? *)))" in
+  let o = Serve.Fingerprint.default_options in
+  let k v =
+    Serve.Fingerprint.explain_key ~dataset:"RE@1#0" ~version:v ~options:o
+      ~alternatives:[] query pat
+  in
+  Alcotest.(check bool) "version bump changes the key" true (k 1 <> k 2);
+  let pk =
+    Serve.Fingerprint.prepare_key ~dataset:"RE@1#0" ~version:1 ~options:o
+      ~alternatives:[] query
+  in
+  Alcotest.(check bool) "pattern-free key differs from full key" true (pk <> k 1)
+
+(* --- codec ------------------------------------------------------------- *)
+
+let explanation_gen =
+  QCheck.Gen.(
+    let* n = int_range 1 6 in
+    let* ops = list_size (return n) (int_range 1 60) in
+    let* lb = int_range 0 5 in
+    let* extra = int_range 0 5 in
+    let* sa = int_range 0 4 in
+    return
+      (Whynot.Explanation.make ~sa ~lb ~ub:(lb + extra)
+         (Whynot.Explanation.Int_set.of_list ops)))
+
+let explanation_arb =
+  QCheck.make ~print:(Fmt.to_to_string Whynot.Explanation.pp) explanation_gen
+
+let expl_equal (a : Whynot.Explanation.t) (b : Whynot.Explanation.t) =
+  Whynot.Explanation.equal_ops a b
+  && a.Whynot.Explanation.side_effect_lb = b.Whynot.Explanation.side_effect_lb
+  && a.Whynot.Explanation.side_effect_ub = b.Whynot.Explanation.side_effect_ub
+  && a.Whynot.Explanation.sa = b.Whynot.Explanation.sa
+
+let prop_explanation_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"explanation JSON roundtrip"
+    explanation_arb (fun e ->
+      expl_equal e (Serve.Codec.explanation_of_json (Serve.Codec.explanation_to_json e)))
+
+let prop_explanations_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"explanation list JSON roundtrip"
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 8) explanation_arb)
+    (fun es ->
+      let back =
+        Serve.Codec.explanations_of_json (Serve.Codec.explanations_to_json es)
+      in
+      List.length back = List.length es && List.for_all2 expl_equal es back)
+
+let prop_roundtrip_via_text =
+  QCheck.Test.make ~count:100 ~name:"roundtrip survives printing"
+    explanation_arb (fun e ->
+      let text = Nested.Json.to_line (Serve.Codec.explanation_to_json e) in
+      expl_equal e (Serve.Codec.explanation_of_json (Nested.Json.of_string text)))
+
+let test_codec_result_payload () =
+  (* a real pipeline result decodes back to the same explanation list *)
+  let inst =
+    match Scenarios.Registry.find "RE" with
+    | Some s -> s.Scenarios.Scenario.make ~scale:1 ()
+    | None -> Alcotest.fail "running example scenario missing"
+  in
+  let result =
+    Whynot.Pipeline.explain
+      ~alternatives:inst.Scenarios.Scenario.alternatives
+      inst.Scenarios.Scenario.question
+  in
+  let payload = Serve.Codec.result_to_json ~timings:false result in
+  let back = Serve.Codec.result_explanations_of_json payload in
+  Alcotest.(check int) "explanation count survives"
+    (List.length result.Whynot.Pipeline.explanations)
+    (List.length back);
+  Alcotest.(check bool) "explanations survive" true
+    (List.for_all2 expl_equal result.Whynot.Pipeline.explanations back);
+  (* timings:false must not leak wall-clock fields *)
+  let text = Nested.Json.to_line payload in
+  let contains needle =
+    let n = String.length text and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub text i m = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no timings in deterministic payload" false
+    (contains "phases_ms" || contains "total_ms")
+
+let test_codec_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Serve.Codec.explanation_of_json (Nested.Json.of_string text) with
+      | exception Serve.Codec.Decode_error _ -> ()
+      | _ -> Alcotest.fail ("decoded garbage: " ^ text))
+    [ "42"; "{}"; "{\"ops\": 1}"; "{\"ops\": [1], \"side_effect_lb\": true}" ]
+
+(* --- catalog ----------------------------------------------------------- *)
+
+let test_catalog_register_reuse_refresh () =
+  let c = Serve.Catalog.create () in
+  (match Serve.Catalog.register c ~name:"re" ~scale:1 () with
+  | Error m -> Alcotest.fail m
+  | Ok (e, fresh) ->
+    Alcotest.(check string) "canonical name" "RE" e.Serve.Catalog.key.Serve.Catalog.name;
+    Alcotest.(check bool) "first registration generates" true fresh;
+    Alcotest.(check int) "version starts at 1" 1 e.Serve.Catalog.version);
+  (match Serve.Catalog.register c ~name:"RE" ~scale:1 () with
+  | Error m -> Alcotest.fail m
+  | Ok (e, fresh) ->
+    Alcotest.(check bool) "second registration reuses" false fresh;
+    Alcotest.(check int) "version unchanged" 1 e.Serve.Catalog.version);
+  (match Serve.Catalog.register c ~refresh:true ~name:"RE" ~scale:1 () with
+  | Error m -> Alcotest.fail m
+  | Ok (e, fresh) ->
+    Alcotest.(check bool) "refresh regenerates" true fresh;
+    Alcotest.(check int) "refresh bumps version" 2 e.Serve.Catalog.version);
+  Alcotest.(check int) "one dataset" 1 (Serve.Catalog.size c);
+  (match Serve.Catalog.register c ~name:"no-such-scenario" ~scale:1 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown scenario must be an error");
+  Alcotest.(check bool) "evict present" true
+    (Serve.Catalog.evict c ~name:"RE" ~scale:1 ());
+  Alcotest.(check bool) "evict absent" false
+    (Serve.Catalog.evict c ~name:"RE" ~scale:1 ());
+  Alcotest.(check int) "empty again" 0 (Serve.Catalog.size c)
+
+let test_catalog_keys_are_distinct () =
+  let c = Serve.Catalog.create () in
+  let reg ?seed ~scale () =
+    match Serve.Catalog.register c ?seed ~name:"Q1" ~scale () with
+    | Ok (e, _) -> e
+    | Error m -> Alcotest.fail m
+  in
+  let a = reg ~scale:1 () in
+  let b = reg ~scale:2 () in
+  let d = reg ~seed:7 ~scale:1 () in
+  Alcotest.(check int) "three entries" 3 (Serve.Catalog.size c);
+  Alcotest.(check bool) "scales share nothing" true
+    (a.Serve.Catalog.instance != b.Serve.Catalog.instance);
+  Alcotest.(check bool) "seeds share nothing" true
+    (a.Serve.Catalog.instance != d.Serve.Catalog.instance);
+  (* same key → same interned instance *)
+  let a2 = reg ~scale:1 () in
+  Alcotest.(check bool) "same key shares the instance" true
+    (a.Serve.Catalog.instance == a2.Serve.Catalog.instance)
+
+(* --- LRU cache --------------------------------------------------------- *)
+
+let test_cache_lru_eviction () =
+  let c = Serve.Cache.create ~name:"t1" ~capacity:2 in
+  Serve.Cache.add c "a" 1;
+  Serve.Cache.add c "b" 2;
+  ignore (Serve.Cache.find c "a" : int option);
+  (* "a" is now most recent, so inserting "c" evicts "b" *)
+  Serve.Cache.add c "c" 3;
+  Alcotest.(check (option int)) "a kept" (Some 1) (Serve.Cache.find c "a");
+  Alcotest.(check (option int)) "b evicted" None (Serve.Cache.find c "b");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Serve.Cache.find c "c");
+  let s = Serve.Cache.stats c in
+  Alcotest.(check int) "one eviction" 1 s.Serve.Cache.evictions;
+  Alcotest.(check int) "size capped" 2 s.Serve.Cache.size
+
+let test_cache_overwrite_and_invalidate () =
+  let c = Serve.Cache.create ~name:"t2" ~capacity:8 in
+  Serve.Cache.add c "k1/x" 1;
+  Serve.Cache.add c "k1/y" 2;
+  Serve.Cache.add c "k2/z" 3;
+  Serve.Cache.add c "k1/x" 10;
+  Alcotest.(check (option int)) "overwrite wins" (Some 10)
+    (Serve.Cache.find c "k1/x");
+  Alcotest.(check int) "no duplicate entries" 3 (Serve.Cache.length c);
+  Alcotest.(check int) "prefix invalidation drops both" 2
+    (Serve.Cache.invalidate c (String.starts_with ~prefix:"k1/"));
+  Alcotest.(check (option int)) "other prefix survives" (Some 3)
+    (Serve.Cache.find c "k2/z");
+  Alcotest.(check int) "clear reports" 1 (Serve.Cache.clear c);
+  Alcotest.(check int) "empty" 0 (Serve.Cache.length c)
+
+let test_cache_disabled () =
+  let c = Serve.Cache.create ~name:"t3" ~capacity:0 in
+  Serve.Cache.add c "a" 1;
+  Alcotest.(check (option int)) "capacity 0 never caches" None
+    (Serve.Cache.find c "a")
+
+let test_cache_many_keys () =
+  (* LRU discipline over a longer run: last [cap] inserts survive *)
+  let cap = 16 in
+  let c = Serve.Cache.create ~name:"t4" ~capacity:cap in
+  for i = 1 to 100 do
+    Serve.Cache.add c (string_of_int i) i
+  done;
+  Alcotest.(check int) "size is capacity" cap (Serve.Cache.length c);
+  for i = 85 to 100 do
+    Alcotest.(check (option int))
+      (Fmt.str "key %d survives" i)
+      (Some i)
+      (Serve.Cache.find c (string_of_int i))
+  done;
+  Alcotest.(check (option int)) "older key evicted" None
+    (Serve.Cache.find c "84")
+
+(* --- scheduler --------------------------------------------------------- *)
+
+let test_scheduler_runs_jobs () =
+  let s = Serve.Scheduler.create ~queue_capacity:4 () in
+  (match Serve.Scheduler.run s (fun () -> 6 * 7) with
+  | Ok n -> Alcotest.(check int) "result" 42 n
+  | Error e -> Alcotest.fail (Serve.Scheduler.error_to_string e));
+  let st = Serve.Scheduler.stats s in
+  Alcotest.(check int) "submitted" 1 st.Serve.Scheduler.submitted;
+  Alcotest.(check int) "completed" 1 st.Serve.Scheduler.completed;
+  Alcotest.(check int) "drained" 0 (Serve.Scheduler.depth s)
+
+let test_scheduler_backpressure () =
+  let pool = Engine.Pool.create ~size:1 () in
+  let s = Serve.Scheduler.create ~pool ~queue_capacity:1 () in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  (* fill the only admission slot with a job blocked on the gate *)
+  let first =
+    match
+      Serve.Scheduler.submit s (fun () ->
+          Mutex.lock gate;
+          Mutex.unlock gate;
+          "first")
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.fail (Serve.Scheduler.error_to_string e)
+  in
+  (match Serve.Scheduler.submit s (fun () -> "second") with
+  | Error (Serve.Scheduler.Overloaded { depth; capacity }) ->
+    Alcotest.(check int) "depth at capacity" 1 depth;
+    Alcotest.(check int) "capacity" 1 capacity
+  | Error e -> Alcotest.fail (Serve.Scheduler.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Overloaded");
+  Mutex.unlock gate;
+  (match Serve.Scheduler.await first with
+  | Ok v -> Alcotest.(check string) "first completes" "first" v
+  | Error e -> Alcotest.fail (Serve.Scheduler.error_to_string e));
+  let st = Serve.Scheduler.stats s in
+  Alcotest.(check int) "one rejection" 1 st.Serve.Scheduler.rejected;
+  Engine.Pool.shutdown pool
+
+let test_scheduler_deadline () =
+  let pool = Engine.Pool.create ~size:1 () in
+  let s = Serve.Scheduler.create ~pool ~queue_capacity:8 () in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let blocker =
+    match
+      Serve.Scheduler.submit s (fun () ->
+          Mutex.lock gate;
+          Mutex.unlock gate)
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.fail (Serve.Scheduler.error_to_string e)
+  in
+  (* queued behind the blocker with a deadline that lapses while waiting *)
+  let doomed =
+    match Serve.Scheduler.submit s ~deadline_ms:5.0 (fun () -> "ran") with
+    | Ok t -> t
+    | Error e -> Alcotest.fail (Serve.Scheduler.error_to_string e)
+  in
+  Unix.sleepf 0.05;
+  Mutex.unlock gate;
+  (match Serve.Scheduler.await blocker with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Serve.Scheduler.error_to_string e));
+  (match Serve.Scheduler.await doomed with
+  | Error (Serve.Scheduler.Deadline_exceeded { waited_ms; deadline_ms }) ->
+    Alcotest.(check bool) "waited past deadline" true (waited_ms > deadline_ms)
+  | Error e -> Alcotest.fail (Serve.Scheduler.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Deadline_exceeded");
+  let st = Serve.Scheduler.stats s in
+  Alcotest.(check int) "one expiry" 1 st.Serve.Scheduler.expired;
+  Engine.Pool.shutdown pool
+
+(* --- protocol ---------------------------------------------------------- *)
+
+let test_protocol_parse_requests () =
+  (match Serve.Protocol.request_of_string "{\"op\": \"register\", \"dataset\": \"RE\"}" with
+  | Ok (Serve.Protocol.Register { dataset; scale; seed; refresh }) ->
+    Alcotest.(check string) "dataset" "RE" dataset;
+    Alcotest.(check int) "default scale" 1 scale;
+    Alcotest.(check int) "default seed" 0 seed;
+    Alcotest.(check bool) "default refresh" false refresh
+  | Ok _ -> Alcotest.fail "wrong request"
+  | Error m -> Alcotest.fail m);
+  (match
+     Serve.Protocol.request_of_string
+       "{\"op\": \"explain\", \"dataset\": \"RE\", \"whynot\": \"(tuple (city \
+        (str NY)) (nList (bag ? *)))\", \"max_sas\": 4, \"deadline_ms\": 250}"
+   with
+  | Ok (Serve.Protocol.Explain e) ->
+    Alcotest.(check bool) "pattern parsed" true (e.pattern <> None);
+    Alcotest.(check bool) "query defaulted" true (e.query = None);
+    Alcotest.(check int) "max_sas" 4 e.options.Serve.Protocol.max_sas;
+    Alcotest.(check (option (float 0.01))) "deadline" (Some 250.0) e.deadline_ms
+  | Ok _ -> Alcotest.fail "wrong request"
+  | Error m -> Alcotest.fail m);
+  List.iter
+    (fun line ->
+      match Serve.Protocol.request_of_string line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted bad request: " ^ line))
+    [
+      "not json";
+      "{}";
+      "{\"op\": \"frobnicate\"}";
+      "{\"op\": \"register\"}";
+      "{\"op\": \"explain\", \"dataset\": \"RE\", \"query\": \"(((\"}";
+      "{\"op\": \"explain\", \"dataset\": \"RE\", \"max_sas\": \"lots\"}";
+    ]
+
+let test_protocol_response_lines () =
+  let line =
+    Serve.Protocol.response_to_string
+      (Serve.Protocol.Error
+         { code = Serve.Protocol.Overloaded; message = "try later" })
+  in
+  Alcotest.(check bool) "single line" false (String.contains line '\n');
+  match Nested.Json.of_string line with
+  | Nested.Json.J_object fields ->
+    Alcotest.(check bool) "ok=false" true
+      (List.assoc "ok" fields = Nested.Json.J_bool false);
+    Alcotest.(check bool) "code" true
+      (List.assoc "code" fields = Nested.Json.J_string "overloaded")
+  | _ -> Alcotest.fail "response is not an object"
+
+(* --- server sessions --------------------------------------------------- *)
+
+let quiet_config =
+  { Serve.Server.default_config with timings = false }
+
+let expect_ok label = function
+  | Serve.Protocol.Error { message; _ } ->
+    Alcotest.fail (Fmt.str "%s: unexpected error: %s" label message)
+  | r -> r
+
+let test_server_cache_hit_is_byte_identical () =
+  let srv = Serve.Server.create ~config:quiet_config () in
+  (match
+     expect_ok "register"
+       (Serve.Server.handle_request srv
+          (Serve.Protocol.Register
+             { dataset = "RE"; scale = 1; seed = 0; refresh = false }))
+   with
+  | Serve.Protocol.Registered { fresh; _ } ->
+    Alcotest.(check bool) "fresh" true fresh
+  | _ -> Alcotest.fail "expected registered");
+  let explain () =
+    Serve.Server.handle_request srv
+      (Serve.Protocol.Explain
+         {
+           dataset = "RE";
+           scale = 1;
+           seed = 0;
+           query = None;
+           pattern = None;
+           options = Serve.Protocol.default_options;
+           deadline_ms = None;
+         })
+  in
+  let r1 = expect_ok "explain#1" (explain ()) in
+  let r2 = expect_ok "explain#2" (explain ()) in
+  (match (r1, r2) with
+  | ( Serve.Protocol.Explained { cache = c1; result = j1; _ },
+      Serve.Protocol.Explained { cache = c2; result = j2; _ } ) ->
+    Alcotest.(check bool) "first is a miss" true (c1 = `Miss);
+    Alcotest.(check bool) "second is a hit" true (c2 = `Hit);
+    Alcotest.(check string) "payloads byte-identical"
+      (Nested.Json.to_line j1) (Nested.Json.to_line j2)
+  | _ -> Alcotest.fail "expected two explained responses");
+  match Serve.Server.handle_request srv Serve.Protocol.Stats with
+  | Serve.Protocol.Stats_reply sections ->
+    (match List.assoc "cache" sections with
+    | Nested.Json.J_object fields ->
+      Alcotest.(check bool) "stats show the hit" true
+        (List.assoc "hits" fields = Nested.Json.J_int 1)
+    | _ -> Alcotest.fail "cache section missing")
+  | _ -> Alcotest.fail "expected stats"
+
+let test_server_handle_reuse_across_patterns () =
+  let srv = Serve.Server.create ~config:quiet_config () in
+  ignore
+    (expect_ok "register"
+       (Serve.Server.handle_request srv
+          (Serve.Protocol.Register
+             { dataset = "RE"; scale = 1; seed = 0; refresh = false })));
+  let explain pattern =
+    Serve.Server.handle_request srv
+      (Serve.Protocol.Explain
+         {
+           dataset = "RE";
+           scale = 1;
+           seed = 0;
+           query = None;
+           pattern;
+           options = Serve.Protocol.default_options;
+           deadline_ms = None;
+         })
+  in
+  (match expect_ok "pattern A" (explain None) with
+  | Serve.Protocol.Explained { cache = `Miss; _ } -> ()
+  | _ -> Alcotest.fail "first pattern: expected a full miss");
+  let other =
+    Some (Whynot.Nip_syntax.of_string "(tuple (city (str LA)) (nList (bag ? *)))")
+  in
+  match expect_ok "pattern B" (explain other) with
+  | Serve.Protocol.Explained { cache = `Handle; _ } ->
+    (* new pattern, same query: the traced-run handle was reused *)
+    ()
+  | Serve.Protocol.Explained { cache = c; _ } ->
+    Alcotest.fail
+      (Fmt.str "expected handle reuse, got %s"
+         (match c with `Hit -> "hit" | `Miss -> "miss" | `Handle -> "handle"))
+  | _ -> Alcotest.fail "expected explained"
+
+let test_server_refresh_invalidates () =
+  let srv = Serve.Server.create ~config:quiet_config () in
+  let register refresh =
+    expect_ok "register"
+      (Serve.Server.handle_request srv
+         (Serve.Protocol.Register { dataset = "RE"; scale = 1; seed = 0; refresh }))
+  in
+  ignore (register false);
+  let explain () =
+    Serve.Server.handle_request srv
+      (Serve.Protocol.Explain
+         {
+           dataset = "RE";
+           scale = 1;
+           seed = 0;
+           query = None;
+           pattern = None;
+           options = Serve.Protocol.default_options;
+           deadline_ms = None;
+         })
+  in
+  (match expect_ok "cold" (explain ()) with
+  | Serve.Protocol.Explained { cache = `Miss; version = 1; _ } -> ()
+  | _ -> Alcotest.fail "expected miss at version 1");
+  ignore (register true);
+  match expect_ok "after refresh" (explain ()) with
+  | Serve.Protocol.Explained { cache = `Miss; version = 2; _ } -> ()
+  | Serve.Protocol.Explained { cache = `Hit; _ } ->
+    Alcotest.fail "refresh must invalidate the cache"
+  | _ -> Alcotest.fail "expected explained at version 2"
+
+let test_server_typed_errors () =
+  let srv = Serve.Server.create ~config:quiet_config () in
+  (match
+     Serve.Server.handle_request srv
+       (Serve.Protocol.Explain
+          {
+            dataset = "RE";
+            scale = 1;
+            seed = 0;
+            query = None;
+            pattern = None;
+            options = Serve.Protocol.default_options;
+            deadline_ms = None;
+          })
+   with
+  | Serve.Protocol.Error { code = Serve.Protocol.Not_found; _ } -> ()
+  | _ -> Alcotest.fail "explain before register must be not_found");
+  match
+    Serve.Server.handle_request srv
+      (Serve.Protocol.Register
+         { dataset = "no-such"; scale = 1; seed = 0; refresh = false })
+  with
+  | Serve.Protocol.Error { code = Serve.Protocol.Not_found; _ } -> ()
+  | _ -> Alcotest.fail "registering an unknown scenario must be not_found"
+
+let test_server_line_session () =
+  (* the line-level entry point the transports share *)
+  let srv = Serve.Server.create ~config:quiet_config () in
+  let step line =
+    let text, stop = Serve.Server.handle_line srv line in
+    (Nested.Json.of_string text, stop)
+  in
+  let field name = function
+    | Nested.Json.J_object fields -> List.assoc_opt name fields
+    | _ -> None
+  in
+  let j, stop = step "{\"op\": \"register\", \"dataset\": \"RE\"}" in
+  Alcotest.(check bool) "register continues" false stop;
+  Alcotest.(check bool) "register ok" true
+    (field "ok" j = Some (Nested.Json.J_bool true));
+  let j, _ = step "nonsense" in
+  Alcotest.(check bool) "parse errors answer, not kill" true
+    (field "code" j = Some (Nested.Json.J_string "bad_request"));
+  let j, _ = step "{\"op\": \"evict\", \"dataset\": \"RE\"}" in
+  Alcotest.(check bool) "evict drops one dataset" true
+    (field "datasets" j = Some (Nested.Json.J_int 1));
+  let j, stop = step "{\"op\": \"shutdown\"}" in
+  Alcotest.(check bool) "shutdown stops the loop" true stop;
+  Alcotest.(check bool) "goodbye" true
+    (field "type" j = Some (Nested.Json.J_string "goodbye"))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "deterministic" `Quick test_fp_deterministic;
+          Alcotest.test_case "alpha-equivalence" `Quick test_fp_alpha_equivalent;
+          Alcotest.test_case "parameter sensitivity" `Quick
+            test_fp_param_sensitive;
+          Alcotest.test_case "nip and options" `Quick test_fp_nip_and_options;
+          Alcotest.test_case "cache keys" `Quick test_fp_keys;
+        ] );
+      ( "codec",
+        [
+          QCheck_alcotest.to_alcotest prop_explanation_roundtrip;
+          QCheck_alcotest.to_alcotest prop_explanations_roundtrip;
+          QCheck_alcotest.to_alcotest prop_roundtrip_via_text;
+          Alcotest.test_case "result payload" `Quick test_codec_result_payload;
+          Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "register/reuse/refresh" `Quick
+            test_catalog_register_reuse_refresh;
+          Alcotest.test_case "distinct keys" `Quick
+            test_catalog_keys_are_distinct;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "overwrite and invalidate" `Quick
+            test_cache_overwrite_and_invalidate;
+          Alcotest.test_case "capacity 0 disables" `Quick test_cache_disabled;
+          Alcotest.test_case "long run" `Quick test_cache_many_keys;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "runs jobs" `Quick test_scheduler_runs_jobs;
+          Alcotest.test_case "backpressure" `Quick test_scheduler_backpressure;
+          Alcotest.test_case "deadline" `Quick test_scheduler_deadline;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "parse requests" `Quick test_protocol_parse_requests;
+          Alcotest.test_case "response lines" `Quick
+            test_protocol_response_lines;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "cache hit is byte-identical" `Quick
+            test_server_cache_hit_is_byte_identical;
+          Alcotest.test_case "handle reuse across patterns" `Quick
+            test_server_handle_reuse_across_patterns;
+          Alcotest.test_case "refresh invalidates" `Quick
+            test_server_refresh_invalidates;
+          Alcotest.test_case "typed errors" `Quick test_server_typed_errors;
+          Alcotest.test_case "line session" `Quick test_server_line_session;
+        ] );
+    ]
