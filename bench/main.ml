@@ -117,6 +117,9 @@ type serve_record = {
   vhits : int;
   vmisses : int;
   vhit_ratio : float;
+  vburst : int;
+  vcoalesced : int;
+  vburst_ms : float;
 }
 
 let serve_records : serve_record list ref = ref []
@@ -162,9 +165,11 @@ let write_json () =
           "    {\"scenario\": %S, \"scale\": %d, \"cold_ms\": %.3f, \
            \"warm_ms\": %.4f, \"speedup\": %.1f, \"requests\": %d, \
            \"requests_per_sec\": %.1f, \"hits\": %d, \"misses\": %d, \
-           \"hit_ratio\": %.3f}"
+           \"hit_ratio\": %.3f, \"burst\": %d, \"coalesced\": %d, \
+           \"burst_ms\": %.3f}"
           r.vscenario r.vscale r.vcold_ms r.vwarm_ms r.vspeedup r.vrequests
-          r.vrps r.vhits r.vmisses r.vhit_ratio
+          r.vrps r.vhits r.vmisses r.vhit_ratio r.vburst r.vcoalesced
+          r.vburst_ms
       in
       output_string oc ",\n  \"serve\": [\n";
       output_string oc
@@ -580,8 +585,8 @@ let now_ms () = float_of_int (Obs.Clock.now_ns ()) /. 1e6
    req/s number includes the JSON codec, not just the lookup. *)
 let bench_serve ?(scale = 1) () =
   Fmt.pr "@.== Serve: explanation service (scale %d) ==@." scale;
-  Fmt.pr "%-6s %-10s %-10s %-9s %-10s %-9s@." "scen" "cold ms" "warm ms"
-    "speedup" "req/s" "hit%";
+  Fmt.pr "%-6s %-10s %-10s %-9s %-10s %-7s %-9s %-9s@." "scen" "cold ms"
+    "warm ms" "speedup" "req/s" "hit%" "coal" "burst ms";
   List.iter
     (fun name ->
       let srv =
@@ -660,12 +665,54 @@ let bench_serve ?(scale = 1) () =
         float_of_int hits /. Float.max (float_of_int (hits + misses)) 1.
       in
       let speedup = cold_ms /. Float.max warm_ms 1e-6 in
-      Fmt.pr "%-6s %-10.2f %-10.4f %-9.1f %-10.0f %-9.1f@." name cold_ms
-        warm_ms speedup rps (100. *. hit_ratio);
+      (* coalescing burst: invalidate the cached payload (refresh bumps
+         the dataset version), then fire identical explains concurrently —
+         single-flight answers all of them with ONE pipeline execution,
+         so the burst costs about one cold explain, not [burst] of them *)
+      ignore
+        (Serve.Server.handle_request srv
+           (Serve.Protocol.Register
+              { dataset = name; scale; seed = 0; refresh = true })
+          : Serve.Protocol.response);
+      let burst = 8 in
+      let labels = Array.make burst `Miss in
+      (* park all threads on a gate and release them together, so the
+         requests actually overlap instead of serializing on spawn cost *)
+      let gate = Mutex.create () and go = Condition.create () in
+      let released = ref false in
+      let threads =
+        Array.init burst (fun i ->
+            Thread.create
+              (fun () ->
+                Mutex.lock gate;
+                while not !released do
+                  Condition.wait go gate
+                done;
+                Mutex.unlock gate;
+                labels.(i) <- explain ())
+              ())
+      in
+      Unix.sleepf 0.01;
+      let t0 = now_ms () in
+      Mutex.lock gate;
+      released := true;
+      Condition.broadcast go;
+      Mutex.unlock gate;
+      Array.iter Thread.join threads;
+      let burst_ms = now_ms () -. t0 in
+      let coalesced =
+        Array.fold_left
+          (fun acc l -> match l with `Coalesced -> acc + 1 | _ -> acc)
+          0 labels
+      in
+      Fmt.pr "%-6s %-10.2f %-10.4f %-9.1f %-10.0f %-7.1f %d/%-7d %-9.2f@."
+        name cold_ms warm_ms speedup rps (100. *. hit_ratio) coalesced burst
+        burst_ms;
       csv "serve"
-        "scenario,scale,cold_ms,warm_ms,speedup,requests,requests_per_sec,hits,misses,hit_ratio"
-        (Fmt.str "%s,%d,%.3f,%.4f,%.1f,%d,%.1f,%d,%d,%.3f" name scale cold_ms
-           warm_ms speedup n rps hits misses hit_ratio);
+        "scenario,scale,cold_ms,warm_ms,speedup,requests,requests_per_sec,hits,misses,hit_ratio,burst,coalesced,burst_ms"
+        (Fmt.str "%s,%d,%.3f,%.4f,%.1f,%d,%.1f,%d,%d,%.3f,%d,%d,%.3f" name
+           scale cold_ms warm_ms speedup n rps hits misses hit_ratio burst
+           coalesced burst_ms);
       add_serve
         {
           vscenario = name;
@@ -678,6 +725,9 @@ let bench_serve ?(scale = 1) () =
           vhits = hits;
           vmisses = misses;
           vhit_ratio = hit_ratio;
+          vburst = burst;
+          vcoalesced = coalesced;
+          vburst_ms = burst_ms;
         })
     [ "RE"; "D1"; "T2"; "Q3" ]
 

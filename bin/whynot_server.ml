@@ -21,6 +21,8 @@ let () =
   let deadline = ref 0.0 in
   let parallel = ref false in
   let timings = ref true in
+  let max_conns = ref d.Serve.Server.max_connections in
+  let max_request = ref d.Serve.Server.max_request_bytes in
   let spec =
     [
       ("-stdio", Arg.Set stdio, "serve requests from stdin, responses to stdout");
@@ -49,6 +51,18 @@ let () =
         Arg.Clear timings,
         "omit wall-clock timings from responses (deterministic output)" );
       ("--no-timings", Arg.Clear timings, " same as -no-timings");
+      ( "-max-conns",
+        Arg.Set_int max_conns,
+        "N  socket connection cap; extra connections get a one-line \
+         overloaded error (default 64)" );
+      ("--max-conns", Arg.Set_int max_conns, "N  same as -max-conns");
+      ( "-max-request-bytes",
+        Arg.Set_int max_request,
+        "N  longest accepted request line; longer lines answer \
+         bad_request (default 1 MiB)" );
+      ( "--max-request-bytes",
+        Arg.Set_int max_request,
+        "N  same as -max-request-bytes" );
     ]
   in
   Arg.parse spec
@@ -63,6 +77,8 @@ let () =
       default_deadline_ms = (if !deadline > 0.0 then Some !deadline else None);
       parallel = !parallel;
       timings = !timings;
+      max_connections = !max_conns;
+      max_request_bytes = !max_request;
     }
   in
   let server = Serve.Server.create ~config () in

@@ -59,8 +59,12 @@ let handle_sas h = h.h_sas
 (* Steps 2 (schema alternatives) and the ⟦Q⟧_D execution, charged to the
    alternatives and MSR phases under [root]; step 1 (backtracing) runs
    per SA since the NIPs depend on the substituted attributes. *)
-let prepare_phases ~use_sas ~max_sas ~alternatives root cursor ~db q : handle =
-  let phase parent name f = phase_at cursor parent name f in
+let prepare_phases ~use_sas ~max_sas ~alternatives ~cancel root cursor ~db q :
+    handle =
+  let phase parent name f =
+    Cancel.check cancel ~where:name;
+    phase_at cursor parent name f
+  in
   let env, sas =
     phase root "alternatives" (fun sp ->
         let env = schema_env db in
@@ -92,22 +96,28 @@ let prepare_phases ~use_sas ~max_sas ~alternatives root cursor ~db q : handle =
 
 (* Steps 1, 3, and 4 — the pattern-dependent per-SA chains plus the final
    prune/rank — under [root], reading everything else from the handle. *)
-let run_phases ~revalidate ~parallel root cursor (h : handle)
+let run_phases ~revalidate ~parallel ~cancel root cursor (h : handle)
     (missing : Nip.t) : Explanation.t list =
   let phase parent name f = phase_at cursor parent name f in
   let { h_query = q; h_db = db; h_env = env; h_sas = sas; h_bi = bi } = h in
-  (* One SA's backtrace→tracing→MSR chain; independent across SAs. *)
+  (* One SA's backtrace→tracing→MSR chain; independent across SAs.  The
+     cancellation token is polled before every phase — the pipeline's
+     preemption points, so a lapsed deadline is observed within one
+     phase of where the run currently is. *)
   let process_sa cursor (sa : Alternatives.sa) sasp =
+    let checked name f =
+      Cancel.check cancel ~where:name;
+      phase_at cursor sasp name f
+    in
     let bt =
-      phase_at cursor sasp "backtrace" (fun _ ->
+      checked "backtrace" (fun _ ->
           Backtrace.run ~env sa.Alternatives.query missing)
     in
     (* steps 3 and 4 *)
     let trace =
-      phase_at cursor sasp "tracing" (fun _ ->
-          Tracing.run ~revalidate ~env db sa bt)
+      checked "tracing" (fun _ -> Tracing.run ~revalidate ~env db sa bt)
     in
-    phase_at cursor sasp "msr" (fun msp ->
+    checked "msr" (fun msp ->
         let es = Msr.from_trace ~bi ~q trace in
         Obs.Span.set_int msp "candidates" (List.length es);
         es)
@@ -129,10 +139,21 @@ let run_phases ~revalidate ~parallel root cursor (h : handle)
         List.map
           (fun (sa : Alternatives.sa) ->
             let sasp = Obs.Span.start ~parent:root (sa_name sa) in
-            Engine.Pool.submit pool (fun () ->
+            (* Dequeue-edge abort: an SA job queued behind slow work is
+               reclaimed without running once the run is cancelled. *)
+            let abort () =
+              if Cancel.cancelled cancel then begin
+                Obs.Span.set_bool sasp "aborted" true;
+                Obs.Span.finish sasp;
+                Some (Cancel.Cancelled "pool.dequeue")
+              end
+              else None
+            in
+            Engine.Pool.submit ~abort pool (fun () ->
                 Fun.protect
                   ~finally:(fun () -> Obs.Span.finish sasp)
                   (fun () ->
+                    Cancel.check cancel ~where:(sa_name sa);
                     let sa_cursor = ref (Obs.Clock.now_ns ()) in
                     process_sa sa_cursor sa sasp)))
           sas
@@ -142,6 +163,7 @@ let run_phases ~revalidate ~parallel root cursor (h : handle)
     else
       List.concat_map
         (fun (sa : Alternatives.sa) ->
+          Cancel.check cancel ~where:(sa_name sa);
           phase root (sa_name sa) (fun sasp -> process_sa cursor sa sasp))
         sas
   in
@@ -160,22 +182,40 @@ let record_run_metrics root ~sas ~explanations =
   Obs.Metrics.Counter.incr ~by:explanations
     (Obs.Metrics.counter "pipeline.explanations")
 
+(* A cancelled run still leaves a well-formed (finished) span tree: the
+   root is closed with a [cancelled_at] attribute naming the boundary
+   that observed the cancellation — the partial-phase attribution the
+   serve layer surfaces in Deadline_exceeded errors. *)
+let finish_cancelled root f =
+  try f ()
+  with Cancel.Cancelled where as e ->
+    Obs.Span.set_string root "cancelled_at" where;
+    Obs.Span.finish root;
+    raise e
+
 let prepare ?(use_sas = true) ?(max_sas = 16)
-    ?(alternatives : Alternatives.alternatives = []) ?parent ~db
-    (q : Query.t) : handle =
+    ?(alternatives : Alternatives.alternatives = []) ?(cancel = Cancel.none)
+    ?parent ~db (q : Query.t) : handle =
   let root = Obs.Span.start ?parent "pipeline.prepare" in
   let cursor = ref (Obs.Span.start_ns root) in
-  let h = prepare_phases ~use_sas ~max_sas ~alternatives root cursor ~db q in
+  let h =
+    finish_cancelled root (fun () ->
+        prepare_phases ~use_sas ~max_sas ~alternatives ~cancel root cursor ~db
+          q)
+  in
   Obs.Span.set_int root "sas" (List.length h.h_sas);
   Obs.Span.finish root;
   Obs.Metrics.Counter.incr (Obs.Metrics.counter "pipeline.prepares");
   h
 
-let explain_with ?(revalidate = true) ?(parallel = false) ?parent
-    (h : handle) (missing : Nip.t) : result =
+let explain_with ?(revalidate = true) ?(parallel = false)
+    ?(cancel = Cancel.none) ?parent (h : handle) (missing : Nip.t) : result =
   let root = Obs.Span.start ?parent "pipeline.explain" in
   let cursor = ref (Obs.Span.start_ns root) in
-  let explanations = run_phases ~revalidate ~parallel root cursor h missing in
+  let explanations =
+    finish_cancelled root (fun () ->
+        run_phases ~revalidate ~parallel ~cancel root cursor h missing)
+  in
   Obs.Span.set_int root "sas" (List.length h.h_sas);
   Obs.Span.set_int root "explanations" (List.length explanations);
   Obs.Span.finish root;
@@ -186,18 +226,20 @@ let explain_with ?(revalidate = true) ?(parallel = false) ?parent
 
 let explain ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
     ?(alternatives : Alternatives.alternatives = []) ?(parallel = false)
-    ?parent (phi : Question.t) : result =
+    ?(cancel = Cancel.none) ?parent (phi : Question.t) : result =
   let root = Obs.Span.start ?parent "pipeline.explain" in
   (* Phase spans are tiled wall-to-wall — the four phase totals account
      for ≈ all of the root span (in the sequential pipeline; concurrent
      SA phases overlap, so there the sums can exceed the total). *)
   let cursor = ref (Obs.Span.start_ns root) in
-  let h =
-    prepare_phases ~use_sas ~max_sas ~alternatives root cursor
-      ~db:phi.Question.db phi.Question.query
-  in
-  let explanations =
-    run_phases ~revalidate ~parallel root cursor h phi.Question.missing
+  let h, explanations =
+    finish_cancelled root (fun () ->
+        let h =
+          prepare_phases ~use_sas ~max_sas ~alternatives ~cancel root cursor
+            ~db:phi.Question.db phi.Question.query
+        in
+        (h, run_phases ~revalidate ~parallel ~cancel root cursor h
+              phi.Question.missing))
   in
   Obs.Span.set_int root "sas" (List.length h.h_sas);
   Obs.Span.set_int root "explanations" (List.length explanations);

@@ -39,6 +39,11 @@ val schema_env : Relation.Db.t -> Typecheck.env
            are recombined in SA order before pruning and ranking); only
            the span tree differs — concurrent sa:S<i> phases overlap, so
            per-phase sums can exceed the root span's duration
+    @param cancel cooperative cancellation token (default
+           {!Cancel.none}).  Polled at phase and schema-alternative
+           boundaries; when it trips, {!Cancel.Cancelled} is raised with
+           the boundary's name, and the run's root span is finished with
+           a [cancelled_at] attribute (partial-phase attribution)
     @param parent optional parent span; the run's root span is attached
            under it (and always returned in [result.span]) *)
 val explain :
@@ -47,6 +52,7 @@ val explain :
   ?revalidate:bool ->
   ?alternatives:Alternatives.alternatives ->
   ?parallel:bool ->
+  ?cancel:Cancel.t ->
   ?parent:Obs.Span.t ->
   Question.t ->
   result
@@ -70,6 +76,7 @@ val prepare :
   ?use_sas:bool ->
   ?max_sas:int ->
   ?alternatives:Alternatives.alternatives ->
+  ?cancel:Cancel.t ->
   ?parent:Obs.Span.t ->
   db:Nested.Relation.Db.t ->
   Query.t ->
@@ -86,6 +93,7 @@ val handle_sas : handle -> Alternatives.sa list
 val explain_with :
   ?revalidate:bool ->
   ?parallel:bool ->
+  ?cancel:Cancel.t ->
   ?parent:Obs.Span.t ->
   handle ->
   Nip.t ->

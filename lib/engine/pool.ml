@@ -75,12 +75,19 @@ let create ?size () =
   pool.workers <- List.init size (fun _ -> Domain.spawn (worker_loop pool));
   pool
 
-let submit (pool : t) (f : unit -> 'a) : 'a future =
+let submit ?abort (pool : t) (f : unit -> 'a) : 'a future =
   let fut =
     { pool; fmutex = Mutex.create (); fdone = Condition.create (); state = Pending }
   in
   let job () =
-    let outcome = match f () with v -> Done v | exception e -> Failed e in
+    (* The abort hook runs at the queued→running edge: a job whose
+       submitter no longer wants it (deadline lapsed, run cancelled)
+       fails its future without doing the work. *)
+    let outcome =
+      match (match abort with Some a -> a () | None -> None) with
+      | Some e -> Failed e
+      | None -> ( match f () with v -> Done v | exception e -> Failed e)
+    in
     Mutex.lock fut.fmutex;
     fut.state <- outcome;
     Condition.broadcast fut.fdone;

@@ -19,8 +19,13 @@ val create : ?size:int -> unit -> t
 
 val size : t -> int
 
-(** Enqueue a job; raises [Invalid_argument] after {!shutdown}. *)
-val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a job; raises [Invalid_argument] after {!shutdown}.
+
+    [?abort] is polled once when the job is dequeued (the queued→running
+    edge): returning [Some e] fails the future with [e] without running
+    the job — how cancelled work queued behind slow jobs is reclaimed
+    without preemption. *)
+val submit : ?abort:(unit -> exn option) -> t -> (unit -> 'a) -> 'a future
 
 (** Block until the future resolves, helping with queued work in the
     meantime.  Re-raises the job's exception if it failed. *)

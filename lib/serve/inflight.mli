@@ -1,0 +1,38 @@
+(** Single-flight coalescing — a keyed latch table.
+
+    [run t key f] executes [f] at most once per key at a time: the first
+    caller for a key becomes the {e leader} and runs [f]; callers
+    arriving while the leader is still running become {e followers} and
+    block until the leader finishes, then receive the leader's outcome
+    (value or exception — a failed leader releases its followers with
+    the error, never leaves them hanging).  The entry is removed when
+    the leader finishes, so a later request for the same key computes
+    afresh (the caller is expected to consult a cache first).
+
+    This is the thundering-herd guard in front of the server's explain
+    and handle caches: N concurrent misses on one fingerprint cost one
+    pipeline execution, not N.
+
+    Leader/follower/failure counts are mirrored into {!Obs.Metrics} as
+    [serve.inflight.<name>.{leaders,coalesced,failures}]. *)
+
+type 'v t
+
+val create : ?name:string -> unit -> 'v t
+
+type role = Leader | Follower
+
+(** [run t key f] — see the module header.  The result is the leader's
+    [f ()] outcome; [Error e] when it raised [e]. *)
+val run : 'v t -> string -> (unit -> 'v) -> role * ('v, exn) result
+
+(** Keys with a computation currently in flight. *)
+val active : 'v t -> int
+
+type stats = {
+  leaders : int;  (** computations actually executed *)
+  coalesced : int;  (** callers served by somebody else's execution *)
+  failures : int;  (** leader executions that raised *)
+}
+
+val stats : 'v t -> stats

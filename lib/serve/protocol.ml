@@ -168,7 +168,7 @@ type response =
   | Explained of {
       dataset : string;
       version : int;
-      cache : [ `Hit | `Miss | `Handle ];
+      cache : [ `Hit | `Miss | `Handle | `Coalesced ];
       result : Json.json;
     }
   | Stats_reply of (string * Json.json) list
@@ -200,8 +200,11 @@ let response_to_json = function
         ("version", Json.J_int version);
         ( "cache",
           Json.J_string
-            (match cache with `Hit -> "hit" | `Miss -> "miss" | `Handle -> "handle")
-        );
+            (match cache with
+            | `Hit -> "hit"
+            | `Miss -> "miss"
+            | `Handle -> "handle"
+            | `Coalesced -> "coalesced") );
         ("result", result);
       ]
   | Stats_reply sections ->

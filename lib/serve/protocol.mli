@@ -81,9 +81,11 @@ type response =
   | Explained of {
       dataset : string;
       version : int;
-      cache : [ `Hit | `Miss | `Handle ];
+      cache : [ `Hit | `Miss | `Handle | `Coalesced ];
           (** [`Handle]: explanations were recomputed but the traced-run
-              handle was reused, skipping re-tracing *)
+              handle was reused, skipping re-tracing; [`Coalesced]: this
+              request shared a concurrent identical request's execution
+              (single-flight) *)
       result : Json.json;  (** {!Codec.result_to_json} payload *)
     }
   | Stats_reply of (string * Json.json) list  (** named stat sections *)

@@ -2,20 +2,40 @@
 
    The pool's own queue is unbounded; the scheduler adds the service
    discipline: a depth counter capped at [queue_capacity] (reject beyond
-   it — backpressure), and a deadline check on the queued→running edge
-   (a request whose deadline lapsed while waiting is dropped without
-   being run). *)
+   it — backpressure), and cooperative deadlines.  A deadline is
+   enforced twice:
+
+   - on the queued→running edge: a request whose deadline lapsed while
+     waiting is dropped without being run;
+   - DURING execution: each admitted job receives a Whynot.Cancel token
+     anchored at admission time; the pipeline polls it at phase and
+     schema-alternative boundaries, and the resulting Cancel.Cancelled
+     is converted here into Deadline_exceeded with the name of the
+     boundary that observed the lapse (partial-phase attribution).
+
+   Every counter event updates the scheduler's mirror inside a single
+   critical section — stats never observes a half-applied event (the
+   global Obs counters are atomic on their own and are bumped outside
+   the lock). *)
 
 type error =
   | Overloaded of { depth : int; capacity : int }
-  | Deadline_exceeded of { waited_ms : float; deadline_ms : float }
+  | Deadline_exceeded of {
+      waited_ms : float;
+      deadline_ms : float;
+      phase : string option;
+    }
 
 let error_to_string = function
   | Overloaded { depth; capacity } ->
     Fmt.str "overloaded: %d requests queued or running (capacity %d)" depth
       capacity
-  | Deadline_exceeded { waited_ms; deadline_ms } ->
+  | Deadline_exceeded { waited_ms; deadline_ms; phase = None } ->
     Fmt.str "deadline exceeded: queued %.1f ms past the %.1f ms deadline"
+      waited_ms deadline_ms
+  | Deadline_exceeded { waited_ms; deadline_ms; phase = Some p } ->
+    Fmt.str
+      "deadline exceeded: cancelled at %s after %.1f ms (deadline %.1f ms)" p
       waited_ms deadline_ms
 
 type t = {
@@ -73,18 +93,19 @@ let queue_capacity (t : t) = t.capacity
 let set_depth_gauge (t : t) =
   Obs.Metrics.Gauge.set (Lazy.force depth_gauge) (float_of_int t.depth)
 
-let submit t ?deadline_ms (f : unit -> 'a) : ('a ticket, error) result =
+let submit t ?deadline_ms (f : Whynot.Cancel.t -> 'a) :
+    ('a ticket, error) result =
   let deadline_ms =
     match deadline_ms with Some _ as d -> d | None -> t.default_deadline_ms
   in
   Mutex.lock t.mutex;
   if t.depth >= t.capacity then begin
+    (* one critical section: the depth read and the rejection count are
+       never observable apart *)
     let d = t.depth in
-    Mutex.unlock t.mutex;
-    Obs.Metrics.Counter.incr (Lazy.force rejected);
-    Mutex.lock t.mutex;
     t.rejected_n <- t.rejected_n + 1;
     Mutex.unlock t.mutex;
+    Obs.Metrics.Counter.incr (Lazy.force rejected);
     Error (Overloaded { depth = d; capacity = t.capacity })
   end
   else begin
@@ -94,6 +115,24 @@ let submit t ?deadline_ms (f : unit -> 'a) : ('a ticket, error) result =
     Mutex.unlock t.mutex;
     Obs.Metrics.Counter.incr (Lazy.force submitted);
     let admitted_ns = Obs.Clock.now_ns () in
+    (* the execution budget is anchored at admission, so time spent
+       queued behind other requests counts against it *)
+    let cancel =
+      match deadline_ms with
+      | Some budget -> Whynot.Cancel.with_deadline_ms ~from_ns:admitted_ns budget
+      | None -> Whynot.Cancel.create ()
+    in
+    let expire ~phase ~budget =
+      let elapsed_ms =
+        float_of_int (Obs.Clock.now_ns () - admitted_ns) /. 1e6
+      in
+      Obs.Metrics.Counter.incr (Lazy.force expired);
+      Mutex.lock t.mutex;
+      t.expired_n <- t.expired_n + 1;
+      Mutex.unlock t.mutex;
+      Error
+        (Deadline_exceeded { waited_ms = elapsed_ms; deadline_ms = budget; phase })
+    in
     let job () =
       Fun.protect
         ~finally:(fun () ->
@@ -108,18 +147,24 @@ let submit t ?deadline_ms (f : unit -> 'a) : ('a ticket, error) result =
           Obs.Metrics.Histogram.observe (Lazy.force wait_hist) waited_ms;
           match deadline_ms with
           | Some budget when waited_ms > budget ->
-            Obs.Metrics.Counter.incr (Lazy.force expired);
-            Mutex.lock t.mutex;
-            t.expired_n <- t.expired_n + 1;
-            Mutex.unlock t.mutex;
-            Error (Deadline_exceeded { waited_ms; deadline_ms = budget })
-          | _ ->
-            let v = f () in
-            Obs.Metrics.Counter.incr (Lazy.force completed);
-            Mutex.lock t.mutex;
-            t.completed_n <- t.completed_n + 1;
-            Mutex.unlock t.mutex;
-            Ok v)
+            expire ~phase:None ~budget
+          | _ -> (
+            match f cancel with
+            | v ->
+              Obs.Metrics.Counter.incr (Lazy.force completed);
+              Mutex.lock t.mutex;
+              t.completed_n <- t.completed_n + 1;
+              Mutex.unlock t.mutex;
+              Ok v
+            | exception Whynot.Cancel.Cancelled where ->
+              let budget =
+                match deadline_ms with
+                | Some b -> b
+                | None ->
+                  (* cancelled by flag, not deadline; report elapsed *)
+                  float_of_int (Obs.Clock.now_ns () - admitted_ns) /. 1e6
+              in
+              expire ~phase:(Some where) ~budget))
     in
     Ok (Engine.Pool.submit t.pool job)
   end

@@ -4,18 +4,33 @@
     Admission is a counted slot: at most [queue_capacity] requests may be
     queued-or-running at once; a submission past that is rejected
     immediately with {!Overloaded} (backpressure — the caller gets a
-    typed error to serialize, not a blocked connection).  Deadlines are
-    cooperative: a request still queued when its deadline passes is not
-    started and resolves to {!Deadline_exceeded}; a request that already
-    started runs to completion (the pipeline has no preemption points).
+    typed error to serialize, not a blocked connection).
+
+    Deadlines are cooperative and enforced at two kinds of point:
+    - the queued→running edge — a request still queued when its deadline
+      passes is not started;
+    - {e during} execution — each admitted job receives a
+      {!Whynot.Cancel} token anchored at admission time; work that polls
+      it (the pipeline does, at phase and schema-alternative boundaries)
+      is cancelled mid-flight, and the resulting
+      {!Whynot.Cancel.Cancelled} resolves to {!Deadline_exceeded} whose
+      [phase] names the boundary that observed the lapse.
 
     Counters [serve.sched.{submitted,rejected,completed,expired}], the
     [serve.sched.depth] gauge, and the [serve.sched.wait_ms] histogram
-    land in {!Obs.Metrics}. *)
+    land in {!Obs.Metrics}.  Each counter event and its {!stats} mirror
+    are applied in one critical section, so [stats] never under-reports
+    a rejection or expiry that already produced its typed error. *)
 
 type error =
   | Overloaded of { depth : int; capacity : int }
-  | Deadline_exceeded of { waited_ms : float; deadline_ms : float }
+  | Deadline_exceeded of {
+      waited_ms : float;  (** elapsed since admission when it expired *)
+      deadline_ms : float;
+      phase : string option;
+          (** [None]: expired while still queued; [Some p]: cancelled
+              during execution at boundary [p] *)
+    }
 
 val error_to_string : error -> string
 
@@ -34,16 +49,22 @@ val create :
 
 type 'a ticket
 
-(** Admit a job or reject it with {!Overloaded}. *)
-val submit : t -> ?deadline_ms:float -> (unit -> 'a) -> ('a ticket, error) result
+(** Admit a job or reject it with {!Overloaded}.  The job receives the
+    request's cancellation token (never-cancellable when the request has
+    no deadline) — thread it into {!Whynot.Pipeline.prepare} /
+    {!Whynot.Pipeline.explain_with} to make the run preemptible. *)
+val submit :
+  t -> ?deadline_ms:float -> (Whynot.Cancel.t -> 'a) -> ('a ticket, error) result
 
 (** Wait for the outcome (helping with pool work — see
     {!Engine.Pool.await}).  Re-raises the job's own exception if it
-    raised. *)
+    raised (except {!Whynot.Cancel.Cancelled}, which resolves to
+    [Error (Deadline_exceeded _)]). *)
 val await : 'a ticket -> ('a, error) result
 
 (** [submit] + [await]. *)
-val run : t -> ?deadline_ms:float -> (unit -> 'a) -> ('a, error) result
+val run :
+  t -> ?deadline_ms:float -> (Whynot.Cancel.t -> 'a) -> ('a, error) result
 
 (** Requests currently queued or running. *)
 val depth : t -> int

@@ -1,6 +1,7 @@
 (* The why-not explanation service.
 
-   One server value owns a catalog, two LRU caches, and a scheduler:
+   One server value owns a catalog, two LRU caches, two single-flight
+   tables, and a scheduler:
 
    - explanation cache: key ⟨dataset key, version, options, alternatives,
      query, pattern⟩ → serialized result payload.  A hit costs a hash
@@ -9,10 +10,26 @@
    - handle cache: the pattern-free prefix of the same key → prepared
      Pipeline.handle (enumerated SAs + executed ⟦Q⟧_D).  A new pattern
      on a cached handle skips straight to the per-SA phases.
+   - single-flight (Inflight) in front of both: N concurrent misses on
+     one key share one computation — the leader runs the pipeline, the
+     followers get the leader's payload and answer with
+     "cache": "coalesced".
 
    Cache keys are prefixed with the dataset key + version, so evicting a
    dataset invalidates its entries by prefix, and a version bump
-   (refresh) makes old entries unreachable without scanning. *)
+   (refresh) makes old entries unreachable without scanning.
+
+   Robustness model of the socket transports:
+   - per-connection faults (EPIPE on a write to a hung-up client, bad
+     bytes, anything a connection thread raises) kill that connection
+     only; they are counted in Obs.Metrics, never the server;
+   - accept faults (EINTR, ECONNABORTED) are retried;
+   - connections beyond [max_connections] are answered with a one-line
+     overloaded error and closed;
+   - a [shutdown] request stops the whole server gracefully: the accept
+     loop stops accepting, open connections are nudged (their read side
+     is shut down, so keep-alive clients get EOF after the in-flight
+     request), and the listener closes once every connection drained. *)
 
 open Nested
 
@@ -23,6 +40,8 @@ type config = {
   default_deadline_ms : float option;
   parallel : bool;
   timings : bool;
+  max_connections : int;
+  max_request_bytes : int;
 }
 
 let default_config =
@@ -33,14 +52,30 @@ let default_config =
     default_deadline_ms = None;
     parallel = false;
     timings = true;
+    max_connections = 64;
+    max_request_bytes = 1 lsl 20;
   }
+
+(* Socket-transport lifecycle: the stop flag, the set of open connection
+   fds (so a stop can nudge blocked readers), and the drain condition. *)
+type lifecycle = {
+  lmutex : Mutex.t;
+  drained : Condition.t;
+  mutable stopping : bool;
+  mutable active_conns : int;
+  mutable conn_fds : Unix.file_descr list;
+}
 
 type t = {
   cfg : config;
   catalog : Catalog.t;
   explain_cache : Json.json Cache.t;
   handle_cache : Whynot.Pipeline.handle Cache.t;
+  explain_flight :
+    (Json.json * [ `Hit | `Miss | `Handle ], Scheduler.error) result Inflight.t;
+  handle_flight : (Whynot.Pipeline.handle * bool) Inflight.t;
   scheduler : Scheduler.t;
+  lifecycle : lifecycle;
   mutex : Mutex.t;  (* guards the per-server request counters *)
   mutable requests : int;
   mutable explains : int;
@@ -53,9 +88,19 @@ let create ?(config = default_config) () =
     catalog = Catalog.create ();
     explain_cache = Cache.create ~name:"explain" ~capacity:config.cache_capacity;
     handle_cache = Cache.create ~name:"handles" ~capacity:config.handle_capacity;
+    explain_flight = Inflight.create ~name:"explain" ();
+    handle_flight = Inflight.create ~name:"handles" ();
     scheduler =
       Scheduler.create ~queue_capacity:config.queue_capacity
         ?default_deadline_ms:config.default_deadline_ms ();
+    lifecycle =
+      {
+        lmutex = Mutex.create ();
+        drained = Condition.create ();
+        stopping = false;
+        active_conns = 0;
+        conn_fds = [];
+      };
     mutex = Mutex.create ();
     requests = 0;
     explains = 0;
@@ -68,6 +113,52 @@ let bump t f =
   Mutex.lock t.mutex;
   f t;
   Mutex.unlock t.mutex
+
+(* -- lifecycle ----------------------------------------------------------- *)
+
+let stopping t =
+  let l = t.lifecycle in
+  Mutex.lock l.lmutex;
+  let s = l.stopping in
+  Mutex.unlock l.lmutex;
+  s
+
+(* Stop accepting and nudge every open connection: shutting the read
+   side down makes a reader blocked on an idle keep-alive connection see
+   EOF, so the drain can finish without waiting on client goodwill.
+   In-flight requests still complete — only further reads are cut. *)
+let request_stop t =
+  let l = t.lifecycle in
+  Mutex.lock l.lmutex;
+  let fds = if l.stopping then [] else l.conn_fds in
+  l.stopping <- true;
+  Mutex.unlock l.lmutex;
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    fds
+
+let register_conn t fd =
+  let l = t.lifecycle in
+  Mutex.lock l.lmutex;
+  l.active_conns <- l.active_conns + 1;
+  l.conn_fds <- fd :: l.conn_fds;
+  Mutex.unlock l.lmutex
+
+let forget_conn t fd =
+  let l = t.lifecycle in
+  Mutex.lock l.lmutex;
+  l.active_conns <- l.active_conns - 1;
+  l.conn_fds <- List.filter (fun fd' -> fd' <> fd) l.conn_fds;
+  Condition.broadcast l.drained;
+  Mutex.unlock l.lmutex
+
+let active_connections t =
+  let l = t.lifecycle in
+  Mutex.lock l.lmutex;
+  let n = l.active_conns in
+  Mutex.unlock l.lmutex;
+  n
 
 (* -- keys ---------------------------------------------------------------- *)
 
@@ -149,7 +240,12 @@ let handle_explain t ~dataset ~scale ~seed ~query ~pattern
           { dataset = entry.Catalog.key.Catalog.name; version; cache = `Hit;
             result = payload }
       | None ->
-        let job () =
+        (* Single-flight: concurrent misses on this key share one
+           computation.  The leader re-checks the cache (its miss may be
+           stale by the time it wins leadership), then schedules the
+           pipeline; followers just wait for the leader's outcome. *)
+        let job (cancel : Whynot.Cancel.t) =
+          Faultinject.fire "server.explain";
           let hkey =
             prefix
             ^ Fingerprint.prepare_key ~dataset:dskey ~version ~options:fpo
@@ -158,38 +254,61 @@ let handle_explain t ~dataset ~scale ~seed ~query ~pattern
           let handle, reused_handle =
             match Cache.find t.handle_cache hkey with
             | Some h -> (h, true)
-            | None ->
-              let h =
-                Whynot.Pipeline.prepare ~use_sas:options.Protocol.use_sas
-                  ~max_sas:options.Protocol.max_sas ~alternatives ~db q
+            | None -> (
+              (* single-flight on the handle too: concurrent first
+                 explains with distinct patterns over one query run
+                 exactly one prepare *)
+              let role, r =
+                Inflight.run t.handle_flight hkey (fun () ->
+                    match Cache.find t.handle_cache hkey with
+                    | Some h -> (h, false)
+                    | None ->
+                      let h =
+                        Whynot.Pipeline.prepare
+                          ~use_sas:options.Protocol.use_sas
+                          ~max_sas:options.Protocol.max_sas ~alternatives
+                          ~cancel ~db q
+                      in
+                      bump t (fun t -> t.prepares <- t.prepares + 1);
+                      Cache.add t.handle_cache hkey h;
+                      (h, true))
               in
-              bump t (fun t -> t.prepares <- t.prepares + 1);
-              Cache.add t.handle_cache hkey h;
-              (h, false)
+              match (role, r) with
+              | _, Error e -> raise e
+              | Inflight.Follower, Ok (h, _) -> (h, true)
+              | Inflight.Leader, Ok (h, fresh) -> (h, not fresh))
           in
           let result =
             Whynot.Pipeline.explain_with
               ~revalidate:options.Protocol.revalidate
               ~parallel:(options.Protocol.parallel || t.cfg.parallel)
-              handle missing
+              ~cancel handle missing
           in
           let payload = Codec.result_to_json ~timings:t.cfg.timings result in
           Cache.add t.explain_cache ekey payload;
-          (payload, reused_handle)
+          (payload, if reused_handle then `Handle else `Miss)
         in
-        (match Scheduler.run t.scheduler ?deadline_ms job with
-        | Ok (payload, reused_handle) ->
+        let role, outcome =
+          Inflight.run t.explain_flight ekey (fun () ->
+              match Cache.find t.explain_cache ekey with
+              | Some payload -> Ok (payload, `Hit)
+              | None -> Scheduler.run t.scheduler ?deadline_ms job)
+        in
+        (match outcome with
+        | Error e -> raise e
+        | Ok (Ok (payload, source)) ->
+          let cache =
+            match role with
+            | Inflight.Follower -> `Coalesced
+            | Inflight.Leader -> (source :> [ `Hit | `Miss | `Handle | `Coalesced ])
+          in
           Protocol.Explained
-            {
-              dataset = entry.Catalog.key.Catalog.name;
-              version;
-              cache = (if reused_handle then `Handle else `Miss);
-              result = payload;
-            }
-        | Error (Scheduler.Overloaded _ as e) ->
+            { dataset = entry.Catalog.key.Catalog.name; version; cache;
+              result = payload }
+        | Ok (Error (Scheduler.Overloaded _ as e)) ->
           Protocol.Error
             { code = Protocol.Overloaded; message = Scheduler.error_to_string e }
-        | Error (Scheduler.Deadline_exceeded _ as e) ->
+        | Ok (Error (Scheduler.Deadline_exceeded _ as e)) ->
           Protocol.Error
             {
               code = Protocol.Deadline_exceeded;
@@ -204,6 +323,14 @@ let cache_stats_json (s : Cache.stats) =
       ("evictions", Json.J_int s.Cache.evictions);
       ("size", Json.J_int s.Cache.size);
       ("capacity", Json.J_int s.Cache.capacity);
+    ]
+
+let inflight_stats_json (s : Inflight.stats) =
+  Json.J_object
+    [
+      ("leaders", Json.J_int s.Inflight.leaders);
+      ("coalesced", Json.J_int s.Inflight.coalesced);
+      ("failures", Json.J_int s.Inflight.failures);
     ]
 
 let handle_stats t : Protocol.response =
@@ -222,6 +349,8 @@ let handle_stats t : Protocol.response =
             ("requests", Json.J_int requests);
             ("explains", Json.J_int explains);
             ("prepares", Json.J_int prepares);
+            ("connections", Json.J_int (active_connections t));
+            ("max_connections", Json.J_int t.cfg.max_connections);
           ] );
       ( "catalog",
         Json.J_object
@@ -243,6 +372,9 @@ let handle_stats t : Protocol.response =
           ] );
       ("cache", cache_stats_json (Cache.stats t.explain_cache));
       ("handles", cache_stats_json (Cache.stats t.handle_cache));
+      ("inflight", inflight_stats_json (Inflight.stats t.explain_flight));
+      ( "inflight_handles",
+        inflight_stats_json (Inflight.stats t.handle_flight) );
       ( "scheduler",
         Json.J_object
           [
@@ -306,36 +438,134 @@ let handle_line t line : string * bool =
 
 (* -- serving loops ------------------------------------------------------- *)
 
+let conn_faults = lazy (Obs.Metrics.counter "serve.conn.faults")
+let conn_rejected = lazy (Obs.Metrics.counter "serve.conn.rejected")
+let accept_retries = lazy (Obs.Metrics.counter "serve.accept.retries")
+
+(* input_line with a size bound: a line longer than [max_bytes] is
+   consumed (so the stream stays line-synchronized) but reported as
+   [`Too_long] instead of being buffered whole. *)
+let read_line_bounded ic max_bytes =
+  let buf = Buffer.create 256 in
+  let rec go overflow =
+    match input_char ic with
+    | exception End_of_file ->
+      if Buffer.length buf = 0 && not overflow then `Eof
+      else if overflow then `Too_long
+      else `Line (Buffer.contents buf)
+    | '\n' -> if overflow then `Too_long else `Line (Buffer.contents buf)
+    | _ when Buffer.length buf >= max_bytes -> go true
+    | c ->
+      Buffer.add_char buf c;
+      go false
+  in
+  go false
+
 let serve_channels t ic oc =
+  let respond line =
+    Faultinject.fire "server.write";
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
   let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | line ->
-      if String.trim line = "" then loop ()
-      else begin
-        let resp, stop = handle_line t line in
-        output_string oc resp;
-        output_char oc '\n';
-        flush oc;
-        if not stop then loop ()
-      end
+    if stopping t then ()
+    else
+      match read_line_bounded ic t.cfg.max_request_bytes with
+      | `Eof -> ()
+      | `Too_long ->
+        respond
+          (Protocol.response_to_string
+             (Protocol.bad_request
+                (Fmt.str "request exceeds the %d-byte limit"
+                   t.cfg.max_request_bytes)));
+        loop ()
+      | `Line line ->
+        let line = Faultinject.transform "server.read" line in
+        if String.trim line = "" then loop ()
+        else begin
+          let resp, stop = handle_line t line in
+          respond resp;
+          if stop then request_stop t else loop ()
+        end
   in
   loop ()
 
+(* A connection thread must never kill the server: any escaping
+   exception (EPIPE from a client hangup mid-write, bad bytes, a
+   Sys_error from a vanished channel) is counted and swallowed; the
+   connection is closed either way. *)
 let serve_connection t fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   Fun.protect
     ~finally:(fun () ->
-      (try flush oc with Sys_error _ -> ());
+      (try flush oc with Sys_error _ | Unix.Unix_error _ -> ());
+      forget_conn t fd;
       try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () -> try serve_channels t ic oc with Sys_error _ -> ())
+    (fun () ->
+      try serve_channels t ic oc
+      with e ->
+        Obs.Metrics.Counter.incr (Lazy.force conn_faults);
+        Logs.debug (fun m ->
+            m "serve: connection fault: %s" (Printexc.to_string e)))
 
+let reject_connection fd =
+  Obs.Metrics.Counter.incr (Lazy.force conn_rejected);
+  let line =
+    Protocol.response_to_string
+      (Protocol.Error
+         {
+           code = Protocol.Overloaded;
+           message = "connection limit reached — retry later";
+         })
+  in
+  (try
+     ignore
+       (Unix.write_substring fd (line ^ "\n") 0 (String.length line + 1) : int)
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Accept until a shutdown request stops the server, then drain.  The
+   listener is polled with a short timeout so the stop flag is observed
+   without needing a final connection; transient accept faults (EINTR
+   from a signal, ECONNABORTED from a client that gave up while queued)
+   are retried, never fatal. *)
 let accept_loop t sock =
-  while true do
-    let fd, _addr = Unix.accept sock in
-    ignore (Thread.create (fun () -> serve_connection t fd) ())
-  done
+  while not (stopping t) do
+    match Unix.select [ sock ] [] [] 0.05 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      Obs.Metrics.Counter.incr (Lazy.force accept_retries)
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match
+        Faultinject.fire "server.accept";
+        Unix.accept sock
+      with
+      | exception
+          Unix.Unix_error
+            ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+        Obs.Metrics.Counter.incr (Lazy.force accept_retries)
+      | fd, _addr ->
+        if stopping t then
+          try Unix.close fd with Unix.Unix_error _ -> ()
+        else if active_connections t >= t.cfg.max_connections then
+          reject_connection fd
+        else begin
+          register_conn t fd;
+          ignore (Thread.create (fun () -> serve_connection t fd) ())
+        end)
+  done;
+  (* drain: no new connections; wait for the open ones to finish their
+     in-flight requests (request_stop already cut their read sides) *)
+  let l = t.lifecycle in
+  Mutex.lock l.lmutex;
+  while l.active_conns > 0 do
+    Condition.wait l.drained l.lmutex
+  done;
+  Mutex.unlock l.lmutex;
+  try Unix.close sock with Unix.Unix_error _ -> ()
 
 let serve_unix t ~path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
@@ -344,9 +574,39 @@ let serve_unix t ~path =
   Unix.listen sock 64;
   accept_loop t sock
 
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> (
+    match
+      Unix.getaddrinfo host ""
+        [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+    with
+    | exception _ -> Error (Fmt.str "cannot resolve host %S" host)
+    | infos -> (
+      let inet =
+        List.find_map
+          (fun (ai : Unix.addr_info) ->
+            match ai.Unix.ai_addr with
+            | Unix.ADDR_INET (a, _) -> Some a
+            | _ -> None)
+          infos
+      in
+      match inet with
+      | Some a -> Ok a
+      | None ->
+        Error
+          (Fmt.str "host %S did not resolve to an IPv4 address — use a \
+                    numeric address" host)))
+
 let serve_tcp ?(host = "127.0.0.1") t ~port =
+  let addr =
+    match resolve_host host with
+    | Ok a -> a
+    | Error msg -> failwith ("serve_tcp: " ^ msg)
+  in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
-  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.bind sock (Unix.ADDR_INET (addr, port));
   Unix.listen sock 64;
   accept_loop t sock

@@ -257,7 +257,7 @@ let test_cache_many_keys () =
 
 let test_scheduler_runs_jobs () =
   let s = Serve.Scheduler.create ~queue_capacity:4 () in
-  (match Serve.Scheduler.run s (fun () -> 6 * 7) with
+  (match Serve.Scheduler.run s (fun _cancel -> 6 * 7) with
   | Ok n -> Alcotest.(check int) "result" 42 n
   | Error e -> Alcotest.fail (Serve.Scheduler.error_to_string e));
   let st = Serve.Scheduler.stats s in
@@ -273,7 +273,7 @@ let test_scheduler_backpressure () =
   (* fill the only admission slot with a job blocked on the gate *)
   let first =
     match
-      Serve.Scheduler.submit s (fun () ->
+      Serve.Scheduler.submit s (fun _ ->
           Mutex.lock gate;
           Mutex.unlock gate;
           "first")
@@ -281,7 +281,7 @@ let test_scheduler_backpressure () =
     | Ok t -> t
     | Error e -> Alcotest.fail (Serve.Scheduler.error_to_string e)
   in
-  (match Serve.Scheduler.submit s (fun () -> "second") with
+  (match Serve.Scheduler.submit s (fun _ -> "second") with
   | Error (Serve.Scheduler.Overloaded { depth; capacity }) ->
     Alcotest.(check int) "depth at capacity" 1 depth;
     Alcotest.(check int) "capacity" 1 capacity
@@ -302,7 +302,7 @@ let test_scheduler_deadline () =
   Mutex.lock gate;
   let blocker =
     match
-      Serve.Scheduler.submit s (fun () ->
+      Serve.Scheduler.submit s (fun _ ->
           Mutex.lock gate;
           Mutex.unlock gate)
     with
@@ -311,7 +311,7 @@ let test_scheduler_deadline () =
   in
   (* queued behind the blocker with a deadline that lapses while waiting *)
   let doomed =
-    match Serve.Scheduler.submit s ~deadline_ms:5.0 (fun () -> "ran") with
+    match Serve.Scheduler.submit s ~deadline_ms:5.0 (fun _ -> "ran") with
     | Ok t -> t
     | Error e -> Alcotest.fail (Serve.Scheduler.error_to_string e)
   in
@@ -321,13 +321,169 @@ let test_scheduler_deadline () =
   | Ok () -> ()
   | Error e -> Alcotest.fail (Serve.Scheduler.error_to_string e));
   (match Serve.Scheduler.await doomed with
-  | Error (Serve.Scheduler.Deadline_exceeded { waited_ms; deadline_ms }) ->
-    Alcotest.(check bool) "waited past deadline" true (waited_ms > deadline_ms)
+  | Error (Serve.Scheduler.Deadline_exceeded { waited_ms; deadline_ms; phase })
+    ->
+    Alcotest.(check bool) "waited past deadline" true (waited_ms > deadline_ms);
+    Alcotest.(check bool) "expired while queued (no phase)" true (phase = None)
   | Error e -> Alcotest.fail (Serve.Scheduler.error_to_string e)
   | Ok _ -> Alcotest.fail "expected Deadline_exceeded");
   let st = Serve.Scheduler.stats s in
   Alcotest.(check int) "one expiry" 1 st.Serve.Scheduler.expired;
   Engine.Pool.shutdown pool
+
+let test_scheduler_cancels_mid_run () =
+  (* a job that cooperatively polls its token is reclaimed mid-flight,
+     with the polling point named in the error *)
+  let pool = Engine.Pool.create ~size:1 () in
+  let s = Serve.Scheduler.create ~pool ~queue_capacity:4 () in
+  (match
+     Serve.Scheduler.run s ~deadline_ms:10.0 (fun cancel ->
+         let give_up = Unix.gettimeofday () +. 5.0 in
+         while Unix.gettimeofday () < give_up do
+           Unix.sleepf 0.005;
+           Whynot.Cancel.check cancel ~where:"spin"
+         done;
+         "never")
+   with
+  | Error (Serve.Scheduler.Deadline_exceeded { phase = Some "spin"; waited_ms; _ })
+    ->
+    Alcotest.(check bool) "ran past the deadline" true (waited_ms >= 10.0)
+  | Error e -> Alcotest.fail (Serve.Scheduler.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected mid-run Deadline_exceeded");
+  let st = Serve.Scheduler.stats s in
+  Alcotest.(check int) "counted as expired" 1 st.Serve.Scheduler.expired;
+  Alcotest.(check int) "depth back to 0" 0 (Serve.Scheduler.depth s);
+  Engine.Pool.shutdown pool
+
+(* --- cancellation tokens ------------------------------------------------ *)
+
+let test_cancel_token () =
+  let c = Whynot.Cancel.create () in
+  Alcotest.(check bool) "fresh token live" false (Whynot.Cancel.cancelled c);
+  Whynot.Cancel.cancel c;
+  Alcotest.(check bool) "flag cancels" true (Whynot.Cancel.cancelled c);
+  (match Whynot.Cancel.check c ~where:"here" with
+  | exception Whynot.Cancel.Cancelled "here" -> ()
+  | exception e -> Alcotest.fail (Printexc.to_string e)
+  | () -> Alcotest.fail "check must raise on a cancelled token");
+  let d = Whynot.Cancel.with_deadline_ms 0.0 in
+  Unix.sleepf 0.002;
+  Alcotest.(check bool) "deadline cancels" true (Whynot.Cancel.cancelled d);
+  Whynot.Cancel.cancel Whynot.Cancel.none;
+  Alcotest.(check bool) "none is never cancelled" false
+    (Whynot.Cancel.cancelled Whynot.Cancel.none)
+
+let test_pipeline_cancelled_run () =
+  let inst =
+    match Scenarios.Registry.find "RE" with
+    | Some s -> s.Scenarios.Scenario.make ~scale:1 ()
+    | None -> Alcotest.fail "running example scenario missing"
+  in
+  let cancel = Whynot.Cancel.create () in
+  Whynot.Cancel.cancel cancel;
+  match
+    Whynot.Pipeline.explain ~cancel
+      ~alternatives:inst.Scenarios.Scenario.alternatives
+      inst.Scenarios.Scenario.question
+  with
+  | exception Whynot.Cancel.Cancelled where ->
+    (* the very first phase boundary observes the cancellation *)
+    Alcotest.(check string) "first boundary attributed" "alternatives" where
+  | _ -> Alcotest.fail "cancelled run must raise"
+
+(* --- single-flight ------------------------------------------------------ *)
+
+let test_inflight_coalesces () =
+  let fl = Serve.Inflight.create ~name:"t-basic" () in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let n = 4 in
+  let outcomes = Array.make n None in
+  let threads =
+    Array.init n (fun i ->
+        Thread.create
+          (fun () ->
+            outcomes.(i) <-
+              Some
+                (Serve.Inflight.run fl "key" (fun () ->
+                     Mutex.lock gate;
+                     Mutex.unlock gate;
+                     42)))
+          ())
+  in
+  Unix.sleepf 0.05;
+  Mutex.unlock gate;
+  Array.iter Thread.join threads;
+  let leaders = ref 0 and followers = ref 0 in
+  Array.iter
+    (fun o ->
+      match o with
+      | Some (Serve.Inflight.Leader, Ok 42) -> incr leaders
+      | Some (Serve.Inflight.Follower, Ok 42) -> incr followers
+      | _ -> Alcotest.fail "every caller must get Ok 42")
+    outcomes;
+  Alcotest.(check int) "exactly one leader" 1 !leaders;
+  Alcotest.(check int) "everybody else coalesced" (n - 1) !followers;
+  Alcotest.(check int) "table drained" 0 (Serve.Inflight.active fl);
+  let s = Serve.Inflight.stats fl in
+  Alcotest.(check int) "one execution" 1 s.Serve.Inflight.leaders;
+  Alcotest.(check int) "coalesced counted" (n - 1) s.Serve.Inflight.coalesced
+
+let test_inflight_leader_failure_releases () =
+  let fl = Serve.Inflight.create ~name:"t-fail" () in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  let n = 3 in
+  let outcomes = Array.make n None in
+  let threads =
+    Array.init n (fun i ->
+        Thread.create
+          (fun () ->
+            outcomes.(i) <-
+              Some
+                (Serve.Inflight.run fl "key" (fun () ->
+                     Mutex.lock gate;
+                     Mutex.unlock gate;
+                     failwith "boom")))
+          ())
+  in
+  Unix.sleepf 0.05;
+  Mutex.unlock gate;
+  Array.iter Thread.join threads;
+  Array.iter
+    (fun o ->
+      match o with
+      | Some (_, Error (Failure msg)) when msg = "boom" -> ()
+      | Some (_, Ok _) -> Alcotest.fail "leader failed — nobody may succeed"
+      | _ -> Alcotest.fail "every caller must be released with the error")
+    outcomes;
+  Alcotest.(check int) "nothing left in flight" 0 (Serve.Inflight.active fl);
+  let s = Serve.Inflight.stats fl in
+  Alcotest.(check int) "failure counted" 1 s.Serve.Inflight.failures;
+  (* the key leads afresh after the failed flight *)
+  match Serve.Inflight.run fl "key" (fun () -> 7) with
+  | Serve.Inflight.Leader, Ok 7 -> ()
+  | _ -> Alcotest.fail "a later request must lead afresh"
+
+(* --- fault injection ---------------------------------------------------- *)
+
+let test_faultinject_actions () =
+  Serve.Faultinject.reset ();
+  Serve.Faultinject.arm "t.site" (Serve.Faultinject.fail_once (Failure "inj"));
+  (match Serve.Faultinject.fire "t.site" with
+  | exception Failure msg when msg = "inj" -> ()
+  | () -> Alcotest.fail "armed site must raise");
+  (* fail-once disarms itself *)
+  Serve.Faultinject.fire "t.site";
+  Alcotest.(check int) "fired once" 1 (Serve.Faultinject.fired "t.site");
+  Serve.Faultinject.arm "t.garble" (Serve.Faultinject.Garble (fun s -> "!" ^ s));
+  Alcotest.(check string) "garble rewrites" "!abc"
+    (Serve.Faultinject.transform "t.garble" "abc");
+  Alcotest.(check string) "unarmed transform is identity" "abc"
+    (Serve.Faultinject.transform "t.other" "abc");
+  Serve.Faultinject.reset ();
+  Alcotest.(check int) "reset zeroes counts" 0
+    (Serve.Faultinject.fired "t.site")
 
 (* --- protocol ---------------------------------------------------------- *)
 
@@ -467,7 +623,11 @@ let test_server_handle_reuse_across_patterns () =
   | Serve.Protocol.Explained { cache = c; _ } ->
     Alcotest.fail
       (Fmt.str "expected handle reuse, got %s"
-         (match c with `Hit -> "hit" | `Miss -> "miss" | `Handle -> "handle"))
+         (match c with
+         | `Hit -> "hit"
+         | `Miss -> "miss"
+         | `Handle -> "handle"
+         | `Coalesced -> "coalesced"))
   | _ -> Alcotest.fail "expected explained"
 
 let test_server_refresh_invalidates () =
@@ -552,6 +712,306 @@ let test_server_line_session () =
   Alcotest.(check bool) "goodbye" true
     (field "type" j = Some (Nested.Json.J_string "goodbye"))
 
+(* --- robustness: coalescing, mid-run deadlines, faults, sockets --------- *)
+
+let str_contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let explain_request ?deadline_ms () =
+  Serve.Protocol.Explain
+    {
+      dataset = "RE";
+      scale = 1;
+      seed = 0;
+      query = None;
+      pattern = None;
+      options = Serve.Protocol.default_options;
+      deadline_ms;
+    }
+
+let register_re srv =
+  ignore
+    (expect_ok "register"
+       (Serve.Server.handle_request srv
+          (Serve.Protocol.Register
+             { dataset = "RE"; scale = 1; seed = 0; refresh = false })))
+
+let stats_section srv name =
+  match Serve.Server.handle_request srv Serve.Protocol.Stats with
+  | Serve.Protocol.Stats_reply sections -> (
+    match List.assoc_opt name sections with
+    | Some (Nested.Json.J_object fields) -> fields
+    | _ -> Alcotest.fail ("stats section missing: " ^ name))
+  | _ -> Alcotest.fail "expected stats"
+
+let stat fields name =
+  match List.assoc_opt name fields with
+  | Some (Nested.Json.J_int n) -> n
+  | _ -> Alcotest.fail ("stats field missing: " ^ name)
+
+let test_server_single_flight () =
+  Serve.Faultinject.reset ();
+  (* 2x the scheduler capacity in identical concurrent explains:
+     coalescing must shield the queue, so nobody sees overloaded *)
+  let config = { quiet_config with queue_capacity = 2 } in
+  let srv = Serve.Server.create ~config () in
+  register_re srv;
+  (* hold the one real execution open long enough for everyone to pile in *)
+  Serve.Faultinject.arm "server.explain" (Serve.Faultinject.Delay_ms 200.0);
+  let k = 4 in
+  let responses = Array.make k None in
+  let threads =
+    Array.init k (fun i ->
+        Thread.create
+          (fun () ->
+            responses.(i) <-
+              Some (Serve.Server.handle_request srv (explain_request ())))
+          ())
+  in
+  Array.iter Thread.join threads;
+  Serve.Faultinject.reset ();
+  let payloads = ref [] and miss = ref 0 and coalesced = ref 0 in
+  Array.iter
+    (fun r ->
+      match r with
+      | Some (Serve.Protocol.Explained { cache; result; _ }) -> (
+        payloads := Nested.Json.to_line result :: !payloads;
+        match cache with
+        | `Miss -> incr miss
+        | `Coalesced -> incr coalesced
+        | `Hit | `Handle -> ())
+      | Some (Serve.Protocol.Error { message; _ }) -> Alcotest.fail message
+      | _ -> Alcotest.fail "missing response")
+    responses;
+  Alcotest.(check int) "exactly one leader miss" 1 !miss;
+  Alcotest.(check int) "everyone else coalesced" (k - 1) !coalesced;
+  (match !payloads with
+  | p :: rest ->
+    List.iter (Alcotest.(check string) "payloads byte-identical" p) rest
+  | [] -> Alcotest.fail "no payloads");
+  let server = stats_section srv "server" in
+  Alcotest.(check int) "exactly one pipeline execution" 1
+    (stat server "prepares");
+  let flight = stats_section srv "inflight" in
+  Alcotest.(check int) "one flight leader" 1 (stat flight "leaders");
+  Alcotest.(check int) "flight coalesced the rest" (k - 1)
+    (stat flight "coalesced");
+  let sched = stats_section srv "scheduler" in
+  Alcotest.(check int) "scheduler saw one job" 1 (stat sched "submitted");
+  Alcotest.(check int) "depth drained" 0 (stat sched "depth")
+
+let test_server_deadline_mid_execution () =
+  Serve.Faultinject.reset ();
+  let srv = Serve.Server.create ~config:quiet_config () in
+  register_re srv;
+  (* the job outlives its deadline while already running: the slow-job
+     fault fires inside the scheduler job, past the admission check *)
+  Serve.Faultinject.arm "server.explain" (Serve.Faultinject.Delay_ms 60.0);
+  (match
+     Serve.Server.handle_request srv (explain_request ~deadline_ms:15.0 ())
+   with
+  | Serve.Protocol.Error { code = Serve.Protocol.Deadline_exceeded; message }
+    ->
+    Alcotest.(check bool)
+      (Fmt.str "mid-run phase attribution in %S" message)
+      true
+      (str_contains ~needle:"cancelled at" message)
+  | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
+  | _ -> Alcotest.fail "expected deadline_exceeded");
+  Serve.Faultinject.reset ();
+  (* the cancelled run must leave no trace: no cached payload, no cached
+     handle, and the scheduler fully drained *)
+  (match Serve.Server.handle_request srv (explain_request ()) with
+  | Serve.Protocol.Explained { cache = `Miss; _ } -> ()
+  | Serve.Protocol.Explained { cache = `Hit; _ } ->
+    Alcotest.fail "cancelled run must not populate the explanation cache"
+  | Serve.Protocol.Explained { cache = `Handle; _ } ->
+    Alcotest.fail "cancelled run must not leave a handle behind"
+  | Serve.Protocol.Explained _ -> Alcotest.fail "unexpected cache label"
+  | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
+  | _ -> Alcotest.fail "expected explained");
+  let sched = stats_section srv "scheduler" in
+  Alcotest.(check int) "one expiry" 1 (stat sched "expired");
+  Alcotest.(check int) "depth drained" 0 (stat sched "depth")
+
+(* feed [lines] through [serve_channels] and return the response lines *)
+let run_stdio config lines =
+  let in_path = Filename.temp_file "whynot_serve" ".in" in
+  let out_path = Filename.temp_file "whynot_serve" ".out" in
+  let oc = open_out in_path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  let srv = Serve.Server.create ~config () in
+  let ic = open_in in_path and oc = open_out out_path in
+  Serve.Server.serve_channels srv ic oc;
+  close_in ic;
+  close_out oc;
+  let ic = open_in out_path in
+  let rec read acc =
+    match input_line ic with
+    | l -> read (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let out = read [] in
+  close_in ic;
+  Sys.remove in_path;
+  Sys.remove out_path;
+  out
+
+let test_server_request_size_limit () =
+  Serve.Faultinject.reset ();
+  let config = { quiet_config with max_request_bytes = 64 } in
+  let big = "{\"op\": \"stats\", \"pad\": \"" ^ String.make 200 'x' ^ "\"}" in
+  match run_stdio config [ big; "{\"op\": \"stats\"}" ] with
+  | [ first; second ] ->
+    Alcotest.(check bool) "oversized line answers bad_request" true
+      (str_contains ~needle:"bad_request" first);
+    Alcotest.(check bool) "oversize is named" true
+      (str_contains ~needle:"64" first);
+    Alcotest.(check bool) "the session stays in sync" true
+      (str_contains ~needle:"scheduler" second)
+  | lines ->
+    Alcotest.fail
+      (Fmt.str "expected 2 response lines, got %d" (List.length lines))
+
+let test_server_garbled_input_survives () =
+  Serve.Faultinject.reset ();
+  (* byte corruption on the read path: the poisoned line answers
+     bad_request and the session keeps going *)
+  let first = ref true in
+  Serve.Faultinject.arm "server.read"
+    (Serve.Faultinject.Garble
+       (fun s ->
+         if !first then begin
+           first := false;
+           "\xff{" ^ s
+         end
+         else s));
+  let out = run_stdio quiet_config [ "{\"op\": \"stats\"}"; "{\"op\": \"stats\"}" ] in
+  Serve.Faultinject.reset ();
+  match out with
+  | [ poisoned; clean ] ->
+    Alcotest.(check bool) "garbled line answers bad_request" true
+      (str_contains ~needle:"bad_request" poisoned);
+    Alcotest.(check bool) "next request is fine" true
+      (str_contains ~needle:"scheduler" clean)
+  | lines ->
+    Alcotest.fail
+      (Fmt.str "expected 2 response lines, got %d" (List.length lines))
+
+let connect_unix path =
+  (* serve_unix unlinks and binds the path after the thread starts: retry
+     until the listener is up *)
+  let rec go tries =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error _ when tries > 0 ->
+      Unix.close fd;
+      Unix.sleepf 0.02;
+      go (tries - 1)
+  in
+  go 100
+
+let send_line oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let test_server_unix_lifecycle () =
+  Serve.Faultinject.reset ();
+  let path = Filename.temp_file "whynot" ".sock" in
+  let srv = Serve.Server.create ~config:quiet_config () in
+  let server_thread =
+    Thread.create (fun () -> Serve.Server.serve_unix srv ~path) ()
+  in
+  (* connection A: a write fault (EPIPE) kills this connection only *)
+  let a = connect_unix path in
+  let ica = Unix.in_channel_of_descr a in
+  let oca = Unix.out_channel_of_descr a in
+  send_line oca "{\"op\": \"register\", \"dataset\": \"RE\"}";
+  Alcotest.(check bool) "A served before the fault" true
+    (str_contains ~needle:"\"ok\": true" (input_line ica));
+  Serve.Faultinject.arm "server.write"
+    (Serve.Faultinject.fail_once (Unix.Unix_error (Unix.EPIPE, "write", "")));
+  send_line oca "{\"op\": \"stats\"}";
+  (match input_line ica with
+  | exception End_of_file -> ()
+  | line -> Alcotest.fail ("EPIPE'd connection must close, got: " ^ line));
+  Alcotest.(check int) "write fault fired" 1
+    (Serve.Faultinject.fired "server.write");
+  (* a transient accept fault is retried, and the next connection works:
+     one connection's death did not take the server down *)
+  Serve.Faultinject.arm "server.accept"
+    (Serve.Faultinject.Fail
+       {
+         times = 1;
+         exn_ = Unix.Unix_error (Unix.ECONNABORTED, "accept", "");
+       });
+  let b = connect_unix path in
+  let icb = Unix.in_channel_of_descr b in
+  let ocb = Unix.out_channel_of_descr b in
+  send_line ocb "{\"op\": \"stats\"}";
+  Alcotest.(check bool) "B served after both faults" true
+    (str_contains ~needle:"scheduler" (input_line icb));
+  Alcotest.(check int) "accept fault fired" 1
+    (Serve.Faultinject.fired "server.accept");
+  (* a shutdown request actually stops the server: serve_unix returns *)
+  send_line ocb "{\"op\": \"shutdown\"}";
+  Alcotest.(check bool) "goodbye" true
+    (str_contains ~needle:"goodbye" (input_line icb));
+  Thread.join server_thread;
+  Alcotest.(check bool) "stop flag latched" true (Serve.Server.stopping srv);
+  Alcotest.(check int) "connections drained" 0
+    (Serve.Server.active_connections srv);
+  Serve.Faultinject.reset ();
+  (try Unix.close a with Unix.Unix_error _ -> ());
+  (try Unix.close b with Unix.Unix_error _ -> ())
+
+let test_server_connection_cap () =
+  Serve.Faultinject.reset ();
+  let path = Filename.temp_file "whynot" ".sock" in
+  let config = { quiet_config with max_connections = 1 } in
+  let srv = Serve.Server.create ~config () in
+  let server_thread =
+    Thread.create (fun () -> Serve.Server.serve_unix srv ~path) ()
+  in
+  let a = connect_unix path in
+  let ica = Unix.in_channel_of_descr a in
+  let oca = Unix.out_channel_of_descr a in
+  send_line oca "{\"op\": \"stats\"}";
+  ignore (input_line ica);
+  (* A occupies the only slot: B gets one overloaded line, then EOF *)
+  let b = connect_unix path in
+  let icb = Unix.in_channel_of_descr b in
+  Alcotest.(check bool) "over-cap connection answers overloaded" true
+    (str_contains ~needle:"overloaded" (input_line icb));
+  (match input_line icb with
+  | exception End_of_file -> ()
+  | line -> Alcotest.fail ("rejected connection must close, got: " ^ line));
+  Unix.close b;
+  send_line oca "{\"op\": \"shutdown\"}";
+  ignore (input_line ica);
+  Thread.join server_thread;
+  (try Unix.close a with Unix.Unix_error _ -> ())
+
+let test_resolve_host () =
+  (match Serve.Server.resolve_host "127.0.0.1" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("numeric address: " ^ m));
+  (match Serve.Server.resolve_host "localhost" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("hostname: " ^ m));
+  match Serve.Server.resolve_host "no-such-host.invalid" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "an unresolvable name must be an Error"
+
 let () =
   Alcotest.run "serve"
     [
@@ -592,7 +1052,24 @@ let () =
           Alcotest.test_case "runs jobs" `Quick test_scheduler_runs_jobs;
           Alcotest.test_case "backpressure" `Quick test_scheduler_backpressure;
           Alcotest.test_case "deadline" `Quick test_scheduler_deadline;
+          Alcotest.test_case "cancels mid-run" `Quick
+            test_scheduler_cancels_mid_run;
         ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "token semantics" `Quick test_cancel_token;
+          Alcotest.test_case "pipeline observes cancellation" `Quick
+            test_pipeline_cancelled_run;
+        ] );
+      ( "inflight",
+        [
+          Alcotest.test_case "coalesces concurrent callers" `Quick
+            test_inflight_coalesces;
+          Alcotest.test_case "leader failure releases followers" `Quick
+            test_inflight_leader_failure_releases;
+        ] );
+      ( "faultinject",
+        [ Alcotest.test_case "actions" `Quick test_faultinject_actions ] );
       ( "protocol",
         [
           Alcotest.test_case "parse requests" `Quick test_protocol_parse_requests;
@@ -609,5 +1086,20 @@ let () =
             test_server_refresh_invalidates;
           Alcotest.test_case "typed errors" `Quick test_server_typed_errors;
           Alcotest.test_case "line session" `Quick test_server_line_session;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "single-flight coalescing" `Quick
+            test_server_single_flight;
+          Alcotest.test_case "deadline mid-execution" `Quick
+            test_server_deadline_mid_execution;
+          Alcotest.test_case "request size limit" `Quick
+            test_server_request_size_limit;
+          Alcotest.test_case "garbled input survives" `Quick
+            test_server_garbled_input_survives;
+          Alcotest.test_case "unix socket lifecycle" `Quick
+            test_server_unix_lifecycle;
+          Alcotest.test_case "connection cap" `Quick test_server_connection_cap;
+          Alcotest.test_case "resolve host" `Quick test_resolve_host;
         ] );
     ]
