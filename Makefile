@@ -1,0 +1,18 @@
+# The single committed verify recipe: builds every executable (CLI,
+# server, bench, examples) and runs the full test suite.  Run before
+# every merge.
+.PHONY: verify build test bench-chaos
+
+verify:
+	dune build @all && dune runtest
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Gated chaos measurement (arms process-global fault sites, so it never
+# runs as part of the default bench sweep).
+bench-chaos:
+	dune exec bench/main.exe -- chaos -json BENCH_PR5.json

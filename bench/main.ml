@@ -40,7 +40,11 @@ let partitions = ref Engine.Exec.default_config.Engine.Exec.partitions
 let parallel = ref false
 
 let engine_config () =
-  { Engine.Exec.partitions = !partitions; parallel = !parallel }
+  {
+    Engine.Exec.partitions = !partitions;
+    parallel = !parallel;
+    retry = Engine.Fault.no_retry;
+  }
 
 (* Optional CSV sink: each measurement row is also appended to
    results/<target>.csv when -csv is passed, for external plotting. *)
@@ -126,6 +130,25 @@ let serve_records : serve_record list ref = ref []
 
 let add_serve r = if !json_file <> "" then serve_records := r :: !serve_records
 
+(* Records of the [chaos] target — fault-tolerance numbers: the cost of
+   the (unarmed) injection sites and of surviving armed transient
+   faults via task retries. *)
+type chaos_record = {
+  hscenario : string;
+  hscale : int;
+  hunarmed_query_ms : float;
+  harmed_query_ms : float;
+  hunarmed_rp_ms : float;
+  harmed_rp_ms : float;
+  hretries : int;
+  hfaults : int;
+  hidentical : bool;
+}
+
+let chaos_records : chaos_record list ref = ref []
+
+let add_chaos r = if !json_file <> "" then chaos_records := r :: !chaos_records
+
 let write_json () =
   if !json_file <> "" then begin
     let oc = open_out !json_file in
@@ -176,10 +199,26 @@ let write_json () =
         (String.concat ",\n" (List.rev_map serve_rec !serve_records));
       output_string oc "\n  ]"
     end;
+    if !chaos_records <> [] then begin
+      let chaos_rec r =
+        Fmt.str
+          "    {\"scenario\": %S, \"scale\": %d, \"unarmed_query_ms\": %.3f, \
+           \"armed_query_ms\": %.3f, \"unarmed_rp_ms\": %.3f, \
+           \"armed_rp_ms\": %.3f, \"retries\": %d, \"faults\": %d, \
+           \"identical\": %b}"
+          r.hscenario r.hscale r.hunarmed_query_ms r.harmed_query_ms
+          r.hunarmed_rp_ms r.harmed_rp_ms r.hretries r.hfaults r.hidentical
+      in
+      output_string oc ",\n  \"chaos\": [\n";
+      output_string oc
+        (String.concat ",\n" (List.rev_map chaos_rec !chaos_records));
+      output_string oc "\n  ]"
+    end;
     output_string oc "\n}\n";
     close_out oc;
     Fmt.pr "@.json summary written to %s (%d records)@." !json_file
-      (List.length !json_records + List.length !serve_records)
+      (List.length !json_records + List.length !serve_records
+      + List.length !chaos_records)
   end
 
 let scenario name = Option.get (Scenarios.Registry.find name)
@@ -731,6 +770,94 @@ let bench_serve ?(scale = 1) () =
         })
     [ "RE"; "D1"; "T2"; "Q3" ]
 
+(* --- Chaos: fault-injection overhead and retry recovery -------------------
+
+   Two questions, two columns per scenario:
+   - unarmed: what do the injection sites cost when nothing is armed?
+     (one atomic load per site consultation — this column should match
+     the plain engine/pipeline numbers of the other targets);
+   - armed: with a deterministic transient fault on ~5%% of task
+     attempts (Flaky, period 20) and a retry budget, runs must still
+     complete, produce identical results, and the overhead is the
+     recomputed attempts.  Backoff is zeroed so the column measures
+     recomputation, not sleeping. *)
+
+let bench_chaos ?(scale = 2) () =
+  Fmt.pr "@.== Chaos: unarmed-site overhead and armed-retry recovery (scale %d) ==@."
+    scale;
+  Fmt.pr "%-6s %-12s %-12s %-12s %-12s %-8s %-7s %-9s@." "scen" "query ms"
+    "query+chaos" "RP ms" "RP+chaos" "retries" "faults" "identical";
+  let chaos_exn = Engine.Fault.Transient (Failure "chaos: injected") in
+  let retry = Engine.Fault.retries ~base_backoff_ms:0.0 ~max_backoff_ms:0.0 3 in
+  let reps = 5 in
+  let median f =
+    (* first call outside the timed reps warms caches (and, armed,
+       checks the run survives); then the median of [reps] timings *)
+    let r0 = f () in
+    let times = Array.init reps (fun _ -> snd (time_span "bench.chaos" (fun _ -> f ()))) in
+    Array.sort compare times;
+    (r0, times.(reps / 2))
+  in
+  let retries_c = Obs.Metrics.counter "engine.task.retries" in
+  List.iter
+    (fun name ->
+      let inst = instance ~scale (scenario name) in
+      let phi = inst.Scenarios.Scenario.question in
+      let run_query_with cfg () =
+        fst (Engine.Exec.run ~config:cfg phi.Whynot.Question.db phi.Whynot.Question.query)
+      in
+      let run_rp_with ~retry () =
+        Whynot.Pipeline.explain ~parallel:!parallel ~retry
+          ~alternatives:inst.Scenarios.Scenario.alternatives phi
+      in
+      Obs.Faultinject.reset ();
+      let plain_rel, unarmed_q = median (run_query_with (engine_config ())) in
+      let plain_rp, unarmed_rp =
+        median (run_rp_with ~retry:Engine.Fault.no_retry)
+      in
+      let retries0 = Obs.Metrics.Counter.value retries_c in
+      Obs.Faultinject.arm "engine.partition"
+        (Obs.Faultinject.Flaky { period = 20; exn_ = chaos_exn });
+      let armed_rel, armed_q =
+        median (run_query_with { (engine_config ()) with Engine.Exec.retry })
+      in
+      Obs.Faultinject.disarm "engine.partition";
+      Obs.Faultinject.arm "tracing.relaxed"
+        (Obs.Faultinject.Flaky { period = 2; exn_ = chaos_exn });
+      let armed_rp, armed_rp_ms = median (run_rp_with ~retry) in
+      let faults =
+        Obs.Faultinject.fired "engine.partition"
+        + Obs.Faultinject.fired "tracing.relaxed"
+      in
+      Obs.Faultinject.reset ();
+      let retries = Obs.Metrics.Counter.value retries_c - retries0 in
+      let identical =
+        Nested.Value.compare (Nested.Relation.data plain_rel)
+          (Nested.Relation.data armed_rel)
+        = 0
+        && Whynot.Pipeline.explanation_sets plain_rp
+           = Whynot.Pipeline.explanation_sets armed_rp
+      in
+      Fmt.pr "%-6s %-12.3f %-12.3f %-12.3f %-12.3f %-8d %-7d %-9b@." name
+        unarmed_q armed_q unarmed_rp armed_rp_ms retries faults identical;
+      csv "chaos"
+        "scenario,scale,unarmed_query_ms,armed_query_ms,unarmed_rp_ms,armed_rp_ms,retries,faults,identical"
+        (Fmt.str "%s,%d,%.3f,%.3f,%.3f,%.3f,%d,%d,%b" name scale unarmed_q
+           armed_q unarmed_rp armed_rp_ms retries faults identical);
+      add_chaos
+        {
+          hscenario = name;
+          hscale = scale;
+          hunarmed_query_ms = unarmed_q;
+          harmed_query_ms = armed_q;
+          hunarmed_rp_ms = unarmed_rp;
+          harmed_rp_ms = armed_rp_ms;
+          hretries = retries;
+          hfaults = faults;
+          hidentical = identical;
+        })
+    [ "D1"; "T2"; "Q3" ]
+
 (* --- Bechamel micro-benchmarks: one Test.make per table/figure ------------ *)
 
 let bechamel_tests () =
@@ -795,6 +922,8 @@ let () =
   in
   let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let wants x = args = [] || List.mem x args || List.mem "all" args in
+  (* chaos arms process-global fault sites, so it never runs implicitly *)
+  let wants_explicit x = List.mem x args || List.mem "all" args in
   if wants "table7" then table7 ();
   if wants "table8" then table8 ();
   if wants "table6" then table6 ();
@@ -805,6 +934,7 @@ let () =
   if wants "fig11" then fig11 ();
   if wants "ablation" then ablation ();
   if wants "serve" then bench_serve ();
+  if wants_explicit "chaos" then bench_chaos ();
   if wants "bechamel" then run_bechamel ();
   write_json ();
   close_csv ()

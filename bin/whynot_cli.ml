@@ -18,7 +18,7 @@ let pp_phase_breakdown ppf (rp : Whynot.Pipeline.result) =
     phases;
   Fmt.pf ppf "  %-14s %10.3f ms  %5.1f%% of total@]" "sum" sum (pct sum)
 
-let run_scenario ~scale ~verbose ~metrics ~config ~parallel ~root
+let run_scenario ~scale ~verbose ~metrics ~config ~parallel ~retry ~root
     (s : Scenarios.Scenario.t) =
   let inst = s.Scenarios.Scenario.make ~scale () in
   let phi = inst.Scenarios.Scenario.question in
@@ -40,11 +40,11 @@ let run_scenario ~scale ~verbose ~metrics ~config ~parallel ~root
      if metrics then Fmt.pr "engine stats (original query):@.%a@." Engine.Stats.pp stats
    end);
   let rp =
-    Whynot.Pipeline.explain ~parallel ?parent:root
+    Whynot.Pipeline.explain ~parallel ~retry ?parent:root
       ~alternatives:inst.Scenarios.Scenario.alternatives phi
   in
   let rpnosa =
-    Whynot.Pipeline.explain ~parallel ?parent:root ~use_sas:false phi
+    Whynot.Pipeline.explain ~parallel ~retry ?parent:root ~use_sas:false phi
   in
   let wnpp = Baselines.Wnpp.explanations ?parent:root phi in
   let conseil = Baselines.Conseil.explanations ?parent:root phi in
@@ -127,6 +127,7 @@ let run_explain args =
   let use_sas = ref true and revalidate = ref true in
   let metrics = ref false and trace_file = ref "" in
   let parallel = ref false in
+  let task_retries = ref 0 in
   let spec =
     [
       ("-db", Arg.Set_string db_file, "JSON database file");
@@ -141,6 +142,10 @@ let run_explain args =
         Arg.Set parallel,
         "process schema alternatives concurrently on the domain pool" );
       ("--parallel", Arg.Set parallel, " same as -parallel");
+      ( "-task-retries",
+        Arg.Set_int task_retries,
+        "N  retry budget for transient task faults (default 0: fail fast)" );
+      ("--task-retries", Arg.Set_int task_retries, "N  same as -task-retries");
       ("-metrics", Arg.Set metrics, "print the per-phase timing breakdown");
       ("--metrics", Arg.Set metrics, " same as -metrics");
       ( "-trace",
@@ -169,7 +174,9 @@ let run_explain args =
     Fmt.pr "WARNING: the answer is not actually missing@.";
   let result =
     Whynot.Pipeline.explain ~use_sas:!use_sas ~revalidate:!revalidate
-      ~parallel:!parallel ~alternatives:(List.rev !alts) phi
+      ~parallel:!parallel
+      ~retry:(Engine.Fault.retries (max 0 !task_retries))
+      ~alternatives:(List.rev !alts) phi
   in
   Fmt.pr "%a@." Whynot.Pipeline.pp_result result;
   if !metrics then Fmt.pr "%a@." pp_phase_breakdown result;
@@ -186,6 +193,7 @@ let run_scenarios args =
   let names = ref [] in
   let partitions = ref Engine.Exec.default_config.Engine.Exec.partitions in
   let parallel = ref false in
+  let task_retries = ref 0 in
   let spec =
     [
       ("-scale", Arg.Set_int scale, "data scale factor (default 1)");
@@ -198,6 +206,10 @@ let run_scenarios args =
         Arg.Set parallel,
         "run engine partitions and schema alternatives on the domain pool" );
       ("--parallel", Arg.Set parallel, " same as -parallel");
+      ( "-task-retries",
+        Arg.Set_int task_retries,
+        "N  retry budget for transient task faults (default 0: fail fast)" );
+      ("--task-retries", Arg.Set_int task_retries, "N  same as -task-retries");
       ( "-metrics",
         Arg.Set metrics,
         "print the per-phase timing breakdown after each scenario and the \
@@ -242,10 +254,15 @@ let run_scenarios args =
         end
         else None
       in
+      let retry = Engine.Fault.retries (max 0 !task_retries) in
       run_scenario ~scale:!scale ~verbose:!verbose ~metrics:!metrics
         ~config:
-          { Engine.Exec.partitions = max 1 !partitions; parallel = !parallel }
-        ~parallel:!parallel ~root s;
+          {
+            Engine.Exec.partitions = max 1 !partitions;
+            parallel = !parallel;
+            retry;
+          }
+        ~parallel:!parallel ~retry ~root s;
       Option.iter Obs.Span.finish root)
     scenarios;
   if !metrics then

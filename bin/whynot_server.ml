@@ -20,6 +20,7 @@ let () =
   let queue = ref d.Serve.Server.queue_capacity in
   let deadline = ref 0.0 in
   let parallel = ref false in
+  let task_retries = ref d.Serve.Server.task_retries in
   let timings = ref true in
   let max_conns = ref d.Serve.Server.max_connections in
   let max_request = ref d.Serve.Server.max_request_bytes in
@@ -47,6 +48,10 @@ let () =
         Arg.Set parallel,
         "process schema alternatives on the domain pool" );
       ("--parallel", Arg.Set parallel, " same as -parallel");
+      ( "-task-retries",
+        Arg.Set_int task_retries,
+        "N  retry budget for transient task faults (default 0: fail fast)" );
+      ("--task-retries", Arg.Set_int task_retries, "N  same as -task-retries");
       ( "-no-timings",
         Arg.Clear timings,
         "omit wall-clock timings from responses (deterministic output)" );
@@ -76,6 +81,7 @@ let () =
       queue_capacity = !queue;
       default_deadline_ms = (if !deadline > 0.0 then Some !deadline else None);
       parallel = !parallel;
+      task_retries = max 0 !task_retries;
       timings = !timings;
       max_connections = !max_conns;
       max_request_bytes = !max_request;

@@ -39,6 +39,20 @@ let phase_at cursor parent name f =
       Obs.Span.finish ~at:!cursor sp)
     (fun () -> f sp)
 
+(* Phase bodies are retryable tasks under [retry]: a body that raises
+   {!Engine.Fault.Transient} is recomputed from its (immutable) inputs —
+   the database, the query, the backtrace — so a re-attempt is exact.
+   Cancellation composes: [Cancel.Cancelled] is a permanent fault (never
+   retried), and the abort hook is polled before every re-attempt so a
+   cancelled run stops instead of burning its retry budget.  Retried
+   attempts mark the phase span with an [attempt] attribute. *)
+let protect_phase ~retry ~cancel ~task ~task_id sp f =
+  Engine.Fault.protect ~policy:retry ~task ~task_id
+    ~abort:(fun () ->
+      if Cancel.cancelled cancel then Some (Cancel.Cancelled task) else None)
+    ~on_retry:(fun ~attempt _ -> Obs.Span.set_int sp "attempt" attempt)
+    f
+
 (* A prepared traced run: the pattern-independent artifacts of a why-not
    run over ⟨Q, D⟩.  Schema-alternative enumeration and the original
    result ⟦Q⟧_D (the anchor of the side-effect bounds) depend only on the
@@ -59,11 +73,13 @@ let handle_sas h = h.h_sas
 (* Steps 2 (schema alternatives) and the ⟦Q⟧_D execution, charged to the
    alternatives and MSR phases under [root]; step 1 (backtracing) runs
    per SA since the NIPs depend on the substituted attributes. *)
-let prepare_phases ~use_sas ~max_sas ~alternatives ~cancel root cursor ~db q :
-    handle =
+let prepare_phases ~use_sas ~max_sas ~alternatives ~cancel ~retry root cursor
+    ~db q : handle =
   let phase parent name f =
     Cancel.check cancel ~where:name;
-    phase_at cursor parent name f
+    phase_at cursor parent name (fun sp ->
+        protect_phase ~retry ~cancel ~task:("prepare/" ^ name) ~task_id:0 sp
+          (fun () -> f sp))
   in
   let env, sas =
     phase root "alternatives" (fun sp ->
@@ -96,7 +112,7 @@ let prepare_phases ~use_sas ~max_sas ~alternatives ~cancel root cursor ~db q :
 
 (* Steps 1, 3, and 4 — the pattern-dependent per-SA chains plus the final
    prune/rank — under [root], reading everything else from the handle. *)
-let run_phases ~revalidate ~parallel ~cancel root cursor (h : handle)
+let run_phases ~revalidate ~parallel ~cancel ~retry root cursor (h : handle)
     (missing : Nip.t) : Explanation.t list =
   let phase parent name f = phase_at cursor parent name f in
   let { h_query = q; h_db = db; h_env = env; h_sas = sas; h_bi = bi } = h in
@@ -107,7 +123,11 @@ let run_phases ~revalidate ~parallel ~cancel root cursor (h : handle)
   let process_sa cursor (sa : Alternatives.sa) sasp =
     let checked name f =
       Cancel.check cancel ~where:name;
-      phase_at cursor sasp name f
+      phase_at cursor sasp name (fun sp ->
+          protect_phase ~retry ~cancel
+            ~task:(Fmt.str "sa:S%d/%s" (sa.Alternatives.index + 1) name)
+            ~task_id:sa.Alternatives.index sp
+            (fun () -> f sp))
     in
     let bt =
       checked "backtrace" (fun _ ->
@@ -195,13 +215,13 @@ let finish_cancelled root f =
 
 let prepare ?(use_sas = true) ?(max_sas = 16)
     ?(alternatives : Alternatives.alternatives = []) ?(cancel = Cancel.none)
-    ?parent ~db (q : Query.t) : handle =
+    ?(retry = Engine.Fault.no_retry) ?parent ~db (q : Query.t) : handle =
   let root = Obs.Span.start ?parent "pipeline.prepare" in
   let cursor = ref (Obs.Span.start_ns root) in
   let h =
     finish_cancelled root (fun () ->
-        prepare_phases ~use_sas ~max_sas ~alternatives ~cancel root cursor ~db
-          q)
+        prepare_phases ~use_sas ~max_sas ~alternatives ~cancel ~retry root
+          cursor ~db q)
   in
   Obs.Span.set_int root "sas" (List.length h.h_sas);
   Obs.Span.finish root;
@@ -209,12 +229,13 @@ let prepare ?(use_sas = true) ?(max_sas = 16)
   h
 
 let explain_with ?(revalidate = true) ?(parallel = false)
-    ?(cancel = Cancel.none) ?parent (h : handle) (missing : Nip.t) : result =
+    ?(cancel = Cancel.none) ?(retry = Engine.Fault.no_retry) ?parent
+    (h : handle) (missing : Nip.t) : result =
   let root = Obs.Span.start ?parent "pipeline.explain" in
   let cursor = ref (Obs.Span.start_ns root) in
   let explanations =
     finish_cancelled root (fun () ->
-        run_phases ~revalidate ~parallel ~cancel root cursor h missing)
+        run_phases ~revalidate ~parallel ~cancel ~retry root cursor h missing)
   in
   Obs.Span.set_int root "sas" (List.length h.h_sas);
   Obs.Span.set_int root "explanations" (List.length explanations);
@@ -226,7 +247,8 @@ let explain_with ?(revalidate = true) ?(parallel = false)
 
 let explain ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
     ?(alternatives : Alternatives.alternatives = []) ?(parallel = false)
-    ?(cancel = Cancel.none) ?parent (phi : Question.t) : result =
+    ?(cancel = Cancel.none) ?(retry = Engine.Fault.no_retry) ?parent
+    (phi : Question.t) : result =
   let root = Obs.Span.start ?parent "pipeline.explain" in
   (* Phase spans are tiled wall-to-wall — the four phase totals account
      for ≈ all of the root span (in the sequential pipeline; concurrent
@@ -235,10 +257,10 @@ let explain ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
   let h, explanations =
     finish_cancelled root (fun () ->
         let h =
-          prepare_phases ~use_sas ~max_sas ~alternatives ~cancel root cursor
-            ~db:phi.Question.db phi.Question.query
+          prepare_phases ~use_sas ~max_sas ~alternatives ~cancel ~retry root
+            cursor ~db:phi.Question.db phi.Question.query
         in
-        (h, run_phases ~revalidate ~parallel ~cancel root cursor h
+        (h, run_phases ~revalidate ~parallel ~cancel ~retry root cursor h
               phi.Question.missing))
   in
   Obs.Span.set_int root "sas" (List.length h.h_sas);

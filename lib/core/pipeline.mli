@@ -44,6 +44,12 @@ val schema_env : Relation.Db.t -> Typecheck.env
            boundaries; when it trips, {!Cancel.Cancelled} is raised with
            the boundary's name, and the run's root span is finished with
            a [cancelled_at] attribute (partial-phase attribution)
+    @param retry per-phase task retry policy (default
+           {!Engine.Fault.no_retry}).  A phase body raising
+           {!Engine.Fault.Transient} is recomputed from its immutable
+           inputs; exhaustion raises {!Engine.Fault.Exhausted} attributed
+           as e.g. ["sa:S2/tracing"].  {!Cancel.Cancelled} is permanent —
+           a cancelled run is never retried
     @param parent optional parent span; the run's root span is attached
            under it (and always returned in [result.span]) *)
 val explain :
@@ -53,6 +59,7 @@ val explain :
   ?alternatives:Alternatives.alternatives ->
   ?parallel:bool ->
   ?cancel:Cancel.t ->
+  ?retry:Engine.Fault.policy ->
   ?parent:Obs.Span.t ->
   Question.t ->
   result
@@ -77,6 +84,7 @@ val prepare :
   ?max_sas:int ->
   ?alternatives:Alternatives.alternatives ->
   ?cancel:Cancel.t ->
+  ?retry:Engine.Fault.policy ->
   ?parent:Obs.Span.t ->
   db:Nested.Relation.Db.t ->
   Query.t ->
@@ -94,6 +102,7 @@ val explain_with :
   ?revalidate:bool ->
   ?parallel:bool ->
   ?cancel:Cancel.t ->
+  ?retry:Engine.Fault.policy ->
   ?parent:Obs.Span.t ->
   handle ->
   Nip.t ->

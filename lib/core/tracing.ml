@@ -145,6 +145,10 @@ let group_by (key : trow -> Value.t) (rows : trow list) :
 
 let run ?(revalidate = true) ~(env : Typecheck.env) (db : Relation.Db.t)
     (sa : Alternatives.sa) (bt : Backtrace.t) : t =
+  (* Chaos hook: fires once per SA's relaxed evaluation, inside the
+     pipeline's per-phase retry scope, so an armed transient fault here
+     is recomputed from the (immutable) backtrace and database. *)
+  Obs.Faultinject.fire "tracing.relaxed";
   let st = { next_rid = 0; traces = [] } in
   let q = sa.Alternatives.query in
   (* rid -> consistency, for the no-re-validation ablation, which checks

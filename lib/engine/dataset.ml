@@ -70,16 +70,36 @@ let gather (d : t) : t * int =
 (* [parallel] fans the partitions out over the shared domain {!Pool}
    (the engine's stand-in for a DISC system's task parallelism) instead
    of spawning a fresh domain per partition per operator, which cost
-   more than it bought.  [f] must be pure. *)
-let map_partitions ?(parallel = false) ?pool
-    (f : Value.t list -> Value.t list) (d : t) : t =
+   more than it bought.  [f] must be pure.
+
+   Every partition is a *task attempt*: under [retry], a task that
+   raises [Fault.Transient] is recomputed from its input partition (our
+   lineage is the closure plus the input, so recomputation is exact —
+   the Spark task-retry model).  The ["engine.partition"] chaos site
+   fires once per attempt, inside the retry scope, so an armed fault on
+   one attempt is survived by the next. *)
+let map_partitions ?(parallel = false) ?pool ?(retry = Fault.no_retry)
+    ?(label = "partition") ?on_retry (f : Value.t list -> Value.t list)
+    (d : t) : t =
+  let task _i (part : Value.t list) () =
+    Obs.Faultinject.fire "engine.partition";
+    f part
+  and fault_retry i =
+    Option.map (fun cb ~attempt e -> cb ~partition:i ~attempt e) on_retry
+  in
+  let run i part =
+    Fault.protect ~policy:retry
+      ~task:(Fmt.str "%s/p%d" label i)
+      ~task_id:i ?on_retry:(fault_retry i) (task i part)
+  in
   if (not parallel) || Array.length d.partitions <= 1 then
-    { partitions = Array.map f d.partitions }
+    { partitions = Array.mapi run d.partitions }
   else
     let pool =
       match pool with Some p -> p | None -> Pool.default ()
     in
-    { partitions = Pool.map_array pool f d.partitions }
+    let indexed = Array.mapi (fun i p -> (i, p)) d.partitions in
+    { partitions = Pool.map_array pool (fun (i, p) -> run i p) indexed }
 
 let of_relation ~partitions (r : Relation.t) : t =
   distribute ~partitions (Relation.tuples r)

@@ -29,10 +29,22 @@ val gather : t -> t * int
 
 (** Transform every partition; with [parallel] the partitions are
     processed concurrently on [pool] (default {!Pool.default} — the
-    engine's task parallelism).  [f] must be pure. *)
+    engine's task parallelism).  [f] must be pure.
+
+    Each partition is a retryable task attempt: under [retry], a run of
+    [f] that raises {!Fault.Transient} is recomputed from its input
+    partition (exact — the input is immutable and [f] pure) until the
+    policy's attempt budget runs out, then {!Fault.Exhausted} propagates
+    with the task attributed as ["<label>/p<i>"].  The
+    ["engine.partition"] chaos site fires once per attempt inside the
+    retry scope.  [on_retry] fires before each re-attempt (for span
+    attribution). *)
 val map_partitions :
   ?parallel:bool ->
   ?pool:Pool.t ->
+  ?retry:Fault.policy ->
+  ?label:string ->
+  ?on_retry:(partition:int -> attempt:int -> exn -> unit) ->
   (Value.t list -> Value.t list) ->
   t ->
   t

@@ -13,9 +13,10 @@ exception Engine_error of string
 
 let err fmt = Fmt.kstr (fun m -> raise (Engine_error m)) fmt
 
-type config = { partitions : int; parallel : bool }
+type config = { partitions : int; parallel : bool; retry : Fault.policy }
 
-let default_config = { partitions = 4; parallel = false }
+let default_config =
+  { partitions = 4; parallel = false; retry = Fault.no_retry }
 
 let schema_env (db : Relation.Db.t) : Typecheck.env =
   List.map (fun (n, r) -> (n, Relation.schema r)) (Relation.Db.tables db)
@@ -302,6 +303,12 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
   let stats = Stats.create () in
   let n = config.partitions in
   let parallel = config.parallel in
+  let retry = config.retry in
+  (* Retries are attributed on the operator span: a task that needed a
+     second attempt leaves [attempt=2] on its operator. *)
+  let retry_attr sp ~partition:_ ~attempt _e =
+    Option.iter (fun s -> Obs.Span.set_int s "attempt" attempt) sp
+  in
   (* Spans are only materialized when a parent is given: untraced runs
      pay nothing beyond the [Stats] counters they always paid. *)
   let sub sp name = Option.map (fun p -> Obs.Span.start ~parent:p name) sp in
@@ -316,19 +323,26 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
     let ostat =
       Stats.op stats ~op_id:q.id ~op_label:(Query.op_symbol q.node)
     in
-    let sp = sub osp (Fmt.str "op:%s#%d" (Query.op_symbol q.node) q.id) in
+    let op_name = Fmt.str "op:%s#%d" (Query.op_symbol q.node) q.id in
+    let sp = sub osp op_name in
     let record_io input output =
       ostat.Stats.input_rows <- ostat.Stats.input_rows + input;
       ostat.Stats.output_rows <- ostat.Stats.output_rows + output
     in
+    (* Every partition-transform of this operator is a retryable task
+       attributed to the operator's span name. *)
+    let mapp f d =
+      Dataset.map_partitions ~parallel ~retry ~label:op_name
+        ~on_retry:(retry_attr sp) f d
+    in
     let narrow child kernel =
       let d = go sp child in
       let input = Dataset.cardinal d in
-      let out = Dataset.map_partitions ~parallel (List.concat_map kernel) d in
+      let out = mapp (List.concat_map kernel) d in
       record_io input (Dataset.cardinal out);
       out
     in
-    let out = eval_node sp ostat record_io narrow q in
+    let out = eval_node sp ostat record_io narrow mapp q in
     Option.iter
       (fun s ->
         Obs.Span.set_int s "op_id" q.id;
@@ -338,7 +352,7 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
         Obs.Span.finish s)
       sp;
     out
-  and eval_node sp ostat record_io narrow (q : Query.t) : Dataset.t =
+  and eval_node sp ostat record_io narrow mapp (q : Query.t) : Dataset.t =
     match q.node, q.children with
     | Query.Table name, [] ->
       let rel = Relation.Db.find_exn name db in
@@ -411,11 +425,7 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
       let d, moved = Dataset.shuffle_by ~partitions:n Fun.id d in
       Stats.record_shuffle stats ostat moved;
       finish_shuffle ssp moved;
-      let out =
-        Dataset.map_partitions ~parallel
-          (fun rows -> List.map fst (group_rows Fun.id rows))
-          d
-      in
+      let out = mapp (fun rows -> List.map fst (group_rows Fun.id rows)) d in
       record_io input (Dataset.cardinal out);
       out
     | Query.Nest_rel (pairs, c_name), [ c ] ->
@@ -445,7 +455,7 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
               (Value.Tuple [ (c_name, Value.bag_of_list nested) ]))
           (group_by_attrs group_attrs rows)
       in
-      let out = Dataset.map_partitions ~parallel nest d in
+      let out = mapp nest d in
       record_io input (Dataset.cardinal out);
       out
     | Query.Group_agg (group, aggs), [ c ] ->
@@ -485,13 +495,15 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
             Value.concat_tuples k (Value.Tuple agg_fields))
           (group_rows group_key rows)
       in
-      let out = Dataset.map_partitions ~parallel aggregate d in
+      let out = mapp aggregate d in
       record_io input (Dataset.cardinal out);
       out
-    | Query.Join (kind, pred), [ l; r ] -> run_join sp ostat kind pred l r
-    | Query.Product, [ l; r ] -> run_join sp ostat Query.Inner Expr.True l r
+    | Query.Join (kind, pred), [ l; r ] ->
+      run_join ~task:(Fmt.str "op:⋈#%d" q.id) sp ostat kind pred l r
+    | Query.Product, [ l; r ] ->
+      run_join ~task:(Fmt.str "op:×#%d" q.id) sp ostat Query.Inner Expr.True l r
     | _ -> err "engine: malformed query node (operator %d)" q.id
-  and run_join sp ostat kind pred l r =
+  and run_join ~task sp ostat kind pred l r =
     let lty = Typecheck.infer env l and rty = Typecheck.infer env r in
     let lfields = List.map fst (Vtype.relation_fields lty) in
     let rfields = List.map fst (Vtype.relation_fields rty) in
@@ -532,10 +544,19 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
       join_partition ~keys ~residual ~kind ~lnull ~rnull (part dl i)
         (part dr i)
     in
+    (* Join tasks retry like narrow partition tasks: the shuffled input
+       partitions are immutable, so recomputation is exact. *)
+    let join_task i =
+      Fault.protect ~policy:retry ~task:(Fmt.str "%s/p%d" task i) ~task_id:i
+        ~on_retry:(fun ~attempt e -> retry_attr sp ~partition:i ~attempt e)
+        (fun () ->
+          Obs.Faultinject.fire "engine.partition";
+          join_part i)
+    in
     let parts =
       if parallel && np > 1 then
-        Pool.map_array (Pool.default ()) join_part (Array.init np Fun.id)
-      else Array.init np join_part
+        Pool.map_array (Pool.default ()) join_task (Array.init np Fun.id)
+      else Array.init np join_task
     in
     let out = Dataset.of_partitions parts in
     ostat.Stats.input_rows <- ostat.Stats.input_rows + input;

@@ -14,6 +14,13 @@ exception Engine_error of string
 type config = {
   partitions : int;
   parallel : bool;  (** one domain per partition for partition-local work *)
+  retry : Fault.policy;
+      (** per-partition task retry budget; {!Fault.no_retry} by default.
+          A partition task that raises {!Fault.Transient} is recomputed
+          from its (immutable) input partition — Spark's task-retry
+          model.  Retried attempts are marked with an [attempt] span
+          attribute on the operator's span; exhaustion raises
+          {!Fault.Exhausted} attributed as ["op:<symbol>#<id>/p<i>"]. *)
 }
 
 val default_config : config

@@ -7,7 +7,13 @@
     {!await} {e helps}: a domain blocked on a pending future pops and
     runs queued jobs itself, so nested submissions (a pooled job
     submitting to its own pool) cannot deadlock, and a size-1 pool on a
-    single-core machine still makes progress. *)
+    single-core machine still makes progress.
+
+    Supervision: a shut-down or dead pool degrades gracefully — see
+    {!submit} — and {!shutdown} detects worker-domain deaths at join
+    ([engine.pool.worker_deaths]) and recomputes any jobs the death
+    stranded in the queue inline, so no future is left forever
+    pending. *)
 
 type t
 
@@ -19,12 +25,17 @@ val create : ?size:int -> unit -> t
 
 val size : t -> int
 
-(** Enqueue a job; raises [Invalid_argument] after {!shutdown}.
+(** Enqueue a job.  After {!shutdown} — or once every worker domain has
+    died — the job instead runs {e inline} on the calling domain
+    (counted in [engine.pool.inline_fallback]) and the returned future
+    is already resolved: late submissions during at_exit-ordered
+    teardown degrade to sequential execution, they never raise.
 
     [?abort] is polled once when the job is dequeued (the queued→running
     edge): returning [Some e] fails the future with [e] without running
     the job — how cancelled work queued behind slow jobs is reclaimed
-    without preemption. *)
+    without preemption.  An abort hook that raises fails the future with
+    that exception (it cannot kill a worker). *)
 val submit : ?abort:(unit -> exn option) -> t -> (unit -> 'a) -> 'a future
 
 (** Block until the future resolves, helping with queued work in the
@@ -32,13 +43,34 @@ val submit : ?abort:(unit -> exn option) -> t -> (unit -> 'a) -> 'a future
 val await : 'a future -> 'a
 
 (** Apply [f] to every element concurrently; results come back in input
-    order (deterministic), and the leftmost exception propagates. *)
-val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+    order (deterministic), and the leftmost exception propagates.
 
-val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+    With [?policy], each element is a retryable task: a run of [f] that
+    raises {!Fault.Transient} is recomputed from its input (up to the
+    policy's attempt budget) before {!Fault.Exhausted} propagates; the
+    task is attributed as ["<label>/p<i>"].  [on_retry] fires before
+    each re-attempt with the element index. *)
+val map_array :
+  ?policy:Fault.policy ->
+  ?label:string ->
+  ?on_retry:(index:int -> attempt:int -> exn -> unit) ->
+  t ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
+
+val map_list :
+  ?policy:Fault.policy ->
+  ?label:string ->
+  ?on_retry:(index:int -> attempt:int -> exn -> unit) ->
+  t ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 
 (** Drain-free graceful teardown: workers finish the jobs already
-    queued, then exit; [shutdown] joins them all.  Idempotent. *)
+    queued, then exit; [shutdown] joins them all (counting workers that
+    died, then recomputing any jobs they stranded).  Idempotent. *)
 val shutdown : t -> unit
 
 (** The process-wide shared pool, created on first use. *)

@@ -1,103 +1,6 @@
-(* Process-global fault-injection registry.
+(* The fault-injection registry moved to [Obs.Faultinject] so one
+   harness can drive faults through the engine, the pipeline, and the
+   serve layer alike.  This alias keeps existing call sites (and the
+   serve test-suite) compiling unchanged. *)
 
-   The armed-site count is mirrored in an atomic so the unarmed fast
-   path of [fire]/[transform] is a single load — hook points are on the
-   server's hot request path. *)
-
-type action =
-  | Fail of { times : int; exn_ : exn }
-  | Delay_ms of float
-  | Garble of (string -> string)
-
-let fail_once e = Fail { times = 1; exn_ = e }
-
-type site = { mutable action : action option; mutable fired : int }
-
-let mutex = Mutex.create ()
-let table : (string, site) Hashtbl.t = Hashtbl.create 8
-let armed = Atomic.make 0
-
-let locked f =
-  Mutex.lock mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
-
-let site_of name =
-  match Hashtbl.find_opt table name with
-  | Some s -> s
-  | None ->
-    let s = { action = None; fired = 0 } in
-    Hashtbl.replace table name s;
-    s
-
-let recount () =
-  Atomic.set armed
-    (Hashtbl.fold
-       (fun _ s n -> if s.action <> None then n + 1 else n)
-       table 0)
-
-let arm name action =
-  locked (fun () ->
-      (site_of name).action <- Some action;
-      recount ())
-
-let disarm name =
-  locked (fun () ->
-      (match Hashtbl.find_opt table name with
-      | Some s -> s.action <- None
-      | None -> ());
-      recount ())
-
-let reset () =
-  locked (fun () ->
-      Hashtbl.reset table;
-      recount ())
-
-let fired name =
-  locked (fun () ->
-      match Hashtbl.find_opt table name with Some s -> s.fired | None -> 0)
-
-let record name s =
-  s.fired <- s.fired + 1;
-  Obs.Metrics.Counter.incr (Obs.Metrics.counter ("serve.fault." ^ name))
-
-(* Decide under the lock, act (sleep/raise) outside it. *)
-let trigger name =
-  locked (fun () ->
-      match Hashtbl.find_opt table name with
-      | None | Some { action = None; _ } -> `Nothing
-      | Some ({ action = Some a; _ } as s) -> (
-        match a with
-        | Fail { times = 0; _ } -> `Nothing
-        | Fail { times; exn_ } ->
-          if times > 0 then begin
-            s.action <-
-              (if times = 1 then None else Some (Fail { times = times - 1; exn_ }));
-            recount ()
-          end;
-          record name s;
-          `Raise exn_
-        | Delay_ms d ->
-          record name s;
-          `Sleep d
-        | Garble g ->
-          record name s;
-          `Garble g))
-
-let act name = function
-  | `Nothing -> ()
-  | `Sleep d -> Unix.sleepf (d /. 1000.)
-  | `Raise e -> raise e
-  | `Garble _ ->
-    (* a Garble armed on a fire-only site is a harness mistake; ignore *)
-    ignore name
-
-let fire name = if Atomic.get armed > 0 then act name (trigger name)
-
-let transform name s =
-  if Atomic.get armed = 0 then s
-  else
-    match trigger name with
-    | `Garble g -> g s
-    | other ->
-      act name other;
-      s
+include Obs.Faultinject

@@ -146,6 +146,7 @@ type error_code =
   | Not_found
   | Overloaded
   | Deadline_exceeded
+  | Task_failed
   | Internal
 
 let error_code_to_string = function
@@ -153,6 +154,7 @@ let error_code_to_string = function
   | Not_found -> "not_found"
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
+  | Task_failed -> "task_failed"
   | Internal -> "internal"
 
 type response =

@@ -64,6 +64,7 @@ type error_code =
   | Not_found
   | Overloaded
   | Deadline_exceeded
+  | Task_failed  (** a task's retry budget was exhausted mid-run *)
   | Internal
 
 val error_code_to_string : error_code -> string

@@ -25,6 +25,7 @@ type error =
       deadline_ms : float;
       phase : string option;
     }
+  | Faulted of { task : string; attempts : int; message : string }
 
 let error_to_string = function
   | Overloaded { depth; capacity } ->
@@ -37,6 +38,9 @@ let error_to_string = function
     Fmt.str
       "deadline exceeded: cancelled at %s after %.1f ms (deadline %.1f ms)" p
       waited_ms deadline_ms
+  | Faulted { task; attempts; message } ->
+    Fmt.str "task failed: %s gave up after %d attempt(s): %s" task attempts
+      message
 
 type t = {
   pool : Engine.Pool.t;
@@ -49,6 +53,7 @@ type t = {
   mutable rejected_n : int;
   mutable completed_n : int;
   mutable expired_n : int;
+  mutable faulted_n : int;
 }
 
 type stats = {
@@ -56,6 +61,7 @@ type stats = {
   rejected : int;
   completed : int;
   expired : int;
+  faulted : int;
   depth : int;
   capacity : int;
 }
@@ -66,6 +72,7 @@ let submitted = lazy (Obs.Metrics.counter "serve.sched.submitted")
 let rejected = lazy (Obs.Metrics.counter "serve.sched.rejected")
 let completed = lazy (Obs.Metrics.counter "serve.sched.completed")
 let expired = lazy (Obs.Metrics.counter "serve.sched.expired")
+let faulted = lazy (Obs.Metrics.counter "serve.sched.faulted")
 let depth_gauge = lazy (Obs.Metrics.gauge "serve.sched.depth")
 let wait_hist = lazy (Obs.Metrics.histogram "serve.sched.wait_ms")
 
@@ -80,6 +87,7 @@ let create ?pool ~queue_capacity ?default_deadline_ms () =
     rejected_n = 0;
     completed_n = 0;
     expired_n = 0;
+    faulted_n = 0;
   }
 
 let depth (t : t) =
@@ -156,6 +164,17 @@ let submit t ?deadline_ms (f : Whynot.Cancel.t -> 'a) :
               t.completed_n <- t.completed_n + 1;
               Mutex.unlock t.mutex;
               Ok v
+            | exception Engine.Fault.Exhausted { task; attempts; last } ->
+              (* Retry budget exhausted inside the run: a typed error,
+                 not a crashed connection.  The fault is attributed to
+                 the failing task (operator/partition or SA/phase). *)
+              Obs.Metrics.Counter.incr (Lazy.force faulted);
+              Mutex.lock t.mutex;
+              t.faulted_n <- t.faulted_n + 1;
+              Mutex.unlock t.mutex;
+              Error
+                (Faulted
+                   { task; attempts; message = Printexc.to_string last })
             | exception Whynot.Cancel.Cancelled where ->
               let budget =
                 match deadline_ms with
@@ -184,6 +203,7 @@ let stats t =
       rejected = t.rejected_n;
       completed = t.completed_n;
       expired = t.expired_n;
+      faulted = t.faulted_n;
       depth = t.depth;
       capacity = t.capacity;
     }

@@ -16,7 +16,11 @@
       {!Whynot.Cancel.Cancelled} resolves to {!Deadline_exceeded} whose
       [phase] names the boundary that observed the lapse.
 
-    Counters [serve.sched.{submitted,rejected,completed,expired}], the
+    A run whose task-retry budget runs out ({!Engine.Fault.Exhausted})
+    resolves to {!Faulted} — a typed error carrying the failing task's
+    attribution, not a crashed connection.
+
+    Counters [serve.sched.{submitted,rejected,completed,expired,faulted}], the
     [serve.sched.depth] gauge, and the [serve.sched.wait_ms] histogram
     land in {!Obs.Metrics}.  Each counter event and its {!stats} mirror
     are applied in one critical section, so [stats] never under-reports
@@ -30,6 +34,11 @@ type error =
       phase : string option;
           (** [None]: expired while still queued; [Some p]: cancelled
               during execution at boundary [p] *)
+    }
+  | Faulted of {
+      task : string;  (** e.g. ["op:⋈#3/p2"] or ["sa:S2/tracing"] *)
+      attempts : int;
+      message : string;  (** the last underlying fault *)
     }
 
 val error_to_string : error -> string
@@ -59,7 +68,8 @@ val submit :
 (** Wait for the outcome (helping with pool work — see
     {!Engine.Pool.await}).  Re-raises the job's own exception if it
     raised (except {!Whynot.Cancel.Cancelled}, which resolves to
-    [Error (Deadline_exceeded _)]). *)
+    [Error (Deadline_exceeded _)], and {!Engine.Fault.Exhausted}, which
+    resolves to [Error (Faulted _)]). *)
 val await : 'a ticket -> ('a, error) result
 
 (** [submit] + [await]. *)
@@ -78,6 +88,7 @@ type stats = {
   rejected : int;
   completed : int;
   expired : int;
+  faulted : int;
   depth : int;
   capacity : int;
 }

@@ -39,6 +39,7 @@ type config = {
   queue_capacity : int;
   default_deadline_ms : float option;
   parallel : bool;
+  task_retries : int;
   timings : bool;
   max_connections : int;
   max_request_bytes : int;
@@ -51,6 +52,7 @@ let default_config =
     queue_capacity = 64;
     default_deadline_ms = None;
     parallel = false;
+    task_retries = 0;
     timings = true;
     max_connections = 64;
     max_request_bytes = 1 lsl 20;
@@ -267,7 +269,9 @@ let handle_explain t ~dataset ~scale ~seed ~query ~pattern
                         Whynot.Pipeline.prepare
                           ~use_sas:options.Protocol.use_sas
                           ~max_sas:options.Protocol.max_sas ~alternatives
-                          ~cancel ~db q
+                          ~cancel
+                          ~retry:(Engine.Fault.retries t.cfg.task_retries)
+                          ~db q
                       in
                       bump t (fun t -> t.prepares <- t.prepares + 1);
                       Cache.add t.handle_cache hkey h;
@@ -282,7 +286,9 @@ let handle_explain t ~dataset ~scale ~seed ~query ~pattern
             Whynot.Pipeline.explain_with
               ~revalidate:options.Protocol.revalidate
               ~parallel:(options.Protocol.parallel || t.cfg.parallel)
-              ~cancel handle missing
+              ~cancel
+              ~retry:(Engine.Fault.retries t.cfg.task_retries)
+              handle missing
           in
           let payload = Codec.result_to_json ~timings:t.cfg.timings result in
           Cache.add t.explain_cache ekey payload;
@@ -313,7 +319,10 @@ let handle_explain t ~dataset ~scale ~seed ~query ~pattern
             {
               code = Protocol.Deadline_exceeded;
               message = Scheduler.error_to_string e;
-            })))
+            }
+        | Ok (Error (Scheduler.Faulted _ as e)) ->
+          Protocol.Error
+            { code = Protocol.Task_failed; message = Scheduler.error_to_string e })))
 
 let cache_stats_json (s : Cache.stats) =
   Json.J_object
@@ -382,6 +391,7 @@ let handle_stats t : Protocol.response =
             ("rejected", Json.J_int sched.Scheduler.rejected);
             ("completed", Json.J_int sched.Scheduler.completed);
             ("expired", Json.J_int sched.Scheduler.expired);
+            ("faulted", Json.J_int sched.Scheduler.faulted);
             ("depth", Json.J_int sched.Scheduler.depth);
             ("capacity", Json.J_int sched.Scheduler.capacity);
           ] );

@@ -32,6 +32,9 @@ type config = {
   queue_capacity : int;  (** scheduler admission bound *)
   default_deadline_ms : float option;
   parallel : bool;  (** run schema alternatives on the pool *)
+  task_retries : int;
+      (** transient-fault retry budget per pipeline task (0 = fail
+          fast); see {!Engine.Fault.retries} *)
   timings : bool;
       (** include wall-clock timings in responses; [false] makes
           responses fully deterministic (the smoke test diffs them) *)

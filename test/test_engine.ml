@@ -143,7 +143,14 @@ let check_equivalence ?(parallel = false) ~partitions ~seed () =
     (fun (name, query) ->
       let expected = Eval.eval db query in
       let actual, _stats =
-        Engine.Exec.run ~config:{ Engine.Exec.partitions; parallel } db query
+        Engine.Exec.run
+          ~config:
+            {
+              Engine.Exec.partitions;
+              parallel;
+              retry = Engine.Fault.no_retry;
+            }
+          db query
       in
       Alcotest.(check string)
         (Fmt.str "%s (partitions=%d)" name partitions)

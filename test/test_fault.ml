@@ -1,0 +1,423 @@
+(* Fault tolerance: the typed fault taxonomy, the retry policy, pool
+   supervision, and — the property the whole layer exists for — that a
+   chaos run (deterministic transient faults on ~5% of task attempts)
+   produces byte-identical results to a fault-free run. *)
+
+open Nested
+
+let transient msg = Engine.Fault.Transient (Failure msg)
+
+let fast_retries n =
+  (* zero backoff: tests measure semantics, not sleeping *)
+  Engine.Fault.retries ~base_backoff_ms:0.0 ~max_backoff_ms:0.0 n
+
+let counter_value name = Obs.Metrics.Counter.value (Obs.Metrics.counter name)
+
+(* --- taxonomy and policy ------------------------------------------------- *)
+
+let test_classify () =
+  Alcotest.(check bool)
+    "Transient is transient" true
+    (Engine.Fault.classify (transient "x") = Engine.Fault.Transient_fault);
+  Alcotest.(check bool)
+    "plain exn is permanent" true
+    (Engine.Fault.classify (Failure "x") = Engine.Fault.Permanent_fault);
+  Alcotest.(check bool)
+    "cancellation is permanent" true
+    (Engine.Fault.classify (Whynot.Cancel.Cancelled "deadline")
+    = Engine.Fault.Permanent_fault);
+  let inner = Failure "io" in
+  Alcotest.(check bool)
+    "unwrap strips one layer" true
+    (Engine.Fault.unwrap (Engine.Fault.Transient inner) == inner);
+  Alcotest.(check bool)
+    "unwrap is identity on permanent" true
+    (Engine.Fault.unwrap inner == inner)
+
+let test_backoff_deterministic_and_bounded () =
+  let p = Engine.Fault.retries ~base_backoff_ms:2.0 ~max_backoff_ms:10.0 6 in
+  for task_id = 0 to 3 do
+    for attempt = 1 to 6 do
+      let a = Engine.Fault.backoff_ms p ~task_id ~attempt in
+      let b = Engine.Fault.backoff_ms p ~task_id ~attempt in
+      Alcotest.(check (float 0.0))
+        (Fmt.str "deterministic (task %d attempt %d)" task_id attempt)
+        a b;
+      Alcotest.(check bool)
+        "within [0, max_backoff]" true
+        (a >= 0.0 && a <= p.Engine.Fault.max_backoff_ms)
+    done
+  done;
+  (* distinct tasks jitter apart (the factor is task-id-derived): at
+     least one pair of task ids must disagree on the same attempt *)
+  let all_equal =
+    List.for_all
+      (fun tid ->
+        Engine.Fault.backoff_ms p ~task_id:tid ~attempt:1
+        = Engine.Fault.backoff_ms p ~task_id:0 ~attempt:1)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check bool) "jitter separates task ids" false all_equal
+
+let test_protect_recovers () =
+  let tries = ref 0 in
+  let retried_at = ref [] in
+  let r =
+    Engine.Fault.protect ~policy:(fast_retries 3) ~task:"flaky" ~task_id:7
+      ~on_retry:(fun ~attempt _ -> retried_at := attempt :: !retried_at)
+      (fun () ->
+        incr tries;
+        if !tries <= 2 then raise (transient "blip");
+        "ok")
+  in
+  Alcotest.(check string) "recovers" "ok" r;
+  Alcotest.(check int) "two faults, three attempts" 3 !tries;
+  Alcotest.(check (list int)) "on_retry saw attempts 2,3" [ 3; 2 ] !retried_at
+
+let test_protect_permanent_not_retried () =
+  let tries = ref 0 in
+  (match
+     Engine.Fault.protect ~policy:(fast_retries 5) (fun () ->
+         incr tries;
+         failwith "permanent")
+   with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "one attempt only" 1 !tries
+
+let test_protect_exhaustion () =
+  let boom = Failure "disk on fire" in
+  let before = counter_value "engine.task.exhausted" in
+  (match
+     Engine.Fault.protect ~policy:(fast_retries 2) ~task:"op:x#1/p3"
+       ~task_id:3 (fun () -> raise (Engine.Fault.Transient boom))
+   with
+  | _ -> Alcotest.fail "expected Exhausted"
+  | exception Engine.Fault.Exhausted { task; attempts; last } ->
+    Alcotest.(check string) "task attribution" "op:x#1/p3" task;
+    Alcotest.(check int) "all attempts spent" 3 attempts;
+    Alcotest.(check bool) "last fault unwrapped" true (last == boom));
+  Alcotest.(check int)
+    "exhaustion counted" 1
+    (counter_value "engine.task.exhausted" - before)
+
+let test_abort_suppresses_retries () =
+  (* cancellation composes with retries: the abort hook is polled before
+     each re-attempt, so a cancelled run raises instead of burning its
+     retry budget *)
+  let cancel = Whynot.Cancel.create () in
+  let tries = ref 0 in
+  (match
+     Engine.Fault.protect ~policy:(fast_retries 5)
+       ~abort:(fun () ->
+         if Whynot.Cancel.cancelled cancel then
+           Some (Whynot.Cancel.Cancelled "retry-gate")
+         else None)
+       (fun () ->
+         incr tries;
+         Whynot.Cancel.cancel cancel;
+         raise (transient "blip"))
+   with
+  | _ -> Alcotest.fail "expected Cancelled"
+  | exception Whynot.Cancel.Cancelled where ->
+    Alcotest.(check string) "abort names the gate" "retry-gate" where);
+  Alcotest.(check int) "no retry after cancellation" 1 !tries
+
+(* --- pool supervision ---------------------------------------------------- *)
+
+let test_worker_death_detected () =
+  Obs.Faultinject.reset ();
+  let before = counter_value "engine.pool.worker_deaths" in
+  (* every fire of the site raises: both workers die at their first loop
+     iteration, before dequeueing anything *)
+  Obs.Faultinject.arm "engine.pool.worker"
+    (Obs.Faultinject.Fail { times = 2; exn_ = Failure "chaos: worker killed" });
+  let pool = Engine.Pool.create ~size:2 () in
+  (* the queue survives the deaths; await helps, so the job still runs *)
+  let fut = Engine.Pool.submit pool (fun () -> 5 * 5) in
+  Alcotest.(check int) "job survives dead workers" 25 (Engine.Pool.await fut);
+  Engine.Pool.shutdown pool;
+  Obs.Faultinject.reset ();
+  Alcotest.(check int)
+    "both deaths detected at join" 2
+    (counter_value "engine.pool.worker_deaths" - before)
+
+let test_shutdown_drains_stranded_jobs () =
+  Obs.Faultinject.reset ();
+  Obs.Faultinject.arm "engine.pool.worker"
+    (Obs.Faultinject.Fail { times = 1; exn_ = Failure "chaos: worker killed" });
+  let pool = Engine.Pool.create ~size:1 () in
+  let futs = List.init 4 (fun i -> Engine.Pool.submit pool (fun () -> i * i)) in
+  (* no await before shutdown: anything the dead worker stranded in the
+     queue must be recomputed inline by shutdown itself *)
+  Engine.Pool.shutdown pool;
+  Obs.Faultinject.reset ();
+  List.iteri
+    (fun i fut ->
+      Alcotest.(check int)
+        (Fmt.str "stranded job %d resolved" i)
+        (i * i) (Engine.Pool.await fut))
+    futs
+
+let test_map_array_exhaustion_attribution () =
+  let pool = Engine.Pool.create ~size:2 () in
+  let boom = Failure "flaky shard" in
+  (match
+     Engine.Pool.map_array ~policy:(fast_retries 2) ~label:"op:σ#4" pool
+       (fun i -> if i = 1 then raise (Engine.Fault.Transient boom) else i)
+       [| 0; 1; 2 |]
+   with
+  | _ -> Alcotest.fail "expected Exhausted"
+  | exception Engine.Fault.Exhausted { task; attempts; last } ->
+    Alcotest.(check string) "partition attributed" "op:σ#4/p1" task;
+    Alcotest.(check int) "attempts" 3 attempts;
+    Alcotest.(check bool) "last fault kept" true (last == boom));
+  Engine.Pool.shutdown pool
+
+let test_map_array_retry_recovers () =
+  let pool = Engine.Pool.create ~size:2 () in
+  let failed_once = Atomic.make false in
+  let before = counter_value "engine.task.retries" in
+  let out =
+    Engine.Pool.map_array ~policy:(fast_retries 2) ~label:"t" pool
+      (fun i ->
+        if i = 2 && not (Atomic.exchange failed_once true) then
+          raise (transient "blip");
+        i + 10)
+      (Array.init 5 Fun.id)
+  in
+  Alcotest.(check (array int))
+    "all elements recovered"
+    [| 10; 11; 12; 13; 14 |]
+    out;
+  Alcotest.(check int)
+    "one retry counted" 1
+    (counter_value "engine.task.retries" - before);
+  Engine.Pool.shutdown pool
+
+(* --- determinism under chaos --------------------------------------------- *)
+
+let engine_cfg retry =
+  { Engine.Exec.partitions = 4; parallel = false; retry }
+
+let relation_string r = Value.to_string (Relation.data r)
+
+let scenario_questions () =
+  List.map
+    (fun (s : Scenarios.Scenario.t) ->
+      (s.Scenarios.Scenario.name, s.Scenarios.Scenario.make ~scale:1 ()))
+    Scenarios.Registry.all
+
+let test_engine_identical_under_chaos () =
+  let insts = scenario_questions () in
+  let run cfg (inst : Scenarios.Scenario.instance) =
+    let phi = inst.Scenarios.Scenario.question in
+    let r, _ =
+      Engine.Exec.run ~config:cfg phi.Whynot.Question.db
+        phi.Whynot.Question.query
+    in
+    relation_string r
+  in
+  Obs.Faultinject.reset ();
+  let plain =
+    List.map (fun (n, i) -> (n, run (engine_cfg Engine.Fault.no_retry) i)) insts
+  in
+  (* one arming across every scenario: the Flaky consultation count
+     accumulates, so faults land in different operators per scenario *)
+  Obs.Faultinject.arm "engine.partition"
+    (Obs.Faultinject.Flaky { period = 20; exn_ = transient "chaos" });
+  let armed =
+    List.map (fun (n, i) -> (n, run (engine_cfg (fast_retries 3)) i)) insts
+  in
+  let triggered = Obs.Faultinject.fired "engine.partition" in
+  Obs.Faultinject.reset ();
+  Alcotest.(check bool) "chaos actually fired" true (triggered > 0);
+  List.iter2
+    (fun (name, expected) (_, got) ->
+      Alcotest.(check string)
+        (Fmt.str "%s: chaos run identical" name)
+        expected got)
+    plain armed
+
+let result_fingerprint (r : Whynot.Pipeline.result) =
+  Json.to_string (Serve.Codec.result_to_json ~timings:false r)
+
+let test_pipeline_identical_under_chaos () =
+  let insts = scenario_questions () in
+  let run ~retry (inst : Scenarios.Scenario.instance) =
+    Whynot.Pipeline.explain ~retry
+      ~alternatives:inst.Scenarios.Scenario.alternatives
+      inst.Scenarios.Scenario.question
+  in
+  Obs.Faultinject.reset ();
+  let plain =
+    List.map (fun (n, i) -> (n, run ~retry:Engine.Fault.no_retry i)) insts
+  in
+  (* period 3 on the per-SA tracing site: roughly every third schema
+     alternative's data-tracing attempt faults and is recomputed *)
+  Obs.Faultinject.arm "tracing.relaxed"
+    (Obs.Faultinject.Flaky { period = 3; exn_ = transient "chaos" });
+  let armed = List.map (fun (n, i) -> (n, run ~retry:(fast_retries 3) i)) insts in
+  let triggered = Obs.Faultinject.fired "tracing.relaxed" in
+  Obs.Faultinject.reset ();
+  Alcotest.(check bool) "chaos actually fired" true (triggered > 0);
+  List.iter2
+    (fun (name, expected) (_, got) ->
+      Alcotest.(check string)
+        (Fmt.str "%s: explanation JSON byte-identical" name)
+        (result_fingerprint expected) (result_fingerprint got);
+      Alcotest.(check (list (list int)))
+        (Fmt.str "%s: ranking identical" name)
+        (Whynot.Pipeline.explanation_sets expected)
+        (Whynot.Pipeline.explanation_sets got))
+    plain armed
+
+let test_pipeline_exhaustion_attributed () =
+  let inst =
+    (Option.get (Scenarios.Registry.find "RE")).Scenarios.Scenario.make
+      ~scale:1 ()
+  in
+  Obs.Faultinject.reset ();
+  Obs.Faultinject.arm "tracing.relaxed"
+    (Obs.Faultinject.Fail { times = -1; exn_ = transient "hard chaos" });
+  (match
+     Whynot.Pipeline.explain ~retry:(fast_retries 2)
+       ~alternatives:inst.Scenarios.Scenario.alternatives
+       inst.Scenarios.Scenario.question
+   with
+  | _ -> Alcotest.fail "expected Exhausted"
+  | exception Engine.Fault.Exhausted { task; attempts; _ } ->
+    Alcotest.(check bool)
+      "task names the SA phase" true
+      (String.length task >= 5 && String.sub task 0 5 = "sa:S1");
+    Alcotest.(check int) "budget spent" 3 attempts);
+  Obs.Faultinject.reset ()
+
+(* --- serve integration --------------------------------------------------- *)
+
+let test_scheduler_maps_exhaustion_to_faulted () =
+  let sched = Serve.Scheduler.create ~queue_capacity:4 () in
+  (match
+     Serve.Scheduler.run sched (fun _cancel ->
+         Engine.Fault.protect ~policy:Engine.Fault.no_retry ~task:"op:⋈#3/p2"
+           (fun () -> raise (transient "shard lost")))
+   with
+  | Error (Serve.Scheduler.Faulted { task; attempts; message }) ->
+    Alcotest.(check string) "task attribution survives" "op:⋈#3/p2" task;
+    Alcotest.(check int) "attempts" 1 attempts;
+    Alcotest.(check bool)
+      "message carries the fault" true
+      (String.length message > 0)
+  | Ok _ -> Alcotest.fail "expected Faulted"
+  | Error e -> Alcotest.fail (Serve.Scheduler.error_to_string e));
+  let st = Serve.Scheduler.stats sched in
+  Alcotest.(check int) "faulted counted" 1 st.Serve.Scheduler.faulted;
+  Alcotest.(check int) "not counted as completed" 0 st.Serve.Scheduler.completed
+
+let test_server_explain_retries_transparently () =
+  (* a server with a retry budget absorbs transient pipeline faults: the
+     client sees a normal response, identical to the fault-free one *)
+  let mk task_retries =
+    Serve.Server.create
+      ~config:
+        {
+          Serve.Server.default_config with
+          timings = false;
+          task_retries;
+        }
+      ()
+  in
+  let explain srv =
+    ignore
+      (Serve.Server.handle_request srv
+         (Serve.Protocol.Register
+            { dataset = "RE"; scale = 1; seed = 0; refresh = false })
+        : Serve.Protocol.response);
+    Serve.Server.handle_request srv
+      (Serve.Protocol.Explain
+         {
+           dataset = "RE";
+           scale = 1;
+           seed = 0;
+           query = None;
+           pattern = None;
+           options = Serve.Protocol.default_options;
+           deadline_ms = None;
+         })
+  in
+  Obs.Faultinject.reset ();
+  let fault_free = explain (mk 0) in
+  Obs.Faultinject.arm "tracing.relaxed"
+    (Obs.Faultinject.Fail { times = 1; exn_ = transient "chaos" });
+  let with_faults = explain (mk 2) in
+  Obs.Faultinject.reset ();
+  (match (fault_free, with_faults) with
+  | ( Serve.Protocol.Explained { result = a; _ },
+      Serve.Protocol.Explained { result = b; _ } ) ->
+    Alcotest.(check string)
+      "retried response byte-identical" (Json.to_string a) (Json.to_string b)
+  | _ -> Alcotest.fail "expected two Explained responses");
+  (* without a retry budget the same fault surfaces as a typed error *)
+  Obs.Faultinject.arm "tracing.relaxed"
+    (Obs.Faultinject.Fail { times = 1; exn_ = transient "chaos" });
+  let failed = explain (mk 0) in
+  Obs.Faultinject.reset ();
+  match failed with
+  | Serve.Protocol.Error { code = Serve.Protocol.Task_failed; message } ->
+    Alcotest.(check bool)
+      "error names the task" true
+      (String.length message > 0)
+  | r ->
+    Alcotest.fail
+      (Fmt.str "expected task_failed, got %s"
+         (Serve.Protocol.response_to_string r))
+
+let () =
+  at_exit Engine.Pool.shutdown_default;
+  Alcotest.run "fault"
+    [
+      ( "taxonomy",
+        [
+          Alcotest.test_case "classify and unwrap" `Quick test_classify;
+          Alcotest.test_case "backoff deterministic, bounded" `Quick
+            test_backoff_deterministic_and_bounded;
+        ] );
+      ( "protect",
+        [
+          Alcotest.test_case "recovers after transient faults" `Quick
+            test_protect_recovers;
+          Alcotest.test_case "permanent faults not retried" `Quick
+            test_protect_permanent_not_retried;
+          Alcotest.test_case "exhaustion attributes the task" `Quick
+            test_protect_exhaustion;
+          Alcotest.test_case "abort suppresses retries" `Quick
+            test_abort_suppresses_retries;
+        ] );
+      ( "pool supervision",
+        [
+          Alcotest.test_case "worker deaths detected" `Quick
+            test_worker_death_detected;
+          Alcotest.test_case "shutdown drains stranded jobs" `Quick
+            test_shutdown_drains_stranded_jobs;
+          Alcotest.test_case "map_array exhaustion attributed" `Quick
+            test_map_array_exhaustion_attribution;
+          Alcotest.test_case "map_array retry recovers" `Quick
+            test_map_array_retry_recovers;
+        ] );
+      ( "determinism under chaos",
+        [
+          Alcotest.test_case "engine results identical" `Quick
+            test_engine_identical_under_chaos;
+          Alcotest.test_case "pipeline results identical" `Quick
+            test_pipeline_identical_under_chaos;
+          Alcotest.test_case "pipeline exhaustion attributed" `Quick
+            test_pipeline_exhaustion_attributed;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "scheduler maps Exhausted to Faulted" `Quick
+            test_scheduler_maps_exhaustion_to_faulted;
+          Alcotest.test_case "server retries transparently" `Quick
+            test_server_explain_retries_transparently;
+        ] );
+    ]

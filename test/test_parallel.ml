@@ -24,7 +24,14 @@ let test_engine_agreement () =
       let expected = relation_string (Nrab.Eval.eval db q) in
       let run parallel =
         let r, _ =
-          Engine.Exec.run ~config:{ Engine.Exec.partitions = 4; parallel } db q
+          Engine.Exec.run
+            ~config:
+              {
+                Engine.Exec.partitions = 4;
+                parallel;
+                retry = Engine.Fault.no_retry;
+              }
+            db q
         in
         relation_string r
       in
