@@ -1,7 +1,7 @@
 # The single committed verify recipe: builds every executable (CLI,
 # server, bench, examples) and runs the full test suite.  Run before
 # every merge.
-.PHONY: verify build test bench-chaos
+.PHONY: verify build test bench-chaos bench-obs
 
 verify:
 	dune build @all && dune runtest
@@ -16,3 +16,8 @@ test:
 # runs as part of the default bench sweep).
 bench-chaos:
 	dune exec bench/main.exe -- chaos -json BENCH_PR5.json
+
+# Gated telemetry-overhead measurement (flips the process-global log
+# level and sink set, so it never runs as part of the default sweep).
+bench-obs:
+	dune exec bench/main.exe -- obs -json BENCH_PR6.json

@@ -149,6 +149,27 @@ let chaos_records : chaos_record list ref = ref []
 
 let add_chaos r = if !json_file <> "" then chaos_records := r :: !chaos_records
 
+(* Records of the [obs] target — telemetry overhead: the cost of a log
+   call at a disabled level, the record volume and wall-clock cost of
+   running a pipeline at Debug, and the metrics-export render time. *)
+type obs_record = {
+  oscenario : string;
+  oscale : int;
+  odisabled_ns : float;  (* per Log.debug call with the level off *)
+  orecords_per_explain : int;  (* records one RP explain emits at Debug *)
+  ooff_ms : float;  (* RP wall-clock, logging off *)
+  odebug_ms : float;  (* RP wall-clock, Debug + counting sink *)
+  odebug_overhead_pct : float;
+  odisabled_overhead_pct : float;
+      (* computed worst case: every record this explain would emit,
+         charged at the disabled-call price, as %% of the off column *)
+  oexport_ms : float;  (* one Prometheus render of the live registry *)
+}
+
+let obs_records : obs_record list ref = ref []
+
+let add_obs r = if !json_file <> "" then obs_records := r :: !obs_records
+
 let write_json () =
   if !json_file <> "" then begin
     let oc = open_out !json_file in
@@ -199,6 +220,22 @@ let write_json () =
         (String.concat ",\n" (List.rev_map serve_rec !serve_records));
       output_string oc "\n  ]"
     end;
+    if !obs_records <> [] then begin
+      let obs_rec r =
+        Fmt.str
+          "    {\"scenario\": %S, \"scale\": %d, \"disabled_ns\": %.2f, \
+           \"records_per_explain\": %d, \"off_ms\": %.3f, \"debug_ms\": %.3f, \
+           \"debug_overhead_pct\": %.2f, \"disabled_overhead_pct\": %.4f, \
+           \"export_ms\": %.4f}"
+          r.oscenario r.oscale r.odisabled_ns r.orecords_per_explain r.ooff_ms
+          r.odebug_ms r.odebug_overhead_pct r.odisabled_overhead_pct
+          r.oexport_ms
+      in
+      output_string oc ",\n  \"obs\": [\n";
+      output_string oc
+        (String.concat ",\n" (List.rev_map obs_rec !obs_records));
+      output_string oc "\n  ]"
+    end;
     if !chaos_records <> [] then begin
       let chaos_rec r =
         Fmt.str
@@ -218,7 +255,7 @@ let write_json () =
     close_out oc;
     Fmt.pr "@.json summary written to %s (%d records)@." !json_file
       (List.length !json_records + List.length !serve_records
-      + List.length !chaos_records)
+      + List.length !chaos_records + List.length !obs_records)
   end
 
 let scenario name = Option.get (Scenarios.Registry.find name)
@@ -858,6 +895,94 @@ let bench_chaos ?(scale = 2) () =
         })
     [ "D1"; "T2"; "Q3" ]
 
+(* --- Obs: telemetry overhead ----------------------------------------------
+
+   Three questions:
+   - what does a [Log.debug] call cost when Debug is disabled?  (the
+     hot-path gate is one atomic load; the field thunk is never
+     evaluated) — measured as ns/call over a tight loop;
+   - what does running the pipeline at Debug cost vs logging off?  (the
+     fig8 RP column, timed both ways, plus the record volume per
+     explain);
+   - what does one Prometheus render of the live registry cost?
+
+   The headline acceptance number is [disabled_overhead_pct]: every
+   record an explain would emit, charged at the disabled-call price, as
+   a percentage of the logging-off RP time — the overhead the
+   instrumentation adds to a server running at the default Info level.
+   Gated like chaos (never runs implicitly): it flips the process-global
+   log level and sink set mid-run. *)
+
+let bench_obs ?(scale = 4) () =
+  Fmt.pr "@.== Obs: logging and export overhead (scale %d) ==@." scale;
+  Fmt.pr "%-6s %-12s %-9s %-10s %-10s %-10s %-12s %-10s@." "scen"
+    "disabled ns" "records" "off ms" "debug ms" "debug %" "disabled %"
+    "export ms";
+  let saved_level = Obs.Log.level () in
+  let reps = 5 in
+  let median_ms f =
+    ignore (f ());
+    let times =
+      Array.init reps (fun _ -> snd (time_span "bench.obs" (fun _ -> f ())))
+    in
+    Array.sort compare times;
+    times.(reps / 2)
+  in
+  (* disabled-call price: one atomic load, thunk never evaluated *)
+  Obs.Log.set_level None;
+  let n = 2_000_000 in
+  let t0 = Obs.Clock.now_ns () in
+  for i = 1 to n do
+    Obs.Log.debug "bench.obs.noop" (fun () -> [ Obs.Log.int "i" i ])
+  done;
+  let disabled_ns =
+    float_of_int (Obs.Clock.now_ns () - t0) /. float_of_int n
+  in
+  let count = ref 0 in
+  Obs.Log.add_sink "bench.obs.count" (fun _ -> incr count);
+  List.iter
+    (fun name ->
+      let inst = instance ~scale (scenario name) in
+      Obs.Log.set_level None;
+      let off_ms = median_ms (fun () -> run_rp inst) in
+      Obs.Log.set_level (Some Obs.Log.Debug);
+      let debug_ms = median_ms (fun () -> run_rp inst) in
+      count := 0;
+      ignore (run_rp inst);
+      let records = !count in
+      Obs.Log.set_level None;
+      let export_ms =
+        median_ms (fun () -> ignore (Obs.Export.prometheus () : string))
+      in
+      let debug_pct = 100. *. (debug_ms -. off_ms) /. Float.max off_ms 1e-9 in
+      let disabled_pct =
+        100. *. (float_of_int records *. disabled_ns)
+        /. Float.max (off_ms *. 1e6) 1e-9
+      in
+      Fmt.pr "%-6s %-12.2f %-9d %-10.3f %-10.3f %-10.2f %-12.4f %-10.4f@."
+        name disabled_ns records off_ms debug_ms debug_pct disabled_pct
+        export_ms;
+      csv "obs"
+        "scenario,scale,disabled_ns,records_per_explain,off_ms,debug_ms,debug_overhead_pct,disabled_overhead_pct,export_ms"
+        (Fmt.str "%s,%d,%.2f,%d,%.3f,%.3f,%.2f,%.4f,%.4f" name scale
+           disabled_ns records off_ms debug_ms debug_pct disabled_pct export_ms);
+      add_obs
+        {
+          oscenario = name;
+          oscale = scale;
+          odisabled_ns = disabled_ns;
+          orecords_per_explain = records;
+          ooff_ms = off_ms;
+          odebug_ms = debug_ms;
+          odebug_overhead_pct = debug_pct;
+          odisabled_overhead_pct = disabled_pct;
+          oexport_ms = export_ms;
+        })
+    [ "D1"; "T2"; "Q3" ];
+  Obs.Log.remove_sink "bench.obs.count";
+  Obs.Log.clear_ring ();
+  Obs.Log.set_level saved_level
+
 (* --- Bechamel micro-benchmarks: one Test.make per table/figure ------------ *)
 
 let bechamel_tests () =
@@ -935,6 +1060,8 @@ let () =
   if wants "ablation" then ablation ();
   if wants "serve" then bench_serve ();
   if wants_explicit "chaos" then bench_chaos ();
+  (* obs flips the process-global log level and sink set: explicit only *)
+  if wants_explicit "obs" then bench_obs ();
   if wants "bechamel" then run_bechamel ();
   write_json ();
   close_csv ()

@@ -7,6 +7,30 @@
    one span tree per scenario (engine operators included) and writes a
    Chrome trace_event JSON file for chrome://tracing / Perfetto. *)
 
+(* [-log-level L] turns the structured log on at threshold L, mirrored
+   to stderr as text (the CLI has no log file of its own). *)
+let apply_log_level = function
+  | "" -> ()
+  | level -> (
+    match String.lowercase_ascii level with
+    | "off" | "none" -> Obs.Log.set_level None
+    | s -> (
+      match Obs.Log.level_of_string s with
+      | Some l ->
+        Obs.Log.set_level (Some l);
+        Obs.Log.add_sink "stderr" Obs.Log.stderr_text_sink
+      | None ->
+        failwith
+          (Fmt.str "unknown log level %S (debug|info|warn|error|off)" level)))
+
+let write_prometheus = function
+  | "" -> ()
+  | path ->
+    let oc = open_out path in
+    output_string oc (Obs.Export.prometheus ());
+    close_out oc;
+    Fmt.pr "metrics written to %s@." path
+
 let pp_phase_breakdown ppf (rp : Whynot.Pipeline.result) =
   let total = Obs.Span.duration_ms rp.Whynot.Pipeline.span in
   let phases = Whynot.Pipeline.phase_durations_ms rp in
@@ -128,6 +152,8 @@ let run_explain args =
   let metrics = ref false and trace_file = ref "" in
   let parallel = ref false in
   let task_retries = ref 0 in
+  let log_level = ref "" in
+  let prometheus_file = ref "" in
   let spec =
     [
       ("-db", Arg.Set_string db_file, "JSON database file");
@@ -152,6 +178,17 @@ let run_explain args =
         Arg.Set_string trace_file,
         "FILE  write a Chrome trace_event JSON file" );
       ("--trace", Arg.Set_string trace_file, "FILE  same as -trace");
+      ( "-log-level",
+        Arg.Set_string log_level,
+        "LEVEL  structured-log threshold (debug|info|warn|error|off), \
+         mirrored to stderr" );
+      ("--log-level", Arg.Set_string log_level, "LEVEL  same as -log-level");
+      ( "-prometheus",
+        Arg.Set_string prometheus_file,
+        "FILE  write Prometheus-format metrics to FILE at the end" );
+      ( "--prometheus",
+        Arg.Set_string prometheus_file,
+        "FILE  same as -prometheus" );
     ]
   in
   Arg.parse_argv ~current:(ref 0)
@@ -159,6 +196,7 @@ let run_explain args =
     spec
     (fun a -> failwith ("unexpected argument " ^ a))
     "whynot_cli explain -db FILE -query FILE -whynot FILE [options]";
+  apply_log_level !log_level;
   if !db_file = "" || !query_file = "" || !whynot_file = "" then
     failwith "explain needs -db, -query, and -whynot";
   let db = Nested.Json.db_of_string (read_file !db_file) in
@@ -183,7 +221,8 @@ let run_explain args =
   if !trace_file <> "" then begin
     Obs.Trace_event.write_file !trace_file [ result.Whynot.Pipeline.span ];
     Fmt.pr "trace written to %s@." !trace_file
-  end
+  end;
+  write_prometheus !prometheus_file
 
 let run_scenarios args =
   let scale = ref 1 in
@@ -194,6 +233,8 @@ let run_scenarios args =
   let partitions = ref Engine.Exec.default_config.Engine.Exec.partitions in
   let parallel = ref false in
   let task_retries = ref 0 in
+  let log_level = ref "" in
+  let prometheus_file = ref "" in
   let spec =
     [
       ("-scale", Arg.Set_int scale, "data scale factor (default 1)");
@@ -220,6 +261,17 @@ let run_scenarios args =
         "FILE  write a Chrome trace_event JSON file (open in \
          chrome://tracing or https://ui.perfetto.dev)" );
       ("--trace", Arg.Set_string trace_file, "FILE  same as -trace");
+      ( "-log-level",
+        Arg.Set_string log_level,
+        "LEVEL  structured-log threshold (debug|info|warn|error|off), \
+         mirrored to stderr" );
+      ("--log-level", Arg.Set_string log_level, "LEVEL  same as -log-level");
+      ( "-prometheus",
+        Arg.Set_string prometheus_file,
+        "FILE  write Prometheus-format metrics to FILE at the end" );
+      ( "--prometheus",
+        Arg.Set_string prometheus_file,
+        "FILE  same as -prometheus" );
     ]
   in
   Arg.parse_argv ~current:(ref 0)
@@ -227,6 +279,7 @@ let run_scenarios args =
     spec
     (fun n -> names := n :: !names)
     "whynot_cli [scenario...] [--metrics] [--trace out.json]";
+  apply_log_level !log_level;
   let scenarios =
     match !names with
     | [] -> Scenarios.Registry.all
@@ -267,6 +320,7 @@ let run_scenarios args =
     scenarios;
   if !metrics then
     Fmt.pr "@.== metrics registry ==@.%a@." Obs.Metrics.pp Obs.Metrics.default;
+  write_prometheus !prometheus_file;
   if tracing then
     match Obs.Trace_event.write_file !trace_file (List.rev !roots) with
     | () ->

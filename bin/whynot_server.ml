@@ -24,6 +24,13 @@ let () =
   let timings = ref true in
   let max_conns = ref d.Serve.Server.max_connections in
   let max_request = ref d.Serve.Server.max_request_bytes in
+  let log_level = ref "" in
+  let log_json = ref "" in
+  let log_stderr = ref false in
+  let slow_ms = ref 0.0 in
+  let slo_ms = ref 0.0 in
+  let metrics_file = ref "" in
+  let metrics_interval = ref 5.0 in
   let spec =
     [
       ("-stdio", Arg.Set stdio, "serve requests from stdin, responses to stdout");
@@ -68,12 +75,87 @@ let () =
       ( "--max-request-bytes",
         Arg.Set_int max_request,
         "N  same as -max-request-bytes" );
+      ( "-log-level",
+        Arg.Set_string log_level,
+        "LEVEL  structured-log threshold: debug|info|warn|error|off \
+         (default info)" );
+      ("--log-level", Arg.Set_string log_level, "LEVEL  same as -log-level");
+      ( "-log-json",
+        Arg.Set_string log_json,
+        "FILE  append JSON-lines log records to FILE" );
+      ("--log-json", Arg.Set_string log_json, "FILE  same as -log-json");
+      ( "-log-stderr",
+        Arg.Set log_stderr,
+        "mirror log records to stderr as text" );
+      ("--log-stderr", Arg.Set log_stderr, " same as -log-stderr");
+      ( "-slow-ms",
+        Arg.Set_float slow_ms,
+        "MS  emit a serve.slow record for requests at or above MS (0 = off)" );
+      ("--slow-ms", Arg.Set_float slow_ms, "MS  same as -slow-ms");
+      ( "-slo-ms",
+        Arg.Set_float slo_ms,
+        "MS  explain-latency SLO threshold feeding serve.slo.{ok,breach} \
+         (0 = off)" );
+      ("--slo-ms", Arg.Set_float slo_ms, "MS  same as -slo-ms");
+      ( "-metrics-file",
+        Arg.Set_string metrics_file,
+        "FILE  periodically dump Prometheus-format metrics to FILE \
+         (atomic tmp+rename; final dump at exit)" );
+      ( "--metrics-file",
+        Arg.Set_string metrics_file,
+        "FILE  same as -metrics-file" );
+      ( "-metrics-interval",
+        Arg.Set_float metrics_interval,
+        "SEC  metrics dump period (default 5)" );
+      ( "--metrics-interval",
+        Arg.Set_float metrics_interval,
+        "SEC  same as -metrics-interval" );
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "whynot_server (--stdio | --unix PATH | --tcp PORT) [options]";
   at_exit Engine.Pool.shutdown_default;
+  (match String.lowercase_ascii !log_level with
+  | "" -> ()
+  | "off" | "none" -> Obs.Log.set_level None
+  | s -> (
+    match Obs.Log.level_of_string s with
+    | Some l -> Obs.Log.set_level (Some l)
+    | None ->
+      Fmt.epr "whynot_server: unknown log level %S (debug|info|warn|error|off)@."
+        s;
+      exit 2));
+  if !log_stderr then Obs.Log.add_sink "stderr" Obs.Log.stderr_text_sink;
+  (match !log_json with
+  | "" -> ()
+  | path ->
+    let oc = open_out path in
+    at_exit (fun () -> try close_out oc with Sys_error _ -> ());
+    Obs.Log.add_sink "json-file" (Obs.Log.json_line_sink oc));
+  (match !metrics_file with
+  | "" -> ()
+  | path ->
+    (* tmp+rename: a scraper reading FILE never sees a half-written
+       exposition *)
+    let dump () =
+      let tmp = path ^ ".tmp" in
+      let oc = open_out tmp in
+      output_string oc (Obs.Export.prometheus ());
+      close_out oc;
+      Sys.rename tmp path
+    in
+    let safe_dump () = try dump () with Sys_error _ -> () in
+    at_exit safe_dump;
+    let period = Float.max 0.1 !metrics_interval in
+    ignore
+      (Thread.create
+         (fun () ->
+           while true do
+             Thread.delay period;
+             safe_dump ()
+           done)
+         ()));
   let config =
     {
       Serve.Server.cache_capacity = !cache;
@@ -85,6 +167,8 @@ let () =
       timings = !timings;
       max_connections = !max_conns;
       max_request_bytes = !max_request;
+      slow_ms = (if !slow_ms > 0.0 then Some !slow_ms else None);
+      slo_ms = (if !slo_ms > 0.0 then Some !slo_ms else None);
     }
   in
   let server = Serve.Server.create ~config () in

@@ -36,7 +36,15 @@ let phase_at cursor parent name f =
   Fun.protect
     ~finally:(fun () ->
       cursor := Obs.Clock.now_ns ();
-      Obs.Span.finish ~at:!cursor sp)
+      Obs.Span.finish ~at:!cursor sp;
+      (* One Debug record per phase completion — with the ambient
+         trace_id stamped on it, a grep over the log stream replays a
+         request's per-phase path without walking the span tree. *)
+      Obs.Log.debug "pipeline.phase" (fun () ->
+          [
+            Obs.Log.str "phase" name;
+            Obs.Log.float "ms" (Obs.Span.duration_ms sp);
+          ]))
     (fun () -> f sp)
 
 (* Phase bodies are retryable tasks under [retry]: a body that raises
@@ -200,7 +208,13 @@ let record_run_metrics root ~sas ~explanations =
   Obs.Metrics.Counter.incr (Obs.Metrics.counter "pipeline.explains");
   Obs.Metrics.Counter.incr ~by:sas (Obs.Metrics.counter "pipeline.sas");
   Obs.Metrics.Counter.incr ~by:explanations
-    (Obs.Metrics.counter "pipeline.explanations")
+    (Obs.Metrics.counter "pipeline.explanations");
+  Obs.Log.debug "pipeline.done" (fun () ->
+      [
+        Obs.Log.float "ms" (Obs.Span.duration_ms root);
+        Obs.Log.int "sas" sas;
+        Obs.Log.int "explanations" explanations;
+      ])
 
 (* A cancelled run still leaves a well-formed (finished) span tree: the
    root is closed with a [cancelled_at] attribute naming the boundary

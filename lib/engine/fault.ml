@@ -74,6 +74,12 @@ let protect ?(policy = no_retry) ?(task = "task") ?(task_id = 0) ?abort
     | exception Transient inner ->
       if attempt >= max_attempts then begin
         Obs.Metrics.Counter.incr (Lazy.force exhausted_c);
+        Obs.Log.err "task.exhausted" (fun () ->
+            [
+              Obs.Log.str "task" task;
+              Obs.Log.int "attempts" attempt;
+              Obs.Log.str "error" (Printexc.to_string inner);
+            ]);
         raise (Exhausted { task; attempts = attempt; last = inner })
       end
       else begin
@@ -84,6 +90,12 @@ let protect ?(policy = no_retry) ?(task = "task") ?(task_id = 0) ?abort
         | Some abort_exn -> raise abort_exn
         | None ->
           Obs.Metrics.Counter.incr (Lazy.force retries_c);
+          Obs.Log.warn "task.retry" (fun () ->
+              [
+                Obs.Log.str "task" task;
+                Obs.Log.int "attempt" (attempt + 1);
+                Obs.Log.str "error" (Printexc.to_string inner);
+              ]);
           (match on_retry with
           | Some cb -> cb ~attempt:(attempt + 1) inner
           | None -> ());

@@ -108,6 +108,11 @@ let submit ?abort (pool : t) (f : unit -> 'a) : 'a future =
   let fut =
     { pool; fmutex = Mutex.create (); fdone = Condition.create (); state = Pending }
   in
+  (* The submitter's ambient trace context travels with the job: the
+     worker domain (or a helping awaiter, or the inline-fallback path)
+     reinstalls it around the run, so spans and log records emitted
+     inside pooled work carry the request's trace_id. *)
+  let trace = Obs.Trace_context.current () in
   let job () =
     (* The abort hook runs at the queued→running edge: a job whose
        submitter no longer wants it (deadline lapsed, run cancelled)
@@ -115,10 +120,11 @@ let submit ?abort (pool : t) (f : unit -> 'a) : 'a future =
        itself raises also fails the future — nothing may escape into the
        worker loop holding an unresolved future. *)
     let outcome =
-      match (match abort with Some a -> a () | None -> None) with
-      | Some e -> Failed e
-      | None -> ( match f () with v -> Done v | exception e -> Failed e)
-      | exception e -> Failed e
+      Obs.Trace_context.with_opt trace (fun () ->
+          match (match abort with Some a -> a () | None -> None) with
+          | Some e -> Failed e
+          | None -> ( match f () with v -> Done v | exception e -> Failed e)
+          | exception e -> Failed e)
     in
     Mutex.lock fut.fmutex;
     fut.state <- outcome;

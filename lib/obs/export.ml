@@ -1,0 +1,86 @@
+(* Metrics export: Prometheus text exposition format and a JSON
+   snapshot of the registry.
+
+   The registry's dotted names ("serve.sched.wait_ms") are sanitized to
+   Prometheus identifiers ("serve_sched_wait_ms"); counters get the
+   conventional `_total` suffix.  Histograms are exposed in cumulative
+   `_bucket{le="..."}` form (only non-empty buckets — the log scale has
+   1024 of them, nearly all idle) plus `_sum` and `_count`.
+
+   Rendering takes one pass over a {!Metrics.snapshot}-style read of
+   each metric; nothing here locks the registry for the duration of the
+   render, so a scrape never stalls the serving path. *)
+
+open Nested
+
+let sanitize_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+      | _ -> Bytes.set b i '_')
+    b;
+  let s = Bytes.to_string b in
+  match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s | exception _ -> "_"
+
+(* %g loses no precision a scrape cares about and keeps the golden test
+   stable across platforms; infinities use Prometheus spellings. *)
+let render_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Fmt.str "%d" (int_of_float f)
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else Fmt.str "%.9g" f
+
+let prometheus_of (registry : Metrics.t) : string =
+  let buf = Buffer.create 1024 in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun (name, m) ->
+      let pname = sanitize_name name in
+      match m with
+      | `Counter c ->
+        line "# TYPE %s_total counter" pname;
+        line "%s_total %d" pname (Metrics.Counter.value c)
+      | `Gauge g ->
+        line "# TYPE %s gauge" pname;
+        line "%s %s" pname (render_float (Metrics.Gauge.value g))
+      | `Histogram h ->
+        let s = Metrics.Histogram.summary h in
+        line "# TYPE %s histogram" pname;
+        List.iter
+          (fun (le, cum) ->
+            line "%s_bucket{le=\"%s\"} %d" pname (render_float le) cum)
+          (Metrics.Histogram.cumulative_buckets h);
+        line "%s_bucket{le=\"+Inf\"} %d" pname s.Metrics.Histogram.count;
+        line "%s_sum %s" pname (render_float s.Metrics.Histogram.sum);
+        line "%s_count %d" pname s.Metrics.Histogram.count)
+    (Metrics.metrics registry);
+  Buffer.contents buf
+
+let prometheus () = prometheus_of Metrics.default
+
+let summary_to_json (s : Metrics.Histogram.summary) : Json.json =
+  Json.J_object
+    [
+      ("count", Json.J_int s.Metrics.Histogram.count);
+      ("sum", Json.J_float s.Metrics.Histogram.sum);
+      ("min", Json.J_float s.Metrics.Histogram.min);
+      ("max", Json.J_float s.Metrics.Histogram.max);
+      ("p50", Json.J_float s.Metrics.Histogram.p50);
+      ("p95", Json.J_float s.Metrics.Histogram.p95);
+    ]
+
+let json_of (registry : Metrics.t) : Json.json =
+  Json.J_object
+    (List.map
+       (fun (name, entry) ->
+         ( name,
+           match entry with
+           | `Counter v -> Json.J_int v
+           | `Gauge v -> Json.J_float v
+           | `Histogram s -> summary_to_json s ))
+       (Metrics.snapshot registry))
+
+let json () = json_of Metrics.default

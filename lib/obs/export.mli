@@ -1,0 +1,23 @@
+(** Metrics export — Prometheus text exposition and a JSON snapshot.
+
+    Dotted registry names are sanitized to Prometheus identifiers
+    ([serve.sched.wait_ms] → [serve_sched_wait_ms]); counters are
+    rendered with the conventional [_total] suffix; histograms are
+    exposed in cumulative [_bucket{le="..."}] form (non-empty buckets
+    only, plus the [+Inf] bucket) with [_sum] and [_count].
+
+    Each metric is read atomically but the render itself holds no
+    registry-wide lock, so a scrape never stalls the serving path. *)
+
+(** Prometheus text exposition (version 0.0.4) of a registry. *)
+val prometheus_of : Metrics.t -> string
+
+(** {!prometheus_of} on {!Metrics.default}. *)
+val prometheus : unit -> string
+
+(** JSON object keyed by (unsanitized) metric name: counters as ints,
+    gauges as floats, histograms as [{count,sum,min,max,p50,p95}]. *)
+val json_of : Metrics.t -> Nested.Json.json
+
+(** {!json_of} on {!Metrics.default}. *)
+val json : unit -> Nested.Json.json

@@ -128,6 +128,26 @@ module Histogram = struct
 
   let percentile h q = protect h (fun () -> percentile_unlocked h q)
 
+  (* Upper bound of bucket [i] on the log scale — the `le` edge of the
+     Prometheus exposition. *)
+  let upper_bound i =
+    if i = 0 then 1.0 else Float.pow ratio (float_of_int i)
+
+  (* Non-empty buckets as (le upper bound, cumulative count) pairs, in
+     increasing le order — the cumulative form Prometheus histograms
+     are exposed in.  The +Inf bucket is the exporter's to add. *)
+  let cumulative_buckets h =
+    protect h (fun () ->
+        let acc = ref 0 and out = ref [] in
+        Array.iteri
+          (fun i n ->
+            if n > 0 then begin
+              acc := !acc + n;
+              out := (upper_bound i, !acc) :: !out
+            end)
+          h.buckets;
+        List.rev !out)
+
   let reset h =
     protect h (fun () ->
         Array.fill h.buckets 0 n_buckets 0;
@@ -216,6 +236,27 @@ let metrics r =
              in
              (k, v) :: acc)
            r.tbl []))
+
+(* [reset] under its historical name plus the name tests reach for: one
+   call zeroes every registered metric (registrations survive), instead
+   of tests chasing individual counters with per-metric resets. *)
+let reset_all r = reset r
+
+type snapshot_entry =
+  [ `Counter of int | `Gauge of float | `Histogram of Histogram.summary ]
+
+(* A point-in-time copy of every metric's value, sorted by name — what
+   the JSON export and test assertions read, so they never hold live
+   metric handles across a reset. *)
+let snapshot r : (string * snapshot_entry) list =
+  List.map
+    (fun (name, m) ->
+      ( name,
+        match m with
+        | `Counter c -> `Counter (Counter.value c)
+        | `Gauge g -> `Gauge (Gauge.value g)
+        | `Histogram h -> `Histogram (Histogram.summary h) ))
+    (metrics r)
 
 let pp ppf r =
   let pp_metric ppf (name, m) =

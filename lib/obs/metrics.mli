@@ -47,7 +47,15 @@ module Histogram : sig
   (** [percentile h q] for [q] in [0,1]. *)
   val percentile : t -> float -> float
 
+  (** Non-empty buckets as [(le, cumulative_count)] pairs in increasing
+      [le] order — the cumulative form of the Prometheus exposition
+      (the [+Inf] bucket is the exporter's to add). *)
+  val cumulative_buckets : t -> (float * int) list
+
+  (** Zero counts, sum, and the observed min/max (so post-reset
+      percentile clamping never uses stale bounds). *)
   val reset : t -> unit
+
   val name : t -> string
 end
 
@@ -66,8 +74,19 @@ val histogram : ?registry:t -> string -> Histogram.t
 (** Zero every metric, keeping registrations. *)
 val reset : t -> unit
 
+(** Synonym of {!reset}, named for what it does: one call zeroes the
+    whole registry — use this in tests instead of chasing individual
+    metrics with per-metric resets. *)
+val reset_all : t -> unit
+
 (** Drop all registrations. *)
 val clear : t -> unit
+
+type snapshot_entry =
+  [ `Counter of int | `Gauge of float | `Histogram of Histogram.summary ]
+
+(** A point-in-time copy of every metric's value, sorted by name. *)
+val snapshot : t -> (string * snapshot_entry) list
 
 (** All metrics, sorted by name. *)
 val metrics :

@@ -33,6 +33,10 @@ let protect f =
 let next_id = ref 0
 
 let start ?parent ?at name =
+  (* Read the ambient trace context before taking the span lock: the
+     two mutexes stay un-nested.  Requests tag every span they open, so
+     one grep over an exported trace isolates one request's spans. *)
+  let trace = Trace_context.current () in
   protect (fun () ->
       let id = !next_id in
       incr next_id;
@@ -54,7 +58,10 @@ let start ?parent ?at name =
           parent_id = Option.map (fun p -> p.id) parent;
           start_ns;
           end_ns = None;
-          attrs = [];
+          attrs =
+            (match trace with
+            | Some t -> [ ("trace_id", String t) ]
+            | None -> []);
           rev_children = [];
         }
       in

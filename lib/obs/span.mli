@@ -19,7 +19,11 @@ type t
     overrides the start timestamp (ns) — callers use it to tile sibling
     spans wall-to-wall, so clock reads and span bookkeeping between
     phases are charged to a phase instead of falling into gaps; it is
-    clamped to the parent's start. *)
+    clamped to the parent's start.
+
+    When an ambient {!Trace_context} is installed (the serve tier does
+    this per request), the new span is born with a [trace_id] string
+    attribute — every span a request opens carries its id. *)
 val start : ?parent:t -> ?at:int -> string -> t
 
 (** Stop the span now (or at the explicit [?at] nanosecond timestamp,
@@ -76,3 +80,5 @@ val sum_duration_ms_named : string -> t -> float
 (** Box-drawing pretty-printer for a span tree with durations and
     attributes. *)
 val pp_tree : Format.formatter -> t -> unit
+
+val pp_value : Format.formatter -> value -> unit

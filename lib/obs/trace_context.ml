@@ -1,0 +1,92 @@
+(* Request-scoped trace context: the ambient trace id of the work the
+   current thread is doing.
+
+   The serve layer installs a trace id around each protocol request;
+   everything downstream — spans ({!Span.start} tags roots and children
+   alike), log records ({!Log} stamps every record), task retries —
+   reads it back ambiently, so no signature between the server and the
+   engine has to grow a [?trace_id] parameter.
+
+   Storage is keyed by ⟨domain id, thread id⟩, not by domain alone:
+   the server runs one *systhread* per connection and all connection
+   threads of one domain would otherwise share (and clobber) a single
+   slot.  {!Engine.Pool.submit} captures the submitting thread's
+   context and re-installs it around the job on the worker domain, so
+   the context follows a request across the pool boundary. *)
+
+type key = int * int
+
+let key () : key =
+  ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+let lock = Mutex.create ()
+let table : (key, string) Hashtbl.t = Hashtbl.create 16
+
+let protect f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let current () = protect (fun () -> Hashtbl.find_opt table (key ()))
+
+let set id =
+  protect (fun () ->
+      let k = key () in
+      match id with
+      | Some id -> Hashtbl.replace table k id
+      | None -> Hashtbl.remove table k)
+
+let with_opt id f =
+  let k = key () in
+  let prev = protect (fun () -> Hashtbl.find_opt table k) in
+  protect (fun () ->
+      match id with
+      | Some id -> Hashtbl.replace table k id
+      | None -> Hashtbl.remove table k);
+  Fun.protect
+    ~finally:(fun () ->
+      protect (fun () ->
+          match prev with
+          | Some p -> Hashtbl.replace table k p
+          | None -> Hashtbl.remove table k))
+    f
+
+let with_id id f = with_opt (Some id) f
+
+(* -- id generation -------------------------------------------------------- *)
+
+(* Fresh ids are 16 hex chars from a splitmix64 stream seeded once per
+   process from the clock and the pid — unique across a fleet with very
+   high probability, and cheap (one fetch_and_add + a few mixes). *)
+
+let seed =
+  lazy
+    (Int64.logxor
+       (Int64.of_int (Clock.now_ns ()))
+       (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (Unix.getpid ()))))
+
+let counter = Atomic.make 0
+
+let splitmix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let make () =
+  let n = Atomic.fetch_and_add counter 1 in
+  let z =
+    splitmix64
+      (Int64.add (Lazy.force seed)
+         (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (n + 1))))
+  in
+  Printf.sprintf "%016Lx" z
+
+(* Client-supplied ids must be greppable tokens, not payloads: bounded
+   length, no whitespace, no quoting hazards. *)
+let is_valid id =
+  let n = String.length id in
+  n >= 1 && n <= 64
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | ':' -> true
+         | _ -> false)
+       id

@@ -1,0 +1,38 @@
+(** Request-scoped trace context — the ambient trace id of the work the
+    current thread is doing.
+
+    A trace id is an opaque string token (see {!is_valid}) that follows
+    one request through the serve tier, the pipeline, and the engine.
+    The context is keyed per ⟨domain, thread⟩, so concurrent connection
+    threads and pool worker domains never observe each other's ids;
+    {!Engine.Pool.submit} captures the submitter's context and
+    re-installs it around the job, which is how the id crosses the pool
+    boundary onto worker domains.
+
+    Consumers read it back ambiently: {!Span.start} tags new spans with
+    [trace_id], {!Log} stamps every record, and the engine's retry path
+    attributes re-attempts — so a single grep for one trace id over the
+    JSON log stream reconstructs the request's full path. *)
+
+(** The current thread's trace id, if one is installed. *)
+val current : unit -> string option
+
+(** [with_id id f] runs [f] with [id] installed as the current trace
+    id, restoring the previous context (even on raise). *)
+val with_id : string -> (unit -> 'a) -> 'a
+
+(** [with_opt None f] runs [f] with no ambient context (clearing any);
+    [with_opt (Some id) f] = [with_id id f].  Used to transplant a
+    captured context ({!current}) onto another thread. *)
+val with_opt : string option -> (unit -> 'a) -> 'a
+
+(** Imperatively install ([Some id]) or clear ([None]) the context —
+    prefer {!with_id}, which restores on exit. *)
+val set : string option -> unit
+
+(** A fresh 16-hex-char id (splitmix64 stream seeded per process). *)
+val make : unit -> string
+
+(** Accept tokens of 1–64 chars from [[A-Za-z0-9._:-]] — greppable,
+    quotable, no whitespace. *)
+val is_valid : string -> bool

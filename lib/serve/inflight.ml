@@ -8,7 +8,14 @@
 
 type 'v outcome = Pending | Resolved of ('v, exn) result
 
-type 'v entry = { cond : Condition.t; mutable outcome : 'v outcome }
+type 'v entry = {
+  cond : Condition.t;
+  leader_trace : string option;
+      (* the leader's ambient trace at entry creation — followers report
+         it so a coalesced request's log line names whose execution it
+         rode *)
+  mutable outcome : 'v outcome;
+}
 
 type 'v t = {
   name : string;
@@ -19,7 +26,7 @@ type 'v t = {
   mutable failures_n : int;
 }
 
-type role = Leader | Follower
+type role = Leader | Follower of { leader_trace : string option }
 
 let metric t suffix =
   Obs.Metrics.counter ("serve.inflight." ^ t.name ^ "." ^ suffix)
@@ -35,6 +42,9 @@ let create ?(name = "default") () =
   }
 
 let run t key (f : unit -> 'v) : role * ('v, exn) result =
+  (* read the ambient trace before taking the table mutex — mutexes stay
+     un-nested *)
+  let my_trace = Obs.Trace_context.current () in
   Mutex.lock t.mutex;
   match Hashtbl.find_opt t.table key with
   | Some entry ->
@@ -52,9 +62,11 @@ let run t key (f : unit -> 'v) : role * ('v, exn) result =
     let r = awaited () in
     Mutex.unlock t.mutex;
     Obs.Metrics.Counter.incr (metric t "coalesced");
-    (Follower, r)
+    (Follower { leader_trace = entry.leader_trace }, r)
   | None ->
-    let entry = { cond = Condition.create (); outcome = Pending } in
+    let entry =
+      { cond = Condition.create (); leader_trace = my_trace; outcome = Pending }
+    in
     Hashtbl.replace t.table key entry;
     t.leaders_n <- t.leaders_n + 1;
     Mutex.unlock t.mutex;

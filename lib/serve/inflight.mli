@@ -20,7 +20,10 @@ type 'v t
 
 val create : ?name:string -> unit -> 'v t
 
-type role = Leader | Follower
+(** A follower carries the leader's ambient {!Obs.Trace_context} (as of
+    entry creation) — the serve layer logs it so a coalesced request's
+    record names whose execution it rode. *)
+type role = Leader | Follower of { leader_trace : string option }
 
 (** [run t key f] — see the module header.  The result is the leader's
     [f ()] outcome; [Error e] when it raised [e]. *)

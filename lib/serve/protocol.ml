@@ -28,8 +28,11 @@ type request =
       deadline_ms : float option;
     }
   | Stats
+  | Telemetry of { format : [ `Prometheus | `Json ] }
   | Evict of { dataset : string option; scale : int; seed : int; cache : bool }
   | Shutdown
+
+type envelope = { req : request; trace_id : string option }
 
 (* -- request parsing ----------------------------------------------------- *)
 
@@ -121,6 +124,14 @@ let request_of_json (j : Json.json) : (request, string) result =
              deadline_ms = get_float_opt "deadline_ms" j;
            })
     | Some "stats" -> Ok Stats
+    | Some "telemetry" ->
+      let format =
+        match get_string "format" j with
+        | None | Some "prometheus" -> `Prometheus
+        | Some "json" -> `Json
+        | Some f -> bad "unknown telemetry format %S (prometheus|json)" f
+      in
+      Ok (Telemetry { format })
     | Some "evict" ->
       Ok
         (Evict
@@ -138,6 +149,30 @@ let request_of_string line =
   match Json.of_string line with
   | exception Json.Parse_error m -> Error ("invalid JSON: " ^ m)
   | j -> request_of_json j
+
+(* A client-supplied trace id rides in the optional "trace_id" field —
+   validated (so a hostile id cannot smuggle spaces or quotes into log
+   lines) and echoed verbatim on the response. *)
+let envelope_of_json (j : Json.json) : (envelope, string) result =
+  match
+    match get_string "trace_id" j with
+    | None -> Ok None
+    | Some t when Obs.Trace_context.is_valid t -> Ok (Some t)
+    | Some t ->
+      Error
+        (Fmt.str "invalid \"trace_id\" %S (1-64 chars of [A-Za-z0-9._:-])" t)
+  with
+  | exception Bad m -> Error m
+  | Error m -> Error m
+  | Ok trace_id -> (
+    match request_of_json j with
+    | Ok req -> Ok { req; trace_id }
+    | Error m -> Error m)
+
+let envelope_of_string line =
+  match Json.of_string line with
+  | exception Json.Parse_error m -> Error ("invalid JSON: " ^ m)
+  | j -> envelope_of_json j
 
 (* -- responses ----------------------------------------------------------- *)
 
@@ -174,6 +209,7 @@ type response =
       result : Json.json;
     }
   | Stats_reply of (string * Json.json) list
+  | Telemetry_reply of { format : [ `Prometheus | `Json ]; metrics : Json.json }
   | Evicted of { datasets : int; cache_entries : int }
   | Error of { code : error_code; message : string }
   | Goodbye
@@ -212,6 +248,16 @@ let response_to_json = function
   | Stats_reply sections ->
     Json.J_object
       (("ok", Json.J_bool true) :: ("type", Json.J_string "stats") :: sections)
+  | Telemetry_reply { format; metrics } ->
+    Json.J_object
+      [
+        ("ok", Json.J_bool true);
+        ("type", Json.J_string "telemetry");
+        ( "format",
+          Json.J_string
+            (match format with `Prometheus -> "prometheus" | `Json -> "json") );
+        ("metrics", metrics);
+      ]
   | Evicted { datasets; cache_entries } ->
     Json.J_object
       [
@@ -231,7 +277,17 @@ let response_to_json = function
   | Goodbye ->
     Json.J_object [ ("ok", Json.J_bool true); ("type", Json.J_string "goodbye") ]
 
-let response_to_string r = Json.to_line (response_to_json r)
+(* [?trace_id] (the client-supplied id, when there was one) is echoed as
+   a trailing "trace_id" field — last, so transcripts without ids are
+   byte-identical to the pre-telemetry protocol. *)
+let response_to_json ?trace_id r =
+  let j = response_to_json r in
+  match (trace_id, j) with
+  | Some t, Json.J_object fields ->
+    Json.J_object (fields @ [ ("trace_id", Json.J_string t) ])
+  | _ -> j
+
+let response_to_string ?trace_id r = Json.to_line (response_to_json ?trace_id r)
 
 let bad_request message = Error { code = Bad_request; message }
 let not_found message = Error { code = Not_found; message }

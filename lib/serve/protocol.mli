@@ -13,9 +13,18 @@
        "deadline_ms":500}] — [query]/[whynot] default to the scenario's
       own question
     - [{"op":"stats"}]
+    - [{"op":"telemetry","format":"prometheus"}] (or ["json"]) — metrics
+      export
     - [{"op":"evict","dataset":"D1","scale":2}] /
       [{"op":"evict","cache":true}]
     - [{"op":"shutdown"}]
+
+    Any request may carry an optional ["trace_id"] (1–64 chars of
+    [A-Za-z0-9._:-]): the server adopts it as the request's trace
+    context (all spans and log records it produces carry it) and echoes
+    it as a trailing ["trace_id"] field on the response.  Requests
+    without one get a server-generated id — used in logs, {e not}
+    echoed, so id-less transcripts stay deterministic.
 
     Every response carries ["ok"] and ["type"]; failures are
     [{"ok":false,"type":"error","code":...,"message":...}] with code one
@@ -46,6 +55,7 @@ type request =
       deadline_ms : float option;
     }
   | Stats
+  | Telemetry of { format : [ `Prometheus | `Json ] }
   | Evict of {
       dataset : string option;  (** [None] with [cache] clears caches only *)
       scale : int;
@@ -54,10 +64,19 @@ type request =
     }
   | Shutdown
 
+(** A request plus its optional client-supplied trace id. *)
+type envelope = { req : request; trace_id : string option }
+
 (** Parse one request line.  [Error] is a bad-request message. *)
 val request_of_string : string -> (request, string) result
 
 val request_of_json : Json.json -> (request, string) result
+
+(** Like {!request_of_string}, also extracting (and validating — see
+    {!Obs.Trace_context.is_valid}) the optional ["trace_id"] field. *)
+val envelope_of_string : string -> (envelope, string) result
+
+val envelope_of_json : Json.json -> (envelope, string) result
 
 type error_code =
   | Bad_request
@@ -90,14 +109,21 @@ type response =
       result : Json.json;  (** {!Codec.result_to_json} payload *)
     }
   | Stats_reply of (string * Json.json) list  (** named stat sections *)
+  | Telemetry_reply of {
+      format : [ `Prometheus | `Json ];
+      metrics : Json.json;
+          (** Prometheus: a [J_string] holding the text exposition;
+              JSON: the {!Obs.Export.json} object *)
+    }
   | Evicted of { datasets : int; cache_entries : int }
   | Error of { code : error_code; message : string }
   | Goodbye
 
-(** One line, no embedded newlines. *)
-val response_to_string : response -> string
+(** One line, no embedded newlines.  [?trace_id] (the id the client
+    supplied, if any) is appended as a trailing ["trace_id"] field. *)
+val response_to_string : ?trace_id:string -> response -> string
 
-val response_to_json : response -> Json.json
+val response_to_json : ?trace_id:string -> response -> Json.json
 
 (** Convenience constructors for error responses. *)
 val bad_request : string -> response

@@ -114,6 +114,8 @@ let submit t ?deadline_ms (f : Whynot.Cancel.t -> 'a) :
     t.rejected_n <- t.rejected_n + 1;
     Mutex.unlock t.mutex;
     Obs.Metrics.Counter.incr (Lazy.force rejected);
+    Obs.Log.warn "sched.reject" (fun () ->
+        [ Obs.Log.int "depth" d; Obs.Log.int "capacity" t.capacity ]);
     Error (Overloaded { depth = d; capacity = t.capacity })
   end
   else begin
@@ -122,6 +124,8 @@ let submit t ?deadline_ms (f : Whynot.Cancel.t -> 'a) :
     set_depth_gauge t;
     Mutex.unlock t.mutex;
     Obs.Metrics.Counter.incr (Lazy.force submitted);
+    Obs.Log.debug "sched.admit" (fun () ->
+        [ Obs.Log.int "depth" (t.depth); Obs.Log.int "capacity" t.capacity ]);
     let admitted_ns = Obs.Clock.now_ns () in
     (* the execution budget is anchored at admission, so time spent
        queued behind other requests counts against it *)
@@ -138,6 +142,13 @@ let submit t ?deadline_ms (f : Whynot.Cancel.t -> 'a) :
       Mutex.lock t.mutex;
       t.expired_n <- t.expired_n + 1;
       Mutex.unlock t.mutex;
+      Obs.Log.warn "sched.expired" (fun () ->
+          [
+            Obs.Log.float "waited_ms" elapsed_ms;
+            Obs.Log.float "deadline_ms" budget;
+            Obs.Log.str "phase"
+              (match phase with Some p -> p | None -> "queued");
+          ]);
       Error
         (Deadline_exceeded { waited_ms = elapsed_ms; deadline_ms = budget; phase })
     in
@@ -172,6 +183,12 @@ let submit t ?deadline_ms (f : Whynot.Cancel.t -> 'a) :
               Mutex.lock t.mutex;
               t.faulted_n <- t.faulted_n + 1;
               Mutex.unlock t.mutex;
+              Obs.Log.warn "sched.faulted" (fun () ->
+                  [
+                    Obs.Log.str "task" task;
+                    Obs.Log.int "attempts" attempts;
+                    Obs.Log.str "error" (Printexc.to_string last);
+                  ]);
               Error
                 (Faulted
                    { task; attempts; message = Printexc.to_string last })

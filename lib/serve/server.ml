@@ -43,6 +43,8 @@ type config = {
   timings : bool;
   max_connections : int;
   max_request_bytes : int;
+  slow_ms : float option;
+  slo_ms : float option;
 }
 
 let default_config =
@@ -56,6 +58,8 @@ let default_config =
     timings = true;
     max_connections = 64;
     max_request_bytes = 1 lsl 20;
+    slow_ms = None;
+    slo_ms = None;
   }
 
 (* Socket-transport lifecycle: the stop flag, the set of open connection
@@ -74,7 +78,14 @@ type t = {
   explain_cache : Json.json Cache.t;
   handle_cache : Whynot.Pipeline.handle Cache.t;
   explain_flight :
-    (Json.json * [ `Hit | `Miss | `Handle ], Scheduler.error) result Inflight.t;
+    ( Json.json
+      * [ `Hit | `Miss | `Handle ]
+      * ((string * float) list * int) option,
+      (* the leader's own per-phase durations (ms) and retry count, for
+         slow-query attribution — [None] on cache hits *)
+      Scheduler.error )
+    result
+    Inflight.t;
   handle_flight : (Whynot.Pipeline.handle * bool) Inflight.t;
   scheduler : Scheduler.t;
   lifecycle : lifecycle;
@@ -204,13 +215,19 @@ let handle_register t ~dataset ~scale ~seed ~refresh : Protocol.response =
         tables = entry.Catalog.tables;
       }
 
+(* The second component feeds the slow-query record: the leader's own
+   per-phase durations and retry count when this request actually ran
+   the pipeline, [None] for cache hits, coalesced followers, and
+   errors. *)
 let handle_explain t ~dataset ~scale ~seed ~query ~pattern
-    ~(options : Protocol.explain_options) ~deadline_ms : Protocol.response =
+    ~(options : Protocol.explain_options) ~deadline_ms :
+    Protocol.response * ((string * float) list * int) option =
   match Catalog.find t.catalog ~seed ~name:dataset ~scale () with
   | None ->
-    Protocol.not_found
-      (Fmt.str "dataset %S (scale %d, seed %d) is not registered — send a \
-                register request first" dataset scale seed)
+    ( Protocol.not_found
+        (Fmt.str "dataset %S (scale %d, seed %d) is not registered — send a \
+                  register request first" dataset scale seed),
+      None )
   | Some entry ->
     let inst = entry.Catalog.instance in
     let phi0 = inst.Scenarios.Scenario.question in
@@ -224,7 +241,8 @@ let handle_explain t ~dataset ~scale ~seed ~query ~pattern
     let alternatives = inst.Scenarios.Scenario.alternatives in
     let phi = Whynot.Question.make ~query:q ~db ~missing in
     (match Whynot.Question.check_missing phi with
-    | Error msg -> Protocol.bad_request ("invalid why-not question: " ^ msg)
+    | Error msg ->
+      (Protocol.bad_request ("invalid why-not question: " ^ msg), None)
     | Ok () ->
       let dskey = dataset_key entry.Catalog.key in
       let version = entry.Catalog.version in
@@ -238,16 +256,17 @@ let handle_explain t ~dataset ~scale ~seed ~query ~pattern
       bump t (fun t -> t.explains <- t.explains + 1);
       (match Cache.find t.explain_cache ekey with
       | Some payload ->
-        Protocol.Explained
-          { dataset = entry.Catalog.key.Catalog.name; version; cache = `Hit;
-            result = payload }
+        ( Protocol.Explained
+            { dataset = entry.Catalog.key.Catalog.name; version; cache = `Hit;
+              result = payload },
+          None )
       | None ->
         (* Single-flight: concurrent misses on this key share one
            computation.  The leader re-checks the cache (its miss may be
            stale by the time it wins leadership), then schedules the
            pipeline; followers just wait for the leader's outcome. *)
         let job (cancel : Whynot.Cancel.t) =
-          Faultinject.fire "server.explain";
+          Obs.Faultinject.fire "server.explain";
           let hkey =
             prefix
             ^ Fingerprint.prepare_key ~dataset:dskey ~version ~options:fpo
@@ -279,7 +298,7 @@ let handle_explain t ~dataset ~scale ~seed ~query ~pattern
               in
               match (role, r) with
               | _, Error e -> raise e
-              | Inflight.Follower, Ok (h, _) -> (h, true)
+              | Inflight.Follower _, Ok (h, _) -> (h, true)
               | Inflight.Leader, Ok (h, fresh) -> (h, not fresh))
           in
           let result =
@@ -292,37 +311,66 @@ let handle_explain t ~dataset ~scale ~seed ~query ~pattern
           in
           let payload = Codec.result_to_json ~timings:t.cfg.timings result in
           Cache.add t.explain_cache ekey payload;
-          (payload, if reused_handle then `Handle else `Miss)
+          (* Retries leave an [attempt] attribute (= total attempts) on
+             the retried phase spans — summed here into the run's retry
+             count for the slow-query disposition. *)
+          let retries =
+            Obs.Span.fold
+              (fun acc sp ->
+                match Obs.Span.attr sp "attempt" with
+                | Some (Obs.Span.Int n) -> acc + (n - 1)
+                | _ -> acc)
+              0 result.Whynot.Pipeline.span
+          in
+          let phases = Whynot.Pipeline.phase_durations_ms result in
+          ( payload,
+            (if reused_handle then `Handle else `Miss),
+            Some (phases, retries) )
         in
         let role, outcome =
           Inflight.run t.explain_flight ekey (fun () ->
               match Cache.find t.explain_cache ekey with
-              | Some payload -> Ok (payload, `Hit)
+              | Some payload -> Ok (payload, `Hit, None)
               | None -> Scheduler.run t.scheduler ?deadline_ms job)
         in
+        (* A coalesced request names whose execution it rode — the one
+           cross-trace edge a per-trace grep cannot see on its own. *)
+        (match role with
+        | Inflight.Follower { leader_trace = Some leader } ->
+          Obs.Log.info "serve.coalesced" (fun () ->
+              [ Obs.Log.str "leader_trace" leader ])
+        | Inflight.Follower { leader_trace = None } ->
+          Obs.Log.info "serve.coalesced" (fun () -> [])
+        | Inflight.Leader -> ());
         (match outcome with
         | Error e -> raise e
-        | Ok (Ok (payload, source)) ->
-          let cache =
+        | Ok (Ok (payload, source, run_info)) ->
+          let cache, run_info =
             match role with
-            | Inflight.Follower -> `Coalesced
-            | Inflight.Leader -> (source :> [ `Hit | `Miss | `Handle | `Coalesced ])
+            | Inflight.Follower _ -> (`Coalesced, None)
+            | Inflight.Leader ->
+              ((source :> [ `Hit | `Miss | `Handle | `Coalesced ]), run_info)
           in
-          Protocol.Explained
-            { dataset = entry.Catalog.key.Catalog.name; version; cache;
-              result = payload }
+          ( Protocol.Explained
+              { dataset = entry.Catalog.key.Catalog.name; version; cache;
+                result = payload },
+            run_info )
         | Ok (Error (Scheduler.Overloaded _ as e)) ->
-          Protocol.Error
-            { code = Protocol.Overloaded; message = Scheduler.error_to_string e }
+          ( Protocol.Error
+              { code = Protocol.Overloaded; message = Scheduler.error_to_string e },
+            None )
         | Ok (Error (Scheduler.Deadline_exceeded _ as e)) ->
-          Protocol.Error
-            {
-              code = Protocol.Deadline_exceeded;
-              message = Scheduler.error_to_string e;
-            }
+          ( Protocol.Error
+              {
+                code = Protocol.Deadline_exceeded;
+                message = Scheduler.error_to_string e;
+              },
+            None )
         | Ok (Error (Scheduler.Faulted _ as e)) ->
-          Protocol.Error
-            { code = Protocol.Task_failed; message = Scheduler.error_to_string e })))
+          ( Protocol.Error
+              { code = Protocol.Task_failed;
+                message = Scheduler.error_to_string e },
+            None ))))
 
 let cache_stats_json (s : Cache.stats) =
   Json.J_object
@@ -340,6 +388,16 @@ let inflight_stats_json (s : Inflight.stats) =
       ("leaders", Json.J_int s.Inflight.leaders);
       ("coalesced", Json.J_int s.Inflight.coalesced);
       ("failures", Json.J_int s.Inflight.failures);
+    ]
+
+let latency_summary_json (h : Obs.Metrics.Histogram.t) =
+  let s = Obs.Metrics.Histogram.summary h in
+  Json.J_object
+    [
+      ("count", Json.J_int s.Obs.Metrics.Histogram.count);
+      ("p50", Json.J_float s.Obs.Metrics.Histogram.p50);
+      ("p95", Json.J_float s.Obs.Metrics.Histogram.p95);
+      ("max", Json.J_float s.Obs.Metrics.Histogram.max);
     ]
 
 let handle_stats t : Protocol.response =
@@ -395,6 +453,18 @@ let handle_stats t : Protocol.response =
             ("depth", Json.J_int sched.Scheduler.depth);
             ("capacity", Json.J_int sched.Scheduler.capacity);
           ] );
+      ( "latency",
+        (* histogram summaries of queue wait and end-to-end explain
+           latency (find-or-create: all-zero before the first explain) *)
+        Json.J_object
+          [
+            ( "sched_wait_ms",
+              latency_summary_json (Obs.Metrics.histogram "serve.sched.wait_ms")
+            );
+            ( "explain_ms",
+              latency_summary_json
+                (Obs.Metrics.histogram "serve.explain.latency_ms") );
+          ] );
     ]
 
 let handle_evict t ~dataset ~scale ~seed ~cache : Protocol.response =
@@ -421,30 +491,125 @@ let handle_evict t ~dataset ~scale ~seed ~cache : Protocol.response =
   Protocol.Evicted
     { datasets; cache_entries = dropped_for_dataset + dropped_for_cache }
 
-let handle_request t (req : Protocol.request) : Protocol.response =
+let handle_telemetry (format : [ `Prometheus | `Json ]) : Protocol.response =
+  let metrics =
+    match format with
+    | `Prometheus -> Json.J_string (Obs.Export.prometheus ())
+    | `Json -> Obs.Export.json ()
+  in
+  Protocol.Telemetry_reply { format; metrics }
+
+let op_name = function
+  | Protocol.Register _ -> "register"
+  | Protocol.Explain _ -> "explain"
+  | Protocol.Stats -> "stats"
+  | Protocol.Telemetry _ -> "telemetry"
+  | Protocol.Evict _ -> "evict"
+  | Protocol.Shutdown -> "shutdown"
+
+(* How the request was answered, for the response/slow-query records:
+   the cache disposition of an explain, or the error code. *)
+let disposition = function
+  | Protocol.Explained { cache; _ } ->
+    Some
+      (match cache with
+      | `Hit -> "hit"
+      | `Miss -> "miss"
+      | `Handle -> "handle"
+      | `Coalesced -> "coalesced")
+  | Protocol.Error { code; _ } -> Some (Protocol.error_code_to_string code)
+  | _ -> None
+
+let dispatch t (req : Protocol.request) :
+    Protocol.response * ((string * float) list * int) option =
   bump t (fun t -> t.requests <- t.requests + 1);
   try
     match req with
     | Protocol.Register { dataset; scale; seed; refresh } ->
-      handle_register t ~dataset ~scale ~seed ~refresh
+      (handle_register t ~dataset ~scale ~seed ~refresh, None)
     | Protocol.Explain { dataset; scale; seed; query; pattern; options; deadline_ms }
       ->
       handle_explain t ~dataset ~scale ~seed ~query ~pattern ~options
         ~deadline_ms
-    | Protocol.Stats -> handle_stats t
+    | Protocol.Stats -> (handle_stats t, None)
+    | Protocol.Telemetry { format } -> (handle_telemetry format, None)
     | Protocol.Evict { dataset; scale; seed; cache } ->
-      handle_evict t ~dataset ~scale ~seed ~cache
-    | Protocol.Shutdown -> Protocol.Goodbye
+      (handle_evict t ~dataset ~scale ~seed ~cache, None)
+    | Protocol.Shutdown -> (Protocol.Goodbye, None)
   with e ->
-    Protocol.Error
-      { code = Protocol.Internal; message = Printexc.to_string e }
+    ( Protocol.Error { code = Protocol.Internal; message = Printexc.to_string e },
+      None )
+
+let slo_ok_c = lazy (Obs.Metrics.counter "serve.slo.ok")
+let slo_breach_c = lazy (Obs.Metrics.counter "serve.slo.breach")
+
+(* Dispatch plus the request's telemetry: admission/response records,
+   the per-op latency histogram, SLO burn counters, and the slow-query
+   record with per-phase attribution. *)
+let observe_request t (req : Protocol.request) :
+    Protocol.response * ((string * float) list * int) option =
+  let op = op_name req in
+  Obs.Log.info "serve.request" (fun () -> [ Obs.Log.str "op" op ]);
+  let t0 = Obs.Clock.now_ns () in
+  let resp, run_info = dispatch t req in
+  let ms = Obs.Clock.ns_to_ms (Obs.Clock.now_ns () - t0) in
+  Obs.Metrics.Histogram.observe
+    (Obs.Metrics.histogram (Fmt.str "serve.%s.latency_ms" op))
+    ms;
+  let ok = match resp with Protocol.Error _ -> false | _ -> true in
+  (* SLO burn accounting covers the ops that do pipeline work; an error
+     (timeout, overload, fault) burns budget like a slow success *)
+  (match t.cfg.slo_ms with
+  | Some slo when op = "explain" ->
+    Obs.Metrics.Counter.incr
+      (Lazy.force (if ms <= slo && ok then slo_ok_c else slo_breach_c))
+  | _ -> ());
+  let base_fields () =
+    [ Obs.Log.str "op" op; Obs.Log.float "ms" ms; Obs.Log.bool "ok" ok ]
+    @ (match disposition resp with
+      | Some d -> [ Obs.Log.str "disposition" d ]
+      | None -> [])
+  in
+  (match t.cfg.slow_ms with
+  | Some threshold when ms >= threshold ->
+    Obs.Metrics.Counter.incr (Obs.Metrics.counter "serve.slow_queries");
+    Obs.Log.warn "serve.slow" (fun () ->
+        base_fields ()
+        @ [ Obs.Log.float "threshold_ms" threshold ]
+        @
+        match run_info with
+        | None -> []
+        | Some (phases, retries) ->
+          Obs.Log.int "retries" retries
+          :: List.map
+               (fun (p, pms) -> Obs.Log.float ("phase." ^ p ^ "_ms") pms)
+               phases)
+  | _ -> ());
+  Obs.Log.info "serve.response" (fun () -> base_fields ());
+  (resp, run_info)
+
+let handle_request t (req : Protocol.request) : Protocol.response =
+  fst (observe_request t req)
 
 let handle_line t line : string * bool =
-  match Protocol.request_of_string line with
-  | Error msg -> (Protocol.response_to_string (Protocol.bad_request msg), false)
-  | Ok req ->
-    let resp = handle_request t req in
-    (Protocol.response_to_string resp, req = Protocol.Shutdown)
+  match Protocol.envelope_of_string line with
+  | Error msg ->
+    Obs.Log.warn "serve.badreq" (fun () -> [ Obs.Log.str "error" msg ]);
+    (Protocol.response_to_string (Protocol.bad_request msg), false)
+  | Ok { Protocol.req; trace_id } ->
+    (* The request's trace context: the client's id when it sent one
+       (validated in the protocol layer), a generated one otherwise.
+       Every span and log record below here carries it.  Only
+       client-supplied ids are echoed on the response — generated ids
+       are a log-side affair, so id-less transcripts stay
+       deterministic. *)
+    let id =
+      match trace_id with Some id -> id | None -> Obs.Trace_context.make ()
+    in
+    Obs.Trace_context.with_id id (fun () ->
+        let resp, _ = observe_request t req in
+        ( Protocol.response_to_string ?trace_id resp,
+          req = Protocol.Shutdown ))
 
 (* -- serving loops ------------------------------------------------------- *)
 
@@ -473,7 +638,7 @@ let read_line_bounded ic max_bytes =
 
 let serve_channels t ic oc =
   let respond line =
-    Faultinject.fire "server.write";
+    Obs.Faultinject.fire "server.write";
     output_string oc line;
     output_char oc '\n';
     flush oc
@@ -491,7 +656,7 @@ let serve_channels t ic oc =
                    t.cfg.max_request_bytes)));
         loop ()
       | `Line line ->
-        let line = Faultinject.transform "server.read" line in
+        let line = Obs.Faultinject.transform "server.read" line in
         if String.trim line = "" then loop ()
         else begin
           let resp, stop = handle_line t line in
@@ -549,7 +714,7 @@ let accept_loop t sock =
     | [], _, _ -> ()
     | _ :: _, _, _ -> (
       match
-        Faultinject.fire "server.accept";
+        Obs.Faultinject.fire "server.accept";
         Unix.accept sock
       with
       | exception

@@ -44,6 +44,14 @@ type config = {
   max_request_bytes : int;
       (** request lines longer than this answer [bad_request] instead of
           being buffered in full *)
+  slow_ms : float option;
+      (** requests at or above this latency emit a [serve.slow] Warn
+          record with per-phase and cache/coalesce/retry attribution
+          ([None] = off) *)
+  slo_ms : float option;
+      (** explain-latency SLO: each explain request increments
+          [serve.slo.ok] or [serve.slo.breach] ([None] = off; error
+          responses always count as breaches) *)
 }
 
 val default_config : config

@@ -143,6 +143,193 @@ let test_concurrent_counters () =
   Alcotest.(check int) "4 domains x 10k increments" 40_000
     (Obs.Metrics.Counter.value c)
 
+let test_snapshot_and_reset_all () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter ~registry:reg "b.counter" in
+  let g = Obs.Metrics.gauge ~registry:reg "a.gauge" in
+  let h = Obs.Metrics.histogram ~registry:reg "c.hist" in
+  Obs.Metrics.Counter.incr ~by:7 c;
+  Obs.Metrics.Gauge.set g 2.5;
+  Obs.Metrics.Histogram.observe h 5.0;
+  (match Obs.Metrics.snapshot reg with
+  | [ ("a.gauge", `Gauge 2.5); ("b.counter", `Counter 7); ("c.hist", `Histogram s) ]
+    ->
+    Alcotest.(check int) "histogram count in snapshot" 1
+      s.Obs.Metrics.Histogram.count
+  | _ -> Alcotest.fail "snapshot shape (sorted by name)");
+  Obs.Metrics.reset_all reg;
+  (match Obs.Metrics.snapshot reg with
+  | [ ("a.gauge", `Gauge 0.0); ("b.counter", `Counter 0); ("c.hist", `Histogram s) ]
+    ->
+    Alcotest.(check int) "histogram zeroed" 0 s.Obs.Metrics.Histogram.count
+  | _ -> Alcotest.fail "reset_all zeroes everything, keeping registrations");
+  (* reset must clear the observed min/max, not just the counts: the
+     percentile clamp would otherwise use stale bounds *)
+  Obs.Metrics.Histogram.observe h 2.0;
+  let s = Obs.Metrics.Histogram.summary h in
+  Alcotest.(check (float 0.0)) "post-reset min" 2.0 s.Obs.Metrics.Histogram.min;
+  Alcotest.(check (float 0.0)) "post-reset max" 2.0 s.Obs.Metrics.Histogram.max
+
+let test_cumulative_buckets () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram ~registry:reg "cb" in
+  List.iter (Obs.Metrics.Histogram.observe h) [ 0.2; 0.9; 100.0; 3000.0 ];
+  let buckets = Obs.Metrics.Histogram.cumulative_buckets h in
+  Alcotest.(check int) "one entry per non-empty bucket" 3 (List.length buckets);
+  let rec monotone = function
+    | (le1, c1) :: ((le2, c2) :: _ as rest) ->
+      le1 < le2 && c1 <= c2 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "le and counts increase" true (monotone buckets);
+  (match buckets with
+  | (le0, 2) :: _ -> Alcotest.(check (float 0.0)) "sub-1.0 bucket" 1.0 le0
+  | _ -> Alcotest.fail "first bucket holds both small observations");
+  Alcotest.(check int) "last cumulative count = total" 4
+    (snd (List.nth buckets 2))
+
+(* --- structured logging ---------------------------------------------------- *)
+
+(* The global log level/sink/ring state is restored after each test. *)
+let with_log_state f =
+  let saved = Obs.Log.level () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.remove_sink "test.mem";
+      Obs.Log.set_ring_capacity 512;
+      Obs.Log.set_level saved)
+    f
+
+let test_log_gating () =
+  with_log_state @@ fun () ->
+  Obs.Log.set_level (Some Obs.Log.Info);
+  let evaluated = ref false in
+  Obs.Log.debug "gated" (fun () ->
+      evaluated := true;
+      []);
+  Alcotest.(check bool) "disabled level never evaluates its thunk" false
+    !evaluated;
+  Alcotest.(check bool) "enabled check" true (Obs.Log.enabled Obs.Log.Warn);
+  Alcotest.(check bool) "disabled check" false (Obs.Log.enabled Obs.Log.Debug);
+  Obs.Log.set_level None;
+  Obs.Log.err "gated" (fun () ->
+      evaluated := true;
+      []);
+  Alcotest.(check bool) "level None disables even errors" false !evaluated;
+  Obs.Log.set_level (Some Obs.Log.Debug);
+  Obs.Log.debug "open" (fun () ->
+      evaluated := true;
+      []);
+  Alcotest.(check bool) "enabled level evaluates" true !evaluated
+
+let test_log_ring_wraparound () =
+  with_log_state @@ fun () ->
+  Obs.Log.set_level (Some Obs.Log.Info);
+  Obs.Log.set_ring_capacity 4;
+  for i = 1 to 6 do
+    Obs.Log.info (Fmt.str "e%d" i) (fun () -> [ Obs.Log.int "i" i ])
+  done;
+  Alcotest.(check (list string))
+    "ring keeps the last N, oldest first"
+    [ "e3"; "e4"; "e5"; "e6" ]
+    (List.map (fun r -> r.Obs.Log.event) (Obs.Log.recent ()));
+  Obs.Log.clear_ring ();
+  Alcotest.(check int) "clear empties the ring" 0
+    (List.length (Obs.Log.recent ()))
+
+let test_log_sinks () =
+  with_log_state @@ fun () ->
+  Obs.Log.set_level (Some Obs.Log.Info);
+  let sink, seen = Obs.Log.memory_sink () in
+  (* a sink that raises must not take the record away from the others *)
+  Obs.Log.add_sink "test.mem" (fun _ -> failwith "bad sink");
+  Obs.Log.add_sink "test.mem" sink (* same name: replaces *);
+  Obs.Log.add_sink "test.boom" (fun _ -> failwith "bad sink");
+  Obs.Log.info "fanout" (fun () -> [ Obs.Log.str "k" "v" ]);
+  Obs.Log.remove_sink "test.boom";
+  (match seen () with
+  | [ r ] ->
+    Alcotest.(check string) "event" "fanout" r.Obs.Log.event;
+    Alcotest.(check bool) "field" true
+      (List.assoc_opt "k" r.Obs.Log.fields = Some (Obs.Span.String "v"))
+  | rs -> Alcotest.fail (Fmt.str "expected one record, saw %d" (List.length rs)));
+  Obs.Log.remove_sink "test.mem";
+  Obs.Log.info "after" (fun () -> []);
+  Alcotest.(check int) "removed sink sees nothing more" 1
+    (List.length (seen ()))
+
+(* --- trace context ---------------------------------------------------------- *)
+
+let test_trace_context_scoping () =
+  Alcotest.(check (option string)) "no ambient context" None
+    (Obs.Trace_context.current ());
+  let inner =
+    Obs.Trace_context.with_id "outer" (fun () ->
+        let a = Obs.Trace_context.current () in
+        let b =
+          Obs.Trace_context.with_id "inner" (fun () ->
+              Obs.Trace_context.current ())
+        in
+        let c =
+          Obs.Trace_context.with_opt None (fun () ->
+              Obs.Trace_context.current ())
+        in
+        (a, b, c, Obs.Trace_context.current ()))
+  in
+  (match inner with
+  | Some "outer", Some "inner", None, Some "outer" -> ()
+  | _ -> Alcotest.fail "nesting must restore the outer context");
+  (* restored even when the scope raises *)
+  (try
+     Obs.Trace_context.with_id "doomed" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check (option string)) "restored after raise" None
+    (Obs.Trace_context.current ());
+  (* threads do not inherit each other's context *)
+  let seen_in_thread = ref (Some "sentinel") in
+  Obs.Trace_context.with_id "main-thread" (fun () ->
+      let t =
+        Thread.create (fun () -> seen_in_thread := Obs.Trace_context.current ()) ()
+      in
+      Thread.join t);
+  Alcotest.(check (option string)) "fresh thread starts blank" None
+    !seen_in_thread
+
+let test_trace_ids () =
+  let a = Obs.Trace_context.make () and b = Obs.Trace_context.make () in
+  Alcotest.(check bool) "generated ids differ" true (a <> b);
+  Alcotest.(check int) "16 hex chars" 16 (String.length a);
+  List.iter
+    (fun (ok, id) ->
+      Alcotest.(check bool) (Fmt.str "is_valid %S" id) ok
+        (Obs.Trace_context.is_valid id))
+    [
+      (true, a);
+      (true, "t-1.a:B_x");
+      (true, String.make 64 'x');
+      (false, "");
+      (false, String.make 65 'x');
+      (false, "has space");
+      (false, "newline\n");
+      (false, "quote\"");
+    ]
+
+let test_span_trace_autotag () =
+  let sp =
+    Obs.Trace_context.with_id "tag-me" (fun () ->
+        let sp = Obs.Span.start "tagged" in
+        Obs.Span.finish sp;
+        sp)
+  in
+  Alcotest.(check bool) "span carries the ambient id" true
+    (Obs.Span.attr sp "trace_id" = Some (Obs.Span.String "tag-me"));
+  let bare = Obs.Span.start "bare" in
+  Obs.Span.finish bare;
+  Alcotest.(check (option string)) "no context, no tag" None
+    (match Obs.Span.attr bare "trace_id" with
+    | Some (Obs.Span.String s) -> Some s
+    | _ -> None)
+
 (* --- Chrome trace_event export -------------------------------------------- *)
 
 let small_db () =
@@ -251,6 +438,20 @@ let () =
           Alcotest.test_case "histogram clamps to observed" `Quick test_histogram_clamps;
           Alcotest.test_case "registry find-or-create" `Quick test_registry;
           Alcotest.test_case "concurrent counters" `Quick test_concurrent_counters;
+          Alcotest.test_case "snapshot and reset_all" `Quick test_snapshot_and_reset_all;
+          Alcotest.test_case "cumulative buckets" `Quick test_cumulative_buckets;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "level gating" `Quick test_log_gating;
+          Alcotest.test_case "ring wraparound" `Quick test_log_ring_wraparound;
+          Alcotest.test_case "sinks" `Quick test_log_sinks;
+        ] );
+      ( "trace_context",
+        [
+          Alcotest.test_case "scoping and restore" `Quick test_trace_context_scoping;
+          Alcotest.test_case "id generation and validation" `Quick test_trace_ids;
+          Alcotest.test_case "span auto-tag" `Quick test_span_trace_autotag;
         ] );
       ( "trace_event",
         [ Alcotest.test_case "chrome trace JSON" `Quick test_trace_event_json ] );

@@ -419,7 +419,7 @@ let test_inflight_coalesces () =
     (fun o ->
       match o with
       | Some (Serve.Inflight.Leader, Ok 42) -> incr leaders
-      | Some (Serve.Inflight.Follower, Ok 42) -> incr followers
+      | Some (Serve.Inflight.Follower _, Ok 42) -> incr followers
       | _ -> Alcotest.fail "every caller must get Ok 42")
     outcomes;
   Alcotest.(check int) "exactly one leader" 1 !leaders;
@@ -468,22 +468,22 @@ let test_inflight_leader_failure_releases () =
 (* --- fault injection ---------------------------------------------------- *)
 
 let test_faultinject_actions () =
-  Serve.Faultinject.reset ();
-  Serve.Faultinject.arm "t.site" (Serve.Faultinject.fail_once (Failure "inj"));
-  (match Serve.Faultinject.fire "t.site" with
+  Obs.Faultinject.reset ();
+  Obs.Faultinject.arm "t.site" (Obs.Faultinject.fail_once (Failure "inj"));
+  (match Obs.Faultinject.fire "t.site" with
   | exception Failure msg when msg = "inj" -> ()
   | () -> Alcotest.fail "armed site must raise");
   (* fail-once disarms itself *)
-  Serve.Faultinject.fire "t.site";
-  Alcotest.(check int) "fired once" 1 (Serve.Faultinject.fired "t.site");
-  Serve.Faultinject.arm "t.garble" (Serve.Faultinject.Garble (fun s -> "!" ^ s));
+  Obs.Faultinject.fire "t.site";
+  Alcotest.(check int) "fired once" 1 (Obs.Faultinject.fired "t.site");
+  Obs.Faultinject.arm "t.garble" (Obs.Faultinject.Garble (fun s -> "!" ^ s));
   Alcotest.(check string) "garble rewrites" "!abc"
-    (Serve.Faultinject.transform "t.garble" "abc");
+    (Obs.Faultinject.transform "t.garble" "abc");
   Alcotest.(check string) "unarmed transform is identity" "abc"
-    (Serve.Faultinject.transform "t.other" "abc");
-  Serve.Faultinject.reset ();
+    (Obs.Faultinject.transform "t.other" "abc");
+  Obs.Faultinject.reset ();
   Alcotest.(check int) "reset zeroes counts" 0
-    (Serve.Faultinject.fired "t.site")
+    (Obs.Faultinject.fired "t.site")
 
 (* --- protocol ---------------------------------------------------------- *)
 
@@ -752,14 +752,14 @@ let stat fields name =
   | _ -> Alcotest.fail ("stats field missing: " ^ name)
 
 let test_server_single_flight () =
-  Serve.Faultinject.reset ();
+  Obs.Faultinject.reset ();
   (* 2x the scheduler capacity in identical concurrent explains:
      coalescing must shield the queue, so nobody sees overloaded *)
   let config = { quiet_config with queue_capacity = 2 } in
   let srv = Serve.Server.create ~config () in
   register_re srv;
   (* hold the one real execution open long enough for everyone to pile in *)
-  Serve.Faultinject.arm "server.explain" (Serve.Faultinject.Delay_ms 200.0);
+  Obs.Faultinject.arm "server.explain" (Obs.Faultinject.Delay_ms 200.0);
   let k = 4 in
   let responses = Array.make k None in
   let threads =
@@ -771,7 +771,7 @@ let test_server_single_flight () =
           ())
   in
   Array.iter Thread.join threads;
-  Serve.Faultinject.reset ();
+  Obs.Faultinject.reset ();
   let payloads = ref [] and miss = ref 0 and coalesced = ref 0 in
   Array.iter
     (fun r ->
@@ -803,12 +803,12 @@ let test_server_single_flight () =
   Alcotest.(check int) "depth drained" 0 (stat sched "depth")
 
 let test_server_deadline_mid_execution () =
-  Serve.Faultinject.reset ();
+  Obs.Faultinject.reset ();
   let srv = Serve.Server.create ~config:quiet_config () in
   register_re srv;
   (* the job outlives its deadline while already running: the slow-job
      fault fires inside the scheduler job, past the admission check *)
-  Serve.Faultinject.arm "server.explain" (Serve.Faultinject.Delay_ms 60.0);
+  Obs.Faultinject.arm "server.explain" (Obs.Faultinject.Delay_ms 60.0);
   (match
      Serve.Server.handle_request srv (explain_request ~deadline_ms:15.0 ())
    with
@@ -820,7 +820,7 @@ let test_server_deadline_mid_execution () =
       (str_contains ~needle:"cancelled at" message)
   | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
   | _ -> Alcotest.fail "expected deadline_exceeded");
-  Serve.Faultinject.reset ();
+  Obs.Faultinject.reset ();
   (* the cancelled run must leave no trace: no cached payload, no cached
      handle, and the scheduler fully drained *)
   (match Serve.Server.handle_request srv (explain_request ()) with
@@ -865,7 +865,7 @@ let run_stdio config lines =
   out
 
 let test_server_request_size_limit () =
-  Serve.Faultinject.reset ();
+  Obs.Faultinject.reset ();
   let config = { quiet_config with max_request_bytes = 64 } in
   let big = "{\"op\": \"stats\", \"pad\": \"" ^ String.make 200 'x' ^ "\"}" in
   match run_stdio config [ big; "{\"op\": \"stats\"}" ] with
@@ -881,12 +881,12 @@ let test_server_request_size_limit () =
       (Fmt.str "expected 2 response lines, got %d" (List.length lines))
 
 let test_server_garbled_input_survives () =
-  Serve.Faultinject.reset ();
+  Obs.Faultinject.reset ();
   (* byte corruption on the read path: the poisoned line answers
      bad_request and the session keeps going *)
   let first = ref true in
-  Serve.Faultinject.arm "server.read"
-    (Serve.Faultinject.Garble
+  Obs.Faultinject.arm "server.read"
+    (Obs.Faultinject.Garble
        (fun s ->
          if !first then begin
            first := false;
@@ -894,7 +894,7 @@ let test_server_garbled_input_survives () =
          end
          else s));
   let out = run_stdio quiet_config [ "{\"op\": \"stats\"}"; "{\"op\": \"stats\"}" ] in
-  Serve.Faultinject.reset ();
+  Obs.Faultinject.reset ();
   match out with
   | [ poisoned; clean ] ->
     Alcotest.(check bool) "garbled line answers bad_request" true
@@ -925,7 +925,7 @@ let send_line oc line =
   flush oc
 
 let test_server_unix_lifecycle () =
-  Serve.Faultinject.reset ();
+  Obs.Faultinject.reset ();
   let path = Filename.temp_file "whynot" ".sock" in
   let srv = Serve.Server.create ~config:quiet_config () in
   let server_thread =
@@ -938,18 +938,18 @@ let test_server_unix_lifecycle () =
   send_line oca "{\"op\": \"register\", \"dataset\": \"RE\"}";
   Alcotest.(check bool) "A served before the fault" true
     (str_contains ~needle:"\"ok\": true" (input_line ica));
-  Serve.Faultinject.arm "server.write"
-    (Serve.Faultinject.fail_once (Unix.Unix_error (Unix.EPIPE, "write", "")));
+  Obs.Faultinject.arm "server.write"
+    (Obs.Faultinject.fail_once (Unix.Unix_error (Unix.EPIPE, "write", "")));
   send_line oca "{\"op\": \"stats\"}";
   (match input_line ica with
   | exception End_of_file -> ()
   | line -> Alcotest.fail ("EPIPE'd connection must close, got: " ^ line));
   Alcotest.(check int) "write fault fired" 1
-    (Serve.Faultinject.fired "server.write");
+    (Obs.Faultinject.fired "server.write");
   (* a transient accept fault is retried, and the next connection works:
      one connection's death did not take the server down *)
-  Serve.Faultinject.arm "server.accept"
-    (Serve.Faultinject.Fail
+  Obs.Faultinject.arm "server.accept"
+    (Obs.Faultinject.Fail
        {
          times = 1;
          exn_ = Unix.Unix_error (Unix.ECONNABORTED, "accept", "");
@@ -961,7 +961,7 @@ let test_server_unix_lifecycle () =
   Alcotest.(check bool) "B served after both faults" true
     (str_contains ~needle:"scheduler" (input_line icb));
   Alcotest.(check int) "accept fault fired" 1
-    (Serve.Faultinject.fired "server.accept");
+    (Obs.Faultinject.fired "server.accept");
   (* a shutdown request actually stops the server: serve_unix returns *)
   send_line ocb "{\"op\": \"shutdown\"}";
   Alcotest.(check bool) "goodbye" true
@@ -970,12 +970,12 @@ let test_server_unix_lifecycle () =
   Alcotest.(check bool) "stop flag latched" true (Serve.Server.stopping srv);
   Alcotest.(check int) "connections drained" 0
     (Serve.Server.active_connections srv);
-  Serve.Faultinject.reset ();
+  Obs.Faultinject.reset ();
   (try Unix.close a with Unix.Unix_error _ -> ());
   (try Unix.close b with Unix.Unix_error _ -> ())
 
 let test_server_connection_cap () =
-  Serve.Faultinject.reset ();
+  Obs.Faultinject.reset ();
   let path = Filename.temp_file "whynot" ".sock" in
   let config = { quiet_config with max_connections = 1 } in
   let srv = Serve.Server.create ~config () in
