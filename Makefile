@@ -1,16 +1,26 @@
 # The single committed verify recipe: builds every executable (CLI,
-# server, bench, examples) and runs the full test suite.  Run before
-# every merge.
-.PHONY: verify build test bench-chaos bench-obs
+# server, bench, examples) and runs the full test suite, then a
+# smallest-scale pass over every bench family (the harness itself is
+# code that can rot).  Run before every merge.
+.PHONY: verify build test bench-smoke bench-columnar bench-chaos bench-obs
 
 verify:
-	dune build @all && dune runtest
+	dune build @all && dune runtest && $(MAKE) bench-smoke
 
 build:
 	dune build @all
 
 test:
 	dune runtest
+
+# Every bench family at the smallest scale — a CI guard, not a measurement.
+bench-smoke:
+	dune exec bench/main.exe -- smoke
+
+# Row vs columnar engine A/B on the fig8 scenarios at scale 32; writes
+# the committed acceptance baseline for the columnar-engine PR.
+bench-columnar:
+	dune exec bench/main.exe -- columnar -json BENCH_PR7.json
 
 # Gated chaos measurement (arms process-global fault sites, so it never
 # runs as part of the default bench sweep).

@@ -102,6 +102,8 @@ type json_record = {
   jrpnosa_ms : float option;
   jrp_ms : float;
   jphases : (string * float) list;
+  jgc : (string * (float * int)) list;
+      (* per-phase (bytes allocated, minor collections) *)
 }
 
 let json_records : json_record list ref = ref []
@@ -184,6 +186,16 @@ let write_json () =
           (String.concat ", "
              (List.map (fun (p, ms) -> Fmt.str "%S: %.3f" p ms) r.jphases))
       in
+      let alloc =
+        Fmt.str "{%s}"
+          (String.concat ", "
+             (List.map (fun (p, (b, _)) -> Fmt.str "%S: %.0f" p b) r.jgc))
+      in
+      let minors =
+        Fmt.str "{%s}"
+          (String.concat ", "
+             (List.map (fun (p, (_, m)) -> Fmt.str "%S: %d" p m) r.jgc))
+      in
       Fmt.str "    {%s}"
         (String.concat ", "
            ([
@@ -194,10 +206,33 @@ let write_json () =
             ]
            @ opt_ms "query_ms" r.jquery_ms
            @ opt_ms "rpnosa_ms" r.jrpnosa_ms
-           @ [ field "rp_ms" (Fmt.str "%.3f" r.jrp_ms); field "phases" phases ]))
+           @ [
+               field "rp_ms" (Fmt.str "%.3f" r.jrp_ms);
+               field "phases" phases;
+               field "alloc_bytes" alloc;
+               field "minor_collections" minors;
+             ]))
     in
+    (* provenance: enough to tell two committed baselines apart *)
+    let git_commit =
+      try
+        let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+        let line = try input_line ic with End_of_file -> "unknown" in
+        (match Unix.close_process_in ic with
+        | Unix.WEXITED 0 -> line
+        | _ -> "unknown")
+      with _ -> "unknown"
+    in
+    let hostname = try Unix.gethostname () with _ -> "unknown" in
     output_string oc
-      (Fmt.str "{\n  \"config\": {\"partitions\": %d, \"parallel\": %b},\n"
+      (Fmt.str
+         "{\n\
+         \  \"meta\": {\"git_commit\": %S, \"hostname\": %S, \"ocaml\": %S, \
+          \"word_size\": %d, \"row_engine\": %b},\n"
+         git_commit hostname Sys.ocaml_version Sys.word_size
+         (Engine.Columnar.row_engine ()));
+    output_string oc
+      (Fmt.str "  \"config\": {\"partitions\": %d, \"parallel\": %b},\n"
          !partitions !parallel);
     output_string oc "  \"records\": [\n";
     output_string oc
@@ -295,16 +330,65 @@ let fig_scaling ~title ~csv_target ~scenarios ~scales () =
       List.iter
         (fun scale ->
           let inst = instance ~scale s in
-          let _, q_ms = time_span "bench.query" (fun sp -> run_query ~parent:sp inst) in
-          let rp = run_rp inst in
+          (* Settle the heap first so one measurement does not pay for
+             garbage another produced; query latency is min-of-3 (the
+             first rep also charges any one-time arena conversion). *)
+          Gc.full_major ();
+          let q_ms =
+            List.fold_left
+              (fun acc _ ->
+                let _, ms =
+                  time_span "bench.query" (fun sp -> run_query ~parent:sp inst)
+                in
+                Float.min acc ms)
+              Float.infinity [ 1; 2; 3; 4; 5 ]
+          in
+          Gc.full_major ();
+          (* Best-of-3 for the pipeline too: the sub-millisecond phases
+             are otherwise dominated by timer/GC noise.  Totals and
+             per-phase figures each take the minimum across reps. *)
+          let reps =
+            List.map
+              (fun _ ->
+                Gc.full_major ();
+                run_rp inst)
+              [ 1; 2; 3; 4; 5 ]
+          in
+          let rp =
+            List.fold_left
+              (fun b r ->
+                if
+                  Obs.Span.duration_ms r.Whynot.Pipeline.span
+                  < Obs.Span.duration_ms b.Whynot.Pipeline.span
+                then r
+                else b)
+              (List.hd reps) (List.tl reps)
+          in
           let rp_ms = Obs.Span.duration_ms rp.Whynot.Pipeline.span in
+          let phase_mins =
+            List.map
+              (fun (p, ms) ->
+                ( p,
+                  List.fold_left
+                    (fun acc r ->
+                      match
+                        List.assoc_opt p
+                          (Whynot.Pipeline.phase_durations_ms r)
+                      with
+                      | Some m -> Float.min acc m
+                      | None -> acc)
+                    ms (List.tl reps) ))
+              (Whynot.Pipeline.phase_durations_ms (List.hd reps))
+          in
           Fmt.pr "%-6s %-6d %-8d %-10.2f %-10.2f %-8.1f@." name scale
             (db_rows inst) q_ms rp_ms
             (rp_ms /. Float.max q_ms 0.001);
           csv csv_target
             ("scenario,scale,rows,query_ms,rp_ms," ^ phase_header)
             (Fmt.str "%s,%d,%d,%.3f,%.3f,%s" name scale (db_rows inst) q_ms
-               rp_ms (phase_cols rp));
+               rp_ms
+               (String.concat ","
+                  (List.map (fun (_, ms) -> Fmt.str "%.3f" ms) phase_mins)));
           add_json
             {
               jbench = csv_target;
@@ -314,7 +398,8 @@ let fig_scaling ~title ~csv_target ~scenarios ~scales () =
               jquery_ms = Some q_ms;
               jrpnosa_ms = None;
               jrp_ms = rp_ms;
-              jphases = Whynot.Pipeline.phase_durations_ms rp;
+              jphases = phase_mins;
+              jgc = Whynot.Pipeline.phase_gc rp;
             })
         scales)
     scenarios
@@ -360,6 +445,7 @@ let fig10 ?(scale = 2) () =
           jrpnosa_ms = Some nosa_ms;
           jrp_ms = rp_ms;
           jphases = Whynot.Pipeline.phase_durations_ms rp;
+          jgc = Whynot.Pipeline.phase_gc rp;
         })
     [ "Q1"; "Q3"; "Q4"; "Q6"; "Q10"; "Q13" ]
 
@@ -417,6 +503,7 @@ let fig11 ?(scale = 2) () =
               jrpnosa_ms = None;
               jrp_ms = ms;
               jphases = Whynot.Pipeline.phase_durations_ms result;
+              jgc = Whynot.Pipeline.phase_gc result;
             })
         (if name = "Q3" then [ 1; 2; 4; 8; 12 ] else [ 1; 2; 3; 4 ]))
     [ "TASD"; "D1"; "T3"; "D4"; "Q3" ]
@@ -983,6 +1070,111 @@ let bench_obs ?(scale = 4) () =
   Obs.Log.clear_ring ();
   Obs.Log.set_level saved_level
 
+(* --- Columnar vs row engine (perf PR acceptance run) ----------------------
+
+   Runs the fig8 family twice in one process — first forcing the legacy
+   row-at-a-time engine, then the columnar batch engine — so the two
+   paths share warmup, data generation, and GC state.  With [--json] the
+   records land under benches "fig8-row" and "fig8-columnar"; diffing
+   the per-phase columns (tracing above all) is the acceptance check. *)
+
+let bench_columnar ?(scales = [ 32 ]) () =
+  let saved = Engine.Columnar.row_engine () in
+  Fun.protect ~finally:(fun () -> Engine.Columnar.set_row_engine saved)
+  @@ fun () ->
+  let reps = 5 in
+  Fmt.pr "@.== Columnar vs row engine (interleaved, per-phase min of %d) ==@."
+    reps;
+  Fmt.pr "%-6s %-6s %-8s %-10s %-10s %-10s %-10s@." "scen" "scale" "rows"
+    "engine" "query ms" "RP ms" "trace ms";
+  List.iter
+    (fun name ->
+      let s = scenario name in
+      List.iter
+        (fun scale ->
+          let inst = instance ~scale s in
+          (* One sample = a (query, explain) pair on each arm back to
+             back, row first.  Interleaving the arms inside every rep
+             means a noisy CPU window taxes both engines equally instead
+             of whichever sweep happened to be running; per-phase minima
+             across reps then discard the taxed samples. *)
+          let measure row_arm =
+            Engine.Columnar.set_row_engine row_arm;
+            Gc.full_major ();
+            let _, q =
+              time_span "bench.query" (fun sp -> run_query ~parent:sp inst)
+            in
+            Gc.full_major ();
+            (q, run_rp inst)
+          in
+          let samples =
+            List.init reps (fun _ -> (measure true, measure false))
+          in
+          let emit bench pick =
+            let qs, rps = List.split (List.map pick samples) in
+            let dur r = Obs.Span.duration_ms r.Whynot.Pipeline.span in
+            let q_ms = List.fold_left Float.min Float.infinity qs in
+            let best =
+              List.fold_left
+                (fun b r -> if dur r < dur b then r else b)
+                (List.hd rps) (List.tl rps)
+            in
+            let rp_ms = dur best in
+            let phase_mins =
+              List.map
+                (fun (p, ms) ->
+                  ( p,
+                    List.fold_left
+                      (fun acc r ->
+                        match
+                          List.assoc_opt p
+                            (Whynot.Pipeline.phase_durations_ms r)
+                        with
+                        | Some m -> Float.min acc m
+                        | None -> acc)
+                      ms (List.tl rps) ))
+                (Whynot.Pipeline.phase_durations_ms (List.hd rps))
+            in
+            Fmt.pr "%-6s %-6d %-8d %-10s %-10.2f %-10.2f %-10.2f@." name scale
+              (db_rows inst)
+              (if bench = "fig8-row" then "row" else "columnar")
+              q_ms rp_ms
+              (match List.assoc_opt "tracing" phase_mins with
+              | Some ms -> ms
+              | None -> 0.);
+            csv bench
+              ("scenario,scale,rows,query_ms,rp_ms," ^ phase_header)
+              (Fmt.str "%s,%d,%d,%.3f,%.3f,%s" name scale (db_rows inst) q_ms
+                 rp_ms
+                 (String.concat ","
+                    (List.map (fun (_, ms) -> Fmt.str "%.3f" ms) phase_mins)));
+            add_json
+              {
+                jbench = bench;
+                jscenario = name;
+                jscale = scale;
+                jrows = db_rows inst;
+                jquery_ms = Some q_ms;
+                jrpnosa_ms = None;
+                jrp_ms = rp_ms;
+                jphases = phase_mins;
+                jgc = Whynot.Pipeline.phase_gc best;
+              }
+          in
+          emit "fig8-row" fst;
+          emit "fig8-columnar" snd)
+        scales)
+    [ "D1"; "D2"; "D3"; "D4"; "D5" ]
+
+(* Smallest-scale pass over every bench family — a CI guard that the
+   bench harness itself keeps working, cheap enough for [make verify]. *)
+let smoke () =
+  fig8 ~scales:[ 1 ] ();
+  fig9 ~scales:[ 1 ] ();
+  fig10 ~scale:1 ();
+  fig11 ~scale:1 ();
+  bench_columnar ~scales:[ 1 ] ()
+
 (* --- Bechamel micro-benchmarks: one Test.make per table/figure ------------ *)
 
 let bechamel_tests () =
@@ -1058,6 +1250,9 @@ let () =
   if wants "fig10" then fig10 ();
   if wants "fig11" then fig11 ();
   if wants "ablation" then ablation ();
+  (* engine A/B and smoke are targeted runs, never part of the default set *)
+  if wants_explicit "columnar" then bench_columnar ();
+  if wants_explicit "smoke" then smoke ();
   if wants "serve" then bench_serve ();
   if wants_explicit "chaos" then bench_chaos ();
   (* obs flips the process-global log level and sink set: explicit only *)

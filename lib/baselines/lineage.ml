@@ -74,55 +74,59 @@ let successor_rids ~(surviving_only : bool) (info : info) :
     (int, unit) Hashtbl.t =
   let constrained = constrained_tables info in
   let ops_tbl = op_index info.query in
-  (* rid → op id, to locate which join side a parent row comes from *)
+  (* rid → op id, to locate which join side a parent row comes from (the
+     annotation vectors make this a range walk — no tree forcing) *)
   let row_op = Hashtbl.create 256 in
   List.iter
     (fun (ot : Whynot.Tracing.op_trace) ->
-      List.iter
-        (fun (r : Whynot.Tracing.trow) ->
-          Hashtbl.replace row_op r.Whynot.Tracing.rid ot.Whynot.Tracing.op_id)
-        ot.Whynot.Tracing.rows)
+      let r0 = Whynot.Tracing.rid0 ot in
+      for i = 0 to Whynot.Tracing.n_rows ot - 1 do
+        Hashtbl.replace row_op (r0 + i) ot.Whynot.Tracing.op_id
+      done)
     info.trace.Whynot.Tracing.ops;
   let successor = Hashtbl.create 256 in
   let is_succ rid = Hashtbl.mem successor rid in
   List.iter
     (fun (ot : Whynot.Tracing.op_trace) ->
       let op = Hashtbl.find_opt ops_tbl ot.Whynot.Tracing.op_id in
-      List.iter
-        (fun (r : Whynot.Tracing.trow) ->
-          let alive = (not surviving_only) || r.Whynot.Tracing.surviving in
-          if alive then
-            let is_successor =
-              match ot.Whynot.Tracing.op_node, op with
-              | Query.Table _, _ -> r.Whynot.Tracing.consistent
-              | (Query.Flatten _ | Query.Flatten_tuple _), _ ->
-                List.exists is_succ r.Whynot.Tracing.parents
-                && r.Whynot.Tracing.consistent
-              | (Query.Join _ | Query.Product), Some op -> (
-                match r.Whynot.Tracing.parents, op.Query.children with
-                | [ lp; rp ], _ -> is_succ lp && is_succ rp
-                | [ p ], [ lchild; rchild ] ->
-                  (* null-padded row: [p] sits in one child's subtree; the
-                     padded-away side must be unconstrained *)
-                  let p_op =
-                    Option.value ~default:(-1) (Hashtbl.find_opt row_op p)
-                  in
-                  let padded_side_unconstrained =
-                    if op_in_subtree lchild p_op then
-                      not (subtree_constrained constrained rchild)
-                    else not (subtree_constrained constrained lchild)
-                  in
-                  is_succ p && padded_side_unconstrained
-                | _, _ -> false)
-              | ( ( Query.Nest_rel _ | Query.Group_agg _ | Query.Dedup
-                  | Query.Agg_tuple _ ),
-                  _ ) ->
-                List.exists is_succ r.Whynot.Tracing.parents
-              | _, _ -> List.exists is_succ r.Whynot.Tracing.parents
-            in
-            if is_successor then
-              Hashtbl.replace successor r.Whynot.Tracing.rid ())
-        ot.Whynot.Tracing.rows)
+      let r0 = Whynot.Tracing.rid0 ot in
+      for i = 0 to Whynot.Tracing.n_rows ot - 1 do
+        let alive =
+          (not surviving_only) || Whynot.Tracing.surviving_at ot i
+        in
+        if alive then begin
+          let parents = Whynot.Tracing.parents_at ot i in
+          let is_successor =
+            match ot.Whynot.Tracing.op_node, op with
+            | Query.Table _, _ -> Whynot.Tracing.consistent_at ot i
+            | (Query.Flatten _ | Query.Flatten_tuple _), _ ->
+              List.exists is_succ parents
+              && Whynot.Tracing.consistent_at ot i
+            | (Query.Join _ | Query.Product), Some op -> (
+              match parents, op.Query.children with
+              | [ lp; rp ], _ -> is_succ lp && is_succ rp
+              | [ p ], [ lchild; rchild ] ->
+                (* null-padded row: [p] sits in one child's subtree; the
+                   padded-away side must be unconstrained *)
+                let p_op =
+                  Option.value ~default:(-1) (Hashtbl.find_opt row_op p)
+                in
+                let padded_side_unconstrained =
+                  if op_in_subtree lchild p_op then
+                    not (subtree_constrained constrained rchild)
+                  else not (subtree_constrained constrained lchild)
+                in
+                is_succ p && padded_side_unconstrained
+              | _, _ -> false)
+            | ( ( Query.Nest_rel _ | Query.Group_agg _ | Query.Dedup
+                | Query.Agg_tuple _ ),
+                _ ) ->
+              List.exists is_succ parents
+            | _, _ -> List.exists is_succ parents
+          in
+          if is_successor then Hashtbl.replace successor (r0 + i) ()
+        end
+      done)
     info.trace.Whynot.Tracing.ops;
   successor
 
@@ -140,32 +144,28 @@ let picky_ops ~(surviving_only : bool) (info : info)
         let children =
           match op with Some op -> op.Query.children | None -> []
         in
-        let child_rows (c : Query.t) =
-          match
-            List.find_opt
-              (fun (o : Whynot.Tracing.op_trace) ->
-                o.Whynot.Tracing.op_id = c.Query.id)
-              info.trace.Whynot.Tracing.ops
-          with
-          | Some o -> o.Whynot.Tracing.rows
-          | None -> []
+        let child_has_successor (c : Query.t) =
+          match Whynot.Tracing.op_trace info.trace c.Query.id with
+          | Some o ->
+            let r0 = Whynot.Tracing.rid0 o in
+            let n = Whynot.Tracing.n_rows o in
+            let rec any i = i < n && (Hashtbl.mem successor (r0 + i) || any (i + 1)) in
+            any 0
+          | None -> false
         in
         let inputs_have_successors =
-          children <> []
-          && List.for_all
-               (fun c ->
-                 List.exists
-                   (fun (r : Whynot.Tracing.trow) ->
-                     Hashtbl.mem successor r.Whynot.Tracing.rid)
-                   (child_rows c))
-               children
+          children <> [] && List.for_all child_has_successor children
         in
         let output_has_successors =
-          List.exists
-            (fun (r : Whynot.Tracing.trow) ->
-              ((not surviving_only) || r.Whynot.Tracing.surviving)
-              && Hashtbl.mem successor r.Whynot.Tracing.rid)
-            ot.Whynot.Tracing.rows
+          let r0 = Whynot.Tracing.rid0 ot in
+          let n = Whynot.Tracing.n_rows ot in
+          let rec any i =
+            i < n
+            && ((((not surviving_only) || Whynot.Tracing.surviving_at ot i)
+                && Hashtbl.mem successor (r0 + i))
+               || any (i + 1))
+          in
+          any 0
         in
         if inputs_have_successors && not output_has_successors then
           Some ot.Whynot.Tracing.op_id

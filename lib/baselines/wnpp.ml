@@ -38,13 +38,12 @@ let explanations ?parent (phi : Whynot.Question.t) : Explanation_set.t list =
         List.filter_map
           (fun (ot : Whynot.Tracing.op_trace) ->
             let drops_rows =
-              List.exists
-                (fun (r : Whynot.Tracing.trow) ->
-                  (not r.Whynot.Tracing.retained)
-                  && List.for_all
-                       (fun _ -> true)
-                       r.Whynot.Tracing.parents)
-                ot.Whynot.Tracing.rows
+              let n = Whynot.Tracing.n_rows ot in
+              let rec any i =
+                i < n
+                && ((not (Whynot.Tracing.retained_at ot i)) || any (i + 1))
+              in
+              any 0
             in
             match ot.Whynot.Tracing.op_node with
             | Nrab.Query.Table _ -> None

@@ -35,16 +35,31 @@ let cap_sets (sets : Set_set.t) : Set_set.t =
     in
     Set_set.of_list (take max_alternatives sorted)
 
-(* All alternative failure sets of a row's derivations. *)
-let failure_sets (tr : Tracing.t) : int -> Set_set.t =
-  (* index rows *)
-  let row_of = Hashtbl.create 256 in
+(* Dense rid → owning operator map: rids are contiguous per operator, so
+   one array lookup replaces the per-row hash index (and reads the
+   annotation vectors directly — no per-row trees are forced). *)
+let rid_owners (tr : Tracing.t) : Tracing.op_trace option array =
+  let total =
+    List.fold_left
+      (fun acc ot -> max acc (Tracing.rid0 ot + Tracing.n_rows ot))
+      0 tr.Tracing.ops
+  in
+  let owner = Array.make total None in
   List.iter
     (fun (ot : Tracing.op_trace) ->
-      List.iter
-        (fun (r : Tracing.trow) -> Hashtbl.replace row_of r.Tracing.rid (r, ot))
-        ot.Tracing.rows)
+      let r0 = Tracing.rid0 ot in
+      for i = 0 to Tracing.n_rows ot - 1 do
+        owner.(r0 + i) <- Some ot
+      done)
     tr.Tracing.ops;
+  owner
+
+(* All alternative failure sets of a row's derivations. *)
+let failure_sets (tr : Tracing.t) : int -> Set_set.t =
+  let owner = rid_owners tr in
+  let owner_of rid =
+    if rid >= 0 && rid < Array.length owner then owner.(rid) else None
+  in
   let memo = Hashtbl.create 256 in
   (* Parameter-free operators (Table 2) cannot be reparameterized; a row
      they fail to retain has no derivation under any reparameterization
@@ -63,15 +78,17 @@ let failure_sets (tr : Tracing.t) : int -> Set_set.t =
       Hashtbl.replace memo rid (Set_set.singleton Int_set.empty)
       (* cycle guard; traces are acyclic so this is never observed *);
       let result =
-        match Hashtbl.find_opt row_of rid with
+        match owner_of rid with
         | None -> Set_set.singleton Int_set.empty
-        | Some (row, ot)
-          when (not row.Tracing.retained)
+        | Some ot
+          when (not (Tracing.retained_at ot (rid - Tracing.rid0 ot)))
                && not (reparameterizable ot.Tracing.op_node) ->
           Set_set.empty
-        | Some (row, ot) ->
+        | Some ot ->
+          let i = rid - Tracing.rid0 ot in
+          let parents = Tracing.parents_at ot i in
           let own =
-            if row.Tracing.retained then Int_set.empty
+            if Tracing.retained_at ot i then Int_set.empty
             else Int_set.singleton ot.Tracing.op_id
           in
           let combine_parents (parents : int list) : Set_set.t =
@@ -96,32 +113,31 @@ let failure_sets (tr : Tracing.t) : int -> Set_set.t =
               (* group-style operators: each (preferably consistent) member
                  derivation is an alternative way to influence the row *)
               let members =
-                List.filter_map
-                  (fun pid ->
-                    Option.map
-                      (fun (m, _) -> (pid, m))
-                      (Hashtbl.find_opt row_of pid))
-                  row.Tracing.parents
+                List.filter (fun pid -> Option.is_some (owner_of pid)) parents
+              in
+              let pid_consistent pid =
+                match owner_of pid with
+                | Some pot ->
+                  Tracing.consistent_at pot (pid - Tracing.rid0 pot)
+                | None -> false
               in
               let preferred =
-                match
-                  List.filter (fun (_, m) -> m.Tracing.consistent) members
-                with
+                match List.filter pid_consistent members with
                 | [] -> members
                 | cs -> cs
               in
               let alternatives =
                 List.fold_left
-                  (fun acc (pid, _) -> Set_set.union acc (fs pid))
+                  (fun acc pid -> Set_set.union acc (fs pid))
                   Set_set.empty preferred
               in
               (* all member derivations dead ⇒ this row is dead too,
                  unless it genuinely has no parents *)
               if Set_set.is_empty alternatives then
-                if row.Tracing.parents = [] then Set_set.singleton Int_set.empty
+                if parents = [] then Set_set.singleton Int_set.empty
                 else Set_set.empty
               else cap_sets alternatives
-            | _ -> combine_parents row.Tracing.parents
+            | _ -> combine_parents parents
           in
           cap_sets (Set_set.map (fun s -> Int_set.union s own) base)
       in
@@ -130,9 +146,19 @@ let failure_sets (tr : Tracing.t) : int -> Set_set.t =
   in
   fs
 
-(* Root rows that are consistent — the candidate missing answers. *)
-let consistent_roots (tr : Tracing.t) : Tracing.trow list =
-  List.filter (fun (r : Tracing.trow) -> r.Tracing.consistent) (Tracing.root_rows tr)
+(* The root operator's trace, and its consistent rows (the candidate
+   missing answers) by rid — flag-vector reads, no tree reconstruction. *)
+let root_ot (tr : Tracing.t) : Tracing.op_trace option =
+  Tracing.op_trace tr tr.Tracing.root_op
+
+let consistent_root_rids (tr : Tracing.t) : int list =
+  match root_ot tr with
+  | None -> []
+  | Some ot ->
+    let r0 = Tracing.rid0 ot in
+    List.filter_map
+      (fun i -> if Tracing.consistent_at ot i then Some (r0 + i) else None)
+      (List.init (Tracing.n_rows ot) Fun.id)
 
 (* --- Side-effect bounds (Section 5.4) ----------------------------------- *)
 
@@ -153,30 +179,48 @@ let contains_filtering_op (q : Nrab.Query.t) (ops : Int_set.t) : bool =
 
 let bounds ~(bi : bounds_input) ~(q : Nrab.Query.t) (tr : Tracing.t)
     (fs : int -> Set_set.t) (expl_ops : Int_set.t) : int * int =
-  let roots = Tracing.root_rows tr in
   let original_count = List.length bi.original_result in
-  let in_original data = List.exists (Value.equal data) bi.original_result in
-  let n_surviving_matching =
-    List.length
-      (List.filter
-         (fun (r : Tracing.trow) -> r.Tracing.surviving && in_original r.Tracing.data)
-         roots)
+  (* Bucket the original result by structural hash so each root row is
+     compared against at most its hash-colliding candidates. *)
+  let orig_tbl : (int, Value.t list ref) Hashtbl.t =
+    Hashtbl.create (original_count + 7)
   in
-  let n_surviving =
-    List.length (List.filter (fun (r : Tracing.trow) -> r.Tracing.surviving) roots)
+  List.iter
+    (fun v ->
+      let h = Engine.Columnar.value_hash v in
+      match Hashtbl.find_opt orig_tbl h with
+      | Some l -> l := v :: !l
+      | None -> Hashtbl.add orig_tbl h (ref [ v ]))
+    bi.original_result;
+  let in_original data =
+    match Hashtbl.find_opt orig_tbl (Engine.Columnar.value_hash data) with
+    | None -> false
+    | Some l -> List.exists (Value.equal data) !l
   in
-  (* UB(Δ+): rows that may newly appear when the explanation's operators
-     are reparameterized *)
-  let ub_plus =
-    List.length
-      (List.filter
-         (fun (r : Tracing.trow) ->
-           (not r.Tracing.surviving)
-           && Set_set.exists
-                (fun s -> Int_set.subset s expl_ops)
-                (fs r.Tracing.rid))
-         roots)
-  in
+  (* Flag-vector sweeps over the root rows; trees are reconstructed only
+     for the surviving rows that must be matched against the original
+     result. *)
+  let n_surviving_matching = ref 0
+  and n_surviving_ = ref 0
+  and ub_plus_ = ref 0 in
+  (match root_ot tr with
+  | None -> ()
+  | Some ot ->
+    let r0 = Tracing.rid0 ot in
+    for i = 0 to Tracing.n_rows ot - 1 do
+      if Tracing.surviving_at ot i then begin
+        incr n_surviving_;
+        if in_original (Tracing.data_at ot i) then incr n_surviving_matching
+      end
+      else if
+        (* UB(Δ+): rows that may newly appear when the explanation's
+           operators are reparameterized *)
+        Set_set.exists (fun s -> Int_set.subset s expl_ops) (fs (r0 + i))
+      then incr ub_plus_
+    done);
+  let n_surviving_matching = !n_surviving_matching
+  and n_surviving = !n_surviving_
+  and ub_plus = !ub_plus_ in
   (* UB(Δ−): original tuples whose presence is not witnessed unchanged *)
   let ub_minus = max 0 (original_count - n_surviving_matching) in
   let lb =
@@ -199,23 +243,19 @@ let bounds ~(bi : bounds_input) ~(q : Nrab.Query.t) (tr : Tracing.t)
    of a consistent output tuple" of Algorithm 4, computed as the ancestor
    closure over parent edges. *)
 let contributing (tr : Tracing.t) : (int, unit) Hashtbl.t =
-  let row_of = Hashtbl.create 256 in
-  List.iter
-    (fun (ot : Tracing.op_trace) ->
-      List.iter
-        (fun (r : Tracing.trow) -> Hashtbl.replace row_of r.Tracing.rid r)
-        ot.Tracing.rows)
-    tr.Tracing.ops;
+  let owner = rid_owners tr in
   let marked = Hashtbl.create 256 in
   let rec mark rid =
     if not (Hashtbl.mem marked rid) then begin
       Hashtbl.replace marked rid ();
-      match Hashtbl.find_opt row_of rid with
-      | Some r -> List.iter mark r.Tracing.parents
-      | None -> ()
+      if rid >= 0 && rid < Array.length owner then
+        match owner.(rid) with
+        | Some ot ->
+          List.iter mark (Tracing.parents_at ot (rid - Tracing.rid0 ot))
+        | None -> ()
     end
   in
-  List.iter (fun (r : Tracing.trow) -> mark r.Tracing.rid) (consistent_roots tr);
+  List.iter mark (consistent_root_rids tr);
   marked
 
 let algorithm4 (tr : Tracing.t) : Set_set.t =
@@ -224,23 +264,13 @@ let algorithm4 (tr : Tracing.t) : Set_set.t =
   (* linearized operator list, root first (top-down) *)
   let ops = List.rev tr.Tracing.ops in
   let conditions (ot : Tracing.op_trace) =
-    let rows =
-      List.filter
-        (fun (r : Tracing.trow) -> Hashtbl.mem contrib r.Tracing.rid)
-        ot.Tracing.rows
-    in
-    let extend =
-      List.exists
-        (fun (r : Tracing.trow) ->
-          r.Tracing.consistent && not r.Tracing.retained)
-        rows
-    in
-    let skip =
-      List.exists
-        (fun (r : Tracing.trow) -> r.Tracing.consistent && r.Tracing.retained)
-        rows
-    in
-    (extend, skip)
+    let r0 = Tracing.rid0 ot in
+    let extend = ref false and skip = ref false in
+    for i = 0 to Tracing.n_rows ot - 1 do
+      if Hashtbl.mem contrib (r0 + i) && Tracing.consistent_at ot i then
+        if Tracing.retained_at ot i then skip := true else extend := true
+    done;
+    (!extend, !skip)
   in
   let reparameterizable (ot : Tracing.op_trace) =
     match ot.Tracing.op_node with
@@ -292,11 +322,11 @@ let from_trace ~(bi : bounds_input) ~(q : Nrab.Query.t) (tr : Tracing.t) :
   let sa_index = tr.Tracing.sa.Alternatives.index in
   let candidate_sets =
     List.fold_left
-      (fun acc (r : Tracing.trow) ->
+      (fun acc rid ->
         Set_set.fold
           (fun s acc -> Set_set.add (Int_set.union prefix s) acc)
-          (fs r.Tracing.rid) acc)
-      Set_set.empty (consistent_roots tr)
+          (fs rid) acc)
+      Set_set.empty (consistent_root_rids tr)
   in
   (* the empty set would mean the answer is not missing at all *)
   let candidate_sets = Set_set.remove Int_set.empty candidate_sets in

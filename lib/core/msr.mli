@@ -22,8 +22,9 @@ val max_alternatives : int
     an alternative way to influence the group's row. *)
 val failure_sets : Tracing.t -> int -> Set_set.t
 
-(** Root rows matching the why-not question under the relaxation. *)
-val consistent_roots : Tracing.t -> Tracing.trow list
+(** Rids of root rows matching the why-not question under the
+    relaxation (flag-vector reads; no tree reconstruction). *)
+val consistent_root_rids : Tracing.t -> int list
 
 (* --- the literal Algorithm 4 --- *)
 

@@ -112,6 +112,8 @@ let max_flow ~(sources : int array) (* demand per pattern slot *)
   augment ();
   !total
 
+let bag_flow = max_flow
+
 let rec matches (value : Value.t) (pattern : t) : bool =
   match pattern, value with
   | Any, _ -> true

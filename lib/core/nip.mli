@@ -40,6 +40,13 @@ val some_element : t
     max-flow over (distinct element, pattern slot) pairs. *)
 val matches : Value.t -> t -> bool
 
+(** Bipartite feasibility flow behind bag matching (condition 4 of
+    Definition 4): route pattern-slot demands to instance-element
+    supplies along [edge].  Exposed so vectorized matchers can reuse it
+    with precomputed edge bits. *)
+val bag_flow :
+  sources:int array -> sinks:int array -> edge:(int -> int -> bool) -> int
+
 (** {1 Manipulation (used by schema backtracing)} *)
 
 (** Constrain (or add) a field of a tuple pattern. *)

@@ -33,8 +33,16 @@ let phase_durations_ms_of_span span =
    parallel pipeline gives each schema alternative its own. *)
 let phase_at cursor parent name f =
   let sp = Obs.Span.start ~parent ~at:!cursor name in
+  let bytes0 = Gc.allocated_bytes () in
+  let minors0 = (Gc.quick_stat ()).Gc.minor_collections in
   Fun.protect
     ~finally:(fun () ->
+      (* allocation pressure per phase, for the bench's alloc columns;
+         [allocated_bytes] is per-domain but phases run on the domain
+         that started them, so the delta is the phase's own *)
+      Obs.Span.set_float sp "alloc_bytes" (Gc.allocated_bytes () -. bytes0);
+      Obs.Span.set_int sp "minor_collections"
+        ((Gc.quick_stat ()).Gc.minor_collections - minors0);
       cursor := Obs.Clock.now_ns ();
       Obs.Span.finish ~at:!cursor sp;
       (* One Debug record per phase completion — with the ambient
@@ -286,6 +294,32 @@ let explain ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
 
 (* Total time per algorithm phase (summed across schema alternatives). *)
 let phase_durations_ms (r : result) = phase_durations_ms_of_span r.span
+
+(* Allocation pressure per phase: (bytes allocated, minor collections),
+   summed across schema alternatives from the span attributes that
+   [phase_at] records. *)
+let phase_gc (r : result) : (string * (float * int)) list =
+  List.map
+    (fun p ->
+      let sps = Obs.Span.find_all (fun s -> Obs.Span.name s = p) r.span in
+      let bytes =
+        List.fold_left
+          (fun acc s ->
+            match Obs.Span.attr s "alloc_bytes" with
+            | Some (Obs.Span.Float f) -> acc +. f
+            | _ -> acc)
+          0. sps
+      in
+      let minors =
+        List.fold_left
+          (fun acc s ->
+            match Obs.Span.attr s "minor_collections" with
+            | Some (Obs.Span.Int i) -> acc + i
+            | _ -> acc)
+          0 sps
+      in
+      (p, (bytes, minors)))
+    phases
 
 (* Convenience: explanation op-id sets in rank order. *)
 let explanation_sets (r : result) : int list list =

@@ -116,6 +116,10 @@ val phases : string list
     per-phase breakdown of Figures 8–11); pairs are in {!phases} order. *)
 val phase_durations_ms : result -> (string * float) list
 
+(** Allocation pressure per phase — (bytes allocated, minor collections),
+    summed across schema alternatives; pairs are in {!phases} order. *)
+val phase_gc : result -> (string * (float * int)) list
+
 (** Explanation operator-id sets, in rank order. *)
 val explanation_sets : result -> int list list
 

@@ -5,7 +5,10 @@
     inner flattens and joins are generalized to their outer variants —
     and every intermediate tuple is annotated.  The per-SA relations here
     correspond to the per-SA column groups of the merged annotated tables
-    of Figures 4–7, represented structurally instead of columnar.
+    of Figures 4–7 — and, like them, the annotations are stored columnar:
+    flat flag vectors plus an offset-encoded parent adjacency ({!vann}),
+    with per-row {!trow} trees reconstructed lazily from the arena-backed
+    data batch.
 
     Aggregate constraints of the why-not question are checked
     *optimistically* via achievable ranges over sub-multisets of
@@ -33,11 +36,36 @@ type trow = {
       (** achievable intervals for aggregate-output fields *)
 }
 
+(** Parent adjacency of one operator's rows, offset-encoded. *)
+type parents =
+  | P_none  (** source rows *)
+  | P_self of int  (** row [i]'s single parent is [base + i] *)
+  | P_one of int array  (** one parent per row *)
+  | P_many of int array * int array
+      (** [offsets] of length [n+1] into the flat rid array *)
+
+(** Columnar annotation vectors: one flag byte per row per annotation,
+    rids implicit — row [i] of the operator is rid [v_rid0 + i]. *)
+type vann = {
+  v_n : int;
+  v_rid0 : int;
+  v_consistent : Bytes.t;
+  v_retained : Bytes.t;
+  v_surviving : Bytes.t;
+  v_parents : parents;
+  v_ranges : (string * (float * float)) list array option;
+      (** [None] = no row carries ranges *)
+}
+
 type op_trace = {
   op_id : int;
   op_node : Query.node;
   nip : Nip.t;
-  rows : trow list;
+  ann : vann;
+  rows : trow list Lazy.t;
+      (** per-row trees, reconstructed on demand — force via {!rows} *)
+  data_at : int -> Value.t;
+      (** single-row tree, without forcing the whole batch *)
 }
 
 type t = {
@@ -46,6 +74,24 @@ type t = {
   root_op : int;
 }
 
+(** {1 Accessors} *)
+
+(** Force the operator's per-row tree view. *)
+val rows : op_trace -> trow list
+
+val n_rows : op_trace -> int
+val rid0 : op_trace -> int
+
+(** Row data by index, reconstructing just that row. *)
+val data_at : op_trace -> int -> Value.t
+
+(** Flag lookups by row index (no tree reconstruction). *)
+val consistent_at : op_trace -> int -> bool
+
+val retained_at : op_trace -> int -> bool
+val surviving_at : op_trace -> int -> bool
+val parents_at : op_trace -> int -> int list
+val parents_list : parents -> int -> int list
 val op_trace : t -> int -> op_trace option
 val root_rows : t -> trow list
 val find_row : t -> int -> (trow * int) option
@@ -58,7 +104,9 @@ val row_matches : Nip.t -> Value.t -> (string * (float * float)) list -> bool
 val interval_satisfies : Expr.cmp -> Value.t -> float * float -> bool
 
 (** Trace one schema alternative.  [bt] must be the backtrace of the SA's
-    (substituted) query.
+    (substituted) query.  Runs the batch-native relaxed evaluation unless
+    the row engine ([WHYNOT_ROW_ENGINE]) is active; both paths produce
+    identical traces (rids, flags, lineage, data).
 
     [revalidate] (default true) controls the paper's second novel
     technique: with [false], compatibility is checked at the table

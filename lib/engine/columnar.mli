@@ -1,0 +1,192 @@
+(** Columnar arena representation of nested-value batches.
+
+    A batch stores rows struct-of-arrays: flat typed arrays for
+    primitive columns, offset vectors encoding bag nesting, one global
+    hash-consed string dictionary, and packed presence bitmaps for
+    [Null].  [of_rows]/[to_rows] are exact inverses on arbitrary
+    {!Nested.Value.t} rows — canonical bag order is preserved verbatim —
+    so the tree API remains the semantic boundary and per-row
+    reconstruction can stay lazy.
+
+    Columns whose rows disagree on shape (mixed primitive kinds,
+    differing tuple labels) fall back to a boxed [CBox] column; every
+    kernel still works, just row-at-a-time for that column. *)
+
+open Nested
+
+(** Packed bit vectors (8 bits per byte). *)
+module Bitv : sig
+  type t
+
+  val create : int -> bool -> t
+  val length : t -> int
+  val get : t -> int -> bool
+  val set : t -> int -> bool -> unit
+  val init : int -> (int -> bool) -> t
+  val copy : t -> t
+  val logand : t -> t -> t
+  val logor : t -> t -> t
+  val lognot : t -> t
+
+  (** Number of set bits among the valid positions. *)
+  val count : t -> int
+
+  (** Positions of set bits, ascending. *)
+  val indices : t -> int array
+
+  val for_all : t -> bool
+end
+
+(** Process-wide hash-consed string dictionary.  Thread-safe. *)
+module Dict : sig
+  (** Intern a string, returning its stable code.  Bumps the
+      [engine.columnar.dict_hits] counter when the string was already
+      present. *)
+  val intern : string -> int
+
+  val lookup : int -> string
+
+  (** Memoized {!value_hash} of the interned string. *)
+  val hash : int -> int
+
+  val size : unit -> int
+end
+
+type col =
+  | CNull of int  (** [n] all-Null rows *)
+  | CConst of int * Value.t  (** [n] copies of one non-Null value *)
+  | CBool of Bitv.t * Bitv.t option  (** values, presence ([None] = all) *)
+  | CInt of int array * Bitv.t option
+  | CFloat of float array * Bitv.t option
+  | CStr of int array * Bitv.t option  (** global dictionary codes *)
+  | CTuple of int * (string * col) list * Bitv.t option
+  | CBag of bag
+  | CBox of Value.t array  (** fallback for shape-mixed columns *)
+
+and bag = {
+  bn : int;
+  boff : int array;  (** [bn + 1] element offsets *)
+  bmult : int array;  (** per stored element, its multiplicity *)
+  belems : col;  (** flattened elements, canonical order preserved *)
+  bpresent : Bitv.t option;  (** absent rows are [Null], not empty bags *)
+}
+
+type t = { n : int; row : col }
+
+val length : t -> int
+val col_length : col -> int
+
+(** {1 Building and reconstruction} *)
+
+val of_rows : Value.t list -> t
+val of_values : Value.t array -> t
+
+(** Exact inverse of [of_rows]: bags come back in stored canonical
+    order, never re-normalized. *)
+val to_rows : t -> Value.t list
+
+val to_values : t -> Value.t array
+val col_values : col -> Value.t array
+val get_row : t -> int -> Value.t
+
+(** [cmp_rows t i j] orders rows [i] and [j] exactly like
+    [Value.compare (get_row t i) (get_row t j)], without reconstructing
+    either value. *)
+val cmp_rows : t -> int -> int -> int
+
+(** [eqclasses n cols] assigns each of the [n] rows the smallest row
+    index structurally equal to it on every listed column — an exact
+    integer grouping key (hash candidates are verified with the
+    columnar comparator). *)
+val eqclasses : int -> col list -> int array
+val col_get : col -> int -> Value.t
+
+(** Columnar build of a relation's expanded tuples, cached by the
+    relation's physical identity (bounded LRU-ish cache). *)
+val of_relation : Relation.t -> t
+
+(** {1 Tuple structure} *)
+
+(** Top-level columns when every row is a tuple of the same labels;
+    [None] otherwise (fall back to row access). *)
+val cols : t -> (string * col) list option
+
+val find_col : t -> string -> col option
+val of_cols : int -> (string * col) list -> t
+
+(** {1 Kernels} *)
+
+val gather : t -> int array -> t
+val filter : t -> Bitv.t -> t
+val col_gather : col -> int array -> col
+
+(** Row-wise tuple concatenation (raises like [Value.concat_tuples] on
+    non-tuple rows). *)
+val hstack : t -> t -> t
+
+val vstack : t list -> t
+val empty : t
+
+(** [n] copies of one value, as a batch. *)
+val broadcast : int -> Value.t -> t
+
+(** Rows whose value is [Null] ([None] = no nulls). *)
+val null_mask : col -> Bitv.t option
+
+(** {1 Value coding}
+
+    Hash-consed integer codes: two values receive the same code iff
+    they are structurally equal — the equivalence the row engine's
+    generic [Hashtbl] grouping uses.  A coder's codes are consistent
+    across every column it codes, so join keys from both sides can be
+    compared as ints. *)
+module Coder : sig
+  type t
+
+  val create : unit -> t
+
+  (** Code of [Value.Null] (join key exclusion checks against this). *)
+  val null_code : int
+
+  val value_code : t -> Value.t -> int
+  val col_codes : t -> col -> int array
+
+  (** Combine per-column code arrays into one code per row
+      (order-sensitive, like an unlabelled tuple). *)
+  val mix : t -> int array list -> int array
+end
+
+val row_codes : Coder.t -> t -> int array
+
+(** {1 Hashing}
+
+    Identical to [Dataset.value_hash], vectorized — shuffles land rows
+    on the same partitions as the row engine. *)
+
+val value_hash : Value.t -> int
+val hash_col : col -> int array
+
+(** {1 Vectorized expression evaluation}
+
+    Exact [Nrab.Expr] semantics: Null propagation in arithmetic,
+    int/float coercing comparisons, Null comparisons false, short-
+    circuit [And]/[Or] exception behavior (via a per-row fallback when
+    a vectorized kernel would raise). *)
+
+val eval_expr : t -> Nrab.Expr.t -> col
+val eval_pred_mask : t -> Nrab.Expr.pred -> Bitv.t
+
+(** {1 Size accounting} *)
+
+val col_bytes : col -> int
+val bytes : t -> int
+val note_bytes_moved : int -> unit
+val note_rows_scanned : int -> unit
+
+(** {1 Row-engine escape hatch}
+
+    Initialized from [WHYNOT_ROW_ENGINE]; settable in-process so tests
+    and the bench harness can compare both paths. *)
+
+val row_engine : unit -> bool
+val set_row_engine : bool -> unit

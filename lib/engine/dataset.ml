@@ -1,47 +1,60 @@
 (* Partitioned datasets — the engine's unit of distribution.
 
-   A dataset is an array of partitions, each a list of tuples (already
-   expanded to their multiplicities, like rows of a Spark DataFrame). *)
+   A dataset is an array of partitions.  Each partition holds tuples
+   already expanded to their multiplicities (like rows of a Spark
+   DataFrame), stored either as a row list or as a columnar
+   {!Columnar.t} batch.  The row view ([partitions]/[to_list]) stays
+   the semantic boundary: columnar partitions reconstruct rows on
+   demand, so callers that think in trees keep working unchanged while
+   vectorized operators move contiguous column slices. *)
 
 open Nested
 
-type t = { partitions : Value.t list array }
+type part = Rows of Value.t list | Cols of Columnar.t
 
-let of_partitions partitions = { partitions }
-let partitions d = d.partitions
-let partition_count d = Array.length d.partitions
+type t = { parts : part array }
 
-let cardinal d =
-  Array.fold_left (fun acc p -> acc + List.length p) 0 d.partitions
+let part_rows = function Rows l -> l | Cols b -> Columnar.to_rows b
+let part_cols = function Cols b -> b | Rows l -> Columnar.of_rows l
+
+let part_length = function
+  | Rows l -> List.length l
+  | Cols b -> Columnar.length b
+
+let of_partitions partitions = { parts = Array.map (fun l -> Rows l) partitions }
+let of_cpartitions batches = { parts = Array.map (fun b -> Cols b) batches }
+let partitions d = Array.map part_rows d.parts
+let cpartitions d = Array.map part_cols d.parts
+let partition_count d = Array.length d.parts
+let cardinal d = Array.fold_left (fun acc p -> acc + part_length p) 0 d.parts
 
 let to_list (d : t) : Value.t list =
-  List.concat (Array.to_list d.partitions)
+  List.concat_map part_rows (Array.to_list d.parts)
 
 (* Hash of a value, stable across runs (no use of OCaml's randomized
-   hashing). *)
-let rec value_hash (v : Value.t) : int =
-  match v with
-  | Value.Null -> 17
-  | Value.Bool b -> if b then 31 else 37
-  | Value.Int i -> i * 2654435761
-  | Value.Float f -> Int64.to_int (Int64.bits_of_float f) * 2654435761
-  | Value.String s ->
-    let h = ref 5381 in
-    String.iter (fun c -> h := (!h * 33) + Char.code c) s;
-    !h
-  | Value.Tuple fields ->
-    List.fold_left
-      (fun acc (l, fv) -> (acc * 31) + value_hash (Value.String l) + value_hash fv)
-      7 fields
-  | Value.Bag es ->
-    List.fold_left (fun acc (e, m) -> acc + (value_hash e * m)) 11 es
+   hashing).  The columnar engine vectorizes the identical function
+   ({!Columnar.hash_col}), so both layouts shuffle rows to the same
+   partitions. *)
+let value_hash = Columnar.value_hash
 
 (* Distribute a list of tuples round-robin over [n] partitions. *)
 let distribute ~partitions:n (rows : Value.t list) : t =
   let n = max 1 n in
   let parts = Array.make n [] in
   List.iteri (fun i row -> parts.(i mod n) <- row :: parts.(i mod n)) rows;
-  { partitions = Array.map List.rev parts }
+  { parts = Array.map (fun l -> Rows (List.rev l)) parts }
+
+(* Round-robin distribution of a columnar batch: partition [i] takes
+   rows [i, i+n, ...] — the same rows, in the same order, as
+   [distribute] over the reconstructed list. *)
+let distribute_cols ~partitions:n (b : Columnar.t) : t =
+  let n = max 1 n in
+  let total = Columnar.length b in
+  { parts =
+      Array.init n (fun i ->
+          let m = if total <= i then 0 else 1 + ((total - i - 1) / n) in
+          Cols (Columnar.gather b (Array.init m (fun j -> i + (j * n)))));
+  }
 
 (* Repartition by a key function (a shuffle).  Returns the dataset and the
    number of rows moved across partitions. *)
@@ -50,7 +63,7 @@ let shuffle_by ~partitions:n (key : Value.t -> Value.t) (d : t) : t * int =
   let parts = Array.make n [] in
   let moved = ref 0 in
   Array.iteri
-    (fun src rows ->
+    (fun src p ->
       List.iter
         (fun row ->
           (* [land max_int] rather than [abs]: [abs min_int] is negative
@@ -58,14 +71,58 @@ let shuffle_by ~partitions:n (key : Value.t -> Value.t) (d : t) : t * int =
           let dst = value_hash (key row) land max_int mod n in
           if dst <> src then incr moved;
           parts.(dst) <- row :: parts.(dst))
-        rows)
-    d.partitions;
-  ({ partitions = Array.map List.rev parts }, !moved)
+        (part_rows p))
+    d.parts;
+  ({ parts = Array.map (fun l -> Rows (List.rev l)) parts }, !moved)
+
+(* Vectorized shuffle: [hash_of] produces one destination hash per row
+   of a batch; moved rows travel as contiguous gathered column slices,
+   and the bytes shipped are reported on the
+   [engine.columnar.bytes_moved] counter. *)
+let shuffle_hashed ~partitions:n (hash_of : Columnar.t -> int array) (d : t) :
+    t * int =
+  let n = max 1 n in
+  let bs = cpartitions d in
+  let moved = ref 0 and bytes = ref 0 in
+  let dests = Array.make n [] in
+  Array.iteri
+    (fun src b ->
+      let h = hash_of b in
+      let idxs = Array.make n [] in
+      Array.iteri
+        (fun i hv ->
+          let dst = hv land max_int mod n in
+          if dst <> src then incr moved;
+          idxs.(dst) <- i :: idxs.(dst))
+        h;
+      for dst = 0 to n - 1 do
+        match idxs.(dst) with
+        | [] -> ()
+        | l ->
+          let slice = Columnar.gather b (Array.of_list (List.rev l)) in
+          if dst <> src then bytes := !bytes + Columnar.bytes slice;
+          dests.(dst) <- slice :: dests.(dst)
+      done)
+    bs;
+  Columnar.note_bytes_moved !bytes;
+  ( { parts =
+        Array.map (fun l -> Cols (Columnar.vstack (List.rev l))) dests;
+    },
+    !moved )
 
 (* Collapse to a single partition (a gather). *)
 let gather (d : t) : t * int =
-  let rows = to_list d in
-  ({ partitions = [| rows |] }, List.length rows)
+  let all_cols =
+    Array.for_all (function Cols _ -> true | Rows _ -> false) d.parts
+  in
+  if all_cols then begin
+    let b = Columnar.vstack (Array.to_list (cpartitions d)) in
+    Columnar.note_bytes_moved (Columnar.bytes b);
+    ({ parts = [| Cols b |] }, Columnar.length b)
+  end
+  else
+    let rows = to_list d in
+    ({ parts = [| Rows rows |] }, List.length rows)
 
 (* [parallel] fans the partitions out over the shared domain {!Pool}
    (the engine's stand-in for a DISC system's task parallelism) instead
@@ -78,31 +135,43 @@ let gather (d : t) : t * int =
    the Spark task-retry model).  The ["engine.partition"] chaos site
    fires once per attempt, inside the retry scope, so an armed fault on
    one attempt is survived by the next. *)
-let map_partitions ?(parallel = false) ?pool ?(retry = Fault.no_retry)
-    ?(label = "partition") ?on_retry (f : Value.t list -> Value.t list)
-    (d : t) : t =
-  let task _i (part : Value.t list) () =
+let map_parts_generic ?(parallel = false) ?pool ?(retry = Fault.no_retry)
+    ?(label = "partition") ?on_retry (f : part -> part) (d : t) : t =
+  let task _i (p : part) () =
     Obs.Faultinject.fire "engine.partition";
-    f part
+    f p
   and fault_retry i =
     Option.map (fun cb ~attempt e -> cb ~partition:i ~attempt e) on_retry
   in
-  let run i part =
+  let run i p =
     Fault.protect ~policy:retry
       ~task:(Fmt.str "%s/p%d" label i)
-      ~task_id:i ?on_retry:(fault_retry i) (task i part)
+      ~task_id:i ?on_retry:(fault_retry i) (task i p)
   in
-  if (not parallel) || Array.length d.partitions <= 1 then
-    { partitions = Array.mapi run d.partitions }
+  if (not parallel) || Array.length d.parts <= 1 then
+    { parts = Array.mapi run d.parts }
   else
-    let pool =
-      match pool with Some p -> p | None -> Pool.default ()
-    in
-    let indexed = Array.mapi (fun i p -> (i, p)) d.partitions in
-    { partitions = Pool.map_array pool (fun (i, p) -> run i p) indexed }
+    let pool = match pool with Some p -> p | None -> Pool.default () in
+    let indexed = Array.mapi (fun i p -> (i, p)) d.parts in
+    { parts = Pool.map_array pool (fun (i, p) -> run i p) indexed }
+
+let map_partitions ?parallel ?pool ?retry ?label ?on_retry
+    (f : Value.t list -> Value.t list) (d : t) : t =
+  map_parts_generic ?parallel ?pool ?retry ?label ?on_retry
+    (fun p -> Rows (f (part_rows p)))
+    d
+
+(* Columnar sibling of {!map_partitions}: same task-attempt semantics
+   (chaos site, retries), batch-in/batch-out. *)
+let map_cpartitions ?parallel ?pool ?retry ?label ?on_retry
+    (f : Columnar.t -> Columnar.t) (d : t) : t =
+  map_parts_generic ?parallel ?pool ?retry ?label ?on_retry
+    (fun p -> Cols (f (part_cols p)))
+    d
 
 let of_relation ~partitions (r : Relation.t) : t =
-  distribute ~partitions (Relation.tuples r)
+  if Columnar.row_engine () then distribute ~partitions (Relation.tuples r)
+  else distribute_cols ~partitions (Columnar.of_relation r)
 
 let to_relation ~schema (d : t) : Relation.t =
   Relation.of_tuples ~schema (to_list d)

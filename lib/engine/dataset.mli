@@ -8,7 +8,14 @@ open Nested
 type t
 
 val of_partitions : Value.t list array -> t
+
+(** Row view of every partition (columnar partitions reconstruct). *)
 val partitions : t -> Value.t list array
+
+(** Columnar view of every partition (row partitions build batches). *)
+val cpartitions : t -> Columnar.t array
+
+val of_cpartitions : Columnar.t array -> t
 val partition_count : t -> int
 val cardinal : t -> int
 val to_list : t -> Value.t list
@@ -23,6 +30,12 @@ val distribute : partitions:int -> Value.t list -> t
 (** Hash-repartition by a key — a shuffle.  Also returns the number of
     rows that crossed partitions. *)
 val shuffle_by : partitions:int -> (Value.t -> Value.t) -> t -> t * int
+
+(** Vectorized shuffle: [hash_of] yields one destination hash per batch
+    row (use {!Columnar.hash_col} over the key columns for parity with
+    {!shuffle_by}).  Moved rows travel as contiguous gathered column
+    slices; shipped bytes land on [engine.columnar.bytes_moved]. *)
+val shuffle_hashed : partitions:int -> (Columnar.t -> int array) -> t -> t * int
 
 (** Collapse to a single partition; returns the rows moved. *)
 val gather : t -> t * int
@@ -48,5 +61,22 @@ val map_partitions :
   (Value.t list -> Value.t list) ->
   t ->
   t
+
+(** Columnar sibling of {!map_partitions}: identical task-attempt
+    semantics (chaos site, retries, pool fan-out), batch-in/batch-out —
+    no per-row tree materialization on the fast path. *)
+val map_cpartitions :
+  ?parallel:bool ->
+  ?pool:Pool.t ->
+  ?retry:Fault.policy ->
+  ?label:string ->
+  ?on_retry:(partition:int -> attempt:int -> exn -> unit) ->
+  (Columnar.t -> Columnar.t) ->
+  t ->
+  t
+
+(** Columnar when the columnar engine is active (cached arena build of
+    the relation, round-robin column slices), row lists under
+    [WHYNOT_ROW_ENGINE]. *)
 val of_relation : partitions:int -> Relation.t -> t
 val to_relation : schema:Vtype.t -> t -> Relation.t

@@ -95,15 +95,17 @@ let key_of attrs : Value.t -> Value.t =
 let project_row cols t =
   Value.Tuple (List.map (fun (name, e) -> (name, Expr.eval t e)) cols)
 
-let rename_row pairs : Value.t -> Value.t =
+let rename_label_fn pairs : string -> string =
   let fresh_of = Hashtbl.create (2 * List.length pairs) in
   List.iter
     (fun (fresh, old) ->
       if not (Hashtbl.mem fresh_of old) then Hashtbl.replace fresh_of old fresh)
     pairs;
-  let rename_label l =
+  fun l ->
     match Hashtbl.find_opt fresh_of l with Some fresh -> fresh | None -> l
-  in
+
+let rename_row pairs : Value.t -> Value.t =
+  let rename_label = rename_label_fn pairs in
   fun t ->
     match t with
     | Value.Tuple fields ->
@@ -297,6 +299,541 @@ let diff_rows (l : Value.t list) (r : Value.t list) : Value.t list =
       | _ -> true)
     l
 
+(* --- Columnar (vectorized) kernels --------------------------------- *)
+
+(* The engine runs these when the columnar engine is active (the
+   default); [WHYNOT_ROW_ENGINE] falls back to the row kernels above.
+   Each kernel is multiset-equivalent to its row sibling — row order
+   within a partition is irrelevant because bags are normalized
+   downstream — and reproduces the row kernel's error behavior. *)
+
+let vectorized () = not (Columnar.row_engine ())
+
+(* Destination hashes for a shuffle keyed by labelled attribute
+   projections ([(label, source attr)] pairs), identical to hashing
+   [key_of]/group-key tuples row by row.  [strict] missing attributes
+   raise like [key_of]; lax ones hash as Null like the group keys. *)
+let key_hash_of_pairs (pairs : (string * string) list) ~strict
+    (fallback_key : Value.t -> Value.t) (b : Columnar.t) : int array =
+  let n = Columnar.length b in
+  match Columnar.cols b with
+  | Some fields when n > 0 ->
+    let kcols =
+      List.map
+        (fun (label, a) ->
+          match List.assoc_opt a fields with
+          | Some c -> (label, c)
+          | None ->
+            if strict then err "engine: unknown key attribute %s" a
+            else (label, Columnar.CNull n))
+        pairs
+    in
+    Columnar.hash_col (Columnar.CTuple (n, kcols, None))
+  | Some _ -> [||]
+  | None ->
+    Array.of_list
+      (List.map
+         (fun row -> Columnar.value_hash (fallback_key row))
+         (Columnar.to_rows b))
+
+let whole_row_hash (b : Columnar.t) : int array = Columnar.hash_col b.Columnar.row
+
+(* Duplicate elimination on one partition: first occurrence per
+   structural-equality class (integer codes stand in for deep rows). *)
+let dedup_cols (b : Columnar.t) : Columnar.t =
+  let coder = Columnar.Coder.create () in
+  let codes = Columnar.row_codes coder b in
+  let seen = Hashtbl.create (2 * Columnar.length b) in
+  let keep = ref [] in
+  Array.iteri
+    (fun i c ->
+      if not (Hashtbl.mem seen c) then begin
+        Hashtbl.replace seen c ();
+        keep := i :: !keep
+      end)
+    codes;
+  Columnar.gather b (Array.of_list (List.rev !keep))
+
+(* Bag difference on one partition pair, multiset semantics like
+   [diff_rows]: each right occurrence cancels one left occurrence. *)
+let diff_cols (lb : Columnar.t) (rb : Columnar.t) : Columnar.t =
+  let coder = Columnar.Coder.create () in
+  let lc = Columnar.row_codes coder lb in
+  let rc = Columnar.row_codes coder rb in
+  let counts = Hashtbl.create (2 * Array.length rc) in
+  Array.iter
+    (fun c ->
+      Hashtbl.replace counts c
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+    rc;
+  let keep = ref [] in
+  Array.iteri
+    (fun i c ->
+      match Hashtbl.find_opt counts c with
+      | Some n when n > 0 -> Hashtbl.replace counts c (n - 1)
+      | _ -> keep := i :: !keep)
+    lc;
+  Columnar.gather lb (Array.of_list (List.rev !keep))
+
+(* Partition-local hash join over code vectors: build the smaller side's
+   key codes into an index, probe with the other side, evaluate only the
+   residual on the gathered candidate pairs.  Mirrors [join_partition]
+   (build-side choice, Null key exclusion, outer padding) without
+   materializing per-row trees. *)
+let join_cols ~keys ~(residual : Expr.pred) ~kind ~lnull ~rnull
+    (lb : Columnar.t) (rb : Columnar.t) : Columnar.t =
+  let module C = Columnar in
+  let ln = C.length lb and rn = C.length rb in
+  let cand_l, cand_r =
+    match keys with
+    | [] ->
+      (* No equi key: every pair is a candidate (the nested loop). *)
+      let li = Array.make (ln * rn) 0 and ri = Array.make (ln * rn) 0 in
+      for i = 0 to ln - 1 do
+        for j = 0 to rn - 1 do
+          li.((i * rn) + j) <- i;
+          ri.((i * rn) + j) <- j
+        done
+      done;
+      (li, ri)
+    | keys ->
+      let coder = C.Coder.create () in
+      (* Key codes per row; [-1] flags a key containing Null, which can
+         never satisfy an equality conjunct (excluded from build and
+         probe, surfacing only as outer pads). *)
+      let side_codes (b : C.t) attrs : int array =
+        let n = C.length b in
+        if n = 0 then [||]
+        else
+          match C.cols b with
+          | Some fields ->
+            let comps =
+              List.map
+                (fun a ->
+                  match List.assoc_opt a fields with
+                  | Some c -> C.Coder.col_codes coder c
+                  | None -> err "engine: unknown key attribute %s" a)
+                attrs
+            in
+            let mixed = C.Coder.mix coder comps in
+            Array.iteri
+              (fun i _ ->
+                if
+                  List.exists (fun cs -> cs.(i) = C.Coder.null_code) comps
+                then mixed.(i) <- -1)
+              mixed;
+            mixed
+          | None ->
+            (* Non-uniform rows: code key components row by row, mixing
+               them exactly like the column path so both sides agree. *)
+            let key = key_of attrs in
+            let comps =
+              Array.init n (fun i ->
+                  match key (C.get_row b i) with
+                  | Value.Tuple fields -> List.map snd fields
+                  | v -> [ v ])
+            in
+            let k = List.length attrs in
+            let code_arrays =
+              List.init k (fun j ->
+                  Array.map
+                    (fun cs -> C.Coder.value_code coder (List.nth cs j))
+                    comps)
+            in
+            let mixed = C.Coder.mix coder code_arrays in
+            Array.iteri
+              (fun i cs ->
+                if List.exists (fun v -> v = Value.Null) cs then mixed.(i) <- -1)
+              comps;
+            mixed
+      in
+      let lcodes = side_codes lb (List.map fst keys) in
+      let rcodes = side_codes rb (List.map snd keys) in
+      let build_is_left = ln <= rn in
+      let bcodes, pcodes = if build_is_left then (lcodes, rcodes) else (rcodes, lcodes) in
+      let index = Hashtbl.create (2 * Array.length bcodes) in
+      Array.iteri
+        (fun bi c ->
+          if c >= 0 then
+            Hashtbl.replace index c
+              (bi :: Option.value ~default:[] (Hashtbl.find_opt index c)))
+        bcodes;
+      let li = ref [] and ri = ref [] in
+      Array.iteri
+        (fun pi c ->
+          if c >= 0 then
+            match Hashtbl.find_opt index c with
+            | None -> ()
+            | Some bis ->
+              List.iter
+                (fun bi ->
+                  if build_is_left then begin
+                    li := bi :: !li;
+                    ri := pi :: !ri
+                  end
+                  else begin
+                    li := pi :: !li;
+                    ri := bi :: !ri
+                  end)
+                bis)
+        pcodes;
+      (Array.of_list (List.rev !li), Array.of_list (List.rev !ri))
+  in
+  let joined = C.hstack (C.gather lb cand_l) (C.gather rb cand_r) in
+  let mask =
+    match residual with
+    | Expr.True -> C.Bitv.create (C.length joined) true
+    | residual -> C.eval_pred_mask joined residual
+  in
+  let matched_l = Bytes.make (max ln 1) '\000'
+  and matched_r = Bytes.make (max rn 1) '\000' in
+  for k = 0 to C.length joined - 1 do
+    if C.Bitv.get mask k then begin
+      Bytes.set matched_l cand_l.(k) '\001';
+      Bytes.set matched_r cand_r.(k) '\001'
+    end
+  done;
+  let inner =
+    if C.Bitv.count mask = C.length joined then joined else C.filter joined mask
+  in
+  let unmatched m n =
+    let idx = ref [] in
+    for i = n - 1 downto 0 do
+      if Bytes.get m i = '\000' then idx := i :: !idx
+    done;
+    Array.of_list !idx
+  in
+  let left_pad () =
+    let ul = unmatched matched_l ln in
+    C.hstack (C.gather lb ul) (C.broadcast (Array.length ul) rnull)
+  in
+  let right_pad () =
+    let ur = unmatched matched_r rn in
+    C.hstack (C.broadcast (Array.length ur) lnull) (C.gather rb ur)
+  in
+  match kind with
+  | Query.Inner -> inner
+  | Query.Left -> C.vstack [ inner; left_pad () ]
+  | Query.Right -> C.vstack [ inner; right_pad () ]
+  | Query.Full -> C.vstack [ inner; left_pad (); right_pad () ]
+
+(* Rows per structural-equality class of [codes], first-seen order,
+   members ascending — the grouping order of [group_rows]. *)
+let group_indices (codes : int array) : int array array =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iteri
+    (fun i c ->
+      match Hashtbl.find_opt tbl c with
+      | Some cell -> cell := i :: !cell
+      | None ->
+        let cell = ref [ i ] in
+        Hashtbl.add tbl c cell;
+        order := cell :: !order)
+    codes;
+  Array.of_list
+    (List.rev_map (fun cell -> Array.of_list (List.rev !cell)) !order)
+
+(* Tuple flatten: splice the nested tuple column's fields next to the
+   outer columns.  When the nested column is already a clean [CTuple]
+   this is pointer reuse; otherwise the inner tuples are rebuilt per
+   row (with [flatten_tuple_row]'s error behavior). *)
+let flatten_tuple_cols inner_ty a (b : Columnar.t) : Columnar.t =
+  let n = Columnar.length b in
+  let null_inner = Vtype.null_tuple inner_ty in
+  match Columnar.cols b with
+  | None ->
+    Columnar.of_rows (List.map (flatten_tuple_row inner_ty a) (Columnar.to_rows b))
+  | Some fs ->
+    let right =
+      match List.assoc_opt a fs with
+      | Some (Columnar.CTuple (_, _, None) as ic) -> { Columnar.n; row = ic }
+      | Some col ->
+        Columnar.of_values
+          (Array.init n (fun i ->
+               match Columnar.col_get col i with
+               | Value.Tuple _ as inner -> inner
+               | Value.Null -> null_inner
+               | _ -> err "engine: tuple flatten of non-tuple attribute %s" a))
+      | None -> err "engine: unknown attribute %s" a
+    in
+    Columnar.hstack b right
+
+(* Relation flatten: expand the bag column by building a parent-index
+   and element-selection vector, then one gather per side.  Inner
+   flatten drops empty/Null bags; outer flatten emits one Null-padded
+   row (the selection vector points past the element column at a
+   single appended Null tuple). *)
+let flatten_cols kind inner_ty a (b : Columnar.t) : Columnar.t =
+  let n = Columnar.length b in
+  let null_inner = Vtype.null_tuple inner_ty in
+  let keep_empty = kind = Query.Flat_outer in
+  match Columnar.find_col b a with
+  | Some (Columnar.CBag bg) ->
+    let present i =
+      match bg.Columnar.bpresent with
+      | None -> true
+      | Some p -> Columnar.Bitv.get p i
+    in
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      let cnt =
+        if not (present i) then 0
+        else begin
+          let s = ref 0 in
+          for j = bg.Columnar.boff.(i) to bg.Columnar.boff.(i + 1) - 1 do
+            s := !s + bg.Columnar.bmult.(j)
+          done;
+          !s
+        end
+      in
+      total := !total + (if cnt = 0 then if keep_empty then 1 else 0 else cnt)
+    done;
+    let m = !total in
+    let parent_idx = Array.make m 0 and sel = Array.make m 0 in
+    let ne = Columnar.col_length bg.Columnar.belems in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      let start = !k in
+      if present i then
+        for j = bg.Columnar.boff.(i) to bg.Columnar.boff.(i + 1) - 1 do
+          for _ = 1 to bg.Columnar.bmult.(j) do
+            parent_idx.(!k) <- i;
+            sel.(!k) <- j;
+            incr k
+          done
+        done;
+      if !k = start && keep_empty then begin
+        parent_idx.(!k) <- i;
+        sel.(!k) <- ne;
+        incr k
+      end
+    done;
+    let elem_batch = { Columnar.n = ne; row = bg.Columnar.belems } in
+    let right =
+      if keep_empty then
+        Columnar.gather
+          (Columnar.vstack [ elem_batch; Columnar.broadcast 1 null_inner ])
+          sel
+      else Columnar.gather elem_batch sel
+    in
+    Columnar.hstack (Columnar.gather b parent_idx) right
+  | _ ->
+    Columnar.of_rows
+      (List.concat_map (flatten_rel_rows kind inner_ty a) (Columnar.to_rows b))
+
+let nest_tuple_cols pairs c_name (b : Columnar.t) : Columnar.t =
+  let n = Columnar.length b in
+  let attrs = List.map snd pairs in
+  match Columnar.cols b with
+  | Some fs ->
+    let rest = List.filter (fun (l, _) -> not (List.mem l attrs)) fs in
+    let nested =
+      List.map
+        (fun (label, a) ->
+          match List.assoc_opt a fs with
+          | Some col -> (label, col)
+          | None -> err "engine: unknown attribute %s" a)
+        pairs
+    in
+    Columnar.of_cols n (rest @ [ (c_name, Columnar.CTuple (n, nested, None)) ])
+  | None ->
+    Columnar.of_rows (List.map (nest_tuple_row pairs c_name) (Columnar.to_rows b))
+
+(* Per-tuple aggregation over the bag column: member values come straight
+   from the flattened element column (offset-sliced per row), never from
+   reconstructed rows. *)
+let agg_tuple_cols fn a out (b : Columnar.t) : Columnar.t =
+  let n = Columnar.length b in
+  let unwrap v =
+    match v with Value.Tuple [ (_, inner) ] -> inner | other -> other
+  in
+  let member_vals : Value.t list array =
+    match Columnar.find_col b a with
+    | Some (Columnar.CBag bg) ->
+      let evs =
+        match bg.Columnar.belems with
+        | Columnar.CTuple (_, [ (_, inner) ], None) -> Columnar.col_values inner
+        | ec -> Array.map unwrap (Columnar.col_values ec)
+      in
+      let present i =
+        match bg.Columnar.bpresent with
+        | None -> true
+        | Some p -> Columnar.Bitv.get p i
+      in
+      Array.init n (fun i ->
+          if not (present i) then []
+          else begin
+            let acc = ref [] in
+            for j = bg.Columnar.boff.(i + 1) - 1 downto bg.Columnar.boff.(i) do
+              for _ = 1 to bg.Columnar.bmult.(j) do
+                acc := evs.(j) :: !acc
+              done
+            done;
+            !acc
+          end)
+    | col_opt ->
+      let get_field =
+        match col_opt, Columnar.cols b with
+        | Some col, _ -> fun i -> Some (Columnar.col_get col i)
+        | None, Some _ -> fun _ -> None
+        | None, None -> fun i -> Value.field a (Columnar.get_row b i)
+      in
+      Array.init n (fun i ->
+          match get_field i with
+          | Some (Value.Bag _ as bag) -> List.map unwrap (Value.expand bag)
+          | Some Value.Null | None -> []
+          | Some _ -> err "engine: per-tuple aggregation of non-bag attribute %s" a)
+  in
+  let agg_vals = Array.map (Agg.apply fn) member_vals in
+  Columnar.hstack b
+    (Columnar.of_cols n [ (out, (Columnar.of_values agg_vals).Columnar.row) ])
+
+(* Group-and-nest on one (already shuffled) partition: group rows by the
+   key columns' structural codes, gather the key columns once per group,
+   and build each group's bag from the projected member columns. *)
+let nest_rel_cols ~group_attrs pairs c_name (b : Columnar.t) : Columnar.t =
+  let n = Columnar.length b in
+  match Columnar.cols b with
+  | Some fs ->
+    let strict_col a =
+      match List.assoc_opt a fs with
+      | Some col -> col
+      | None -> err "engine: unknown key attribute %s" a
+    in
+    let lax_col a =
+      match List.assoc_opt a fs with
+      | Some col -> col
+      | None -> Columnar.CNull n
+    in
+    let coder = Columnar.Coder.create () in
+    let key_codes =
+      match group_attrs with
+      | [] -> Array.make n 0
+      | gs ->
+        Columnar.Coder.mix coder
+          (List.map (fun a -> Columnar.Coder.col_codes coder (strict_col a)) gs)
+    in
+    let groups = group_indices key_codes in
+    let reps = Array.map (fun m -> m.(0)) groups in
+    let proj_vals =
+      Columnar.to_values
+        (Columnar.of_cols n
+           (List.map (fun (label, a) -> (label, lax_col a)) pairs))
+    in
+    let keys =
+      Columnar.gather
+        (Columnar.of_cols n (List.map (fun a -> (a, strict_col a)) group_attrs))
+        reps
+    in
+    let bags =
+      Array.map
+        (fun members ->
+          Value.Tuple
+            [
+              ( c_name,
+                Value.bag_of_list
+                  (List.map (fun i -> proj_vals.(i)) (Array.to_list members)) );
+            ])
+        groups
+    in
+    Columnar.hstack keys (Columnar.of_values bags)
+  | None ->
+    let proj t =
+      Value.Tuple
+        (List.map
+           (fun (label, a) ->
+             (label, Option.value ~default:Value.Null (Value.field a t)))
+           pairs)
+    in
+    Columnar.of_rows
+      (List.map
+         (fun (k, members) ->
+           Value.concat_tuples k
+             (Value.Tuple [ (c_name, Value.bag_of_list (List.map proj members)) ]))
+         (group_by_attrs group_attrs (Columnar.to_rows b)))
+
+(* Grouped aggregation on one (already shuffled) partition: key columns
+   are lax like [group_key]; aggregate inputs are strict like
+   [aggregate]'s member lookups. *)
+let group_agg_cols group aggs (b : Columnar.t) : Columnar.t =
+  let n = Columnar.length b in
+  match Columnar.cols b with
+  | Some fs ->
+    let lax_col a =
+      match List.assoc_opt a fs with
+      | Some col -> col
+      | None -> Columnar.CNull n
+    in
+    let coder = Columnar.Coder.create () in
+    let key_codes =
+      match group with
+      | [] -> Array.make n 0
+      | g ->
+        Columnar.Coder.mix coder
+          (List.map
+             (fun (_, a) -> Columnar.Coder.col_codes coder (lax_col a))
+             g)
+    in
+    let groups = group_indices key_codes in
+    let reps = Array.map (fun m -> m.(0)) groups in
+    let keys =
+      Columnar.gather
+        (Columnar.of_cols n (List.map (fun (label, a) -> (label, lax_col a)) group))
+        reps
+    in
+    let agg_cols =
+      List.map
+        (fun (fn, a, out_name) ->
+          let member_val : int -> Value.t =
+            match a with
+            | None -> fun _ -> Value.Int 1
+            | Some a -> (
+              match List.assoc_opt a fs with
+              | Some col -> fun i -> Columnar.col_get col i
+              | None -> err "engine: unknown attribute %s" a)
+          in
+          let vals =
+            Array.map
+              (fun members ->
+                Agg.apply fn (List.map member_val (Array.to_list members)))
+              groups
+          in
+          (out_name, (Columnar.of_values vals).Columnar.row))
+        aggs
+    in
+    Columnar.hstack keys (Columnar.of_cols (Array.length groups) agg_cols)
+  | None ->
+    let group_key t =
+      Value.Tuple
+        (List.map
+           (fun (label, a) ->
+             (label, Option.value ~default:Value.Null (Value.field a t)))
+           group)
+    in
+    Columnar.of_rows
+      (List.map
+         (fun (k, members) ->
+           let agg_fields =
+             List.map
+               (fun (fn, a, out_name) ->
+                 let values =
+                   match a with
+                   | Some a ->
+                     List.map
+                       (fun t ->
+                         match Value.field a t with
+                         | Some v -> v
+                         | None -> err "engine: unknown attribute %s" a)
+                       members
+                   | None -> List.map (fun _ -> Value.Int 1) members
+                 in
+                 (out_name, Agg.apply fn values))
+               aggs
+           in
+           Value.concat_tuples k (Value.Tuple agg_fields))
+         (group_rows group_key (Columnar.to_rows b)))
+
 let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
     (q : Query.t) : Relation.t * Stats.t =
   let env = schema_env db in
@@ -335,6 +872,10 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
       Dataset.map_partitions ~parallel ~retry ~label:op_name
         ~on_retry:(retry_attr sp) f d
     in
+    let mappc f d =
+      Dataset.map_cpartitions ~parallel ~retry ~label:op_name
+        ~on_retry:(retry_attr sp) f d
+    in
     let narrow child kernel =
       let d = go sp child in
       let input = Dataset.cardinal d in
@@ -342,7 +883,19 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
       record_io input (Dataset.cardinal out);
       out
     in
-    let out = eval_node sp ostat record_io narrow mapp q in
+    (* Columnar sibling of [narrow]: batch-in/batch-out per partition.
+       Kernels skip empty batches so vectorized attribute lookups never
+       raise where the (row-less) row path would not. *)
+    let narrowc child kernel =
+      let d = go sp child in
+      let input = Dataset.cardinal d in
+      let out =
+        mappc (fun b -> if Columnar.length b = 0 then b else kernel b) d
+      in
+      record_io input (Dataset.cardinal out);
+      out
+    in
+    let out = eval_node sp ostat record_io narrow narrowc mapp mappc q in
     Option.iter
       (fun s ->
         Obs.Span.set_int s "op_id" q.id;
@@ -352,16 +905,32 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
         Obs.Span.finish s)
       sp;
     out
-  and eval_node sp ostat record_io narrow mapp (q : Query.t) : Dataset.t =
+  and eval_node sp ostat record_io narrow narrowc mapp mappc (q : Query.t) :
+      Dataset.t =
     match q.node, q.children with
     | Query.Table name, [] ->
       let rel = Relation.Db.find_exn name db in
       let d = Dataset.of_relation ~partitions:n rel in
       record_io (Relation.cardinal rel) (Dataset.cardinal d);
       d
+    | Query.Select pred, [ c ] when vectorized () ->
+      narrowc c (fun b -> Columnar.filter b (Columnar.eval_pred_mask b pred))
     | Query.Select pred, [ c ] ->
       narrow c (fun t -> if Expr.eval_pred t pred then [ t ] else [])
+    | Query.Project cols, [ c ] when vectorized () ->
+      narrowc c (fun b ->
+          Columnar.of_cols (Columnar.length b)
+            (List.map (fun (name, e) -> (name, Columnar.eval_expr b e)) cols))
     | Query.Project cols, [ c ] -> narrow c (fun t -> [ project_row cols t ])
+    | Query.Rename pairs, [ c ] when vectorized () ->
+      let rename_label = rename_label_fn pairs in
+      let rename = rename_row pairs in
+      narrowc c (fun b ->
+          match Columnar.cols b with
+          | Some fields ->
+            Columnar.of_cols (Columnar.length b)
+              (List.map (fun (l, c) -> (rename_label l, c)) fields)
+          | None -> Columnar.of_rows (List.map rename (Columnar.to_rows b)))
     | Query.Rename pairs, [ c ] ->
       let rename = rename_row pairs in
       narrow c (fun t -> [ rename t ])
@@ -372,7 +941,8 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
         | Some ty -> ty
         | None -> err "engine: unknown attribute %s" a
       in
-      narrow c (fun t -> [ flatten_tuple_row inner_ty a t ])
+      if vectorized () then narrowc c (flatten_tuple_cols inner_ty a)
+      else narrow c (fun t -> [ flatten_tuple_row inner_ty a t ])
     | Query.Flatten (kind, a), [ c ] ->
       let cty = Typecheck.infer env c in
       let inner_ty =
@@ -380,52 +950,86 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
         | Some (Vtype.TBag ety) -> ety
         | Some _ | None -> err "engine: attribute %s is not a relation" a
       in
-      narrow c (flatten_rel_rows kind inner_ty a)
+      if vectorized () then narrowc c (flatten_cols kind inner_ty a)
+      else narrow c (flatten_rel_rows kind inner_ty a)
     | Query.Nest_tuple (pairs, c_name), [ c ] ->
-      let nest = nest_tuple_row pairs c_name in
-      narrow c (fun t -> [ nest t ])
+      if vectorized () then narrowc c (nest_tuple_cols pairs c_name)
+      else
+        let nest = nest_tuple_row pairs c_name in
+        narrow c (fun t -> [ nest t ])
     | Query.Agg_tuple (fn, a, b), [ c ] ->
-      narrow c (fun t -> [ agg_tuple_row fn a b t ])
+      if vectorized () then narrowc c (agg_tuple_cols fn a b)
+      else narrow c (fun t -> [ agg_tuple_row fn a b t ])
     | Query.Union, [ l; r ] ->
       let dl = go sp l and dr = go sp r in
       let input = Dataset.cardinal dl + Dataset.cardinal dr in
-      let parts =
-        Array.init n (fun i ->
-            let pl =
-              if i < Dataset.partition_count dl then (Dataset.partitions dl).(i)
-              else []
-            and pr =
-              if i < Dataset.partition_count dr then (Dataset.partitions dr).(i)
-              else []
-            in
-            pl @ pr)
+      let out =
+        if vectorized () then begin
+          let cl = Dataset.cpartitions dl and cr = Dataset.cpartitions dr in
+          Dataset.of_cpartitions
+            (Array.init n (fun i ->
+                 let pl = if i < Array.length cl then cl.(i) else Columnar.empty
+                 and pr = if i < Array.length cr then cr.(i) else Columnar.empty in
+                 Columnar.vstack [ pl; pr ]))
+        end
+        else
+          Dataset.of_partitions
+            (Array.init n (fun i ->
+                 let pl =
+                   if i < Dataset.partition_count dl then
+                     (Dataset.partitions dl).(i)
+                   else []
+                 and pr =
+                   if i < Dataset.partition_count dr then
+                     (Dataset.partitions dr).(i)
+                   else []
+                 in
+                 pl @ pr))
       in
-      let out = Dataset.of_partitions parts in
       record_io input (Dataset.cardinal out);
       out
     | Query.Diff, [ l; r ] ->
       let dl = go sp l and dr = go sp r in
       let input = Dataset.cardinal dl + Dataset.cardinal dr in
       let ssp = sub sp "shuffle" in
-      let dl, m1 = Dataset.shuffle_by ~partitions:n Fun.id dl in
-      let dr, m2 = Dataset.shuffle_by ~partitions:n Fun.id dr in
-      Stats.record_shuffle stats ostat (m1 + m2);
-      finish_shuffle ssp (m1 + m2);
-      let parts =
-        Array.init n (fun i ->
-            diff_rows (Dataset.partitions dl).(i) (Dataset.partitions dr).(i))
+      let out, moved =
+        if vectorized () then begin
+          let dl, m1 = Dataset.shuffle_hashed ~partitions:n whole_row_hash dl in
+          let dr, m2 = Dataset.shuffle_hashed ~partitions:n whole_row_hash dr in
+          let cl = Dataset.cpartitions dl and cr = Dataset.cpartitions dr in
+          ( Dataset.of_cpartitions
+              (Array.init n (fun i -> diff_cols cl.(i) cr.(i))),
+            m1 + m2 )
+        end
+        else begin
+          let dl, m1 = Dataset.shuffle_by ~partitions:n Fun.id dl in
+          let dr, m2 = Dataset.shuffle_by ~partitions:n Fun.id dr in
+          ( Dataset.of_partitions
+              (Array.init n (fun i ->
+                   diff_rows
+                     (Dataset.partitions dl).(i)
+                     (Dataset.partitions dr).(i))),
+            m1 + m2 )
+        end
       in
-      let out = Dataset.of_partitions parts in
+      Stats.record_shuffle stats ostat moved;
+      finish_shuffle ssp moved;
       record_io input (Dataset.cardinal out);
       out
     | Query.Dedup, [ c ] ->
       let d = go sp c in
       let input = Dataset.cardinal d in
       let ssp = sub sp "shuffle" in
-      let d, moved = Dataset.shuffle_by ~partitions:n Fun.id d in
+      let d, moved =
+        if vectorized () then Dataset.shuffle_hashed ~partitions:n whole_row_hash d
+        else Dataset.shuffle_by ~partitions:n Fun.id d
+      in
       Stats.record_shuffle stats ostat moved;
       finish_shuffle ssp moved;
-      let out = mapp (fun rows -> List.map fst (group_rows Fun.id rows)) d in
+      let out =
+        if vectorized () then mappc dedup_cols d
+        else mapp (fun rows -> List.map fst (group_rows Fun.id rows)) d
+      in
       record_io input (Dataset.cardinal out);
       out
     | Query.Nest_rel (pairs, c_name), [ c ] ->
@@ -436,7 +1040,15 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
       let all = List.map fst (Vtype.relation_fields cty) in
       let group_attrs = List.filter (fun a -> not (List.mem a attrs)) all in
       let ssp = sub sp "shuffle" in
-      let d, moved = Dataset.shuffle_by ~partitions:n (key_of group_attrs) d in
+      let d, moved =
+        if vectorized () then
+          Dataset.shuffle_hashed ~partitions:n
+            (key_hash_of_pairs
+               (List.map (fun a -> (a, a)) group_attrs)
+               ~strict:true (key_of group_attrs))
+            d
+        else Dataset.shuffle_by ~partitions:n (key_of group_attrs) d
+      in
       Stats.record_shuffle stats ostat moved;
       finish_shuffle ssp moved;
       let proj t =
@@ -455,7 +1067,15 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
               (Value.Tuple [ (c_name, Value.bag_of_list nested) ]))
           (group_by_attrs group_attrs rows)
       in
-      let out = mapp nest d in
+      let out =
+        if vectorized () then
+          mappc
+            (fun b ->
+              if Columnar.length b = 0 then b
+              else nest_rel_cols ~group_attrs pairs c_name b)
+            d
+        else mapp nest d
+      in
       record_io input (Dataset.cardinal out);
       out
     | Query.Group_agg (group, aggs), [ c ] ->
@@ -469,7 +1089,13 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
              group)
       in
       let ssp = sub sp "shuffle" in
-      let d, moved = Dataset.shuffle_by ~partitions:n group_key d in
+      let d, moved =
+        if vectorized () then
+          Dataset.shuffle_hashed ~partitions:n
+            (key_hash_of_pairs group ~strict:false group_key)
+            d
+        else Dataset.shuffle_by ~partitions:n group_key d
+      in
       Stats.record_shuffle stats ostat moved;
       finish_shuffle ssp moved;
       let aggregate rows =
@@ -495,7 +1121,14 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
             Value.concat_tuples k (Value.Tuple agg_fields))
           (group_rows group_key rows)
       in
-      let out = mapp aggregate d in
+      let out =
+        if vectorized () then
+          mappc
+            (fun b ->
+              if Columnar.length b = 0 then b else group_agg_cols group aggs b)
+            d
+        else mapp aggregate d
+      in
       record_io input (Dataset.cardinal out);
       out
     | Query.Join (kind, pred), [ l; r ] ->
@@ -530,19 +1163,48 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
               (List.map2 (fun (a, _) (_, v) -> (a, v)) keys fields)
           | v -> v
         in
-        let dl, m1 = Dataset.shuffle_by ~partitions:n lkey dl in
-        let dr, m2 = Dataset.shuffle_by ~partitions:n rkey dr in
-        (dl, dr, m1 + m2)
+        if vectorized () then begin
+          let dl, m1 =
+            Dataset.shuffle_hashed ~partitions:n
+              (key_hash_of_pairs
+                 (List.map (fun (a, _) -> (a, a)) keys)
+                 ~strict:true lkey)
+              dl
+          in
+          let dr, m2 =
+            Dataset.shuffle_hashed ~partitions:n
+              (key_hash_of_pairs keys ~strict:true rkey)
+              dr
+          in
+          (dl, dr, m1 + m2)
+        end
+        else begin
+          let dl, m1 = Dataset.shuffle_by ~partitions:n lkey dl in
+          let dr, m2 = Dataset.shuffle_by ~partitions:n rkey dr in
+          (dl, dr, m1 + m2)
+        end
     in
     Stats.record_shuffle stats ostat moved;
     finish_shuffle ssp moved;
     let np = max (Dataset.partition_count dl) (Dataset.partition_count dr) in
-    let part d i =
-      if i < Dataset.partition_count d then (Dataset.partitions d).(i) else []
-    in
-    let join_part i =
-      join_partition ~keys ~residual ~kind ~lnull ~rnull (part dl i)
-        (part dr i)
+    let vect = vectorized () in
+    let join_part =
+      if vect then begin
+        let cl = Dataset.cpartitions dl and cr = Dataset.cpartitions dr in
+        let cpart c i = if i < Array.length c then c.(i) else Columnar.empty in
+        fun i ->
+          `Cols
+            (join_cols ~keys ~residual ~kind ~lnull ~rnull (cpart cl i)
+               (cpart cr i))
+      end
+      else begin
+        let pl = Dataset.partitions dl and pr = Dataset.partitions dr in
+        let part p i = if i < Array.length p then p.(i) else [] in
+        fun i ->
+          `Rows
+            (join_partition ~keys ~residual ~kind ~lnull ~rnull (part pl i)
+               (part pr i))
+      end
     in
     (* Join tasks retry like narrow partition tasks: the shuffled input
        partitions are immutable, so recomputation is exact. *)
@@ -558,7 +1220,18 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
         Pool.map_array (Pool.default ()) join_task (Array.init np Fun.id)
       else Array.init np join_task
     in
-    let out = Dataset.of_partitions parts in
+    let out =
+      if vect then
+        Dataset.of_cpartitions
+          (Array.map
+             (function `Cols b -> b | `Rows r -> Columnar.of_rows r)
+             parts)
+      else
+        Dataset.of_partitions
+          (Array.map
+             (function `Rows r -> r | `Cols b -> Columnar.to_rows b)
+             parts)
+    in
     ostat.Stats.input_rows <- ostat.Stats.input_rows + input;
     ostat.Stats.output_rows <- ostat.Stats.output_rows + Dataset.cardinal out;
     out

@@ -71,7 +71,7 @@ let test_element_granular_successors () =
   let succ = Baselines.Lineage.successor_rids ~surviving_only:true info in
   let flatten_rows =
     match Whynot.Tracing.op_trace info.Baselines.Lineage.trace 2 with
-    | Some ot -> ot.Whynot.Tracing.rows
+    | Some ot -> Whynot.Tracing.rows ot
     | None -> []
   in
   let successor_cities =

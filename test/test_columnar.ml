@@ -1,0 +1,261 @@
+(* Columnar boundary tests: the arena representation must be an exact
+   inverse of the tree representation ([to_rows ∘ of_rows = id]), and
+   the vectorized kernels must agree with their row-at-a-time
+   counterparts on the engine zoo's awkward cases (empty partitions,
+   all-Null join keys, shape-mixed columns). *)
+
+open Nested
+module C = Engine.Columnar
+
+(* --- Generators ---------------------------------------------------- *)
+
+(* Nested values biased toward the cases that stress the arena: deep
+   nesting, empty bags, Null-heavy columns, duplicate strings. *)
+let value_gen : Value.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then
+           frequency
+             [
+               (2, return Value.Null);
+               (1, map (fun b -> Value.Bool b) bool);
+               (2, map (fun i -> Value.Int i) small_signed_int);
+               (1, map (fun f -> Value.Float f) (float_bound_inclusive 100.));
+               (* Tiny alphabet so duplicate strings hit the dictionary. *)
+               (2, map (fun s -> Value.String s) (string_size ~gen:(char_range 'a' 'c') (return 2)));
+             ]
+         else
+           frequency
+             [
+               (2, map (fun i -> Value.Int i) small_signed_int);
+               (1, return Value.Null);
+               ( 2,
+                 map
+                   (fun vs ->
+                     Value.Tuple (List.mapi (fun i v -> (Fmt.str "f%d" i, v)) vs))
+                   (list_size (int_range 1 3) (self (n / 2))) );
+               ( 2,
+                 map
+                   (fun vs -> Value.bag_of_list vs)
+                   (list_size (int_range 0 4) (self (n / 2))) );
+             ])
+
+let arb_rows =
+  QCheck.make
+    ~print:(fun vs -> Fmt.str "%a" (Fmt.Dump.list Value.pp) vs)
+    QCheck.Gen.(list_size (int_range 0 12) value_gen)
+
+(* Uniform tuple rows (the common relational case: typed columns). *)
+let arb_uniform_rows =
+  let open QCheck.Gen in
+  let row =
+    map3
+      (fun i s b ->
+        Value.Tuple
+          [
+            ("id", Value.Int i);
+            ("name", (match s with Some s -> Value.String s | None -> Value.Null));
+            ("flag", Value.Bool b);
+          ])
+      small_signed_int
+      (opt (string_size ~gen:(char_range 'a' 'c') (return 2)))
+      bool
+  in
+  QCheck.make
+    ~print:(fun vs -> Fmt.str "%a" (Fmt.Dump.list Value.pp) vs)
+    (list_size (int_range 0 20) row)
+
+(* --- Properties ---------------------------------------------------- *)
+
+let eq_rows a b = List.length a = List.length b && List.for_all2 Value.equal a b
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"to_rows (of_rows rows) = rows" ~count:500 arb_rows
+    (fun rows -> eq_rows (C.to_rows (C.of_rows rows)) rows)
+
+(* Byte-identity is stronger than [Value.equal]: the reconstructed bags
+   must keep canonical element order so printed output is identical. *)
+let prop_roundtrip_printed =
+  QCheck.Test.make ~name:"printed roundtrip is byte-identical" ~count:500
+    arb_rows (fun rows ->
+      let back = C.to_rows (C.of_rows rows) in
+      List.for_all2
+        (fun a b -> String.equal (Value.to_string a) (Value.to_string b))
+        rows back)
+
+let prop_get_row =
+  QCheck.Test.make ~name:"get_row agrees with to_rows" ~count:200 arb_rows
+    (fun rows ->
+      let b = C.of_rows rows in
+      List.for_all2 Value.equal
+        (List.init (C.length b) (C.get_row b))
+        (C.to_rows b))
+
+let prop_gather =
+  QCheck.Test.make ~name:"gather matches list indexing" ~count:200 arb_rows
+    (fun rows ->
+      let b = C.of_rows rows in
+      let n = C.length b in
+      QCheck.assume (n > 0);
+      let arr = Array.of_list rows in
+      let idx = Array.init n (fun i -> (i * 7) mod n) in
+      eq_rows
+        (C.to_rows (C.gather b idx))
+        (Array.to_list (Array.map (fun i -> arr.(i)) idx)))
+
+let prop_filter_mask =
+  QCheck.Test.make ~name:"filter matches List.filteri" ~count:200 arb_rows
+    (fun rows ->
+      let b = C.of_rows rows in
+      let mask = C.Bitv.init (C.length b) (fun i -> i mod 2 = 0) in
+      eq_rows
+        (C.to_rows (C.filter b mask))
+        (List.filteri (fun i _ -> i mod 2 = 0) rows))
+
+let prop_vstack =
+  QCheck.Test.make ~name:"vstack = list append" ~count:200
+    (QCheck.pair arb_rows arb_rows) (fun (xs, ys) ->
+      eq_rows
+        (C.to_rows (C.vstack [ C.of_rows xs; C.of_rows ys ]))
+        (xs @ ys))
+
+let prop_hash =
+  QCheck.Test.make ~name:"hash_col matches value_hash" ~count:200 arb_rows
+    (fun rows ->
+      let b = C.of_rows rows in
+      let hs = C.hash_col b.C.row in
+      List.for_all2
+        (fun v h -> C.value_hash v = h)
+        rows (Array.to_list hs))
+
+let prop_codes =
+  QCheck.Test.make ~name:"coder codes = structural equality classes"
+    ~count:200
+    QCheck.(pair arb_rows arb_rows)
+    (fun (xs, ys) ->
+      (* One coder across two batches: equal codes across batches must
+         mean structurally equal values (the join-key requirement). *)
+      let coder = C.Coder.create () in
+      let ca = C.row_codes coder (C.of_rows xs) in
+      let cb = C.row_codes coder (C.of_rows ys) in
+      let all =
+        Array.to_list (Array.combine (Array.of_list (xs @ ys)) (Array.append ca cb))
+      in
+      List.for_all
+        (fun (v1, c1) ->
+          List.for_all
+            (fun (v2, c2) -> c1 = c2 = (v1 = v2))
+            all)
+        all)
+
+let prop_pred_mask =
+  QCheck.Test.make ~name:"eval_pred_mask = per-row eval_pred" ~count:200
+    arb_uniform_rows (fun rows ->
+      let b = C.of_rows rows in
+      let preds =
+        let open Nrab.Expr.Infix in
+        [
+          Nrab.Expr.attr "id" > Nrab.Expr.int 3;
+          Nrab.Expr.Contains (Nrab.Expr.attr "name", "a");
+          Nrab.Expr.IsNull (Nrab.Expr.attr "name");
+          (Nrab.Expr.attr "id" >= Nrab.Expr.int 0)
+          && Nrab.Expr.IsNotNull (Nrab.Expr.attr "name");
+          Nrab.Expr.attr "name" = Nrab.Expr.str "aa";
+          Nrab.Expr.attr "id" + Nrab.Expr.int 1 <= Nrab.Expr.int 10;
+        ]
+      in
+      List.for_all
+        (fun p ->
+          let mask = C.eval_pred_mask b p in
+          List.for_all2
+            (fun i row -> C.Bitv.get mask i = Nrab.Expr.eval_pred row p)
+            (List.init (C.length b) Fun.id)
+            rows)
+        preds)
+
+(* --- Engine-zoo unit cases ---------------------------------------- *)
+
+let test_empty () =
+  let b = C.of_rows [] in
+  Alcotest.(check int) "empty length" 0 (C.length b);
+  Alcotest.(check (list string)) "empty roundtrip" []
+    (List.map Value.to_string (C.to_rows b));
+  let v = C.vstack [ b; b ] in
+  Alcotest.(check int) "vstack of empties" 0 (C.length v)
+
+let test_all_null_column () =
+  let rows =
+    List.init 8 (fun i ->
+        Value.Tuple [ ("k", Value.Null); ("v", Value.Int i) ])
+  in
+  let b = C.of_rows rows in
+  (match C.find_col b "k" with
+  | Some c ->
+    (match C.null_mask c with
+    | Some m -> Alcotest.(check int) "all key nulls" 8 (C.Bitv.count m)
+    | None -> Alcotest.fail "expected null mask")
+  | None -> Alcotest.fail "missing column");
+  (* All-Null join keys: every key codes to null_code, so a hash join
+     that excludes nulls must produce no matches. *)
+  let coder = C.Coder.create () in
+  let codes =
+    C.Coder.col_codes coder (Option.get (C.find_col b "k"))
+  in
+  Alcotest.(check bool) "all codes are null_code" true
+    (Array.for_all (fun c -> c = C.Coder.null_code) codes)
+
+let test_mixed_shape_fallback () =
+  (* Mixed Int/String column degrades to a boxed column but stays
+     semantically exact. *)
+  let rows =
+    [
+      Value.Tuple [ ("x", Value.Int 1) ];
+      Value.Tuple [ ("x", Value.String "one") ];
+      Value.Tuple [ ("x", Value.Null) ];
+    ]
+  in
+  let b = C.of_rows rows in
+  Alcotest.(check bool) "roundtrip" true (eq_rows (C.to_rows b) rows);
+  let open Nrab.Expr.Infix in
+  let mask = C.eval_pred_mask b (Nrab.Expr.attr "x" = Nrab.Expr.int 1) in
+  Alcotest.(check (list bool)) "mixed compare" [ true; false; false ]
+    (List.init 3 (C.Bitv.get mask))
+
+let test_dict_dedup () =
+  let rows =
+    List.init 100 (fun i ->
+        Value.Tuple [ ("s", Value.String (if i mod 2 = 0 then "even" else "odd")) ])
+  in
+  let before = C.Dict.size () in
+  let b = C.of_rows rows in
+  let after = C.Dict.size () in
+  Alcotest.(check bool) "at most two new strings" true (after - before <= 2);
+  Alcotest.(check bool) "roundtrip" true (eq_rows (C.to_rows b) rows)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_roundtrip;
+      prop_roundtrip_printed;
+      prop_get_row;
+      prop_gather;
+      prop_filter_mask;
+      prop_vstack;
+      prop_hash;
+      prop_codes;
+      prop_pred_mask;
+    ]
+
+let () =
+  Alcotest.run "columnar"
+    [
+      ("properties", qsuite);
+      ( "zoo",
+        [
+          Alcotest.test_case "empty partitions" `Quick test_empty;
+          Alcotest.test_case "all-null join keys" `Quick test_all_null_column;
+          Alcotest.test_case "mixed-shape fallback" `Quick test_mixed_shape_fallback;
+          Alcotest.test_case "dictionary dedup" `Quick test_dict_dedup;
+        ] );
+    ]

@@ -1,0 +1,53 @@
+(* Engine determinism cross-check.
+
+   The columnar batch engine and the legacy row-at-a-time engine
+   (WHYNOT_ROW_ENGINE=1) must be observationally identical: for every
+   registry scenario, plain query evaluation returns the same relation
+   and the full explanation pipeline renders byte-identical explanations
+   (operator sets, side-effect bounds, schema-alternative indices, and
+   ranking order all included in the rendering). *)
+
+let with_engine row f =
+  let saved = Engine.Columnar.row_engine () in
+  Engine.Columnar.set_row_engine row;
+  Fun.protect ~finally:(fun () -> Engine.Columnar.set_row_engine saved) f
+
+let render_explanations (q : Nrab.Query.t) (rp : Whynot.Pipeline.result) =
+  String.concat "\n"
+    (List.map
+       (fun (e : Whynot.Explanation.t) ->
+         Fmt.str "%s lb=%d ub=%d sa=%d"
+           (Whynot.Explanation.to_string_with_query q e)
+           e.Whynot.Explanation.side_effect_lb
+           e.Whynot.Explanation.side_effect_ub e.Whynot.Explanation.sa)
+       rp.Whynot.Pipeline.explanations)
+
+let test_scenario (s : Scenarios.Scenario.t) () =
+  let inst = s.Scenarios.Scenario.make ~scale:1 () in
+  let phi = inst.Scenarios.Scenario.question in
+  let q = phi.Whynot.Question.query in
+  let db = phi.Whynot.Question.db in
+  let eval row =
+    with_engine row (fun () ->
+        let rel, _ = Engine.Exec.run db q in
+        Fmt.str "%a" Nested.Relation.pp rel)
+  in
+  Alcotest.(check string) "query result byte-identical" (eval true) (eval false);
+  let explain row =
+    with_engine row (fun () ->
+        render_explanations q
+          (Whynot.Pipeline.explain
+             ~alternatives:inst.Scenarios.Scenario.alternatives phi))
+  in
+  Alcotest.(check string) "explanations byte-identical" (explain true)
+    (explain false)
+
+let cases =
+  List.map
+    (fun (s : Scenarios.Scenario.t) ->
+      Alcotest.test_case
+        (s.Scenarios.Scenario.name ^ " row = columnar")
+        `Quick (test_scenario s))
+    Scenarios.Registry.all
+
+let () = Alcotest.run "determinism" [ ("row-vs-columnar", cases) ]

@@ -66,12 +66,12 @@ let sets_to_lists s =
 let test_failure_sets_running_example () =
   let tr = trace0 () in
   let fs = Whynot.Msr.failure_sets tr in
-  let consistent = Whynot.Msr.consistent_roots tr in
+  let consistent = Whynot.Msr.consistent_root_rids tr in
   Alcotest.(check int) "one consistent root (the NY group)" 1
     (List.length consistent);
   let root = List.hd consistent in
   Alcotest.(check (list (list int))) "its failure set is {σ}" [ [ 3 ] ]
-    (sets_to_lists (fs root.Whynot.Tracing.rid))
+    (sets_to_lists (fs root))
 
 let test_contributing_closure () =
   let tr = trace0 () in
@@ -79,7 +79,7 @@ let test_contributing_closure () =
   (* the closure reaches down to Sue's input tuple *)
   let table_rows =
     match Whynot.Tracing.op_trace tr 1 with
-    | Some ot -> ot.Whynot.Tracing.rows
+    | Some ot -> Whynot.Tracing.rows ot
     | None -> []
   in
   let contributing_names =
@@ -101,7 +101,7 @@ let test_algorithm4_superset_of_failure_sets () =
   (* every failure-set explanation is an Algorithm 4 candidate *)
   let fs = Whynot.Msr.failure_sets tr in
   List.iter
-    (fun (r : Whynot.Tracing.trow) ->
+    (fun rid ->
       Set_set.iter
         (fun set ->
           if not (Int_set.is_empty set) then
@@ -109,8 +109,8 @@ let test_algorithm4_superset_of_failure_sets () =
               (Fmt.str "failure set {%s} covered"
                  (String.concat "," (List.map string_of_int (Int_set.elements set))))
               true (Set_set.mem set alg4))
-        (fs r.Whynot.Tracing.rid))
-    (Whynot.Msr.consistent_roots tr)
+        (fs rid))
+    (Whynot.Msr.consistent_root_rids tr)
 
 let test_algorithm4_never_blames_tables () =
   let tr = trace0 () in

@@ -63,7 +63,7 @@ let trace ?revalidate () =
 
 let rows_of tr id =
   match Whynot.Tracing.op_trace tr id with
-  | Some ot -> ot.Whynot.Tracing.rows
+  | Some ot -> Whynot.Tracing.rows ot
   | None -> Alcotest.failf "no trace for op %d" id
 
 let field_str name (r : Whynot.Tracing.trow) =
@@ -166,7 +166,7 @@ let test_lineage_well_formed () =
               Alcotest.(check bool) "parent exists" true
                 (Whynot.Tracing.find_row tr pid <> None))
             r.Whynot.Tracing.parents)
-        ot.Whynot.Tracing.rows)
+        (Whynot.Tracing.rows ot))
     tr.Whynot.Tracing.ops
 
 (* Ablation: without re-validation, all of Sue's flattened rows count as
