@@ -2,7 +2,7 @@
 # server, bench, examples) and runs the full test suite, then a
 # smallest-scale pass over every bench family (the harness itself is
 # code that can rot).  Run before every merge.
-.PHONY: verify build test bench-smoke bench-columnar bench-chaos bench-obs
+.PHONY: verify build test fuzz bench-smoke bench-columnar bench-chaos bench-obs
 
 verify:
 	dune build @all && dune runtest && $(MAKE) bench-smoke
@@ -12,6 +12,14 @@ build:
 
 test:
 	dune runtest
+
+# High-iteration frontend fuzz: random well-typed queries are printed to
+# SQL and to s-expressions, re-parsed, and checked fingerprint-identical.
+# The default runtest pass already runs 1000 iterations of each property;
+# this gated target cranks it up (override with FUZZ=N).
+FUZZ ?= 20000
+fuzz:
+	FRONTEND_FUZZ_COUNT=$(FUZZ) dune exec test/test_frontend.exe -- test fuzz
 
 # Every bench family at the smallest scale — a CI guard, not a measurement.
 bench-smoke:

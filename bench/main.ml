@@ -776,6 +776,7 @@ let bench_serve ?(scale = 1) () =
                  scale;
                  seed = 0;
                  query = None;
+                 query_name = None;
                  pattern = None;
                  options = Serve.Protocol.default_options;
                  deadline_ms = None;

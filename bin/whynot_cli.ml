@@ -127,9 +127,10 @@ let run_scenario ~scale ~verbose ~metrics ~config ~parallel ~retry ~root
       gold
 
 (* Ad-hoc mode: explain a why-not question over user-supplied JSON data,
-   an s-expression query, and an s-expression why-not pattern.
+   a query in either surface syntax (SQL-ish or s-expression,
+   auto-detected), and an s-expression why-not pattern.
 
-     whynot_cli explain -db data.json -query q.sexp -whynot pattern.sexp \\
+     whynot_cli explain -db data.json -query-file q.sql -whynot pattern.sexp \\
        [-alt table:a.b=c.d]... [-no-sas] [-no-revalidate]                  *)
 
 let read_file path =
@@ -139,6 +140,32 @@ let read_file path =
   close_in ic;
   s
 
+(* Compile query text through the frontend; on failure, print the
+   caret-underlined diagnostic and exit non-zero. *)
+let compile_query_text ~db text =
+  let env = Frontend.Compile.env_of_db db in
+  match Frontend.Compile.text ~env text with
+  | Ok (q, ty) -> (q, ty)
+  | Error d ->
+    Fmt.epr "%s@." (Frontend.Diagnostic.render ~source:text d);
+    exit 1
+
+let parse_pattern_text text =
+  match Whynot.Nip_syntax.parse text with
+  | Ok nip -> nip
+  | Error d ->
+    Fmt.epr "%s@." (Frontend.Diagnostic.render ~source:text d);
+    exit 1
+
+(* The query can arrive inline (-query TEXT) or from a file
+   (-query-file FILE). *)
+let query_text_of_args ~query ~query_file =
+  match (query, query_file) with
+  | "", "" -> None
+  | text, "" -> Some text
+  | "", file -> Some (String.trim (read_file file))
+  | _ -> failwith "-query and -query-file are mutually exclusive"
+
 let parse_alt (spec : string) : string * Nested.Path.t list =
   match String.split_on_char ':' spec with
   | [ table; group ] ->
@@ -147,6 +174,7 @@ let parse_alt (spec : string) : string * Nested.Path.t list =
 
 let run_explain args =
   let db_file = ref "" and query_file = ref "" and whynot_file = ref "" in
+  let query_inline = ref "" in
   let alts = ref [] in
   let use_sas = ref true and revalidate = ref true in
   let metrics = ref false and trace_file = ref "" in
@@ -157,7 +185,14 @@ let run_explain args =
   let spec =
     [
       ("-db", Arg.Set_string db_file, "JSON database file");
-      ("-query", Arg.Set_string query_file, "query file (s-expression)");
+      ( "-query",
+        Arg.Set_string query_inline,
+        "TEXT  inline query (SQL-ish or s-expression, auto-detected)" );
+      ("--query", Arg.Set_string query_inline, "TEXT  same as -query");
+      ( "-query-file",
+        Arg.Set_string query_file,
+        "FILE  query file (SQL-ish or s-expression, auto-detected)" );
+      ("--query-file", Arg.Set_string query_file, "FILE  same as -query-file");
       ("-whynot", Arg.Set_string whynot_file, "why-not pattern file (s-expression)");
       ( "-alt",
         Arg.String (fun s -> alts := parse_alt s :: !alts),
@@ -195,13 +230,18 @@ let run_explain args =
     (Array.of_list (Sys.argv.(0) :: args))
     spec
     (fun a -> failwith ("unexpected argument " ^ a))
-    "whynot_cli explain -db FILE -query FILE -whynot FILE [options]";
+    "whynot_cli explain -db FILE (-query TEXT | -query-file FILE) -whynot \
+     FILE [options]";
   apply_log_level !log_level;
-  if !db_file = "" || !query_file = "" || !whynot_file = "" then
-    failwith "explain needs -db, -query, and -whynot";
+  if !db_file = "" || !whynot_file = "" then
+    failwith "explain needs -db, a query, and -whynot";
   let db = Nested.Json.db_of_string (read_file !db_file) in
-  let query = Nrab.Parser.query_of_string (String.trim (read_file !query_file)) in
-  let missing = Whynot.Nip_syntax.of_string (String.trim (read_file !whynot_file)) in
+  let query =
+    match query_text_of_args ~query:!query_inline ~query_file:!query_file with
+    | None -> failwith "explain needs -query TEXT or -query-file FILE"
+    | Some text -> fst (compile_query_text ~db text)
+  in
+  let missing = parse_pattern_text (String.trim (read_file !whynot_file)) in
   let phi = Whynot.Question.make ~query ~db ~missing in
   Fmt.pr "query:   %a@." Nrab.Query.pp query;
   Fmt.pr "why-not: %a@." Whynot.Nip.pp missing;
@@ -223,6 +263,76 @@ let run_explain args =
     Fmt.pr "trace written to %s@." !trace_file
   end;
   write_prometheus !prometheus_file
+
+(* Dry-run the frontend: compile a query (inline or from a file) against
+   a schema — a scenario's or a JSON database's — and print its
+   canonical forms without executing anything.
+
+     whynot_cli parse -scenario RE -query "SELECT ..." [-whynot "(tuple ...)"]
+     whynot_cli parse -db data.json -query-file q.sql                       *)
+let run_parse args =
+  let db_file = ref "" and scenario = ref "" and scale = ref 1 in
+  let query_inline = ref "" and query_file = ref "" in
+  let whynot_text = ref "" in
+  let spec =
+    [
+      ("-db", Arg.Set_string db_file, "FILE  JSON database file (schema source)");
+      ( "-scenario",
+        Arg.Set_string scenario,
+        "NAME  use a scenario's database as the schema source" );
+      ("-scale", Arg.Set_int scale, "N  scenario data scale (default 1)");
+      ( "-query",
+        Arg.Set_string query_inline,
+        "TEXT  inline query (SQL-ish or s-expression, auto-detected)" );
+      ("--query", Arg.Set_string query_inline, "TEXT  same as -query");
+      ("-query-file", Arg.Set_string query_file, "FILE  query file");
+      ("--query-file", Arg.Set_string query_file, "FILE  same as -query-file");
+      ( "-whynot",
+        Arg.Set_string whynot_text,
+        "TEXT  why-not pattern to check against the query's output type" );
+    ]
+  in
+  Arg.parse_argv ~current:(ref 0)
+    (Array.of_list (Sys.argv.(0) :: args))
+    spec
+    (fun a -> failwith ("unexpected argument " ^ a))
+    "whynot_cli parse (-db FILE | -scenario NAME) (-query TEXT | -query-file \
+     FILE) [-whynot TEXT]";
+  let db =
+    match (!db_file, !scenario) with
+    | "", "" -> failwith "parse needs -db FILE or -scenario NAME"
+    | file, "" -> Nested.Json.db_of_string (read_file file)
+    | "", name -> (
+      match Scenarios.Registry.find name with
+      | None -> failwith (Fmt.str "unknown scenario %S (try `whynot_cli list`)" name)
+      | Some s ->
+        let inst = s.Scenarios.Scenario.make ~scale:!scale () in
+        inst.Scenarios.Scenario.question.Whynot.Question.db)
+    | _ -> failwith "-db and -scenario are mutually exclusive"
+  in
+  let text =
+    match query_text_of_args ~query:!query_inline ~query_file:!query_file with
+    | None -> failwith "parse needs -query TEXT or -query-file FILE"
+    | Some text -> text
+  in
+  let q, ty = compile_query_text ~db text in
+  let env = Frontend.Compile.env_of_db db in
+  (match Frontend.Print.to_sql ~env q with
+  | sql -> Fmt.pr "sql:         %s@." sql
+  | exception Frontend.Print.Unprintable _ -> ());
+  Fmt.pr "sexp:        %s@." (Nrab.Parser.query_to_string q);
+  Fmt.pr "fingerprint: %s@."
+    (Serve.Fingerprint.to_hex (Serve.Fingerprint.query q));
+  Fmt.pr "output type: %a@." Nested.Vtype.pp ty;
+  match !whynot_text with
+  | "" -> ()
+  | text -> (
+    let nip = parse_pattern_text text in
+    match Whynot.Nip.check (Nested.Vtype.element ty) nip with
+    | Ok () -> Fmt.pr "why-not:     %a (fits the output type)@." Whynot.Nip.pp nip
+    | Error msg ->
+      Fmt.epr "why-not pattern does not fit the output type: %s@." msg;
+      exit 1)
 
 let run_scenarios args =
   let scale = ref 1 in
@@ -342,6 +452,7 @@ let () =
   at_exit Engine.Pool.shutdown_default;
   match Array.to_list Sys.argv with
   | _ :: "explain" :: rest -> run_explain rest
+  | _ :: "parse" :: rest -> run_parse rest
   | _ :: "list" :: _ -> list_scenarios ()
   | _ :: rest -> run_scenarios rest
   | [] -> ()

@@ -40,25 +40,53 @@ let cmp_of_string = function
   | ">=" -> Some Expr.Ge
   | _ -> None
 
-let rec of_sexp (s : Sexp.t) : Nip.t =
+(* Span-carrying parse over [Sexp.spanned]; [of_sexp] keeps the legacy
+   message-only behavior by parsing with dummy spans. *)
+
+exception Nerr of int * int * string
+
+let nerr ~left ~right fmt = Fmt.kstr (fun m -> raise (Nerr (left, right, m))) fmt
+
+let rec of_spanned (s : Sexp.spanned) : Nip.t =
+  match s.Sexp.node with
+  | Sexp.SAtom "?" -> Nip.Any
+  | Sexp.SAtom a -> Nip.Prim (const_of_atom a)
+  | Sexp.SList els -> (
+    match els with
+    | [ { Sexp.node = Sexp.SAtom "str"; _ }; { Sexp.node = Sexp.SAtom text; _ } ]
+      ->
+      Nip.Prim (Value.String text)
+    | [ { Sexp.node = Sexp.SAtom "null"; _ } ] -> Nip.Prim Value.Null
+    | [ { Sexp.node = Sexp.SAtom op; _ }; { Sexp.node = Sexp.SAtom c; _ } ]
+      when cmp_of_string op <> None ->
+      Nip.Pred (Option.get (cmp_of_string op), const_of_atom c)
+    | { Sexp.node = Sexp.SAtom "tuple"; _ } :: fields ->
+      let field (f : Sexp.spanned) =
+        match f.Sexp.node with
+        | Sexp.SList [ { Sexp.node = Sexp.SAtom name; _ }; p ] ->
+          (name, of_spanned p)
+        | _ ->
+          nerr ~left:f.Sexp.left ~right:f.Sexp.right "invalid tuple field %s"
+            (Sexp.to_string (Sexp.strip f))
+      in
+      Nip.Tup (List.map field fields)
+    | { Sexp.node = Sexp.SAtom "bag"; _ } :: elements ->
+      let is_star (e : Sexp.spanned) = e.Sexp.node = Sexp.SAtom "*" in
+      let star = List.exists is_star elements in
+      let elements = List.filter (fun e -> not (is_star e)) elements in
+      Nip.Bag (List.map of_spanned elements, star)
+    | _ ->
+      nerr ~left:s.Sexp.left ~right:s.Sexp.right "invalid why-not pattern %s"
+        (Sexp.to_string (Sexp.strip s)))
+
+let rec dummy_span (s : Sexp.t) : Sexp.spanned =
   match s with
-  | Sexp.Atom "?" -> Nip.Any
-  | Sexp.Atom a -> Nip.Prim (const_of_atom a)
-  | Sexp.List [ Sexp.Atom "str"; Sexp.Atom text ] -> Nip.Prim (Value.String text)
-  | Sexp.List [ Sexp.Atom "null" ] -> Nip.Prim Value.Null
-  | Sexp.List [ Sexp.Atom op; Sexp.Atom c ] when cmp_of_string op <> None ->
-    Nip.Pred (Option.get (cmp_of_string op), const_of_atom c)
-  | Sexp.List (Sexp.Atom "tuple" :: fields) ->
-    let field = function
-      | Sexp.List [ Sexp.Atom name; p ] -> (name, of_sexp p)
-      | other -> fail "invalid tuple field %s" (Sexp.to_string other)
-    in
-    Nip.Tup (List.map field fields)
-  | Sexp.List (Sexp.Atom "bag" :: elements) ->
-    let star = List.mem (Sexp.Atom "*") elements in
-    let elements = List.filter (fun e -> e <> Sexp.Atom "*") elements in
-    Nip.Bag (List.map of_sexp elements, star)
-  | other -> fail "invalid why-not pattern %s" (Sexp.to_string other)
+  | Sexp.Atom a -> { Sexp.node = Sexp.SAtom a; left = 0; right = 0 }
+  | Sexp.List els ->
+    { Sexp.node = Sexp.SList (List.map dummy_span els); left = 0; right = 0 }
+
+let of_sexp (s : Sexp.t) : Nip.t =
+  try of_spanned (dummy_span s) with Nerr (_, _, m) -> raise (Parse_error m)
 
 let cmp_to_string = function
   | Expr.Eq -> "="
@@ -96,3 +124,18 @@ let rec to_sexp (p : Nip.t) : Sexp.t =
 
 let of_string (s : string) : Nip.t = of_sexp (Sexp.of_string s)
 let to_string (p : Nip.t) : string = Sexp.to_string (to_sexp p)
+
+let parse (s : string) : (Nip.t, Frontend.Diagnostic.t) result =
+  try Ok (of_spanned (Sexp.of_string_spanned s)) with
+  | Nerr (left, right, message) ->
+    Error
+      (Frontend.Diagnostic.make
+         ~span:{ Frontend.Diagnostic.left; right }
+         `Pattern message)
+  | Sexp.Parse_error_at { offset; message } ->
+    Error
+      (Frontend.Diagnostic.make
+         ~span:{ Frontend.Diagnostic.left = offset; right = offset + 1 }
+         `Pattern message)
+  | Sexp.Parse_error message ->
+    Error (Frontend.Diagnostic.make `Pattern message)

@@ -22,4 +22,9 @@ val to_sexp : Nip.t -> Nrab.Sexp.t
 (** Raises {!Parse_error}. *)
 val of_string : string -> Nip.t
 
+(** Like {!of_string}, but every failure — lexical or structural —
+    comes back as a span-carrying [Frontend.Diagnostic.t] (stage
+    [`Pattern]), rendering uniformly with query diagnostics. *)
+val parse : string -> (Nip.t, Frontend.Diagnostic.t) result
+
 val to_string : Nip.t -> string

@@ -1,0 +1,107 @@
+(* Synthetic forestry data for scenarios F1/F2.
+
+   Every country carries two parallel nested time series with identical
+   inner schemas, [years] and [estimates], so either can be flattened by
+   the same query — the schema-alternative substitution stays well-typed.
+   South Asia's reported recent-year cover is kept below the selection
+   thresholds used by the scenarios while its estimates clear them. *)
+
+open Nested
+
+let str s = Value.String s
+let int i = Value.Int i
+let flt f = Value.Float f
+let tup fields = Value.Tuple fields
+
+let series_schema =
+  Vtype.TBag (Vtype.TTuple [ ("year", Vtype.TInt); ("pct", Vtype.TFloat) ])
+
+let countries_schema =
+  Vtype.relation
+    [
+      ("ccode", Vtype.TString);
+      ("cname", Vtype.TString);
+      ("region", Vtype.TString);
+      ("income", Vtype.TString);
+    ]
+
+let forest_schema =
+  Vtype.relation
+    [
+      ("fcode", Vtype.TString);
+      ("years", series_schema);
+      ("estimates", series_schema);
+    ]
+
+let target_region = "South Asia"
+
+let regions = [ target_region; "Europe"; "Africa"; "Americas" ]
+let incomes = [ "High income"; "Middle income"; "Low income" ]
+
+(* Reported and modelled cover percentages for one country-year.  Recent
+   South Asia reports sit well under the scenario thresholds (40/60);
+   the matching estimates sit well over them. *)
+let cover rng ~region ~year =
+  let recent = year >= 2015 in
+  let low () = 5. +. float_of_int (Prng.range rng ~lo:0 ~hi:300) /. 10. in
+  let high () = 65. +. float_of_int (Prng.range rng ~lo:0 ~hi:250) /. 10. in
+  let anywhere () = 5. +. float_of_int (Prng.range rng ~lo:0 ~hi:900) /. 10. in
+  if String.equal region target_region then
+    if recent then (low (), high ()) else (anywhere (), anywhere ())
+  else
+    let reported = anywhere () in
+    (* estimates track the reports with a small correction *)
+    let modelled =
+      Float.max 0.
+        (reported +. (float_of_int (Prng.range rng ~lo:(-30) ~hi:30) /. 10.))
+    in
+    (reported, modelled)
+
+let series rng ~region =
+  let rec go year reported modelled =
+    if year > 2019 then (List.rev reported, List.rev modelled)
+    else
+      let r, m = cover rng ~region ~year in
+      go (year + 1)
+        (tup [ ("year", int year); ("pct", flt r) ] :: reported)
+        (tup [ ("year", int year); ("pct", flt m) ] :: modelled)
+  in
+  go 2012 [] []
+
+let db ?(seed = 7) ~scale () : Relation.Db.t =
+  let rng = Prng.create ~seed in
+  let countries = ref [] and forests = ref [] in
+  let n = ref 0 in
+  List.iter
+    (fun region ->
+      for _ = 1 to max 1 scale do
+        incr n;
+        let ccode = Printf.sprintf "C%03d" !n in
+        let cname = Printf.sprintf "Country-%d" !n in
+        let income = Prng.pick rng incomes in
+        countries :=
+          tup
+            [
+              ("ccode", str ccode);
+              ("cname", str cname);
+              ("region", str region);
+              ("income", str income);
+            ]
+          :: !countries;
+        let reported, modelled = series rng ~region in
+        forests :=
+          tup
+            [
+              ("fcode", str ccode);
+              ("years", Value.bag_of_list reported);
+              ("estimates", Value.bag_of_list modelled);
+            ]
+          :: !forests
+      done)
+    regions;
+  Relation.Db.of_list
+    [
+      ("countries",
+       Relation.of_tuples ~schema:countries_schema (List.rev !countries));
+      ("forest", Relation.of_tuples ~schema:forest_schema (List.rev !forests));
+    ]

@@ -1,0 +1,22 @@
+(** Synthetic forestry data for scenarios F1/F2: countries and their
+    forest-cover time series, with two parallel nested series per
+    country — [years] (reported figures) and [estimates] (modelled
+    figures).
+
+    The built-in error mirrors the running-example pattern at the schema
+    level: for the {e South Asia} region the reported recent-year cover
+    stays below every selection threshold while the modelled estimates
+    clear it, so a query flattening [years] loses the region and the
+    [estimates] schema alternative brings it back. *)
+
+open Nested
+
+val countries_schema : Vtype.t
+val forest_schema : Vtype.t
+
+(** The region whose recent reported figures are deliberately low. *)
+val target_region : string
+
+(** Tables: [countries], [forest].  [scale] is the number of countries
+    per region. *)
+val db : ?seed:int -> scale:int -> unit -> Relation.Db.t

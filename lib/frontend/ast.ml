@@ -1,0 +1,90 @@
+(* Surface AST for the SQL-ish syntax.  Every node carries its half-open
+   byte span [(left, right)] into the original source, so lowering can
+   attach precise diagnostics. *)
+
+type 'a spanned = { it : 'a; left : int; right : int }
+
+type ident = string spanned
+
+type expr = expr_node spanned
+
+and expr_node =
+  | E_attr of string
+  | E_int of int
+  | E_float of float
+  | E_string of string
+  | E_bool of bool
+  | E_add of expr * expr
+  | E_sub of expr * expr
+  | E_mul of expr * expr
+  | E_div of expr * expr
+
+type pred = pred_node spanned
+
+and pred_node =
+  | P_true
+  | P_false
+  | P_cmp of Nrab.Expr.cmp * expr * expr
+  | P_and of pred * pred
+  | P_or of pred * pred
+  | P_not of pred
+  | P_is_null of expr
+  | P_is_not_null of expr
+  | P_contains of expr * string spanned
+  | P_case of (pred * pred) list * pred option
+      (** [CASE WHEN c THEN t ... ELSE e END], all branches predicates *)
+
+type agg_arg =
+  | A_star  (** count of all rows, the [*] argument *)
+  | A_attr of ident
+  | A_distinct of ident  (** [count(DISTINCT a)] *)
+
+type agg_item = { fn : ident; arg : agg_arg; out : ident; left : int; right : int }
+
+type select_item =
+  | I_star of int * int  (** [*] with its span *)
+  | I_expr of expr * ident option  (** [expr [AS name]] *)
+  | I_agg of agg_item  (** [fn(arg) AS out] *)
+
+type join_kind = [ `Inner | `Left | `Right | `Full ]
+
+type from_item = from_node spanned
+
+and from_node =
+  | F_table of string
+  | F_sub of query
+  | F_flatten of [ `Inner | `Outer | `Tuple ] * from_item * ident
+  | F_rename of from_item * (ident * ident) list  (** [(old, new)] pairs *)
+  | F_join of join_kind * from_item * from_item * pred
+  | F_product of from_item * from_item
+
+and group_item = { g_attr : ident; g_label : ident option }  (** [attr [AS label]] *)
+
+and nest_clause = {
+  n_kind : [ `Rel | `Tuple ];
+  n_items : group_item list;  (** [attr [AS label]] — attributes to nest *)
+  n_into : ident;
+}
+
+and group_clause = {
+  gc_items : group_item list;
+  gc_nest : nest_clause option;
+  gc_left : int;
+  gc_right : int;
+}
+
+and select_core = {
+  distinct : bool;
+  items : select_item list;
+  from : from_item;
+  where : pred option;
+  group : group_clause option;
+}
+
+and query = query_node spanned
+
+and query_node =
+  | Q_select of select_core
+  | Q_setop of [ `Union | `Except ] * query * query
+
+type statement = { ctes : (ident * query) list; body : query }

@@ -1,0 +1,114 @@
+type pos = { offset : int; line : int; col : int }
+type span = { left : int; right : int }
+type stage = [ `Lex | `Parse | `Type | `Pattern ]
+
+type t = {
+  stage : stage;
+  span : span option;
+  message : string;
+  hint : string option;
+}
+
+let make ?span ?hint stage message = { stage; span; message; hint }
+
+let makef ?span ?hint stage fmt =
+  Fmt.kstr (fun message -> make ?span ?hint stage message) fmt
+
+let stage_to_string = function
+  | `Lex -> "lex"
+  | `Parse -> "parse"
+  | `Type -> "type"
+  | `Pattern -> "pattern"
+
+let pos_of_offset source offset =
+  let n = String.length source in
+  let offset = if offset < 0 then 0 else if offset > n then n else offset in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to offset - 1 do
+    if source.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  { offset; line = !line; col = offset - !bol + 1 }
+
+(* The source line (without trailing newline) containing [offset]. *)
+let line_at source offset =
+  let n = String.length source in
+  let offset = if offset < 0 then 0 else if offset > n then n else offset in
+  let bol = ref 0 in
+  for i = 0 to offset - 1 do
+    if source.[i] = '\n' then bol := i + 1
+  done;
+  let eol = ref n in
+  (try
+     for i = !bol to n - 1 do
+       if source.[i] = '\n' then begin
+         eol := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  String.sub source !bol (!eol - !bol)
+
+let one_line ~source t =
+  let where =
+    match t.span with
+    | None -> ""
+    | Some s ->
+        let p = pos_of_offset source s.left in
+        Fmt.str " at %d:%d" p.line p.col
+  in
+  Fmt.str "%s error%s: %s" (stage_to_string t.stage) where t.message
+
+let render ~source t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (one_line ~source t);
+  (match t.span with
+  | None -> ()
+  | Some s ->
+      let p = pos_of_offset source s.left in
+      let line = line_at source s.left in
+      let lineno = string_of_int p.line in
+      let gutter = String.make (String.length lineno) ' ' in
+      (* Underline from the start column to the end of the span, clamped
+         to the end of the line (multi-line spans underline the first
+         line only), at least one caret. *)
+      let line_len = String.length line in
+      let start = p.col - 1 in
+      let start = if start > line_len then line_len else start in
+      let stop = start + (s.right - s.left) in
+      let stop = if stop > line_len then line_len else stop in
+      let width = if stop - start < 1 then 1 else stop - start in
+      Buffer.add_string b
+        (Fmt.str "\n  %s | %s\n  %s | %s%s" lineno line gutter
+           (String.make start ' ') (String.make width '^')));
+  (match t.hint with
+  | None -> ()
+  | Some h -> Buffer.add_string b (Fmt.str "\n  hint: %s" h));
+  Buffer.contents b
+
+let to_json ~source t =
+  let open Nested.Json in
+  let base =
+    [
+      ("stage", J_string (stage_to_string t.stage));
+      ("message", J_string t.message);
+    ]
+  in
+  let where =
+    match t.span with
+    | None -> []
+    | Some s ->
+        let p = pos_of_offset source s.left in
+        let q = pos_of_offset source s.right in
+        [
+          ("line", J_int p.line);
+          ("col", J_int p.col);
+          ("end_line", J_int q.line);
+          ("end_col", J_int q.col);
+          ("snippet", J_string (render ~source t));
+        ]
+  in
+  let hint = match t.hint with None -> [] | Some h -> [ ("hint", J_string h) ] in
+  J_object (base @ where @ hint)

@@ -1,0 +1,51 @@
+(** Source-anchored diagnostics for the text frontend.
+
+    Every error the frontend can produce — lexical, syntactic, type, or
+    why-not-pattern — carries a byte-offset span into the original
+    source text and renders as a caret-underlined snippet, so a client
+    that only sees the wire response can still point at the offending
+    characters. *)
+
+(** A position in the source text.  [line] and [col] are 1-based;
+    [offset] is the 0-based byte offset. *)
+type pos = { offset : int; line : int; col : int }
+
+(** Half-open byte range [left, right) into the source. *)
+type span = { left : int; right : int }
+
+type stage = [ `Lex | `Parse | `Type | `Pattern ]
+
+type t = {
+  stage : stage;
+  span : span option;  (** [None] when no source anchor is known *)
+  message : string;
+  hint : string option;
+}
+
+val make : ?span:span -> ?hint:string -> stage -> string -> t
+val makef : ?span:span -> ?hint:string -> stage -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val stage_to_string : stage -> string
+
+(** Resolve a byte offset against the source text (1-based line/col).
+    Offsets past the end clamp to the final position. *)
+val pos_of_offset : string -> int -> pos
+
+(** One-line rendering: ["parse error at 3:14: expected FROM"]. *)
+val one_line : source:string -> t -> string
+
+(** Multi-line rendering with the offending source line and a caret
+    underline:
+
+    {v
+    parse error at 1:13: expected FROM, found identifier "city"
+      1 | SELECT name city FROM person
+        |             ^^^^
+      hint: separate select items with commas
+    v} *)
+val render : source:string -> t -> string
+
+(** Wire form: [{"stage", "message", "line", "col", "end_line",
+    "end_col", "snippet", "hint"}] — positions and snippet only when a
+    span is present, hint only when set. *)
+val to_json : source:string -> t -> Nested.Json.json

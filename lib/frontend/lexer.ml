@@ -1,0 +1,218 @@
+type tok =
+  | Ident of string
+  | Kw of string
+  | Int of int
+  | Float of float
+  | Str of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+type token = { tok : tok; left : int; right : int }
+
+let keywords =
+  [
+    "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "GROUP"; "BY"; "NEST"; "INTO";
+    "TUPLE"; "JOIN"; "ON"; "INNER"; "LEFT"; "RIGHT"; "FULL"; "OUTER";
+    "UNION"; "EXCEPT"; "ALL"; "WITH"; "AS"; "CASE"; "WHEN"; "THEN"; "ELSE";
+    "END"; "AND"; "OR"; "NOT"; "NULL"; "IS"; "TRUE"; "FALSE"; "FLATTEN";
+    "UNNEST"; "RENAME"; "CONTAINS";
+  ]
+
+let describe = function
+  | Ident s -> Fmt.str "identifier %S" s
+  | Kw s -> Fmt.str "keyword %s" s
+  | Int i -> Fmt.str "integer %d" i
+  | Float f -> Fmt.str "float %g" f
+  | Str s -> Fmt.str "string '%s'" s
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Comma -> "','"
+  | Dot -> "'.'"
+  | Star -> "'*'"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Slash -> "'/'"
+  | Eq -> "'='"
+  | Neq -> "'!='"
+  | Lt -> "'<'"
+  | Le -> "'<='"
+  | Gt -> "'>'"
+  | Ge -> "'>='"
+  | Eof -> "end of input"
+
+exception Lex_error of Diagnostic.t
+
+let err ~left ~right fmt =
+  Fmt.kstr
+    (fun message ->
+      raise
+        (Lex_error
+           (Diagnostic.make ~span:{ Diagnostic.left; right } `Lex message)))
+    fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize source =
+  let n = String.length source in
+  let toks = ref [] in
+  let emit tok left right = toks := { tok; left; right } :: !toks in
+  let i = ref 0 in
+  try
+    while !i < n do
+      let c = source.[!i] in
+      let start = !i in
+      if c = ' ' || c = '\t' || c = '\r' || c = '\n' then incr i
+      else if c = '-' && !i + 1 < n && source.[!i + 1] = '-' then begin
+        (* line comment *)
+        while !i < n && source.[!i] <> '\n' do
+          incr i
+        done
+      end
+      else if is_ident_start c then begin
+        while !i < n && is_ident_char source.[!i] do
+          incr i
+        done;
+        let word = String.sub source start (!i - start) in
+        let upper = String.uppercase_ascii word in
+        if List.mem upper keywords then emit (Kw upper) start !i
+        else emit (Ident word) start !i
+      end
+      else if is_digit c then begin
+        while !i < n && is_digit source.[!i] do
+          incr i
+        done;
+        let is_float = ref false in
+        if !i < n && source.[!i] = '.' then begin
+          is_float := true;
+          incr i;
+          while !i < n && is_digit source.[!i] do
+            incr i
+          done
+        end;
+        if !i < n && (source.[!i] = 'e' || source.[!i] = 'E') then begin
+          let j = !i + 1 in
+          let j = if j < n && (source.[j] = '+' || source.[j] = '-') then j + 1 else j in
+          if j < n && is_digit source.[j] then begin
+            is_float := true;
+            i := j;
+            while !i < n && is_digit source.[!i] do
+              incr i
+            done
+          end
+        end;
+        let text = String.sub source start (!i - start) in
+        if !is_float then
+          match float_of_string_opt text with
+          | Some f -> emit (Float f) start !i
+          | None -> err ~left:start ~right:!i "malformed number %S" text
+        else begin
+          match int_of_string_opt text with
+          | Some v -> emit (Int v) start !i
+          | None -> err ~left:start ~right:!i "integer literal %S out of range" text
+        end
+      end
+      else if c = '\'' then begin
+        (* string literal, '' escapes a quote *)
+        let b = Buffer.create 16 in
+        incr i;
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          if source.[!i] = '\'' then
+            if !i + 1 < n && source.[!i + 1] = '\'' then begin
+              Buffer.add_char b '\'';
+              i := !i + 2
+            end
+            else begin
+              closed := true;
+              incr i
+            end
+          else begin
+            Buffer.add_char b source.[!i];
+            incr i
+          end
+        done;
+        if not !closed then
+          err ~left:start ~right:(start + 1) "unterminated string literal";
+        emit (Str (Buffer.contents b)) start !i
+      end
+      else if c = '"' then begin
+        (* quoted identifier, "" escapes a quote *)
+        let b = Buffer.create 16 in
+        incr i;
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          if source.[!i] = '"' then
+            if !i + 1 < n && source.[!i + 1] = '"' then begin
+              Buffer.add_char b '"';
+              i := !i + 2
+            end
+            else begin
+              closed := true;
+              incr i
+            end
+          else begin
+            Buffer.add_char b source.[!i];
+            incr i
+          end
+        done;
+        if not !closed then
+          err ~left:start ~right:(start + 1) "unterminated quoted identifier";
+        if Buffer.length b = 0 then
+          err ~left:start ~right:!i "empty quoted identifier";
+        emit (Ident (Buffer.contents b)) start !i
+      end
+      else begin
+        let two =
+          if !i + 1 < n then Some (String.sub source !i 2) else None
+        in
+        match two with
+        | Some "!=" | Some "<>" ->
+            emit Neq start (start + 2);
+            i := !i + 2
+        | Some "<=" ->
+            emit Le start (start + 2);
+            i := !i + 2
+        | Some ">=" ->
+            emit Ge start (start + 2);
+            i := !i + 2
+        | _ -> (
+            let one t =
+              emit t start (start + 1);
+              incr i
+            in
+            match c with
+            | '(' -> one Lparen
+            | ')' -> one Rparen
+            | ',' -> one Comma
+            | '.' -> one Dot
+            | '*' -> one Star
+            | '+' -> one Plus
+            | '-' -> one Minus
+            | '/' -> one Slash
+            | '=' -> one Eq
+            | '<' -> one Lt
+            | '>' -> one Gt
+            | _ ->
+                err ~left:start ~right:(start + 1) "unexpected character %C" c)
+      end
+    done;
+    emit Eof n n;
+    Ok (Array.of_list (List.rev !toks))
+  with Lex_error d -> Error d

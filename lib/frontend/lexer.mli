@@ -1,0 +1,40 @@
+(** Hand-written lexer for the SQL-ish query syntax.
+
+    Keywords are case-insensitive; identifiers keep their case.
+    ['...'] is a string literal (doubled quote escapes), ["..."] a
+    quoted identifier, [--] starts a line comment, and [<>] is accepted
+    as a synonym for [!=]. *)
+
+type tok =
+  | Ident of string  (** bare or ["quoted"] identifier *)
+  | Kw of string  (** keyword, normalized to uppercase *)
+  | Int of int
+  | Float of float
+  | Str of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eof
+
+(** Token with its half-open byte span [\[left, right)]. *)
+type token = { tok : tok; left : int; right : int }
+
+val keywords : string list
+
+(** Human description of a token for error messages:
+    [identifier "city"], [keyword FROM], ['('], [end of input], ... *)
+val describe : tok -> string
+
+(** The whole input, ending with a single {!Eof} token. *)
+val tokenize : string -> (token array, Diagnostic.t) result

@@ -1,0 +1,530 @@
+open Nested
+open Nrab
+
+exception Lerr of Diagnostic.t
+
+let err ?hint ~left ~right fmt =
+  Fmt.kstr
+    (fun message ->
+      raise
+        (Lerr (Diagnostic.make ?hint ~span:{ Diagnostic.left; right } `Type message)))
+    fmt
+
+type ctx = {
+  env : Typecheck.env;
+  gen : Query.Gen.t;
+  ctes : (string * (Query.t * Vtype.t)) list;
+  later : string list;  (** CTE names not yet in scope (for hints) *)
+}
+
+let numeric = function Vtype.TInt | Vtype.TFloat -> true | _ -> false
+
+let primitive = function
+  | Vtype.TBool | Vtype.TInt | Vtype.TFloat | Vtype.TString -> true
+  | _ -> false
+
+let comparable a b = (numeric a && numeric b) || Vtype.equal a b
+
+let fields_of ~left ~right ty =
+  match ty with
+  | Vtype.TBag (Vtype.TTuple fs) -> fs
+  | _ -> err ~left ~right "expected a bag of tuples, got %a" Vtype.pp ty
+
+let available fields = String.concat ", " (List.map fst fields)
+
+(* Type one operator in isolation: bind each child's relation type to a
+   synthetic table and run the core checker over the single node.  This
+   keeps the frontend's typing rules identical to [Nrab.Typecheck] by
+   construction — the frontend only adds better spans on top. *)
+let infer_node ~left ~right node child_tys =
+  let name i = Printf.sprintf "$%d" i in
+  let penv = List.mapi (fun i ty -> (name i, ty)) child_tys in
+  let children =
+    List.mapi
+      (fun i _ -> { Query.id = -(i + 1); node = Query.Table (name i); children = [] })
+      child_tys
+  in
+  let probe = { Query.id = 0; node; children } in
+  match Typecheck.infer_result penv probe with
+  | Ok ty -> ty
+  | Error e -> err ~left ~right "%s" e.Typecheck.message
+
+let build ctx ~left ~right node children child_tys =
+  let ty = infer_node ~left ~right node child_tys in
+  (Query.mk ctx.gen node children, ty)
+
+(* ---- scalar expressions ---- *)
+
+let rec lower_expr fields (e : Ast.expr) : Expr.t * Vtype.t =
+  match e.it with
+  | Ast.E_attr a -> (
+      match List.assoc_opt a fields with
+      | Some ty -> (Expr.Attr a, ty)
+      | None ->
+          err ~left:e.left ~right:e.right "unknown column %S (available: %s)" a
+            (available fields))
+  | Ast.E_int i -> (Expr.int i, Vtype.TInt)
+  | Ast.E_bool b -> (Expr.const (Value.Bool b), Vtype.TBool)
+  | Ast.E_float f -> (Expr.flt f, Vtype.TFloat)
+  | Ast.E_string s -> (Expr.str s, Vtype.TString)
+  | Ast.E_add (a, b) -> arith fields "+" (fun x y -> Expr.Add (x, y)) a b
+  | Ast.E_sub (a, b) -> arith fields "-" (fun x y -> Expr.Sub (x, y)) a b
+  | Ast.E_mul (a, b) -> arith fields "*" (fun x y -> Expr.Mul (x, y)) a b
+  | Ast.E_div (a, b) -> arith fields "/" (fun x y -> Expr.Div (x, y)) a b
+
+and arith fields sym mk a b =
+  let ea, ta = lower_expr fields a in
+  let eb, tb = lower_expr fields b in
+  let ty =
+    match (ta, tb) with
+    | Vtype.TInt, Vtype.TInt -> Vtype.TInt
+    | (Vtype.TInt | Vtype.TFloat), (Vtype.TInt | Vtype.TFloat) -> Vtype.TFloat
+    | _ ->
+        let bad, bt = if numeric ta then (b, tb) else (a, ta) in
+        err ~left:bad.Ast.left ~right:bad.Ast.right
+          "operator %s expects numeric operands, got %a" sym Vtype.pp bt
+  in
+  (mk ea eb, ty)
+
+(* ---- predicates ---- *)
+
+let rec lower_pred fields (p : Ast.pred) : Expr.pred =
+  match p.it with
+  | Ast.P_true -> Expr.True
+  | Ast.P_false -> Expr.False
+  | Ast.P_and (a, b) -> Expr.And (lower_pred fields a, lower_pred fields b)
+  | Ast.P_or (a, b) -> Expr.Or (lower_pred fields a, lower_pred fields b)
+  | Ast.P_not a -> Expr.Not (lower_pred fields a)
+  | Ast.P_cmp (c, a, b) ->
+      let ea, ta = lower_expr fields a in
+      let eb, tb = lower_expr fields b in
+      let scalar (e : Ast.expr) ty =
+        if not (primitive ty) then
+          err ~left:e.left ~right:e.right
+            "cannot compare a value of type %a — comparisons need primitive values"
+            Vtype.pp ty
+            ~hint:
+              "bag attributes can be FLATTENed, aggregated, or tested with a why-not pattern"
+      in
+      scalar a ta;
+      scalar b tb;
+      if not (comparable ta tb) then
+        err ~left:p.left ~right:p.right "incomparable types %a vs %a" Vtype.pp ta
+          Vtype.pp tb;
+      Expr.Cmp (c, ea, eb)
+  | Ast.P_is_null e -> Expr.IsNull (fst (lower_expr fields e))
+  | Ast.P_is_not_null e -> Expr.IsNotNull (fst (lower_expr fields e))
+  | Ast.P_contains (e, s) ->
+      let ex, ty = lower_expr fields e in
+      if not (Vtype.equal ty Vtype.TString) then
+        err ~left:e.left ~right:e.right "CONTAINS expects a string value, got %a"
+          Vtype.pp ty;
+      Expr.Contains (ex, s.it)
+  | Ast.P_case (arms, els) ->
+      (* CASE WHEN c THEN t ... ELSE e END over predicates desugars to
+         (c AND t) OR (NOT c AND ...); a missing ELSE defaults to FALSE. *)
+      let rec desugar = function
+        | [] -> (
+            match els with Some e -> lower_pred fields e | None -> Expr.False)
+        | (c, t) :: rest ->
+            let pc = lower_pred fields c in
+            Expr.Or
+              (Expr.And (pc, lower_pred fields t),
+               Expr.And (Expr.Not pc, desugar rest))
+      in
+      desugar arms
+
+(* ---- aggregates ---- *)
+
+let agg_fn_of (fn : Ast.ident) (arg : Ast.agg_arg) : Agg.fn * string option =
+  match (String.lowercase_ascii fn.it, arg) with
+  | "count", Ast.A_star -> (Agg.Count, None)
+  | "count", Ast.A_distinct a -> (Agg.Count_distinct, Some a.it)
+  | "count", Ast.A_attr a -> (Agg.Count, Some a.it)
+  | _, Ast.A_star ->
+      err ~left:fn.left ~right:fn.right "%s(*) is not supported — only count(*)"
+        fn.it
+  | _, Ast.A_distinct _ ->
+      err ~left:fn.left ~right:fn.right
+        "DISTINCT inside an aggregate is only supported for count"
+  | "sum", Ast.A_attr a -> (Agg.Sum, Some a.it)
+  | "avg", Ast.A_attr a -> (Agg.Avg, Some a.it)
+  | "min", Ast.A_attr a -> (Agg.Min, Some a.it)
+  | "max", Ast.A_attr a -> (Agg.Max, Some a.it)
+  | _, _ ->
+      err ~left:fn.left ~right:fn.right "unknown aggregate function %S" fn.it
+
+let check_agg_arg ~fields (arg : Ast.agg_arg) =
+  match arg with
+  | Ast.A_star -> ()
+  | Ast.A_attr a | Ast.A_distinct a ->
+      if not (List.mem_assoc a.it fields) then
+        err ~left:a.left ~right:a.right "unknown column %S (available: %s)" a.it
+          (available fields)
+
+(* ---- FROM ---- *)
+
+let rec lower_from ctx (f : Ast.from_item) : Query.t * Vtype.t =
+  let left = f.left and right = f.right in
+  match f.it with
+  | Ast.F_table name -> (
+      match List.assoc_opt name ctx.ctes with
+      | Some (q, ty) -> (Query.relabel ctx.gen q, ty)
+      | None -> (
+          match List.assoc_opt name ctx.env with
+          | Some ty -> (Query.table ctx.gen name, ty)
+          | None ->
+              let hint =
+                if List.mem name ctx.later then
+                  Fmt.str
+                    "CTE %S is not in scope here; a CTE can only reference tables and CTEs defined before it"
+                    name
+                else
+                  "available tables: "
+                  ^ String.concat ", " (List.map fst ctx.env)
+              in
+              err ~left ~right ~hint "unknown table %S" name))
+  | Ast.F_sub q -> lower_query ctx q
+  | Ast.F_flatten (kind, src, attr) -> (
+      let qc, tc = lower_from ctx src in
+      let fields = fields_of ~left ~right tc in
+      match List.assoc_opt attr.it fields with
+      | None ->
+          err ~left:attr.left ~right:attr.right "unknown column %S (available: %s)"
+            attr.it (available fields)
+      | Some aty -> (
+          match kind with
+          | `Tuple ->
+              if
+                match aty with Vtype.TTuple _ -> false | _ -> true
+              then
+                err ~left:attr.left ~right:attr.right
+                  "FLATTEN TUPLE expects a tuple-valued attribute, but %s : %a"
+                  attr.it Vtype.pp aty;
+              build ctx ~left:attr.left ~right:attr.right
+                (Query.Flatten_tuple attr.it) [ qc ] [ tc ]
+          | (`Inner | `Outer) as k ->
+              (if match aty with Vtype.TBag (Vtype.TTuple _) -> false | _ -> true
+               then
+                 err ~left:attr.left ~right:attr.right
+                   "FLATTEN expects a bag-of-tuples attribute, but %s : %a"
+                   attr.it Vtype.pp aty
+                   ~hint:"only nested bag attributes can be flattened");
+              let fk =
+                match k with
+                | `Inner -> Query.Flat_inner
+                | `Outer -> Query.Flat_outer
+              in
+              build ctx ~left:attr.left ~right:attr.right
+                (Query.Flatten (fk, attr.it)) [ qc ] [ tc ]))
+  | Ast.F_rename (src, pairs) ->
+      let qc, tc = lower_from ctx src in
+      let fields = fields_of ~left ~right tc in
+      List.iter
+        (fun ((old : Ast.ident), _) ->
+          if not (List.mem_assoc old.it fields) then
+            err ~left:old.left ~right:old.right
+              "unknown column %S (available: %s)" old.it (available fields))
+        pairs;
+      (* surface pairs are (old AS new); the core node stores (new, old) *)
+      let core_pairs =
+        List.map (fun ((old : Ast.ident), (nw : Ast.ident)) -> (nw.it, old.it)) pairs
+      in
+      build ctx ~left ~right (Query.Rename core_pairs) [ qc ] [ tc ]
+  | Ast.F_join (kind, l, r, p) ->
+      let ql, tl = lower_from ctx l in
+      let qr, tr = lower_from ctx r in
+      let lf = fields_of ~left ~right tl and rf = fields_of ~left ~right tr in
+      check_disjoint ~left ~right lf rf;
+      let pred = lower_pred (lf @ rf) p in
+      let k =
+        match kind with
+        | `Inner -> Query.Inner
+        | `Left -> Query.Left
+        | `Right -> Query.Right
+        | `Full -> Query.Full
+      in
+      build ctx ~left ~right (Query.Join (k, pred)) [ ql; qr ] [ tl; tr ]
+  | Ast.F_product (l, r) ->
+      let ql, tl = lower_from ctx l in
+      let qr, tr = lower_from ctx r in
+      let lf = fields_of ~left ~right tl and rf = fields_of ~left ~right tr in
+      check_disjoint ~left ~right lf rf;
+      build ctx ~left ~right Query.Product [ ql; qr ] [ tl; tr ]
+
+and check_disjoint ~left ~right lf rf =
+  let dups =
+    List.filter_map
+      (fun (n, _) -> if List.mem_assoc n lf then Some n else None)
+      rf
+  in
+  match dups with
+  | [] -> ()
+  | ds ->
+      err ~left ~right "attributes %s appear on both sides"
+        (String.concat ", " ds)
+        ~hint:"RENAME one side so every attribute name is unique"
+
+(* ---- SELECT ---- *)
+
+(* Lower the select list over [q1], excluding GROUP BY handling: plain
+   projections and per-tuple aggregate chains. *)
+and lower_items ctx ~allow_aggs (q1, t1) (items : Ast.select_item list) ~left
+    ~right =
+  match items with
+  | [ Ast.I_star _ ] -> (q1, t1)
+  | _ ->
+      let stars = List.filter (function Ast.I_star _ -> true | _ -> false) items in
+      let aggs =
+        List.filter_map (function Ast.I_agg a -> Some a | _ -> None) items
+      in
+      (match (aggs, allow_aggs) with
+      | Ast.{ left; right; _ } :: _, false ->
+          err ~left ~right "aggregates cannot be combined with NEST ... INTO"
+            ~hint:"nest the attribute, or aggregate in an outer query"
+      | _ -> ());
+      (* Per-tuple aggregates: chain γ in select-list order. *)
+      let qa, ta =
+        List.fold_left
+          (fun (q, t) (a : Ast.agg_item) ->
+            let fields = fields_of ~left ~right t in
+            check_agg_arg ~fields a.Ast.arg;
+            let fn, over = agg_fn_of a.Ast.fn a.Ast.arg in
+            match over with
+            | None ->
+                err ~left:a.Ast.left ~right:a.Ast.right
+                  "count(*) needs a GROUP BY clause"
+                  ~hint:"per-tuple aggregates run over a bag attribute: count(address2) AS n"
+            | Some over ->
+                build ctx ~left:a.Ast.left ~right:a.Ast.right
+                  (Query.Agg_tuple (fn, over, a.Ast.out.it)) [ q ] [ t ])
+          (q1, t1) aggs
+      in
+      let plains =
+        List.filter_map (function Ast.I_expr (e, a) -> Some (e, a) | _ -> None) items
+      in
+      (match (stars, plains) with
+      | Ast.I_star (l, r) :: _, _ :: _ ->
+          err ~left:l ~right:r "'*' cannot be mixed with plain select items"
+            ~hint:"list the attributes explicitly, or select only '*' and aggregates"
+      | _ :: Ast.I_star (l, r) :: _, [] ->
+          err ~left:l ~right:r "'*' can appear at most once"
+      | _ -> ());
+      if stars <> [] then
+        (* SELECT *, agg(...) AS out — the γ chain already appended the
+           outputs; no projection needed. *)
+        (qa, ta)
+      else begin
+        let fields = fields_of ~left ~right ta in
+        let seen = Hashtbl.create 8 in
+        let cols =
+          List.filter_map
+            (function
+              | Ast.I_star _ -> None
+              | Ast.I_agg a -> Some (a.Ast.out.it, Expr.Attr a.Ast.out.it, (a.Ast.out.left, a.Ast.out.right))
+              | Ast.I_expr (e, alias) ->
+                  let name, (nl, nr) =
+                    match (alias, e.Ast.it) with
+                    | Some (a : Ast.ident), _ -> (a.it, (a.left, a.right))
+                    | None, Ast.E_attr a -> (a, (e.Ast.left, e.Ast.right))
+                    | None, _ ->
+                        err ~left:e.Ast.left ~right:e.Ast.right
+                          "computed select items need an AS name"
+                          ~hint:"write: expr AS name"
+                  in
+                  let ex, _ = lower_expr fields e in
+                  Some (name, ex, (nl, nr)))
+            items
+        in
+        List.iter
+          (fun (name, _, (nl, nr)) ->
+            if Hashtbl.mem seen name then
+              err ~left:nl ~right:nr "duplicate output attribute %S" name;
+            Hashtbl.add seen name ())
+          cols;
+        build ctx ~left ~right
+          (Query.Project (List.map (fun (n, e, _) -> (n, e)) cols))
+          [ qa ] [ ta ]
+      end
+
+and lower_group ctx (q1, t1) (sc : Ast.select_core) (g : Ast.group_clause)
+    ~left ~right =
+  let gspan_l = g.Ast.gc_left and gspan_r = g.Ast.gc_right in
+  match g.Ast.gc_nest with
+  | Some n ->
+      (* Nesting: an optional projection narrows the input first, then
+         Nᴿ/Nᵀ groups on everything that is not nested. *)
+      List.iter
+        (fun (gi : Ast.group_item) ->
+          match gi.Ast.g_label with
+          | Some lab ->
+              err ~left:lab.left ~right:lab.right
+                "GROUP BY labels (AS) are only for aggregation queries"
+                ~hint:"rename nested attributes in the NEST clause instead"
+          | None -> ())
+        g.Ast.gc_items;
+      let qp, tp = lower_items ctx ~allow_aggs:false (q1, t1) sc.Ast.items ~left ~right in
+      let fields = fields_of ~left ~right tp in
+      let known (a : Ast.ident) =
+        if not (List.mem_assoc a.it fields) then
+          err ~left:a.left ~right:a.right "unknown column %S (available: %s)" a.it
+            (available fields)
+      in
+      List.iter (fun (gi : Ast.group_item) -> known gi.Ast.g_attr) g.Ast.gc_items;
+      let group_names =
+        List.map (fun (gi : Ast.group_item) -> gi.Ast.g_attr.it) g.Ast.gc_items
+      in
+      let pairs =
+        List.map
+          (fun (gi : Ast.group_item) ->
+            let a = gi.Ast.g_attr in
+            known a;
+            let label = match gi.Ast.g_label with Some l -> l.it | None -> a.it in
+            (label, a.it, (a.left, a.right)))
+          n.Ast.n_items
+      in
+      let nested_names = List.map (fun (_, a, _) -> a) pairs in
+      List.iter
+        (fun (label, a, (al, ar)) ->
+          ignore label;
+          if List.length (List.filter (String.equal a) nested_names) > 1 then
+            err ~left:al ~right:ar "attribute %S is nested twice" a;
+          if List.mem a group_names then
+            err ~left:al ~right:ar "attribute %S is both grouped and nested" a)
+        pairs;
+      List.iter
+        (fun (fname, _) ->
+          if not (List.mem fname group_names || List.mem fname nested_names)
+          then
+            err ~left:gspan_l ~right:gspan_r
+              "attribute %S is neither grouped nor nested" fname
+              ~hint:
+                "with NEST, every input attribute must appear in GROUP BY or in the NEST list")
+        fields;
+      let into = n.Ast.n_into in
+      if
+        List.exists
+          (fun (fname, _) ->
+            String.equal fname into.it && not (List.mem fname nested_names))
+          fields
+      then
+        err ~left:into.left ~right:into.right
+          "attribute name %S already exists in the group schema" into.it;
+      let core_pairs = List.map (fun (l, a, _) -> (l, a)) pairs in
+      let node =
+        match n.Ast.n_kind with
+        | `Rel -> Query.Nest_rel (core_pairs, into.it)
+        | `Tuple -> Query.Nest_tuple (core_pairs, into.it)
+      in
+      build ctx ~left:gspan_l ~right:gspan_r node [ qp ] [ tp ]
+  | None ->
+      (* Aggregation: SELECT [labels,] aggs FROM ... GROUP BY a [AS l], ... *)
+      let fields = fields_of ~left ~right t1 in
+      let group_pairs =
+        List.map
+          (fun (gi : Ast.group_item) ->
+            let a = gi.Ast.g_attr in
+            if not (List.mem_assoc a.it fields) then
+              err ~left:a.left ~right:a.right "unknown column %S (available: %s)"
+                a.it (available fields);
+            let label = match gi.Ast.g_label with Some l -> l.it | None -> a.it in
+            (label, a.it))
+          g.Ast.gc_items
+      in
+      if group_pairs = [] then
+        err ~left:gspan_l ~right:gspan_r
+          "GROUP BY needs at least one attribute or a NEST clause";
+      let labels = List.map fst group_pairs in
+      let plain = ref [] and aggs = ref [] in
+      List.iter
+        (function
+          | Ast.I_star (l, r) ->
+              err ~left:l ~right:r "'*' cannot be combined with GROUP BY aggregation"
+          | Ast.I_expr (e, alias) -> (
+              (match alias with
+              | Some (a : Ast.ident) ->
+                  err ~left:a.left ~right:a.right
+                    "aliases on group attributes belong in GROUP BY"
+                    ~hint:"write: GROUP BY attr AS label, then select the label"
+              | None -> ());
+              match e.Ast.it with
+              | Ast.E_attr a -> plain := (a, (e.Ast.left, e.Ast.right)) :: !plain
+              | _ ->
+                  err ~left:e.Ast.left ~right:e.Ast.right
+                    "only group labels and aggregates can be selected with GROUP BY")
+          | Ast.I_agg a ->
+              check_agg_arg ~fields a.Ast.arg;
+              let fn, over = agg_fn_of a.Ast.fn a.Ast.arg in
+              aggs := (fn, over, a.Ast.out.it) :: !aggs)
+        sc.Ast.items;
+      let plain = List.rev !plain and aggs = List.rev !aggs in
+      (if plain <> [] then
+         let names = List.map fst plain in
+         if names <> labels then
+           let bad, (bl, br) =
+             try List.find (fun (n, _) -> not (List.mem n labels)) plain
+             with Not_found -> List.hd plain
+           in
+           err ~left:bl ~right:br
+             "select item %S does not match the GROUP BY labels" bad
+             ~hint:
+               (Fmt.str "expected the group labels in order: %s"
+                  (String.concat ", " labels)));
+      build ctx ~left:gspan_l ~right:gspan_r
+        (Query.Group_agg (group_pairs, aggs))
+        [ q1 ] [ t1 ]
+
+and lower_select_core ctx (sc : Ast.select_core) ~left ~right =
+  let q0, t0 = lower_from ctx sc.Ast.from in
+  let q1, t1 =
+    match sc.Ast.where with
+    | None -> (q0, t0)
+    | Some p ->
+        let fields = fields_of ~left:p.Ast.left ~right:p.Ast.right t0 in
+        let pred = lower_pred fields p in
+        build ctx ~left:p.Ast.left ~right:p.Ast.right (Query.Select pred) [ q0 ]
+          [ t0 ]
+  in
+  let q2, t2 =
+    match sc.Ast.group with
+    | Some g -> lower_group ctx (q1, t1) sc g ~left ~right
+    | None -> lower_items ctx ~allow_aggs:true (q1, t1) sc.Ast.items ~left ~right
+  in
+  if sc.Ast.distinct then build ctx ~left ~right Query.Dedup [ q2 ] [ t2 ]
+  else (q2, t2)
+
+and lower_query ctx (q : Ast.query) : Query.t * Vtype.t =
+  match q.it with
+  | Ast.Q_select sc -> lower_select_core ctx sc ~left:q.left ~right:q.right
+  | Ast.Q_setop (op, a, b) ->
+      let qa, ta = lower_query ctx a in
+      let qb, tb = lower_query ctx b in
+      if not (Vtype.equal ta tb) then
+        err ~left:q.left ~right:q.right "%s over different schemas: %a vs %a"
+          (match op with `Union -> "UNION" | `Except -> "EXCEPT")
+          Vtype.pp ta Vtype.pp tb
+          ~hint:"project both sides to the same attributes in the same order";
+      build ctx ~left:q.left ~right:q.right
+        (match op with `Union -> Query.Union | `Except -> Query.Diff)
+        [ qa; qb ] [ ta; tb ]
+
+let statement ~env ~gen (s : Ast.statement) =
+  try
+    let rec lower_ctes acc = function
+      | [] -> acc
+      | ((name : Ast.ident), q) :: rest ->
+          if List.mem_assoc name.it acc then
+            err ~left:name.left ~right:name.right "duplicate CTE name %S" name.it;
+          if List.mem_assoc name.it env then
+            err ~left:name.left ~right:name.right
+              "CTE %S shadows a table of the same name" name.it
+              ~hint:"pick a different CTE name";
+          let later = name.it :: List.map (fun ((n : Ast.ident), _) -> n.it) rest in
+          let ctx = { env; gen; ctes = acc; later } in
+          let qt = lower_query ctx q in
+          lower_ctes ((name.it, qt) :: acc) rest
+    in
+    let ctes = lower_ctes [] s.Ast.ctes in
+    let ctx = { env; gen; ctes; later = [] } in
+    Ok (lower_query ctx s.Ast.body)
+  with Lerr d -> Error d

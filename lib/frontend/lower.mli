@@ -1,0 +1,16 @@
+(** Lowering from the surface {!Ast} to the core [Nrab.Query] AST.
+
+    Lowering and type checking are interleaved: every operator is
+    checked against [Nrab.Typecheck] as it is built, so type errors
+    point at the exact source span that introduced them.  [env] maps
+    table names to their relation schemas (as in [Nrab.Typecheck]);
+    operator ids are drawn from [gen] innermost-first, matching
+    programmatic query construction. *)
+
+open Nrab
+
+val statement :
+  env:Typecheck.env ->
+  gen:Query.Gen.t ->
+  Ast.statement ->
+  (Query.t * Nested.Vtype.t, Diagnostic.t) result

@@ -1,0 +1,541 @@
+open Ast
+
+type state = { toks : Lexer.token array; mutable i : int }
+
+exception Perr of { left : int; right : int; message : string; hint : string option }
+
+let perr ?hint ~left ~right fmt =
+  Fmt.kstr (fun message -> raise (Perr { left; right; message; hint })) fmt
+
+let cur st = st.toks.(st.i)
+let peek st = (cur st).tok
+
+let peek2 st =
+  if st.i + 1 < Array.length st.toks then st.toks.(st.i + 1).tok else Lexer.Eof
+
+let advance st = if st.i + 1 < Array.length st.toks then st.i <- st.i + 1
+
+(* Right edge of the last consumed token — used to close spans. *)
+let last_right st = if st.i = 0 then 0 else st.toks.(st.i - 1).right
+
+let tok_err ?hint st what =
+  let t = cur st in
+  perr ?hint ~left:t.left ~right:t.right "expected %s, found %s" what
+    (Lexer.describe t.tok)
+
+let expect ?hint st tok what =
+  if peek st = tok then advance st else tok_err ?hint st what
+
+let expect_kw ?hint st kw = expect ?hint st (Lexer.Kw kw) ("keyword " ^ kw)
+
+let ident ?hint st what =
+  match peek st with
+  | Lexer.Ident s ->
+      let t = cur st in
+      advance st;
+      { it = s; left = t.left; right = t.right }
+  | _ -> tok_err ?hint st what
+
+let is_kw st kw = peek st = Lexer.Kw kw
+
+let eat_kw st kw =
+  if is_kw st kw then begin
+    advance st;
+    true
+  end
+  else false
+
+let agg_fns = [ "sum"; "count"; "avg"; "min"; "max" ]
+
+let cmp_of_tok = function
+  | Lexer.Eq -> Some Nrab.Expr.Eq
+  | Lexer.Neq -> Some Nrab.Expr.Neq
+  | Lexer.Lt -> Some Nrab.Expr.Lt
+  | Lexer.Le -> Some Nrab.Expr.Le
+  | Lexer.Gt -> Some Nrab.Expr.Gt
+  | Lexer.Ge -> Some Nrab.Expr.Ge
+  | _ -> None
+
+(* ---- expressions ---- *)
+
+let rec expr st : expr =
+  let left = (cur st).left in
+  let e = ref (term st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.Plus ->
+        advance st;
+        let r = term st in
+        e := { it = E_add (!e, r); left; right = last_right st }
+    | Lexer.Minus ->
+        advance st;
+        let r = term st in
+        e := { it = E_sub (!e, r); left; right = last_right st }
+    | _ -> continue := false
+  done;
+  !e
+
+and term st : expr =
+  let left = (cur st).left in
+  let e = ref (factor st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.Star ->
+        advance st;
+        let r = factor st in
+        e := { it = E_mul (!e, r); left; right = last_right st }
+    | Lexer.Slash ->
+        advance st;
+        let r = factor st in
+        e := { it = E_div (!e, r); left; right = last_right st }
+    | _ -> continue := false
+  done;
+  !e
+
+and factor st : expr =
+  let t = cur st in
+  match t.tok with
+  | Lexer.Ident a ->
+      advance st;
+      { it = E_attr a; left = t.left; right = t.right }
+  | Lexer.Int v ->
+      advance st;
+      { it = E_int v; left = t.left; right = t.right }
+  | Lexer.Float v ->
+      advance st;
+      { it = E_float v; left = t.left; right = t.right }
+  | Lexer.Str s ->
+      advance st;
+      { it = E_string s; left = t.left; right = t.right }
+  | Lexer.Kw "TRUE" ->
+      advance st;
+      { it = E_bool true; left = t.left; right = t.right }
+  | Lexer.Kw "FALSE" ->
+      advance st;
+      { it = E_bool false; left = t.left; right = t.right }
+  | Lexer.Minus -> (
+      advance st;
+      let u = cur st in
+      match u.tok with
+      | Lexer.Int v ->
+          advance st;
+          { it = E_int (-v); left = t.left; right = u.right }
+      | Lexer.Float v ->
+          advance st;
+          { it = E_float (-.v); left = t.left; right = u.right }
+      | _ ->
+          perr ~left:t.left ~right:t.right
+            "unary minus is only supported on numeric literals")
+  | Lexer.Lparen ->
+      advance st;
+      let e = expr st in
+      expect st Lexer.Rparen "')'";
+      { e with left = t.left; right = last_right st }
+  | _ -> tok_err st "an expression"
+
+(* ---- predicates ---- *)
+
+exception Not_a_pred_group
+
+let rec pred st : pred = or_pred st
+
+and or_pred st : pred =
+  let left = (cur st).left in
+  let p = ref (and_pred st) in
+  while eat_kw st "OR" do
+    let r = and_pred st in
+    p := { it = P_or (!p, r); left; right = last_right st }
+  done;
+  !p
+
+and and_pred st : pred =
+  let left = (cur st).left in
+  let p = ref (not_pred st) in
+  while eat_kw st "AND" do
+    let r = not_pred st in
+    p := { it = P_and (!p, r); left; right = last_right st }
+  done;
+  !p
+
+and not_pred st : pred =
+  let t = cur st in
+  if is_kw st "NOT" then begin
+    advance st;
+    let p = not_pred st in
+    { it = P_not p; left = t.left; right = last_right st }
+  end
+  else pred_atom st
+
+and pred_atom st : pred =
+  let t = cur st in
+  match t.tok with
+  | Lexer.Kw (("TRUE" | "FALSE") as kw) -> (
+      (* "TRUE" alone is a predicate; "true = active" starts a
+         comparison with a boolean literal. *)
+      match peek2 st with
+      | Lexer.Eq | Lexer.Neq | Lexer.Lt | Lexer.Le | Lexer.Gt | Lexer.Ge
+      | Lexer.Kw "IS" ->
+          comparison st
+      | _ ->
+          advance st;
+          let it = if String.equal kw "TRUE" then P_true else P_false in
+          { it; left = t.left; right = t.right })
+  | Lexer.Kw "CASE" -> case_pred st
+  | Lexer.Kw "CONTAINS" ->
+      advance st;
+      expect st Lexer.Lparen "'('";
+      let e = expr st in
+      expect st Lexer.Comma "','";
+      let s =
+        match peek st with
+        | Lexer.Str s ->
+            let u = cur st in
+            advance st;
+            { it = s; left = u.left; right = u.right }
+        | _ -> tok_err st "a string literal"
+      in
+      expect st Lexer.Rparen "')'";
+      { it = P_contains (e, s); left = t.left; right = last_right st }
+  | Lexer.Lparen -> (
+      (* Ambiguous: "(a = 1) AND b" groups a predicate, "(a) = 1" and
+         "(a + b) = 1" group an expression.  Try the predicate reading;
+         back off if the closing paren is followed by an operator that
+         only makes sense after an expression. *)
+      let save = st.i in
+      try
+        advance st;
+        let p = pred st in
+        expect st Lexer.Rparen "')'";
+        (match peek st with
+        | Lexer.Plus | Lexer.Minus | Lexer.Star | Lexer.Slash | Lexer.Eq
+        | Lexer.Neq | Lexer.Lt | Lexer.Le | Lexer.Gt | Lexer.Ge
+        | Lexer.Kw "IS" ->
+            raise Not_a_pred_group
+        | _ -> ());
+        { p with left = t.left; right = last_right st }
+      with Perr _ | Not_a_pred_group ->
+        st.i <- save;
+        comparison st)
+  | _ -> comparison st
+
+and case_pred st : pred =
+  let t = cur st in
+  expect_kw st "CASE";
+  let arms = ref [] in
+  expect_kw st "WHEN" ~hint:"CASE branches are predicates: CASE WHEN c THEN p ... END";
+  let parse_arm () =
+    let c = pred st in
+    expect_kw st "THEN";
+    let p = pred st in
+    arms := (c, p) :: !arms
+  in
+  parse_arm ();
+  while eat_kw st "WHEN" do
+    parse_arm ()
+  done;
+  let els = if eat_kw st "ELSE" then Some (pred st) else None in
+  expect_kw st "END";
+  { it = P_case (List.rev !arms, els); left = t.left; right = last_right st }
+
+and comparison st : pred =
+  let left = (cur st).left in
+  let e = expr st in
+  match cmp_of_tok (peek st) with
+  | Some c ->
+      advance st;
+      let r = expr st in
+      { it = P_cmp (c, e, r); left; right = last_right st }
+  | None ->
+      if eat_kw st "IS" then begin
+        let neg = eat_kw st "NOT" in
+        expect_kw st "NULL";
+        let node = if neg then P_is_not_null e else P_is_null e in
+        { it = node; left; right = last_right st }
+      end
+      else if eat_kw st "CONTAINS" then begin
+        let s =
+          match peek st with
+          | Lexer.Str s ->
+              let u = cur st in
+              advance st;
+              { it = s; left = u.left; right = u.right }
+          | _ -> tok_err st "a string literal"
+        in
+        { it = P_contains (e, s); left; right = last_right st }
+      end
+      else
+        tok_err st "a comparison operator"
+          ~hint:"predicates are comparisons (a >= 1), IS [NOT] NULL, CONTAINS, or boolean combinations"
+
+(* ---- select items ---- *)
+
+let agg_item st : select_item =
+  let t = cur st in
+  let fn = ident st "an aggregate function" in
+  expect st Lexer.Lparen "'('";
+  let arg =
+    match peek st with
+    | Lexer.Star ->
+        advance st;
+        A_star
+    | Lexer.Kw "DISTINCT" ->
+        advance st;
+        A_distinct (ident st "an attribute name")
+    | _ -> A_attr (ident st "an attribute name")
+  in
+  expect st Lexer.Rparen "')'";
+  expect_kw st "AS" ~hint:"aggregates need an output name: count(*) AS n";
+  let out = ident st "an output name" in
+  I_agg { fn; arg; out; left = t.left; right = last_right st }
+
+let select_item st : select_item =
+  match peek st with
+  | Lexer.Star ->
+      let t = cur st in
+      advance st;
+      I_star (t.left, t.right)
+  | Lexer.Ident f
+    when List.mem (String.lowercase_ascii f) agg_fns && peek2 st = Lexer.Lparen
+    ->
+      agg_item st
+  | _ ->
+      let e = expr st in
+      let alias = if eat_kw st "AS" then Some (ident st "an alias") else None in
+      I_expr (e, alias)
+
+(* ---- FROM clause ---- *)
+
+let rec from_clause st : from_item =
+  let left = (cur st).left in
+  let f = ref (from_item st) in
+  while peek st = Lexer.Comma do
+    advance st;
+    let r = from_item st in
+    f := { it = F_product (!f, r); left; right = last_right st }
+  done;
+  !f
+
+and from_item st : from_item =
+  let left = (cur st).left in
+  let f = ref (from_primary st) in
+  let continue = ref true in
+  while !continue do
+    let kind =
+      match peek st with
+      | Lexer.Kw "JOIN" -> Some `Inner
+      | Lexer.Kw "INNER" when peek2 st = Lexer.Kw "JOIN" -> Some `Inner
+      | Lexer.Kw "LEFT" -> Some `Left
+      | Lexer.Kw "RIGHT" -> Some `Right
+      | Lexer.Kw "FULL" -> Some `Full
+      | _ -> None
+    in
+    match kind with
+    | None -> continue := false
+    | Some k ->
+        (match peek st with
+        | Lexer.Kw "JOIN" -> advance st
+        | Lexer.Kw "INNER" ->
+            advance st;
+            advance st
+        | _ ->
+            (* LEFT/RIGHT/FULL [OUTER] JOIN *)
+            advance st;
+            ignore (eat_kw st "OUTER");
+            expect_kw st "JOIN");
+        let r = from_primary st in
+        expect_kw st "ON" ~hint:"joins need an explicit predicate: ... JOIN t ON a = b";
+        let p = pred st in
+        f := { it = F_join (k, !f, r, p); left; right = last_right st }
+  done;
+  !f
+
+and from_primary st : from_item =
+  let t = cur st in
+  match t.tok with
+  | Lexer.Ident name ->
+      advance st;
+      { it = F_table name; left = t.left; right = t.right }
+  | Lexer.Kw ("FLATTEN" | "UNNEST") ->
+      advance st;
+      let kind =
+        if eat_kw st "OUTER" then `Outer
+        else if eat_kw st "TUPLE" then `Tuple
+        else `Inner
+      in
+      expect st Lexer.Lparen "'('";
+      let f = from_item st in
+      expect st Lexer.Comma "','"
+        ~hint:"FLATTEN takes a source and an attribute: FLATTEN(person, address2)";
+      let a = ident st "a bag-valued attribute name" in
+      expect st Lexer.Rparen "')'";
+      { it = F_flatten (kind, f, a); left = t.left; right = last_right st }
+  | Lexer.Kw "RENAME" ->
+      advance st;
+      expect st Lexer.Lparen "'('";
+      let f = from_item st in
+      expect st Lexer.Comma "','"
+        ~hint:"RENAME takes a source and pairs: RENAME(t, old AS new)";
+      let pair () =
+        let old = ident st "an attribute name" in
+        expect_kw st "AS";
+        let nw = ident st "a new attribute name" in
+        (old, nw)
+      in
+      let pairs = ref [ pair () ] in
+      while peek st = Lexer.Comma do
+        advance st;
+        pairs := pair () :: !pairs
+      done;
+      expect st Lexer.Rparen "')'";
+      { it = F_rename (f, List.rev !pairs); left = t.left; right = last_right st }
+  | Lexer.Lparen -> (
+      advance st;
+      match peek st with
+      | Lexer.Kw "SELECT" ->
+          let q = query st in
+          expect st Lexer.Rparen "')'";
+          { it = F_sub q; left = t.left; right = last_right st }
+      | Lexer.Lparen -> (
+          (* Could be a parenthesized query "((SELECT ...))" or a
+             parenthesized product "((a, b), c)".  Try the query. *)
+          let save = st.i in
+          try
+            let q = query st in
+            expect st Lexer.Rparen "')'";
+            { it = F_sub q; left = t.left; right = last_right st }
+          with Perr _ ->
+            st.i <- save;
+            let f = from_clause st in
+            expect st Lexer.Rparen "')'";
+            { f with left = t.left; right = last_right st })
+      | _ ->
+          let f = from_clause st in
+          expect st Lexer.Rparen "')'";
+          { f with left = t.left; right = last_right st })
+  | _ ->
+      tok_err st "a table name, FLATTEN, RENAME, or a subquery"
+        ~hint:"FROM takes tables, FLATTEN(...), RENAME(...), or (SELECT ...)"
+
+(* ---- GROUP BY / NEST ---- *)
+
+and group_item st : group_item =
+  let g_attr = ident st "an attribute name" in
+  let g_label = if eat_kw st "AS" then Some (ident st "a label") else None in
+  { g_attr; g_label }
+
+and group_items st : group_item list =
+  let items = ref [ group_item st ] in
+  while peek st = Lexer.Comma do
+    advance st;
+    items := group_item st :: !items
+  done;
+  List.rev !items
+
+and nest_clause st : nest_clause =
+  expect_kw st "NEST";
+  let n_kind = if eat_kw st "TUPLE" then `Tuple else `Rel in
+  let n_items = group_items st in
+  expect_kw st "INTO" ~hint:"NEST needs a target attribute: NEST name INTO nList";
+  let n_into = ident st "a bag attribute name" in
+  { n_kind; n_items; n_into }
+
+and group_clause st : group_clause =
+  let gc_left = (cur st).left in
+  expect_kw st "GROUP";
+  expect_kw st "BY";
+  let gc_items = if is_kw st "NEST" then [] else group_items st in
+  let gc_nest = if is_kw st "NEST" then Some (nest_clause st) else None in
+  { gc_items; gc_nest; gc_left; gc_right = last_right st }
+
+(* ---- queries ---- *)
+
+and select_core st : select_core =
+  expect_kw st "SELECT";
+  let distinct = eat_kw st "DISTINCT" in
+  let items = ref [ select_item st ] in
+  while peek st = Lexer.Comma do
+    advance st;
+    items := select_item st :: !items
+  done;
+  let from_hint =
+    match peek st with
+    | Lexer.Ident _ -> Some "separate select items with commas"
+    | _ -> None
+  in
+  expect_kw ?hint:from_hint st "FROM";
+  let from = from_clause st in
+  let where = if eat_kw st "WHERE" then Some (pred st) else None in
+  let group = if is_kw st "GROUP" then Some (group_clause st) else None in
+  { distinct; items = List.rev !items; from; where; group }
+
+and query_atom st : query =
+  let t = cur st in
+  match t.tok with
+  | Lexer.Kw "SELECT" ->
+      let sc = select_core st in
+      { it = Q_select sc; left = t.left; right = last_right st }
+  | Lexer.Lparen ->
+      advance st;
+      let q = query st in
+      expect st Lexer.Rparen "')'";
+      { q with left = t.left; right = last_right st }
+  | _ -> tok_err st "a query (SELECT ... or a parenthesized query)"
+
+and query st : query =
+  let left = (cur st).left in
+  let q = ref (query_atom st) in
+  let continue = ref true in
+  while !continue do
+    let op =
+      match peek st with
+      | Lexer.Kw "UNION" -> Some `Union
+      | Lexer.Kw "EXCEPT" -> Some `Except
+      | _ -> None
+    in
+    match op with
+    | None -> continue := false
+    | Some op ->
+        advance st;
+        ignore (eat_kw st "ALL");
+        let r = query_atom st in
+        q := { it = Q_setop (op, !q, r); left; right = last_right st }
+  done;
+  !q
+
+let cte st : ident * query =
+  let name = ident st "a CTE name" in
+  expect_kw st "AS" ~hint:"CTEs are written name AS (SELECT ...)";
+  expect st Lexer.Lparen "'('";
+  let q = query st in
+  expect st Lexer.Rparen "')'";
+  (name, q)
+
+let statement_toks st : statement =
+  let ctes =
+    if eat_kw st "WITH" then begin
+      let ctes = ref [ cte st ] in
+      while peek st = Lexer.Comma do
+        advance st;
+        ctes := cte st :: !ctes
+      done;
+      List.rev !ctes
+    end
+    else []
+  in
+  let body = query st in
+  (match peek st with
+  | Lexer.Eof -> ()
+  | _ -> tok_err st "end of input");
+  { ctes; body }
+
+let statement source =
+  match Lexer.tokenize source with
+  | Error d -> Error d
+  | Ok toks -> (
+      let st = { toks; i = 0 } in
+      try Ok (statement_toks st)
+      with Perr { left; right; message; hint } ->
+        Error
+          (Diagnostic.make ?hint ~span:{ Diagnostic.left; right } `Parse message))

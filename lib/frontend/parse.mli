@@ -1,0 +1,5 @@
+(** Recursive-descent parser from token stream to surface {!Ast}. *)
+
+(** Parse a full statement ([WITH ...] query).  The diagnostic carries
+    the span of the offending token. *)
+val statement : string -> (Ast.statement, Diagnostic.t) result

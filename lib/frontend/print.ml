@@ -1,0 +1,218 @@
+open Nested
+open Nrab
+
+exception Unprintable of string
+
+let unprintable fmt = Fmt.kstr (fun m -> raise (Unprintable m)) fmt
+
+(* ---- lexical forms ---- *)
+
+let bare_ident s =
+  let ok_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let ok c = ok_start c || (c >= '0' && c <= '9') in
+  String.length s > 0
+  && ok_start s.[0]
+  && String.for_all ok s
+  && not (List.mem (String.uppercase_ascii s) Lexer.keywords)
+
+let quote_with q s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b q;
+  String.iter
+    (fun c ->
+      Buffer.add_char b c;
+      if c = q then Buffer.add_char b c)
+    s;
+  Buffer.add_char b q;
+  Buffer.contents b
+
+let pid s =
+  if s = "" then unprintable "empty attribute name has no surface form";
+  if bare_ident s then s else quote_with '"' s
+
+let pstr s = quote_with '\'' s
+
+let pfloat f =
+  match Float.classify_float f with
+  | Float.FP_nan | Float.FP_infinite ->
+      unprintable "float literal %h has no surface form" f
+  | _ ->
+      let s = Fmt.str "%.17g" f in
+      (* ensure it re-lexes as a float, not an integer *)
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+      else s ^ "."
+
+(* ---- expressions and predicates ---- *)
+
+(* precedence: 1 = additive, 2 = multiplicative, 3 = atoms *)
+let rec pexpr prec (e : Expr.t) =
+  let wrap lvl s = if lvl < prec then "(" ^ s ^ ")" else s in
+  match e with
+  | Expr.Const (Value.Int i) -> string_of_int i
+  | Expr.Const (Value.Bool b) -> if b then "TRUE" else "FALSE"
+  | Expr.Const (Value.Float f) -> pfloat f
+  | Expr.Const (Value.String s) -> pstr s
+  | Expr.Const v -> unprintable "constant %a has no surface form" Value.pp v
+  | Expr.Attr a -> pid a
+  | Expr.Add (a, b) -> wrap 1 (pexpr 1 a ^ " + " ^ pexpr 2 b)
+  | Expr.Sub (a, b) -> wrap 1 (pexpr 1 a ^ " - " ^ pexpr 2 b)
+  | Expr.Mul (a, b) -> wrap 2 (pexpr 2 a ^ " * " ^ pexpr 3 b)
+  | Expr.Div (a, b) -> wrap 2 (pexpr 2 a ^ " / " ^ pexpr 3 b)
+
+let cmp_text = function
+  | Expr.Eq -> "="
+  | Expr.Neq -> "!="
+  | Expr.Lt -> "<"
+  | Expr.Le -> "<="
+  | Expr.Gt -> ">"
+  | Expr.Ge -> ">="
+
+(* precedence: 1 = OR, 2 = AND, 3 = NOT, 4 = atoms *)
+let rec ppred prec (p : Expr.pred) =
+  let wrap lvl s = if lvl < prec then "(" ^ s ^ ")" else s in
+  match p with
+  | Expr.True -> "TRUE"
+  | Expr.False -> "FALSE"
+  | Expr.Or (a, b) -> wrap 1 (ppred 1 a ^ " OR " ^ ppred 2 b)
+  | Expr.And (a, b) -> wrap 2 (ppred 2 a ^ " AND " ^ ppred 3 b)
+  | Expr.Not a -> wrap 3 ("NOT " ^ ppred 4 a)
+  | Expr.Cmp (c, a, b) ->
+      wrap 4 (pexpr 1 a ^ " " ^ cmp_text c ^ " " ^ pexpr 1 b)
+  | Expr.IsNull e -> wrap 4 (pexpr 1 e ^ " IS NULL")
+  | Expr.IsNotNull e -> wrap 4 (pexpr 1 e ^ " IS NOT NULL")
+  | Expr.Contains (e, needle) ->
+      "CONTAINS(" ^ pexpr 1 e ^ ", " ^ pstr needle ^ ")"
+
+let agg_text (fn : Agg.fn) (over : string option) =
+  match (fn, over) with
+  | Agg.Count, None -> "count(*)"
+  | Agg.Count, Some a -> "count(" ^ pid a ^ ")"
+  | Agg.Count_distinct, Some a -> "count(DISTINCT " ^ pid a ^ ")"
+  | Agg.Sum, Some a -> "sum(" ^ pid a ^ ")"
+  | Agg.Avg, Some a -> "avg(" ^ pid a ^ ")"
+  | Agg.Min, Some a -> "min(" ^ pid a ^ ")"
+  | Agg.Max, Some a -> "max(" ^ pid a ^ ")"
+  | fn, None ->
+      unprintable "aggregate %s without an input attribute has no surface form"
+        (Agg.fn_to_string fn)
+
+let join_text = function
+  | Query.Inner -> "JOIN"
+  | Query.Left -> "LEFT JOIN"
+  | Query.Right -> "RIGHT JOIN"
+  | Query.Full -> "FULL JOIN"
+
+(* ---- queries ---- *)
+
+let to_sql ~env (q : Query.t) =
+  (* memoized output types, for NEST's grouped-attribute reconstruction *)
+  let types : (int, Vtype.t) Hashtbl.t = Hashtbl.create 16 in
+  let infer (q : Query.t) =
+    match Hashtbl.find_opt types q.Query.id with
+    | Some ty -> ty
+    | None ->
+        let ty =
+          match Typecheck.infer_result env q with
+          | Ok ty -> ty
+          | Error e ->
+              unprintable "cannot print an ill-typed query: %s" e.Typecheck.message
+        in
+        Hashtbl.add types q.Query.id ty;
+        ty
+  in
+  let fields_of (q : Query.t) =
+    match infer q with
+    | Vtype.TBag (Vtype.TTuple fs) -> List.map fst fs
+    | ty -> unprintable "query output is not a relation: %a" Vtype.pp ty
+  in
+  let commas = String.concat ", " in
+  let pair_text (label, attr) =
+    if String.equal label attr then pid attr else pid attr ^ " AS " ^ pid label
+  in
+  (* [atom]: a FROM-clause primary; [fitem]: a FROM item (join chains);
+     [fclause]: a full FROM clause (comma products). *)
+  let rec atom (q : Query.t) =
+    match (q.Query.node, q.Query.children) with
+    | Query.Table name, [] -> pid name
+    | Query.Flatten (Query.Flat_inner, a), [ c ] ->
+        "FLATTEN(" ^ fitem c ^ ", " ^ pid a ^ ")"
+    | Query.Flatten (Query.Flat_outer, a), [ c ] ->
+        "FLATTEN OUTER(" ^ fitem c ^ ", " ^ pid a ^ ")"
+    | Query.Flatten_tuple a, [ c ] ->
+        "FLATTEN TUPLE(" ^ fitem c ^ ", " ^ pid a ^ ")"
+    | Query.Rename pairs, [ c ] ->
+        if pairs = [] then unprintable "RENAME with no pairs has no surface form";
+        let pair (fresh, old) = pid old ^ " AS " ^ pid fresh in
+        "RENAME(" ^ fitem c ^ ", " ^ commas (List.map pair pairs) ^ ")"
+    | (Query.Join _ | Query.Product), _ -> "(" ^ fclause q ^ ")"
+    | _ -> "(" ^ sql q ^ ")"
+  and fitem (q : Query.t) =
+    match (q.Query.node, q.Query.children) with
+    | Query.Join (k, p), [ l; r ] ->
+        fitem l ^ " " ^ join_text k ^ " " ^ atom r ^ " ON " ^ ppred 1 p
+    | _ -> atom q
+  and fclause (q : Query.t) =
+    match (q.Query.node, q.Query.children) with
+    | Query.Product, [ l; r ] -> fclause l ^ ", " ^ fitem r
+    | _ -> fitem q
+  and sql (q : Query.t) =
+    match (q.Query.node, q.Query.children) with
+    | Query.Table _, _
+    | Query.Flatten _, _
+    | Query.Flatten_tuple _, _
+    | Query.Rename _, _
+    | Query.Join _, _
+    | Query.Product, _ ->
+        "SELECT * FROM " ^ fclause q
+    | Query.Select p, [ c ] ->
+        "SELECT * FROM " ^ fclause c ^ " WHERE " ^ ppred 1 p
+    | Query.Dedup, [ c ] -> "SELECT DISTINCT * FROM " ^ fclause c
+    | Query.Project cols, [ c ] ->
+        if cols = [] then
+          unprintable "projection to zero attributes has no surface form";
+        let item (name, e) =
+          match e with
+          | Expr.Attr a when String.equal a name -> pid name
+          | _ -> pexpr 1 e ^ " AS " ^ pid name
+        in
+        "SELECT " ^ commas (List.map item cols) ^ " FROM " ^ fclause c
+    | Query.Agg_tuple (fn, over, into), [ c ] ->
+        "SELECT *, " ^ agg_text fn (Some over) ^ " AS " ^ pid into ^ " FROM "
+        ^ fclause c
+    | Query.Nest_rel (pairs, into), [ c ] | Query.Nest_tuple (pairs, into), [ c ]
+      ->
+        let tuple =
+          match q.Query.node with Query.Nest_tuple _ -> true | _ -> false
+        in
+        let nested = List.map snd pairs in
+        let rest =
+          List.filter (fun f -> not (List.mem f nested)) (fields_of c)
+        in
+        let group_text =
+          match rest with [] -> "" | _ -> commas (List.map pid rest) ^ " "
+        in
+        "SELECT * FROM " ^ fclause c ^ " GROUP BY " ^ group_text
+        ^ (if tuple then "NEST TUPLE " else "NEST ")
+        ^ commas (List.map pair_text pairs)
+        ^ " INTO " ^ pid into
+    | Query.Group_agg (pairs, aggs), [ c ] ->
+        if pairs = [] then
+          unprintable "GROUP BY with no group attributes has no surface form";
+        let sel =
+          List.map (fun (label, _) -> pid label) pairs
+          @ List.map
+              (fun (fn, over, out) -> agg_text fn over ^ " AS " ^ pid out)
+              aggs
+        in
+        "SELECT " ^ commas sel ^ " FROM " ^ fclause c ^ " GROUP BY "
+        ^ commas (List.map pair_text pairs)
+    | Query.Union, [ l; r ] -> sql l ^ " UNION " ^ setop_rhs r
+    | Query.Diff, [ l; r ] -> sql l ^ " EXCEPT " ^ setop_rhs r
+    | _ -> unprintable "malformed query node (wrong arity)"
+  and setop_rhs (r : Query.t) =
+    (* set operators associate left; a set-op right operand needs parens *)
+    match r.Query.node with
+    | Query.Union | Query.Diff -> "(" ^ sql r ^ ")"
+    | _ -> sql r
+  in
+  sql q

@@ -1,0 +1,13 @@
+(** Canonical SQL-ish rendering of core [Nrab.Query] values.
+
+    [to_sql] is the inverse of the frontend pipeline up to operator ids:
+    for every query that type-checks under [env],
+    [parse (to_sql ~env q)] lowers to a query with the same structure as
+    [q] (identical [Serve.Fingerprint], which ignores ids) — the
+    round-trip property the fuzz suite checks.  Raises {!Unprintable}
+    for the few core forms with no surface syntax (non-primitive
+    constants, aggregates like [sum] without an input attribute). *)
+
+exception Unprintable of string
+
+val to_sql : env:Nrab.Typecheck.env -> Nrab.Query.t -> string

@@ -32,6 +32,8 @@ let rec expr_of_sexp (s : Sexp.t) : Expr.t =
           Expr.str (String.sub a 1 (String.length a - 1))
         else Expr.attr a))
   | Sexp.List [ Sexp.Atom "str"; Sexp.Atom s ] -> Expr.str s
+  | Sexp.List [ Sexp.Atom "bool"; Sexp.Atom (("true" | "false") as b) ] ->
+    Expr.const (Value.Bool (String.equal b "true"))
   | Sexp.List [ Sexp.Atom op; a; b ] -> (
     let ea = expr_of_sexp a and eb = expr_of_sexp b in
     match op with
@@ -47,6 +49,8 @@ let rec expr_to_sexp (e : Expr.t) : Sexp.t =
   | Expr.Const (Value.Int i) -> Sexp.Atom (string_of_int i)
   | Expr.Const (Value.Float f) -> Sexp.Atom (Fmt.str "%F" f)
   | Expr.Const (Value.String s) -> Sexp.List [ Sexp.Atom "str"; Sexp.Atom s ]
+  | Expr.Const (Value.Bool b) ->
+    Sexp.List [ Sexp.Atom "bool"; Sexp.Atom (string_of_bool b) ]
   | Expr.Const v -> fail "cannot print constant %a" Value.pp v
   | Expr.Attr a -> Sexp.Atom a
   | Expr.Add (a, b) -> Sexp.List [ Sexp.Atom "+"; expr_to_sexp a; expr_to_sexp b ]
@@ -106,13 +110,25 @@ let rec pred_to_sexp (p : Expr.pred) : Sexp.t =
 
 (* --- queries --- *)
 
-let names_of_sexp (s : Sexp.t) : string list =
-  match s with
-  | Sexp.List els ->
-    List.map
-      (function Sexp.Atom a -> a | l -> fail "expected name, got %s" (Sexp.to_string l))
-      els
-  | Sexp.Atom a -> [ a ]
+(* (label, attr) pairs for nest/groupby attribute lists: a bare NAME
+   stands for (NAME NAME); a (LABEL NAME) pair relabels the attribute in
+   the output — the printable form of [Query.nest_rel_labeled] and
+   friends. *)
+let pairs_of_sexp (s : Sexp.t) : (string * string) list =
+  let item = function
+    | Sexp.Atom a -> (a, a)
+    | Sexp.List [ Sexp.Atom label; Sexp.Atom attr ] -> (label, attr)
+    | other -> fail "expected name or (label name), got %s" (Sexp.to_string other)
+  in
+  match s with Sexp.List els -> List.map item els | atom -> [ item atom ]
+
+let pairs_to_sexp (pairs : (string * string) list) : Sexp.t =
+  Sexp.List
+    (List.map
+       (fun (label, attr) ->
+         if String.equal label attr then Sexp.Atom attr
+         else Sexp.List [ Sexp.Atom label; Sexp.Atom attr ])
+       pairs)
 
 let agg_fn_of_string = function
   | "sum" -> Agg.Sum
@@ -176,9 +192,9 @@ let query_of_sexp ?(gen = Query.Gen.create ()) (s : Sexp.t) : Query.t =
     | Sexp.List [ Sexp.Atom "flatten-outer"; Sexp.Atom a; q ] ->
       Query.flatten_outer gen a (go q)
     | Sexp.List [ Sexp.Atom "nest-tuple"; attrs; Sexp.Atom into; q ] ->
-      Query.nest_tuple gen (names_of_sexp attrs) ~into (go q)
+      Query.nest_tuple_labeled gen (pairs_of_sexp attrs) ~into (go q)
     | Sexp.List [ Sexp.Atom "nest"; attrs; Sexp.Atom into; q ] ->
-      Query.nest_rel gen (names_of_sexp attrs) ~into (go q)
+      Query.nest_rel_labeled gen (pairs_of_sexp attrs) ~into (go q)
     | Sexp.List [ Sexp.Atom "agg"; Sexp.Atom fn; Sexp.Atom over; Sexp.Atom into; q ]
       ->
       Query.agg_tuple gen (agg_fn_of_string fn) ~over ~into (go q)
@@ -190,14 +206,13 @@ let query_of_sexp ?(gen = Query.Gen.create ()) (s : Sexp.t) : Query.t =
           (agg_fn_of_string fn, Some attr, out)
         | other -> fail "invalid aggregate %s" (Sexp.to_string other)
       in
-      Query.group_agg gen (names_of_sexp group) (List.map agg aggs) (go q)
+      Query.group_agg_labeled gen (pairs_of_sexp group) (List.map agg aggs) (go q)
     | other -> fail "invalid query %s" (Sexp.to_string other)
   in
   go s
 
 let query_to_sexp (q : Query.t) : Sexp.t =
   let atom a = Sexp.Atom a in
-  let names ns = Sexp.List (List.map atom ns) in
   let rec go (q : Query.t) : Sexp.t =
     match q.Query.node, q.Query.children with
     | Query.Table name, [] -> Sexp.List [ atom "table"; atom name ]
@@ -228,16 +243,13 @@ let query_to_sexp (q : Query.t) : Sexp.t =
       Sexp.List [ atom "flatten-inner"; atom a; go c ]
     | Query.Flatten (Query.Flat_outer, a), [ c ] ->
       Sexp.List [ atom "flatten-outer"; atom a; go c ]
-    | Query.Nest_tuple (pairs, into), [ c ]
-      when List.for_all (fun (l, a) -> String.equal l a) pairs ->
-      Sexp.List [ atom "nest-tuple"; names (List.map fst pairs); atom into; go c ]
-    | Query.Nest_rel (pairs, into), [ c ]
-      when List.for_all (fun (l, a) -> String.equal l a) pairs ->
-      Sexp.List [ atom "nest"; names (List.map fst pairs); atom into; go c ]
+    | Query.Nest_tuple (pairs, into), [ c ] ->
+      Sexp.List [ atom "nest-tuple"; pairs_to_sexp pairs; atom into; go c ]
+    | Query.Nest_rel (pairs, into), [ c ] ->
+      Sexp.List [ atom "nest"; pairs_to_sexp pairs; atom into; go c ]
     | Query.Agg_tuple (fn, over, into), [ c ] ->
       Sexp.List [ atom "agg"; atom (agg_fn_to_string fn); atom over; atom into; go c ]
-    | Query.Group_agg (group, aggs), [ c ]
-      when List.for_all (fun (l, a) -> String.equal l a) group ->
+    | Query.Group_agg (group, aggs), [ c ] ->
       let agg (fn, a, out) =
         Sexp.List
           [
@@ -247,14 +259,7 @@ let query_to_sexp (q : Query.t) : Sexp.t =
           ]
       in
       Sexp.List
-        [
-          atom "groupby";
-          names (List.map fst group);
-          Sexp.List (List.map agg aggs);
-          go c;
-        ]
-    | (Query.Nest_tuple _ | Query.Nest_rel _ | Query.Group_agg _), _ ->
-      fail "cannot print nest/groupby with relabeled attributes"
+        [ atom "groupby"; pairs_to_sexp group; Sexp.List (List.map agg aggs); go c ]
     | _ -> fail "malformed query"
   in
   go q

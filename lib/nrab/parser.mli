@@ -17,14 +17,16 @@
     - [(join KIND PRED Q Q)] with [KIND ∈ inner|left|right|full]
     - [(product Q Q)], [(union Q Q)], [(diff Q Q)], [(dedup Q)]
     - [(flatten-tuple A Q)], [(flatten-inner A Q)], [(flatten-outer A Q)]
-    - [(nest-tuple (A ...) C Q)], [(nest (A ...) C Q)]
+    - [(nest-tuple (N ...) C Q)], [(nest (N ...) C Q)] where
+      [N := A | (LABEL A)] relabels the nested attribute in the output
     - [(agg FN A B Q)] — per-tuple aggregation
-    - [(groupby (A ...) ((FN A OUT) ...) Q)] with [A = *] for count(·)
+    - [(groupby (N ...) ((FN A OUT) ...) Q)] with [A = *] for count(·)
 
     Predicates: [true], [false], [(and P P)], [(or P P)], [(not P)],
     [(= E E)] (and [!=] [<] [<=] [>] [>=]), [(is-null E)], [(not-null E)],
     [(contains E TEXT)].  Expressions: attribute names, integer and float
-    literals, [(str TEXT)], [(+ E E)] (and [-] [*] [/]). *)
+    literals, [(str TEXT)], [(bool true)], [(bool false)], [(+ E E)]
+    (and [-] [*] [/]). *)
 
 exception Parse_error of string
 
@@ -36,8 +38,9 @@ val pred_to_sexp : Expr.pred -> Sexp.t
 (** Parse a query; operator ids come from [gen] (fresh by default). *)
 val query_of_sexp : ?gen:Query.Gen.t -> Sexp.t -> Query.t
 
-(** Print a query back to the surface syntax.  Raises {!Parse_error} for
-    relabeled nests/group-bys, which have no surface form. *)
+(** Print a query back to the surface syntax.  Relabeled
+    nests/group-bys print their [(LABEL A)] pairs, so every checked
+    query round-trips. *)
 val query_to_sexp : Query.t -> Sexp.t
 
 val query_of_string : ?gen:Query.Gen.t -> string -> Query.t

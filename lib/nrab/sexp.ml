@@ -4,8 +4,14 @@
 type t = Atom of string | List of t list
 
 exception Parse_error of string
+exception Parse_error_at of { offset : int; message : string }
 
 let fail fmt = Fmt.kstr (fun m -> raise (Parse_error m)) fmt
+
+(* Structured-position failure; [of_string] degrades it to the legacy
+   {!Parse_error} with the identical message text. *)
+let fail_at offset fmt =
+  Fmt.kstr (fun m -> raise (Parse_error_at { offset; message = m })) fmt
 
 (* --- printing --- *)
 
@@ -25,6 +31,14 @@ let to_string s = Fmt.str "%a" pp s
 
 (* --- parsing --- *)
 
+type spanned = { node : spanned_node; left : int; right : int }
+and spanned_node = SAtom of string | SList of spanned list
+
+let rec strip (s : spanned) : t =
+  match s.node with
+  | SAtom a -> Atom a
+  | SList els -> List (List.map strip els)
+
 type lexer = { src : string; mutable pos : int }
 
 let peek lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
@@ -43,12 +57,18 @@ let rec skip_ws lx =
     skip_ws lx
   | _ -> ()
 
+(* The error messages below embed the lexer position where the legacy
+   parser embedded it (end-of-input for unterminated forms); the
+   structured offset instead anchors at the character that opened the
+   unterminated form, so caret rendering points somewhere useful. *)
+
 let parse_quoted lx : string =
+  let opening = lx.pos in
   advance lx (* opening quote *);
   let buf = Buffer.create 16 in
   let rec go () =
     match peek lx with
-    | None -> fail "unterminated string at offset %d" lx.pos
+    | None -> fail_at opening "unterminated string at offset %d" lx.pos
     | Some '"' -> advance lx
     | Some '\\' -> (
       advance lx;
@@ -56,7 +76,7 @@ let parse_quoted lx : string =
       | Some 'n' -> advance lx; Buffer.add_char buf '\n'; go ()
       | Some 't' -> advance lx; Buffer.add_char buf '\t'; go ()
       | Some c -> advance lx; Buffer.add_char buf c; go ()
-      | None -> fail "unterminated escape")
+      | None -> fail_at opening "unterminated escape")
     | Some c ->
       advance lx;
       Buffer.add_char buf c;
@@ -73,13 +93,14 @@ let parse_atom lx : string =
   while (match peek lx with Some c -> is_atom_char c | None -> false) do
     advance lx
   done;
-  if lx.pos = start then fail "expected atom at offset %d" start;
+  if lx.pos = start then fail_at start "expected atom at offset %d" start;
   String.sub lx.src start (lx.pos - start)
 
-let rec parse_sexp lx : t =
+let rec parse_sexp lx : spanned =
   skip_ws lx;
+  let start = lx.pos in
   match peek lx with
-  | None -> fail "unexpected end of input"
+  | None -> fail_at lx.pos "unexpected end of input"
   | Some '(' ->
     advance lx;
     let rec elements acc =
@@ -88,17 +109,27 @@ let rec parse_sexp lx : t =
       | Some ')' ->
         advance lx;
         List.rev acc
-      | None -> fail "unterminated list"
+      | None -> fail_at start "unterminated list"
       | Some _ -> elements (parse_sexp lx :: acc)
     in
-    List (elements [])
-  | Some ')' -> fail "unexpected ')' at offset %d" lx.pos
-  | Some '"' -> Atom (parse_quoted lx)
-  | Some _ -> Atom (parse_atom lx)
+    let els = elements [] in
+    { node = SList els; left = start; right = lx.pos }
+  | Some ')' -> fail_at lx.pos "unexpected ')' at offset %d" lx.pos
+  | Some '"' ->
+    let a = parse_quoted lx in
+    { node = SAtom a; left = start; right = lx.pos }
+  | Some _ ->
+    let a = parse_atom lx in
+    { node = SAtom a; left = start; right = lx.pos }
 
-let of_string (s : string) : t =
+let of_string_spanned (s : string) : spanned =
   let lx = { src = s; pos = 0 } in
   let sexp = parse_sexp lx in
   skip_ws lx;
-  if lx.pos <> String.length s then fail "trailing input at offset %d" lx.pos;
+  if lx.pos <> String.length s then
+    fail_at lx.pos "trailing input at offset %d" lx.pos;
   sexp
+
+let of_string (s : string) : t =
+  try strip (of_string_spanned s)
+  with Parse_error_at { message; _ } -> raise (Parse_error message)

@@ -7,11 +7,33 @@ type t = Atom of string | List of t list
 
 exception Parse_error of string
 
+(** Like {!Parse_error} but carrying the byte offset of the offending
+    form, for caret diagnostics.  Raised by {!of_string_spanned};
+    {!of_string} degrades it to {!Parse_error} with the same message. *)
+exception Parse_error_at of { offset : int; message : string }
+
 (** Raise {!Parse_error} with a formatted message. *)
 val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
 
+(** Raise {!Parse_error_at} at the given byte offset. *)
+val fail_at : int -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** {1 Spanned parsing}
+
+    Every node carries its half-open byte span [\[left, right)] in the
+    source text, so downstream syntaxes (queries, NIPs) can anchor
+    their own errors. *)
+
+type spanned = { node : spanned_node; left : int; right : int }
+and spanned_node = SAtom of string | SList of spanned list
+
+val strip : spanned -> t
+
+(** Raises {!Parse_error_at}. *)
+val of_string_spanned : string -> spanned
 
 (** Raises {!Parse_error}. *)
 val of_string : string -> t

@@ -1,0 +1,93 @@
+(* Forestry scenarios F1/F2: the first scenario family whose queries are
+   defined in the SQL-ish surface syntax and compiled through the
+   frontend, exactly as a text-registered query arrives over the wire.
+   The data carries the running-example error pattern one level up: the
+   reported [years] series loses the South Asia region, the modelled
+   [estimates] series would keep it. *)
+
+open Nrab
+
+let compile db text : Query.t =
+  let env = Frontend.Compile.env_of_db db in
+  match Frontend.Compile.sql ~env text with
+  | Ok (q, _) -> q
+  | Error d ->
+      invalid_arg
+        (Printf.sprintf "forestry scenario query failed to compile:\n%s"
+           (Frontend.Diagnostic.render ~source:text d))
+
+let f1_sql =
+  "WITH recent AS (SELECT fcode, year, pct FROM FLATTEN(forest, years) \
+   WHERE year >= 2015)\n\
+   SELECT region, cname, pct\n\
+   FROM countries JOIN recent ON ccode = fcode\n\
+   WHERE CASE WHEN income = 'High income' THEN pct >= 40. ELSE pct >= 60. END\n\
+   GROUP BY region NEST cname, pct INTO top"
+
+let f2_sql =
+  "SELECT region, avg(pct) AS mean, count(*) AS n\n\
+   FROM (SELECT region, pct FROM countries JOIN FLATTEN(forest, years) ON \
+   ccode = fcode WHERE year >= 2015)\n\
+   GROUP BY region"
+
+let alternatives = [ ("forest", [ [ "years" ]; [ "estimates" ] ]) ]
+
+(* F1: which countries keep high recent forest cover, nested per region?
+   South Asia vanishes: its reported recent figures sit below both CASE
+   thresholds. *)
+let f1 : Scenario.t =
+  {
+    name = "F1";
+    family = Scenario.Forestry;
+    description =
+      "regions with their high-forest-cover countries (reported series \
+       loses South Asia)";
+    operators = "Fᴵ,σ,π,⋈,Nᴿ";
+    make =
+      (fun ~scale ?seed () ->
+        let db = Datagen.Forestry.db ?seed ~scale () in
+        let query = compile db f1_sql in
+        let missing =
+          Whynot.Nip.tup
+            [
+              ("region", Whynot.Nip.str Datagen.Forestry.target_region);
+              ("top", Whynot.Nip.some_element);
+            ]
+        in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives;
+          gold = None;
+        });
+  }
+
+(* F2: average recent cover per region — why does no South Asia row with
+   a high mean show up? *)
+let f2 : Scenario.t =
+  {
+    name = "F2";
+    family = Scenario.Forestry;
+    description =
+      "average recent forest cover per region (South Asia's mean is \
+       reported too low)";
+    operators = "Fᴵ,σ,π,⋈,γ";
+    make =
+      (fun ~scale ?seed () ->
+        let db = Datagen.Forestry.db ?seed ~scale () in
+        let query = compile db f2_sql in
+        let missing =
+          Whynot.Nip.tup
+            [
+              ("region", Whynot.Nip.str Datagen.Forestry.target_region);
+              ("mean", Whynot.Nip.pred Nrab.Expr.Ge (Nested.Value.Float 60.));
+              ("n", Whynot.Nip.any);
+            ]
+        in
+        {
+          Scenario.question = Whynot.Question.make ~query ~db ~missing;
+          alternatives;
+          gold = None;
+        });
+  }
+
+let all : Scenario.t list = [ f1; f2 ]

@@ -2,7 +2,7 @@
 
 let all : Scenario.t list =
   Paper_scenarios.all @ Dblp_scenarios.all @ Twitter_scenarios.all
-  @ Tpch_scenarios.all @ Crime_scenarios.all
+  @ Tpch_scenarios.all @ Crime_scenarios.all @ Forestry_scenarios.all
 
 let find (name : string) : Scenario.t option =
   List.find_opt

@@ -1,6 +1,7 @@
 (** All evaluation scenarios: D1–D5 (DBLP), T1–T4 and TASD (Twitter),
     Q1/Q3/Q4/Q6/Q10/Q13 nested and flat (…F suffix, TPC-H), C1–C3
-    (crime). *)
+    (crime), and F1/F2 (forestry — queries compiled from the SQL-ish
+    surface syntax). *)
 
 val all : Scenario.t list
 

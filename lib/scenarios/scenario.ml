@@ -7,7 +7,7 @@
 
 open Nrab
 
-type family = Paper | Dblp | Twitter | Tpch | Tpch_flat | Crime
+type family = Paper | Dblp | Twitter | Tpch | Tpch_flat | Crime | Forestry
 
 type instance = {
   question : Whynot.Question.t;
@@ -31,6 +31,7 @@ let family_to_string = function
   | Tpch -> "TPC-H"
   | Tpch_flat -> "TPC-H flat"
   | Crime -> "Crime"
+  | Forestry -> "Forestry"
 
 (* Helpers shared by the scenario definitions. *)
 

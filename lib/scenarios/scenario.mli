@@ -7,7 +7,7 @@
 
 open Nrab
 
-type family = Paper | Dblp | Twitter | Tpch | Tpch_flat | Crime
+type family = Paper | Dblp | Twitter | Tpch | Tpch_flat | Crime | Forestry
 
 type instance = {
   question : Whynot.Question.t;

@@ -102,6 +102,10 @@ let evict t ?seed ~name ~scale () =
         end;
         present)
 
+let schema_env (e : entry) =
+  Frontend.Compile.env_of_db
+    e.instance.Scenarios.Scenario.question.Whynot.Question.db
+
 let entries t =
   locked t (fun () ->
       List.filter_map (fun k -> Hashtbl.find_opt t.entries k) t.order)

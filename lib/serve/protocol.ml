@@ -16,16 +16,34 @@ type explain_options = {
 let default_options =
   { use_sas = true; max_sas = 16; revalidate = true; parallel = false }
 
+type query_text = [ `Ast of Query.t | `Sql of string ]
+
 type request =
   | Register of { dataset : string; scale : int; seed : int; refresh : bool }
   | Explain of {
       dataset : string;
       scale : int;
       seed : int;
-      query : Query.t option;
+      query : query_text option;
+      query_name : string option;
       pattern : Whynot.Nip.t option;
       options : explain_options;
       deadline_ms : float option;
+    }
+  | Parse of {
+      dataset : string;
+      scale : int;
+      seed : int;
+      query : string option;
+      pattern : string option;
+    }
+  | Register_query of {
+      name : string;
+      dataset : string;
+      scale : int;
+      seed : int;
+      query : string;
+      pattern : string option;
     }
   | Stats
   | Telemetry of { format : [ `Prometheus | `Json ] }
@@ -74,13 +92,20 @@ let required_string name j =
   | Some s -> s
   | None -> bad "missing field %S" name
 
+(* An s-expression query is parsed right here (it needs no schema, and a
+   malformed one should fail the request before any handler runs); SQL
+   text is deferred to the handler, where the dataset's schema
+   environment is available for typechecking. *)
 let parse_query j =
   match get_string "query" j with
   | None -> None
   | Some text -> (
-    try Some (Parser.query_of_string text)
-    with Parser.Parse_error m | Sexp.Parse_error m ->
-      bad "cannot parse \"query\": %s" m)
+    match Frontend.Compile.detect text with
+    | `Sql -> Some (`Sql text)
+    | `Sexp -> (
+      try Some (`Ast (Parser.query_of_string text))
+      with Parser.Parse_error m | Sexp.Parse_error m ->
+        bad "cannot parse \"query\": %s" m))
 
 let parse_pattern j =
   match get_string "whynot" j with
@@ -119,9 +144,35 @@ let request_of_json (j : Json.json) : (request, string) result =
              scale = get_int ~default:1 "scale" j;
              seed = get_int ~default:0 "seed" j;
              query = parse_query j;
+             query_name = get_string "query_name" j;
              pattern = parse_pattern j;
              options = parse_options j;
              deadline_ms = get_float_opt "deadline_ms" j;
+           })
+    | Some "parse" ->
+      let query = get_string "query" j and pattern = get_string "whynot" j in
+      if query = None && pattern = None then
+        Error "a parse request needs a \"query\" or a \"whynot\" pattern"
+      else
+        Ok
+          (Parse
+             {
+               dataset = required_string "dataset" j;
+               scale = get_int ~default:1 "scale" j;
+               seed = get_int ~default:0 "seed" j;
+               query;
+               pattern;
+             })
+    | Some "register_query" ->
+      Ok
+        (Register_query
+           {
+             name = required_string "name" j;
+             dataset = required_string "dataset" j;
+             scale = get_int ~default:1 "scale" j;
+             seed = get_int ~default:0 "seed" j;
+             query = required_string "query" j;
+             pattern = get_string "whynot" j;
            })
     | Some "stats" -> Ok Stats
     | Some "telemetry" ->
@@ -178,6 +229,7 @@ let envelope_of_string line =
 
 type error_code =
   | Bad_request
+  | Invalid_query
   | Not_found
   | Overloaded
   | Deadline_exceeded
@@ -186,6 +238,7 @@ type error_code =
 
 let error_code_to_string = function
   | Bad_request -> "bad_request"
+  | Invalid_query -> "invalid_query"
   | Not_found -> "not_found"
   | Overloaded -> "overloaded"
   | Deadline_exceeded -> "deadline_exceeded"
@@ -208,10 +261,30 @@ type response =
       cache : [ `Hit | `Miss | `Handle | `Coalesced ];
       result : Json.json;
     }
+  | Parsed of {
+      dataset : string;
+      sql : string option;
+      sexp : string option;
+      fingerprint : string option;
+      output_type : string option;
+      pattern : string option;
+    }
+  | Query_registered of {
+      name : string;
+      dataset : string;
+      fingerprint : string;
+      sql : string option;
+      sexp : string;
+      replaced : bool;
+    }
   | Stats_reply of (string * Json.json) list
   | Telemetry_reply of { format : [ `Prometheus | `Json ]; metrics : Json.json }
   | Evicted of { datasets : int; cache_entries : int }
-  | Error of { code : error_code; message : string }
+  | Error of {
+      code : error_code;
+      message : string;
+      details : Json.json option;  (** diagnostic payload, when there is one *)
+    }
   | Goodbye
 
 let response_to_json = function
@@ -266,14 +339,41 @@ let response_to_json = function
         ("datasets", Json.J_int datasets);
         ("cache_entries", Json.J_int cache_entries);
       ]
-  | Error { code; message } ->
+  | Parsed { dataset; sql; sexp; fingerprint; output_type; pattern } ->
+    let opt name = function
+      | None -> []
+      | Some s -> [ (name, Json.J_string s) ]
+    in
     Json.J_object
-      [
-        ("ok", Json.J_bool false);
-        ("type", Json.J_string "error");
-        ("code", Json.J_string (error_code_to_string code));
-        ("message", Json.J_string message);
-      ]
+      ([
+         ("ok", Json.J_bool true);
+         ("type", Json.J_string "parsed");
+         ("dataset", Json.J_string dataset);
+       ]
+      @ opt "sql" sql @ opt "sexp" sexp
+      @ opt "fingerprint" fingerprint
+      @ opt "output_type" output_type
+      @ opt "whynot" pattern)
+  | Query_registered { name; dataset; fingerprint; sql; sexp; replaced } ->
+    Json.J_object
+      ([
+         ("ok", Json.J_bool true);
+         ("type", Json.J_string "query_registered");
+         ("name", Json.J_string name);
+         ("dataset", Json.J_string dataset);
+         ("fingerprint", Json.J_string fingerprint);
+       ]
+      @ (match sql with None -> [] | Some s -> [ ("sql", Json.J_string s) ])
+      @ [ ("sexp", Json.J_string sexp); ("replaced", Json.J_bool replaced) ])
+  | Error { code; message; details } ->
+    Json.J_object
+      ([
+         ("ok", Json.J_bool false);
+         ("type", Json.J_string "error");
+         ("code", Json.J_string (error_code_to_string code));
+         ("message", Json.J_string message);
+       ]
+      @ match details with None -> [] | Some d -> [ ("details", d) ])
   | Goodbye ->
     Json.J_object [ ("ok", Json.J_bool true); ("type", Json.J_string "goodbye") ]
 
@@ -289,5 +389,16 @@ let response_to_json ?trace_id r =
 
 let response_to_string ?trace_id r = Json.to_line (response_to_json ?trace_id r)
 
-let bad_request message = Error { code = Bad_request; message }
-let not_found message = Error { code = Not_found; message }
+let bad_request message = Error { code = Bad_request; message; details = None }
+let not_found message = Error { code = Not_found; message; details = None }
+
+(* A frontend diagnostic as a typed error response: the one-line message
+   plus the structured payload (stage, span, snippet, hint) under
+   "details". *)
+let invalid_query ~source (d : Frontend.Diagnostic.t) =
+  Error
+    {
+      code = Invalid_query;
+      message = Frontend.Diagnostic.one_line ~source d;
+      details = Some (Frontend.Diagnostic.to_json ~source d);
+    }

@@ -1,17 +1,27 @@
 (** Line-delimited JSON wire protocol of the why-not service.
 
     One request object per line in, one response object per line out.
-    Queries and why-not patterns travel in their existing surface
-    syntaxes (s-expressions, see {!Nrab.Parser} and
-    {!Whynot.Nip_syntax}) embedded as JSON strings; everything else is
+    Queries travel as JSON strings in either surface syntax — the
+    SQL-ish frontend ({!Frontend.Parse}) or s-expressions
+    ({!Nrab.Parser}); the syntax is auto-detected (a first non-blank
+    ['('] or [';'] means s-expression).  Why-not patterns use the NIP
+    s-expression syntax ({!Whynot.Nip_syntax}).  Everything else is
     plain JSON via {!Nested.Json}.
 
     Requests ([op] field selects the operation):
     - [{"op":"register","dataset":"D1","scale":2,"seed":7,"refresh":false}]
-    - [{"op":"explain","dataset":"D1","scale":2,"query":"(...)",
+    - [{"op":"explain","dataset":"D1","scale":2,"query":"SELECT ...",
        "whynot":"(...)","use_sas":true,"max_sas":16,"revalidate":true,
        "deadline_ms":500}] — [query]/[whynot] default to the scenario's
-      own question
+      own question; ["query_name":"..."] (exclusive with [query]) runs a
+      query previously stored with [register_query]
+    - [{"op":"parse","dataset":"D1","query":"SELECT ...","whynot":"(...)"}]
+      — compile and typecheck against the dataset's schema without
+      running anything; returns the canonical SQL, the s-expression
+      form, the fingerprint, and the output type
+    - [{"op":"register_query","name":"q1","dataset":"D1",
+       "query":"SELECT ...","whynot":"(...)"}] — store a named query
+      (and optional default pattern) for later [explain] requests
     - [{"op":"stats"}]
     - [{"op":"telemetry","format":"prometheus"}] (or ["json"]) — metrics
       export
@@ -28,8 +38,10 @@
 
     Every response carries ["ok"] and ["type"]; failures are
     [{"ok":false,"type":"error","code":...,"message":...}] with code one
-    of [bad_request], [not_found], [overloaded], [deadline_exceeded],
-    [internal]. *)
+    of [bad_request], [invalid_query], [not_found], [overloaded],
+    [deadline_exceeded], [internal].  An [invalid_query] error carries
+    the frontend diagnostic (stage, position, snippet, hint) under
+    ["details"]. *)
 
 open Nested
 open Nrab
@@ -43,16 +55,37 @@ type explain_options = {
 
 val default_options : explain_options
 
+(** An explain query as it left the protocol layer: s-expressions are
+    parsed eagerly (no schema needed), SQL text is compiled by the
+    handler against the dataset's schema environment. *)
+type query_text = [ `Ast of Query.t | `Sql of string ]
+
 type request =
   | Register of { dataset : string; scale : int; seed : int; refresh : bool }
   | Explain of {
       dataset : string;
       scale : int;
       seed : int;
-      query : Query.t option;
+      query : query_text option;
+      query_name : string option;  (** a [register_query]-stored query *)
       pattern : Whynot.Nip.t option;
       options : explain_options;
       deadline_ms : float option;
+    }
+  | Parse of {
+      dataset : string;
+      scale : int;
+      seed : int;
+      query : string option;
+      pattern : string option;
+    }
+  | Register_query of {
+      name : string;
+      dataset : string;
+      scale : int;
+      seed : int;
+      query : string;
+      pattern : string option;
     }
   | Stats
   | Telemetry of { format : [ `Prometheus | `Json ] }
@@ -80,6 +113,8 @@ val envelope_of_json : Json.json -> (envelope, string) result
 
 type error_code =
   | Bad_request
+  | Invalid_query
+      (** the query or pattern text failed to lex, parse, or typecheck *)
   | Not_found
   | Overloaded
   | Deadline_exceeded
@@ -108,6 +143,23 @@ type response =
               (single-flight) *)
       result : Json.json;  (** {!Codec.result_to_json} payload *)
     }
+  | Parsed of {
+      dataset : string;
+      sql : string option;
+          (** canonical SQL reprint (absent for query-less requests) *)
+      sexp : string option;  (** canonical s-expression form *)
+      fingerprint : string option;  (** hex, id-insensitive *)
+      output_type : string option;
+      pattern : string option;  (** canonical pattern reprint *)
+    }
+  | Query_registered of {
+      name : string;
+      dataset : string;
+      fingerprint : string;
+      sql : string option;
+      sexp : string;
+      replaced : bool;  (** an earlier query of the same name was replaced *)
+    }
   | Stats_reply of (string * Json.json) list  (** named stat sections *)
   | Telemetry_reply of {
       format : [ `Prometheus | `Json ];
@@ -116,7 +168,13 @@ type response =
               JSON: the {!Obs.Export.json} object *)
     }
   | Evicted of { datasets : int; cache_entries : int }
-  | Error of { code : error_code; message : string }
+  | Error of {
+      code : error_code;
+      message : string;
+      details : Json.json option;
+          (** for [Invalid_query]: the {!Frontend.Diagnostic.to_json}
+              payload *)
+    }
   | Goodbye
 
 (** One line, no embedded newlines.  [?trace_id] (the id the client
@@ -129,3 +187,7 @@ val response_to_json : ?trace_id:string -> response -> Json.json
 val bad_request : string -> response
 
 val not_found : string -> response
+
+(** An [Invalid_query] error from a frontend diagnostic: the one-line
+    rendering as the message, the structured payload as details. *)
+val invalid_query : source:string -> Frontend.Diagnostic.t -> response

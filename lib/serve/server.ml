@@ -72,9 +72,20 @@ type lifecycle = {
   mutable conn_fds : Unix.file_descr list;
 }
 
+(* A query stored by [register_query], keyed by dataset key + lowercase
+   name.  The compiled AST is what a later explain runs — so a named
+   explain is byte-identical to one over the same AST registered
+   programmatically. *)
+type registered_query = {
+  rq_query : Nrab.Query.t;
+  rq_pattern : Whynot.Nip.t option;  (* default pattern for explains *)
+}
+
 type t = {
   cfg : config;
   catalog : Catalog.t;
+  queries : (string, registered_query) Hashtbl.t;
+  qmutex : Mutex.t;  (* guards [queries] *)
   explain_cache : Json.json Cache.t;
   handle_cache : Whynot.Pipeline.handle Cache.t;
   explain_flight :
@@ -99,6 +110,8 @@ let create ?(config = default_config) () =
   {
     cfg = config;
     catalog = Catalog.create ();
+    queries = Hashtbl.create 16;
+    qmutex = Mutex.create ();
     explain_cache = Cache.create ~name:"explain" ~capacity:config.cache_capacity;
     handle_cache = Cache.create ~name:"handles" ~capacity:config.handle_capacity;
     explain_flight = Inflight.create ~name:"explain" ();
@@ -180,6 +193,62 @@ let dataset_key (key : Catalog.key) =
 
 let dataset_prefix key = dataset_key key ^ "/"
 
+(* -- registered queries --------------------------------------------------- *)
+
+let query_key (key : Catalog.key) name =
+  dataset_prefix key ^ String.lowercase_ascii name
+
+let find_query t key name =
+  Mutex.lock t.qmutex;
+  let rq = Hashtbl.find_opt t.queries (query_key key name) in
+  Mutex.unlock t.qmutex;
+  rq
+
+let store_query t key name rq =
+  let k = query_key key name in
+  Mutex.lock t.qmutex;
+  let replaced = Hashtbl.mem t.queries k in
+  Hashtbl.replace t.queries k rq;
+  Mutex.unlock t.qmutex;
+  replaced
+
+let registered_queries t =
+  Mutex.lock t.qmutex;
+  let n = Hashtbl.length t.queries in
+  Mutex.unlock t.qmutex;
+  n
+
+(* Compile query text against a dataset's schema.  Diagnostics come
+   back as the rendered [invalid_query] response. *)
+let compile_query (entry : Catalog.entry) text :
+    (Nrab.Query.t * Nested.Vtype.t, Protocol.response) result =
+  let env = Catalog.schema_env entry in
+  match Frontend.Compile.text ~env text with
+  | Ok qt -> Ok qt
+  | Error d -> Error (Protocol.invalid_query ~source:text d)
+
+(* Parse a pattern and check it against the query's output type, so a
+   structurally valid pattern that can never match is rejected at the
+   door rather than yielding an empty explanation. *)
+let compile_pattern text output_type :
+    (Whynot.Nip.t, Protocol.response) result =
+  match Whynot.Nip_syntax.parse text with
+  | Error d -> Error (Protocol.invalid_query ~source:text d)
+  | Ok nip -> (
+    match output_type with
+    | None -> Ok nip
+    | Some ty -> (
+      (* patterns describe one missing tuple, so check against the
+         result's element type — exactly as Question.check_missing does *)
+      match Whynot.Nip.check (Vtype.element ty) nip with
+      | Ok () -> Ok nip
+      | Error msg ->
+        Error
+          (Protocol.invalid_query ~source:text
+             (Frontend.Diagnostic.make `Pattern
+                (Fmt.str "pattern does not fit the query's output type: %s"
+                   msg)))))
+
 let fp_options (o : Protocol.explain_options) : Fingerprint.options =
   {
     Fingerprint.use_sas = o.Protocol.use_sas;
@@ -219,7 +288,7 @@ let handle_register t ~dataset ~scale ~seed ~refresh : Protocol.response =
    per-phase durations and retry count when this request actually ran
    the pipeline, [None] for cache hits, coalesced followers, and
    errors. *)
-let handle_explain t ~dataset ~scale ~seed ~query ~pattern
+let handle_explain t ~dataset ~scale ~seed ~query ~query_name ~pattern
     ~(options : Protocol.explain_options) ~deadline_ms :
     Protocol.response * ((string * float) list * int) option =
   match Catalog.find t.catalog ~seed ~name:dataset ~scale () with
@@ -228,14 +297,43 @@ let handle_explain t ~dataset ~scale ~seed ~query ~pattern
         (Fmt.str "dataset %S (scale %d, seed %d) is not registered — send a \
                   register request first" dataset scale seed),
       None )
-  | Some entry ->
+  | Some entry -> (
     let inst = entry.Catalog.instance in
     let phi0 = inst.Scenarios.Scenario.question in
-    let q =
-      match query with Some q -> q | None -> phi0.Whynot.Question.query
+    (* Resolve the query: inline text (s-expression ASTs arrive parsed,
+       SQL compiles here against the dataset's schema), a stored name,
+       or the scenario's own question.  A stored query's default
+       pattern applies when the request doesn't bring one. *)
+    let resolved =
+      match (query, query_name) with
+      | Some _, Some _ ->
+        Error
+          (Protocol.bad_request
+             "\"query\" and \"query_name\" are mutually exclusive")
+      | Some (`Ast q), None -> Ok (q, None)
+      | Some (`Sql text), None -> (
+        match compile_query entry text with
+        | Ok (q, _ty) -> Ok (q, None)
+        | Error resp -> Error resp)
+      | None, Some name -> (
+        match find_query t entry.Catalog.key name with
+        | Some rq -> Ok (rq.rq_query, rq.rq_pattern)
+        | None ->
+          Error
+            (Protocol.not_found
+               (Fmt.str "no query named %S is registered for dataset %s — \
+                         send a register_query request first" name
+                  (dataset_key entry.Catalog.key))))
+      | None, None -> Ok (phi0.Whynot.Question.query, None)
     in
+    match resolved with
+    | Error resp -> (resp, None)
+    | Ok (q, default_pattern) ->
     let missing =
-      match pattern with Some p -> p | None -> phi0.Whynot.Question.missing
+      match (pattern, default_pattern) with
+      | Some p, _ -> p
+      | None, Some p -> p
+      | None, None -> phi0.Whynot.Question.missing
     in
     let db = phi0.Whynot.Question.db in
     let alternatives = inst.Scenarios.Scenario.alternatives in
@@ -357,20 +455,123 @@ let handle_explain t ~dataset ~scale ~seed ~query ~pattern
             run_info )
         | Ok (Error (Scheduler.Overloaded _ as e)) ->
           ( Protocol.Error
-              { code = Protocol.Overloaded; message = Scheduler.error_to_string e },
+              {
+                code = Protocol.Overloaded;
+                message = Scheduler.error_to_string e;
+                details = None;
+              },
             None )
         | Ok (Error (Scheduler.Deadline_exceeded _ as e)) ->
           ( Protocol.Error
               {
                 code = Protocol.Deadline_exceeded;
                 message = Scheduler.error_to_string e;
+                details = None;
               },
             None )
         | Ok (Error (Scheduler.Faulted _ as e)) ->
           ( Protocol.Error
               { code = Protocol.Task_failed;
-                message = Scheduler.error_to_string e },
-            None ))))
+                message = Scheduler.error_to_string e;
+                details = None },
+            None )))))
+
+(* Compile-and-typecheck without running anything: the dry-run behind
+   query development against a registered dataset. *)
+let handle_parse t ~dataset ~scale ~seed ~query ~pattern : Protocol.response =
+  match Catalog.find t.catalog ~seed ~name:dataset ~scale () with
+  | None ->
+    Protocol.not_found
+      (Fmt.str "dataset %S (scale %d, seed %d) is not registered — send a \
+                register request first" dataset scale seed)
+  | Some entry -> (
+    let compiled =
+      match query with
+      | None -> Ok None
+      | Some text -> (
+        match compile_query entry text with
+        | Ok (q, ty) -> Ok (Some (q, ty))
+        | Error resp -> Error resp)
+    in
+    match compiled with
+    | Error resp -> resp
+    | Ok compiled -> (
+      let output_type = Option.map (fun (_, ty) -> ty) compiled in
+      let checked_pattern =
+        match pattern with
+        | None -> Ok None
+        | Some text -> (
+          match compile_pattern text output_type with
+          | Ok nip -> Ok (Some nip)
+          | Error resp -> Error resp)
+      in
+      match checked_pattern with
+      | Error resp -> resp
+      | Ok nip ->
+        let env = Catalog.schema_env entry in
+        let sql =
+          Option.map
+            (fun (q, _) ->
+              try Some (Frontend.Print.to_sql ~env q)
+              with Frontend.Print.Unprintable _ -> None)
+            compiled
+          |> Option.join
+        in
+        Protocol.Parsed
+          {
+            dataset = entry.Catalog.key.Catalog.name;
+            sql;
+            sexp =
+              Option.map (fun (q, _) -> Nrab.Parser.query_to_string q) compiled;
+            fingerprint =
+              Option.map
+                (fun (q, _) -> Fingerprint.to_hex (Fingerprint.query q))
+                compiled;
+            output_type = Option.map Vtype.to_string output_type;
+            pattern = Option.map Whynot.Nip_syntax.to_string nip;
+          }))
+
+let handle_register_query t ~name ~dataset ~scale ~seed ~query ~pattern :
+    Protocol.response =
+  match Catalog.find t.catalog ~seed ~name:dataset ~scale () with
+  | None ->
+    Protocol.not_found
+      (Fmt.str "dataset %S (scale %d, seed %d) is not registered — send a \
+                register request first" dataset scale seed)
+  | Some entry -> (
+    match compile_query entry query with
+    | Error resp -> resp
+    | Ok (q, ty) -> (
+      let checked_pattern =
+        match pattern with
+        | None -> Ok None
+        | Some text -> (
+          match compile_pattern text (Some ty) with
+          | Ok nip -> Ok (Some nip)
+          | Error resp -> Error resp)
+      in
+      match checked_pattern with
+      | Error resp -> resp
+      | Ok nip ->
+        let env = Catalog.schema_env entry in
+        let sql =
+          try Some (Frontend.Print.to_sql ~env q)
+          with Frontend.Print.Unprintable _ -> None
+        in
+        let fingerprint = Fingerprint.to_hex (Fingerprint.query q) in
+        let replaced =
+          store_query t entry.Catalog.key name
+            { rq_query = q; rq_pattern = nip }
+        in
+        Protocol.Query_registered
+          {
+            name;
+            dataset = entry.Catalog.key.Catalog.name;
+            fingerprint;
+            sql;
+            sexp = Nrab.Parser.query_to_string q;
+            replaced;
+          }))
 
 let cache_stats_json (s : Cache.stats) =
   Json.J_object
@@ -416,6 +617,7 @@ let handle_stats t : Protocol.response =
             ("requests", Json.J_int requests);
             ("explains", Json.J_int explains);
             ("prepares", Json.J_int prepares);
+            ("queries", Json.J_int (registered_queries t));
             ("connections", Json.J_int (active_connections t));
             ("max_connections", Json.J_int t.cfg.max_connections);
           ] );
@@ -502,6 +704,8 @@ let handle_telemetry (format : [ `Prometheus | `Json ]) : Protocol.response =
 let op_name = function
   | Protocol.Register _ -> "register"
   | Protocol.Explain _ -> "explain"
+  | Protocol.Parse _ -> "parse"
+  | Protocol.Register_query _ -> "register_query"
   | Protocol.Stats -> "stats"
   | Protocol.Telemetry _ -> "telemetry"
   | Protocol.Evict _ -> "evict"
@@ -527,17 +731,27 @@ let dispatch t (req : Protocol.request) :
     match req with
     | Protocol.Register { dataset; scale; seed; refresh } ->
       (handle_register t ~dataset ~scale ~seed ~refresh, None)
-    | Protocol.Explain { dataset; scale; seed; query; pattern; options; deadline_ms }
+    | Protocol.Explain
+        { dataset; scale; seed; query; query_name; pattern; options; deadline_ms }
       ->
-      handle_explain t ~dataset ~scale ~seed ~query ~pattern ~options
-        ~deadline_ms
+      handle_explain t ~dataset ~scale ~seed ~query ~query_name ~pattern
+        ~options ~deadline_ms
+    | Protocol.Parse { dataset; scale; seed; query; pattern } ->
+      (handle_parse t ~dataset ~scale ~seed ~query ~pattern, None)
+    | Protocol.Register_query { name; dataset; scale; seed; query; pattern } ->
+      (handle_register_query t ~name ~dataset ~scale ~seed ~query ~pattern, None)
     | Protocol.Stats -> (handle_stats t, None)
     | Protocol.Telemetry { format } -> (handle_telemetry format, None)
     | Protocol.Evict { dataset; scale; seed; cache } ->
       (handle_evict t ~dataset ~scale ~seed ~cache, None)
     | Protocol.Shutdown -> (Protocol.Goodbye, None)
   with e ->
-    ( Protocol.Error { code = Protocol.Internal; message = Printexc.to_string e },
+    ( Protocol.Error
+        {
+          code = Protocol.Internal;
+          message = Printexc.to_string e;
+          details = None;
+        },
       None )
 
 let slo_ok_c = lazy (Obs.Metrics.counter "serve.slo.ok")
@@ -693,6 +907,7 @@ let reject_connection fd =
          {
            code = Protocol.Overloaded;
            message = "connection limit reached — retry later";
+           details = None;
          })
   in
   (try

@@ -340,6 +340,7 @@ let test_server_explain_retries_transparently () =
            scale = 1;
            seed = 0;
            query = None;
+           query_name = None;
            pattern = None;
            options = Serve.Protocol.default_options;
            deadline_ms = None;
@@ -363,7 +364,7 @@ let test_server_explain_retries_transparently () =
   let failed = explain (mk 0) in
   Obs.Faultinject.reset ();
   match failed with
-  | Serve.Protocol.Error { code = Serve.Protocol.Task_failed; message } ->
+  | Serve.Protocol.Error { code = Serve.Protocol.Task_failed; message; _ } ->
     Alcotest.(check bool)
       "error names the task" true
       (String.length message > 0)

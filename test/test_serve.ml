@@ -526,7 +526,7 @@ let test_protocol_response_lines () =
   let line =
     Serve.Protocol.response_to_string
       (Serve.Protocol.Error
-         { code = Serve.Protocol.Overloaded; message = "try later" })
+         { code = Serve.Protocol.Overloaded; message = "try later"; details = None })
   in
   Alcotest.(check bool) "single line" false (String.contains line '\n');
   match Nested.Json.of_string line with
@@ -566,6 +566,7 @@ let test_server_cache_hit_is_byte_identical () =
            scale = 1;
            seed = 0;
            query = None;
+           query_name = None;
            pattern = None;
            options = Serve.Protocol.default_options;
            deadline_ms = None;
@@ -605,6 +606,7 @@ let test_server_handle_reuse_across_patterns () =
            scale = 1;
            seed = 0;
            query = None;
+           query_name = None;
            pattern;
            options = Serve.Protocol.default_options;
            deadline_ms = None;
@@ -646,6 +648,7 @@ let test_server_refresh_invalidates () =
            scale = 1;
            seed = 0;
            query = None;
+           query_name = None;
            pattern = None;
            options = Serve.Protocol.default_options;
            deadline_ms = None;
@@ -671,6 +674,7 @@ let test_server_typed_errors () =
             scale = 1;
             seed = 0;
             query = None;
+            query_name = None;
             pattern = None;
             options = Serve.Protocol.default_options;
             deadline_ms = None;
@@ -685,6 +689,196 @@ let test_server_typed_errors () =
   with
   | Serve.Protocol.Error { code = Serve.Protocol.Not_found; _ } -> ()
   | _ -> Alcotest.fail "registering an unknown scenario must be not_found"
+
+(* --- the SQL frontend over the wire ------------------------------------- *)
+
+let re_sql =
+  "SELECT name, city FROM FLATTEN(person, address2) WHERE year >= 2019 \
+   GROUP BY city NEST name INTO nList"
+
+let re_pattern = "(tuple (city (str NY)) (nList (bag ? *)))"
+
+let register_dataset srv name =
+  ignore
+    (expect_ok "register"
+       (Serve.Server.handle_request srv
+          (Serve.Protocol.Register
+             { dataset = name; scale = 1; seed = 0; refresh = false })))
+
+let explain_via srv ~dataset ?query ?query_name () =
+  Serve.Server.handle_request srv
+    (Serve.Protocol.Explain
+       {
+         dataset;
+         scale = 1;
+         seed = 0;
+         query;
+         query_name;
+         pattern = None;
+         options = Serve.Protocol.default_options;
+         deadline_ms = None;
+       })
+
+let register_query srv ~dataset ~name ~query ~pattern =
+  Serve.Server.handle_request srv
+    (Serve.Protocol.Register_query
+       { name; dataset; scale = 1; seed = 0; query; pattern })
+
+let explained_payload label = function
+  | Serve.Protocol.Explained { result; _ } -> Nested.Json.to_line result
+  | Serve.Protocol.Error { message; _ } ->
+    Alcotest.fail (Fmt.str "%s: %s" label message)
+  | _ -> Alcotest.fail (label ^ ": expected explained")
+
+(* The acceptance property of the text path: a query arriving as SQL
+   text — inline or stored via register_query — explains byte-for-byte
+   identically to the scenario's programmatically constructed query.
+   Each leg runs on a fresh server so no shared cache can mask a
+   divergence. *)
+let check_text_byte_identity ~dataset ~sql =
+  let reference =
+    let srv = Serve.Server.create ~config:quiet_config () in
+    register_dataset srv dataset;
+    explained_payload "programmatic" (explain_via srv ~dataset ())
+  in
+  let by_name =
+    let srv = Serve.Server.create ~config:quiet_config () in
+    register_dataset srv dataset;
+    (match register_query srv ~dataset ~name:"q" ~query:sql ~pattern:None with
+    | Serve.Protocol.Query_registered { replaced = false; _ } -> ()
+    | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
+    | _ -> Alcotest.fail "expected query_registered");
+    explained_payload "by name" (explain_via srv ~dataset ~query_name:"q" ())
+  in
+  Alcotest.(check string) "registered text is byte-identical" reference by_name;
+  let inline =
+    let srv = Serve.Server.create ~config:quiet_config () in
+    register_dataset srv dataset;
+    explained_payload "inline sql" (explain_via srv ~dataset ~query:(`Sql sql) ())
+  in
+  Alcotest.(check string) "inline text is byte-identical" reference inline
+
+let test_wire_text_identity_re () =
+  check_text_byte_identity ~dataset:"RE" ~sql:re_sql
+
+let test_wire_text_identity_forestry () =
+  check_text_byte_identity ~dataset:"F1"
+    ~sql:Scenarios.Forestry_scenarios.f1_sql
+
+let test_wire_parse_verb () =
+  let srv = Serve.Server.create ~config:quiet_config () in
+  register_dataset srv "RE";
+  (match
+     Serve.Server.handle_request srv
+       (Serve.Protocol.Parse
+          {
+            dataset = "RE";
+            scale = 1;
+            seed = 0;
+            query = Some re_sql;
+            pattern = Some re_pattern;
+          })
+   with
+  | Serve.Protocol.Parsed { sql; sexp; fingerprint; output_type; pattern; _ }
+    ->
+    Alcotest.(check bool) "has canonical sql" true (sql <> None);
+    let expected =
+      Serve.Fingerprint.to_hex (Serve.Fingerprint.query (q running_example))
+    in
+    Alcotest.(check (option string)) "fingerprint matches the programmatic \
+                                      query" (Some expected) fingerprint;
+    (match sexp with
+    | Some s ->
+      Alcotest.(check string) "canonical sexp reparses to the same query"
+        expected
+        (Serve.Fingerprint.to_hex (Serve.Fingerprint.query (q s)))
+    | None -> Alcotest.fail "expected a canonical sexp");
+    Alcotest.(check bool) "typed output" true (output_type <> None);
+    Alcotest.(check bool) "pattern echoed" true (pattern <> None)
+  | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
+  | _ -> Alcotest.fail "expected parsed");
+  match
+    Serve.Server.handle_request srv
+      (Serve.Protocol.Parse
+         {
+           dataset = "RE";
+           scale = 1;
+           seed = 0;
+           query = Some "SELECT nope FROM person";
+           pattern = None;
+         })
+  with
+  | Serve.Protocol.Error { code = Serve.Protocol.Invalid_query; details; _ }
+    -> (
+    match details with
+    | Some (Nested.Json.J_object fields) ->
+      Alcotest.(check bool) "diagnostic names its stage" true
+        (List.mem_assoc "stage" fields);
+      Alcotest.(check bool) "diagnostic carries a position" true
+        (List.mem_assoc "line" fields)
+    | _ -> Alcotest.fail "expected structured diagnostic details")
+  | _ -> Alcotest.fail "expected invalid_query"
+
+let test_wire_register_query_lifecycle () =
+  let srv = Serve.Server.create ~config:quiet_config () in
+  register_dataset srv "RE";
+  (match
+     register_query srv ~dataset:"RE" ~name:"Top" ~query:re_sql ~pattern:None
+   with
+  | Serve.Protocol.Query_registered { replaced = false; _ } -> ()
+  | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
+  | _ -> Alcotest.fail "expected query_registered");
+  (* names are case-insensitive: re-registering replaces *)
+  (match
+     register_query srv ~dataset:"RE" ~name:"top" ~query:re_sql ~pattern:None
+   with
+  | Serve.Protocol.Query_registered { replaced = true; _ } -> ()
+  | _ -> Alcotest.fail "expected replacement");
+  (match explain_via srv ~dataset:"RE" ~query_name:"nope" () with
+  | Serve.Protocol.Error { code = Serve.Protocol.Not_found; _ } -> ()
+  | _ -> Alcotest.fail "unknown query_name must be not_found");
+  (match
+     explain_via srv ~dataset:"RE" ~query:(`Sql re_sql) ~query_name:"top" ()
+   with
+  | Serve.Protocol.Error { code = Serve.Protocol.Bad_request; _ } -> ()
+  | _ -> Alcotest.fail "query and query_name together must be bad_request");
+  (* a registration whose query doesn't compile is rejected at the door *)
+  (match
+     register_query srv ~dataset:"RE" ~name:"bad"
+       ~query:"SELECT nope FROM person" ~pattern:None
+   with
+  | Serve.Protocol.Error { code = Serve.Protocol.Invalid_query; _ } -> ()
+  | _ -> Alcotest.fail "expected invalid_query");
+  (* ... and so is a pattern that cannot fit the query's output type *)
+  match
+    register_query srv ~dataset:"RE" ~name:"bad-pattern" ~query:re_sql
+      ~pattern:(Some "(tuple (nosuch ?))")
+  with
+  | Serve.Protocol.Error { code = Serve.Protocol.Invalid_query; _ } -> ()
+  | _ -> Alcotest.fail "expected invalid_query for the pattern"
+
+let test_wire_stored_pattern_defaults () =
+  let srv = Serve.Server.create ~config:quiet_config () in
+  register_dataset srv "RE";
+  (match
+     register_query srv ~dataset:"RE" ~name:"q" ~query:re_sql
+       ~pattern:(Some re_pattern)
+   with
+  | Serve.Protocol.Query_registered _ -> ()
+  | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
+  | _ -> Alcotest.fail "expected query_registered");
+  let reference = explained_payload "default" (explain_via srv ~dataset:"RE" ()) in
+  (* the stored query + stored pattern hash to the scenario's own cache
+     key, so this must be a cache hit — the strongest identity there is *)
+  match explain_via srv ~dataset:"RE" ~query_name:"q" () with
+  | Serve.Protocol.Explained { cache = `Hit; result; _ } ->
+    Alcotest.(check string) "same cache entry" reference
+      (Nested.Json.to_line result)
+  | Serve.Protocol.Explained { cache = _; _ } ->
+    Alcotest.fail
+      "expected a cache hit: same query, same pattern, same cache key"
+  | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
+  | _ -> Alcotest.fail "expected explained"
 
 let test_server_line_session () =
   (* the line-level entry point the transports share *)
@@ -726,6 +920,7 @@ let explain_request ?deadline_ms () =
       scale = 1;
       seed = 0;
       query = None;
+      query_name = None;
       pattern = None;
       options = Serve.Protocol.default_options;
       deadline_ms;
@@ -812,7 +1007,7 @@ let test_server_deadline_mid_execution () =
   (match
      Serve.Server.handle_request srv (explain_request ~deadline_ms:15.0 ())
    with
-  | Serve.Protocol.Error { code = Serve.Protocol.Deadline_exceeded; message }
+  | Serve.Protocol.Error { code = Serve.Protocol.Deadline_exceeded; message; _ }
     ->
     Alcotest.(check bool)
       (Fmt.str "mid-run phase attribution in %S" message)
@@ -1086,6 +1281,18 @@ let () =
             test_server_refresh_invalidates;
           Alcotest.test_case "typed errors" `Quick test_server_typed_errors;
           Alcotest.test_case "line session" `Quick test_server_line_session;
+        ] );
+      ( "frontend",
+        [
+          Alcotest.test_case "RE text explains byte-identically" `Quick
+            test_wire_text_identity_re;
+          Alcotest.test_case "forestry text explains byte-identically" `Quick
+            test_wire_text_identity_forestry;
+          Alcotest.test_case "parse verb" `Quick test_wire_parse_verb;
+          Alcotest.test_case "register_query lifecycle" `Quick
+            test_wire_register_query_lifecycle;
+          Alcotest.test_case "stored pattern defaults" `Quick
+            test_wire_stored_pattern_defaults;
         ] );
       ( "robustness",
         [

@@ -49,6 +49,7 @@ let explain_request ?deadline_ms () =
       scale = 1;
       seed = 0;
       query = None;
+      query_name = None;
       pattern = None;
       options = Serve.Protocol.default_options;
       deadline_ms;
@@ -435,6 +436,7 @@ let test_slow_query_and_slo () =
             scale = 1;
             seed = 0;
             query = None;
+            query_name = None;
             pattern = None;
             options = Serve.Protocol.default_options;
             deadline_ms = None;
