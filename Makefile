@@ -2,7 +2,7 @@
 # server, bench, examples) and runs the full test suite, then a
 # smallest-scale pass over every bench family (the harness itself is
 # code that can rot).  Run before every merge.
-.PHONY: verify build test fuzz bench-smoke bench-columnar bench-chaos bench-obs
+.PHONY: verify build test fuzz bench-smoke bench-columnar bench-chaos bench-obs bench-approx
 
 verify:
 	dune build @all && dune runtest && $(MAKE) bench-smoke
@@ -29,6 +29,11 @@ bench-smoke:
 # the committed acceptance baseline for the columnar-engine PR.
 bench-columnar:
 	dune exec bench/main.exe -- columnar -json BENCH_PR7.json
+
+# Budget-ladder acceptance run (exact vs sampled vs top-k vs combined
+# at scales 32-256); writes the committed baseline for the approx PR.
+bench-approx:
+	dune exec bench/main.exe -- approx -json BENCH_PR9.json
 
 # Gated chaos measurement (arms process-global fault sites, so it never
 # runs as part of the default bench sweep).

@@ -172,6 +172,29 @@ let obs_records : obs_record list ref = ref []
 
 let add_obs r = if !json_file <> "" then obs_records := r :: !obs_records
 
+(* Records of the [approx] target — budget-ladder numbers: exact RP vs
+   sampled tracing vs top-k-only MSR vs the combined degradation, plus
+   the honesty checks (confidence, skipped candidates, and whether the
+   top-k ranking is a prefix of the exact one). *)
+type approx_record = {
+  xscenario : string;
+  xscale : int;
+  xrows : int;
+  xexact_ms : float;
+  xsampled_ms : float;
+  xtopk_ms : float;
+  xcombined_ms : float;
+  xspeedup : float;  (* exact / combined *)
+  xconfidence : float;  (* of the combined run *)
+  xskipped : int;  (* MSR candidates pruned unevaluated (combined run) *)
+  xprefix_ok : bool;  (* top-k ranking = k-prefix of the exact ranking *)
+}
+
+let approx_records : approx_record list ref = ref []
+
+let add_approx r =
+  if !json_file <> "" then approx_records := r :: !approx_records
+
 let write_json () =
   if !json_file <> "" then begin
     let oc = open_out !json_file in
@@ -271,6 +294,21 @@ let write_json () =
         (String.concat ",\n" (List.rev_map obs_rec !obs_records));
       output_string oc "\n  ]"
     end;
+    if !approx_records <> [] then begin
+      let approx_rec r =
+        Fmt.str
+          "    {\"scenario\": %S, \"scale\": %d, \"rows\": %d, \
+           \"exact_ms\": %.3f, \"sampled_ms\": %.3f, \"topk_ms\": %.3f, \
+           \"combined_ms\": %.3f, \"speedup\": %.2f, \"confidence\": %.4f, \
+           \"skipped\": %d, \"prefix_ok\": %b}"
+          r.xscenario r.xscale r.xrows r.xexact_ms r.xsampled_ms r.xtopk_ms
+          r.xcombined_ms r.xspeedup r.xconfidence r.xskipped r.xprefix_ok
+      in
+      output_string oc ",\n  \"approx\": [\n";
+      output_string oc
+        (String.concat ",\n" (List.rev_map approx_rec !approx_records));
+      output_string oc "\n  ]"
+    end;
     if !chaos_records <> [] then begin
       let chaos_rec r =
         Fmt.str
@@ -290,7 +328,8 @@ let write_json () =
     close_out oc;
     Fmt.pr "@.json summary written to %s (%d records)@." !json_file
       (List.length !json_records + List.length !serve_records
-      + List.length !chaos_records + List.length !obs_records)
+      + List.length !chaos_records + List.length !obs_records
+      + List.length !approx_records)
   end
 
 let scenario name = Option.get (Scenarios.Registry.find name)
@@ -780,6 +819,7 @@ let bench_serve ?(scale = 1) () =
                  pattern = None;
                  options = Serve.Protocol.default_options;
                  deadline_ms = None;
+                 budget_ms = None;
                })
         with
         | Serve.Protocol.Explained { cache; _ } -> cache
@@ -1167,6 +1207,113 @@ let bench_columnar ?(scales = [ 32 ]) () =
         scales)
     [ "D1"; "D2"; "D3"; "D4"; "D5" ]
 
+(* --- Approx: budget-ladder speedups (PR acceptance run) -------------------
+
+   Exact RP vs each degradation rung — sampled tracing (stride), top-k
+   MSR (early-terminated ranking), and the two combined — per scenario
+   and scale.  The acceptance claims: the combined approximate run is
+   >= 3x faster than exact at scale >= 128, the top-k ranking is the
+   k-prefix of the exact ranking (bound maintenance prunes, never
+   reorders), and the combined run reports an honest confidence and
+   skipped-candidate count. *)
+
+let bench_approx ?(scales = [ 32; 64; 128; 256 ]) ?(stride = 8)
+    ?(combined_stride = 16) ?(k = 3) () =
+  Fmt.pr
+    "@.== Approx: budget ladder, stride %d / top-%d / budgeted stride %d (min \
+     of 3) ==@."
+    stride k combined_stride;
+  Fmt.pr "%-6s %-6s %-8s %-10s %-11s %-9s %-11s %-8s %-6s %-8s %-7s@." "scen"
+    "scale" "rows" "exact ms" "sampled ms" "topk ms" "combined" "speedup"
+    "conf" "skipped" "prefix";
+  let sampled_cfg =
+    { Whynot.Approx.exact with Whynot.Approx.sample_stride = Some stride }
+  in
+  let topk_cfg = { Whynot.Approx.exact with Whynot.Approx.top_k = Some k } in
+  (* The combined rung is the budgeted production shape: a wall-clock
+     budget plus explicit stride/top-k floors, so the ladder starts
+     coarse and can only coarsen further as the budget burns. *)
+  let combined_cfg =
+    {
+      Whynot.Approx.budget_ms = Some 10.0;
+      sample_stride = Some combined_stride;
+      top_k = Some k;
+    }
+  in
+  List.iter
+    (fun name ->
+      let s = scenario name in
+      List.iter
+        (fun scale ->
+          let inst = instance ~scale s in
+          let phi = inst.Scenarios.Scenario.question in
+          let q = phi.Whynot.Question.query in
+          let run ?cfg () =
+            Gc.full_major ();
+            Whynot.Pipeline.explain ~parallel:!parallel
+              ?approx:(Option.map Whynot.Approx.start cfg)
+              ~alternatives:inst.Scenarios.Scenario.alternatives phi
+          in
+          (* min-of-3 per rung, interleaved so a noisy window taxes all
+             rungs rather than whichever was sweeping *)
+          let best ?cfg () =
+            let dur r = Obs.Span.duration_ms r.Whynot.Pipeline.span in
+            let reps = List.map (fun _ -> run ?cfg ()) [ 1; 2; 3 ] in
+            List.fold_left
+              (fun b r -> if dur r < dur b then r else b)
+              (List.hd reps) (List.tl reps)
+          in
+          let exact = best () in
+          let sampled = best ~cfg:sampled_cfg () in
+          let topk = best ~cfg:topk_cfg () in
+          let combined = best ~cfg:combined_cfg () in
+          let ms r = Obs.Span.duration_ms r.Whynot.Pipeline.span in
+          let speedup = ms exact /. Float.max (ms combined) 1e-6 in
+          (* top-k never reorders: its ranking is a prefix of exact's *)
+          let keys r =
+            List.map
+              (Whynot.Explanation.to_string_with_query q)
+              r.Whynot.Pipeline.explanations
+          in
+          let rec is_prefix xs ys =
+            match (xs, ys) with
+            | [], _ -> true
+            | x :: xs, y :: ys -> x = y && is_prefix xs ys
+            | _ :: _, [] -> false
+          in
+          let prefix_ok = is_prefix (keys topk) (keys exact) in
+          let confidence, skipped =
+            match combined.Whynot.Pipeline.approx with
+            | Some r -> (r.Whynot.Approx.confidence, r.Whynot.Approx.skipped)
+            | None -> (1.0, 0)
+          in
+          Fmt.pr
+            "%-6s %-6d %-8d %-10.2f %-11.2f %-9.2f %-11.2f %-8.1f %-6.3f \
+             %-8d %-7b@."
+            name scale (db_rows inst) (ms exact) (ms sampled) (ms topk)
+            (ms combined) speedup confidence skipped prefix_ok;
+          csv "approx"
+            "scenario,scale,rows,exact_ms,sampled_ms,topk_ms,combined_ms,speedup,confidence,skipped,prefix_ok"
+            (Fmt.str "%s,%d,%d,%.3f,%.3f,%.3f,%.3f,%.2f,%.4f,%d,%b" name scale
+               (db_rows inst) (ms exact) (ms sampled) (ms topk) (ms combined)
+               speedup confidence skipped prefix_ok);
+          add_approx
+            {
+              xscenario = name;
+              xscale = scale;
+              xrows = db_rows inst;
+              xexact_ms = ms exact;
+              xsampled_ms = ms sampled;
+              xtopk_ms = ms topk;
+              xcombined_ms = ms combined;
+              xspeedup = speedup;
+              xconfidence = confidence;
+              xskipped = skipped;
+              xprefix_ok = prefix_ok;
+            })
+        scales)
+    [ "D1"; "D3"; "T2" ]
+
 (* Smallest-scale pass over every bench family — a CI guard that the
    bench harness itself keeps working, cheap enough for [make verify]. *)
 let smoke () =
@@ -1174,7 +1321,8 @@ let smoke () =
   fig9 ~scales:[ 1 ] ();
   fig10 ~scale:1 ();
   fig11 ~scale:1 ();
-  bench_columnar ~scales:[ 1 ] ()
+  bench_columnar ~scales:[ 1 ] ();
+  bench_approx ~scales:[ 1 ] ()
 
 (* --- Bechamel micro-benchmarks: one Test.make per table/figure ------------ *)
 
@@ -1254,6 +1402,8 @@ let () =
   (* engine A/B and smoke are targeted runs, never part of the default set *)
   if wants_explicit "columnar" then bench_columnar ();
   if wants_explicit "smoke" then smoke ();
+  (* budget-ladder acceptance run: targeted, scales past the default sweep *)
+  if wants_explicit "approx" then bench_approx ();
   if wants "serve" then bench_serve ();
   if wants_explicit "chaos" then bench_chaos ();
   (* obs flips the process-global log level and sink set: explicit only *)

@@ -42,8 +42,18 @@ let pp_phase_breakdown ppf (rp : Whynot.Pipeline.result) =
     phases;
   Fmt.pf ppf "  %-14s %10.3f ms  %5.1f%% of total@]" "sum" sum (pct sum)
 
+let pp_approx_report ppf (r : Whynot.Approx.report) =
+  Fmt.pf ppf "approx: mode=%s confidence=%.3f max_stride=%d%s%s"
+    r.Whynot.Approx.mode r.Whynot.Approx.confidence r.Whynot.Approx.max_stride
+    (match r.Whynot.Approx.top_k with
+    | Some k -> Fmt.str " top_k=%d (skipped %d)" k r.Whynot.Approx.skipped
+    | None -> "")
+    (match r.Whynot.Approx.budget_ms with
+    | Some b -> Fmt.str " budget_ms=%.0f" b
+    | None -> "")
+
 let run_scenario ~scale ~verbose ~metrics ~config ~parallel ~retry ~root
-    (s : Scenarios.Scenario.t) =
+    ~approx_cfg (s : Scenarios.Scenario.t) =
   let inst = s.Scenarios.Scenario.make ~scale () in
   let phi = inst.Scenarios.Scenario.question in
   let q = phi.Whynot.Question.query in
@@ -63,8 +73,10 @@ let run_scenario ~scale ~verbose ~metrics ~config ~parallel ~retry ~root
      in
      if metrics then Fmt.pr "engine stats (original query):@.%a@." Engine.Stats.pp stats
    end);
+  (* The budget (if any) starts burning per scenario, not per process. *)
+  let approx = Option.map Whynot.Approx.start approx_cfg in
   let rp =
-    Whynot.Pipeline.explain ~parallel ~retry ?parent:root
+    Whynot.Pipeline.explain ?approx ~parallel ~retry ?parent:root
       ~alternatives:inst.Scenarios.Scenario.alternatives phi
   in
   let rpnosa =
@@ -105,6 +117,9 @@ let run_scenario ~scale ~verbose ~metrics ~config ~parallel ~retry ~root
        conseil);
   pp_expls "RPnoSA:" rpnosa.Whynot.Pipeline.explanations;
   pp_expls "RP:" rp.Whynot.Pipeline.explanations;
+  Option.iter
+    (fun r -> Fmt.pr "%a@." pp_approx_report r)
+    rp.Whynot.Pipeline.approx;
   match inst.Scenarios.Scenario.gold with
   | None -> ()
   | Some gold ->
@@ -180,6 +195,9 @@ let run_explain args =
   let metrics = ref false and trace_file = ref "" in
   let parallel = ref false in
   let task_retries = ref 0 in
+  let budget_ms = ref 0.0 in
+  let sample_stride = ref 0 in
+  let top_k = ref 0 in
   let log_level = ref "" in
   let prometheus_file = ref "" in
   let spec =
@@ -207,6 +225,20 @@ let run_explain args =
         Arg.Set_int task_retries,
         "N  retry budget for transient task faults (default 0: fail fast)" );
       ("--task-retries", Arg.Set_int task_retries, "N  same as -task-retries");
+      ( "-budget-ms",
+        Arg.Set_float budget_ms,
+        "MS  approximation budget: degrade exact → sampled → top-k-only as \
+         the wall-clock budget burns (never aborts)" );
+      ("--budget-ms", Arg.Set_float budget_ms, "MS  same as -budget-ms");
+      ( "-sample-stride",
+        Arg.Set_int sample_stride,
+        "N  re-validate only every Nth traced row (1-in-N sampling; \
+         explanations carry confidence 1/N)" );
+      ("--sample-stride", Arg.Set_int sample_stride, "N  same as -sample-stride");
+      ( "-top-k",
+        Arg.Set_int top_k,
+        "K  rank only the K best explanations (early-terminating MSR)" );
+      ("--top-k", Arg.Set_int top_k, "K  same as -top-k");
       ("-metrics", Arg.Set metrics, "print the per-phase timing breakdown");
       ("--metrics", Arg.Set metrics, " same as -metrics");
       ( "-trace",
@@ -250,13 +282,28 @@ let run_explain args =
   | Error msg -> failwith ("invalid why-not pattern: " ^ msg));
   if not (Whynot.Question.is_proper phi) then
     Fmt.pr "WARNING: the answer is not actually missing@.";
+  let approx =
+    let cfg =
+      {
+        Whynot.Approx.budget_ms =
+          (if !budget_ms > 0.0 then Some !budget_ms else None);
+        sample_stride = (if !sample_stride > 1 then Some !sample_stride else None);
+        top_k = (if !top_k > 0 then Some !top_k else None);
+      }
+    in
+    if Whynot.Approx.is_exact cfg then None
+    else Some (Whynot.Approx.start cfg)
+  in
   let result =
-    Whynot.Pipeline.explain ~use_sas:!use_sas ~revalidate:!revalidate
+    Whynot.Pipeline.explain ?approx ~use_sas:!use_sas ~revalidate:!revalidate
       ~parallel:!parallel
       ~retry:(Engine.Fault.retries (max 0 !task_retries))
       ~alternatives:(List.rev !alts) phi
   in
   Fmt.pr "%a@." Whynot.Pipeline.pp_result result;
+  Option.iter
+    (fun r -> Fmt.pr "%a@." pp_approx_report r)
+    result.Whynot.Pipeline.approx;
   if !metrics then Fmt.pr "%a@." pp_phase_breakdown result;
   if !trace_file <> "" then begin
     Obs.Trace_event.write_file !trace_file [ result.Whynot.Pipeline.span ];
@@ -343,12 +390,29 @@ let run_scenarios args =
   let partitions = ref Engine.Exec.default_config.Engine.Exec.partitions in
   let parallel = ref false in
   let task_retries = ref 0 in
+  let budget_ms = ref 0.0 in
+  let sample_stride = ref 0 in
+  let top_k = ref 0 in
   let log_level = ref "" in
   let prometheus_file = ref "" in
   let spec =
     [
       ("-scale", Arg.Set_int scale, "data scale factor (default 1)");
       ("-v", Arg.Set verbose, "verbose (print schema alternatives)");
+      ( "-budget-ms",
+        Arg.Set_float budget_ms,
+        "MS  approximation budget for the RP run: degrade exact → sampled → \
+         top-k-only as the wall-clock budget burns (never aborts)" );
+      ("--budget-ms", Arg.Set_float budget_ms, "MS  same as -budget-ms");
+      ( "-sample-stride",
+        Arg.Set_int sample_stride,
+        "N  re-validate only every Nth traced row (1-in-N sampling; \
+         explanations carry confidence 1/N)" );
+      ("--sample-stride", Arg.Set_int sample_stride, "N  same as -sample-stride");
+      ( "-top-k",
+        Arg.Set_int top_k,
+        "K  rank only the K best explanations (early-terminating MSR)" );
+      ("--top-k", Arg.Set_int top_k, "K  same as -top-k");
       ( "-partitions",
         Arg.Set_int partitions,
         "N  engine partition count (default 4)" );
@@ -390,6 +454,17 @@ let run_scenarios args =
     (fun n -> names := n :: !names)
     "whynot_cli [scenario...] [--metrics] [--trace out.json]";
   apply_log_level !log_level;
+  let approx_cfg =
+    let cfg =
+      {
+        Whynot.Approx.budget_ms =
+          (if !budget_ms > 0.0 then Some !budget_ms else None);
+        sample_stride = (if !sample_stride > 1 then Some !sample_stride else None);
+        top_k = (if !top_k > 0 then Some !top_k else None);
+      }
+    in
+    if Whynot.Approx.is_exact cfg then None else Some cfg
+  in
   let scenarios =
     match !names with
     | [] -> Scenarios.Registry.all
@@ -425,7 +500,7 @@ let run_scenarios args =
             parallel = !parallel;
             retry;
           }
-        ~parallel:!parallel ~retry ~root s;
+        ~parallel:!parallel ~retry ~root ~approx_cfg s;
       Option.iter Obs.Span.finish root)
     scenarios;
   if !metrics then

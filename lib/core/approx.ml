@@ -1,0 +1,77 @@
+(* Budget-bounded approximation policy for the explanation pipeline.
+
+   A [config] says what the caller is willing to trade for latency: an
+   explicit sampling stride, a top-k cutoff, and/or a wall-clock budget.
+   A [t] is the running instance: the config plus the instant the budget
+   started burning (re-anchored by the scheduler at admission, so queue
+   wait counts against the budget exactly like it counts against the
+   cancellation deadline).
+
+   The degradation ladder lives in [decide]: each schema alternative asks
+   for a decision right before its tracing phase, and the answer coarsens
+   as the budget burns — exact while most of the budget remains, sampled
+   tracing once two thirds are gone, sampled + top-k-only MSR in the last
+   third.  The budget never hard-stops a run by itself (that is still the
+   [Cancel] deadline's job); it only degrades precision, so a budgeted
+   run always returns *something* with an honest confidence attached. *)
+
+type config = {
+  budget_ms : float option;  (** degrade as this burns; [None] = no ladder *)
+  sample_stride : int option;  (** force tracing to sample 1-in-N rows *)
+  top_k : int option;  (** keep only the k best-ranked explanations *)
+}
+
+let exact = { budget_ms = None; sample_stride = None; top_k = None }
+
+let is_exact c =
+  c.budget_ms = None && c.sample_stride = None && c.top_k = None
+
+type t = { cfg : config; mutable started_ns : int }
+
+let start ?from_ns cfg =
+  let started_ns =
+    match from_ns with Some t -> t | None -> Obs.Clock.now_ns ()
+  in
+  { cfg; started_ns }
+
+let rebase t ~from_ns = t.started_ns <- from_ns
+let config t = t.cfg
+
+let remaining_fraction t =
+  match t.cfg.budget_ms with
+  | None -> 1.0
+  | Some budget when budget <= 0.0 -> 0.0
+  | Some budget ->
+    let elapsed_ms =
+      float_of_int (Obs.Clock.now_ns () - t.started_ns) /. 1e6
+    in
+    Float.max 0.0 (1.0 -. (elapsed_ms /. budget))
+
+type decision = { stride : int; top_k : int option }
+
+(* The ladder: explicitly requested knobs are a floor, never weakened.
+   With no budget the forced knobs pass through unchanged (stride 1 and
+   no top-k when nothing was asked for — the byte-identical exact path). *)
+let decide t =
+  let forced = max 1 (Option.value ~default:1 t.cfg.sample_stride) in
+  let k = t.cfg.top_k in
+  match t.cfg.budget_ms with
+  | None -> { stride = forced; top_k = k }
+  | Some _ ->
+    let f = remaining_fraction t in
+    if f > 0.66 then { stride = forced; top_k = k }
+    else if f > 0.33 then { stride = max forced 4; top_k = k }
+    else
+      {
+        stride = max forced 8;
+        top_k = (match k with None -> Some 3 | some -> some);
+      }
+
+type report = {
+  mode : string;  (** "exact" | "sampled" | "top_k" *)
+  confidence : float;  (** min over SAs of 1/stride; 1.0 = exact tracing *)
+  max_stride : int;
+  top_k : int option;
+  skipped : int;  (** MSR candidates pruned unevaluated by top-k bounds *)
+  budget_ms : float option;
+}

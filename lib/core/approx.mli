@@ -1,0 +1,59 @@
+(** Budget-bounded approximation policy for the explanation pipeline.
+
+    A {!config} names the precision/latency trade the caller accepts; a
+    {!t} is that config plus the instant its wall-clock budget started
+    burning.  {!decide} is consulted once per schema alternative and
+    returns the sampling stride and top-k cutoff for that SA — the
+    degradation ladder: exact while most of the budget remains, sampled
+    tracing once two thirds are spent, sampled + top-k-only MSR in the
+    last third.  The budget never aborts a run (that is {!Cancel}'s
+    job); it only coarsens it, so a budgeted run always returns an
+    answer with an honest confidence attached. *)
+
+type config = {
+  budget_ms : float option;
+      (** wall-clock budget driving the ladder; [None] = no ladder *)
+  sample_stride : int option;
+      (** force tracing to re-validate only every Nth row (a floor —
+          the ladder can raise it, never lower it) *)
+  top_k : int option;  (** keep only the k best-ranked explanations *)
+}
+
+val exact : config
+(** All three knobs off.  [decide] on an exact config always answers
+    stride 1 / no top-k, and the pipeline output is byte-identical to a
+    run without any approx argument. *)
+
+val is_exact : config -> bool
+
+type t
+(** A running budget: config + start instant (monotone clock). *)
+
+val start : ?from_ns:int -> config -> t
+(** [start cfg] anchors the budget now; [~from_ns] anchors it at an
+    earlier instant (same clock as [Obs.Clock.now_ns]). *)
+
+val rebase : t -> from_ns:int -> unit
+(** Re-anchor the budget, e.g. at scheduler admission so queue wait
+    burns budget exactly like it burns the cancellation deadline. *)
+
+val config : t -> config
+
+val remaining_fraction : t -> float
+(** Fraction of the budget left, in [0,1]; 1.0 when no budget is set. *)
+
+type decision = { stride : int; top_k : int option }
+
+val decide : t -> decision
+(** The per-SA degradation decision.  Explicit config knobs are floors:
+    they pass through when the budget is fresh and only coarsen further
+    as it burns. *)
+
+type report = {
+  mode : string;  (** "exact" | "sampled" | "top_k" *)
+  confidence : float;  (** min over SAs of 1/stride; 1.0 = exact tracing *)
+  max_stride : int;  (** largest stride any SA was traced at *)
+  top_k : int option;  (** cutoff in force, if any SA ranked top-k *)
+  skipped : int;  (** MSR candidates pruned unevaluated by top-k bounds *)
+  budget_ms : float option;
+}

@@ -12,10 +12,15 @@ type t = {
   side_effect_lb : int;
   side_effect_ub : int;
   sa : int;                (* index of the schema alternative; 0 = original *)
+  confidence : float option;
+      (* None = exact tracing witnessed the bounds; Some c = the bounds
+         came from a 1-in-N sampled trace with c = 1/N *)
 }
 
-let make ?(sa = 0) ~lb ~ub ops =
-  { ops; side_effect_lb = lb; side_effect_ub = ub; sa }
+let make ?(sa = 0) ?confidence ~lb ~ub ops =
+  { ops; side_effect_lb = lb; side_effect_ub = ub; sa; confidence }
+
+let with_confidence c e = { e with confidence = Some c }
 
 let ops e = e.ops
 let op_list e = Int_set.elements e.ops
@@ -41,6 +46,12 @@ let prune_dominated (es : t list) : t list =
               side_effect_lb = min e.side_effect_lb e'.side_effect_lb;
               side_effect_ub = min e.side_effect_ub e'.side_effect_ub;
               sa = min e.sa e'.sa;
+              (* an exact witness (None) beats any sampled one; two
+                 sampled witnesses keep the denser sample *)
+              confidence =
+                (match (e.confidence, e'.confidence) with
+                | Some a, Some b -> Some (Float.max a b)
+                | _ -> None);
             }
           in
           merged :: List.filter (fun x -> not (Int_set.equal x.ops e.ops)) acc

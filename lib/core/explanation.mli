@@ -12,9 +12,15 @@ type t = {
   side_effect_lb : int;
   side_effect_ub : int;
   sa : int;  (** index of the originating schema alternative; 0 = original *)
+  confidence : float option;
+      (** [None] = exact tracing witnessed the bounds; [Some c] = the
+          bounds came from a 1-in-N sampled trace with [c = 1/N] *)
 }
 
-val make : ?sa:int -> lb:int -> ub:int -> Int_set.t -> t
+val make : ?sa:int -> ?confidence:float -> lb:int -> ub:int -> Int_set.t -> t
+
+(** Stamp a sampled-trace confidence onto an explanation. *)
+val with_confidence : float -> t -> t
 val ops : t -> Int_set.t
 val op_list : t -> int list
 

@@ -177,8 +177,29 @@ let contains_filtering_op (q : Nrab.Query.t) (ops : Int_set.t) : bool =
       | None -> false)
     ops
 
-let bounds ~(bi : bounds_input) ~(q : Nrab.Query.t) (tr : Tracing.t)
-    (fs : int -> Set_set.t) (expl_ops : Int_set.t) : int * int =
+(* Candidate-independent part of the bounds computation, hoisted so one
+   sweep over the root rows serves every candidate of a trace: the
+   surviving(-and-matching) counts are the same for all candidates, and
+   only the non-surviving rows' failure sets feed the per-candidate
+   UB(Δ+) scan. *)
+type bounds_ctx = {
+  cq : Nrab.Query.t;
+  original_count : int;
+  stride : int;
+      (* 1 = exact sweep; s > 1 = every s-th root row (by global rid)
+         was examined and the counts below are scaled-up estimates *)
+  n_surviving : int;
+  ub_minus : int;
+      (* UB(Δ−): original tuples whose presence is not witnessed
+         unchanged — a floor shared by every candidate's upper bound *)
+  nonsurviving : Set_set.t array;
+      (* failure sets of each (sampled) non-surviving root row *)
+}
+
+let bounds_ctx ?(sample_stride = 1) ~(bi : bounds_input)
+    ~(q : Nrab.Query.t) (tr : Tracing.t) (fs : int -> Set_set.t) : bounds_ctx
+    =
+  let stride = max 1 sample_stride in
   let original_count = List.length bi.original_result in
   (* Bucket the original result by structural hash so each root row is
      compared against at most its hash-colliding candidates. *)
@@ -197,38 +218,57 @@ let bounds ~(bi : bounds_input) ~(q : Nrab.Query.t) (tr : Tracing.t)
     | None -> false
     | Some l -> List.exists (Value.equal data) !l
   in
-  (* Flag-vector sweeps over the root rows; trees are reconstructed only
+  (* Flag-vector sweep over the root rows; trees are reconstructed only
      for the surviving rows that must be matched against the original
-     result. *)
+     result.  With a stride, only every s-th row (keyed on the global
+     rid, like the tracing sampler, so both engines sample identically)
+     is examined — this sweep dominates MSR time on large inputs, and
+     the counts scale back up into unbiased estimates. *)
   let n_surviving_matching = ref 0
   and n_surviving_ = ref 0
-  and ub_plus_ = ref 0 in
+  and nonsurv = ref [] in
   (match root_ot tr with
   | None -> ()
   | Some ot ->
     let r0 = Tracing.rid0 ot in
     for i = 0 to Tracing.n_rows ot - 1 do
-      if Tracing.surviving_at ot i then begin
-        incr n_surviving_;
-        if in_original (Tracing.data_at ot i) then incr n_surviving_matching
-      end
-      else if
-        (* UB(Δ+): rows that may newly appear when the explanation's
-           operators are reparameterized *)
-        Set_set.exists (fun s -> Int_set.subset s expl_ops) (fs (r0 + i))
-      then incr ub_plus_
+      if (r0 + i) mod stride = 0 then
+        if Tracing.surviving_at ot i then begin
+          incr n_surviving_;
+          if in_original (Tracing.data_at ot i) then incr n_surviving_matching
+        end
+        else nonsurv := fs (r0 + i) :: !nonsurv
     done);
-  let n_surviving_matching = !n_surviving_matching
-  and n_surviving = !n_surviving_
-  and ub_plus = !ub_plus_ in
-  (* UB(Δ−): original tuples whose presence is not witnessed unchanged *)
-  let ub_minus = max 0 (original_count - n_surviving_matching) in
-  let lb =
-    if contains_filtering_op q expl_ops then 0
-    else
-      max 0 (n_surviving - original_count) + max 0 (original_count - n_surviving_matching)
+  {
+    cq = q;
+    original_count;
+    stride;
+    n_surviving = stride * !n_surviving_;
+    ub_minus = max 0 (original_count - (stride * !n_surviving_matching));
+    nonsurviving = Array.of_list (List.rev !nonsurv);
+  }
+
+let bounds_with (ctx : bounds_ctx) (expl_ops : Int_set.t) : int * int =
+  (* UB(Δ+): rows that may newly appear when the explanation's operators
+     are reparameterized (scaled back up when the sweep was sampled) *)
+  let ub_plus =
+    ctx.stride
+    * Array.fold_left
+        (fun acc sets ->
+          if Set_set.exists (fun s -> Int_set.subset s expl_ops) sets then
+            acc + 1
+          else acc)
+        0 ctx.nonsurviving
   in
-  (lb, ub_plus + ub_minus)
+  let lb =
+    if contains_filtering_op ctx.cq expl_ops then 0
+    else max 0 (ctx.n_surviving - ctx.original_count) + ctx.ub_minus
+  in
+  (lb, ub_plus + ctx.ub_minus)
+
+let bounds ~(bi : bounds_input) ~(q : Nrab.Query.t) (tr : Tracing.t)
+    (fs : int -> Set_set.t) (expl_ops : Int_set.t) : int * int =
+  bounds_with (bounds_ctx ~bi ~q tr fs) expl_ops
 
 (* --- Literal Algorithm 4 (queue-based) ----------------------------------
 
@@ -314,13 +354,12 @@ let algorithm4 (tr : Tracing.t) : Set_set.t =
 
 (* --- Explanation assembly ------------------------------------------------ *)
 
-(* Explanations contributed by one schema alternative's trace. *)
-let from_trace ~(bi : bounds_input) ~(q : Nrab.Query.t) (tr : Tracing.t) :
-    Explanation.t list =
-  let fs = failure_sets tr in
+(* Candidate operator sets of one trace: the failure sets of every
+   consistent root row, each unioned with the SA's SR prefix, minus the
+   empty set (which would mean the answer is not missing at all). *)
+let candidate_sets (tr : Tracing.t) (fs : int -> Set_set.t) : Set_set.t =
   let prefix = tr.Tracing.sa.Alternatives.changed_ops in
-  let sa_index = tr.Tracing.sa.Alternatives.index in
-  let candidate_sets =
+  let sets =
     List.fold_left
       (fun acc rid ->
         Set_set.fold
@@ -328,10 +367,72 @@ let from_trace ~(bi : bounds_input) ~(q : Nrab.Query.t) (tr : Tracing.t) :
           (fs rid) acc)
       Set_set.empty (consistent_root_rids tr)
   in
-  (* the empty set would mean the answer is not missing at all *)
-  let candidate_sets = Set_set.remove Int_set.empty candidate_sets in
+  Set_set.remove Int_set.empty sets
+
+(* Explanations contributed by one schema alternative's trace.  The
+   stride samples only the bounds sweep: the candidate operator sets come
+   from the consistent root rows' failure sets either way, so a sampled
+   run finds the same explanations with estimated side-effect bounds. *)
+let from_trace ?sample_stride ~(bi : bounds_input) ~(q : Nrab.Query.t)
+    (tr : Tracing.t) : Explanation.t list =
+  let fs = failure_sets tr in
+  let ctx = bounds_ctx ?sample_stride ~bi ~q tr fs in
+  let sa_index = tr.Tracing.sa.Alternatives.index in
   List.map
     (fun ops ->
-      let lb, ub = bounds ~bi ~q tr fs ops in
+      let lb, ub = bounds_with ctx ops in
       Explanation.make ~sa:sa_index ~lb ~ub ops)
-    (Set_set.elements candidate_sets)
+    (Set_set.elements (candidate_sets tr fs))
+
+(* Early-terminating top-k variant.  Candidates are evaluated in the
+   dominant order of [Explanation.rank] — (cardinality, elements) — and
+   the walk stops once k already-evaluated explanations *provably* rank
+   ahead of every candidate still open.  The proof obligation uses two
+   facts: candidates still open have cardinality ≥ the next candidate's
+   (sorted order), and every candidate's upper bound is ≥ [ctx.ub_minus]
+   (UB(Δ−) is candidate-independent).  So a kept explanation beats all
+   open candidates when its cardinality is strictly smaller, or equal
+   with a side-effect UB strictly below that shared floor.  Returns the
+   evaluated explanations (a superset of the true top k, still to be
+   pruned/ranked across SAs) and the number of candidates skipped. *)
+let from_trace_topk ?sample_stride ~(bi : bounds_input) ~(q : Nrab.Query.t)
+    ~(k : int) (tr : Tracing.t) : Explanation.t list * int =
+  let fs = failure_sets tr in
+  let ctx = bounds_ctx ?sample_stride ~bi ~q tr fs in
+  let sa_index = tr.Tracing.sa.Alternatives.index in
+  let k = max 1 k in
+  let candidates =
+    List.sort
+      (fun a b ->
+        let c = compare (Int_set.cardinal a) (Int_set.cardinal b) in
+        if c <> 0 then c
+        else compare (Int_set.elements a) (Int_set.elements b))
+      (Set_set.elements (candidate_sets tr fs))
+  in
+  let beats_open ~open_card (e : Explanation.t) =
+    let ec = Int_set.cardinal e.Explanation.ops in
+    ec < open_card
+    || (ec = open_card && e.Explanation.side_effect_ub < ctx.ub_minus)
+  in
+  let kept = ref [] and n_kept = ref 0 and skipped = ref 0 in
+  let rec go = function
+    | [] -> ()
+    | ops :: rest ->
+      let open_card = Int_set.cardinal ops in
+      let winners =
+        if !n_kept < k then 0
+        else
+          List.fold_left
+            (fun acc e -> if beats_open ~open_card e then acc + 1 else acc)
+            0 !kept
+      in
+      if winners >= k then skipped := 1 + List.length rest
+      else begin
+        let lb, ub = bounds_with ctx ops in
+        kept := Explanation.make ~sa:sa_index ~lb ~ub ops :: !kept;
+        incr n_kept;
+        go rest
+      end
+  in
+  go candidates;
+  (List.rev !kept, !skipped)

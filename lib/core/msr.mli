@@ -53,5 +53,37 @@ val bounds :
   int * int
 
 (** Explanations contributed by one schema alternative's trace (not yet
-    pruned/ranked across SAs). *)
-val from_trace : bi:bounds_input -> q:Nrab.Query.t -> Tracing.t -> Explanation.t list
+    pruned/ranked across SAs).
+
+    [?sample_stride] (default 1 = exact) samples the side-effect bounds
+    sweep: only every s-th root row — keyed on the global rid, exactly
+    like {!Tracing.run}'s sampler, so both engines sample identically —
+    is examined, and the counts are scaled back up into unbiased
+    estimates.  Candidate operator sets always come from the consistent
+    root rows' failure sets, so a sampled run finds the {e same}
+    explanations with {e estimated} LB/UB bounds. *)
+val from_trace :
+  ?sample_stride:int ->
+  bi:bounds_input ->
+  q:Nrab.Query.t ->
+  Tracing.t ->
+  Explanation.t list
+
+(** Early-terminating top-k variant of {!from_trace}: candidates are
+    evaluated in {!Explanation.rank}'s dominant order (cardinality, then
+    elements) and the walk stops once [k] evaluated explanations provably
+    rank ahead of every open candidate — strictly smaller cardinality, or
+    equal cardinality with a side-effect upper bound strictly below
+    UB(Δ−), the candidate-independent floor every open candidate's UB
+    shares.  Returns the evaluated explanations (a superset of the true
+    per-SA top [k], still to be pruned/ranked across SAs) and the number
+    of candidates skipped unevaluated.  With [k] ≥ the number of
+    candidates the result equals {!from_trace}'s exactly.
+    [?sample_stride] samples the bounds sweep as in {!from_trace}. *)
+val from_trace_topk :
+  ?sample_stride:int ->
+  bi:bounds_input ->
+  q:Nrab.Query.t ->
+  k:int ->
+  Tracing.t ->
+  Explanation.t list * int

@@ -15,6 +15,7 @@ type result = {
   question : Question.t;
   sas : Alternatives.sa list;
   explanations : Explanation.t list;
+  approx : Approx.report option;
   span : Obs.Span.t;
 }
 
@@ -116,10 +117,14 @@ let prepare_phases ~use_sas ~max_sas ~alternatives ~cancel ~retry root cursor
         (env, sas))
   in
   (* ⟦Q⟧_D, the basis of the side-effect bounds, is charged to the MSR
-     phase. *)
+     phase.  Evaluated on the engine rather than the reference
+     interpreter: the results are identical and the engine is an order
+     of magnitude faster on the bench scales. *)
   let bi =
     phase root "msr" (fun sp ->
-        let original_result = Relation.tuples (Eval.eval db q) in
+        let original_result =
+          Relation.tuples (fst (Engine.Exec.run ~parent:sp db q))
+        in
         Obs.Span.set_int sp "original_result_rows"
           (List.length original_result);
         { Msr.original_result })
@@ -128,14 +133,17 @@ let prepare_phases ~use_sas ~max_sas ~alternatives ~cancel ~retry root cursor
 
 (* Steps 1, 3, and 4 — the pattern-dependent per-SA chains plus the final
    prune/rank — under [root], reading everything else from the handle. *)
-let run_phases ~revalidate ~parallel ~cancel ~retry root cursor (h : handle)
-    (missing : Nip.t) : Explanation.t list =
+let run_phases ?approx ~revalidate ~parallel ~cancel ~retry root cursor
+    (h : handle) (missing : Nip.t) :
+    Explanation.t list * Approx.report option =
   let phase parent name f = phase_at cursor parent name f in
   let { h_query = q; h_db = db; h_env = env; h_sas = sas; h_bi = bi } = h in
   (* One SA's backtrace→tracing→MSR chain; independent across SAs.  The
      cancellation token is polled before every phase — the pipeline's
      preemption points, so a lapsed deadline is observed within one
-     phase of where the run currently is. *)
+     phase of where the run currently is.  Returns the SA's candidate
+     explanations plus the approximation decision it ran under (stride 1 /
+     no top-k on the exact path). *)
   let process_sa cursor (sa : Alternatives.sa) sasp =
     let checked name f =
       Cancel.check cancel ~where:name;
@@ -149,19 +157,44 @@ let run_phases ~revalidate ~parallel ~cancel ~retry root cursor (h : handle)
       checked "backtrace" (fun _ ->
           Backtrace.run ~env sa.Alternatives.query missing)
     in
+    (* The degradation decision is taken right before tracing, so each
+       SA sees how much budget its predecessors left it. *)
+    let decision =
+      match approx with
+      | None -> { Approx.stride = 1; top_k = None }
+      | Some a -> Approx.decide a
+    in
     (* steps 3 and 4 *)
     let trace =
-      checked "tracing" (fun _ -> Tracing.run ~revalidate ~env db sa bt)
+      checked "tracing" (fun sp ->
+          if decision.Approx.stride > 1 then
+            Obs.Span.set_int sp "sample_stride" decision.Approx.stride;
+          Tracing.run ~revalidate ~sample_stride:decision.Approx.stride ~env
+            db sa bt)
     in
     checked "msr" (fun msp ->
-        let es = Msr.from_trace ~bi ~q trace in
+        let sample_stride = decision.Approx.stride in
+        let es, skipped =
+          match decision.Approx.top_k with
+          | Some k -> Msr.from_trace_topk ~sample_stride ~bi ~q ~k trace
+          | None -> (Msr.from_trace ~sample_stride ~bi ~q trace, 0)
+        in
+        let es =
+          if decision.Approx.stride > 1 then
+            List.map
+              (Explanation.with_confidence
+                 (1.0 /. float_of_int decision.Approx.stride))
+              es
+          else es
+        in
         Obs.Span.set_int msp "candidates" (List.length es);
-        es)
+        if skipped > 0 then Obs.Span.set_int msp "skipped_candidates" skipped;
+        (es, decision, skipped))
   in
   let sa_name (sa : Alternatives.sa) =
     Fmt.str "sa:S%d" (sa.Alternatives.index + 1)
   in
-  let explanations =
+  let per_sa =
     if parallel && List.length sas > 1 then begin
       (* Fan the SAs out over the shared domain pool.  The sa:S<i> spans
          are started here on the calling domain (so their order under the
@@ -194,17 +227,88 @@ let run_phases ~revalidate ~parallel ~cancel ~retry root cursor (h : handle)
                     process_sa sa_cursor sa sasp)))
           sas
       in
-      List.concat_map Engine.Pool.await futures
+      List.map Engine.Pool.await futures
     end
     else
-      List.concat_map
+      List.map
         (fun (sa : Alternatives.sa) ->
           Cancel.check cancel ~where:(sa_name sa);
           phase root (sa_name sa) (fun sasp -> process_sa cursor sa sasp))
         sas
   in
-  phase root "msr" (fun _ ->
-      Explanation.rank (Explanation.prune_dominated explanations))
+  let explanations = List.concat_map (fun (es, _, _) -> es) per_sa in
+  (* Fold the per-SA decisions into one honest report: the weakest
+     confidence (largest stride) wins, skip counts add up, and the mode
+     names the coarsest degradation any SA suffered. *)
+  let report =
+    match approx with
+    | None -> None
+    | Some a ->
+      let max_stride =
+        List.fold_left (fun m (_, d, _) -> max m d.Approx.stride) 1 per_sa
+      in
+      let top_k =
+        List.fold_left
+          (fun acc (_, (d : Approx.decision), _) ->
+            match (d.Approx.top_k, acc) with
+            | Some k, Some k' -> Some (min k k')
+            | Some k, None -> Some k
+            | None, acc -> acc)
+          None per_sa
+      in
+      let skipped =
+        List.fold_left (fun s (_, _, sk) -> s + sk) 0 per_sa
+      in
+      let mode =
+        if top_k <> None then "top_k"
+        else if max_stride > 1 then "sampled"
+        else "exact"
+      in
+      Some
+        {
+          Approx.mode;
+          confidence = 1.0 /. float_of_int max_stride;
+          max_stride;
+          top_k;
+          skipped;
+          budget_ms = (Approx.config a).Approx.budget_ms;
+        }
+  in
+  let take k l =
+    let rec go k = function
+      | [] -> []
+      | _ when k <= 0 -> []
+      | x :: tl -> x :: go (k - 1) tl
+    in
+    go k l
+  in
+  let ranked =
+    phase root "msr" (fun _ ->
+        Explanation.rank (Explanation.prune_dominated explanations))
+  in
+  let ranked =
+    match report with
+    | Some { Approx.top_k = Some k; _ } -> take k ranked
+    | _ -> ranked
+  in
+  (ranked, report)
+
+let record_approx_metrics (report : Approx.report option) =
+  match report with
+  | None -> ()
+  | Some r ->
+    Obs.Metrics.Counter.incr
+      (Obs.Metrics.counter ("pipeline.approx." ^ r.Approx.mode));
+    if r.Approx.skipped > 0 then
+      Obs.Metrics.Counter.incr ~by:r.Approx.skipped
+        (Obs.Metrics.counter "pipeline.approx.skipped_candidates");
+    Obs.Log.debug "pipeline.approx" (fun () ->
+        [
+          Obs.Log.str "mode" r.Approx.mode;
+          Obs.Log.float "confidence" r.Approx.confidence;
+          Obs.Log.int "max_stride" r.Approx.max_stride;
+          Obs.Log.int "skipped" r.Approx.skipped;
+        ])
 
 let record_run_metrics root ~sas ~explanations =
   List.iter
@@ -250,24 +354,29 @@ let prepare ?(use_sas = true) ?(max_sas = 16)
   Obs.Metrics.Counter.incr (Obs.Metrics.counter "pipeline.prepares");
   h
 
-let explain_with ?(revalidate = true) ?(parallel = false)
+let explain_with ?approx ?(revalidate = true) ?(parallel = false)
     ?(cancel = Cancel.none) ?(retry = Engine.Fault.no_retry) ?parent
     (h : handle) (missing : Nip.t) : result =
   let root = Obs.Span.start ?parent "pipeline.explain" in
   let cursor = ref (Obs.Span.start_ns root) in
-  let explanations =
+  let explanations, report =
     finish_cancelled root (fun () ->
-        run_phases ~revalidate ~parallel ~cancel ~retry root cursor h missing)
+        run_phases ?approx ~revalidate ~parallel ~cancel ~retry root cursor h
+          missing)
   in
   Obs.Span.set_int root "sas" (List.length h.h_sas);
   Obs.Span.set_int root "explanations" (List.length explanations);
+  Option.iter
+    (fun r -> Obs.Span.set_string root "approx_mode" r.Approx.mode)
+    report;
   Obs.Span.finish root;
   record_run_metrics root ~sas:(List.length h.h_sas)
     ~explanations:(List.length explanations);
+  record_approx_metrics report;
   let question = Question.make ~query:h.h_query ~db:h.h_db ~missing in
-  { question; sas = h.h_sas; explanations; span = root }
+  { question; sas = h.h_sas; explanations; approx = report; span = root }
 
-let explain ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
+let explain ?approx ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
     ?(alternatives : Alternatives.alternatives = []) ?(parallel = false)
     ?(cancel = Cancel.none) ?(retry = Engine.Fault.no_retry) ?parent
     (phi : Question.t) : result =
@@ -276,21 +385,26 @@ let explain ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
      for ≈ all of the root span (in the sequential pipeline; concurrent
      SA phases overlap, so there the sums can exceed the total). *)
   let cursor = ref (Obs.Span.start_ns root) in
-  let h, explanations =
+  let h, (explanations, report) =
     finish_cancelled root (fun () ->
         let h =
           prepare_phases ~use_sas ~max_sas ~alternatives ~cancel ~retry root
             cursor ~db:phi.Question.db phi.Question.query
         in
-        (h, run_phases ~revalidate ~parallel ~cancel ~retry root cursor h
-              phi.Question.missing))
+        ( h,
+          run_phases ?approx ~revalidate ~parallel ~cancel ~retry root cursor
+            h phi.Question.missing ))
   in
   Obs.Span.set_int root "sas" (List.length h.h_sas);
   Obs.Span.set_int root "explanations" (List.length explanations);
+  Option.iter
+    (fun r -> Obs.Span.set_string root "approx_mode" r.Approx.mode)
+    report;
   Obs.Span.finish root;
   record_run_metrics root ~sas:(List.length h.h_sas)
     ~explanations:(List.length explanations);
-  { question = phi; sas = h.h_sas; explanations; span = root }
+  record_approx_metrics report;
+  { question = phi; sas = h.h_sas; explanations; approx = report; span = root }
 
 (* Total time per algorithm phase (summed across schema alternatives). *)
 let phase_durations_ms (r : result) = phase_durations_ms_of_span r.span

@@ -15,6 +15,11 @@ type result = {
   question : Question.t;
   sas : Alternatives.sa list;
   explanations : Explanation.t list;  (** pruned and ranked *)
+  approx : Approx.report option;
+      (** [None] = exact run; [Some r] = the run was budgeted/approximate
+          and [r] records the degradation actually applied (mode,
+          confidence, largest tracing stride, top-k cutoff, candidates
+          skipped unevaluated) *)
   span : Obs.Span.t;
       (** finished root span of the run: one [sa:S<i>] child per schema
           alternative, each with [backtrace]/[tracing]/[msr] children,
@@ -27,6 +32,15 @@ val schema_env : Relation.Db.t -> Typecheck.env
 
 (** Compute query-based why-not explanations.
 
+    @param approx running approximation budget (see {!Approx}).  Omitted,
+           the run is exact and [result.approx] is [None].  Given, each
+           schema alternative consults {!Approx.decide} before tracing —
+           sampling the NIP re-validation at the decided stride and
+           ranking only the decided top k — and [result.approx] reports
+           the degradation actually applied.  An [Approx.start
+           Approx.exact] budget decides stride 1 / no top-k everywhere,
+           and the explanation list is byte-identical to an unbudgeted
+           run
     @param use_sas consider schema alternatives (default true)
     @param max_sas cap on enumerated SAs (default 16)
     @param revalidate re-validate consistency at every operator (default
@@ -53,6 +67,7 @@ val schema_env : Relation.Db.t -> Typecheck.env
     @param parent optional parent span; the run's root span is attached
            under it (and always returned in [result.span]) *)
 val explain :
+  ?approx:Approx.t ->
   ?use_sas:bool ->
   ?max_sas:int ->
   ?revalidate:bool ->
@@ -99,6 +114,7 @@ val handle_sas : handle -> Alternatives.sa list
     [alternatives]/initial-[msr] children, which were charged to
     {!prepare}. *)
 val explain_with :
+  ?approx:Approx.t ->
   ?revalidate:bool ->
   ?parallel:bool ->
   ?cancel:Cancel.t ->

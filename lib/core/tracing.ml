@@ -437,8 +437,8 @@ let group_by (key : trow -> Value.t) (trows : trow list) :
 
 (* --- Row-at-a-time tracing (WHYNOT_ROW_ENGINE) --------------------------- *)
 
-let run_rows ~revalidate ~(env : Typecheck.env) (db : Relation.Db.t)
-    (sa : Alternatives.sa) (bt : Backtrace.t) : t =
+let run_rows ~revalidate ~sample_stride ~(env : Typecheck.env)
+    (db : Relation.Db.t) (sa : Alternatives.sa) (bt : Backtrace.t) : t =
   let st = { next_rid = 0; traces = [] } in
   let q = sa.Alternatives.query in
   (* rid -> consistency, for the no-re-validation ablation, which checks
@@ -458,8 +458,15 @@ let run_rows ~revalidate ~(env : Typecheck.env) (db : Relation.Db.t)
     in
     let mk ?(ranges = []) ?(retained = true) ?surviving ~parents data =
       let surviving = Option.value ~default:retained surviving in
+      (* the rid is drawn before the consistency check so that sampled
+         runs skip re-validation on exactly the rows whose *global* rid
+         falls off the stride — the same rows the columnar engine skips,
+         because both engines allocate identical contiguous rid blocks *)
+      let rid = fresh_rid st in
       let consistent =
-        if revalidate || is_table then row_matches nip data ranges
+        if revalidate || is_table then
+          (sample_stride <= 1 || rid mod sample_stride = 0)
+          && row_matches nip data ranges
         else
           List.exists
             (fun pid ->
@@ -467,7 +474,6 @@ let run_rows ~revalidate ~(env : Typecheck.env) (db : Relation.Db.t)
                 (Hashtbl.find_opt row_consistency pid))
             parents
       in
-      let rid = fresh_rid st in
       Hashtbl.replace row_consistency rid consistent;
       { rid; data; consistent; retained; surviving; parents; ranges }
     in
@@ -972,10 +978,41 @@ let group_indices (codes : int array) : int array array =
   Array.of_list
     (List.rev_map (fun cell -> Array.of_list (List.rev !cell)) !order)
 
-let run_cols ~revalidate ~(env : Typecheck.env) (db : Relation.Db.t)
-    (sa : Alternatives.sa) (bt : Backtrace.t) : t =
+let run_cols ~revalidate ~sample_stride ~(env : Typecheck.env)
+    (db : Relation.Db.t) (sa : Alternatives.sa) (bt : Backtrace.t) : t =
   let st = { next_rid = 0; traces = [] } in
   let q = sa.Alternatives.query in
+  (* Stride-sampled NIP re-validation: gather every [stride]th row (in
+     the congruence class of the op's first global rid, so the sampled
+     rows are exactly the rids the row engine samples), run the mask
+     kernel on the sub-batch, and scatter the verdicts back into an
+     all-false mask — off-sample rows conservatively read inconsistent.
+     Must be called right before the op's [crecord], while [st.next_rid]
+     still reads as the rid the op's first row is about to receive. *)
+  let sampled_mask nip data rng =
+    let n = C.length data in
+    if sample_stride <= 1 then nip_mask nip data rng
+    else begin
+      let rid0 = st.next_rid in
+      let offset =
+        (sample_stride - (rid0 mod sample_stride)) mod sample_stride
+      in
+      let idx = C.stride_indices ~n ~offset ~stride:sample_stride in
+      if Array.length idx = n then nip_mask nip data rng
+      else begin
+        let mask = ball n false in
+        if Array.length idx > 0 then begin
+          let sub = C.gather data idx in
+          let sub_rng =
+            Option.map (fun arr -> Array.map (fun i -> arr.(i)) idx) rng
+          in
+          let sub_mask = nip_mask nip sub sub_rng in
+          Array.iteri (fun j i -> bset mask i (bget sub_mask j)) idx
+        end;
+        mask
+      end
+    end
+  in
   let fields_of sub =
     match Typecheck.infer_result env sub with
     | Ok ty -> Vtype.relation_fields ty
@@ -1037,7 +1074,7 @@ let run_cols ~revalidate ~(env : Typecheck.env) (db : Relation.Db.t)
       }
     in
     let reval_cons ~children ~data ~rng ~par =
-      if revalidate then nip_mask nip data rng
+      if revalidate then sampled_mask nip data rng
       else propagate children par (C.length data)
     in
     match op.Query.node, op.Query.children with
@@ -1047,7 +1084,7 @@ let run_cols ~revalidate ~(env : Typecheck.env) (db : Relation.Db.t)
       let n = C.length data in
       C.note_rows_scanned n;
       crecord ~data
-        ~cons:(nip_mask nip data None)
+        ~cons:(sampled_mask nip data None)
         ~ret:(ball n true) ~surv:(ball n true) ~par:P_none ~rng:None
     | Query.Select pred, [ c ] ->
       let r = go c in
@@ -2029,11 +2066,11 @@ let run_cols ~revalidate ~(env : Typecheck.env) (db : Relation.Db.t)
   ignore (go q);
   { sa; ops = List.rev st.traces; root_op = q.Query.id }
 
-let run ?(revalidate = true) ~(env : Typecheck.env) (db : Relation.Db.t)
-    (sa : Alternatives.sa) (bt : Backtrace.t) : t =
+let run ?(revalidate = true) ?(sample_stride = 1) ~(env : Typecheck.env)
+    (db : Relation.Db.t) (sa : Alternatives.sa) (bt : Backtrace.t) : t =
   (* Chaos hook: fires once per SA's relaxed evaluation, inside the
      pipeline's per-phase retry scope, so an armed transient fault here
      is recomputed from the (immutable) backtrace and database. *)
   Obs.Faultinject.fire "tracing.relaxed";
-  if C.row_engine () then run_rows ~revalidate ~env db sa bt
-  else run_cols ~revalidate ~env db sa bt
+  if C.row_engine () then run_rows ~revalidate ~sample_stride ~env db sa bt
+  else run_cols ~revalidate ~sample_stride ~env db sa bt

@@ -112,9 +112,18 @@ val interval_satisfies : Expr.cmp -> Value.t -> float * float -> bool
     technique: with [false], compatibility is checked at the table
     accesses only and the flag is merely propagated forward — the
     behaviour of prior lineage-based approaches, exposed as an ablation
-    (it admits false positives on nested data). *)
+    (it admits false positives on nested data).
+
+    [sample_stride] (default 1 = exact) re-validates only rows whose
+    global rid is a multiple of the stride; all other rows conservatively
+    read inconsistent.  Because both engines allocate identical
+    contiguous rid blocks, a sampled trace is still engine-identical.
+    Sampling makes the consistent set (and hence the explanations
+    derived from it) a 1-in-N subsample — callers must surface the
+    [1/stride] confidence. *)
 val run :
   ?revalidate:bool ->
+  ?sample_stride:int ->
   env:Typecheck.env ->
   Relation.Db.t ->
   Alternatives.sa ->

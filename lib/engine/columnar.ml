@@ -671,6 +671,15 @@ let gather t idx =
   note_rows_scanned (Array.length idx);
   { n = Array.length idx; row = col_gather t.row idx }
 
+(* Every index in [0, n) congruent to [offset] mod [stride] — the
+   sampling pattern of approximate tracing, where the congruence class is
+   fixed by the global row id of the batch's first row so both engines
+   pick the same rows. *)
+let stride_indices ~n ~offset ~stride =
+  if stride <= 1 then Array.init n Fun.id
+  else if offset >= n then [||]
+  else Array.init ((n - offset + stride - 1) / stride) (fun j -> offset + (j * stride))
+
 let filter t (mask : Bitv.t) =
   note_rows_scanned t.n;
   let idx = Bitv.indices mask in

@@ -120,6 +120,11 @@ val gather : t -> int array -> t
 val filter : t -> Bitv.t -> t
 val col_gather : col -> int array -> col
 
+(** [stride_indices ~n ~offset ~stride] — every index in [\[0, n)]
+    congruent to [offset] modulo [stride] ([stride <= 1] means all of
+    them).  The gather pattern of stride-sampled tracing scans. *)
+val stride_indices : n:int -> offset:int -> stride:int -> int array
+
 (** Row-wise tuple concatenation (raises like [Value.concat_tuples] on
     non-tuple rows). *)
 val hstack : t -> t -> t

@@ -61,6 +61,31 @@ let one_line ~source t =
   in
   Fmt.str "%s error%s: %s" (stage_to_string t.stage) where t.message
 
+let tab_width = 4
+
+(* Expand tabs at fixed [tab_width] stops so the caret line (spaces
+   only) aligns with the rendered source line regardless of the
+   terminal's tab stops. *)
+let expand_tabs line =
+  let b = Buffer.create (String.length line) in
+  String.iter
+    (fun c ->
+      if c = '\t' then
+        Buffer.add_string b
+          (String.make (tab_width - (Buffer.length b mod tab_width)) ' ')
+      else Buffer.add_char b c)
+    line;
+  Buffer.contents b
+
+(* Display width of [line]'s first [stop] bytes after tab expansion. *)
+let expanded_width line stop =
+  let w = ref 0 in
+  for i = 0 to stop - 1 do
+    if line.[i] = '\t' then w := !w + (tab_width - (!w mod tab_width))
+    else incr w
+  done;
+  !w
+
 let render ~source t =
   let b = Buffer.create 128 in
   Buffer.add_string b (one_line ~source t);
@@ -75,13 +100,17 @@ let render ~source t =
          to the end of the line (multi-line spans underline the first
          line only), at least one caret. *)
       let line_len = String.length line in
-      let start = p.col - 1 in
-      let start = if start > line_len then line_len else start in
-      let stop = start + (s.right - s.left) in
-      let stop = if stop > line_len then line_len else stop in
+      let start_b = p.col - 1 in
+      let start_b = if start_b > line_len then line_len else start_b in
+      let stop_b = start_b + (s.right - s.left) in
+      let stop_b = if stop_b > line_len then line_len else stop_b in
+      (* Caret columns are measured over the tab-expanded rendering, so
+         a tab before (or inside) the span cannot skew the underline. *)
+      let start = expanded_width line start_b in
+      let stop = expanded_width line stop_b in
       let width = if stop - start < 1 then 1 else stop - start in
       Buffer.add_string b
-        (Fmt.str "\n  %s | %s\n  %s | %s%s" lineno line gutter
+        (Fmt.str "\n  %s | %s\n  %s | %s%s" lineno (expand_tabs line) gutter
            (String.make start ' ') (String.make width '^')));
   (match t.hint with
   | None -> ()

@@ -117,6 +117,17 @@ let tokenize source =
             done
           end
         end;
+        (* Letters or underscores glued to the digits — OCaml-isms like
+           0x1F, 0b101, 1_000, or a typo like 12abc — would otherwise
+           silently lex as a number followed by an identifier.  Consume
+           the whole blob and reject it as one bad literal. *)
+        if !i < n && is_ident_char source.[!i] then begin
+          while !i < n && is_ident_char source.[!i] do
+            incr i
+          done;
+          err ~left:start ~right:!i "malformed number %S"
+            (String.sub source start (!i - start))
+        end;
         let text = String.sub source start (!i - start) in
         if !is_float then
           match float_of_string_opt text with

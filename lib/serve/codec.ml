@@ -31,12 +31,18 @@ let to_list = function
 
 let explanation_to_json (e : Whynot.Explanation.t) : Json.json =
   Json.J_object
-    [
-      ("ops", Json.J_array (List.map (fun i -> Json.J_int i) (Whynot.Explanation.op_list e)));
-      ("side_effect_lb", Json.J_int e.Whynot.Explanation.side_effect_lb);
-      ("side_effect_ub", Json.J_int e.Whynot.Explanation.side_effect_ub);
-      ("sa", Json.J_int e.Whynot.Explanation.sa);
-    ]
+    ([
+       ("ops", Json.J_array (List.map (fun i -> Json.J_int i) (Whynot.Explanation.op_list e)));
+       ("side_effect_lb", Json.J_int e.Whynot.Explanation.side_effect_lb);
+       ("side_effect_ub", Json.J_int e.Whynot.Explanation.side_effect_ub);
+       ("sa", Json.J_int e.Whynot.Explanation.sa);
+     ]
+    (* emitted only for sampled traces, so exact payloads are
+       byte-identical to the pre-approximation protocol *)
+    @
+    match e.Whynot.Explanation.confidence with
+    | None -> []
+    | Some c -> [ ("confidence", Json.J_float c) ])
 
 let explanation_of_json (j : Json.json) : Whynot.Explanation.t =
   let ops =
@@ -45,8 +51,16 @@ let explanation_of_json (j : Json.json) : Whynot.Explanation.t =
       Whynot.Explanation.Int_set.empty
       (to_list (member_exn "ops" j))
   in
+  let confidence =
+    match member "confidence" j with
+    | None -> None
+    | Some (Json.J_float f) -> Some f
+    | Some (Json.J_int n) -> Some (float_of_int n)
+    | Some j -> fail "expected a number \"confidence\", got %s" (Json.to_string j)
+  in
   Whynot.Explanation.make
     ~sa:(to_int (member_exn "sa" j))
+    ?confidence
     ~lb:(to_int (member_exn "side_effect_lb" j))
     ~ub:(to_int (member_exn "side_effect_ub" j))
     ops
@@ -79,8 +93,33 @@ let result_to_json ?(timings = true) (r : Whynot.Pipeline.result) : Json.json =
           ])
       r.Whynot.Pipeline.sas
   in
+  (* the approximation report rides only on budgeted/approximate runs —
+     an exact result's payload is unchanged *)
+  let approx_fields =
+    match r.Whynot.Pipeline.approx with
+    | None -> []
+    | Some a ->
+      [
+        ( "approx",
+          Json.J_object
+            ([
+               ("mode", Json.J_string a.Whynot.Approx.mode);
+               ("confidence", Json.J_float a.Whynot.Approx.confidence);
+               ("max_stride", Json.J_int a.Whynot.Approx.max_stride);
+               ("skipped_candidates", Json.J_int a.Whynot.Approx.skipped);
+             ]
+            @ (match a.Whynot.Approx.top_k with
+              | None -> []
+              | Some k -> [ ("top_k", Json.J_int k) ])
+            @
+            match a.Whynot.Approx.budget_ms with
+            | None -> []
+            | Some b -> [ ("budget_ms", Json.J_float b) ]) );
+      ]
+  in
   let base =
     [ ("explanations", Json.J_array ranked); ("sas", Json.J_array sas) ]
+    @ approx_fields
   in
   let timing_fields =
     if not timings then []

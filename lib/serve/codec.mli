@@ -8,7 +8,10 @@ exception Decode_error of string
 
 (** [{"ops": [ids...], "side_effect_lb": n, "side_effect_ub": n,
     "sa": n}] — every field of {!Whynot.Explanation.t}, so decoding
-    re-creates an equal value. *)
+    re-creates an equal value.  A sampled-trace explanation additionally
+    carries ["confidence"] (1/stride); exact explanations omit the field
+    so their encoding is byte-identical to the pre-approximation
+    protocol. *)
 val explanation_to_json : Whynot.Explanation.t -> Json.json
 
 (** Raises {!Decode_error} on shape mismatches. *)
@@ -24,7 +27,10 @@ val explanations_of_json : Json.json -> Whynot.Explanation.t list
     1-based ["rank"] and a paper-style ["pretty"] rendering resolved
     against the query), schema-alternative descriptions, and — unless
     [timings] is [false] — per-phase wall-clock milliseconds off the
-    span tree plus the total. *)
+    span tree plus the total.  A budgeted/approximate run additionally
+    carries an ["approx"] object (mode, confidence, max_stride,
+    skipped_candidates, and the top_k/budget_ms knobs in force); exact
+    runs omit it. *)
 val result_to_json : ?timings:bool -> Whynot.Pipeline.result -> Json.json
 
 (** Decode the explanation list back out of a {!result_to_json} payload

@@ -170,14 +170,44 @@ let query q = mix_query fnv_offset q
 let nip p = mix_nip fnv_offset p
 let alternatives a = mix_alternatives fnv_offset a
 
-type options = { use_sas : bool; max_sas : int; revalidate : bool }
+type options = {
+  use_sas : bool;
+  max_sas : int;
+  revalidate : bool;
+  sample_stride : int option;
+  top_k : int option;
+  budget_ms : float option;
+}
 
-let default_options = { use_sas = true; max_sas = 16; revalidate = true }
+let default_options =
+  {
+    use_sas = true;
+    max_sas = 16;
+    revalidate = true;
+    sample_stride = None;
+    top_k = None;
+    budget_ms = None;
+  }
+
+(* Options absent (the exact path) mix a sentinel distinct from every
+   present value, so an exact entry can never alias an approximate one —
+   and vice versa — even for degenerate knob values. *)
+let mix_int_opt h = function
+  | None -> mix_int h (-1)
+  | Some v -> mix_int (mix_int h 1) v
+
+let mix_float_opt h = function
+  | None -> mix_int h (-1)
+  | Some v -> mix_int64 (mix_int h 1) (Int64.bits_of_float v)
 
 let options o =
-  mix_int
-    (mix_int (mix_int fnv_offset (Bool.to_int o.use_sas)) o.max_sas)
-    (Bool.to_int o.revalidate)
+  let h =
+    mix_int
+      (mix_int (mix_int fnv_offset (Bool.to_int o.use_sas)) o.max_sas)
+      (Bool.to_int o.revalidate)
+  in
+  mix_float_opt (mix_int_opt (mix_int_opt h o.sample_stride) o.top_k)
+    o.budget_ms
 
 let combine hs = List.fold_left mix_int64 fnv_offset hs
 

@@ -27,8 +27,18 @@ val alternatives : Whynot.Alternatives.alternatives -> int64
 
 (** The explain options that affect the {e result} (and therefore belong
     in the cache key).  [parallel] is deliberately absent: the parallel
-    pipeline is byte-identical to the sequential one. *)
-type options = { use_sas : bool; max_sas : int; revalidate : bool }
+    pipeline is byte-identical to the sequential one.  The approximation
+    knobs ([sample_stride], [top_k], [budget_ms]) {e are} present — an
+    approximate result must never be served from (or alias) an exact
+    cache entry; [None] mixes a sentinel distinct from every [Some]. *)
+type options = {
+  use_sas : bool;
+  max_sas : int;
+  revalidate : bool;
+  sample_stride : int option;
+  top_k : int option;
+  budget_ms : float option;
+}
 
 val default_options : options
 val options : options -> int64

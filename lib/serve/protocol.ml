@@ -11,10 +11,19 @@ type explain_options = {
   max_sas : int;
   revalidate : bool;
   parallel : bool;
+  sample_stride : int option;
+  top_k : int option;
 }
 
 let default_options =
-  { use_sas = true; max_sas = 16; revalidate = true; parallel = false }
+  {
+    use_sas = true;
+    max_sas = 16;
+    revalidate = true;
+    parallel = false;
+    sample_stride = None;
+    top_k = None;
+  }
 
 type query_text = [ `Ast of Query.t | `Sql of string ]
 
@@ -29,6 +38,7 @@ type request =
       pattern : Whynot.Nip.t option;
       options : explain_options;
       deadline_ms : float option;
+      budget_ms : float option;
     }
   | Parse of {
       dataset : string;
@@ -87,6 +97,12 @@ let get_float_opt name j =
   | Some _ -> bad "field %S must be a number" name
   | None -> None
 
+let get_int_opt name j =
+  match member name j with
+  | Some (Json.J_int n) -> Some n
+  | Some _ -> bad "field %S must be an integer" name
+  | None -> None
+
 let required_string name j =
   match get_string name j with
   | Some s -> s
@@ -115,12 +131,18 @@ let parse_pattern j =
     with Whynot.Nip_syntax.Parse_error m | Sexp.Parse_error m ->
       bad "cannot parse \"whynot\": %s" m)
 
+let positive name = function
+  | Some n when n < 1 -> bad "field %S must be >= 1" name
+  | v -> v
+
 let parse_options j =
   {
     use_sas = get_bool ~default:default_options.use_sas "use_sas" j;
     max_sas = get_int ~default:default_options.max_sas "max_sas" j;
     revalidate = get_bool ~default:default_options.revalidate "revalidate" j;
     parallel = get_bool ~default:default_options.parallel "parallel" j;
+    sample_stride = positive "sample_stride" (get_int_opt "sample_stride" j);
+    top_k = positive "top_k" (get_int_opt "top_k" j);
   }
 
 let request_of_json (j : Json.json) : (request, string) result =
@@ -148,6 +170,7 @@ let request_of_json (j : Json.json) : (request, string) result =
              pattern = parse_pattern j;
              options = parse_options j;
              deadline_ms = get_float_opt "deadline_ms" j;
+             budget_ms = get_float_opt "budget_ms" j;
            })
     | Some "parse" ->
       let query = get_string "query" j and pattern = get_string "whynot" j in
@@ -279,7 +302,7 @@ type response =
     }
   | Stats_reply of (string * Json.json) list
   | Telemetry_reply of { format : [ `Prometheus | `Json ]; metrics : Json.json }
-  | Evicted of { datasets : int; cache_entries : int }
+  | Evicted of { datasets : int; cache_entries : int; queries : int }
   | Error of {
       code : error_code;
       message : string;
@@ -331,13 +354,14 @@ let response_to_json = function
             (match format with `Prometheus -> "prometheus" | `Json -> "json") );
         ("metrics", metrics);
       ]
-  | Evicted { datasets; cache_entries } ->
+  | Evicted { datasets; cache_entries; queries } ->
     Json.J_object
       [
         ("ok", Json.J_bool true);
         ("type", Json.J_string "evicted");
         ("datasets", Json.J_int datasets);
         ("cache_entries", Json.J_int cache_entries);
+        ("queries", Json.J_int queries);
       ]
   | Parsed { dataset; sql; sexp; fingerprint; output_type; pattern } ->
     let opt name = function

@@ -14,7 +14,11 @@
        "whynot":"(...)","use_sas":true,"max_sas":16,"revalidate":true,
        "deadline_ms":500}] — [query]/[whynot] default to the scenario's
       own question; ["query_name":"..."] (exclusive with [query]) runs a
-      query previously stored with [register_query]
+      query previously stored with [register_query].  Optional
+      approximation knobs: ["budget_ms"] (degrade precision as the
+      wall-clock budget burns), ["sample_stride"] (1-in-N sampled
+      tracing), ["top_k"] (keep only the k best explanations) — any of
+      them makes the response carry an ["approx"] report
     - [{"op":"parse","dataset":"D1","query":"SELECT ...","whynot":"(...)"}]
       — compile and typecheck against the dataset's schema without
       running anything; returns the canonical SQL, the s-expression
@@ -51,6 +55,12 @@ type explain_options = {
   max_sas : int;
   revalidate : bool;
   parallel : bool;  (** affects scheduling only, never the result *)
+  sample_stride : int option;
+      (** force 1-in-N sampled tracing (≥ 1); result-affecting, so part
+          of the explanation-cache key *)
+  top_k : int option;
+      (** keep only the k best-ranked explanations (≥ 1);
+          result-affecting, so part of the explanation-cache key *)
 }
 
 val default_options : explain_options
@@ -71,6 +81,11 @@ type request =
       pattern : Whynot.Nip.t option;
       options : explain_options;
       deadline_ms : float option;
+      budget_ms : float option;
+          (** wall-clock approximation budget: the run degrades
+              exact → sampled → top-k-only as it burns (it never aborts —
+              that is [deadline_ms]'s job); result-affecting, so part of
+              the explanation-cache key *)
     }
   | Parse of {
       dataset : string;
@@ -167,7 +182,11 @@ type response =
           (** Prometheus: a [J_string] holding the text exposition;
               JSON: the {!Obs.Export.json} object *)
     }
-  | Evicted of { datasets : int; cache_entries : int }
+  | Evicted of {
+      datasets : int;
+      cache_entries : int;
+      queries : int;  (** registered queries dropped with the dataset *)
+    }
   | Error of {
       code : error_code;
       message : string;

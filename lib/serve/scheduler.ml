@@ -101,7 +101,7 @@ let queue_capacity (t : t) = t.capacity
 let set_depth_gauge (t : t) =
   Obs.Metrics.Gauge.set (Lazy.force depth_gauge) (float_of_int t.depth)
 
-let submit t ?deadline_ms (f : Whynot.Cancel.t -> 'a) :
+let submit t ?deadline_ms ?budget (f : Whynot.Cancel.t -> 'a) :
     ('a ticket, error) result =
   let deadline_ms =
     match deadline_ms with Some _ as d -> d | None -> t.default_deadline_ms
@@ -128,7 +128,12 @@ let submit t ?deadline_ms (f : Whynot.Cancel.t -> 'a) :
         [ Obs.Log.int "depth" (t.depth); Obs.Log.int "capacity" t.capacity ]);
     let admitted_ns = Obs.Clock.now_ns () in
     (* the execution budget is anchored at admission, so time spent
-       queued behind other requests counts against it *)
+       queued behind other requests counts against it — and so is the
+       approximation budget: a request that waited long degrades the
+       same way one that ran slowly does *)
+    Option.iter
+      (fun b -> Whynot.Approx.rebase b ~from_ns:admitted_ns)
+      budget;
     let cancel =
       match deadline_ms with
       | Some budget -> Whynot.Cancel.with_deadline_ms ~from_ns:admitted_ns budget
@@ -207,8 +212,8 @@ let submit t ?deadline_ms (f : Whynot.Cancel.t -> 'a) :
 
 let await (ticket : 'a ticket) : ('a, error) result = Engine.Pool.await ticket
 
-let run t ?deadline_ms f =
-  match submit t ?deadline_ms f with
+let run t ?deadline_ms ?budget f =
+  match submit t ?deadline_ms ?budget f with
   | Error e -> Error e
   | Ok ticket -> await ticket
 

@@ -61,9 +61,17 @@ type 'a ticket
 (** Admit a job or reject it with {!Overloaded}.  The job receives the
     request's cancellation token (never-cancellable when the request has
     no deadline) — thread it into {!Whynot.Pipeline.prepare} /
-    {!Whynot.Pipeline.explain_with} to make the run preemptible. *)
+    {!Whynot.Pipeline.explain_with} to make the run preemptible.
+    [?budget] is an approximation budget ({!Whynot.Approx.t}) to
+    re-anchor at admission: queue wait burns it exactly like it burns
+    the deadline, so a long-queued budgeted request starts already
+    degraded rather than blowing its latency target. *)
 val submit :
-  t -> ?deadline_ms:float -> (Whynot.Cancel.t -> 'a) -> ('a ticket, error) result
+  t ->
+  ?deadline_ms:float ->
+  ?budget:Whynot.Approx.t ->
+  (Whynot.Cancel.t -> 'a) ->
+  ('a ticket, error) result
 
 (** Wait for the outcome (helping with pool work — see
     {!Engine.Pool.await}).  Re-raises the job's own exception if it
@@ -74,7 +82,11 @@ val await : 'a ticket -> ('a, error) result
 
 (** [submit] + [await]. *)
 val run :
-  t -> ?deadline_ms:float -> (Whynot.Cancel.t -> 'a) -> ('a, error) result
+  t ->
+  ?deadline_ms:float ->
+  ?budget:Whynot.Approx.t ->
+  (Whynot.Cancel.t -> 'a) ->
+  ('a, error) result
 
 (** Requests currently queued or running. *)
 val depth : t -> int

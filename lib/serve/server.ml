@@ -249,12 +249,21 @@ let compile_pattern text output_type :
                 (Fmt.str "pattern does not fit the query's output type: %s"
                    msg)))))
 
-let fp_options (o : Protocol.explain_options) : Fingerprint.options =
+let fp_options (o : Protocol.explain_options) ~budget_ms : Fingerprint.options =
   {
     Fingerprint.use_sas = o.Protocol.use_sas;
     max_sas = o.Protocol.max_sas;
     revalidate = o.Protocol.revalidate;
+    sample_stride = o.Protocol.sample_stride;
+    top_k = o.Protocol.top_k;
+    budget_ms;
   }
+
+(* The prepared handle is approximation-independent (sampling and top-k
+   happen in the per-SA phases, after prepare), so the handle key clears
+   the approx knobs: every budget variant of a query shares one handle. *)
+let handle_options (fpo : Fingerprint.options) : Fingerprint.options =
+  { fpo with Fingerprint.sample_stride = None; top_k = None; budget_ms = None }
 
 (* -- request handlers ---------------------------------------------------- *)
 
@@ -289,7 +298,7 @@ let handle_register t ~dataset ~scale ~seed ~refresh : Protocol.response =
    the pipeline, [None] for cache hits, coalesced followers, and
    errors. *)
 let handle_explain t ~dataset ~scale ~seed ~query ~query_name ~pattern
-    ~(options : Protocol.explain_options) ~deadline_ms :
+    ~(options : Protocol.explain_options) ~deadline_ms ~budget_ms :
     Protocol.response * ((string * float) list * int) option =
   match Catalog.find t.catalog ~seed ~name:dataset ~scale () with
   | None ->
@@ -344,7 +353,7 @@ let handle_explain t ~dataset ~scale ~seed ~query ~query_name ~pattern
     | Ok () ->
       let dskey = dataset_key entry.Catalog.key in
       let version = entry.Catalog.version in
-      let fpo = fp_options options in
+      let fpo = fp_options options ~budget_ms in
       let prefix = dataset_prefix entry.Catalog.key in
       let ekey =
         prefix
@@ -363,12 +372,25 @@ let handle_explain t ~dataset ~scale ~seed ~query ~query_name ~pattern
            computation.  The leader re-checks the cache (its miss may be
            stale by the time it wins leadership), then schedules the
            pipeline; followers just wait for the leader's outcome. *)
+        (* The approximation budget starts burning now; Scheduler.submit
+           re-anchors it at admission so queue wait counts against it. *)
+        let approx_cfg =
+          {
+            Whynot.Approx.budget_ms;
+            sample_stride = options.Protocol.sample_stride;
+            top_k = options.Protocol.top_k;
+          }
+        in
+        let budget =
+          if Whynot.Approx.is_exact approx_cfg then None
+          else Some (Whynot.Approx.start approx_cfg)
+        in
         let job (cancel : Whynot.Cancel.t) =
           Obs.Faultinject.fire "server.explain";
           let hkey =
             prefix
-            ^ Fingerprint.prepare_key ~dataset:dskey ~version ~options:fpo
-                ~alternatives q
+            ^ Fingerprint.prepare_key ~dataset:dskey ~version
+                ~options:(handle_options fpo) ~alternatives q
           in
           let handle, reused_handle =
             match Cache.find t.handle_cache hkey with
@@ -400,7 +422,7 @@ let handle_explain t ~dataset ~scale ~seed ~query ~query_name ~pattern
               | Inflight.Leader, Ok (h, fresh) -> (h, not fresh))
           in
           let result =
-            Whynot.Pipeline.explain_with
+            Whynot.Pipeline.explain_with ?approx:budget
               ~revalidate:options.Protocol.revalidate
               ~parallel:(options.Protocol.parallel || t.cfg.parallel)
               ~cancel
@@ -429,7 +451,7 @@ let handle_explain t ~dataset ~scale ~seed ~query ~query_name ~pattern
           Inflight.run t.explain_flight ekey (fun () ->
               match Cache.find t.explain_cache ekey with
               | Some payload -> Ok (payload, `Hit, None)
-              | None -> Scheduler.run t.scheduler ?deadline_ms job)
+              | None -> Scheduler.run t.scheduler ?deadline_ms ?budget job)
         in
         (* A coalesced request names whose execution it rode — the one
            cross-trace edge a per-trace grep cannot see on its own. *)
@@ -670,12 +692,12 @@ let handle_stats t : Protocol.response =
     ]
 
 let handle_evict t ~dataset ~scale ~seed ~cache : Protocol.response =
-  let datasets, dropped_for_dataset =
+  let datasets, dropped_for_dataset, dropped_queries =
     match dataset with
-    | None -> (0, 0)
+    | None -> (0, 0, 0)
     | Some name -> (
       match Catalog.find t.catalog ~seed ~name ~scale () with
-      | None -> (0, 0)
+      | None -> (0, 0, 0)
       | Some entry ->
         let prefix = dataset_prefix entry.Catalog.key in
         let matches k = String.starts_with ~prefix k in
@@ -683,15 +705,31 @@ let handle_evict t ~dataset ~scale ~seed ~cache : Protocol.response =
           Cache.invalidate t.explain_cache matches
           + Cache.invalidate t.handle_cache matches
         in
+        (* Registered queries live under the same dataset prefix; drop
+           them with the dataset, or a later re-register of the same
+           name would silently answer explains with queries compiled
+           against the evicted instance. *)
+        Mutex.lock t.qmutex;
+        let stale =
+          Hashtbl.fold
+            (fun k _ acc -> if matches k then k :: acc else acc)
+            t.queries []
+        in
+        List.iter (Hashtbl.remove t.queries) stale;
+        Mutex.unlock t.qmutex;
         let removed = Catalog.evict t.catalog ~seed ~name ~scale () in
-        ((if removed then 1 else 0), dropped))
+        ((if removed then 1 else 0), dropped, List.length stale))
   in
   let dropped_for_cache =
     if cache then Cache.clear t.explain_cache + Cache.clear t.handle_cache
     else 0
   in
   Protocol.Evicted
-    { datasets; cache_entries = dropped_for_dataset + dropped_for_cache }
+    {
+      datasets;
+      cache_entries = dropped_for_dataset + dropped_for_cache;
+      queries = dropped_queries;
+    }
 
 let handle_telemetry (format : [ `Prometheus | `Json ]) : Protocol.response =
   let metrics =
@@ -732,10 +770,19 @@ let dispatch t (req : Protocol.request) :
     | Protocol.Register { dataset; scale; seed; refresh } ->
       (handle_register t ~dataset ~scale ~seed ~refresh, None)
     | Protocol.Explain
-        { dataset; scale; seed; query; query_name; pattern; options; deadline_ms }
-      ->
+        {
+          dataset;
+          scale;
+          seed;
+          query;
+          query_name;
+          pattern;
+          options;
+          deadline_ms;
+          budget_ms;
+        } ->
       handle_explain t ~dataset ~scale ~seed ~query ~query_name ~pattern
-        ~options ~deadline_ms
+        ~options ~deadline_ms ~budget_ms
     | Protocol.Parse { dataset; scale; seed; query; pattern } ->
       (handle_parse t ~dataset ~scale ~seed ~query ~pattern, None)
     | Protocol.Register_query { name; dataset; scale; seed; query; pattern } ->

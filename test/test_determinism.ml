@@ -33,14 +33,25 @@ let test_scenario (s : Scenarios.Scenario.t) () =
         Fmt.str "%a" Nested.Relation.pp rel)
   in
   Alcotest.(check string) "query result byte-identical" (eval true) (eval false);
-  let explain row =
+  let explain ?approx row =
     with_engine row (fun () ->
         render_explanations q
-          (Whynot.Pipeline.explain
+          (Whynot.Pipeline.explain ?approx
              ~alternatives:inst.Scenarios.Scenario.alternatives phi))
   in
   Alcotest.(check string) "explanations byte-identical" (explain true)
+    (explain false);
+  (* an untriggered budget must not perturb the run on either engine *)
+  let unlimited () =
+    Whynot.Approx.start
+      { Whynot.Approx.exact with Whynot.Approx.budget_ms = Some 3.6e6 }
+  in
+  Alcotest.(check string) "no-budget run unchanged by an unlimited budget"
     (explain false)
+    (explain ~approx:(unlimited ()) false);
+  Alcotest.(check string) "budgeted runs byte-identical across engines"
+    (explain ~approx:(unlimited ()) true)
+    (explain ~approx:(unlimited ()) false)
 
 let cases =
   List.map

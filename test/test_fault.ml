@@ -344,6 +344,7 @@ let test_server_explain_retries_transparently () =
            pattern = None;
            options = Serve.Protocol.default_options;
            deadline_ms = None;
+           budget_ms = None;
          })
   in
   Obs.Faultinject.reset ();

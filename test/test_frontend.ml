@@ -454,6 +454,41 @@ let test_diagnostics () =
     \    | ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^\n\
     \  hint: project both sides to the same attributes in the same order"
 
+(* OCaml-isms glued to digits (0x1F, 0b101, 1_000) must be rejected as
+   one bad literal, not silently split into a number followed by an
+   identifier. *)
+let test_malformed_numbers () =
+  check_diag ~name:"hex literal"
+    "SELECT name FROM people WHERE age = 0x1F"
+    "lex error at 1:37: malformed number \"0x1F\"\n\
+    \  1 | SELECT name FROM people WHERE age = 0x1F\n\
+    \    |                                     ^^^^";
+  check_diag ~name:"binary literal"
+    "SELECT name FROM people WHERE age = 0b101"
+    "lex error at 1:37: malformed number \"0b101\"\n\
+    \  1 | SELECT name FROM people WHERE age = 0b101\n\
+    \    |                                     ^^^^^";
+  check_diag ~name:"underscore separator"
+    "SELECT name FROM people WHERE age = 1_000"
+    "lex error at 1:37: malformed number \"1_000\"\n\
+    \  1 | SELECT name FROM people WHERE age = 1_000\n\
+    \    |                                     ^^^^^";
+  check_diag ~name:"trailing junk on a float"
+    "SELECT name FROM people WHERE score = 1.5x"
+    "lex error at 1:39: malformed number \"1.5x\"\n\
+    \  1 | SELECT name FROM people WHERE score = 1.5x\n\
+    \    |                                       ^^^^"
+
+(* A tab before the error span: the snippet expands tabs (width 4) and
+   measures the carets over the expanded line, so they stay under the
+   offending token. *)
+let test_tab_expansion () =
+  check_diag ~name:"tab before the span"
+    "SELECT name\nFROM people\nWHERE\tage = 0x1F"
+    "lex error at 3:13: malformed number \"0x1F\"\n\
+    \  3 | WHERE   age = 0x1F\n\
+    \    |               ^^^^"
+
 (* --- forestry scenarios: SQL-defined family ------------------------- *)
 
 let find_scenario name =
@@ -552,6 +587,8 @@ let () =
       ( "diagnostics",
         [
           Alcotest.test_case "golden" `Quick test_diagnostics;
+          Alcotest.test_case "malformed-numbers" `Quick test_malformed_numbers;
+          Alcotest.test_case "tab-expansion" `Quick test_tab_expansion;
           Alcotest.test_case "nip-patterns" `Quick test_nip_diagnostics;
         ] );
     ]

@@ -570,6 +570,7 @@ let test_server_cache_hit_is_byte_identical () =
            pattern = None;
            options = Serve.Protocol.default_options;
            deadline_ms = None;
+           budget_ms = None;
          })
   in
   let r1 = expect_ok "explain#1" (explain ()) in
@@ -610,6 +611,7 @@ let test_server_handle_reuse_across_patterns () =
            pattern;
            options = Serve.Protocol.default_options;
            deadline_ms = None;
+           budget_ms = None;
          })
   in
   (match expect_ok "pattern A" (explain None) with
@@ -652,6 +654,7 @@ let test_server_refresh_invalidates () =
            pattern = None;
            options = Serve.Protocol.default_options;
            deadline_ms = None;
+           budget_ms = None;
          })
   in
   (match expect_ok "cold" (explain ()) with
@@ -678,6 +681,7 @@ let test_server_typed_errors () =
             pattern = None;
             options = Serve.Protocol.default_options;
             deadline_ms = None;
+            budget_ms = None;
           })
    with
   | Serve.Protocol.Error { code = Serve.Protocol.Not_found; _ } -> ()
@@ -717,6 +721,7 @@ let explain_via srv ~dataset ?query ?query_name () =
          pattern = None;
          options = Serve.Protocol.default_options;
          deadline_ms = None;
+         budget_ms = None;
        })
 
 let register_query srv ~dataset ~name ~query ~pattern =
@@ -880,6 +885,97 @@ let test_wire_stored_pattern_defaults () =
   | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
   | _ -> Alcotest.fail "expected explained"
 
+let test_wire_query_eviction () =
+  let srv = Serve.Server.create ~config:quiet_config () in
+  register_dataset srv "RE";
+  (match
+     register_query srv ~dataset:"RE" ~name:"Top" ~query:re_sql ~pattern:None
+   with
+  | Serve.Protocol.Query_registered { replaced = false; _ } -> ()
+  | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
+  | _ -> Alcotest.fail "expected query_registered");
+  (* case-insensitive lookup: the stored "Top" answers as "TOP" *)
+  (match explain_via srv ~dataset:"RE" ~query_name:"TOP" () with
+  | Serve.Protocol.Explained _ -> ()
+  | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
+  | _ -> Alcotest.fail "expected explained");
+  (* evicting the dataset must drop its registered queries too *)
+  (match
+     Serve.Server.handle_request srv
+       (Serve.Protocol.Evict
+          { dataset = Some "RE"; scale = 1; seed = 0; cache = false })
+   with
+  | Serve.Protocol.Evicted { datasets; queries; _ } ->
+    Alcotest.(check int) "one dataset evicted" 1 datasets;
+    Alcotest.(check int) "its query dropped with it" 1 queries
+  | _ -> Alcotest.fail "expected evicted");
+  register_dataset srv "RE";
+  (* the dataset is back but the stale query must not be *)
+  (match explain_via srv ~dataset:"RE" ~query_name:"Top" () with
+  | Serve.Protocol.Error { code = Serve.Protocol.Not_found; _ } -> ()
+  | _ -> Alcotest.fail "evicted query must be not_found after re-register");
+  (* re-registering is a fresh insert, not a replacement *)
+  match
+    register_query srv ~dataset:"RE" ~name:"Top" ~query:re_sql ~pattern:None
+  with
+  | Serve.Protocol.Query_registered { replaced; _ } ->
+    Alcotest.(check bool) "registry was really empty" false replaced;
+    (match explain_via srv ~dataset:"RE" ~query_name:"top" () with
+    | Serve.Protocol.Explained _ -> ()
+    | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
+    | _ -> Alcotest.fail "expected explained")
+  | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
+  | _ -> Alcotest.fail "expected query_registered"
+
+let test_server_approx_no_alias () =
+  let srv = Serve.Server.create ~config:quiet_config () in
+  register_dataset srv "RE";
+  let explain options =
+    Serve.Server.handle_request srv
+      (Serve.Protocol.Explain
+         {
+           dataset = "RE";
+           scale = 1;
+           seed = 0;
+           query = None;
+           query_name = None;
+           pattern = None;
+           options;
+           deadline_ms = None;
+           budget_ms = None;
+         })
+  in
+  let has_approx j =
+    match j with
+    | Nested.Json.J_object fields -> List.mem_assoc "approx" fields
+    | _ -> false
+  in
+  let exact =
+    match expect_ok "exact" (explain Serve.Protocol.default_options) with
+    | Serve.Protocol.Explained { cache = `Miss; result; _ } ->
+      Alcotest.(check bool) "exact payload has no approx report" false
+        (has_approx result);
+      Nested.Json.to_line result
+    | _ -> Alcotest.fail "expected a miss"
+  in
+  let sampled_options =
+    { Serve.Protocol.default_options with sample_stride = Some 2 }
+  in
+  (* a sampled request must never be served from the exact cache entry *)
+  (match expect_ok "sampled" (explain sampled_options) with
+  | Serve.Protocol.Explained { cache = `Hit; _ } ->
+    Alcotest.fail "sampled explain aliased the exact cache entry"
+  | Serve.Protocol.Explained { cache = _; result; _ } ->
+    Alcotest.(check bool) "sampled payload carries the approx report" true
+      (has_approx result)
+  | _ -> Alcotest.fail "expected explained");
+  (* and the exact entry is still there, byte-identical *)
+  match expect_ok "exact again" (explain Serve.Protocol.default_options) with
+  | Serve.Protocol.Explained { cache = `Hit; result; _ } ->
+    Alcotest.(check string) "exact entry untouched" exact
+      (Nested.Json.to_line result)
+  | _ -> Alcotest.fail "expected the exact entry to still hit"
+
 let test_server_line_session () =
   (* the line-level entry point the transports share *)
   let srv = Serve.Server.create ~config:quiet_config () in
@@ -924,6 +1020,7 @@ let explain_request ?deadline_ms () =
       pattern = None;
       options = Serve.Protocol.default_options;
       deadline_ms;
+      budget_ms = None;
     }
 
 let register_re srv =
@@ -1280,6 +1377,8 @@ let () =
           Alcotest.test_case "refresh invalidates" `Quick
             test_server_refresh_invalidates;
           Alcotest.test_case "typed errors" `Quick test_server_typed_errors;
+          Alcotest.test_case "approx options do not alias" `Quick
+            test_server_approx_no_alias;
           Alcotest.test_case "line session" `Quick test_server_line_session;
         ] );
       ( "frontend",
@@ -1293,6 +1392,7 @@ let () =
             test_wire_register_query_lifecycle;
           Alcotest.test_case "stored pattern defaults" `Quick
             test_wire_stored_pattern_defaults;
+          Alcotest.test_case "query eviction" `Quick test_wire_query_eviction;
         ] );
       ( "robustness",
         [

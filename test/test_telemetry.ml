@@ -53,6 +53,7 @@ let explain_request ?deadline_ms () =
       pattern = None;
       options = Serve.Protocol.default_options;
       deadline_ms;
+      budget_ms = None;
     }
 
 (* --- trace propagation ------------------------------------------------- *)
@@ -440,6 +441,7 @@ let test_slow_query_and_slo () =
             pattern = None;
             options = Serve.Protocol.default_options;
             deadline_ms = None;
+            budget_ms = None;
           })
    with
   | Serve.Protocol.Error { code = Serve.Protocol.Not_found; _ } -> ()
