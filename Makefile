@@ -2,7 +2,7 @@
 # server, bench, examples) and runs the full test suite, then a
 # smallest-scale pass over every bench family (the harness itself is
 # code that can rot).  Run before every merge.
-.PHONY: verify build test fuzz bench-smoke bench-columnar bench-chaos bench-obs bench-approx
+.PHONY: verify build test fuzz bench-smoke bench-columnar bench-chaos bench-obs bench-approx bench-recover
 
 verify:
 	dune build @all && dune runtest && $(MAKE) bench-smoke
@@ -34,6 +34,14 @@ bench-columnar:
 # at scales 32-256); writes the committed baseline for the approx PR.
 bench-approx:
 	dune exec bench/main.exe -- approx -json BENCH_PR9.json
+
+# Stage-recovery acceptance run: checkpoint restore vs full lineage
+# recompute, plus pipeline cost under a spill watermark; writes the
+# committed baseline for the recovery PR.  (The bench-smoke rung above
+# already runs this family at the smallest scale, which doubles as the
+# spill smoke: explanations under a starvation watermark must match.)
+bench-recover:
+	dune exec bench/main.exe -- recover -json BENCH_PR10.json
 
 # Gated chaos measurement (arms process-global fault sites, so it never
 # runs as part of the default bench sweep).

@@ -195,6 +195,30 @@ let approx_records : approx_record list ref = ref []
 let add_approx r =
   if !json_file <> "" then approx_records := r :: !approx_records
 
+(* Records of the [recover] target — stage-recovery numbers: restoring a
+   lost shuffle partition from its barrier checkpoint (a file read) vs
+   the fallback when the file is gone (replay the full upstream lineage
+   through the recompute closure), plus the explanation-pipeline cost of
+   running under a starvation-level spill watermark. *)
+type recover_record = {
+  rscenario : string;
+  rscale : int;
+  rrows : int;
+  rckpt_ms : float;  (* restore one lost partition from its checkpoint *)
+  rsrc_ms : float;  (* same restore with the file gone: full recompute *)
+  rspeedup : float;  (* src / ckpt *)
+  rplain_rp_ms : float;
+  rspill_rp_ms : float;
+  rspill_pct : float;
+  rspill_batches : int;
+  ridentical : bool;
+}
+
+let recover_records : recover_record list ref = ref []
+
+let add_recover r =
+  if !json_file <> "" then recover_records := r :: !recover_records
+
 let write_json () =
   if !json_file <> "" then begin
     let oc = open_out !json_file in
@@ -309,6 +333,23 @@ let write_json () =
         (String.concat ",\n" (List.rev_map approx_rec !approx_records));
       output_string oc "\n  ]"
     end;
+    if !recover_records <> [] then begin
+      let recover_rec r =
+        Fmt.str
+          "    {\"scenario\": %S, \"scale\": %d, \"rows\": %d, \
+           \"checkpoint_restore_ms\": %.3f, \"source_recompute_ms\": %.3f, \
+           \"speedup\": %.2f, \"plain_rp_ms\": %.3f, \"spill_rp_ms\": %.3f, \
+           \"spill_overhead_pct\": %.2f, \"spill_batches\": %d, \
+           \"identical\": %b}"
+          r.rscenario r.rscale r.rrows r.rckpt_ms r.rsrc_ms r.rspeedup
+          r.rplain_rp_ms r.rspill_rp_ms r.rspill_pct r.rspill_batches
+          r.ridentical
+      in
+      output_string oc ",\n  \"recover\": [\n";
+      output_string oc
+        (String.concat ",\n" (List.rev_map recover_rec !recover_records));
+      output_string oc "\n  ]"
+    end;
     if !chaos_records <> [] then begin
       let chaos_rec r =
         Fmt.str
@@ -329,7 +370,7 @@ let write_json () =
     Fmt.pr "@.json summary written to %s (%d records)@." !json_file
       (List.length !json_records + List.length !serve_records
       + List.length !chaos_records + List.length !obs_records
-      + List.length !approx_records)
+      + List.length !approx_records + List.length !recover_records)
   end
 
 let scenario name = Option.get (Scenarios.Registry.find name)
@@ -1314,15 +1355,198 @@ let bench_approx ?(scales = [ 32; 64; 128; 256 ]) ?(stride = 8)
         scales)
     [ "D1"; "D3"; "T2" ]
 
+(* --- Recover: checkpoint restore vs lineage recompute, spill cost ---------
+
+   Two claims, two column groups per scenario:
+   - restore: lose one materialized shuffle output partition and restore
+     it.  With the barrier checkpoint on disk the restore is one framed
+     file read; with the file gone (executor disk lost) the same fetch
+     fails its open, is counted corrupt, and falls back to the lineage
+     closure — a full re-shuffle of the upstream input.  Lineage
+     truncation is exactly the gap between those two columns.
+   - spill: the full explanation pipeline under a 4 KiB memory watermark
+     (every intermediate spilled to disk and restored on access) vs
+     resident, with byte-identical explanation sets required. *)
+
+let bench_recover ?(scale = 4) ?(replicate = 20_000) () =
+  Fmt.pr "@.== Recover: checkpoint restore vs lineage recompute (scale %d) ==@."
+    scale;
+  Fmt.pr "%-6s %-8s %-10s %-10s %-8s %-10s %-10s %-8s %-9s@." "scen" "rows"
+    "ckpt ms" "src ms" "speedup" "RP ms" "RP+spill" "spill%" "identical";
+  let base = Filename.temp_file "whynot-bench-recover" "" in
+  Sys.remove base;
+  Unix.mkdir base 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.Checkpoint.sweep ();
+      try Unix.rmdir base with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let reps = 5 in
+  let median times =
+    Array.sort compare times;
+    times.(Array.length times / 2)
+  in
+  let clear_checkpoint_files () =
+    match Engine.Checkpoint.run_dir () with
+    | None -> ()
+    | Some dir ->
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".ckpt" then
+            try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir)
+  in
+  List.iter
+    (fun name ->
+      let inst = instance ~scale (scenario name) in
+      let phi = inst.Scenarios.Scenario.question in
+      (* the shuffle input: the scenario's largest base table (a
+         homogeneous batch, as real shuffle outputs are — mixing tables
+         would force the boxed-value codec fallback), replicated to a
+         workload where restore cost is measurable *)
+      let rows_of rel =
+        match Nested.Relation.data rel with
+        | Nested.Value.Bag items ->
+          List.concat_map (fun (v, m) -> List.init m (fun _ -> v)) items
+        | v -> [ v ]
+      in
+      let base_rows =
+        List.fold_left
+          (fun best (_, rel) ->
+            let rs = rows_of rel in
+            if List.length rs > List.length best then rs else best)
+          []
+          (Nested.Relation.Db.tables phi.Whynot.Question.db)
+      in
+      let copies = max 1 (replicate / max 1 (List.length base_rows)) in
+      let rows =
+        List.concat (List.init copies (fun _ -> base_rows))
+      in
+      let nrows = List.length rows in
+      let parts = max 16 !partitions in
+      let key_of v = Nested.Value.Int (Hashtbl.hash v land 0xff) in
+      let ckpt_ms, src_ms =
+        Engine.Checkpoint.with_config
+          (Some
+             {
+               Engine.Checkpoint.dir = Some base;
+               checkpoint_shuffles = true;
+               max_memory_bytes = None;
+             })
+        @@ fun () ->
+        let source = Engine.Dataset.distribute ~partitions:parts rows in
+        let shuffled, _ =
+          Engine.Dataset.shuffle_by ~barrier:(Fmt.str "bench-%s" name)
+            ~partitions:parts key_of source
+        in
+        ignore (Engine.Dataset.to_list shuffled : Nested.Value.t list);
+        let lose_all () =
+          for i = 0 to parts - 1 do
+            Engine.Dataset.recover_partition shuffled i
+          done
+        in
+        (* force every partition fetch without paying the (identical in
+           both arms, and much larger) batch→rows conversion *)
+        let force () =
+          ignore
+            (Engine.Dataset.map_cpartitions ~label:"bench-force" Fun.id
+               shuffled
+              : Engine.Dataset.t)
+        in
+        (* arm 1: the whole stage output is lost (executor gone) and the
+           checkpoint files answer the restore — [parts] framed reads *)
+        let ckpt_times =
+          Array.init reps (fun _ ->
+              lose_all ();
+              snd (time_span "bench.recover.ckpt" (fun _ -> force ())))
+        in
+        (* arm 2: the files are gone too — every fetch goes corrupt and
+           replays the full upstream lineage, one re-shuffle of the
+           whole input per lost partition (plus the re-checkpoint, also
+           timed: the rewrite is part of the real recovery path) *)
+        let src_times =
+          Array.init reps (fun _ ->
+              clear_checkpoint_files ();
+              lose_all ();
+              snd (time_span "bench.recover.src" (fun _ -> force ())))
+        in
+        (median ckpt_times, median src_times)
+      in
+      (* spill: full pipeline under a starvation watermark vs resident *)
+      let run_rp_plain () =
+        Engine.Checkpoint.with_config None (fun () -> run_rp inst)
+      in
+      let run_rp_spill () =
+        Engine.Checkpoint.with_config
+          (Some
+             {
+               Engine.Checkpoint.dir = Some base;
+               checkpoint_shuffles = false;
+               max_memory_bytes = Some 4096;
+             })
+          (fun () -> run_rp inst)
+      in
+      let spill_batches_c = Obs.Metrics.counter "engine.spill.batches" in
+      let plain0 = run_rp_plain () in
+      let plain_times =
+        Array.init reps (fun _ ->
+            snd (time_span "bench.recover.plain" (fun _ -> run_rp_plain ())))
+      in
+      let batches0 = Obs.Metrics.Counter.value spill_batches_c in
+      let spill0 = run_rp_spill () in
+      let spill_times =
+        Array.init reps (fun _ ->
+            snd (time_span "bench.recover.spill" (fun _ -> run_rp_spill ())))
+      in
+      let spill_batches =
+        Obs.Metrics.Counter.value spill_batches_c - batches0
+      in
+      let plain_rp_ms = median plain_times
+      and spill_rp_ms = median spill_times in
+      let spill_pct =
+        100. *. (spill_rp_ms -. plain_rp_ms) /. Float.max plain_rp_ms 1e-9
+      in
+      let identical =
+        Whynot.Pipeline.explanation_sets plain0
+        = Whynot.Pipeline.explanation_sets spill0
+      in
+      let speedup = src_ms /. Float.max ckpt_ms 1e-9 in
+      Fmt.pr "%-6s %-8d %-10.3f %-10.3f %-8.1f %-10.3f %-10.3f %-8.1f %-9b@."
+        name nrows ckpt_ms src_ms speedup plain_rp_ms spill_rp_ms spill_pct
+        identical;
+      csv "recover"
+        "scenario,scale,rows,checkpoint_restore_ms,source_recompute_ms,speedup,plain_rp_ms,spill_rp_ms,spill_overhead_pct,spill_batches,identical"
+        (Fmt.str "%s,%d,%d,%.3f,%.3f,%.2f,%.3f,%.3f,%.2f,%d,%b" name scale
+           nrows ckpt_ms src_ms speedup plain_rp_ms spill_rp_ms spill_pct
+           spill_batches identical);
+      add_recover
+        {
+          rscenario = name;
+          rscale = scale;
+          rrows = nrows;
+          rckpt_ms = ckpt_ms;
+          rsrc_ms = src_ms;
+          rspeedup = speedup;
+          rplain_rp_ms = plain_rp_ms;
+          rspill_rp_ms = spill_rp_ms;
+          rspill_pct = spill_pct;
+          rspill_batches = spill_batches;
+          ridentical = identical;
+        })
+    [ "D1"; "T2"; "Q3" ]
+
 (* Smallest-scale pass over every bench family — a CI guard that the
-   bench harness itself keeps working, cheap enough for [make verify]. *)
+   bench harness itself keeps working, cheap enough for [make verify].
+   The recover rung doubles as the spill smoke: it runs the pipeline
+   under a starvation watermark and checks the explanations match. *)
 let smoke () =
   fig8 ~scales:[ 1 ] ();
   fig9 ~scales:[ 1 ] ();
   fig10 ~scale:1 ();
   fig11 ~scale:1 ();
   bench_columnar ~scales:[ 1 ] ();
-  bench_approx ~scales:[ 1 ] ()
+  bench_approx ~scales:[ 1 ] ();
+  bench_recover ~scale:1 ~replicate:2_000 ()
 
 (* --- Bechamel micro-benchmarks: one Test.make per table/figure ------------ *)
 
@@ -1405,6 +1629,8 @@ let () =
   (* budget-ladder acceptance run: targeted, scales past the default sweep *)
   if wants_explicit "approx" then bench_approx ();
   if wants "serve" then bench_serve ();
+  (* recover redirects checkpoint scratch to a bench temp dir: explicit only *)
+  if wants_explicit "recover" then bench_recover ();
   if wants_explicit "chaos" then bench_chaos ();
   (* obs flips the process-global log level and sink set: explicit only *)
   if wants_explicit "obs" then bench_obs ();

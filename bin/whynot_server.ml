@@ -31,6 +31,9 @@ let () =
   let slo_ms = ref 0.0 in
   let metrics_file = ref "" in
   let metrics_interval = ref 5.0 in
+  let checkpoint_dir = ref "" in
+  let checkpoint_shuffles = ref false in
+  let max_memory_mb = ref 0 in
   let spec =
     [
       ("-stdio", Arg.Set stdio, "serve requests from stdin, responses to stdout");
@@ -110,6 +113,27 @@ let () =
       ( "--metrics-interval",
         Arg.Set_float metrics_interval,
         "SEC  same as -metrics-interval" );
+      ( "-checkpoint-dir",
+        Arg.Set_string checkpoint_dir,
+        "DIR  base directory for shuffle checkpoints / spill files \
+         (default: system temp dir)" );
+      ( "--checkpoint-dir",
+        Arg.Set_string checkpoint_dir,
+        "DIR  same as -checkpoint-dir" );
+      ( "-checkpoint-shuffles",
+        Arg.Set checkpoint_shuffles,
+        "checkpoint post-shuffle partitions so task faults replay from \
+         the barrier instead of recomputing the upstream chain" );
+      ( "--checkpoint-shuffles",
+        Arg.Set checkpoint_shuffles,
+        " same as -checkpoint-shuffles" );
+      ( "-max-memory-mb",
+        Arg.Set_int max_memory_mb,
+        "MB  spill engine intermediates to disk above this per-dataset \
+         watermark (0 = never spill)" );
+      ( "--max-memory-mb",
+        Arg.Set_int max_memory_mb,
+        "MB  same as -max-memory-mb" );
     ]
   in
   Arg.parse spec
@@ -156,6 +180,15 @@ let () =
              safe_dump ()
            done)
          ()));
+  if !checkpoint_dir <> "" || !checkpoint_shuffles || !max_memory_mb > 0 then
+    Engine.Checkpoint.set_active
+      (Some
+         (Engine.Checkpoint.config
+            ?dir:(if !checkpoint_dir = "" then None else Some !checkpoint_dir)
+            ~checkpoint_shuffles:!checkpoint_shuffles
+            ?max_memory_mb:
+              (if !max_memory_mb > 0 then Some !max_memory_mb else None)
+            ()));
   let config =
     {
       Serve.Server.cache_capacity = !cache;

@@ -339,15 +339,25 @@ let finish_cancelled root f =
     Obs.Span.finish root;
     raise e
 
+(* [?checkpoint] swaps the ambient {!Engine.Checkpoint} config for the
+   duration of the call only — callers that do not pass it inherit
+   whatever the process (server flags, env) has configured. *)
+let with_checkpoint checkpoint f =
+  match checkpoint with
+  | None -> f ()
+  | Some c -> Engine.Checkpoint.with_config (Some c) f
+
 let prepare ?(use_sas = true) ?(max_sas = 16)
     ?(alternatives : Alternatives.alternatives = []) ?(cancel = Cancel.none)
-    ?(retry = Engine.Fault.no_retry) ?parent ~db (q : Query.t) : handle =
+    ?(retry = Engine.Fault.no_retry) ?checkpoint ?parent ~db (q : Query.t) :
+    handle =
   let root = Obs.Span.start ?parent "pipeline.prepare" in
   let cursor = ref (Obs.Span.start_ns root) in
   let h =
     finish_cancelled root (fun () ->
-        prepare_phases ~use_sas ~max_sas ~alternatives ~cancel ~retry root
-          cursor ~db q)
+        with_checkpoint checkpoint (fun () ->
+            prepare_phases ~use_sas ~max_sas ~alternatives ~cancel ~retry root
+              cursor ~db q))
   in
   Obs.Span.set_int root "sas" (List.length h.h_sas);
   Obs.Span.finish root;
@@ -355,14 +365,15 @@ let prepare ?(use_sas = true) ?(max_sas = 16)
   h
 
 let explain_with ?approx ?(revalidate = true) ?(parallel = false)
-    ?(cancel = Cancel.none) ?(retry = Engine.Fault.no_retry) ?parent
-    (h : handle) (missing : Nip.t) : result =
+    ?(cancel = Cancel.none) ?(retry = Engine.Fault.no_retry) ?checkpoint
+    ?parent (h : handle) (missing : Nip.t) : result =
   let root = Obs.Span.start ?parent "pipeline.explain" in
   let cursor = ref (Obs.Span.start_ns root) in
   let explanations, report =
     finish_cancelled root (fun () ->
-        run_phases ?approx ~revalidate ~parallel ~cancel ~retry root cursor h
-          missing)
+        with_checkpoint checkpoint (fun () ->
+            run_phases ?approx ~revalidate ~parallel ~cancel ~retry root
+              cursor h missing))
   in
   Obs.Span.set_int root "sas" (List.length h.h_sas);
   Obs.Span.set_int root "explanations" (List.length explanations);
@@ -378,8 +389,8 @@ let explain_with ?approx ?(revalidate = true) ?(parallel = false)
 
 let explain ?approx ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
     ?(alternatives : Alternatives.alternatives = []) ?(parallel = false)
-    ?(cancel = Cancel.none) ?(retry = Engine.Fault.no_retry) ?parent
-    (phi : Question.t) : result =
+    ?(cancel = Cancel.none) ?(retry = Engine.Fault.no_retry) ?checkpoint
+    ?parent (phi : Question.t) : result =
   let root = Obs.Span.start ?parent "pipeline.explain" in
   (* Phase spans are tiled wall-to-wall — the four phase totals account
      for ≈ all of the root span (in the sequential pipeline; concurrent
@@ -387,13 +398,14 @@ let explain ?approx ?(use_sas = true) ?(max_sas = 16) ?(revalidate = true)
   let cursor = ref (Obs.Span.start_ns root) in
   let h, (explanations, report) =
     finish_cancelled root (fun () ->
-        let h =
-          prepare_phases ~use_sas ~max_sas ~alternatives ~cancel ~retry root
-            cursor ~db:phi.Question.db phi.Question.query
-        in
-        ( h,
-          run_phases ?approx ~revalidate ~parallel ~cancel ~retry root cursor
-            h phi.Question.missing ))
+        with_checkpoint checkpoint (fun () ->
+            let h =
+              prepare_phases ~use_sas ~max_sas ~alternatives ~cancel ~retry
+                root cursor ~db:phi.Question.db phi.Question.query
+            in
+            ( h,
+              run_phases ?approx ~revalidate ~parallel ~cancel ~retry root
+                cursor h phi.Question.missing )))
   in
   Obs.Span.set_int root "sas" (List.length h.h_sas);
   Obs.Span.set_int root "explanations" (List.length explanations);

@@ -2066,11 +2066,13 @@ let run_cols ~revalidate ~sample_stride ~(env : Typecheck.env)
   ignore (go q);
   { sa; ops = List.rev st.traces; root_op = q.Query.id }
 
+let site_relaxed = Obs.Faultinject.register_site "tracing.relaxed"
+
 let run ?(revalidate = true) ?(sample_stride = 1) ~(env : Typecheck.env)
     (db : Relation.Db.t) (sa : Alternatives.sa) (bt : Backtrace.t) : t =
   (* Chaos hook: fires once per SA's relaxed evaluation, inside the
      pipeline's per-phase retry scope, so an armed transient fault here
      is recomputed from the (immutable) backtrace and database. *)
-  Obs.Faultinject.fire "tracing.relaxed";
+  Obs.Faultinject.fire site_relaxed;
   if C.row_engine () then run_rows ~revalidate ~sample_stride ~env db sa bt
   else run_cols ~revalidate ~sample_stride ~env db sa bt

@@ -1,0 +1,544 @@
+(* Stage-level checkpoint store — durable Columnar.t batches on disk.
+
+   The codec is deliberately dumb: little-endian fixed-width integers,
+   one tag byte per column/value constructor, length-prefixed strings.
+   Two subtleties:
+
+   - Dict codes are process-local (the dictionary is hash-consed per
+     process), so CStr columns serialize a local string table plus
+     indexes into it and re-intern on decode.
+
+   - Decoding must survive arbitrary bit flips: every length is
+     validated against the remaining byte budget before allocation, so
+     a corrupted count raises [Corrupt] instead of a multi-gigabyte
+     [Array.make] or an out-of-bounds read.  (The CRC catches almost
+     everything first; the validation is for torn headers and for the
+     property tests that flip bits in the payload itself.) *)
+
+open Nested
+
+(* ------------------------------------------------------------------ *)
+(* Ambient configuration                                               *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  dir : string option;
+  checkpoint_shuffles : bool;
+  max_memory_bytes : int option;
+}
+
+let mb_bytes mb = mb * 1024 * 1024
+
+let config ?dir ?(checkpoint_shuffles = false) ?max_memory_mb () =
+  { dir; checkpoint_shuffles; max_memory_bytes = Option.map mb_bytes max_memory_mb }
+
+let env_config () =
+  let dir = Sys.getenv_opt "WHYNOT_CHECKPOINT_DIR" in
+  let shuffles =
+    match Sys.getenv_opt "WHYNOT_CHECKPOINT_SHUFFLES" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false
+  in
+  let mb =
+    Option.bind (Sys.getenv_opt "WHYNOT_MAX_MEMORY_MB") int_of_string_opt
+  in
+  if dir = None && (not shuffles) && mb = None then None
+  else
+    Some
+      { dir; checkpoint_shuffles = shuffles;
+        max_memory_bytes = Option.map mb_bytes mb }
+
+let state = Atomic.make (env_config ())
+let active () = Atomic.get state
+let set_active c = Atomic.set state c
+
+let with_config c f =
+  let prev = Atomic.exchange state c in
+  Fun.protect ~finally:(fun () -> Atomic.set state prev) f
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let m_writes = lazy (Obs.Metrics.counter "engine.checkpoint.writes")
+let m_reads = lazy (Obs.Metrics.counter "engine.checkpoint.reads")
+let m_bytes = lazy (Obs.Metrics.counter "engine.checkpoint.bytes")
+let m_corrupt = lazy (Obs.Metrics.counter "engine.checkpoint.corrupt")
+let site_io = Obs.Faultinject.register_site "engine.checkpoint.io"
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE, reflected, poly 0xEDB88320)                           *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let t = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := t.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+exception Corrupt of string
+
+let corrupt fmt = Fmt.kstr (fun s -> raise (Corrupt s)) fmt
+
+(* encoding --------------------------------------------------------- *)
+
+let add_u8 = Buffer.add_uint8
+let add_i64 b n = Buffer.add_int64_le b (Int64.of_int n)
+let add_f64 b f = Buffer.add_int64_le b (Int64.bits_of_float f)
+
+let add_str b s =
+  add_i64 b (String.length s);
+  Buffer.add_string b s
+
+let add_int_array b a =
+  add_i64 b (Array.length a);
+  Array.iter (add_i64 b) a
+
+let add_presence b = function
+  | None -> add_u8 b 0
+  | Some bv ->
+    add_u8 b 1;
+    add_i64 b (Columnar.Bitv.length bv);
+    add_str b (Columnar.Bitv.to_bytes bv)
+
+let rec add_value b (v : Value.t) =
+  match v with
+  | Null -> add_u8 b 0
+  | Bool x ->
+    add_u8 b 1;
+    add_u8 b (if x then 1 else 0)
+  | Int n ->
+    add_u8 b 2;
+    add_i64 b n
+  | Float f ->
+    add_u8 b 3;
+    add_f64 b f
+  | String s ->
+    add_u8 b 4;
+    add_str b s
+  | Tuple fields ->
+    add_u8 b 5;
+    add_i64 b (List.length fields);
+    List.iter
+      (fun (l, v) ->
+        add_str b l;
+        add_value b v)
+      fields
+  | Bag elems ->
+    add_u8 b 6;
+    add_i64 b (List.length elems);
+    List.iter
+      (fun (v, m) ->
+        add_value b v;
+        add_i64 b m)
+      elems
+
+let rec add_col b (c : Columnar.col) =
+  match c with
+  | CNull n ->
+    add_u8 b 0;
+    add_i64 b n
+  | CConst (n, v) ->
+    add_u8 b 1;
+    add_i64 b n;
+    add_value b v
+  | CBool (bits, pres) ->
+    add_u8 b 2;
+    add_i64 b (Columnar.Bitv.length bits);
+    add_str b (Columnar.Bitv.to_bytes bits);
+    add_presence b pres
+  | CInt (a, pres) ->
+    add_u8 b 3;
+    add_int_array b a;
+    add_presence b pres
+  | CFloat (a, pres) ->
+    add_u8 b 4;
+    add_i64 b (Array.length a);
+    Array.iter (add_f64 b) a;
+    add_presence b pres
+  | CStr (codes, pres) ->
+    (* Dict codes are meaningless in another process: emit a local
+       string table plus per-row indexes into it.  Absent rows may
+       carry placeholder codes; [lookup] of those still has to be
+       total, so fall back to "" rather than fail the write. *)
+    add_u8 b 5;
+    let local = Hashtbl.create 16 in
+    let strings = ref [] in
+    let m = ref 0 in
+    let localize code =
+      match Hashtbl.find_opt local code with
+      | Some i -> i
+      | None ->
+        let i = !m in
+        Hashtbl.add local code i;
+        strings :=
+          (try Columnar.Dict.lookup code with _ -> "") :: !strings;
+        incr m;
+        i
+    in
+    let idx = Array.map localize codes in
+    add_i64 b !m;
+    List.iter (add_str b) (List.rev !strings);
+    add_int_array b idx;
+    add_presence b pres
+  | CTuple (n, fields, pres) ->
+    add_u8 b 6;
+    add_i64 b n;
+    add_i64 b (List.length fields);
+    List.iter
+      (fun (l, c) ->
+        add_str b l;
+        add_col b c)
+      fields;
+    add_presence b pres
+  | CBag { bn; boff; bmult; belems; bpresent } ->
+    add_u8 b 7;
+    add_i64 b bn;
+    add_int_array b boff;
+    add_int_array b bmult;
+    add_col b belems;
+    add_presence b bpresent
+  | CBox a ->
+    add_u8 b 8;
+    add_i64 b (Array.length a);
+    Array.iter (add_value b) a
+
+let encode (t : Columnar.t) =
+  let b = Buffer.create 4096 in
+  add_i64 b t.Columnar.n;
+  add_col b t.Columnar.row;
+  Buffer.contents b
+
+(* decoding --------------------------------------------------------- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let need cur n =
+  if n < 0 || cur.pos + n > String.length cur.s then
+    corrupt "truncated payload: need %d bytes at offset %d of %d" n cur.pos
+      (String.length cur.s)
+
+let get_u8 cur =
+  need cur 1;
+  let v = Char.code cur.s.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  v
+
+let get_i64 cur =
+  need cur 8;
+  let v = Int64.to_int (String.get_int64_le cur.s cur.pos) in
+  cur.pos <- cur.pos + 8;
+  v
+
+let get_f64 cur =
+  need cur 8;
+  let v = Int64.float_of_bits (String.get_int64_le cur.s cur.pos) in
+  cur.pos <- cur.pos + 8;
+  v
+
+(* A logical row count: no allocation is proportional to it, but it
+   must be non-negative. *)
+let get_nat cur =
+  let n = get_i64 cur in
+  if n < 0 then corrupt "negative count %d at offset %d" n cur.pos;
+  n
+
+(* A count of following encoded items, each of which occupies at least
+   one byte — bounding allocations by the remaining payload. *)
+let get_count cur =
+  let n = get_i64 cur in
+  need cur n;
+  n
+
+let get_str cur =
+  let n = get_i64 cur in
+  need cur n;
+  let s = String.sub cur.s cur.pos n in
+  cur.pos <- cur.pos + n;
+  s
+
+let get_int_array cur =
+  let n = get_i64 cur in
+  need cur (8 * n);
+  let a = Array.make n 0 in
+  for i = 0 to n - 1 do
+    a.(i) <- get_i64 cur
+  done;
+  a
+
+let get_bitv cur =
+  let len = get_nat cur in
+  let raw = get_str cur in
+  try Columnar.Bitv.of_bytes len raw
+  with Invalid_argument m -> corrupt "%s" m
+
+let get_presence cur =
+  match get_u8 cur with
+  | 0 -> None
+  | 1 -> Some (get_bitv cur)
+  | t -> corrupt "bad presence tag %d" t
+
+(* Reads happen in list order — List.init's application order is
+   unspecified, which would scramble the cursor. *)
+let rec read_list n f =
+  if n <= 0 then []
+  else
+    let x = f () in
+    x :: read_list (n - 1) f
+
+let rec get_value cur : Value.t =
+  match get_u8 cur with
+  | 0 -> Null
+  | 1 -> Bool (get_u8 cur <> 0)
+  | 2 -> Int (get_i64 cur)
+  | 3 -> Float (get_f64 cur)
+  | 4 -> String (get_str cur)
+  | 5 ->
+    let n = get_count cur in
+    Tuple
+      (read_list n (fun () ->
+           let l = get_str cur in
+           let v = get_value cur in
+           (l, v)))
+  | 6 ->
+    let n = get_count cur in
+    (* [Value.bag] re-canonicalizes; encoded contents were canonical,
+       so this is the identity on well-formed input and a repair on
+       anything else. *)
+    Value.bag
+      (read_list n (fun () ->
+           let v = get_value cur in
+           let m = get_i64 cur in
+           (v, m)))
+  | t -> corrupt "bad value tag %d" t
+
+let rec get_col cur : Columnar.col =
+  match get_u8 cur with
+  | 0 -> CNull (get_nat cur)
+  | 1 ->
+    let n = get_nat cur in
+    CConst (n, get_value cur)
+  | 2 ->
+    let bits = get_bitv cur in
+    CBool (bits, get_presence cur)
+  | 3 ->
+    let a = get_int_array cur in
+    CInt (a, get_presence cur)
+  | 4 ->
+    let n = get_i64 cur in
+    need cur (8 * n);
+    let a = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      a.(i) <- get_f64 cur
+    done;
+    CFloat (a, get_presence cur)
+  | 5 ->
+    let m = get_count cur in
+    let table = Array.make (max m 1) 0 in
+    for i = 0 to m - 1 do
+      table.(i) <- Columnar.Dict.intern (get_str cur)
+    done;
+    let idx = get_int_array cur in
+    let codes =
+      Array.map
+        (fun i ->
+          if i < 0 || i >= m then corrupt "dict index %d out of %d" i m
+          else table.(i))
+        idx
+    in
+    CStr (codes, get_presence cur)
+  | 6 ->
+    let n = get_nat cur in
+    let nf = get_count cur in
+    let fields =
+      read_list nf (fun () ->
+          let l = get_str cur in
+          let c = get_col cur in
+          (l, c))
+    in
+    CTuple (n, fields, get_presence cur)
+  | 7 ->
+    let bn = get_nat cur in
+    let boff = get_int_array cur in
+    let bmult = get_int_array cur in
+    let belems = get_col cur in
+    let bpresent = get_presence cur in
+    if Array.length boff <> bn + 1 then
+      corrupt "bag offset vector has %d entries for %d rows"
+        (Array.length boff) bn;
+    CBag { bn; boff; bmult; belems; bpresent }
+  | 8 ->
+    let n = get_count cur in
+    let a = Array.make (max n 1) Value.Null in
+    for i = 0 to n - 1 do
+      a.(i) <- get_value cur
+    done;
+    CBox (Array.sub a 0 n)
+  | t -> corrupt "bad column tag %d" t
+
+let decode s =
+  let cur = { s; pos = 0 } in
+  let n = get_nat cur in
+  let row = get_col cur in
+  if cur.pos <> String.length s then
+    corrupt "%d trailing bytes after payload" (String.length s - cur.pos);
+  { Columnar.n; row }
+
+(* framing ---------------------------------------------------------- *)
+
+let magic = "WNCK"
+let version = 1
+let header_len = 4 + 1 + 8 + 4
+
+let frame payload =
+  let b = Buffer.create (String.length payload + header_len) in
+  Buffer.add_string b magic;
+  Buffer.add_uint8 b version;
+  Buffer.add_int64_le b (Int64.of_int (String.length payload));
+  Buffer.add_int32_le b (Int32.of_int (crc32 payload));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let unframe s =
+  if String.length s < header_len then
+    corrupt "file too short (%d bytes)" (String.length s);
+  if String.sub s 0 4 <> magic then corrupt "bad magic";
+  let v = Char.code s.[4] in
+  if v <> version then corrupt "unsupported codec version %d" v;
+  let len64 = String.get_int64_le s 5 in
+  let len = Int64.to_int len64 in
+  (* compare through int64: Int64.to_int silently drops bit 63, so a
+     corrupted top bit would otherwise be invisible to the size check *)
+  if Int64.of_int len <> len64 || len < 0 || header_len + len <> String.length s
+  then
+    corrupt "payload length %d does not match file size %d" len
+      (String.length s);
+  let stored = Int32.to_int (String.get_int32_le s 13) land 0xFFFFFFFF in
+  let payload = String.sub s header_len len in
+  if crc32 payload <> stored then
+    corrupt "CRC mismatch (stored %08x, computed %08x)" stored (crc32 payload);
+  payload
+
+(* ------------------------------------------------------------------ *)
+(* Per-run directory                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let dir_mutex = Mutex.create ()
+let run_dir_ref = ref None
+let seq = ref 0
+let at_exit_registered = ref false
+
+let rm_rf path =
+  let rec rm path =
+    match (Unix.lstat path).Unix.st_kind with
+    | Unix.S_DIR ->
+      Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+      (try Unix.rmdir path with _ -> ())
+    | _ -> ( try Sys.remove path with _ -> ())
+    | exception _ -> ()
+  in
+  rm path
+
+let sweep () =
+  Mutex.protect dir_mutex (fun () ->
+      match !run_dir_ref with
+      | None -> ()
+      | Some d ->
+        run_dir_ref := None;
+        rm_rf d)
+
+let run_dir () = Mutex.protect dir_mutex (fun () -> !run_dir_ref)
+
+(* Under [dir_mutex].  A stale directory from a crashed process that
+   recycled our pid is cleared, not reused: its files are from a
+   different run and must never satisfy a read. *)
+let ensure_dir () =
+  match !run_dir_ref with
+  | Some d -> d
+  | None ->
+    let base =
+      match active () with
+      | Some { dir = Some d; _ } -> d
+      | _ -> Filename.get_temp_dir_name ()
+    in
+    (try Unix.mkdir base 0o755 with _ -> ());
+    let d = Filename.concat base (Fmt.str "whynot-ckpt-%d" (Unix.getpid ())) in
+    rm_rf d;
+    Unix.mkdir d 0o700;
+    run_dir_ref := Some d;
+    if not !at_exit_registered then begin
+      at_exit_registered := true;
+      at_exit sweep
+    end;
+    d
+
+let sanitize label =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '-')
+    label
+
+let fresh_path ~label =
+  Mutex.protect dir_mutex (fun () ->
+      let d = ensure_dir () in
+      incr seq;
+      Filename.concat d (Fmt.str "%s-%06d.ckpt" (sanitize label) !seq))
+
+(* ------------------------------------------------------------------ *)
+(* File IO                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let write ~path t =
+  let framed = frame (encode t) in
+  (* The chaos transform runs after the CRC is computed, so a garbled
+     write produces exactly the torn-file shape [read] must reject. *)
+  let framed = Obs.Faultinject.transform site_io framed in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc framed;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  Obs.Metrics.Counter.incr (Lazy.force m_writes);
+  Obs.Metrics.Counter.incr ~by:(String.length framed) (Lazy.force m_bytes);
+  String.length framed
+
+let read ~path =
+  Obs.Faultinject.fire site_io;
+  try
+    let ic =
+      try open_in_bin path
+      with Sys_error m -> corrupt "cannot open checkpoint: %s" m
+    in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let t = decode (unframe s) in
+    Obs.Metrics.Counter.incr (Lazy.force m_reads);
+    t
+  with Corrupt _ as e ->
+    Obs.Metrics.Counter.incr (Lazy.force m_corrupt);
+    raise e

@@ -1,0 +1,101 @@
+(** Stage-level checkpoint store: durable {!Columnar.t} batches on disk.
+
+    Post-shuffle partitions written through this module become {e
+    recovery roots}: a task fault downstream of a checkpointed shuffle
+    replays from the checkpoint file instead of re-deriving the whole
+    upstream operator chain, and large intermediates can spill here and
+    be re-mapped on demand when a memory watermark is set.
+
+    Files use a versioned binary codec (magic ["WNCK"], version byte,
+    payload length, CRC-32 of the payload).  Dict codes are
+    process-local, so string columns serialize their strings and
+    re-intern on read.  Writes are crash-safe: the frame goes to a
+    [.tmp] sibling first and is renamed into place, so a torn write can
+    never leave a plausible-looking partial file under the final name —
+    and if one is garbled anyway, the CRC rejects it ({!Corrupt}) and
+    recovery falls back to recomputation.
+
+    All checkpoints of one process live in a single per-run directory
+    (created lazily under [config.dir], or the system temp dir), swept
+    by {!sweep} — called from catalog eviction, server shutdown, and an
+    [at_exit] hook — so no files leak. *)
+
+(** {1 Configuration}
+
+    The engine reads the ambient process-global config rather than
+    threading a parameter through every operator: [None] (the default)
+    turns the whole layer off, so existing runs are unaffected. *)
+
+type config = {
+  dir : string option;  (** base directory; system temp dir if [None] *)
+  checkpoint_shuffles : bool;
+      (** make post-shuffle partitions durable recovery roots *)
+  max_memory_bytes : int option;
+      (** spill watermark for intermediates ([None] = never spill) *)
+}
+
+val config :
+  ?dir:string ->
+  ?checkpoint_shuffles:bool ->
+  ?max_memory_mb:int ->
+  unit ->
+  config
+
+(** The ambient config.  Initialized from [WHYNOT_CHECKPOINT_DIR],
+    [WHYNOT_CHECKPOINT_SHUFFLES] and [WHYNOT_MAX_MEMORY_MB] when any is
+    set; [None] otherwise. *)
+val active : unit -> config option
+
+val set_active : config option -> unit
+
+(** Run [f] with the ambient config swapped to [c], restoring the
+    previous value afterwards (also on exceptions). *)
+val with_config : config option -> (unit -> 'a) -> 'a
+
+(** {1 Codec}
+
+    Exposed separately from file IO so property tests can round-trip
+    and corrupt payloads without touching the filesystem. *)
+
+(** Raised on bad magic, unsupported version, truncation, CRC mismatch,
+    or a malformed payload.  Never escapes recovery: callers with a
+    recompute closure fall back to it. *)
+exception Corrupt of string
+
+val encode : Columnar.t -> string
+
+(** Inverse of {!encode} on the raw payload (no frame); raises
+    {!Corrupt} on malformed input. *)
+val decode : string -> Columnar.t
+
+(** [frame payload] prepends the magic/version/length/CRC header. *)
+val frame : string -> string
+
+(** Validates the header + CRC and returns the payload. *)
+val unframe : string -> string
+
+(** {1 Store} *)
+
+(** A fresh file path inside the per-run directory (created on first
+    use, with an [at_exit] {!sweep} registered).  [label] is
+    sanitized into the file name for debuggability. *)
+val fresh_path : label:string -> string
+
+(** Write one batch crash-safely (tmp + rename).  Returns the framed
+    size in bytes.  Fires the ["engine.checkpoint.io"] transform site
+    on the framed content, so chaos tests can tear the file after the
+    CRC is computed.  Counters: [engine.checkpoint.writes] /
+    [engine.checkpoint.bytes]. *)
+val write : path:string -> Columnar.t -> int
+
+(** Read one batch back; raises {!Corrupt} on a missing, torn, or
+    garbled file (counter [engine.checkpoint.corrupt]; successful reads
+    bump [engine.checkpoint.reads]).  Fires ["engine.checkpoint.io"]. *)
+val read : path:string -> Columnar.t
+
+(** The per-run directory, if it has been created and not yet swept. *)
+val run_dir : unit -> string option
+
+(** Remove the per-run directory and everything in it.  Idempotent; a
+    later {!fresh_path} starts a fresh directory. *)
+val sweep : unit -> unit

@@ -10,21 +10,99 @@
 
 open Nested
 
-type part = Rows of Value.t list | Cols of Columnar.t
+(* A checkpointed partition: durable on disk at [ck_path], usually also
+   cached in memory.  [ck_state] says why the cache is empty — [Lost]
+   (a recovery dropped it, so the next fetch is a replay-from-
+   checkpoint) or [Spilled] (the memory watermark evicted it) — which
+   is exactly the attribution the recover/spill counters need.
+   [ck_recompute] is the lineage fallback: re-derive this partition
+   from upstream when the file fails its CRC. *)
+type ck_state = Live | Spilled | Lost
+
+type ckpt = {
+  ck_path : string;
+  ck_rows : int;
+  mutable ck_cache : Columnar.t option;
+  mutable ck_state : ck_state;
+  ck_recompute : (unit -> Columnar.t) option;
+}
+
+type part = Rows of Value.t list | Cols of Columnar.t | Ckpt of ckpt
 
 type t = { parts : part array }
 
-let part_rows = function Rows l -> l | Cols b -> Columnar.to_rows b
-let part_cols = function Cols b -> b | Rows l -> Columnar.of_rows l
+let site_partition = Obs.Faultinject.register_site "engine.partition"
+let site_shuffle_write = Obs.Faultinject.register_site "engine.shuffle.write"
+let site_shuffle_read = Obs.Faultinject.register_site "engine.shuffle.read"
+let m_from_ckpt = lazy (Obs.Metrics.counter "engine.recover.from_checkpoint")
+let m_from_source = lazy (Obs.Metrics.counter "engine.recover.from_source")
+
+let m_replayed =
+  lazy (Obs.Metrics.counter "engine.recover.replayed_partitions")
+
+let m_spill_bytes = lazy (Obs.Metrics.counter "engine.spill.bytes")
+let m_spill_batches = lazy (Obs.Metrics.counter "engine.spill.batches")
+let m_spill_restores = lazy (Obs.Metrics.counter "engine.spill.restores")
+
+let m_write_failures =
+  lazy (Obs.Metrics.counter "engine.checkpoint.write_failures")
+
+let bump m = Obs.Metrics.Counter.incr (Lazy.force m)
+
+(* Bring a checkpointed partition back into memory.  A CRC failure
+   falls back to the lineage recompute (and best-effort re-writes the
+   file); transient faults from the chaos site propagate so the
+   enclosing task retry recovers them. *)
+let ckpt_fetch (c : ckpt) : Columnar.t =
+  match c.ck_cache with
+  | Some b -> b
+  | None ->
+    let b =
+      match
+        Obs.Faultinject.fire site_shuffle_read;
+        Checkpoint.read ~path:c.ck_path
+      with
+      | b ->
+        (match c.ck_state with
+        | Lost -> bump m_from_ckpt
+        | Spilled -> bump m_spill_restores
+        | Live -> ());
+        b
+      | exception (Checkpoint.Corrupt _ as e) -> (
+        match c.ck_recompute with
+        | None -> raise e
+        | Some recompute ->
+          bump m_from_source;
+          let b = recompute () in
+          (try ignore (Checkpoint.write ~path:c.ck_path b)
+           with _ -> bump m_write_failures);
+          b)
+    in
+    c.ck_cache <- Some b;
+    c.ck_state <- Live;
+    b
+
+let part_rows = function
+  | Rows l -> l
+  | Cols b -> Columnar.to_rows b
+  | Ckpt c -> Columnar.to_rows (ckpt_fetch c)
+
+let part_cols = function
+  | Cols b -> b
+  | Rows l -> Columnar.of_rows l
+  | Ckpt c -> ckpt_fetch c
 
 let part_length = function
   | Rows l -> List.length l
   | Cols b -> Columnar.length b
+  | Ckpt c -> c.ck_rows
 
 let of_partitions partitions = { parts = Array.map (fun l -> Rows l) partitions }
 let of_cpartitions batches = { parts = Array.map (fun b -> Cols b) batches }
 let partitions d = Array.map part_rows d.parts
 let cpartitions d = Array.map part_cols d.parts
+let cpartition d i = part_cols d.parts.(i)
+let partition d i = part_rows d.parts.(i)
 let partition_count d = Array.length d.parts
 let cardinal d = Array.fold_left (fun acc p -> acc + part_length p) 0 d.parts
 
@@ -56,9 +134,11 @@ let distribute_cols ~partitions:n (b : Columnar.t) : t =
           Cols (Columnar.gather b (Array.init m (fun j -> i + (j * n)))));
   }
 
-(* Repartition by a key function (a shuffle).  Returns the dataset and the
-   number of rows moved across partitions. *)
-let shuffle_by ~partitions:n (key : Value.t -> Value.t) (d : t) : t * int =
+(* Row-path shuffle body, shared between the public entry point and the
+   recompute closures of its checkpoint barrier.  Returns the row
+   partitions and the number of rows moved across partitions. *)
+let shuffle_by_raw ~partitions:n (key : Value.t -> Value.t) (d : t) :
+    Value.t list array * int =
   let n = max 1 n in
   let parts = Array.make n [] in
   let moved = ref 0 in
@@ -73,14 +153,14 @@ let shuffle_by ~partitions:n (key : Value.t -> Value.t) (d : t) : t * int =
           parts.(dst) <- row :: parts.(dst))
         (part_rows p))
     d.parts;
-  ({ parts = Array.map (fun l -> Rows (List.rev l)) parts }, !moved)
+  (Array.map List.rev parts, !moved)
 
-(* Vectorized shuffle: [hash_of] produces one destination hash per row
-   of a batch; moved rows travel as contiguous gathered column slices,
-   and the bytes shipped are reported on the
-   [engine.columnar.bytes_moved] counter. *)
-let shuffle_hashed ~partitions:n (hash_of : Columnar.t -> int array) (d : t) :
-    t * int =
+(* Vectorized shuffle body, shared with the barrier recompute closures:
+   [hash_of] produces one destination hash per row of a batch; moved
+   rows travel as contiguous gathered column slices, and the bytes
+   shipped are reported on the [engine.columnar.bytes_moved] counter. *)
+let shuffle_hashed_raw ~partitions:n (hash_of : Columnar.t -> int array)
+    (d : t) : Columnar.t array * int =
   let n = max 1 n in
   let bs = cpartitions d in
   let moved = ref 0 and bytes = ref 0 in
@@ -105,15 +185,76 @@ let shuffle_hashed ~partitions:n (hash_of : Columnar.t -> int array) (d : t) :
       done)
     bs;
   Columnar.note_bytes_moved !bytes;
-  ( { parts =
-        Array.map (fun l -> Cols (Columnar.vstack (List.rev l))) dests;
-    },
-    !moved )
+  (Array.map (fun l -> Columnar.vstack (List.rev l)) dests, !moved)
+
+(* Make one post-shuffle partition a durable recovery root.  Any
+   failure — the armed chaos site or real IO trouble — degrades
+   gracefully: the in-memory partition is kept and only the recovery
+   shortcut is lost. *)
+let checkpoint_part ~label ~index ~recompute (b : Columnar.t) : part =
+  try
+    Obs.Faultinject.fire site_shuffle_write;
+    let path = Checkpoint.fresh_path ~label:(Fmt.str "%s-p%d" label index) in
+    ignore (Checkpoint.write ~path b);
+    Ckpt
+      {
+        ck_path = path;
+        ck_rows = Columnar.length b;
+        ck_cache = Some b;
+        ck_state = Live;
+        ck_recompute = recompute;
+      }
+  with _ ->
+    bump m_write_failures;
+    Cols b
+
+(* Repartition by a key function (a shuffle).  With [barrier], every
+   output partition is checkpointed under that label — lineage
+   downstream of this point is truncated here. *)
+let shuffle_by ?barrier ~partitions:n (key : Value.t -> Value.t) (d : t) :
+    t * int =
+  let parts, moved = shuffle_by_raw ~partitions:n key d in
+  match barrier with
+  | None -> ({ parts = Array.map (fun l -> Rows l) parts }, moved)
+  | Some label ->
+    ( {
+        parts =
+          Array.mapi
+            (fun i l ->
+              let recompute () =
+                Columnar.of_rows (fst (shuffle_by_raw ~partitions:n key d)).(i)
+              in
+              checkpoint_part ~label ~index:i ~recompute:(Some recompute)
+                (Columnar.of_rows l))
+            parts;
+      },
+      moved )
+
+(* Vectorized shuffle; [barrier] as in {!shuffle_by}. *)
+let shuffle_hashed ?barrier ~partitions:n (hash_of : Columnar.t -> int array)
+    (d : t) : t * int =
+  let batches, moved = shuffle_hashed_raw ~partitions:n hash_of d in
+  match barrier with
+  | None -> ({ parts = Array.map (fun b -> Cols b) batches }, moved)
+  | Some label ->
+    ( {
+        parts =
+          Array.mapi
+            (fun i b ->
+              let recompute () =
+                (fst (shuffle_hashed_raw ~partitions:n hash_of d)).(i)
+              in
+              checkpoint_part ~label ~index:i ~recompute:(Some recompute) b)
+            batches;
+      },
+      moved )
 
 (* Collapse to a single partition (a gather). *)
 let gather (d : t) : t * int =
   let all_cols =
-    Array.for_all (function Cols _ -> true | Rows _ -> false) d.parts
+    Array.for_all
+      (function Cols _ | Ckpt _ -> true | Rows _ -> false)
+      d.parts
   in
   if all_cols then begin
     let b = Columnar.vstack (Array.to_list (cpartitions d)) in
@@ -124,29 +265,51 @@ let gather (d : t) : t * int =
     let rows = to_list d in
     ({ parts = [| Rows rows |] }, List.length rows)
 
+(* Simulate losing a partition before a task re-attempt: a checkpointed
+   partition drops its in-memory cache so the replay re-reads the
+   recovery root; an in-memory partition has only its immutable source
+   input as lineage, so its replay is a recompute from source. *)
+let recover_part (p : part) =
+  bump m_replayed;
+  match p with
+  | Ckpt c ->
+    c.ck_cache <- None;
+    c.ck_state <- Lost
+  | Rows _ | Cols _ -> bump m_from_source
+
+let recover_partition (d : t) i = recover_part d.parts.(i)
+
 (* [parallel] fans the partitions out over the shared domain {!Pool}
    (the engine's stand-in for a DISC system's task parallelism) instead
    of spawning a fresh domain per partition per operator, which cost
    more than it bought.  [f] must be pure.
 
    Every partition is a *task attempt*: under [retry], a task that
-   raises [Fault.Transient] is recomputed from its input partition (our
-   lineage is the closure plus the input, so recomputation is exact —
-   the Spark task-retry model).  The ["engine.partition"] chaos site
+   raises [Fault.Transient] is recomputed — from its immutable input
+   partition (our lineage is the closure plus the input, so
+   recomputation is exact — the Spark task-retry model), or, when the
+   input is a checkpointed shuffle partition, from the checkpoint file
+   ({!recover_part} drops the cache before the re-attempt, truncating
+   the replay at the barrier).  The ["engine.partition"] chaos site
    fires once per attempt, inside the retry scope, so an armed fault on
    one attempt is survived by the next. *)
 let map_parts_generic ?(parallel = false) ?pool ?(retry = Fault.no_retry)
     ?(label = "partition") ?on_retry (f : part -> part) (d : t) : t =
   let task _i (p : part) () =
-    Obs.Faultinject.fire "engine.partition";
+    Obs.Faultinject.fire site_partition;
     f p
-  and fault_retry i =
-    Option.map (fun cb ~attempt e -> cb ~partition:i ~attempt e) on_retry
+  and fault_retry i p =
+    Some
+      (fun ~attempt e ->
+        recover_part p;
+        match on_retry with
+        | Some cb -> cb ~partition:i ~attempt e
+        | None -> ())
   in
   let run i p =
     Fault.protect ~policy:retry
       ~task:(Fmt.str "%s/p%d" label i)
-      ~task_id:i ?on_retry:(fault_retry i) (task i p)
+      ~task_id:i ?on_retry:(fault_retry i p) (task i p)
   in
   if (not parallel) || Array.length d.parts <= 1 then
     { parts = Array.mapi run d.parts }
@@ -168,6 +331,71 @@ let map_cpartitions ?parallel ?pool ?retry ?label ?on_retry
   map_parts_generic ?parallel ?pool ?retry ?label ?on_retry
     (fun p -> Cols (f (part_cols p)))
     d
+
+(* --- Spill ---------------------------------------------------------
+
+   The watermark bounds the dataset's *resident* footprint: columnar
+   partitions report their arena size exactly; row partitions (the
+   escape-hatch engine) are estimated, since sizing a tree precisely
+   would cost as much as converting it. *)
+
+let part_mem_bytes = function
+  | Rows l -> 128 * List.length l
+  | Cols b -> Columnar.bytes b
+  | Ckpt { ck_cache = Some b; _ } -> Columnar.bytes b
+  | Ckpt { ck_cache = None; _ } -> 0
+
+let memory_bytes (d : t) =
+  Array.fold_left (fun acc p -> acc + part_mem_bytes p) 0 d.parts
+
+(* Evict partitions largest-first until the dataset fits under the
+   watermark.  Checkpointed partitions just drop their cache (the disk
+   copy is the spill); in-memory partitions are written to the
+   checkpoint store first.  A failed write keeps the partition resident
+   — degraded, never wrong.  Returns the bytes freed. *)
+let spill_over ~watermark (d : t) : int =
+  let sizes = Array.map part_mem_bytes d.parts in
+  let total = Array.fold_left ( + ) 0 sizes in
+  if total <= watermark then 0
+  else begin
+    let order = Array.init (Array.length sizes) Fun.id in
+    Array.sort (fun a b -> compare sizes.(b) sizes.(a)) order;
+    let freed = ref 0 in
+    (try
+       Array.iter
+         (fun i ->
+           if total - !freed <= watermark then raise Exit;
+           match d.parts.(i) with
+           | Ckpt ({ ck_cache = Some _; _ } as c) ->
+             c.ck_cache <- None;
+             c.ck_state <- Spilled;
+             freed := !freed + sizes.(i);
+             bump m_spill_batches;
+             Obs.Metrics.Counter.incr ~by:sizes.(i) (Lazy.force m_spill_bytes)
+           | Ckpt _ -> ()
+           | (Rows _ | Cols _) as p -> (
+             let b = part_cols p in
+             try
+               let path = Checkpoint.fresh_path ~label:"spill" in
+               ignore (Checkpoint.write ~path b);
+               d.parts.(i) <-
+                 Ckpt
+                   {
+                     ck_path = path;
+                     ck_rows = Columnar.length b;
+                     ck_cache = None;
+                     ck_state = Spilled;
+                     ck_recompute = None;
+                   };
+               freed := !freed + sizes.(i);
+               bump m_spill_batches;
+               Obs.Metrics.Counter.incr ~by:sizes.(i)
+                 (Lazy.force m_spill_bytes)
+             with _ -> bump m_write_failures))
+         order
+     with Exit -> ());
+    !freed
+  end
 
 let of_relation ~partitions (r : Relation.t) : t =
   if Columnar.row_engine () then distribute ~partitions (Relation.tuples r)

@@ -15,6 +15,15 @@ val partitions : t -> Value.t list array
 (** Columnar view of every partition (row partitions build batches). *)
 val cpartitions : t -> Columnar.t array
 
+(** Columnar view of one partition — prefer this inside a retry scope:
+    a checkpointed or spilled partition performs its disk read here, so
+    fetching inside {!Fault.protect} makes the read recoverable. *)
+val cpartition : t -> int -> Columnar.t
+
+(** Row view of one partition (same retry-scope guidance as
+    {!cpartition}). *)
+val partition : t -> int -> Value.t list
+
 val of_cpartitions : Columnar.t array -> t
 val partition_count : t -> int
 val cardinal : t -> int
@@ -28,14 +37,52 @@ val value_hash : Value.t -> int
 val distribute : partitions:int -> Value.t list -> t
 
 (** Hash-repartition by a key — a shuffle.  Also returns the number of
-    rows that crossed partitions. *)
-val shuffle_by : partitions:int -> (Value.t -> Value.t) -> t -> t * int
+    rows that crossed partitions.
+
+    With [barrier], every output partition is checkpointed to the
+    {!Checkpoint} store under that label and becomes a durable recovery
+    root: a downstream task fault replays from the checkpoint file
+    instead of re-deriving the upstream chain (lineage is truncated at
+    the barrier).  A checkpoint write that fails — chaos site
+    ["engine.shuffle.write"] or real IO trouble — degrades to the plain
+    in-memory partition ([engine.checkpoint.write_failures]). *)
+val shuffle_by :
+  ?barrier:string -> partitions:int -> (Value.t -> Value.t) -> t -> t * int
 
 (** Vectorized shuffle: [hash_of] yields one destination hash per batch
     row (use {!Columnar.hash_col} over the key columns for parity with
     {!shuffle_by}).  Moved rows travel as contiguous gathered column
-    slices; shipped bytes land on [engine.columnar.bytes_moved]. *)
-val shuffle_hashed : partitions:int -> (Columnar.t -> int array) -> t -> t * int
+    slices; shipped bytes land on [engine.columnar.bytes_moved].
+    [barrier] as in {!shuffle_by}. *)
+val shuffle_hashed :
+  ?barrier:string ->
+  partitions:int ->
+  (Columnar.t -> int array) ->
+  t ->
+  t * int
+
+(** Simulate losing partition [i] before a replay: a checkpointed
+    partition drops its in-memory cache (the next fetch re-reads the
+    recovery root, counted on [engine.recover.from_checkpoint]); an
+    in-memory partition can only replay from its source input
+    ([engine.recover.from_source]).  Bumps
+    [engine.recover.replayed_partitions].  {!map_partitions} calls this
+    automatically before every task re-attempt; executors running their
+    own {!Fault.protect} scopes (joins) call it from their retry
+    hooks. *)
+val recover_partition : t -> int -> unit
+
+(** Resident in-memory footprint (cached/columnar partitions exact, row
+    partitions estimated; spilled partitions count 0). *)
+val memory_bytes : t -> int
+
+(** [spill_over ~watermark d] evicts partitions largest-first until the
+    resident footprint fits under [watermark] bytes, writing in-memory
+    partitions to the {!Checkpoint} store (checkpointed ones just drop
+    their cache).  Spilled partitions transparently re-map on access
+    ([engine.spill.restores]).  Returns the bytes freed; counters
+    [engine.spill.bytes] / [engine.spill.batches]. *)
+val spill_over : watermark:int -> t -> int
 
 (** Collapse to a single partition; returns the rows moved. *)
 val gather : t -> t * int

@@ -841,6 +841,24 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
   let n = config.partitions in
   let parallel = config.parallel in
   let retry = config.retry in
+  (* Stage-level recovery is ambient (off by default): when the active
+     Checkpoint config asks for it, every hash shuffle below gets a
+     checkpoint barrier, and operator outputs are spilled under the
+     memory watermark.  Read once per run so a concurrent
+     [set_active] cannot tear one execution. *)
+  let ckpt = Checkpoint.active () in
+  let barrier label =
+    match ckpt with
+    | Some { Checkpoint.checkpoint_shuffles = true; _ } -> Some label
+    | _ -> None
+  in
+  let maybe_spill d =
+    (match ckpt with
+    | Some { Checkpoint.max_memory_bytes = Some w; _ } ->
+      ignore (Dataset.spill_over ~watermark:w d)
+    | _ -> ());
+    d
+  in
   (* Retries are attributed on the operator span: a task that needed a
      second attempt leaves [attempt=2] on its operator. *)
   let retry_attr sp ~partition:_ ~attempt _e =
@@ -895,7 +913,7 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
       record_io input (Dataset.cardinal out);
       out
     in
-    let out = eval_node sp ostat record_io narrow narrowc mapp mappc q in
+    let out = maybe_spill (eval_node sp ostat record_io narrow narrowc mapp mappc q) in
     Option.iter
       (fun s ->
         Obs.Span.set_int s "op_id" q.id;
@@ -992,23 +1010,54 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
       let dl = go sp l and dr = go sp r in
       let input = Dataset.cardinal dl + Dataset.cardinal dr in
       let ssp = sub sp "shuffle" in
+      (* Combine per aligned partition pair inside a retry scope: the
+         (possibly checkpointed) partition fetches happen in the task,
+         so a lost partition replays from its recovery root. *)
+      let diff_task dl dr part_op i =
+        Fault.protect ~policy:retry
+          ~task:(Fmt.str "op:%s#%d/p%d" (Query.op_symbol q.node) q.id i)
+          ~task_id:i
+          ~on_retry:(fun ~attempt e ->
+            Dataset.recover_partition dl i;
+            Dataset.recover_partition dr i;
+            retry_attr sp ~partition:i ~attempt e)
+          (fun () ->
+            Obs.Faultinject.fire "engine.partition";
+            part_op i)
+      in
       let out, moved =
         if vectorized () then begin
-          let dl, m1 = Dataset.shuffle_hashed ~partitions:n whole_row_hash dl in
-          let dr, m2 = Dataset.shuffle_hashed ~partitions:n whole_row_hash dr in
-          let cl = Dataset.cpartitions dl and cr = Dataset.cpartitions dr in
+          let dl, m1 =
+            Dataset.shuffle_hashed ?barrier:(barrier "diff-l") ~partitions:n
+              whole_row_hash dl
+          in
+          let dr, m2 =
+            Dataset.shuffle_hashed ?barrier:(barrier "diff-r") ~partitions:n
+              whole_row_hash dr
+          in
           ( Dataset.of_cpartitions
-              (Array.init n (fun i -> diff_cols cl.(i) cr.(i))),
+              (Array.init n
+                 (diff_task dl dr (fun i ->
+                      diff_cols
+                        (Dataset.cpartition dl i)
+                        (Dataset.cpartition dr i)))),
             m1 + m2 )
         end
         else begin
-          let dl, m1 = Dataset.shuffle_by ~partitions:n Fun.id dl in
-          let dr, m2 = Dataset.shuffle_by ~partitions:n Fun.id dr in
+          let dl, m1 =
+            Dataset.shuffle_by ?barrier:(barrier "diff-l") ~partitions:n
+              Fun.id dl
+          in
+          let dr, m2 =
+            Dataset.shuffle_by ?barrier:(barrier "diff-r") ~partitions:n
+              Fun.id dr
+          in
           ( Dataset.of_partitions
-              (Array.init n (fun i ->
-                   diff_rows
-                     (Dataset.partitions dl).(i)
-                     (Dataset.partitions dr).(i))),
+              (Array.init n
+                 (diff_task dl dr (fun i ->
+                      diff_rows
+                        (Dataset.partition dl i)
+                        (Dataset.partition dr i)))),
             m1 + m2 )
         end
       in
@@ -1021,8 +1070,10 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
       let input = Dataset.cardinal d in
       let ssp = sub sp "shuffle" in
       let d, moved =
-        if vectorized () then Dataset.shuffle_hashed ~partitions:n whole_row_hash d
-        else Dataset.shuffle_by ~partitions:n Fun.id d
+        if vectorized () then
+          Dataset.shuffle_hashed ?barrier:(barrier "dedup") ~partitions:n
+            whole_row_hash d
+        else Dataset.shuffle_by ?barrier:(barrier "dedup") ~partitions:n Fun.id d
       in
       Stats.record_shuffle stats ostat moved;
       finish_shuffle ssp moved;
@@ -1042,12 +1093,14 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
       let ssp = sub sp "shuffle" in
       let d, moved =
         if vectorized () then
-          Dataset.shuffle_hashed ~partitions:n
+          Dataset.shuffle_hashed ?barrier:(barrier "nest") ~partitions:n
             (key_hash_of_pairs
                (List.map (fun a -> (a, a)) group_attrs)
                ~strict:true (key_of group_attrs))
             d
-        else Dataset.shuffle_by ~partitions:n (key_of group_attrs) d
+        else
+          Dataset.shuffle_by ?barrier:(barrier "nest") ~partitions:n
+            (key_of group_attrs) d
       in
       Stats.record_shuffle stats ostat moved;
       finish_shuffle ssp moved;
@@ -1091,10 +1144,12 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
       let ssp = sub sp "shuffle" in
       let d, moved =
         if vectorized () then
-          Dataset.shuffle_hashed ~partitions:n
+          Dataset.shuffle_hashed ?barrier:(barrier "groupagg") ~partitions:n
             (key_hash_of_pairs group ~strict:false group_key)
             d
-        else Dataset.shuffle_by ~partitions:n group_key d
+        else
+          Dataset.shuffle_by ?barrier:(barrier "groupagg") ~partitions:n
+            group_key d
       in
       Stats.record_shuffle stats ostat moved;
       finish_shuffle ssp moved;
@@ -1165,22 +1220,28 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
         in
         if vectorized () then begin
           let dl, m1 =
-            Dataset.shuffle_hashed ~partitions:n
+            Dataset.shuffle_hashed ?barrier:(barrier "join-l") ~partitions:n
               (key_hash_of_pairs
                  (List.map (fun (a, _) -> (a, a)) keys)
                  ~strict:true lkey)
               dl
           in
           let dr, m2 =
-            Dataset.shuffle_hashed ~partitions:n
+            Dataset.shuffle_hashed ?barrier:(barrier "join-r") ~partitions:n
               (key_hash_of_pairs keys ~strict:true rkey)
               dr
           in
           (dl, dr, m1 + m2)
         end
         else begin
-          let dl, m1 = Dataset.shuffle_by ~partitions:n lkey dl in
-          let dr, m2 = Dataset.shuffle_by ~partitions:n rkey dr in
+          let dl, m1 =
+            Dataset.shuffle_by ?barrier:(barrier "join-l") ~partitions:n lkey
+              dl
+          in
+          let dr, m2 =
+            Dataset.shuffle_by ?barrier:(barrier "join-r") ~partitions:n rkey
+              dr
+          in
           (dl, dr, m1 + m2)
         end
     in
@@ -1188,29 +1249,40 @@ let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
     finish_shuffle ssp moved;
     let np = max (Dataset.partition_count dl) (Dataset.partition_count dr) in
     let vect = vectorized () in
+    (* Partition fetches live inside the task (not hoisted before it):
+       a checkpointed or spilled partition does its disk read in the
+       retry scope, so a torn read is recovered like any other task
+       fault. *)
     let join_part =
       if vect then begin
-        let cl = Dataset.cpartitions dl and cr = Dataset.cpartitions dr in
-        let cpart c i = if i < Array.length c then c.(i) else Columnar.empty in
+        let cpart d i =
+          if i < Dataset.partition_count d then Dataset.cpartition d i
+          else Columnar.empty
+        in
         fun i ->
           `Cols
-            (join_cols ~keys ~residual ~kind ~lnull ~rnull (cpart cl i)
-               (cpart cr i))
+            (join_cols ~keys ~residual ~kind ~lnull ~rnull (cpart dl i)
+               (cpart dr i))
       end
       else begin
-        let pl = Dataset.partitions dl and pr = Dataset.partitions dr in
-        let part p i = if i < Array.length p then p.(i) else [] in
+        let part d i =
+          if i < Dataset.partition_count d then Dataset.partition d i else []
+        in
         fun i ->
           `Rows
-            (join_partition ~keys ~residual ~kind ~lnull ~rnull (part pl i)
-               (part pr i))
+            (join_partition ~keys ~residual ~kind ~lnull ~rnull (part dl i)
+               (part dr i))
       end
     in
     (* Join tasks retry like narrow partition tasks: the shuffled input
-       partitions are immutable, so recomputation is exact. *)
+       partitions are immutable (or durable, after a barrier), so
+       recomputation is exact. *)
     let join_task i =
       Fault.protect ~policy:retry ~task:(Fmt.str "%s/p%d" task i) ~task_id:i
-        ~on_retry:(fun ~attempt e -> retry_attr sp ~partition:i ~attempt e)
+        ~on_retry:(fun ~attempt e ->
+          if i < Dataset.partition_count dl then Dataset.recover_partition dl i;
+          if i < Dataset.partition_count dr then Dataset.recover_partition dr i;
+          retry_attr sp ~partition:i ~attempt e)
         (fun () ->
           Obs.Faultinject.fire "engine.partition";
           join_part i)

@@ -49,13 +49,14 @@ let size pool = pool.size
 
 let inline_fallback_c = lazy (Obs.Metrics.counter "engine.pool.inline_fallback")
 let worker_deaths_c = lazy (Obs.Metrics.counter "engine.pool.worker_deaths")
+let site_worker = Obs.Faultinject.register_site "engine.pool.worker"
 
 let worker_loop pool () =
   let rec loop () =
     (* Chaos hook: arming this site raises here, killing the worker
        domain with the queue intact (the fire precedes the dequeue, so
        no job is lost with it). *)
-    Obs.Faultinject.fire "engine.pool.worker";
+    Obs.Faultinject.fire site_worker;
     Mutex.lock pool.mutex;
     let rec next () =
       match Queue.take_opt pool.queue with

@@ -41,11 +41,29 @@ let recount () =
        (fun _ s n -> if s.action <> None then n + 1 else n)
        table 0)
 
+(* Declared hook points and the set of sites a test run has ever armed.
+   Both survive [reset]: the registry is the ground truth the chaos-
+   coverage lint enumerates, and [armed_log] is what it compares
+   against, so arming inside a test that later resets still counts. *)
+let registry : (string, unit) Hashtbl.t = Hashtbl.create 16
+let armed_log : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+let register_site name =
+  locked (fun () -> Hashtbl.replace registry name ());
+  name
+
+let sorted_keys tbl =
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+
+let registered_sites () = locked (fun () -> sorted_keys registry)
+let ever_armed () = locked (fun () -> sorted_keys armed_log)
+
 let arm name action =
   locked (fun () ->
       let s = site_of name in
       s.action <- Some action;
       s.seen <- 0;
+      Hashtbl.replace armed_log name ();
       recount ())
 
 let disarm name =

@@ -64,3 +64,22 @@ val transform : string -> string -> string
 (** How many times [site]'s action has triggered since the last
     {!reset}. *)
 val fired : string -> int
+
+(** {1 Site registry}
+
+    Modules that fire a hook point declare it once at module-init time
+    with {!register_site} (which returns its argument, so the usual
+    idiom is [let site_foo = Faultinject.register_site "x.foo"]).  The
+    chaos-coverage lint enumerates {!registered_sites} and fails when
+    any is missing from {!ever_armed} — so a new site cannot ship
+    without a test arming it.  Both sets survive {!reset}. *)
+
+(** Declare a hook point; returns the name unchanged.  Idempotent. *)
+val register_site : string -> string
+
+(** Every declared site, sorted. *)
+val registered_sites : unit -> string list
+
+(** Every site {!arm} has ever been called on in this process, sorted.
+    Not cleared by {!reset}. *)
+val ever_armed : unit -> string list

@@ -92,15 +92,24 @@ let evict t ?seed ~name ~scale () =
   match canonical_key ?seed ~name ~scale () with
   | None -> false
   | Some key ->
-    locked t (fun () ->
-        let present = Hashtbl.mem t.entries key in
-        if present then begin
-          Hashtbl.remove t.entries key;
-          t.order <- List.filter (fun k -> k <> key) t.order;
-          Obs.Metrics.Gauge.set (Lazy.force datasets)
-            (float_of_int (Hashtbl.length t.entries))
-        end;
-        present)
+    let present =
+      locked t (fun () ->
+          let present = Hashtbl.mem t.entries key in
+          if present then begin
+            Hashtbl.remove t.entries key;
+            t.order <- List.filter (fun k -> k <> key) t.order;
+            Obs.Metrics.Gauge.set (Lazy.force datasets)
+              (float_of_int (Hashtbl.length t.entries))
+          end;
+          present)
+    in
+    (* Eviction is the explicit "drop this dataset's footprint" verb, so
+       its checkpoint/spill scratch goes with it.  Checkpoints are
+       recomputable by construction (a concurrent run losing one falls
+       back to its lineage closure), so sweeping the run directory is
+       always safe — merely wasteful if a run is in flight. *)
+    if present then Engine.Checkpoint.sweep ();
+    present
 
 let schema_env (e : entry) =
   Frontend.Compile.env_of_db

@@ -55,6 +55,7 @@ type request =
       query : string;
       pattern : string option;
     }
+  | List_queries of { dataset : string option; scale : int; seed : int }
   | Stats
   | Telemetry of { format : [ `Prometheus | `Json ] }
   | Evict of { dataset : string option; scale : int; seed : int; cache : bool }
@@ -197,6 +198,14 @@ let request_of_json (j : Json.json) : (request, string) result =
              query = required_string "query" j;
              pattern = get_string "whynot" j;
            })
+    | Some "list_queries" ->
+      Ok
+        (List_queries
+           {
+             dataset = get_string "dataset" j;
+             scale = get_int ~default:1 "scale" j;
+             seed = get_int ~default:0 "seed" j;
+           })
     | Some "stats" -> Ok Stats
     | Some "telemetry" ->
       let format =
@@ -250,6 +259,14 @@ let envelope_of_string line =
 
 (* -- responses ----------------------------------------------------------- *)
 
+type query_info = {
+  q_name : string;
+  q_dataset : string;
+  q_fingerprint : string;
+  q_sql : string option;
+  q_sexp : string;
+}
+
 type error_code =
   | Bad_request
   | Invalid_query
@@ -300,6 +317,7 @@ type response =
       sexp : string;
       replaced : bool;
     }
+  | Queries of { dataset : string option; queries : query_info list }
   | Stats_reply of (string * Json.json) list
   | Telemetry_reply of { format : [ `Prometheus | `Json ]; metrics : Json.json }
   | Evicted of { datasets : int; cache_entries : int; queries : int }
@@ -389,6 +407,28 @@ let response_to_json = function
        ]
       @ (match sql with None -> [] | Some s -> [ ("sql", Json.J_string s) ])
       @ [ ("sexp", Json.J_string sexp); ("replaced", Json.J_bool replaced) ])
+  | Queries { dataset; queries } ->
+    let info q =
+      Json.J_object
+        ([
+           ("name", Json.J_string q.q_name);
+           ("dataset", Json.J_string q.q_dataset);
+           ("fingerprint", Json.J_string q.q_fingerprint);
+         ]
+        @ (match q.q_sql with
+          | None -> []
+          | Some s -> [ ("sql", Json.J_string s) ])
+        @ [ ("sexp", Json.J_string q.q_sexp) ])
+    in
+    Json.J_object
+      ([ ("ok", Json.J_bool true); ("type", Json.J_string "queries") ]
+      @ (match dataset with
+        | None -> []
+        | Some d -> [ ("dataset", Json.J_string d) ])
+      @ [
+          ("count", Json.J_int (List.length queries));
+          ("queries", Json.J_array (List.map info queries));
+        ])
   | Error { code; message; details } ->
     Json.J_object
       ([

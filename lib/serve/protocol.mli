@@ -26,6 +26,10 @@
     - [{"op":"register_query","name":"q1","dataset":"D1",
        "query":"SELECT ...","whynot":"(...)"}] — store a named query
       (and optional default pattern) for later [explain] requests
+    - [{"op":"list_queries","dataset":"D1","scale":2}] — enumerate the
+      stored queries (name, fingerprint, canonical SQL when printable,
+      s-expression), sorted by name; without ["dataset"], every
+      dataset's queries sorted by ⟨dataset, name⟩
     - [{"op":"stats"}]
     - [{"op":"telemetry","format":"prometheus"}] (or ["json"]) — metrics
       export
@@ -102,6 +106,11 @@ type request =
       query : string;
       pattern : string option;
     }
+  | List_queries of {
+      dataset : string option;  (** [None] lists every dataset's queries *)
+      scale : int;
+      seed : int;
+    }
   | Stats
   | Telemetry of { format : [ `Prometheus | `Json ] }
   | Evict of {
@@ -137,6 +146,15 @@ type error_code =
   | Internal
 
 val error_code_to_string : error_code -> string
+
+(** One stored query, as reported by [list_queries]. *)
+type query_info = {
+  q_name : string;  (** the name it was registered under *)
+  q_dataset : string;
+  q_fingerprint : string;  (** hex, id-insensitive *)
+  q_sql : string option;  (** canonical SQL reprint, when printable *)
+  q_sexp : string;  (** canonical s-expression form *)
+}
 
 type response =
   | Registered of {
@@ -174,6 +192,10 @@ type response =
       sql : string option;
       sexp : string;
       replaced : bool;  (** an earlier query of the same name was replaced *)
+    }
+  | Queries of {
+      dataset : string option;  (** echoed filter, when one was given *)
+      queries : query_info list;  (** sorted by ⟨dataset, name⟩ *)
     }
   | Stats_reply of (string * Json.json) list  (** named stat sections *)
   | Telemetry_reply of {

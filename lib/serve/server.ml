@@ -33,6 +33,13 @@
 
 open Nested
 
+(* Chaos sites of the serve layer, registered up front so the
+   chaos-coverage lint can enumerate them. *)
+let site_explain = Obs.Faultinject.register_site "server.explain"
+let site_write = Obs.Faultinject.register_site "server.write"
+let site_read = Obs.Faultinject.register_site "server.read"
+let site_accept = Obs.Faultinject.register_site "server.accept"
+
 type config = {
   cache_capacity : int;
   handle_capacity : int;
@@ -79,6 +86,7 @@ type lifecycle = {
 type registered_query = {
   rq_query : Nrab.Query.t;
   rq_pattern : Whynot.Nip.t option;  (* default pattern for explains *)
+  rq_info : Protocol.query_info;  (* listing metadata, frozen at register *)
 }
 
 type t = {
@@ -386,7 +394,7 @@ let handle_explain t ~dataset ~scale ~seed ~query ~query_name ~pattern
           else Some (Whynot.Approx.start approx_cfg)
         in
         let job (cancel : Whynot.Cancel.t) =
-          Obs.Faultinject.fire "server.explain";
+          Obs.Faultinject.fire site_explain;
           let hkey =
             prefix
             ^ Fingerprint.prepare_key ~dataset:dskey ~version
@@ -581,9 +589,21 @@ let handle_register_query t ~name ~dataset ~scale ~seed ~query ~pattern :
           with Frontend.Print.Unprintable _ -> None
         in
         let fingerprint = Fingerprint.to_hex (Fingerprint.query q) in
+        let sexp = Nrab.Parser.query_to_string q in
         let replaced =
           store_query t entry.Catalog.key name
-            { rq_query = q; rq_pattern = nip }
+            {
+              rq_query = q;
+              rq_pattern = nip;
+              rq_info =
+                {
+                  Protocol.q_name = name;
+                  q_dataset = entry.Catalog.key.Catalog.name;
+                  q_fingerprint = fingerprint;
+                  q_sql = sql;
+                  q_sexp = sexp;
+                };
+            }
         in
         Protocol.Query_registered
           {
@@ -591,9 +611,45 @@ let handle_register_query t ~name ~dataset ~scale ~seed ~query ~pattern :
             dataset = entry.Catalog.key.Catalog.name;
             fingerprint;
             sql;
-            sexp = Nrab.Parser.query_to_string q;
+            sexp;
             replaced;
           }))
+
+(* Enumerate the stored queries — per dataset when a name is given
+   (prefix match on the dataset key, so other instances of the same
+   scenario at different scales/seeds stay invisible), otherwise all of
+   them.  Sorted by ⟨dataset, name⟩ for deterministic transcripts. *)
+let handle_list_queries t ~dataset ~scale ~seed : Protocol.response =
+  let collect pred =
+    Mutex.lock t.qmutex;
+    let qs =
+      Hashtbl.fold
+        (fun k rq acc -> if pred k then rq.rq_info :: acc else acc)
+        t.queries []
+    in
+    Mutex.unlock t.qmutex;
+    List.sort
+      (fun (a : Protocol.query_info) (b : Protocol.query_info) ->
+        match compare a.Protocol.q_dataset b.Protocol.q_dataset with
+        | 0 -> compare a.Protocol.q_name b.Protocol.q_name
+        | c -> c)
+      qs
+  in
+  match dataset with
+  | None -> Protocol.Queries { dataset = None; queries = collect (fun _ -> true) }
+  | Some name -> (
+    match Catalog.find t.catalog ~seed ~name ~scale () with
+    | None ->
+      Protocol.not_found
+        (Fmt.str "dataset %S (scale %d, seed %d) is not registered — send a \
+                  register request first" name scale seed)
+    | Some entry ->
+      let prefix = dataset_prefix entry.Catalog.key in
+      Protocol.Queries
+        {
+          dataset = Some entry.Catalog.key.Catalog.name;
+          queries = collect (String.starts_with ~prefix);
+        })
 
 let cache_stats_json (s : Cache.stats) =
   Json.J_object
@@ -744,6 +800,7 @@ let op_name = function
   | Protocol.Explain _ -> "explain"
   | Protocol.Parse _ -> "parse"
   | Protocol.Register_query _ -> "register_query"
+  | Protocol.List_queries _ -> "list_queries"
   | Protocol.Stats -> "stats"
   | Protocol.Telemetry _ -> "telemetry"
   | Protocol.Evict _ -> "evict"
@@ -787,6 +844,8 @@ let dispatch t (req : Protocol.request) :
       (handle_parse t ~dataset ~scale ~seed ~query ~pattern, None)
     | Protocol.Register_query { name; dataset; scale; seed; query; pattern } ->
       (handle_register_query t ~name ~dataset ~scale ~seed ~query ~pattern, None)
+    | Protocol.List_queries { dataset; scale; seed } ->
+      (handle_list_queries t ~dataset ~scale ~seed, None)
     | Protocol.Stats -> (handle_stats t, None)
     | Protocol.Telemetry { format } -> (handle_telemetry format, None)
     | Protocol.Evict { dataset; scale; seed; cache } ->
@@ -899,7 +958,7 @@ let read_line_bounded ic max_bytes =
 
 let serve_channels t ic oc =
   let respond line =
-    Obs.Faultinject.fire "server.write";
+    Obs.Faultinject.fire site_write;
     output_string oc line;
     output_char oc '\n';
     flush oc
@@ -917,7 +976,7 @@ let serve_channels t ic oc =
                    t.cfg.max_request_bytes)));
         loop ()
       | `Line line ->
-        let line = Obs.Faultinject.transform "server.read" line in
+        let line = Obs.Faultinject.transform site_read line in
         if String.trim line = "" then loop ()
         else begin
           let resp, stop = handle_line t line in
@@ -976,7 +1035,7 @@ let accept_loop t sock =
     | [], _, _ -> ()
     | _ :: _, _, _ -> (
       match
-        Obs.Faultinject.fire "server.accept";
+        Obs.Faultinject.fire site_accept;
         Unix.accept sock
       with
       | exception
@@ -1002,6 +1061,9 @@ let accept_loop t sock =
     Condition.wait l.drained l.lmutex
   done;
   Mutex.unlock l.lmutex;
+  (* every in-flight run has drained: this process's checkpoint/spill
+     scratch directory has no remaining reader *)
+  Engine.Checkpoint.sweep ();
   try Unix.close sock with Unix.Unix_error _ -> ()
 
 let serve_unix t ~path =

@@ -927,6 +927,77 @@ let test_wire_query_eviction () =
   | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
   | _ -> Alcotest.fail "expected query_registered"
 
+let list_queries srv ?dataset () =
+  Serve.Server.handle_request srv
+    (Serve.Protocol.List_queries { dataset; scale = 1; seed = 0 })
+
+let test_wire_list_queries () =
+  let srv = Serve.Server.create ~config:quiet_config () in
+  (* listing an unregistered dataset is not_found, like register_query *)
+  (match list_queries srv ~dataset:"RE" () with
+  | Serve.Protocol.Error { code = Serve.Protocol.Not_found; _ } -> ()
+  | _ -> Alcotest.fail "list over an unknown dataset must be not_found");
+  register_dataset srv "RE";
+  (* an empty registry lists as an empty, well-typed reply *)
+  (match list_queries srv ~dataset:"RE" () with
+  | Serve.Protocol.Queries { dataset = Some "RE"; queries = [] } -> ()
+  | _ -> Alcotest.fail "expected an empty queries reply");
+  let fingerprint =
+    match
+      register_query srv ~dataset:"RE" ~name:"Zeta" ~query:re_sql ~pattern:None
+    with
+    | Serve.Protocol.Query_registered { fingerprint; _ } -> fingerprint
+    | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
+    | _ -> Alcotest.fail "expected query_registered"
+  in
+  (match
+     register_query srv ~dataset:"RE" ~name:"Alpha" ~query:re_sql ~pattern:None
+   with
+  | Serve.Protocol.Query_registered _ -> ()
+  | _ -> Alcotest.fail "expected query_registered");
+  (* per-dataset listing: sorted by name, carrying the registration's
+     fingerprint and canonical forms *)
+  (match list_queries srv ~dataset:"RE" () with
+  | Serve.Protocol.Queries { dataset = Some "RE"; queries } ->
+    Alcotest.(check (list string))
+      "sorted by name" [ "Alpha"; "Zeta" ]
+      (List.map (fun q -> q.Serve.Protocol.q_name) queries);
+    List.iter
+      (fun (q : Serve.Protocol.query_info) ->
+        Alcotest.(check string) "fingerprint" fingerprint q.q_fingerprint;
+        Alcotest.(check bool) "canonical sql present" true (q.q_sql <> None);
+        Alcotest.(check bool) "canonical sexp present" true (q.q_sexp <> ""))
+      queries
+  | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
+  | _ -> Alcotest.fail "expected queries");
+  (* the unfiltered listing spans datasets, sorted dataset-major *)
+  register_dataset srv "F1";
+  (match
+     register_query srv ~dataset:"F1" ~name:"f"
+       ~query:Scenarios.Forestry_scenarios.f1_sql ~pattern:None
+   with
+  | Serve.Protocol.Query_registered _ -> ()
+  | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
+  | _ -> Alcotest.fail "expected query_registered");
+  (match list_queries srv () with
+  | Serve.Protocol.Queries { dataset = None; queries } ->
+    Alcotest.(check (list (pair string string)))
+      "dataset-major order"
+      [ ("F1", "f"); ("RE", "Alpha"); ("RE", "Zeta") ]
+      (List.map
+         (fun q -> (q.Serve.Protocol.q_dataset, q.Serve.Protocol.q_name))
+         queries)
+  | _ -> Alcotest.fail "expected queries");
+  (* eviction empties the dataset's slice of the listing *)
+  ignore
+    (Serve.Server.handle_request srv
+       (Serve.Protocol.Evict
+          { dataset = Some "RE"; scale = 1; seed = 0; cache = false }));
+  register_dataset srv "RE";
+  match list_queries srv ~dataset:"RE" () with
+  | Serve.Protocol.Queries { queries = []; _ } -> ()
+  | _ -> Alcotest.fail "evicted queries must not be listed"
+
 let test_server_approx_no_alias () =
   let srv = Serve.Server.create ~config:quiet_config () in
   register_dataset srv "RE";
@@ -1293,6 +1364,47 @@ let test_server_connection_cap () =
   Thread.join server_thread;
   (try Unix.close a with Unix.Unix_error _ -> ())
 
+(* Checkpoint hygiene: a server session that produced checkpoint/spill
+   files must not leak them — evicting the dataset sweeps the per-run
+   scratch directory. *)
+let test_server_checkpoint_no_leak () =
+  let base = Filename.temp_file "whynot-hygiene" "" in
+  Sys.remove base;
+  Unix.mkdir base 0o700;
+  Engine.Checkpoint.with_config
+    (Some (Engine.Checkpoint.config ~dir:base ~checkpoint_shuffles:true ()))
+    (fun () ->
+      let srv = Serve.Server.create ~config:quiet_config () in
+      register_dataset srv "RE";
+      (match explain_via srv ~dataset:"RE" () with
+      | Serve.Protocol.Explained _ -> ()
+      | Serve.Protocol.Error { message; _ } -> Alcotest.fail message
+      | _ -> Alcotest.fail "expected explained");
+      (match Engine.Checkpoint.run_dir () with
+      | Some d ->
+        Alcotest.(check bool) "run dir exists while live" true
+          (Sys.file_exists d && Sys.is_directory d)
+      | None ->
+        Alcotest.fail "a checkpointing explain must create the run dir");
+      let before = Engine.Checkpoint.run_dir () in
+      (match
+         Serve.Server.handle_request srv
+           (Serve.Protocol.Evict
+              { dataset = Some "RE"; scale = 1; seed = 0; cache = true })
+       with
+      | Serve.Protocol.Evicted { datasets = 1; _ } -> ()
+      | _ -> Alcotest.fail "expected evicted");
+      Alcotest.(check bool) "run dir forgotten after evict" true
+        (Engine.Checkpoint.run_dir () = None);
+      (match before with
+      | Some d ->
+        Alcotest.(check bool) "run dir removed after evict" false
+          (Sys.file_exists d)
+      | None -> ());
+      Alcotest.(check (list string)) "no stray files under the base dir" []
+        (Array.to_list (Sys.readdir base)));
+  Unix.rmdir base
+
 let test_resolve_host () =
   (match Serve.Server.resolve_host "127.0.0.1" with
   | Ok _ -> ()
@@ -1393,6 +1505,7 @@ let () =
           Alcotest.test_case "stored pattern defaults" `Quick
             test_wire_stored_pattern_defaults;
           Alcotest.test_case "query eviction" `Quick test_wire_query_eviction;
+          Alcotest.test_case "list_queries verb" `Quick test_wire_list_queries;
         ] );
       ( "robustness",
         [
@@ -1407,6 +1520,8 @@ let () =
           Alcotest.test_case "unix socket lifecycle" `Quick
             test_server_unix_lifecycle;
           Alcotest.test_case "connection cap" `Quick test_server_connection_cap;
+          Alcotest.test_case "checkpoint files do not leak" `Quick
+            test_server_checkpoint_no_leak;
           Alcotest.test_case "resolve host" `Quick test_resolve_host;
         ] );
     ]
