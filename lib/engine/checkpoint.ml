@@ -70,17 +70,19 @@ let site_io = Obs.Faultinject.register_site "engine.checkpoint.io"
 (* CRC-32 (IEEE, reflected, poly 0xEDB88320)                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Built eagerly: [crc32] runs on pool worker domains, and a lazy
+   forced concurrently from two domains can raise
+   [CamlinternalLazy.Undefined]. *)
 let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
 
 let crc32 s =
-  let t = Lazy.force crc_table in
+  let t = crc_table in
   let c = ref 0xFFFFFFFF in
   String.iter
     (fun ch -> c := t.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
@@ -381,6 +383,23 @@ let rec get_col cur : Columnar.col =
     if Array.length boff <> bn + 1 then
       corrupt "bag offset vector has %d entries for %d rows"
         (Array.length boff) bn;
+    (* The offsets index [belems]/[bmult] from inside the columnar
+       kernels, so a CRC-valid-but-malformed payload (or a direct
+       [decode] caller) must be rejected here — not surface later as
+       [Invalid_argument] deep in a gather. *)
+    if boff.(0) <> 0 then corrupt "bag offsets start at %d, not 0" boff.(0);
+    for i = 0 to bn - 1 do
+      if boff.(i + 1) < boff.(i) then
+        corrupt "bag offsets decrease at row %d (%d -> %d)" i boff.(i)
+          boff.(i + 1)
+    done;
+    let ne = Columnar.col_length belems in
+    if boff.(bn) > ne then
+      corrupt "bag offsets address %d elements but only %d are stored"
+        boff.(bn) ne;
+    if Array.length bmult < boff.(bn) then
+      corrupt "bag multiplicity vector has %d entries for %d elements"
+        (Array.length bmult) boff.(bn);
     CBag { bn; boff; bmult; belems; bpresent }
   | 8 ->
     let n = get_count cur in
@@ -443,6 +462,13 @@ let run_dir_ref = ref None
 let seq = ref 0
 let at_exit_registered = ref false
 
+(* Pins on the run directory (one per in-flight execution) and whether
+   a sweep arrived while pinned.  Spilled partitions can hold their
+   *only* copy in this directory, so a sweep must never race an
+   in-flight run: it is deferred until the last pin is released. *)
+let pins = ref 0
+let sweep_deferred = ref false
+
 let rm_rf path =
   let rec rm path =
     match (Unix.lstat path).Unix.st_kind with
@@ -454,13 +480,29 @@ let rm_rf path =
   in
   rm path
 
+(* Under [dir_mutex]. *)
+let sweep_now () =
+  sweep_deferred := false;
+  match !run_dir_ref with
+  | None -> ()
+  | Some d ->
+    run_dir_ref := None;
+    rm_rf d
+
 let sweep () =
   Mutex.protect dir_mutex (fun () ->
-      match !run_dir_ref with
-      | None -> ()
-      | Some d ->
-        run_dir_ref := None;
-        rm_rf d)
+      if !pins > 0 then sweep_deferred := true else sweep_now ())
+
+let retain () = Mutex.protect dir_mutex (fun () -> incr pins)
+
+let release () =
+  Mutex.protect dir_mutex (fun () ->
+      pins := max 0 (!pins - 1);
+      if !pins = 0 && !sweep_deferred then sweep_now ())
+
+let with_retained f =
+  retain ();
+  Fun.protect ~finally:release f
 
 let run_dir () = Mutex.protect dir_mutex (fun () -> !run_dir_ref)
 
@@ -483,7 +525,10 @@ let ensure_dir () =
     run_dir_ref := Some d;
     if not !at_exit_registered then begin
       at_exit_registered := true;
-      at_exit sweep
+      (* Force, ignoring pins: at process exit nothing can read the
+         directory anymore, and a pin leaked by an aborted run must not
+         leave files behind. *)
+      at_exit (fun () -> Mutex.protect dir_mutex sweep_now)
     end;
     d
 
@@ -523,6 +568,20 @@ let write ~path t =
   Obs.Metrics.Counter.incr (Lazy.force m_writes);
   Obs.Metrics.Counter.incr ~by:(String.length framed) (Lazy.force m_bytes);
   String.length framed
+
+(* A local durability check, not a replay read: no fault site, no
+   read/corrupt counters — callers decide what a failed verification
+   means (spill keeps the partition resident and counts a write
+   failure). *)
+let verify ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> ( match unframe s with _ -> true | exception Corrupt _ -> false)
+  | exception _ -> false
 
 let read ~path =
   Obs.Faultinject.fire site_io;

@@ -18,7 +18,11 @@
     All checkpoints of one process live in a single per-run directory
     (created lazily under [config.dir], or the system temp dir), swept
     by {!sweep} — called from catalog eviction, server shutdown, and an
-    [at_exit] hook — so no files leak. *)
+    [at_exit] hook — so no files leak.  In-flight executions pin the
+    directory ({!retain}/{!release}); a sweep that arrives while any
+    pin is held is deferred to the last release, so spilled partitions
+    whose only copy is on disk are never deleted from under a live
+    run. *)
 
 (** {1 Configuration}
 
@@ -58,8 +62,12 @@ val with_config : config option -> (unit -> 'a) -> 'a
     and corrupt payloads without touching the filesystem. *)
 
 (** Raised on bad magic, unsupported version, truncation, CRC mismatch,
-    or a malformed payload.  Never escapes recovery: callers with a
-    recompute closure fall back to it. *)
+    or a malformed payload.  Callers with a recompute closure (barrier
+    checkpoints) swallow it and fall back to lineage; for a spilled
+    partition whose file is the only copy there is no fallback — the
+    file is {!verify}-checked at spill time, so a later [Corrupt]
+    means on-disk corruption and surfaces as
+    [Dataset.Spill_lost]. *)
 exception Corrupt of string
 
 val encode : Columnar.t -> string
@@ -93,9 +101,29 @@ val write : path:string -> Columnar.t -> int
     bump [engine.checkpoint.reads]).  Fires ["engine.checkpoint.io"]. *)
 val read : path:string -> Columnar.t
 
+(** [verify ~path] is [true] iff the file exists and its frame + CRC
+    check out.  A pure durability probe: fires no fault site and bumps
+    no counters, so spill can confirm a sole-copy file actually made it
+    to disk before dropping the resident data. *)
+val verify : path:string -> bool
+
 (** The per-run directory, if it has been created and not yet swept. *)
 val run_dir : unit -> string option
 
 (** Remove the per-run directory and everything in it.  Idempotent; a
-    later {!fresh_path} starts a fresh directory. *)
+    later {!fresh_path} starts a fresh directory.  While any
+    {!retain} pin is held the removal is deferred to the last
+    {!release} — the files may be the only copy of a live run's
+    spilled partitions. *)
 val sweep : unit -> unit
+
+(** Pin the run directory: a {!sweep} arriving while pinned is
+    deferred.  {!Exec.run} pins for its whole duration. *)
+val retain : unit -> unit
+
+(** Drop one pin; the last release performs a deferred {!sweep}. *)
+val release : unit -> unit
+
+(** [with_retained f] runs [f] between {!retain} and {!release} (also
+    on exceptions). *)
+val with_retained : (unit -> 'a) -> 'a

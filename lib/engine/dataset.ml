@@ -31,6 +31,13 @@ type part = Rows of Value.t list | Cols of Columnar.t | Ckpt of ckpt
 
 type t = { parts : part array }
 
+(* A spilled partition's file was its only copy (no lineage fallback)
+   and failed its CRC on restore.  Spill files are verified at write
+   time, so this means on-disk corruption or an external delete after
+   the spill — a hard failure of the query, deliberately not
+   [Fault.Transient]: re-reading the same bad file cannot succeed. *)
+exception Spill_lost of string
+
 let site_partition = Obs.Faultinject.register_site "engine.partition"
 let site_shuffle_write = Obs.Faultinject.register_site "engine.shuffle.write"
 let site_shuffle_read = Obs.Faultinject.register_site "engine.shuffle.read"
@@ -68,9 +75,12 @@ let ckpt_fetch (c : ckpt) : Columnar.t =
         | Spilled -> bump m_spill_restores
         | Live -> ());
         b
-      | exception (Checkpoint.Corrupt _ as e) -> (
+      | exception Checkpoint.Corrupt msg -> (
         match c.ck_recompute with
-        | None -> raise e
+        | None ->
+          raise
+            (Spill_lost
+               (Fmt.str "spilled partition %s unreadable: %s" c.ck_path msg))
         | Some recompute ->
           bump m_from_source;
           let b = recompute () in
@@ -208,6 +218,25 @@ let checkpoint_part ~label ~index ~recompute (b : Columnar.t) : part =
     bump m_write_failures;
     Cols b
 
+(* One memoized re-shuffle shared by every partition's recompute
+   closure: recovering k lost partitions of the same barrier costs one
+   upstream shuffle, not k.  Mutex-guarded — the closures run from pool
+   worker domains, where an OCaml [Lazy.t] would not be safe.  The
+   closures still pin the upstream dataset [d] (the memo's input) for
+   the checkpointed dataset's lifetime; that is the price of CRC
+   fallback and is invisible to [memory_bytes] — see DESIGN.md. *)
+let memo_shuffle (run : unit -> 'a) : unit -> 'a =
+  let mu = Mutex.create () in
+  let memo = ref None in
+  fun () ->
+    Mutex.protect mu (fun () ->
+        match !memo with
+        | Some ps -> ps
+        | None ->
+          let ps = run () in
+          memo := Some ps;
+          ps)
+
 (* Repartition by a key function (a shuffle).  With [barrier], every
    output partition is checkpointed under that label — lineage
    downstream of this point is truncated here. *)
@@ -217,13 +246,14 @@ let shuffle_by ?barrier ~partitions:n (key : Value.t -> Value.t) (d : t) :
   match barrier with
   | None -> ({ parts = Array.map (fun l -> Rows l) parts }, moved)
   | Some label ->
+    let recomputed =
+      memo_shuffle (fun () -> fst (shuffle_by_raw ~partitions:n key d))
+    in
     ( {
         parts =
           Array.mapi
             (fun i l ->
-              let recompute () =
-                Columnar.of_rows (fst (shuffle_by_raw ~partitions:n key d)).(i)
-              in
+              let recompute () = Columnar.of_rows (recomputed ()).(i) in
               checkpoint_part ~label ~index:i ~recompute:(Some recompute)
                 (Columnar.of_rows l))
             parts;
@@ -237,13 +267,14 @@ let shuffle_hashed ?barrier ~partitions:n (hash_of : Columnar.t -> int array)
   match barrier with
   | None -> ({ parts = Array.map (fun b -> Cols b) batches }, moved)
   | Some label ->
+    let recomputed =
+      memo_shuffle (fun () -> fst (shuffle_hashed_raw ~partitions:n hash_of d))
+    in
     ( {
         parts =
           Array.mapi
             (fun i b ->
-              let recompute () =
-                (fst (shuffle_hashed_raw ~partitions:n hash_of d)).(i)
-              in
+              let recompute () = (recomputed ()).(i) in
               checkpoint_part ~label ~index:i ~recompute:(Some recompute) b)
             batches;
       },
@@ -378,19 +409,30 @@ let spill_over ~watermark (d : t) : int =
              try
                let path = Checkpoint.fresh_path ~label:"spill" in
                ignore (Checkpoint.write ~path b);
-               d.parts.(i) <-
-                 Ckpt
-                   {
-                     ck_path = path;
-                     ck_rows = Columnar.length b;
-                     ck_cache = None;
-                     ck_state = Spilled;
-                     ck_recompute = None;
-                   };
-               freed := !freed + sizes.(i);
-               bump m_spill_batches;
-               Obs.Metrics.Counter.incr ~by:sizes.(i)
-                 (Lazy.force m_spill_bytes)
+               (* The file is about to become the *only* copy of this
+                  partition (no lineage fallback), so verify the frame
+                  before dropping the resident data: a garbled write
+                  keeps the partition in memory — degraded, never
+                  lost. *)
+               if not (Checkpoint.verify ~path) then begin
+                 (try Sys.remove path with Sys_error _ -> ());
+                 bump m_write_failures
+               end
+               else begin
+                 d.parts.(i) <-
+                   Ckpt
+                     {
+                       ck_path = path;
+                       ck_rows = Columnar.length b;
+                       ck_cache = None;
+                       ck_state = Spilled;
+                       ck_recompute = None;
+                     };
+                 freed := !freed + sizes.(i);
+                 bump m_spill_batches;
+                 Obs.Metrics.Counter.incr ~by:sizes.(i)
+                   (Lazy.force m_spill_bytes)
+               end
              with _ -> bump m_write_failures))
          order
      with Exit -> ());

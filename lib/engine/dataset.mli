@@ -7,6 +7,16 @@ open Nested
 
 type t
 
+(** A spilled partition whose checkpoint file was its {e only} copy (no
+    lineage fallback) failed its CRC on restore.  Spill verifies every
+    such file at write time, so this means on-disk corruption or an
+    external delete after the spill — a hard failure of the query,
+    deliberately not {!Fault.Transient} (re-reading the same bad file
+    cannot succeed).  Spill mode therefore makes healthy disk a hard
+    dependency; barrier checkpoints never raise this (they fall back to
+    their recompute closure). *)
+exception Spill_lost of string
+
 val of_partitions : Value.t list array -> t
 
 (** Row view of every partition (columnar partitions reconstruct). *)
@@ -80,7 +90,12 @@ val memory_bytes : t -> int
     resident footprint fits under [watermark] bytes, writing in-memory
     partitions to the {!Checkpoint} store (checkpointed ones just drop
     their cache).  Spilled partitions transparently re-map on access
-    ([engine.spill.restores]).  Returns the bytes freed; counters
+    ([engine.spill.restores]).  A plain in-memory partition has no
+    lineage fallback, so its spill file is verified (frame + CRC)
+    before the resident copy is dropped: a garbled write keeps the
+    partition in memory ([engine.checkpoint.write_failures]) — degraded,
+    never lost.  A verified file that later fails to read raises
+    {!Spill_lost}.  Returns the bytes freed; counters
     [engine.spill.bytes] / [engine.spill.batches]. *)
 val spill_over : watermark:int -> t -> int
 

@@ -836,6 +836,11 @@ let group_agg_cols group aggs (b : Columnar.t) : Columnar.t =
 
 let run ?(config = default_config) ?parent ?registry (db : Relation.Db.t)
     (q : Query.t) : Relation.t * Stats.t =
+  (* Pin the checkpoint run directory for the whole execution: a
+     concurrent sweep (catalog eviction) is deferred until the last
+     in-flight run releases, so a spilled partition whose only copy is
+     on disk cannot be deleted from under us. *)
+  Checkpoint.with_retained @@ fun () ->
   let env = schema_env db in
   let stats = Stats.create () in
   let n = config.partitions in

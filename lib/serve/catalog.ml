@@ -104,10 +104,11 @@ let evict t ?seed ~name ~scale () =
           present)
     in
     (* Eviction is the explicit "drop this dataset's footprint" verb, so
-       its checkpoint/spill scratch goes with it.  Checkpoints are
-       recomputable by construction (a concurrent run losing one falls
-       back to its lineage closure), so sweeping the run directory is
-       always safe — merely wasteful if a run is in flight. *)
+       its checkpoint/spill scratch goes with it.  Spilled partitions
+       can hold their *only* copy in the run directory (no lineage
+       closure), so [sweep] defers while any execution holds a
+       {!Engine.Checkpoint.retain} pin — the last in-flight run's
+       release performs the sweep. *)
     if present then Engine.Checkpoint.sweep ();
     present
 

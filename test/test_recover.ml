@@ -195,6 +195,39 @@ let test_payload_bitflips_never_crash () =
            (Printexc.to_string e))
   done
 
+(* A CRC-valid frame whose payload is structurally malformed (bad bag
+   offsets) must be rejected at decode time — not surface later as
+   [Invalid_argument] deep in a columnar kernel.  [encode] writes the
+   arrays verbatim, so building invalid [CBag]s directly produces
+   exactly the payloads a direct [decode] caller (or a corrupted-but-
+   CRC-colliding file) could present. *)
+let test_malformed_bag_offsets_rejected () =
+  let ints a = C.CInt (a, None) in
+  let bag bn boff bmult belems =
+    { C.n = bn; row = C.CBag { bn; boff; bmult; belems; bpresent = None } }
+  in
+  let cases =
+    [
+      ("offsets not starting at 0", bag 2 [| 1; 2; 3 |] [| 1; 1; 1 |]
+         (ints [| 1; 2; 3 |]));
+      ("decreasing offsets", bag 2 [| 0; 3; 1 |] [| 1; 1; 1 |]
+         (ints [| 1; 2; 3 |]));
+      ("offsets beyond stored elements", bag 2 [| 0; 2; 9 |] [| 1; 1; 1 |]
+         (ints [| 1; 2; 3 |]));
+      ("multiplicities shorter than offsets", bag 2 [| 0; 2; 3 |] [| 1 |]
+         (ints [| 1; 2; 3 |]));
+    ]
+  in
+  List.iter
+    (fun (name, b) ->
+      match Ck.decode (Ck.encode b) with
+      | _ -> Alcotest.fail (Fmt.str "%s: accepted" name)
+      | exception Ck.Corrupt _ -> ()
+      | exception e ->
+        Alcotest.fail
+          (Fmt.str "%s: raised %s, not Corrupt" name (Printexc.to_string e)))
+    cases
+
 (* --- replay from checkpoint ---------------------------------------------- *)
 
 let key_of = function
@@ -340,6 +373,43 @@ let test_garbled_checkpoint_recomputes () =
         "lineage recompute counted" true
         (counter_value "engine.recover.from_source" - from_src0 >= 1))
 
+(* Losing several partitions of one barrier costs ONE upstream
+   re-shuffle, not one per partition: the recompute closures share a
+   memoized shuffle body.  Counted via the key function — the shuffle
+   body calls it once per row, so k independent re-shuffles would show
+   k * 64 calls. *)
+let test_barrier_recompute_memoized () =
+  Obs.Faultinject.reset ();
+  with_ckpt ~shuffles:true (fun () ->
+      (* garble every write so each lost partition must fall back *)
+      Obs.Faultinject.arm "engine.checkpoint.io"
+        (Obs.Faultinject.Garble
+           (fun s ->
+             if String.length s <= 17 then s
+             else begin
+               let b = Bytes.of_string s in
+               Bytes.set b 17 (Char.chr (Char.code (Bytes.get b 17) lxor 0xff));
+               Bytes.to_string b
+             end));
+      let calls = ref 0 in
+      let key v =
+        incr calls;
+        key_of v
+      in
+      let shuffled, _ =
+        D.shuffle_by ~barrier:"t-memo" ~partitions:4 key (shuffle_input ())
+      in
+      calls := 0;
+      for i = 0 to 3 do
+        D.recover_partition shuffled i
+      done;
+      Alcotest.(check int)
+        "all rows recomputed" 64
+        (List.length (D.to_list shuffled));
+      Obs.Faultinject.reset ();
+      Alcotest.(check int)
+        "one upstream re-shuffle covered every lost partition" 64 !calls)
+
 (* A failed checkpoint write degrades to a plain in-memory partition:
    the run loses its recovery shortcut, never its data. *)
 let test_failed_checkpoint_write_degrades () =
@@ -392,6 +462,77 @@ let test_spill_under_watermark_is_noop () =
       let d = shuffle_input () in
       Alcotest.(check int) "no spill under the watermark" 0
         (D.spill_over ~watermark:max_int d))
+
+(* A sweep arriving while an execution pins the run directory (the
+   catalog-eviction-during-query shape) must not delete spilled
+   sole-copy partitions: it defers to the last release. *)
+let test_sweep_deferred_while_pinned () =
+  Obs.Faultinject.reset ();
+  with_ckpt ~shuffles:false (fun () ->
+      Ck.with_retained (fun () ->
+          let d = shuffle_input () in
+          ignore (D.spill_over ~watermark:0 d);
+          Ck.sweep ();
+          (* concurrent eviction *)
+          Alcotest.(check bool)
+            "run dir survives the sweep while pinned" true
+            (match Ck.run_dir () with
+            | Some p -> Sys.file_exists p
+            | None -> false);
+          Alcotest.(check int)
+            "spilled sole copies still restore" 64
+            (List.length (D.to_list d)));
+      Alcotest.(check bool)
+        "deferred sweep ran on the last release" true
+        (Ck.run_dir () = None))
+
+(* A garbled spill write is caught by the write-time verification: the
+   partition stays resident (degraded, never lost). *)
+let test_garbled_spill_write_keeps_partition_resident () =
+  Obs.Faultinject.reset ();
+  with_ckpt ~shuffles:false (fun () ->
+      Obs.Faultinject.arm "engine.checkpoint.io"
+        (Obs.Faultinject.Garble
+           (fun s ->
+             if String.length s <= 17 then s
+             else begin
+               let b = Bytes.of_string s in
+               Bytes.set b 17 (Char.chr (Char.code (Bytes.get b 17) lxor 0xff));
+               Bytes.to_string b
+             end));
+      let d = shuffle_input () in
+      let wf0 = counter_value "engine.checkpoint.write_failures" in
+      let freed = D.spill_over ~watermark:0 d in
+      Obs.Faultinject.reset ();
+      Alcotest.(check int) "nothing spilled through garbled writes" 0 freed;
+      Alcotest.(check bool)
+        "partitions stayed resident" true
+        (D.memory_bytes d > 0);
+      Alcotest.(check bool)
+        "write failures counted" true
+        (counter_value "engine.checkpoint.write_failures" - wf0 >= 4);
+      Alcotest.(check int) "data intact" 64 (List.length (D.to_list d)))
+
+(* A spill file verified at write time but lost afterwards (external
+   delete, on-disk corruption) is a hard failure: [Spill_lost], not a
+   silent wrong answer and not an unrelated exception. *)
+let test_deleted_spill_file_raises_spill_lost () =
+  Obs.Faultinject.reset ();
+  with_ckpt ~shuffles:false (fun () ->
+      let d = shuffle_input () in
+      ignore (D.spill_over ~watermark:0 d);
+      (match Ck.run_dir () with
+      | Some dir ->
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir)
+      | None -> Alcotest.fail "spill created no run directory");
+      match D.to_list d with
+      | _ -> Alcotest.fail "reading a deleted sole-copy spill succeeded"
+      | exception D.Spill_lost _ -> ()
+      | exception e ->
+        Alcotest.fail
+          (Fmt.str "raised %s, not Spill_lost" (Printexc.to_string e)))
 
 (* --- pipeline byte-identity ----------------------------------------------- *)
 
@@ -565,6 +706,8 @@ let () =
             test_bitflips_rejected;
           Alcotest.test_case "payload bit-flips never crash" `Quick
             test_payload_bitflips_never_crash;
+          Alcotest.test_case "malformed bag offsets rejected" `Quick
+            test_malformed_bag_offsets_rejected;
         ] );
       ( "recovery",
         [
@@ -576,6 +719,8 @@ let () =
             test_torn_shuffle_read_is_retryable;
           Alcotest.test_case "garbled checkpoint recomputes" `Quick
             test_garbled_checkpoint_recomputes;
+          Alcotest.test_case "barrier recompute is memoized" `Quick
+            test_barrier_recompute_memoized;
           Alcotest.test_case "failed checkpoint write degrades" `Quick
             test_failed_checkpoint_write_degrades;
         ] );
@@ -584,6 +729,12 @@ let () =
           Alcotest.test_case "spill and restore" `Quick test_spill_and_restore;
           Alcotest.test_case "under-watermark is a no-op" `Quick
             test_spill_under_watermark_is_noop;
+          Alcotest.test_case "sweep deferred while a run is pinned" `Quick
+            test_sweep_deferred_while_pinned;
+          Alcotest.test_case "garbled spill write stays resident" `Quick
+            test_garbled_spill_write_keeps_partition_resident;
+          Alcotest.test_case "deleted spill file raises Spill_lost" `Quick
+            test_deleted_spill_file_raises_spill_lost;
         ] );
       ( "pipeline byte-identity",
         [
